@@ -1,0 +1,5 @@
+//! Ablation: SVR vs kernel ridge regression.
+fn main() {
+    let mut ctx = sms_bench::Ctx::from_env();
+    sms_bench::experiments::ablations::krr(&mut ctx).emit(&ctx);
+}

@@ -1,0 +1,5 @@
+//! Ablation: synchronization-quantum sensitivity.
+fn main() {
+    let mut ctx = sms_bench::Ctx::from_env();
+    sms_bench::experiments::ablations::quantum(&mut ctx).emit(&ctx);
+}

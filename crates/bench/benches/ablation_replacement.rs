@@ -1,0 +1,5 @@
+//! Ablation: LLC replacement-policy sensitivity.
+fn main() {
+    let mut ctx = sms_bench::Ctx::from_env();
+    sms_bench::experiments::ablations::replacement(&mut ctx).emit(&ctx);
+}

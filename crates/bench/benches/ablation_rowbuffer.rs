@@ -1,0 +1,5 @@
+//! Ablation: DRAM row-buffer model sensitivity.
+fn main() {
+    let mut ctx = sms_bench::Ctx::from_env();
+    sms_bench::experiments::ablations::row_buffer(&mut ctx).emit(&ctx);
+}

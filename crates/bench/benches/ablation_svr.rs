@@ -1,0 +1,5 @@
+//! Ablation: SVR hyper-parameter sweep.
+fn main() {
+    let mut ctx = sms_bench::Ctx::from_env();
+    sms_bench::experiments::ablations::svr(&mut ctx).emit(&ctx);
+}

@@ -1,0 +1,130 @@
+//! Criterion microbenchmarks for the simulator substrate: cache lookups,
+//! DRAM queueing, workload generation, and end-to-end simulation
+//! throughput for the single-core scale model versus the 32-core target
+//! (the raw material of the paper's 28x speedup claim).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sms_core::scaling::{scale_config, ScalingPolicy};
+use sms_sim::cache::Cache;
+use sms_sim::config::{CacheConfig, SystemConfig};
+use sms_sim::dram::Dram;
+use sms_sim::system::{MulticoreSystem, RunSpec};
+use sms_sim::trace::InstructionSource;
+use sms_workloads::generator::SyntheticSource;
+use sms_workloads::mix::MixSpec;
+use sms_workloads::spec::by_name;
+
+fn bench_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache");
+    group.throughput(Throughput::Elements(1024));
+    group.bench_function("l1d_hit_loop", |b| {
+        let mut cache = Cache::new(&CacheConfig::new_kib(32, 8, 4));
+        for line in 0..512u64 {
+            cache.fill(line, false, 0);
+        }
+        b.iter(|| {
+            let mut hits = 0u64;
+            for line in 0..1024u64 {
+                if cache.access(line & 511, false) {
+                    hits += 1;
+                }
+            }
+            hits
+        });
+    });
+    group.bench_function("llc_slice_miss_fill", |b| {
+        let mut cache = Cache::new(&CacheConfig::new_kib(1024, 64, 30));
+        let mut line = 0u64;
+        b.iter(|| {
+            let mut evicted = 0u64;
+            for _ in 0..1024 {
+                line = line.wrapping_add(97);
+                if !cache.access(line, false) && cache.fill(line, false, 0).is_some() {
+                    evicted += 1;
+                }
+            }
+            evicted
+        });
+    });
+    group.finish();
+}
+
+fn bench_dram(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dram");
+    group.throughput(Throughput::Elements(1024));
+    group.bench_function("queued_reads", |b| {
+        let mut dram = Dram::new(&sms_sim::config::DramConfig {
+            num_controllers: 8,
+            controller_bandwidth_gbps: 16.0,
+            base_latency: 240,
+            row_buffer: None,
+        });
+        let mut now = 0u64;
+        b.iter(|| {
+            let mut total = 0u64;
+            for i in 0..1024u64 {
+                now += 3;
+                total += dram.read(i * 7, now).latency;
+            }
+            total
+        });
+    });
+    group.finish();
+}
+
+fn bench_generator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("workloads");
+    group.throughput(Throughput::Elements(4096));
+    for name in ["lbm_r", "mcf_r", "exchange2_r"] {
+        group.bench_with_input(BenchmarkId::new("next_op", name), name, |b, name| {
+            let mut src = SyntheticSource::new(by_name(name).unwrap(), 0, 1);
+            b.iter(|| {
+                let mut acc = 0u64;
+                for _ in 0..4096 {
+                    acc = acc.wrapping_add(src.next_op().instruction_count());
+                }
+                acc
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_simulation(c: &mut Criterion) {
+    let target = SystemConfig::target_32core();
+    let mut group = c.benchmark_group("simulation");
+    group.sample_size(10);
+    for cores in [1u32, 32] {
+        group.bench_with_input(
+            BenchmarkId::new("gcc_homogeneous", cores),
+            &cores,
+            |b, &cores| {
+                b.iter(|| {
+                    let cfg = if cores == target.num_cores {
+                        target.clone()
+                    } else {
+                        scale_config(&target, cores, ScalingPolicy::prs())
+                    };
+                    let mix = MixSpec::homogeneous("gcc_r", cores as usize, 42);
+                    let mut sys = MulticoreSystem::new(cfg, mix.sources()).unwrap();
+                    sys.run(RunSpec {
+                        warmup_instructions: 5_000,
+                        measure_instructions: 50_000,
+                    })
+                    .unwrap()
+                    .elapsed_cycles
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_cache,
+    bench_dram,
+    bench_generator,
+    bench_simulation
+);
+criterion_main!(benches);

@@ -1,0 +1,5 @@
+//! Extension bench: predicting a 64-core next-generation target.
+fn main() {
+    let mut ctx = sms_bench::Ctx::from_env();
+    sms_bench::experiments::ext_64core::run(&mut ctx).emit(&ctx);
+}

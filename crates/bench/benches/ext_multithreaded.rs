@@ -1,0 +1,5 @@
+//! Extension bench: scale models for data-parallel multi-threaded workloads.
+fn main() {
+    let mut ctx = sms_bench::Ctx::from_env();
+    sms_bench::experiments::ext_multithreaded::run(&mut ctx).emit(&ctx);
+}

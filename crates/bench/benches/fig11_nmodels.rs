@@ -1,0 +1,5 @@
+//! Bench target reproducing fig11 of the paper.
+fn main() {
+    let mut ctx = sms_bench::Ctx::from_env();
+    sms_bench::experiments::fig11::run(&mut ctx).emit(&ctx);
+}

@@ -1,0 +1,5 @@
+//! Bench target reproducing fig3 of the paper.
+fn main() {
+    let mut ctx = sms_bench::Ctx::from_env();
+    sms_bench::experiments::fig3::run(&mut ctx).emit(&ctx);
+}

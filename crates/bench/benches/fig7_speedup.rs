@@ -1,0 +1,5 @@
+//! Bench target reproducing fig7 of the paper.
+fn main() {
+    let mut ctx = sms_bench::Ctx::from_env();
+    sms_bench::experiments::fig7::run(&mut ctx).emit(&ctx);
+}

@@ -1,0 +1,5 @@
+//! Bench target reproducing fig9 of the paper.
+fn main() {
+    let mut ctx = sms_bench::Ctx::from_env();
+    sms_bench::experiments::fig9::run(&mut ctx).emit(&ctx);
+}

@@ -1,0 +1,5 @@
+//! Bench target regenerating Table I/II (pure configuration).
+fn main() {
+    let ctx = sms_bench::Ctx::from_env();
+    sms_bench::experiments::table1::run(&ctx).emit(&ctx);
+}

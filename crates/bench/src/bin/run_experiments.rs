@@ -1,0 +1,75 @@
+//! Run every experiment in sequence, printing each report and writing it
+//! under `results/figures/`.
+//!
+//! Usage: `cargo run --release -p sms-bench --bin run_experiments [ids...]`
+//! with optional figure ids (e.g. `fig4 fig5`) to run a subset.
+
+use sms_bench::ctx::Ctx;
+use sms_bench::experiments as ex;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let want = |id: &str| args.is_empty() || args.iter().any(|a| a == id);
+    let mut ctx = Ctx::from_env();
+    eprintln!(
+        "budget: {} instructions, threads: {}, results: {}",
+        ctx.cfg.spec.measure_instructions,
+        ctx.threads,
+        ctx.results_dir.display()
+    );
+
+    if want("table1") {
+        ex::table1::run(&ctx).emit(&ctx);
+    }
+    if want("fig3") {
+        ex::fig3::run(&mut ctx).emit(&ctx);
+    }
+    if want("fig4") {
+        ex::fig4::run(&mut ctx).emit(&ctx);
+    }
+    if want("fig5") {
+        ex::fig5::run(&mut ctx).emit(&ctx);
+    }
+    if want("fig6") {
+        ex::fig6::run(&mut ctx).emit(&ctx);
+    }
+    if want("fig7") {
+        ex::fig7::run(&mut ctx).emit(&ctx);
+    }
+    if want("fig8") {
+        ex::fig8::run(&mut ctx).emit(&ctx);
+    }
+    if want("fig9") {
+        ex::fig9::run(&mut ctx).emit(&ctx);
+    }
+    if want("fig10") {
+        ex::fig10::run(&mut ctx).emit(&ctx);
+    }
+    if want("fig11") {
+        ex::fig11::run(&mut ctx).emit(&ctx);
+    }
+    if want("fig12") {
+        ex::fig12::run(&mut ctx).emit(&ctx);
+    }
+    if want("ext_64core") {
+        ex::ext_64core::run(&mut ctx).emit(&ctx);
+    }
+    if want("ext_multithreaded") {
+        ex::ext_multithreaded::run(&mut ctx).emit(&ctx);
+    }
+    if want("ablation_quantum") {
+        ex::ablations::quantum(&mut ctx).emit(&ctx);
+    }
+    if want("ablation_svr") {
+        ex::ablations::svr(&mut ctx).emit(&ctx);
+    }
+    if want("ablation_replacement") {
+        ex::ablations::replacement(&mut ctx).emit(&ctx);
+    }
+    if want("ablation_rowbuffer") {
+        ex::ablations::row_buffer(&mut ctx).emit(&ctx);
+    }
+    if want("ablation_krr") {
+        ex::ablations::krr(&mut ctx).emit(&ctx);
+    }
+}

@@ -1,0 +1,212 @@
+//! Ablation studies for design choices called out in DESIGN.md:
+//! the windowed-synchronization quantum (accuracy vs simulation speed) and
+//! the SVR hyper-parameters.
+
+use sms_core::pipeline::{predict_homogeneous_loo, DirectSim, Simulate, TargetMetric};
+use sms_core::predictor::{MlKind, ModelParams};
+use sms_core::scaling::{scale_config, ScalingPolicy};
+use sms_ml::svr::SvrParams;
+use sms_sim::cache::ReplacementPolicy;
+use sms_sim::dram::RowBufferConfig;
+use sms_workloads::mix::MixSpec;
+
+use crate::ctx::{Ctx, Report};
+use crate::experiments::common::{errors, homogeneous_data, summarize, ML_SEED};
+use crate::table::{pct, render};
+
+/// Sweep the barrier-synchronization quantum on an 8-core PRS scale model
+/// and report how per-core IPC and host time move relative to the
+/// finest-grained setting.
+pub fn quantum(ctx: &mut Ctx) -> Report {
+    let quanta = [100u64, 500, 1_000, 5_000, 20_000];
+    let benches = ["lbm_r", "mcf_r", "gcc_r", "leela_r"];
+    let base_cfg = scale_config(&ctx.cfg.target, 8, ScalingPolicy::prs());
+
+    let mut per_quantum: Vec<(u64, f64, f64)> = Vec::new(); // (q, mean ipc, host s)
+    for &q in &quanta {
+        let mut cfg = base_cfg.clone();
+        cfg.sync_quantum = q;
+        let mut ipc_sum = 0.0;
+        let mut host = 0.0;
+        for b in benches {
+            let mix = MixSpec::homogeneous(b, 8, ctx.cfg.seed);
+            let r = ctx.cache.run_mix(&cfg, &mix, ctx.cfg.spec);
+            ipc_sum += r.cores.iter().map(|c| c.ipc).sum::<f64>() / r.cores.len() as f64;
+            host += r.host_seconds;
+        }
+        per_quantum.push((q, ipc_sum / benches.len() as f64, host));
+    }
+
+    let (_, ipc_ref, _) = per_quantum[0];
+    let rows: Vec<Vec<String>> = per_quantum
+        .iter()
+        .map(|&(q, ipc, host)| {
+            vec![
+                q.to_string(),
+                format!("{ipc:.4}"),
+                pct((ipc / ipc_ref - 1.0).abs()),
+                format!("{host:.2}s"),
+            ]
+        })
+        .collect();
+    let body = render(
+        &["quantum (cycles)", "mean IPC", "|Δ| vs 100", "host time"],
+        &rows,
+    );
+    Report {
+        id: "ablation_quantum",
+        title: "Synchronization-quantum sensitivity (8-core PRS scale model)",
+        body,
+    }
+}
+
+/// Sweep SVR hyper-parameters (C, epsilon) for homogeneous SVM-based
+/// prediction and report the average error per setting.
+pub fn svr(ctx: &mut Ctx) -> Report {
+    let ms = ctx.cfg.ms_cores.clone();
+    let data = homogeneous_data(ctx, ScalingPolicy::prs(), &ms);
+    let truth: Vec<f64> = data.iter().map(|d| d.target_ipc).collect();
+
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for c in [0.1, 1.0, 10.0, 100.0] {
+        for epsilon in [0.001, 0.01, 0.1] {
+            let params = ModelParams {
+                svr: SvrParams {
+                    c,
+                    epsilon,
+                    ..SvrParams::default()
+                },
+                ..ModelParams::default()
+            };
+            let p = predict_homogeneous_loo(
+                &data,
+                MlKind::Svm,
+                ctx.cfg.mode,
+                TargetMetric::Ipc,
+                &params,
+                ctx.cfg.target.num_cores,
+                ML_SEED,
+            );
+            let (mean, max) = summarize(&errors(&p, &truth));
+            rows.push(vec![
+                format!("{c}"),
+                format!("{epsilon}"),
+                pct(mean),
+                pct(max),
+            ]);
+        }
+    }
+    let body = render(&["C", "epsilon", "avg error", "max error"], &rows);
+    Report {
+        id: "ablation_svr",
+        title: "SVR hyper-parameter sweep (homogeneous SVM prediction)",
+        body,
+    }
+}
+
+/// Sweep the LLC replacement policy on an 8-core PRS scale model and
+/// report per-benchmark IPC and LLC hit-rate shifts relative to true LRU.
+pub fn replacement(ctx: &mut Ctx) -> Report {
+    let benches = ["xz_r", "omnetpp_r", "roms_r", "leela_r"];
+    let policies = [
+        ("LRU", ReplacementPolicy::Lru),
+        ("TreePLRU", ReplacementPolicy::TreePlru),
+        ("SRRIP", ReplacementPolicy::Srrip),
+        ("Random", ReplacementPolicy::Random),
+    ];
+    let base_cfg = scale_config(&ctx.cfg.target, 8, ScalingPolicy::prs());
+
+    let mut rows = Vec::new();
+    for b in benches {
+        let mut cells = vec![b.to_owned()];
+        let mut lru_ipc = 0.0;
+        for (i, (_, policy)) in policies.iter().enumerate() {
+            let mut cfg = base_cfg.clone();
+            cfg.llc.slice.policy = *policy;
+            let mix = MixSpec::homogeneous(b, 8, ctx.cfg.seed);
+            // Direct runs: policy variants are one-off studies, not worth
+            // polluting the persistent cache namespace.
+            let r = DirectSim.run_mix(&cfg, &mix, ctx.cfg.spec);
+            let ipc = r.cores.iter().map(|c| c.ipc).sum::<f64>() / r.cores.len() as f64;
+            if i == 0 {
+                lru_ipc = ipc;
+                cells.push(format!("{ipc:.4}"));
+            } else {
+                cells.push(format!("{:+.1}%", (ipc / lru_ipc - 1.0) * 100.0));
+            }
+        }
+        rows.push(cells);
+    }
+    let body = render(
+        &["benchmark", "LRU IPC", "TreePLRU", "SRRIP", "Random"],
+        &rows,
+    );
+    Report {
+        id: "ablation_replacement",
+        title: "LLC replacement-policy sensitivity (8-core PRS scale model)",
+        body,
+    }
+}
+
+/// Compare the flat-latency DRAM model against the open-page row-buffer
+/// model on the single-core PRS scale model, for a streaming, a chasing
+/// and a compute benchmark.
+pub fn row_buffer(ctx: &mut Ctx) -> Report {
+    let benches = ["lbm_r", "mcf_r", "xz_r", "leela_r"];
+    let base_cfg = scale_config(&ctx.cfg.target, 1, ScalingPolicy::prs());
+
+    let mut rows = Vec::new();
+    for b in benches {
+        let mix = MixSpec::homogeneous(b, 1, ctx.cfg.seed);
+        let flat = DirectSim.run_mix(&base_cfg, &mix, ctx.cfg.spec);
+        let mut cfg = base_cfg.clone();
+        cfg.dram.row_buffer = Some(RowBufferConfig::default());
+        let paged = DirectSim.run_mix(&cfg, &mix, ctx.cfg.spec);
+        rows.push(vec![
+            b.to_owned(),
+            format!("{:.4}", flat.cores[0].ipc),
+            format!("{:.4}", paged.cores[0].ipc),
+            format!(
+                "{:+.1}%",
+                (paged.cores[0].ipc / flat.cores[0].ipc - 1.0) * 100.0
+            ),
+        ]);
+    }
+    let body = render(&["benchmark", "flat IPC", "open-page IPC", "delta"], &rows);
+    Report {
+        id: "ablation_rowbuffer",
+        title: "DRAM row-buffer model sensitivity (1-core PRS scale model)",
+        body,
+    }
+}
+
+/// Compare SVR against kernel ridge regression (same RBF hypothesis
+/// space, squared loss instead of the ε-insensitive loss) on the
+/// homogeneous prediction task — a beyond-the-paper loss-function study.
+pub fn krr(ctx: &mut Ctx) -> Report {
+    let ms = ctx.cfg.ms_cores.clone();
+    let data = homogeneous_data(ctx, ScalingPolicy::prs(), &ms);
+    let truth: Vec<f64> = data.iter().map(|d| d.target_ipc).collect();
+    let params = ModelParams::default();
+
+    let mut rows = Vec::new();
+    for kind in [MlKind::Svm, MlKind::KernelRidge] {
+        let p = predict_homogeneous_loo(
+            &data,
+            kind,
+            ctx.cfg.mode,
+            TargetMetric::Ipc,
+            &params,
+            ctx.cfg.target.num_cores,
+            ML_SEED,
+        );
+        let (mean, max) = summarize(&errors(&p, &truth));
+        rows.push(vec![kind.to_string(), pct(mean), pct(max)]);
+    }
+    let body = render(&["model", "avg error", "max error"], &rows);
+    Report {
+        id: "ablation_krr",
+        title: "SVR vs kernel ridge regression (homogeneous prediction)",
+        body,
+    }
+}

@@ -1,0 +1,83 @@
+//! Shared helpers for the per-figure experiment drivers.
+
+use sms_core::metrics::prediction_error;
+use sms_core::pipeline::{
+    collect_heterogeneous, collect_homogeneous, heterogeneous_plan, homogeneous_plan,
+    BenchScaleData, ExperimentConfig, HeteroSizing, HeterogeneousData,
+};
+use sms_core::scaling::ScalingPolicy;
+use sms_workloads::spec::suite;
+
+use crate::ctx::Ctx;
+use crate::runner::execute_plan;
+
+/// Collect homogeneous scale-model data for the full suite under a policy,
+/// executing missing simulations first. Results are sorted by single-core
+/// LLC MPKI (the paper's Fig 3/4 x-axis ordering).
+pub fn homogeneous_data(
+    ctx: &mut Ctx,
+    policy: ScalingPolicy,
+    ms_cores: &[u32],
+) -> Vec<BenchScaleData> {
+    let cfg = ExperimentConfig {
+        policy,
+        ms_cores: ms_cores.to_vec(),
+        ..ctx.cfg.clone()
+    };
+    let bench_suite = suite();
+    let plan = homogeneous_plan(&cfg, &bench_suite);
+    execute_plan(&ctx.cache, &plan, cfg.spec, ctx.threads, "homogeneous");
+    let mut data = collect_homogeneous(&mut ctx.cache, &cfg, &bench_suite);
+    data.sort_by(|a, b| a.ss_llc_mpki.total_cmp(&b.ss_llc_mpki));
+    data
+}
+
+/// Collect heterogeneous data (paper §IV-2 sizing, with `eval_mixes`
+/// target-system evaluation mixes).
+pub fn heterogeneous_data(ctx: &mut Ctx, eval_mixes: usize) -> HeterogeneousData {
+    let sizing = HeteroSizing {
+        eval_mixes,
+        ..HeteroSizing::default()
+    };
+    let bench_suite = suite();
+    let plan = heterogeneous_plan(&ctx.cfg, &bench_suite, sizing);
+    execute_plan(
+        &ctx.cache,
+        &plan,
+        ctx.cfg.spec,
+        ctx.threads,
+        "heterogeneous",
+    );
+    collect_heterogeneous(&mut ctx.cache, &ctx.cfg.clone(), &bench_suite, sizing)
+}
+
+/// Per-element absolute relative errors.
+pub fn errors(pred: &[f64], truth: &[f64]) -> Vec<f64> {
+    pred.iter()
+        .zip(truth)
+        .map(|(&p, &t)| prediction_error(p, t))
+        .collect()
+}
+
+/// `(mean, max)` of a non-empty error slice.
+pub fn summarize(errs: &[f64]) -> (f64, f64) {
+    (sms_core::metrics::mean(errs), sms_core::metrics::max(errs))
+}
+
+/// Seed used for all ML model training in the experiment drivers.
+pub const ML_SEED: u64 = 1234;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_and_summary() {
+        let e = errors(&[1.1, 0.8], &[1.0, 1.0]);
+        assert!((e[0] - 0.1).abs() < 1e-12);
+        assert!((e[1] - 0.2).abs() < 1e-12);
+        let (mean, max) = summarize(&e);
+        assert!((mean - 0.15).abs() < 1e-12);
+        assert!((max - 0.2).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,115 @@
+//! Extension experiment (paper §V-E6, future work): does scale-model
+//! simulation transfer to *data-parallel multi-threaded* workloads?
+//!
+//! The paper conjectures yes — threads execute the same code on different
+//! data with no communication, so the workload should behave like the
+//! homogeneous multiprogram mixes. For each benchmark we measure the
+//! single-core-scale-model (No-Extrapolation) error for both workload
+//! classes on the 32-core target and compare.
+
+use sms_core::pipeline::Simulate;
+use sms_core::scaling::{scale_config, ScalingPolicy};
+use sms_sim::stats::SimResult;
+use sms_sim::system::RunSpec;
+use sms_workloads::mix::MixSpec;
+use sms_workloads::multithreaded::data_parallel_sources;
+use sms_workloads::spec::by_name;
+
+use crate::ctx::{Ctx, Report};
+use crate::table::{pct, render};
+
+fn mean_ipc(r: &SimResult) -> f64 {
+    r.cores.iter().map(|c| c.ipc).sum::<f64>() / r.cores.len() as f64
+}
+
+/// Run the multi-threaded transfer experiment.
+pub fn run(ctx: &mut Ctx) -> Report {
+    let benchmarks = [
+        "roms_r",
+        "wrf_r",
+        "cactuBSSN_r",
+        "xz_r",
+        "namd_r",
+        "fotonik3d_r",
+    ];
+    let spec = RunSpec {
+        warmup_instructions: ctx.cfg.spec.warmup_instructions / 2,
+        measure_instructions: ctx.cfg.spec.measure_instructions / 2,
+    };
+    let target = ctx.cfg.target.clone();
+    let ss_cfg = scale_config(&target, 1, ScalingPolicy::prs());
+    let t = target.num_cores;
+
+    let mut rows = Vec::new();
+    let mut mp_sum = 0.0;
+    let mut mt_sum = 0.0;
+    for name in benchmarks {
+        let profile = by_name(name).expect("known benchmark");
+
+        // Multiprogram (cached: plain mixes).
+        let mp_ss = ctx
+            .cache
+            .run_mix(&ss_cfg, &MixSpec::homogeneous(name, 1, ctx.cfg.seed), spec);
+        let mp_tgt = ctx.cache.run_mix(
+            &target,
+            &MixSpec::homogeneous(name, t as usize, ctx.cfg.seed),
+            spec,
+        );
+        let mp_err = (mp_ss.cores[0].ipc - mean_ipc(&mp_tgt)).abs() / mean_ipc(&mp_tgt);
+
+        // Data-parallel multi-threaded (uncached: sources are not MixSpecs).
+        let mt_ss = {
+            let mut sys = sms_sim::system::MulticoreSystem::new(
+                ss_cfg.clone(),
+                data_parallel_sources(&profile, 1, ctx.cfg.seed),
+            )
+            .expect("valid");
+            sys.run(spec).expect("runs")
+        };
+        let mt_tgt = {
+            let mut sys = sms_sim::system::MulticoreSystem::new(
+                target.clone(),
+                data_parallel_sources(&profile, t, ctx.cfg.seed),
+            )
+            .expect("valid");
+            sys.run(spec).expect("runs")
+        };
+        let mt_err = (mt_ss.cores[0].ipc - mean_ipc(&mt_tgt)).abs() / mean_ipc(&mt_tgt);
+
+        mp_sum += mp_err;
+        mt_sum += mt_err;
+        rows.push(vec![
+            name.to_owned(),
+            pct(mp_err),
+            pct(mt_err),
+            format!("{:.3}", mean_ipc(&mt_tgt)),
+            format!("{:.3}", mt_ss.cores[0].ipc),
+        ]);
+    }
+
+    let n = benchmarks.len() as f64;
+    let mut body = render(
+        &[
+            "benchmark",
+            "multiprogram err",
+            "multithreaded err",
+            "mt target IPC",
+            "mt 1-core IPC",
+        ],
+        &rows,
+    );
+    body.push('\n');
+    body.push_str(&format!(
+        "avg multiprogram error {:>6}   avg data-parallel error {:>6}\n",
+        pct(mp_sum / n),
+        pct(mt_sum / n)
+    ));
+    body.push_str(
+        "the conjecture holds if the data-parallel errors track the\nmultiprogram errors (paper §V-E6).\n",
+    );
+    Report {
+        id: "ext_multithreaded",
+        title: "Extension: scale models for data-parallel multi-threaded workloads",
+        body,
+    }
+}

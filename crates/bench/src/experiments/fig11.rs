@@ -1,0 +1,61 @@
+//! Figure 11: number of multi-core scale models used by SVM-log
+//! regression.
+//!
+//! Paper result: fewer scale models degrade accuracy only slightly —
+//! 11.0% with {2,4}, 9.7% with {2,4,8}, 8.0% with {2,4,8,16} — so
+//! training time can be traded for a small accuracy loss.
+
+use sms_core::pipeline::{regress_homogeneous_loo, TargetMetric};
+use sms_core::predictor::{MlKind, ModelParams};
+use sms_core::scaling::ScalingPolicy;
+use sms_ml::fit::CurveModel;
+
+use crate::ctx::{Ctx, Report};
+use crate::experiments::common::{errors, homogeneous_data, summarize, ML_SEED};
+use crate::table::{pct, render};
+
+/// Run the Fig 11 experiment.
+pub fn run(ctx: &mut Ctx) -> Report {
+    // Collect with the full scale-model set; subsets reuse the data.
+    let full: Vec<u32> = vec![2, 4, 8, 16];
+    let data = homogeneous_data(ctx, ScalingPolicy::prs(), &full);
+    let truth: Vec<f64> = data.iter().map(|d| d.target_ipc).collect();
+    let params = ModelParams::default();
+
+    let subsets: [&[u32]; 3] = [&[2, 4], &[2, 4, 8], &[2, 4, 8, 16]];
+    let rows: Vec<Vec<String>> = subsets
+        .iter()
+        .map(|subset| {
+            let p = regress_homogeneous_loo(
+                &data,
+                MlKind::Svm,
+                CurveModel::Logarithmic,
+                ctx.cfg.mode,
+                TargetMetric::Ipc,
+                &params,
+                subset,
+                ctx.cfg.target.num_cores,
+                ML_SEED,
+            );
+            let (mean, max) = summarize(&errors(&p, &truth));
+            let label = subset
+                .iter()
+                .map(u32::to_string)
+                .collect::<Vec<_>>()
+                .join(",");
+            vec![
+                format!("{{{label}}}"),
+                subset.len().to_string(),
+                pct(mean),
+                pct(max),
+            ]
+        })
+        .collect();
+
+    let body = render(&["scale models", "#", "avg error", "max error"], &rows);
+    Report {
+        id: "fig11",
+        title: "SVM-log accuracy vs number of multi-core scale models",
+        body,
+    }
+}

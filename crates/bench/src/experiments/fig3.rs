@@ -1,0 +1,93 @@
+//! Figure 3: evaluating scale-model *construction* with homogeneous
+//! mixes — No-Extrapolation error of the single-core scale model under
+//! NRS, PRS-LLC-only, PRS-DRAM-only and full PRS, per benchmark sorted by
+//! LLC MPKI.
+//!
+//! Paper result: NRS averages ~60% error (up to 94%); scaling LLC or DRAM
+//! alone helps partially; scaling both is synergistic (14.7% average).
+
+use sms_core::pipeline::{no_extrapolation, TargetMetric};
+use sms_core::scaling::ScalingPolicy;
+
+use crate::ctx::{Ctx, Report};
+use crate::experiments::common::{errors, homogeneous_data, summarize};
+use crate::table::{pct, render};
+
+/// Run the four construction variants and report per-benchmark errors.
+pub fn run(ctx: &mut Ctx) -> Report {
+    let policies = [
+        ("NRS", ScalingPolicy::nrs()),
+        ("PRS-LLC", ScalingPolicy::prs_llc_only()),
+        ("PRS-DRAM", ScalingPolicy::prs_dram_only()),
+        ("PRS-both", ScalingPolicy::prs()),
+    ];
+
+    // Only the single-core scale model and the target are needed.
+    let datasets: Vec<_> = policies
+        .iter()
+        .map(|(_, p)| homogeneous_data(ctx, *p, &[]))
+        .collect();
+
+    // All datasets share benchmark ordering (sorted by PRS MPKI differs per
+    // policy; re-sort each to the PRS-both order by name).
+    let order: Vec<String> = datasets[3].iter().map(|d| d.name.clone()).collect();
+    let truth: Vec<f64> = order
+        .iter()
+        .map(|n| {
+            datasets[3]
+                .iter()
+                .find(|d| &d.name == n)
+                .expect("benchmark present")
+                .target_ipc
+        })
+        .collect();
+
+    let mut per_policy_errors: Vec<Vec<f64>> = Vec::new();
+    for data in &datasets {
+        let by_name: std::collections::HashMap<&str, f64> =
+            no_extrapolation(data, TargetMetric::Ipc)
+                .into_iter()
+                .zip(data.iter())
+                .map(|(pred, d)| (d.name.as_str(), pred))
+                .collect();
+        let preds: Vec<f64> = order.iter().map(|n| by_name[n.as_str()]).collect();
+        per_policy_errors.push(errors(&preds, &truth));
+    }
+
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for (i, name) in order.iter().enumerate() {
+        rows.push(vec![
+            name.clone(),
+            format!("{:.1}", datasets[3][i].ss_llc_mpki),
+            pct(per_policy_errors[0][i]),
+            pct(per_policy_errors[1][i]),
+            pct(per_policy_errors[2][i]),
+            pct(per_policy_errors[3][i]),
+        ]);
+    }
+    let mut body = render(
+        &[
+            "benchmark",
+            "MPKI",
+            "NRS",
+            "PRS-LLC",
+            "PRS-DRAM",
+            "PRS-both",
+        ],
+        &rows,
+    );
+    body.push('\n');
+    for ((name, _), errs) in policies.iter().zip(&per_policy_errors) {
+        let (mean, max) = summarize(errs);
+        body.push_str(&format!(
+            "{name:<9} avg error {:>6}  max {:>6}\n",
+            pct(mean),
+            pct(max)
+        ));
+    }
+    Report {
+        id: "fig3",
+        title: "Scale-model construction: NRS vs PRS variants (homogeneous mixes)",
+        body,
+    }
+}

@@ -1,0 +1,117 @@
+//! Figure 4: scale-model *extrapolation* with homogeneous mixes —
+//! No Extrapolation vs ML-based Prediction (DT/RF/SVM) vs ML-based
+//! Regression (DT-log/RF-log/SVM-log), leave-one-out over the suite.
+//!
+//! Paper result: SVM prediction is most accurate (6.4% avg, 20.8% max);
+//! SVM-log regression is only slightly worse (8.0% avg, 26.4% max); all
+//! beat No Extrapolation (14.7% avg).
+
+use sms_core::pipeline::{
+    no_extrapolation, predict_homogeneous_loo, regress_homogeneous_loo, BenchScaleData,
+    TargetMetric,
+};
+use sms_core::predictor::{MlKind, ModelParams};
+use sms_core::scaling::ScalingPolicy;
+use sms_core::FeatureMode;
+use sms_ml::fit::CurveModel;
+
+use crate::ctx::{Ctx, Report};
+use crate::experiments::common::{errors, homogeneous_data, summarize, ML_SEED};
+use crate::table::{pct, render};
+
+/// Compute the seven Fig 4 method series on a homogeneous dataset.
+/// Returns `(method name, per-benchmark predictions)` in figure order.
+pub fn method_series(
+    data: &[BenchScaleData],
+    mode: FeatureMode,
+    ms_cores: &[u32],
+    curve: CurveModel,
+    target_cores: u32,
+) -> Vec<(String, Vec<f64>)> {
+    let params = ModelParams::default();
+    let mut series = vec![(
+        "NoExt".to_owned(),
+        no_extrapolation(data, TargetMetric::Ipc),
+    )];
+    for kind in MlKind::all() {
+        series.push((
+            kind.to_string(),
+            predict_homogeneous_loo(
+                data,
+                kind,
+                mode,
+                TargetMetric::Ipc,
+                &params,
+                target_cores,
+                ML_SEED,
+            ),
+        ));
+    }
+    for kind in MlKind::all() {
+        series.push((
+            format!("{kind}-{curve}"),
+            regress_homogeneous_loo(
+                data,
+                kind,
+                curve,
+                mode,
+                TargetMetric::Ipc,
+                &params,
+                ms_cores,
+                target_cores,
+                ML_SEED,
+            ),
+        ));
+    }
+    series
+}
+
+/// Render a per-benchmark error table plus mean/max summary for a set of
+/// method series.
+pub fn render_methods(data: &[BenchScaleData], series: &[(String, Vec<f64>)]) -> String {
+    let truth: Vec<f64> = data.iter().map(|d| d.target_ipc).collect();
+    let errs: Vec<Vec<f64>> = series.iter().map(|(_, p)| errors(p, &truth)).collect();
+
+    let mut headers: Vec<&str> = vec!["benchmark"];
+    for (name, _) in series {
+        headers.push(name);
+    }
+    let rows: Vec<Vec<String>> = data
+        .iter()
+        .enumerate()
+        .map(|(i, d)| {
+            let mut row = vec![d.name.clone()];
+            row.extend(errs.iter().map(|e| pct(e[i])));
+            row
+        })
+        .collect();
+    let mut out = render(&headers, &rows);
+    out.push('\n');
+    for ((name, _), e) in series.iter().zip(&errs) {
+        let (mean, max) = summarize(e);
+        out.push_str(&format!(
+            "{name:<8} avg error {:>6}  max {:>6}\n",
+            pct(mean),
+            pct(max)
+        ));
+    }
+    out
+}
+
+/// Run the Fig 4 experiment.
+pub fn run(ctx: &mut Ctx) -> Report {
+    let ms = ctx.cfg.ms_cores.clone();
+    let data = homogeneous_data(ctx, ScalingPolicy::prs(), &ms);
+    let series = method_series(
+        &data,
+        ctx.cfg.mode,
+        &ms,
+        CurveModel::Logarithmic,
+        ctx.cfg.target.num_cores,
+    );
+    Report {
+        id: "fig4",
+        title: "Scale-model extrapolation, homogeneous mixes (LOO cross-validation)",
+        body: render_methods(&data, &series),
+    }
+}

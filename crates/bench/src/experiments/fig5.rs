@@ -1,0 +1,137 @@
+//! Figure 5: extrapolation accuracy for *heterogeneous* workload mixes.
+//!
+//! Paper result: the ordering matches the homogeneous case (SVM best,
+//! SVM-log close behind) but errors are higher due to more diverse
+//! interference: 13.2% (SVM), 15.8% (SVM-log), 27.8% (No Extrapolation).
+
+use std::collections::BTreeMap;
+
+use sms_core::pipeline::{
+    per_app_errors, predict_mix_slots, regress_mix_slots, train_hetero_predictor,
+    train_hetero_regressor, HeterogeneousData, TargetMetric,
+};
+use sms_core::predictor::{MlKind, ModelParams};
+use sms_core::FeatureMode;
+use sms_ml::fit::CurveModel;
+
+use crate::ctx::{Ctx, Report};
+use crate::experiments::common::{heterogeneous_data, ML_SEED};
+use crate::table::{pct, render};
+
+/// Per-evaluation-application mean errors for the seven methods on the
+/// first `n_mixes` evaluation mixes. Returns `(method, app -> error)`.
+pub fn hetero_method_errors(
+    data: &HeterogeneousData,
+    mode: FeatureMode,
+    ms_cores: &[u32],
+    target_cores: u32,
+    n_mixes: usize,
+) -> Vec<(String, BTreeMap<String, f64>)> {
+    let params = ModelParams::default();
+    let sliced = HeterogeneousData {
+        eval_target: data.eval_target.iter().take(n_mixes).cloned().collect(),
+        ..data.clone()
+    };
+
+    let mut out = Vec::new();
+
+    // No Extrapolation: the app's single-core scale-model IPC.
+    let noext_preds: Vec<Vec<f64>> = sliced
+        .eval_target
+        .iter()
+        .map(|run| {
+            run.mix
+                .benchmarks
+                .iter()
+                .map(|n| sliced.ss[n].ipc)
+                .collect()
+        })
+        .collect();
+    out.push((
+        "NoExt".to_owned(),
+        per_app_errors(&sliced, &noext_preds).into_iter().collect(),
+    ));
+
+    for kind in MlKind::all() {
+        let predictor = train_hetero_predictor(
+            &sliced,
+            kind,
+            mode,
+            TargetMetric::Ipc,
+            &params,
+            target_cores,
+            ML_SEED,
+        );
+        let preds: Vec<Vec<f64>> = sliced
+            .eval_target
+            .iter()
+            .map(|run| predict_mix_slots(&predictor, &sliced.ss, &run.mix, mode, target_cores))
+            .collect();
+        out.push((
+            kind.to_string(),
+            per_app_errors(&sliced, &preds).into_iter().collect(),
+        ));
+    }
+
+    for kind in MlKind::all() {
+        let ex = train_hetero_regressor(
+            &sliced,
+            kind,
+            CurveModel::Logarithmic,
+            mode,
+            TargetMetric::Ipc,
+            &params,
+            ML_SEED,
+        );
+        let preds: Vec<Vec<f64>> = sliced
+            .eval_target
+            .iter()
+            .map(|run| regress_mix_slots(&ex, &sliced.ss, &run.mix, mode, ms_cores, target_cores))
+            .collect();
+        out.push((
+            format!("{kind}-log"),
+            per_app_errors(&sliced, &preds).into_iter().collect(),
+        ));
+    }
+    out
+}
+
+/// Run the Fig 5 experiment (10 evaluation mixes, paper §IV-2).
+pub fn run(ctx: &mut Ctx) -> Report {
+    // Collect with 80 eval mixes so Fig 6 shares the same dataset; Fig 5
+    // uses the first 10.
+    let data = heterogeneous_data(ctx, 80);
+    let ms = ctx.cfg.ms_cores.clone();
+    let methods = hetero_method_errors(&data, ctx.cfg.mode, &ms, ctx.cfg.target.num_cores, 10);
+
+    let apps: Vec<&String> = methods[0].1.keys().collect();
+    let mut headers: Vec<&str> = vec!["application"];
+    for (name, _) in &methods {
+        headers.push(name);
+    }
+    let rows: Vec<Vec<String>> = apps
+        .iter()
+        .map(|app| {
+            let mut row = vec![(*app).clone()];
+            row.extend(methods.iter().map(|(_, m)| pct(m[*app])));
+            row
+        })
+        .collect();
+    let mut body = render(&headers, &rows);
+    body.push('\n');
+    for (name, m) in &methods {
+        let errs: Vec<f64> = m.values().copied().collect();
+        let mean = sms_core::metrics::mean(&errs);
+        let max = sms_core::metrics::max(&errs);
+        body.push_str(&format!(
+            "{name:<8} avg error {:>6}  max {:>6}\n",
+            pct(mean),
+            pct(max)
+        ));
+    }
+    Report {
+        id: "fig5",
+        title: "Scale-model extrapolation, heterogeneous mixes",
+        body,
+    }
+}

@@ -1,0 +1,97 @@
+//! Figure 6: system-throughput (STP) prediction error for ML-based
+//! regression across 80 heterogeneous mixes.
+//!
+//! Paper result: SVM-log predicts STP with 3.8% average error (max 13%);
+//! STP errors are *lower* than per-application errors because over- and
+//! under-estimations cancel in the sum of normalized IPCs.
+
+use sms_core::metrics::stp;
+use sms_core::pipeline::{
+    regress_mix_slots, train_hetero_regressor, HeterogeneousData, TargetMetric,
+};
+use sms_core::predictor::{MlKind, ModelParams};
+use sms_core::FeatureMode;
+use sms_ml::fit::CurveModel;
+
+use crate::ctx::{Ctx, Report};
+use crate::experiments::common::{heterogeneous_data, summarize, ML_SEED};
+use crate::table::{pct, render};
+
+/// Per-mix STP prediction errors (sorted ascending) for one regression
+/// method.
+pub fn stp_errors(
+    data: &HeterogeneousData,
+    kind: MlKind,
+    mode: FeatureMode,
+    ms_cores: &[u32],
+    target_cores: u32,
+) -> Vec<f64> {
+    let ex = train_hetero_regressor(
+        data,
+        kind,
+        CurveModel::Logarithmic,
+        mode,
+        TargetMetric::Ipc,
+        &ModelParams::default(),
+        ML_SEED,
+    );
+    let mut errs: Vec<f64> = data
+        .eval_target
+        .iter()
+        .map(|run| {
+            let ss_ipcs: Vec<f64> = run.mix.benchmarks.iter().map(|n| data.ss[n].ipc).collect();
+            let truth = stp(&run.slot_ipc, &ss_ipcs);
+            let preds = regress_mix_slots(&ex, &data.ss, &run.mix, mode, ms_cores, target_cores);
+            let predicted = stp(&preds, &ss_ipcs);
+            sms_core::metrics::prediction_error(predicted, truth)
+        })
+        .collect();
+    errs.sort_by(f64::total_cmp);
+    errs
+}
+
+/// Run the Fig 6 experiment.
+pub fn run(ctx: &mut Ctx) -> Report {
+    let data = heterogeneous_data(ctx, 80);
+    let ms = ctx.cfg.ms_cores.clone();
+    let methods: Vec<(String, Vec<f64>)> = MlKind::all()
+        .into_iter()
+        .map(|kind| {
+            (
+                format!("{kind}-log"),
+                stp_errors(&data, kind, ctx.cfg.mode, &ms, ctx.cfg.target.num_cores),
+            )
+        })
+        .collect();
+
+    let n = methods[0].1.len();
+    let mut headers: Vec<&str> = vec!["mix (sorted)"];
+    for (name, _) in &methods {
+        headers.push(name);
+    }
+    // Print every 8th mix to keep the table readable; the summary uses all.
+    let rows: Vec<Vec<String>> = (0..n)
+        .step_by(8)
+        .map(|i| {
+            let mut row = vec![format!("#{i}")];
+            row.extend(methods.iter().map(|(_, e)| pct(e[i])));
+            row
+        })
+        .collect();
+    let mut body = render(&headers, &rows);
+    body.push('\n');
+    for (name, errs) in &methods {
+        let (mean, max) = summarize(errs);
+        body.push_str(&format!(
+            "{name:<8} avg STP error {:>6}  max {:>6}  ({} mixes)\n",
+            pct(mean),
+            pct(max),
+            errs.len()
+        ));
+    }
+    Report {
+        id: "fig6",
+        title: "STP prediction error, ML-based regression over 80 heterogeneous mixes",
+        body,
+    }
+}

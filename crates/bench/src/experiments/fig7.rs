@@ -1,0 +1,140 @@
+//! Figure 7: prediction error versus simulation speedup.
+//!
+//! The No-Extrapolation curve has five points (16-, 8-, 4-, 2- and
+//! 1-core scale models): larger scale models are more accurate but slower
+//! to simulate. SVM prediction and SVM-log regression need only the
+//! single-core scale model, so they sit at the maximum speedup (the
+//! paper's 28x) with near-best accuracy.
+
+use sms_core::pipeline::{
+    predict_homogeneous_loo, regress_homogeneous_loo, BenchScaleData, TargetMetric,
+};
+use sms_core::predictor::{MlKind, ModelParams};
+use sms_core::scaling::ScalingPolicy;
+use sms_ml::fit::CurveModel;
+
+use crate::ctx::{Ctx, Report};
+use crate::experiments::common::{errors, homogeneous_data, summarize, ML_SEED};
+use crate::table::{pct, render, times};
+
+/// One point of the error-vs-speedup trade-off.
+#[derive(Debug, Clone)]
+pub struct TradeoffPoint {
+    /// Method label.
+    pub label: String,
+    /// Mean prediction error.
+    pub mean_error: f64,
+    /// Simulation speedup relative to simulating the target system.
+    pub speedup: f64,
+}
+
+/// Compute the Fig 7 trade-off points from homogeneous data.
+pub fn tradeoff_points(
+    data: &[BenchScaleData],
+    ms_cores: &[u32],
+    target_cores: u32,
+) -> Vec<TradeoffPoint> {
+    let truth: Vec<f64> = data.iter().map(|d| d.target_ipc).collect();
+    let total_target_host: f64 = data.iter().map(|d| d.target_host_seconds).sum();
+    let total_ss_host: f64 = data.iter().map(|d| d.ss_host_seconds).sum();
+
+    let mut points = Vec::new();
+
+    // No-Extrapolation with the X-core scale model: per-core IPC on the
+    // scale model predicts per-core target IPC.
+    let mut sizes: Vec<u32> = ms_cores.to_vec();
+    sizes.sort_unstable();
+    for &cores in sizes.iter().rev() {
+        let preds: Vec<f64> = data
+            .iter()
+            .map(|d| {
+                d.ms_ipc
+                    .iter()
+                    .find(|(c, _)| *c == cores)
+                    .expect("scale model measured")
+                    .1
+            })
+            .collect();
+        let host: f64 = data
+            .iter()
+            .map(|d| {
+                d.ms_host_seconds
+                    .iter()
+                    .find(|(c, _)| *c == cores)
+                    .expect("scale model measured")
+                    .1
+            })
+            .sum();
+        let (mean, _) = summarize(&errors(&preds, &truth));
+        points.push(TradeoffPoint {
+            label: format!("NoExt-{cores}core"),
+            mean_error: mean,
+            speedup: total_target_host / host,
+        });
+    }
+
+    // 1-core No-Extrapolation.
+    let ss_preds: Vec<f64> = data.iter().map(|d| d.ss.ipc).collect();
+    let (mean, _) = summarize(&errors(&ss_preds, &truth));
+    points.push(TradeoffPoint {
+        label: "NoExt-1core".to_owned(),
+        mean_error: mean,
+        speedup: total_target_host / total_ss_host,
+    });
+
+    // SVM prediction and SVM-log regression: only the single-core scale
+    // model is simulated at prediction time.
+    let params = ModelParams::default();
+    let svm = predict_homogeneous_loo(
+        data,
+        MlKind::Svm,
+        sms_core::FeatureMode::IpcBandwidth,
+        TargetMetric::Ipc,
+        &params,
+        target_cores,
+        ML_SEED,
+    );
+    let (mean, _) = summarize(&errors(&svm, &truth));
+    points.push(TradeoffPoint {
+        label: "SVM".to_owned(),
+        mean_error: mean,
+        speedup: total_target_host / total_ss_host,
+    });
+
+    let svm_log = regress_homogeneous_loo(
+        data,
+        MlKind::Svm,
+        CurveModel::Logarithmic,
+        sms_core::FeatureMode::IpcBandwidth,
+        TargetMetric::Ipc,
+        &params,
+        ms_cores,
+        target_cores,
+        ML_SEED,
+    );
+    let (mean, _) = summarize(&errors(&svm_log, &truth));
+    points.push(TradeoffPoint {
+        label: "SVM-log".to_owned(),
+        mean_error: mean,
+        speedup: total_target_host / total_ss_host,
+    });
+
+    points
+}
+
+/// Run the Fig 7 experiment.
+pub fn run(ctx: &mut Ctx) -> Report {
+    let ms = ctx.cfg.ms_cores.clone();
+    let data = homogeneous_data(ctx, ScalingPolicy::prs(), &ms);
+    let points = tradeoff_points(&data, &ms, ctx.cfg.target.num_cores);
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| vec![p.label.clone(), pct(p.mean_error), times(p.speedup)])
+        .collect();
+    let body = render(&["method", "avg error", "speedup"], &rows);
+    Report {
+        id: "fig7",
+        title: "Prediction error versus simulation speedup",
+        body,
+    }
+}

@@ -1,0 +1,79 @@
+//! Figure 8: MC-first versus MB-first memory-bandwidth scaling under PRS.
+//!
+//! Paper result: scaling the number of memory controllers first yields
+//! more accurate scale models, especially for the ML-based regression
+//! techniques (SVM-log: 9.3% → 8.0%; DT-log: 14.1% → 9.5%).
+
+use sms_core::pipeline::{regress_homogeneous_loo, BenchScaleData, TargetMetric};
+use sms_core::predictor::{MlKind, ModelParams};
+use sms_core::scaling::ScalingPolicy;
+use sms_ml::fit::CurveModel;
+
+use crate::ctx::{Ctx, Report};
+use crate::experiments::common::{errors, homogeneous_data, summarize, ML_SEED};
+use crate::table::{pct, render};
+
+fn noext_errors_at(data: &[BenchScaleData], cores: u32) -> Vec<f64> {
+    let truth: Vec<f64> = data.iter().map(|d| d.target_ipc).collect();
+    let preds: Vec<f64> = data
+        .iter()
+        .map(|d| {
+            d.ms_ipc
+                .iter()
+                .find(|(c, _)| *c == cores)
+                .expect("measured")
+                .1
+        })
+        .collect();
+    errors(&preds, &truth)
+}
+
+/// Run the Fig 8 experiment.
+pub fn run(ctx: &mut Ctx) -> Report {
+    let ms = ctx.cfg.ms_cores.clone();
+    let mc_first = homogeneous_data(ctx, ScalingPolicy::prs(), &ms);
+    let mb_first = homogeneous_data(ctx, ScalingPolicy::prs_mb_first(), &ms);
+
+    let mut rows: Vec<Vec<String>> = Vec::new();
+
+    // Per-scale-model No-Extrapolation accuracy under both orders.
+    for &cores in &ms {
+        let (mc_mean, _) = summarize(&noext_errors_at(&mc_first, cores));
+        let (mb_mean, _) = summarize(&noext_errors_at(&mb_first, cores));
+        rows.push(vec![
+            format!("NoExt-{cores}core"),
+            pct(mc_mean),
+            pct(mb_mean),
+        ]);
+    }
+
+    // ML-based regression accuracy under both orders.
+    let params = ModelParams::default();
+    for kind in MlKind::all() {
+        let mut means = Vec::new();
+        for data in [&mc_first, &mb_first] {
+            let truth: Vec<f64> = data.iter().map(|d| d.target_ipc).collect();
+            let preds = regress_homogeneous_loo(
+                data,
+                kind,
+                CurveModel::Logarithmic,
+                ctx.cfg.mode,
+                TargetMetric::Ipc,
+                &params,
+                &ms,
+                ctx.cfg.target.num_cores,
+                ML_SEED,
+            );
+            let (mean, _) = summarize(&errors(&preds, &truth));
+            means.push(mean);
+        }
+        rows.push(vec![format!("{kind}-log"), pct(means[0]), pct(means[1])]);
+    }
+
+    let body = render(&["method", "MC-first", "MB-first"], &rows);
+    Report {
+        id: "fig8",
+        title: "Memory-bandwidth scaling alternatives under PRS",
+        body,
+    }
+}

@@ -1,0 +1,71 @@
+//! Figure 9: linear, power and logarithmic regression under SVM-based
+//! regression.
+//!
+//! Paper result: logarithmic regression wins — 10.7% (linear) vs 8.9%
+//! (power) vs 8.0% (logarithmic) average error.
+
+use sms_core::pipeline::{regress_homogeneous_loo, TargetMetric};
+use sms_core::predictor::{MlKind, ModelParams};
+use sms_core::scaling::ScalingPolicy;
+use sms_ml::fit::CurveModel;
+
+use crate::ctx::{Ctx, Report};
+use crate::experiments::common::{errors, homogeneous_data, summarize, ML_SEED};
+use crate::table::{pct, render};
+
+/// Run the Fig 9 experiment.
+pub fn run(ctx: &mut Ctx) -> Report {
+    let ms = ctx.cfg.ms_cores.clone();
+    let data = homogeneous_data(ctx, ScalingPolicy::prs(), &ms);
+    let truth: Vec<f64> = data.iter().map(|d| d.target_ipc).collect();
+    let params = ModelParams::default();
+
+    let curves = [
+        CurveModel::Linear,
+        CurveModel::Power,
+        CurveModel::Logarithmic,
+    ];
+    let preds: Vec<Vec<f64>> = curves
+        .iter()
+        .map(|&curve| {
+            regress_homogeneous_loo(
+                &data,
+                MlKind::Svm,
+                curve,
+                ctx.cfg.mode,
+                TargetMetric::Ipc,
+                &params,
+                &ms,
+                ctx.cfg.target.num_cores,
+                ML_SEED,
+            )
+        })
+        .collect();
+
+    let rows: Vec<Vec<String>> = data
+        .iter()
+        .enumerate()
+        .map(|(i, d)| {
+            let mut row = vec![d.name.clone()];
+            for p in &preds {
+                row.push(pct(sms_core::metrics::prediction_error(p[i], truth[i])));
+            }
+            row
+        })
+        .collect();
+    let mut body = render(&["benchmark", "SVM-linear", "SVM-power", "SVM-log"], &rows);
+    body.push('\n');
+    for (curve, p) in curves.iter().zip(&preds) {
+        let (mean, max) = summarize(&errors(p, &truth));
+        body.push_str(&format!(
+            "SVM-{curve:<7} avg error {:>6}  max {:>6}\n",
+            pct(mean),
+            pct(max)
+        ));
+    }
+    Report {
+        id: "fig9",
+        title: "Linear vs power vs logarithmic regression under SVM",
+        body,
+    }
+}

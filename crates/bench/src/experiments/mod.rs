@@ -1,0 +1,18 @@
+//! Per-figure experiment drivers. Each module reproduces one table or
+//! figure of the paper and returns a rendered [`Report`](crate::ctx::Report).
+
+pub mod ablations;
+pub mod common;
+pub mod ext_64core;
+pub mod ext_multithreaded;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod table1;

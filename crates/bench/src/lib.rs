@@ -1,0 +1,26 @@
+//! # sms-bench — experiment harness
+//!
+//! Reproduces every table and figure of *Scale-Model Architectural
+//! Simulation* on the `sms-sim`/`sms-workloads` substrate:
+//!
+//! * [`runner`] — persistent simulation-result cache + plan executor,
+//! * [`ctx`] — experiment context (env-var knobs, report emission),
+//! * [`experiments`] — one driver per table/figure,
+//! * [`table`] — text-table rendering.
+//!
+//! Run individual figures via `cargo bench -p sms-bench --bench fig4_homogeneous`
+//! (plain harnesses that print the paper's series), or everything via the
+//! `run_experiments` binary. The `SMS_BUDGET` environment variable sets
+//! the per-instance instruction budget (default 500k).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod ctx;
+pub mod experiments;
+pub mod runner;
+pub mod table;
+
+pub use ctx::{Ctx, Report};
+pub use runner::{cache_key, execute_plan, CachedSim};

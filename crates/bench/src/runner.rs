@@ -1,0 +1,303 @@
+//! Simulation execution with a persistent on-disk result cache and a
+//! multi-threaded plan executor.
+//!
+//! Every distinct `(machine config, workload mix, run spec)` triple is
+//! keyed by a hash of its canonical JSON encoding; results are stored as
+//! JSON files under the cache directory, so re-running an experiment
+//! binary only simulates what is missing. The stored key string is
+//! verified on load, ruling out silent hash collisions.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use sms_core::pipeline::{DirectSim, Simulate};
+use sms_sim::config::SystemConfig;
+use sms_sim::stats::SimResult;
+use sms_sim::system::RunSpec;
+use sms_workloads::mix::MixSpec;
+
+/// 128-bit FNV-1a over a byte string.
+fn fnv128(bytes: &[u8]) -> (u64, u64) {
+    let mut h1: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut h2: u64 = 0x6c62_272e_07bb_0142;
+    for &b in bytes {
+        h1 ^= u64::from(b);
+        h1 = h1.wrapping_mul(0x1000_0000_01b3);
+        h2 ^= u64::from(b.rotate_left(3));
+        h2 = h2.wrapping_mul(0x1000_0000_01b3);
+    }
+    (h1, h2)
+}
+
+/// Fingerprint of the workload-suite definition, so cached results are
+/// invalidated when benchmark profiles change (a `MixSpec` holds only
+/// benchmark *names*).
+fn suite_fingerprint() -> u64 {
+    use std::sync::OnceLock;
+    static FP: OnceLock<u64> = OnceLock::new();
+    *FP.get_or_init(|| {
+        let json = serde_json::to_string(&sms_workloads::spec::suite()).expect("suite serializes");
+        let (h1, h2) = fnv128(json.as_bytes());
+        h1 ^ h2.rotate_left(17)
+    })
+}
+
+/// Canonical cache key for one simulation request.
+pub fn cache_key(cfg: &SystemConfig, mix: &MixSpec, spec: RunSpec) -> String {
+    // serde_json serialization of these types is deterministic (struct
+    // field order), so the JSON string is a canonical encoding; the suite
+    // fingerprint ties the key to the workload definitions behind the
+    // benchmark names.
+    format!(
+        "v{:016x}|{}|{}|{}",
+        suite_fingerprint(),
+        serde_json::to_string(cfg).expect("config serializes"),
+        serde_json::to_string(mix).expect("mix serializes"),
+        serde_json::to_string(&spec).expect("spec serializes"),
+    )
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+struct CacheEntry {
+    key: String,
+    result: SimResult,
+}
+
+/// A caching simulator: checks the in-memory map, then disk, then runs.
+#[derive(Debug, Clone)]
+pub struct CachedSim {
+    dir: PathBuf,
+    memory: Arc<Mutex<std::collections::HashMap<String, SimResult>>>,
+}
+
+impl CachedSim {
+    /// Open (creating if needed) a cache rooted at `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error if the directory cannot be created.
+    pub fn open(dir: impl AsRef<Path>) -> std::io::Result<Self> {
+        std::fs::create_dir_all(dir.as_ref())?;
+        Ok(Self {
+            dir: dir.as_ref().to_owned(),
+            memory: Arc::new(Mutex::new(std::collections::HashMap::new())),
+        })
+    }
+
+    fn path_for(&self, key: &str) -> PathBuf {
+        let (h1, h2) = fnv128(key.as_bytes());
+        self.dir.join(format!("{h1:016x}{h2:016x}.json"))
+    }
+
+    /// Look up a result without simulating.
+    pub fn lookup(&self, cfg: &SystemConfig, mix: &MixSpec, spec: RunSpec) -> Option<SimResult> {
+        let key = cache_key(cfg, mix, spec);
+        if let Some(hit) = self.memory.lock().get(&key) {
+            return Some(hit.clone());
+        }
+        let path = self.path_for(&key);
+        let data = std::fs::read_to_string(path).ok()?;
+        let entry: CacheEntry = serde_json::from_str(&data).ok()?;
+        if entry.key != key {
+            return None; // hash collision or stale file: treat as miss
+        }
+        self.memory.lock().insert(key, entry.result.clone());
+        Some(entry.result)
+    }
+
+    /// Insert a freshly computed result.
+    pub fn insert(&self, cfg: &SystemConfig, mix: &MixSpec, spec: RunSpec, result: &SimResult) {
+        let key = cache_key(cfg, mix, spec);
+        let entry = CacheEntry {
+            key: key.clone(),
+            result: result.clone(),
+        };
+        let path = self.path_for(&key);
+        // Write via a temp file so interrupted runs never leave torn JSON.
+        let tmp = path.with_extension("tmp");
+        if serde_json::to_writer(
+            std::fs::File::create(&tmp).expect("cache dir writable"),
+            &entry,
+        )
+        .is_ok()
+        {
+            let _ = std::fs::rename(&tmp, &path);
+        }
+        self.memory.lock().insert(key, result.clone());
+    }
+
+    /// Number of entries currently in the in-memory layer.
+    pub fn memory_len(&self) -> usize {
+        self.memory.lock().len()
+    }
+}
+
+impl Simulate for CachedSim {
+    fn run_mix(&mut self, cfg: &SystemConfig, mix: &MixSpec, spec: RunSpec) -> SimResult {
+        if let Some(hit) = self.lookup(cfg, mix, spec) {
+            return hit;
+        }
+        let result = DirectSim.run_mix(cfg, mix, spec);
+        self.insert(cfg, mix, spec, &result);
+        result
+    }
+}
+
+/// Execute a run plan into the cache, using up to `threads` worker
+/// threads (capped by available parallelism); already-cached entries are
+/// skipped. Progress is reported on stderr via `label`.
+pub fn execute_plan(
+    cache: &CachedSim,
+    plan: &[(SystemConfig, MixSpec)],
+    spec: RunSpec,
+    threads: usize,
+    label: &str,
+) {
+    let todo: Vec<&(SystemConfig, MixSpec)> = plan
+        .iter()
+        .filter(|(cfg, mix)| cache.lookup(cfg, mix, spec).is_none())
+        .collect();
+    if todo.is_empty() {
+        eprintln!("[{label}] all {} runs cached", plan.len());
+        return;
+    }
+    eprintln!(
+        "[{label}] {} of {} runs to simulate",
+        todo.len(),
+        plan.len()
+    );
+    let workers = threads
+        .min(
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+        )
+        .max(1);
+    let next = AtomicUsize::new(0);
+    let done = AtomicUsize::new(0);
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= todo.len() {
+                    break;
+                }
+                let (cfg, mix) = todo[i];
+                let result = DirectSim.run_mix(cfg, mix, spec);
+                cache.insert(cfg, mix, spec, &result);
+                let d = done.fetch_add(1, Ordering::Relaxed) + 1;
+                if d % 10 == 0 || d == todo.len() {
+                    eprintln!("[{label}] {d}/{} done", todo.len());
+                }
+            });
+        }
+    })
+    .expect("worker threads must not panic");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sms_sim::system::RunSpec;
+
+    fn tiny_cfg() -> SystemConfig {
+        let mut cfg = SystemConfig::target_32core();
+        cfg.num_cores = 1;
+        cfg.llc.num_slices = 1;
+        cfg.noc.mesh_cols = 1;
+        cfg.noc.mesh_rows = 1;
+        cfg.dram.num_controllers = 1;
+        cfg
+    }
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("sms-cache-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn cache_round_trip_and_hit() {
+        let dir = tmpdir("rt");
+        let mut sim = CachedSim::open(&dir).unwrap();
+        let cfg = tiny_cfg();
+        let mix = MixSpec::homogeneous("leela_r", 1, 1);
+        let spec = RunSpec {
+            warmup_instructions: 1000,
+            measure_instructions: 20_000,
+        };
+        assert!(sim.lookup(&cfg, &mix, spec).is_none());
+        let a = sim.run_mix(&cfg, &mix, spec);
+        let b = sim.lookup(&cfg, &mix, spec).expect("cached now");
+        assert_eq!(a.cores[0].cycles, b.cores[0].cycles);
+
+        // A fresh instance must hit the on-disk layer.
+        let fresh = CachedSim::open(&dir).unwrap();
+        let c = fresh.lookup(&cfg, &mix, spec).expect("disk hit");
+        assert_eq!(a.cores[0].cycles, c.cores[0].cycles);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn distinct_requests_get_distinct_entries() {
+        let dir = tmpdir("distinct");
+        let mut sim = CachedSim::open(&dir).unwrap();
+        let cfg = tiny_cfg();
+        let spec = RunSpec {
+            warmup_instructions: 0,
+            measure_instructions: 10_000,
+        };
+        let a = sim.run_mix(&cfg, &MixSpec::homogeneous("leela_r", 1, 1), spec);
+        let b = sim.run_mix(&cfg, &MixSpec::homogeneous("lbm_r", 1, 1), spec);
+        assert_ne!(a.cores[0].label, b.cores[0].label);
+        assert_eq!(sim.memory_len(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn execute_plan_fills_cache() {
+        let dir = tmpdir("plan");
+        let cache = CachedSim::open(&dir).unwrap();
+        let cfg = tiny_cfg();
+        let spec = RunSpec {
+            warmup_instructions: 0,
+            measure_instructions: 5_000,
+        };
+        let plan: Vec<(SystemConfig, MixSpec)> = ["leela_r", "lbm_r", "mcf_r"]
+            .iter()
+            .map(|n| (cfg.clone(), MixSpec::homogeneous(n, 1, 7)))
+            .collect();
+        execute_plan(&cache, &plan, spec, 4, "test");
+        for (c, m) in &plan {
+            assert!(cache.lookup(c, m, spec).is_some());
+        }
+        // Second execution is a no-op (covered entries skipped).
+        execute_plan(&cache, &plan, spec, 4, "test");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn key_distinguishes_spec() {
+        let cfg = tiny_cfg();
+        let mix = MixSpec::homogeneous("leela_r", 1, 1);
+        let s1 = RunSpec {
+            warmup_instructions: 0,
+            measure_instructions: 1,
+        };
+        let s2 = RunSpec {
+            warmup_instructions: 0,
+            measure_instructions: 2,
+        };
+        assert_ne!(cache_key(&cfg, &mix, s1), cache_key(&cfg, &mix, s2));
+    }
+
+    #[test]
+    fn fnv128_spreads() {
+        let (a1, a2) = fnv128(b"hello");
+        let (b1, b2) = fnv128(b"hellp");
+        assert!(a1 != b1 || a2 != b2);
+    }
+}

@@ -1,0 +1,86 @@
+//! Plain-text table rendering for experiment reports.
+
+/// Render an aligned text table. The first row is the header; a separator
+/// is inserted under it. Columns are sized to their widest cell.
+///
+/// # Examples
+///
+/// ```
+/// let t = sms_bench::table::render(
+///     &["bench", "err"],
+///     &[vec!["lbm_r".into(), "3.2%".into()]],
+/// );
+/// assert!(t.contains("lbm_r"));
+/// assert!(t.lines().count() == 3);
+/// ```
+pub fn render(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), cols, "ragged table row");
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        cells
+            .iter()
+            .zip(widths)
+            .map(|(c, w)| format!("{c:>w$}"))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let header_cells: Vec<String> = headers.iter().map(|s| (*s).to_owned()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Format a fraction as a percentage with one decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+/// Format a ratio like `28.3x`.
+pub fn times(x: f64) -> String {
+    format!("{x:.1}x")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let t = render(
+            &["name", "v"],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["longer".into(), "22".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert_eq!(lines[0].len(), lines[2].len());
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_panic() {
+        let _ = render(&["a", "b"], &[vec!["x".into()]]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(pct(0.0804), "8.0%");
+        assert_eq!(times(28.34), "28.3x");
+    }
+}

@@ -1,0 +1,501 @@
+//! # sms-cli — command-line front end
+//!
+//! Argument parsing and command implementations for the `sms` binary.
+//! Hand-rolled parsing (no CLI dependency): four subcommands, each with a
+//! small set of `--key value` options.
+//!
+//! ```text
+//! sms simulate  --bench lbm_r[,mcf_r,...] --cores 8 [--policy prs|nrs] [--budget N] [--seed S] [--json]
+//! sms scale     [--cores 32] [--mb-first]                 # print Table I
+//! sms predict   --bench lbm_r [--target-cores 32] [--budget N] [--seed S]
+//! sms trace     --bench lbm_r --out trace.smst [--instructions N] [--seed S]
+//! sms bench-table                                          # characterize the suite
+//! ```
+
+#![forbid(unsafe_code)]
+use std::collections::HashMap;
+
+use sms_core::pipeline::{mean_bandwidth, mean_ipc, DirectSim, ExperimentConfig};
+use sms_core::scaling::{scale_config, scale_table, target_config, MemBwScaling, ScalingPolicy};
+use sms_core::session::ScaleModelSession;
+use sms_sim::config::SystemConfig;
+use sms_sim::system::{MulticoreSystem, RunSpec};
+use sms_workloads::mix::MixSpec;
+use sms_workloads::spec::{by_name, suite};
+use sms_workloads::trace_io::RecordedTrace;
+
+/// A parsed command line: subcommand plus `--key value` options.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Args {
+    /// The subcommand name.
+    pub command: String,
+    /// `--key value` pairs; bare `--flag`s map to `"true"`.
+    pub options: HashMap<String, String>,
+}
+
+/// Errors from parsing or running a command.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CliError {
+    /// No subcommand given.
+    NoCommand,
+    /// Unknown subcommand.
+    UnknownCommand(String),
+    /// A required option is missing.
+    MissingOption(&'static str),
+    /// An option value failed to parse.
+    BadValue(String, String),
+    /// Unknown benchmark name.
+    UnknownBenchmark(String),
+    /// Simulation failed.
+    Sim(String),
+    /// I/O failure.
+    Io(String),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::NoCommand => write!(f, "no command given; try `sms help`"),
+            Self::UnknownCommand(c) => write!(f, "unknown command `{c}`; try `sms help`"),
+            Self::MissingOption(o) => write!(f, "missing required option --{o}"),
+            Self::BadValue(k, v) => write!(f, "cannot parse --{k} value `{v}`"),
+            Self::UnknownBenchmark(b) => {
+                write!(
+                    f,
+                    "unknown benchmark `{b}`; see `sms bench-table` for names"
+                )
+            }
+            Self::Sim(e) => write!(f, "simulation failed: {e}"),
+            Self::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl Args {
+    /// Parse a raw argument vector (without the program name).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError::NoCommand`] on an empty vector.
+    pub fn parse(raw: &[String]) -> Result<Self, CliError> {
+        let command = raw.first().ok_or(CliError::NoCommand)?.clone();
+        let mut options = HashMap::new();
+        let mut i = 1;
+        while i < raw.len() {
+            let arg = &raw[i];
+            if let Some(key) = arg.strip_prefix("--") {
+                let value = raw.get(i + 1);
+                match value {
+                    Some(v) if !v.starts_with("--") => {
+                        options.insert(key.to_owned(), v.clone());
+                        i += 2;
+                    }
+                    _ => {
+                        options.insert(key.to_owned(), "true".to_owned());
+                        i += 1;
+                    }
+                }
+            } else {
+                return Err(CliError::BadValue("<positional>".into(), arg.clone()));
+            }
+        }
+        Ok(Self { command, options })
+    }
+
+    fn get_u64(&self, key: &str, default: u64) -> Result<u64, CliError> {
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| CliError::BadValue(key.to_owned(), v.clone())),
+        }
+    }
+
+    fn get_u32(&self, key: &str, default: u32) -> Result<u32, CliError> {
+        Ok(self.get_u64(key, u64::from(default))? as u32)
+    }
+
+    fn flag(&self, key: &str) -> bool {
+        self.options.contains_key(key)
+    }
+}
+
+/// Run a parsed command, returning the text to print.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] describing any parse, lookup, simulation or I/O
+/// failure; the caller prints it and exits non-zero.
+pub fn run(args: &Args) -> Result<String, CliError> {
+    match args.command.as_str() {
+        "simulate" => cmd_simulate(args),
+        "scale" => cmd_scale(args),
+        "predict" => cmd_predict(args),
+        "trace" => cmd_trace(args),
+        "bench-table" => cmd_bench_table(args),
+        "help" | "--help" | "-h" => Ok(HELP.to_owned()),
+        other => Err(CliError::UnknownCommand(other.to_owned())),
+    }
+}
+
+/// Help text.
+pub const HELP: &str = "\
+sms — scale-model architectural simulation
+
+USAGE:
+  sms simulate --bench NAME[,NAME...] --cores N [--policy prs|nrs] [--budget N] [--seed S] [--json]
+      Simulate a multiprogram mix on an N-core PRS/NRS machine (repeat
+      a single name to fill all cores) and print per-core results.
+
+  sms scale [--cores N] [--mb-first]
+      Print the Table-I scale-model resource ladder for an N-core target.
+
+  sms predict --bench NAME [--target-cores N] [--budget N] [--seed S] [--ml]
+      Predict the benchmark's per-core IPC on the target from a
+      single-core scale-model run. With --ml, first trains the paper's
+      SVM-log regression on the other 28 benchmarks (one-time cost of
+      a few minutes) instead of using the raw scale-model IPC.
+
+  sms trace --bench NAME --out FILE [--instructions N] [--seed S]
+      Record a micro-op trace to FILE (.smst binary format).
+
+  sms bench-table [--budget N]
+      Characterize all 29 benchmarks on the single-core scale model.
+";
+
+fn machine_for(args: &Args, cores: u32) -> Result<SystemConfig, CliError> {
+    let target_cores = args.get_u32("target-cores", 32.max(cores))?;
+    let target = target_config(target_cores.max(cores).next_power_of_two());
+    let policy = match args.options.get("policy").map(String::as_str) {
+        None | Some("prs") => ScalingPolicy::prs(),
+        Some("nrs") => ScalingPolicy::nrs(),
+        Some(other) => return Err(CliError::BadValue("policy".into(), other.to_owned())),
+    };
+    Ok(if cores == target.num_cores {
+        target
+    } else {
+        scale_config(&target, cores, policy)
+    })
+}
+
+fn spec_for(args: &Args) -> Result<RunSpec, CliError> {
+    let budget = args.get_u64("budget", 500_000)?;
+    Ok(RunSpec::with_default_warmup(budget))
+}
+
+fn cmd_simulate(args: &Args) -> Result<String, CliError> {
+    let bench = args
+        .options
+        .get("bench")
+        .ok_or(CliError::MissingOption("bench"))?;
+    let cores = args.get_u32("cores", 1)?;
+    if cores == 0 || !cores.is_power_of_two() || cores > 256 {
+        return Err(CliError::BadValue("cores".into(), cores.to_string()));
+    }
+    let seed = args.get_u64("seed", 43)?;
+
+    let names: Vec<&str> = bench.split(',').collect();
+    for n in &names {
+        if by_name(n).is_none() {
+            return Err(CliError::UnknownBenchmark((*n).to_owned()));
+        }
+    }
+    let benchmarks: Vec<String> = (0..cores as usize)
+        .map(|i| names[i % names.len()].to_owned())
+        .collect();
+    let mix = MixSpec { benchmarks, seed };
+
+    let machine = machine_for(args, cores)?;
+    let mut sys = MulticoreSystem::new(machine.clone(), mix.sources())
+        .map_err(|e| CliError::Sim(e.to_string()))?;
+    let r = sys
+        .run(spec_for(args)?)
+        .map_err(|e| CliError::Sim(e.to_string()))?;
+
+    if args.flag("json") {
+        return serde_json::to_string_pretty(&r).map_err(|e| CliError::Io(e.to_string()));
+    }
+    Ok(format!("machine: {}\n{r}", machine.summary()))
+}
+
+fn cmd_scale(args: &Args) -> Result<String, CliError> {
+    let cores = args.get_u32("cores", 32)?;
+    if !cores.is_power_of_two() || cores == 0 || cores > 256 {
+        return Err(CliError::BadValue("cores".into(), cores.to_string()));
+    }
+    let order = if args.flag("mb-first") {
+        MemBwScaling::MbFirst
+    } else {
+        MemBwScaling::McFirst
+    };
+    let target = target_config(cores);
+    let mut out = format!("target: {}\n\n", target.summary());
+    for row in scale_table(&target, order) {
+        out.push_str(&format!(
+            "{:>4} cores | LLC {:>4} MB ({} slices) | NoC {:>5.0} GB/s ({} CSLs x {:.0}) | DRAM {:>5.0} GB/s ({} MCs x {:.0})\n",
+            row.cores,
+            row.llc_mb,
+            row.llc_slices,
+            row.noc_gbps,
+            row.csls,
+            row.gbps_per_csl,
+            row.dram_gbps,
+            row.mcs,
+            row.gbps_per_mc,
+        ));
+    }
+    Ok(out)
+}
+
+fn cmd_predict(args: &Args) -> Result<String, CliError> {
+    let bench = args
+        .options
+        .get("bench")
+        .ok_or(CliError::MissingOption("bench"))?;
+    let profile = by_name(bench).ok_or_else(|| CliError::UnknownBenchmark(bench.clone()))?;
+    let target_cores = args.get_u32("target-cores", 32)?;
+    if !target_cores.is_power_of_two() || target_cores == 0 || target_cores > 256 {
+        return Err(CliError::BadValue(
+            "target-cores".into(),
+            target_cores.to_string(),
+        ));
+    }
+    let seed = args.get_u64("seed", 43)?;
+    let spec = spec_for(args)?;
+    let target = target_config(target_cores);
+
+    if args.flag("ml") {
+        // The paper's ML-based Regression: train on every other benchmark
+        // (a one-time cost in a real deployment), then predict from one
+        // single-core scale-model run.
+        let cfg = ExperimentConfig {
+            target,
+            spec,
+            seed,
+            ..ExperimentConfig::default()
+        };
+        let training: Vec<_> = suite().into_iter().filter(|p| p.name != bench).collect();
+        eprintln!(
+            "training SVM-log regression on {} benchmarks (one-time cost)...",
+            training.len()
+        );
+        let session = ScaleModelSession::train(&mut DirectSim, cfg, &training);
+        let pred = session.predict(&mut DirectSim, &profile);
+        let series = pred
+            .scale_model_ipcs
+            .iter()
+            .map(|(c, i)| format!("{c}:{i:.3}"))
+            .collect::<Vec<_>>()
+            .join(" ");
+        return Ok(format!(
+            "benchmark            : {bench}\n\
+             scale-model IPC      : {:.4}\n\
+             scale-model BW       : {:.2} GB/s\n\
+             scale-model series   : {series}\n\
+             SVM-log predicted per-core IPC on the {target_cores}-core target: {:.4}\n\
+             scale-model simulated in {:.2}s",
+            pred.ss.ipc, pred.ss.bandwidth, pred.target_ipc, pred.host_seconds,
+        ));
+    }
+
+    let ss_cfg = scale_config(&target, 1, ScalingPolicy::prs());
+    let mix = MixSpec::homogeneous(bench, 1, seed);
+    let mut sys =
+        MulticoreSystem::new(ss_cfg, mix.sources()).map_err(|e| CliError::Sim(e.to_string()))?;
+    let r = sys.run(spec).map_err(|e| CliError::Sim(e.to_string()))?;
+
+    Ok(format!(
+        "benchmark            : {bench}\n\
+         scale-model IPC      : {:.4}\n\
+         scale-model BW       : {:.2} GB/s\n\
+         predicted per-core IPC on the {target_cores}-core target: {:.4}\n\
+         (No-Extrapolation; pass --ml for the paper's SVM-log regression)\n\
+         scale-model simulated in {:.2}s",
+        mean_ipc(&r),
+        mean_bandwidth(&r),
+        mean_ipc(&r),
+        r.host_seconds,
+    ))
+}
+
+fn cmd_trace(args: &Args) -> Result<String, CliError> {
+    let bench = args
+        .options
+        .get("bench")
+        .ok_or(CliError::MissingOption("bench"))?;
+    let profile = by_name(bench).ok_or_else(|| CliError::UnknownBenchmark(bench.clone()))?;
+    let out = args
+        .options
+        .get("out")
+        .ok_or(CliError::MissingOption("out"))?;
+    let instructions = args.get_u64("instructions", 1_000_000)?;
+    let seed = args.get_u64("seed", 43)?;
+
+    let mut src = sms_workloads::generator::SyntheticSource::new(profile, 0, seed);
+    let trace = RecordedTrace::record(&mut src, instructions);
+    trace.save(out).map_err(|e| CliError::Io(e.to_string()))?;
+    Ok(format!(
+        "recorded {} instructions ({} ops) of {bench} to {out}",
+        trace.instructions(),
+        trace.len(),
+    ))
+}
+
+fn cmd_bench_table(args: &Args) -> Result<String, CliError> {
+    let spec = RunSpec::with_default_warmup(args.get_u64("budget", 200_000)?);
+    let target = target_config(32);
+    let ss = scale_config(&target, 1, ScalingPolicy::prs());
+    let mut out = format!(
+        "{:<14} {:>7} {:>10} {:>9}\n",
+        "benchmark", "IPC", "LLC MPKI", "BW GB/s"
+    );
+    for p in suite() {
+        let mix = MixSpec::homogeneous(p.name, 1, 43);
+        let mut sys = MulticoreSystem::new(ss.clone(), mix.sources())
+            .map_err(|e| CliError::Sim(e.to_string()))?;
+        let r = sys.run(spec).map_err(|e| CliError::Sim(e.to_string()))?;
+        let c = &r.cores[0];
+        out.push_str(&format!(
+            "{:<14} {:>7.3} {:>10.2} {:>9.2}\n",
+            c.label, c.ipc, c.llc_mpki, c.bandwidth_gbps
+        ));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(v: &[&str]) -> Args {
+        Args::parse(&v.iter().map(|s| (*s).to_owned()).collect::<Vec<_>>()).unwrap()
+    }
+
+    #[test]
+    fn parse_commands_and_options() {
+        let a = args(&["simulate", "--bench", "lbm_r", "--cores", "4", "--json"]);
+        assert_eq!(a.command, "simulate");
+        assert_eq!(a.options["bench"], "lbm_r");
+        assert_eq!(a.options["cores"], "4");
+        assert!(a.flag("json"));
+        assert!(!a.flag("nope"));
+    }
+
+    #[test]
+    fn parse_rejects_positional_garbage() {
+        let r = Args::parse(&["simulate".into(), "oops".into()]);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn empty_args_is_no_command() {
+        assert_eq!(Args::parse(&[]), Err(CliError::NoCommand));
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let out = run(&args(&["help"])).unwrap();
+        assert!(out.contains("simulate"));
+        assert!(out.contains("bench-table"));
+    }
+
+    #[test]
+    fn unknown_command_is_an_error() {
+        assert!(matches!(
+            run(&args(&["frobnicate"])),
+            Err(CliError::UnknownCommand(_))
+        ));
+    }
+
+    #[test]
+    fn scale_prints_table() {
+        let out = run(&args(&["scale"])).unwrap();
+        assert!(out.contains("32 cores"));
+        assert!(out.contains("1 MB"));
+        let out64 = run(&args(&["scale", "--cores", "64"])).unwrap();
+        assert!(out64.contains("64 cores"));
+    }
+
+    #[test]
+    fn scale_rejects_bad_cores() {
+        assert!(run(&args(&["scale", "--cores", "48"])).is_err());
+    }
+
+    #[test]
+    fn simulate_small_run_works() {
+        let out = run(&args(&[
+            "simulate", "--bench", "leela_r", "--cores", "1", "--budget", "20000",
+        ]))
+        .unwrap();
+        assert!(out.contains("leela_r"));
+        assert!(out.contains("total:"));
+    }
+
+    #[test]
+    fn simulate_json_output_parses() {
+        let out = run(&args(&[
+            "simulate", "--bench", "xz_r", "--cores", "2", "--budget", "20000", "--json",
+        ]))
+        .unwrap();
+        let v: serde_json::Value = serde_json::from_str(&out).unwrap();
+        assert_eq!(v["cores"].as_array().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn simulate_mixed_benchmarks_round_robin() {
+        let out = run(&args(&[
+            "simulate",
+            "--bench",
+            "leela_r,lbm_r",
+            "--cores",
+            "4",
+            "--budget",
+            "20000",
+        ]))
+        .unwrap();
+        assert!(out.contains("leela_r") && out.contains("lbm_r"));
+    }
+
+    #[test]
+    fn simulate_unknown_benchmark_fails() {
+        assert!(matches!(
+            run(&args(&["simulate", "--bench", "nope_r", "--cores", "1"])),
+            Err(CliError::UnknownBenchmark(_))
+        ));
+    }
+
+    #[test]
+    fn predict_runs() {
+        let out = run(&args(&["predict", "--bench", "xz_r", "--budget", "20000"])).unwrap();
+        assert!(out.contains("predicted per-core IPC"));
+    }
+
+    #[test]
+    fn trace_records_file() {
+        let path = std::env::temp_dir().join(format!("sms-cli-{}.smst", std::process::id()));
+        let out = run(&args(&[
+            "trace",
+            "--bench",
+            "gcc_r",
+            "--out",
+            path.to_str().unwrap(),
+            "--instructions",
+            "5000",
+        ]))
+        .unwrap();
+        assert!(out.contains("recorded"));
+        let t = RecordedTrace::load(&path).unwrap();
+        assert!(t.instructions() >= 5000);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn missing_required_option_reported() {
+        assert_eq!(
+            run(&args(&["trace", "--bench", "gcc_r"])),
+            Err(CliError::MissingOption("out"))
+        );
+    }
+}

@@ -1,0 +1,19 @@
+//! The `sms` binary: see [`sms_cli::HELP`] or run `sms help`.
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let args = match sms_cli::Args::parse(&raw) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    match sms_cli::run(&args) {
+        Ok(out) => println!("{out}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! Feature extraction for the ML extrapolation models (paper §III-B).
+//!
+//! The input variables for an application `A_j` in a `T`-program mix are
+//! its single-core scale-model IPC and bandwidth utilization plus the
+//! aggregate bandwidth utilization of its co-runners:
+//!
+//! ```text
+//! [ IPC_ss(A_j),  BW_ss(A_j),  Σ_{k≠j} BW_ss(A_k) ]
+//! ```
+//!
+//! The Fig 10 ablation drops the bandwidth inputs ([`FeatureMode::IpcOnly`]).
+
+use serde::{Deserialize, Serialize};
+
+/// Which inputs the ML models see (paper §V-E3, Fig 10).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FeatureMode {
+    /// Performance only: `[IPC_ss]`.
+    IpcOnly,
+    /// Performance and bandwidth utilization (the paper's default):
+    /// `[IPC_ss, BW_ss, Σ co-runner BW_ss]`.
+    IpcBandwidth,
+}
+
+impl FeatureMode {
+    /// Number of features produced.
+    pub fn width(self) -> usize {
+        match self {
+            Self::IpcOnly => 1,
+            Self::IpcBandwidth => 3,
+        }
+    }
+}
+
+/// Single-core scale-model measurements for one benchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SsMeasurement {
+    /// IPC on the single-core scale model.
+    pub ipc: f64,
+    /// Memory bandwidth utilization on the single-core scale model, GB/s.
+    pub bandwidth: f64,
+}
+
+/// Build the feature vector for one application given its own single-core
+/// measurements and the aggregate co-runner bandwidth.
+///
+/// # Examples
+///
+/// ```
+/// use sms_core::features::{feature_vector, FeatureMode, SsMeasurement};
+/// let own = SsMeasurement { ipc: 1.2, bandwidth: 0.8 };
+/// let v = feature_vector(FeatureMode::IpcBandwidth, own, 24.0);
+/// assert_eq!(v, vec![1.2, 0.8, 24.0]);
+/// assert_eq!(feature_vector(FeatureMode::IpcOnly, own, 24.0), vec![1.2]);
+/// ```
+pub fn feature_vector(mode: FeatureMode, own: SsMeasurement, corunner_bw_sum: f64) -> Vec<f64> {
+    match mode {
+        FeatureMode::IpcOnly => vec![own.ipc],
+        FeatureMode::IpcBandwidth => vec![own.ipc, own.bandwidth, corunner_bw_sum],
+    }
+}
+
+/// Aggregate co-runner bandwidth for slot `j` of a mix whose per-slot
+/// single-core bandwidths are `bws`, rescaled to a machine with
+/// `model_cores` slots.
+///
+/// On the target (`model_cores == bws.len()`) this is the paper's
+/// `Σ_{k≠j} BW_ss(B_k)` exactly. For an `R`-core scale model the mix only
+/// hosts `R − 1` co-runners, so the sum is scaled by
+/// `(R − 1) / (T − 1)` — exact for homogeneous mixes and a proportional
+/// subsample for heterogeneous ones.
+///
+/// # Panics
+///
+/// Panics if `j` is out of bounds or the mix has fewer than two slots.
+pub fn corunner_bandwidth(bws: &[f64], j: usize, model_cores: u32) -> f64 {
+    assert!(bws.len() >= 2, "need at least one co-runner");
+    assert!(j < bws.len());
+    let total: f64 = bws.iter().sum();
+    let others = total - bws[j];
+    let t_minus_1 = (bws.len() - 1) as f64;
+    let r_minus_1 = f64::from(model_cores.max(1) - 1);
+    others * r_minus_1 / t_minus_1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn widths() {
+        assert_eq!(FeatureMode::IpcOnly.width(), 1);
+        assert_eq!(FeatureMode::IpcBandwidth.width(), 3);
+    }
+
+    #[test]
+    fn corunner_sum_on_target() {
+        let bws = [1.0, 2.0, 3.0, 4.0];
+        // Full-size model: plain sum of the others.
+        assert!((corunner_bandwidth(&bws, 0, 4) - 9.0).abs() < 1e-12);
+        assert!((corunner_bandwidth(&bws, 3, 4) - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn corunner_sum_rescales_for_smaller_models() {
+        let bws = [2.0; 32];
+        // Homogeneous: co-runner sum on an R-core model is (R-1)*bw.
+        assert!((corunner_bandwidth(&bws, 0, 2) - 2.0).abs() < 1e-12);
+        assert!((corunner_bandwidth(&bws, 0, 8) - 14.0).abs() < 1e-12);
+        assert!((corunner_bandwidth(&bws, 0, 32) - 62.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_core_model_has_no_corunners() {
+        let bws = [1.0, 5.0];
+        assert_eq!(corunner_bandwidth(&bws, 0, 1), 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_bounds_slot_panics() {
+        let _ = corunner_bandwidth(&[1.0, 2.0], 2, 2);
+    }
+}

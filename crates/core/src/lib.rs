@@ -1,0 +1,56 @@
+//! # sms-core — scale-model architectural simulation
+//!
+//! The primary contribution of *Scale-Model Architectural Simulation*
+//! (Liu, Heirman, Eyerman, Akram, Eeckhout — ISPASS 2022): predict the
+//! performance of a large multicore target system from simulations of a
+//! scaled-down *scale model*, optionally refined by machine-learning
+//! extrapolation.
+//!
+//! * [`scaling`] — scale-model construction: proportional resource
+//!   scaling (PRS) of LLC capacity, NoC bisection bandwidth and DRAM
+//!   bandwidth versus no resource scaling (NRS); Table I generation.
+//! * [`features`] — the ML input variables: single-core scale-model IPC,
+//!   bandwidth utilization and aggregate co-runner bandwidth.
+//! * [`predictor`] — ML-based Prediction (needs target-system runs for
+//!   training).
+//! * [`regressor`] — ML-based Regression (trains only on multi-core scale
+//!   models, extrapolates with a curve fit — no target runs needed).
+//! * [`pipeline`] — experiment orchestration: homogeneous leave-one-out
+//!   and heterogeneous train/eval methodology exactly as §IV-2.
+//! * [`metrics`] — the paper's prediction-error metric and STP.
+//! * [`stacks`] — cycle/speedup stacks (the §V-E6 extension path to
+//!   multi-threaded workloads).
+//! * [`session`] — the high-level "train once, predict many" API.
+//!
+//! # Example: construct a scale model
+//!
+//! ```
+//! use sms_core::scaling::{scale_config, ScalingPolicy};
+//! use sms_sim::config::SystemConfig;
+//!
+//! let target = SystemConfig::target_32core();
+//! let scale_model = scale_config(&target, 1, ScalingPolicy::prs());
+//! // Per-core shares stay constant: 1 MB LLC and 4 GB/s DRAM per core.
+//! assert_eq!(scale_model.llc.total_capacity_bytes(), 1024 * 1024);
+//! assert!((scale_model.dram.total_bandwidth_gbps() - 4.0).abs() < 1e-9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod features;
+pub mod metrics;
+pub mod pipeline;
+pub mod predictor;
+pub mod regressor;
+pub mod scaling;
+pub mod session;
+pub mod stacks;
+
+pub use features::{FeatureMode, SsMeasurement};
+pub use pipeline::{DirectSim, ExperimentConfig, Simulate, TargetMetric};
+pub use predictor::{MlKind, ModelParams, TrainedPredictor};
+pub use regressor::{RegressionExtrapolator, DEFAULT_MS_CORES};
+pub use scaling::{scale_config, scale_table, target_config, MemBwScaling, ScalingPolicy};
+pub use session::{ScaleModelSession, TargetPrediction};

@@ -1,0 +1,74 @@
+//! Accuracy metrics: the paper's absolute prediction-error metric (§V)
+//! and system throughput (STP, §V-C).
+
+pub use sms_ml::metrics::prediction_error;
+
+/// System throughput of a multiprogram mix: the sum of per-application
+/// IPCs normalized to their single-core scale-model IPCs (paper §V-C,
+/// following Eyerman & Eeckhout's STP).
+///
+/// # Panics
+///
+/// Panics on length mismatch or a non-positive normalizing IPC.
+pub fn stp(target_ipcs: &[f64], ss_ipcs: &[f64]) -> f64 {
+    assert_eq!(target_ipcs.len(), ss_ipcs.len());
+    target_ipcs
+        .iter()
+        .zip(ss_ipcs)
+        .map(|(&t, &s)| {
+            assert!(s > 0.0, "single-core scale-model IPC must be positive");
+            t / s
+        })
+        .sum()
+}
+
+/// Mean of a non-empty slice.
+///
+/// # Panics
+///
+/// Panics if the slice is empty.
+pub fn mean(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty());
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Maximum of a non-empty slice.
+///
+/// # Panics
+///
+/// Panics if the slice is empty.
+pub fn max(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty());
+    xs.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stp_is_sum_of_normalized_ipcs() {
+        let t = [0.5, 1.0];
+        let s = [1.0, 2.0];
+        assert!((stp(&t, &s) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stp_of_no_slowdown_equals_core_count() {
+        let ipcs = [0.7; 32];
+        assert!((stp(&ipcs, &ipcs) - 32.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn stp_rejects_zero_reference() {
+        let _ = stp(&[1.0], &[0.0]);
+    }
+
+    #[test]
+    fn mean_and_max() {
+        let xs = [1.0, 3.0, 2.0];
+        assert!((mean(&xs) - 2.0).abs() < 1e-12);
+        assert_eq!(max(&xs), 3.0);
+    }
+}

@@ -1,0 +1,1037 @@
+//! End-to-end experiment orchestration: simulate scale models and targets,
+//! assemble training sets, and run the paper's cross-validation setups
+//! (§IV-2).
+//!
+//! Simulation is abstracted behind [`Simulate`] so experiment harnesses
+//! can layer caching or parallelism over the plain [`DirectSim`]. All
+//! prediction logic operates on plain data structs
+//! ([`BenchScaleData`], [`HeterogeneousData`]) and is unit-testable
+//! without running the simulator.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+use sms_ml::fit::CurveModel;
+use sms_sim::config::SystemConfig;
+use sms_sim::stats::SimResult;
+use sms_sim::system::{MulticoreSystem, RunSpec};
+use sms_workloads::mix::MixSpec;
+use sms_workloads::spec::BenchmarkProfile;
+
+use crate::features::{corunner_bandwidth, feature_vector, FeatureMode, SsMeasurement};
+use crate::predictor::{MlKind, ModelParams, TrainedPredictor};
+use crate::regressor::{RegressionExtrapolator, ScaleModelTraining};
+use crate::scaling::{scale_config, ScalingPolicy};
+
+/// Runs a workload mix on a machine configuration.
+pub trait Simulate {
+    /// Simulate `mix` on `cfg` with the given warm-up/measure budgets.
+    fn run_mix(&mut self, cfg: &SystemConfig, mix: &MixSpec, spec: RunSpec) -> SimResult;
+}
+
+/// Plain, in-process simulation.
+#[derive(Debug, Default)]
+pub struct DirectSim;
+
+impl Simulate for DirectSim {
+    fn run_mix(&mut self, cfg: &SystemConfig, mix: &MixSpec, spec: RunSpec) -> SimResult {
+        let mut system = MulticoreSystem::new(cfg.clone(), mix.sources())
+            .expect("configuration and mix must be consistent");
+        system.run(spec).expect("non-empty budget")
+    }
+}
+
+/// Shared experiment parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentConfig {
+    /// The target system to predict.
+    pub target: SystemConfig,
+    /// Scale-model construction policy.
+    pub policy: ScalingPolicy,
+    /// Multi-core scale models used by ML-based regression.
+    pub ms_cores: Vec<u32>,
+    /// Per-run instruction budgets.
+    pub spec: RunSpec,
+    /// ML input features.
+    pub mode: FeatureMode,
+    /// Mix/workload seed.
+    pub seed: u64,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        Self {
+            target: SystemConfig::target_32core(),
+            policy: ScalingPolicy::prs(),
+            ms_cores: crate::regressor::DEFAULT_MS_CORES.to_vec(),
+            spec: RunSpec::with_default_warmup(500_000),
+            mode: FeatureMode::IpcBandwidth,
+            seed: 42,
+        }
+    }
+}
+
+/// Mean per-core IPC of a run.
+pub fn mean_ipc(r: &SimResult) -> f64 {
+    r.cores.iter().map(|c| c.ipc).sum::<f64>() / r.cores.len() as f64
+}
+
+/// Mean per-core DRAM bandwidth (GB/s) of a run.
+pub fn mean_bandwidth(r: &SimResult) -> f64 {
+    r.cores.iter().map(|c| c.bandwidth_gbps).sum::<f64>() / r.cores.len() as f64
+}
+
+/// All measurements needed for the homogeneous-mix experiments, for one
+/// benchmark.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchScaleData {
+    /// Benchmark name.
+    pub name: String,
+    /// Single-core scale-model measurement (IPC + bandwidth).
+    pub ss: SsMeasurement,
+    /// LLC MPKI on the single-core scale model (Fig 3 sort key).
+    pub ss_llc_mpki: f64,
+    /// Mean per-core IPC on each multi-core scale model `(cores, ipc)`.
+    pub ms_ipc: Vec<(u32, f64)>,
+    /// Mean per-core bandwidth on each multi-core scale model.
+    pub ms_bw: Vec<(u32, f64)>,
+    /// Mean per-core IPC on the target system.
+    pub target_ipc: f64,
+    /// Mean per-core bandwidth on the target system (Fig 12).
+    pub target_bw: f64,
+    /// Host wall-clock seconds of the single-core scale-model run.
+    pub ss_host_seconds: f64,
+    /// Host wall-clock seconds per multi-core scale-model run.
+    pub ms_host_seconds: Vec<(u32, f64)>,
+    /// Host wall-clock seconds of the target-system run.
+    pub target_host_seconds: f64,
+}
+
+/// Scale-model-only measurements for one benchmark: everything in
+/// [`BenchScaleData`] except the target-system truth. This is all that
+/// ML-based Regression needs — its selling point is that the target is
+/// never simulated.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScaleModelData {
+    /// Benchmark name.
+    pub name: String,
+    /// Single-core scale-model measurement.
+    pub ss: SsMeasurement,
+    /// LLC MPKI on the single-core scale model.
+    pub ss_llc_mpki: f64,
+    /// Mean per-core IPC on each multi-core scale model.
+    pub ms_ipc: Vec<(u32, f64)>,
+    /// Mean per-core bandwidth on each multi-core scale model.
+    pub ms_bw: Vec<(u32, f64)>,
+    /// Host seconds of the single-core run.
+    pub ss_host_seconds: f64,
+    /// Host seconds per multi-core scale-model run.
+    pub ms_host_seconds: Vec<(u32, f64)>,
+}
+
+/// Simulate one benchmark's homogeneous mixes on the single-core and
+/// multi-core scale models only (no target runs).
+pub fn collect_scale_models_bench<S: Simulate>(
+    sim: &mut S,
+    cfg: &ExperimentConfig,
+    bench: &BenchmarkProfile,
+) -> ScaleModelData {
+    let run_at = |sim: &mut S, cores: u32| -> SimResult {
+        let machine = scale_config(&cfg.target, cores, cfg.policy);
+        let mix = MixSpec::homogeneous(bench.name, cores as usize, cfg.seed);
+        sim.run_mix(&machine, &mix, cfg.spec)
+    };
+
+    let ss_run = run_at(sim, 1);
+    let ss = SsMeasurement {
+        ipc: ss_run.cores[0].ipc,
+        bandwidth: ss_run.cores[0].bandwidth_gbps,
+    };
+    let ss_llc_mpki = ss_run.cores[0].llc_mpki;
+
+    let mut ms_ipc = Vec::new();
+    let mut ms_bw = Vec::new();
+    let mut ms_host_seconds = Vec::new();
+    for &cores in &cfg.ms_cores {
+        let r = run_at(sim, cores);
+        ms_ipc.push((cores, mean_ipc(&r)));
+        ms_bw.push((cores, mean_bandwidth(&r)));
+        ms_host_seconds.push((cores, r.host_seconds));
+    }
+
+    ScaleModelData {
+        name: bench.name.to_owned(),
+        ss,
+        ss_llc_mpki,
+        ms_ipc,
+        ms_bw,
+        ss_host_seconds: ss_run.host_seconds,
+        ms_host_seconds,
+    }
+}
+
+/// [`collect_scale_models_bench`] over a whole suite.
+pub fn collect_scale_models<S: Simulate>(
+    sim: &mut S,
+    cfg: &ExperimentConfig,
+    suite: &[BenchmarkProfile],
+) -> Vec<ScaleModelData> {
+    suite
+        .iter()
+        .map(|b| collect_scale_models_bench(sim, cfg, b))
+        .collect()
+}
+
+/// Simulate one benchmark's homogeneous mixes on the single-core scale
+/// model, every multi-core scale model, and the target system.
+pub fn collect_homogeneous_bench<S: Simulate>(
+    sim: &mut S,
+    cfg: &ExperimentConfig,
+    bench: &BenchmarkProfile,
+) -> BenchScaleData {
+    let sm = collect_scale_models_bench(sim, cfg, bench);
+    let machine = if cfg.target.num_cores == 1 {
+        scale_config(&cfg.target, 1, cfg.policy)
+    } else {
+        cfg.target.clone()
+    };
+    let mix = MixSpec::homogeneous(bench.name, cfg.target.num_cores as usize, cfg.seed);
+    let t = sim.run_mix(&machine, &mix, cfg.spec);
+    BenchScaleData {
+        name: sm.name,
+        ss: sm.ss,
+        ss_llc_mpki: sm.ss_llc_mpki,
+        ms_ipc: sm.ms_ipc,
+        ms_bw: sm.ms_bw,
+        target_ipc: mean_ipc(&t),
+        target_bw: mean_bandwidth(&t),
+        ss_host_seconds: sm.ss_host_seconds,
+        ms_host_seconds: sm.ms_host_seconds,
+        target_host_seconds: t.host_seconds,
+    }
+}
+
+/// Collect [`BenchScaleData`] for a whole suite.
+pub fn collect_homogeneous<S: Simulate>(
+    sim: &mut S,
+    cfg: &ExperimentConfig,
+    suite: &[BenchmarkProfile],
+) -> Vec<BenchScaleData> {
+    suite
+        .iter()
+        .map(|b| collect_homogeneous_bench(sim, cfg, b))
+        .collect()
+}
+
+/// Which measured quantity the models predict (IPC for Figs 3-11,
+/// bandwidth utilization for Fig 12).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TargetMetric {
+    /// Predict per-application IPC.
+    Ipc,
+    /// Predict per-application DRAM bandwidth utilization.
+    Bandwidth,
+}
+
+impl BenchScaleData {
+    fn target_value(&self, metric: TargetMetric) -> f64 {
+        match metric {
+            TargetMetric::Ipc => self.target_ipc,
+            TargetMetric::Bandwidth => self.target_bw,
+        }
+    }
+
+    fn ms_value(&self, cores: u32, metric: TargetMetric) -> f64 {
+        let series = match metric {
+            TargetMetric::Ipc => &self.ms_ipc,
+            TargetMetric::Bandwidth => &self.ms_bw,
+        };
+        series
+            .iter()
+            .find(|(c, _)| *c == cores)
+            .unwrap_or_else(|| panic!("no {cores}-core scale-model measurement"))
+            .1
+    }
+
+    /// Feature row for this benchmark in a homogeneous `model_cores`-core
+    /// machine: co-runners are copies of itself.
+    fn feature_row(&self, mode: FeatureMode, model_cores: u32) -> Vec<f64> {
+        let co = self.ss.bandwidth * f64::from(model_cores.max(1) - 1);
+        feature_vector(mode, self.ss, co)
+    }
+}
+
+/// No-Extrapolation prediction (paper §III-A): the single-core scale-model
+/// value is the prediction for per-core target value.
+pub fn no_extrapolation(data: &[BenchScaleData], metric: TargetMetric) -> Vec<f64> {
+    data.iter()
+        .map(|d| match metric {
+            TargetMetric::Ipc => d.ss.ipc,
+            TargetMetric::Bandwidth => d.ss.bandwidth,
+        })
+        .collect()
+}
+
+/// ML-based Prediction under leave-one-out cross-validation over the
+/// homogeneous suite (paper §IV-2): for each benchmark, train on the
+/// remaining `N − 1` and predict the held-out one. Returns predictions
+/// aligned with `data`.
+pub fn predict_homogeneous_loo(
+    data: &[BenchScaleData],
+    kind: MlKind,
+    mode: FeatureMode,
+    metric: TargetMetric,
+    params: &ModelParams,
+    target_cores: u32,
+    seed: u64,
+) -> Vec<f64> {
+    (0..data.len())
+        .map(|held| {
+            let mut rows = Vec::with_capacity(data.len() - 1);
+            let mut targets = Vec::with_capacity(data.len() - 1);
+            for (i, d) in data.iter().enumerate() {
+                if i == held {
+                    continue;
+                }
+                rows.push(d.feature_row(mode, target_cores));
+                targets.push(d.target_value(metric));
+            }
+            let model = TrainedPredictor::train(kind, &rows, &targets, params, seed);
+            model.predict(&data[held].feature_row(mode, target_cores))
+        })
+        .collect()
+}
+
+/// ML-based Regression under leave-one-out cross-validation (paper
+/// §III-B2): train per-scale-model predictors on the remaining
+/// benchmarks, predict the held-out one on each scale model, and
+/// extrapolate with `curve` to `target_cores`.
+#[allow(clippy::too_many_arguments)]
+pub fn regress_homogeneous_loo(
+    data: &[BenchScaleData],
+    kind: MlKind,
+    curve: CurveModel,
+    mode: FeatureMode,
+    metric: TargetMetric,
+    params: &ModelParams,
+    ms_cores: &[u32],
+    target_cores: u32,
+    seed: u64,
+) -> Vec<f64> {
+    (0..data.len())
+        .map(|held| {
+            let training: Vec<ScaleModelTraining> = ms_cores
+                .iter()
+                .map(|&cores| {
+                    let mut rows = Vec::new();
+                    let mut targets = Vec::new();
+                    for (i, d) in data.iter().enumerate() {
+                        if i == held {
+                            continue;
+                        }
+                        rows.push(d.feature_row(mode, cores));
+                        targets.push(d.ms_value(cores, metric));
+                    }
+                    ScaleModelTraining {
+                        cores,
+                        rows,
+                        targets,
+                    }
+                })
+                .collect();
+            let ex = RegressionExtrapolator::train(kind, curve, &training, params, seed);
+            let rows_per_model: Vec<Vec<f64>> = ms_cores
+                .iter()
+                .map(|&c| data[held].feature_row(mode, c))
+                .collect();
+            ex.predict(&rows_per_model, target_cores)
+        })
+        .collect()
+}
+
+/// A simulated mix with its per-slot outcomes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MixRun {
+    /// The workload mix.
+    pub mix: MixSpec,
+    /// Per-slot IPC.
+    pub slot_ipc: Vec<f64>,
+    /// Per-slot bandwidth (GB/s).
+    pub slot_bw: Vec<f64>,
+}
+
+/// All measurements for the heterogeneous-mix experiments.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HeterogeneousData {
+    /// Evaluation benchmarks (unseen during training).
+    pub eval_names: Vec<String>,
+    /// Training benchmarks.
+    pub train_names: Vec<String>,
+    /// Single-core scale-model measurements for every benchmark.
+    pub ss: BTreeMap<String, SsMeasurement>,
+    /// Training mixes simulated on the target system (ML-prediction).
+    pub train_target: Vec<MixRun>,
+    /// Training mixes simulated on each multi-core scale model
+    /// (ML-regression): `(cores, runs)`.
+    pub ms_train: Vec<(u32, Vec<MixRun>)>,
+    /// Evaluation mixes simulated on the target system (ground truth).
+    pub eval_target: Vec<MixRun>,
+}
+
+fn to_mix_run(mix: MixSpec, r: &SimResult) -> MixRun {
+    MixRun {
+        mix,
+        slot_ipc: r.cores.iter().map(|c| c.ipc).collect(),
+        slot_bw: r.cores.iter().map(|c| c.bandwidth_gbps).collect(),
+    }
+}
+
+/// Heterogeneous experiment sizing (paper §IV-2): 8 eval benchmarks, a
+/// constant 320 training results, 10 eval mixes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HeteroSizing {
+    /// Benchmarks held out for evaluation.
+    pub eval_benchmarks: usize,
+    /// Total training results (mixes × slots is held at this count).
+    pub training_results: usize,
+    /// Number of evaluation mixes simulated on the target.
+    pub eval_mixes: usize,
+}
+
+impl Default for HeteroSizing {
+    fn default() -> Self {
+        Self {
+            eval_benchmarks: 8,
+            training_results: 320,
+            eval_mixes: 10,
+        }
+    }
+}
+
+/// Collect every simulation the heterogeneous experiments need.
+pub fn collect_heterogeneous<S: Simulate>(
+    sim: &mut S,
+    cfg: &ExperimentConfig,
+    suite: &[BenchmarkProfile],
+    sizing: HeteroSizing,
+) -> HeterogeneousData {
+    let (eval_pool, train_pool) = heterogeneous_split(cfg, suite, sizing);
+
+    // Single-core scale model for every benchmark.
+    let ss_cfg = scale_config(&cfg.target, 1, cfg.policy);
+    let mut ss = BTreeMap::new();
+    for b in suite {
+        let mix = MixSpec::homogeneous(b.name, 1, cfg.seed);
+        let r = sim.run_mix(&ss_cfg, &mix, cfg.spec);
+        ss.insert(
+            b.name.to_owned(),
+            SsMeasurement {
+                ipc: r.cores[0].ipc,
+                bandwidth: r.cores[0].bandwidth_gbps,
+            },
+        );
+    }
+
+    let t_cores = cfg.target.num_cores as usize;
+
+    // Training mixes on the target (N mixes x T slots = training_results).
+    let n_train_mixes = sizing.training_results / t_cores;
+    let mut train_target = Vec::new();
+    for i in 0..n_train_mixes {
+        let mix = MixSpec::random(&train_pool, t_cores, cfg.seed ^ (0x1000 + i as u64));
+        let r = sim.run_mix(&cfg.target, &mix, cfg.spec);
+        train_target.push(to_mix_run(mix, &r));
+    }
+
+    // Training mixes on each multi-core scale model (320 results each).
+    let mut ms_train = Vec::new();
+    for &cores in &cfg.ms_cores {
+        let machine = scale_config(&cfg.target, cores, cfg.policy);
+        let n_mixes = sizing.training_results / cores as usize;
+        let mut runs = Vec::new();
+        for i in 0..n_mixes {
+            let mix = MixSpec::random(
+                &train_pool,
+                cores as usize,
+                cfg.seed ^ (0x2000 + u64::from(cores) * 1000 + i as u64),
+            );
+            let r = sim.run_mix(&machine, &mix, cfg.spec);
+            runs.push(to_mix_run(mix, &r));
+        }
+        ms_train.push((cores, runs));
+    }
+
+    // Evaluation mixes on the target (ground truth).
+    let mut eval_target = Vec::new();
+    for i in 0..sizing.eval_mixes {
+        let mix = MixSpec::random(&eval_pool, t_cores, cfg.seed ^ (0x3000 + i as u64));
+        let r = sim.run_mix(&cfg.target, &mix, cfg.spec);
+        eval_target.push(to_mix_run(mix, &r));
+    }
+
+    HeterogeneousData {
+        eval_names: eval_pool.iter().map(|p| p.name.to_owned()).collect(),
+        train_names: train_pool.iter().map(|p| p.name.to_owned()).collect(),
+        ss,
+        train_target,
+        ms_train,
+        eval_target,
+    }
+}
+
+/// Feature rows + targets from a set of mix runs, using each slot as one
+/// training sample (paper §III-B1). `model_cores` is the machine the mixes
+/// ran on (affects the co-runner bandwidth feature).
+pub fn mix_training_set(
+    ss: &BTreeMap<String, SsMeasurement>,
+    runs: &[MixRun],
+    mode: FeatureMode,
+    metric: TargetMetric,
+    model_cores: u32,
+) -> (Vec<Vec<f64>>, Vec<f64>) {
+    let mut rows = Vec::new();
+    let mut targets = Vec::new();
+    for run in runs {
+        let bws: Vec<f64> = run.mix.benchmarks.iter().map(|n| ss[n].bandwidth).collect();
+        for (j, name) in run.mix.benchmarks.iter().enumerate() {
+            let co = corunner_bandwidth(&bws, j, model_cores);
+            rows.push(feature_vector(mode, ss[name], co));
+            targets.push(match metric {
+                TargetMetric::Ipc => run.slot_ipc[j],
+                TargetMetric::Bandwidth => run.slot_bw[j],
+            });
+        }
+    }
+    (rows, targets)
+}
+
+/// Train the heterogeneous ML-based predictor on the target-system
+/// training runs.
+pub fn train_hetero_predictor(
+    data: &HeterogeneousData,
+    kind: MlKind,
+    mode: FeatureMode,
+    metric: TargetMetric,
+    params: &ModelParams,
+    target_cores: u32,
+    seed: u64,
+) -> TrainedPredictor {
+    let (rows, targets) =
+        mix_training_set(&data.ss, &data.train_target, mode, metric, target_cores);
+    TrainedPredictor::train(kind, &rows, &targets, params, seed)
+}
+
+/// Train the heterogeneous ML-based regression extrapolator on the
+/// multi-core scale-model training runs.
+pub fn train_hetero_regressor(
+    data: &HeterogeneousData,
+    kind: MlKind,
+    curve: CurveModel,
+    mode: FeatureMode,
+    metric: TargetMetric,
+    params: &ModelParams,
+    seed: u64,
+) -> RegressionExtrapolator {
+    let training: Vec<ScaleModelTraining> = data
+        .ms_train
+        .iter()
+        .map(|(cores, runs)| {
+            let (rows, targets) = mix_training_set(&data.ss, runs, mode, metric, *cores);
+            ScaleModelTraining {
+                cores: *cores,
+                rows,
+                targets,
+            }
+        })
+        .collect();
+    RegressionExtrapolator::train(kind, curve, &training, params, seed)
+}
+
+/// Per-slot predictions for an evaluation mix using a trained predictor.
+pub fn predict_mix_slots(
+    predictor: &TrainedPredictor,
+    ss: &BTreeMap<String, SsMeasurement>,
+    mix: &MixSpec,
+    mode: FeatureMode,
+    target_cores: u32,
+) -> Vec<f64> {
+    let bws: Vec<f64> = mix.benchmarks.iter().map(|n| ss[n].bandwidth).collect();
+    mix.benchmarks
+        .iter()
+        .enumerate()
+        .map(|(j, name)| {
+            let co = corunner_bandwidth(&bws, j, target_cores);
+            predictor.predict(&feature_vector(mode, ss[name], co))
+        })
+        .collect()
+}
+
+/// Per-slot predictions for an evaluation mix using a trained regression
+/// extrapolator.
+pub fn regress_mix_slots(
+    ex: &RegressionExtrapolator,
+    ss: &BTreeMap<String, SsMeasurement>,
+    mix: &MixSpec,
+    mode: FeatureMode,
+    ms_cores: &[u32],
+    target_cores: u32,
+) -> Vec<f64> {
+    let bws: Vec<f64> = mix.benchmarks.iter().map(|n| ss[n].bandwidth).collect();
+    mix.benchmarks
+        .iter()
+        .enumerate()
+        .map(|(j, name)| {
+            let rows: Vec<Vec<f64>> = ms_cores
+                .iter()
+                .map(|&c| {
+                    let co = corunner_bandwidth(&bws, j, c);
+                    feature_vector(mode, ss[name], co)
+                })
+                .collect();
+            ex.predict(&rows, target_cores)
+        })
+        .collect()
+}
+
+/// Average the per-slot errors of eval-mix predictions per evaluation
+/// application (paper §IV-2: "the average prediction error across these
+/// mixes for each application of interest"). Returns `(name, mean error)`
+/// pairs for every eval benchmark that appears.
+pub fn per_app_errors(data: &HeterogeneousData, predictions: &[Vec<f64>]) -> Vec<(String, f64)> {
+    let mut acc: BTreeMap<&str, (f64, usize)> = BTreeMap::new();
+    for (run, preds) in data.eval_target.iter().zip(predictions) {
+        for ((name, &truth), &pred) in run.mix.benchmarks.iter().zip(&run.slot_ipc).zip(preds) {
+            let e = crate::metrics::prediction_error(pred, truth);
+            let entry = acc.entry(name.as_str()).or_insert((0.0, 0));
+            entry.0 += e;
+            entry.1 += 1;
+        }
+    }
+    acc.into_iter()
+        .map(|(name, (sum, n))| (name.to_owned(), sum / n as f64))
+        .collect()
+}
+
+/// Enumerate every `(machine, mix)` pair the homogeneous collector will
+/// request, so a harness can pre-execute them (e.g. into a cache, possibly
+/// in parallel) before calling [`collect_homogeneous`].
+pub fn homogeneous_plan(
+    cfg: &ExperimentConfig,
+    suite: &[BenchmarkProfile],
+) -> Vec<(SystemConfig, MixSpec)> {
+    let mut plan = Vec::new();
+    for bench in suite {
+        let mut cores_list = vec![1u32];
+        cores_list.extend(cfg.ms_cores.iter().copied());
+        cores_list.push(cfg.target.num_cores);
+        for cores in cores_list {
+            let machine = if cores == cfg.target.num_cores {
+                cfg.target.clone()
+            } else {
+                scale_config(&cfg.target, cores, cfg.policy)
+            };
+            plan.push((
+                machine,
+                MixSpec::homogeneous(bench.name, cores as usize, cfg.seed),
+            ));
+        }
+    }
+    plan
+}
+
+/// The eval/train benchmark split used by [`collect_heterogeneous`].
+pub fn heterogeneous_split(
+    cfg: &ExperimentConfig,
+    suite: &[BenchmarkProfile],
+    sizing: HeteroSizing,
+) -> (Vec<BenchmarkProfile>, Vec<BenchmarkProfile>) {
+    let mut pool = suite.to_vec();
+    let mut rng = sms_workloads::rng::SplitMix64::new(cfg.seed ^ 0x165_667B1_9E37_79F9);
+    for i in 0..sizing.eval_benchmarks {
+        let j = i + rng.next_below((pool.len() - i) as u64) as usize;
+        pool.swap(i, j);
+    }
+    let train = pool.split_off(sizing.eval_benchmarks);
+    (pool, train)
+}
+
+/// Enumerate every `(machine, mix)` pair the heterogeneous collector will
+/// request (see [`homogeneous_plan`]).
+pub fn heterogeneous_plan(
+    cfg: &ExperimentConfig,
+    suite: &[BenchmarkProfile],
+    sizing: HeteroSizing,
+) -> Vec<(SystemConfig, MixSpec)> {
+    let (eval_pool, train_pool) = heterogeneous_split(cfg, suite, sizing);
+    let t_cores = cfg.target.num_cores as usize;
+    let ss_cfg = scale_config(&cfg.target, 1, cfg.policy);
+    let mut plan = Vec::new();
+    for b in suite {
+        plan.push((ss_cfg.clone(), MixSpec::homogeneous(b.name, 1, cfg.seed)));
+    }
+    for i in 0..sizing.training_results / t_cores {
+        let mix = MixSpec::random(&train_pool, t_cores, cfg.seed ^ (0x1000 + i as u64));
+        plan.push((cfg.target.clone(), mix));
+    }
+    for &cores in &cfg.ms_cores {
+        let machine = scale_config(&cfg.target, cores, cfg.policy);
+        for i in 0..sizing.training_results / cores as usize {
+            let mix = MixSpec::random(
+                &train_pool,
+                cores as usize,
+                cfg.seed ^ (0x2000 + u64::from(cores) * 1000 + i as u64),
+            );
+            plan.push((machine.clone(), mix));
+        }
+    }
+    for i in 0..sizing.eval_mixes {
+        let mix = MixSpec::random(&eval_pool, t_cores, cfg.seed ^ (0x3000 + i as u64));
+        plan.push((cfg.target.clone(), mix));
+    }
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// An analytical fake machine: per-benchmark intrinsic IPC/BW derived
+    /// from the name, contention from aggregate bandwidth pressure. Lets
+    /// the whole pipeline run in milliseconds.
+    struct FakeSim;
+
+    fn intrinsic(name: &str) -> (f64, f64) {
+        let h = name
+            .bytes()
+            .fold(7u64, |a, b| a.wrapping_mul(31).wrapping_add(b.into()));
+        let ipc = 0.3 + (h % 17) as f64 * 0.15; // 0.3 .. 2.7
+        let bw = 0.1 + (h % 7) as f64 * 0.55; // 0.1 .. 3.4
+        (ipc, bw)
+    }
+
+    impl Simulate for FakeSim {
+        fn run_mix(&mut self, cfg: &SystemConfig, mix: &MixSpec, _spec: RunSpec) -> SimResult {
+            let per_core_bw_budget = cfg.dram.total_bandwidth_gbps() / f64::from(cfg.num_cores);
+            let total_demand: f64 = mix.benchmarks.iter().map(|n| intrinsic(n).1).sum();
+            let cores = mix.benchmarks.len();
+            let cap = per_core_bw_budget * cores as f64;
+            // Saturating contention: slowdown grows with oversubscription
+            // and with LLC shortfall.
+            let llc_per_core = cfg.llc.total_capacity_bytes() as f64 / 1e6 / cores as f64;
+            let pressure = (total_demand / cap).max(0.2);
+            let core_results: Vec<sms_sim::stats::CoreResult> = mix
+                .benchmarks
+                .iter()
+                .map(|n| {
+                    let (ipc0, bw0) = intrinsic(n);
+                    let mem_frac = bw0 / 3.5;
+                    // Base contention from bandwidth pressure and LLC
+                    // share, plus a core-count-dependent residual (the
+                    // analogue of growing NUCA distances) that a perfect
+                    // PRS scale model cannot capture — this is what the ML
+                    // extrapolation must learn.
+                    let slow = (1.0 + mem_frac * (0.5 * pressure.ln_1p() + 0.3 / llc_per_core))
+                        * (1.0 + mem_frac * 0.06 * (cores as f64).ln());
+                    let ipc = ipc0 / slow;
+                    sms_sim::stats::CoreResult {
+                        label: n.clone(),
+                        instructions: 1_000_000,
+                        cycles: (1_000_000.0 / ipc) as u64,
+                        ipc,
+                        l1d_load_misses: 0,
+                        llc_hits: 0,
+                        dram_loads: 0,
+                        dram_bytes: 0,
+                        bandwidth_gbps: bw0 / slow.sqrt(),
+                        llc_mpki: bw0 * 8.0,
+                        mem_stall_cycles: 0,
+                        fetch_stall_cycles: 0,
+                        branch_stall_cycles: 0,
+                        prefetches: 0,
+                    }
+                })
+                .collect();
+            SimResult {
+                cores: core_results,
+                elapsed_cycles: 1_000_000,
+                total_dram_bytes: 0,
+                total_bandwidth_gbps: 0.0,
+                noc_transfers: 0,
+                noc_crossings: 0,
+                llc_accesses: 0,
+                llc_hits: 0,
+                host_seconds: 0.0,
+            }
+        }
+    }
+
+    fn fake_suite(n: usize) -> Vec<BenchmarkProfile> {
+        sms_workloads::spec::suite().into_iter().take(n).collect()
+    }
+
+    fn small_cfg() -> ExperimentConfig {
+        ExperimentConfig {
+            ms_cores: vec![2, 4, 8, 16],
+            ..ExperimentConfig::default()
+        }
+    }
+
+    #[test]
+    fn homogeneous_collection_shapes() {
+        let cfg = small_cfg();
+        let data = collect_homogeneous(&mut FakeSim, &cfg, &fake_suite(5));
+        assert_eq!(data.len(), 5);
+        for d in &data {
+            assert_eq!(d.ms_ipc.len(), 4);
+            assert!(d.ss.ipc > 0.0);
+            assert!(d.target_ipc > 0.0);
+            assert!(
+                d.target_ipc <= d.ss.ipc + 1e-9,
+                "co-running cannot speed a benchmark up in the fake world"
+            );
+        }
+    }
+
+    #[test]
+    fn probe_all_kinds() {
+        let cfg = small_cfg();
+        let data = collect_homogeneous(&mut FakeSim, &cfg, &fake_suite(29));
+        let truth: Vec<f64> = data.iter().map(|d| d.target_ipc).collect();
+        let err = |p: &[f64]| -> f64 {
+            p.iter()
+                .zip(&truth)
+                .map(|(&a, &b)| ((a - b) / b).abs())
+                .sum::<f64>()
+                / p.len() as f64
+        };
+        let noext = no_extrapolation(&data, TargetMetric::Ipc);
+        println!("noext: {:.4}", err(&noext));
+        for kind in MlKind::all() {
+            let pred = predict_homogeneous_loo(
+                &data,
+                kind,
+                FeatureMode::IpcBandwidth,
+                TargetMetric::Ipc,
+                &ModelParams::default(),
+                32,
+                1,
+            );
+            println!("{kind}: {:.4}", err(&pred));
+        }
+    }
+
+    #[test]
+    fn ml_prediction_beats_no_extrapolation_on_fake_world() {
+        let cfg = small_cfg();
+        let data = collect_homogeneous(&mut FakeSim, &cfg, &fake_suite(29));
+        let truth: Vec<f64> = data.iter().map(|d| d.target_ipc).collect();
+
+        let noext = no_extrapolation(&data, TargetMetric::Ipc);
+        let pred = predict_homogeneous_loo(
+            &data,
+            MlKind::Svm,
+            FeatureMode::IpcBandwidth,
+            TargetMetric::Ipc,
+            &ModelParams::default(),
+            32,
+            1,
+        );
+        let err = |p: &[f64]| -> f64 {
+            p.iter()
+                .zip(&truth)
+                .map(|(&a, &b)| ((a - b) / b).abs())
+                .sum::<f64>()
+                / p.len() as f64
+        };
+        let (e_no, e_ml) = (err(&noext), err(&pred));
+        assert!(
+            e_ml < e_no,
+            "SVM prediction ({e_ml:.3}) must beat no-extrapolation ({e_no:.3})"
+        );
+        assert!(e_ml < 0.12, "fake world is learnable: {e_ml:.3}");
+    }
+
+    #[test]
+    fn ml_regression_close_to_prediction_on_fake_world() {
+        let cfg = small_cfg();
+        let data = collect_homogeneous(&mut FakeSim, &cfg, &fake_suite(20));
+        let truth: Vec<f64> = data.iter().map(|d| d.target_ipc).collect();
+        let reg = regress_homogeneous_loo(
+            &data,
+            MlKind::Svm,
+            CurveModel::Logarithmic,
+            FeatureMode::IpcBandwidth,
+            TargetMetric::Ipc,
+            &ModelParams::default(),
+            &[2, 4, 8, 16],
+            32,
+            1,
+        );
+        let e: f64 = reg
+            .iter()
+            .zip(&truth)
+            .map(|(&a, &b)| ((a - b) / b).abs())
+            .sum::<f64>()
+            / reg.len() as f64;
+        assert!(e < 0.25, "regression error {e:.3}");
+    }
+
+    #[test]
+    fn heterogeneous_collection_shapes() {
+        let cfg = small_cfg();
+        let sizing = HeteroSizing::default();
+        let data = collect_heterogeneous(&mut FakeSim, &cfg, &fake_suite(29), sizing);
+        assert_eq!(data.eval_names.len(), 8);
+        assert_eq!(data.train_names.len(), 21);
+        assert_eq!(data.ss.len(), 29);
+        assert_eq!(data.train_target.len(), 10); // 320 / 32
+        assert_eq!(data.eval_target.len(), 10);
+        for (cores, runs) in &data.ms_train {
+            assert_eq!(
+                runs.len() * *cores as usize,
+                320,
+                "constant training results for {cores}-core model"
+            );
+        }
+        // Training mixes draw only from the training pool.
+        for run in &data.train_target {
+            for b in &run.mix.benchmarks {
+                assert!(data.train_names.contains(b), "{b} leaked into training");
+            }
+        }
+        // Eval mixes draw only from the eval pool.
+        for run in &data.eval_target {
+            for b in &run.mix.benchmarks {
+                assert!(data.eval_names.contains(b), "{b} leaked into eval");
+            }
+        }
+    }
+
+    #[test]
+    fn heterogeneous_prediction_pipeline_runs_and_learns() {
+        let cfg = small_cfg();
+        let data =
+            collect_heterogeneous(&mut FakeSim, &cfg, &fake_suite(29), HeteroSizing::default());
+        let predictor = train_hetero_predictor(
+            &data,
+            MlKind::Svm,
+            FeatureMode::IpcBandwidth,
+            TargetMetric::Ipc,
+            &ModelParams::default(),
+            32,
+            1,
+        );
+        let preds: Vec<Vec<f64>> = data
+            .eval_target
+            .iter()
+            .map(|run| {
+                predict_mix_slots(
+                    &predictor,
+                    &data.ss,
+                    &run.mix,
+                    FeatureMode::IpcBandwidth,
+                    32,
+                )
+            })
+            .collect();
+        let per_app = per_app_errors(&data, &preds);
+        assert!(!per_app.is_empty());
+        let mean_err: f64 = per_app.iter().map(|(_, e)| e).sum::<f64>() / per_app.len() as f64;
+        assert!(mean_err < 0.2, "hetero prediction error {mean_err:.3}");
+    }
+
+    #[test]
+    fn heterogeneous_regression_pipeline_runs() {
+        let cfg = small_cfg();
+        let data =
+            collect_heterogeneous(&mut FakeSim, &cfg, &fake_suite(29), HeteroSizing::default());
+        let ex = train_hetero_regressor(
+            &data,
+            MlKind::Svm,
+            CurveModel::Logarithmic,
+            FeatureMode::IpcBandwidth,
+            TargetMetric::Ipc,
+            &ModelParams::default(),
+            1,
+        );
+        let preds: Vec<Vec<f64>> = data
+            .eval_target
+            .iter()
+            .map(|run| {
+                regress_mix_slots(
+                    &ex,
+                    &data.ss,
+                    &run.mix,
+                    FeatureMode::IpcBandwidth,
+                    &cfg.ms_cores,
+                    32,
+                )
+            })
+            .collect();
+        let per_app = per_app_errors(&data, &preds);
+        let mean_err: f64 = per_app.iter().map(|(_, e)| e).sum::<f64>() / per_app.len() as f64;
+        assert!(mean_err < 0.35, "hetero regression error {mean_err:.3}");
+    }
+
+    /// Records every (config, mix) pair requested, then delegates.
+    struct RecordingSim(Vec<(SystemConfig, MixSpec)>, FakeSim);
+
+    impl Simulate for RecordingSim {
+        fn run_mix(&mut self, cfg: &SystemConfig, mix: &MixSpec, spec: RunSpec) -> SimResult {
+            self.0.push((cfg.clone(), mix.clone()));
+            self.1.run_mix(cfg, mix, spec)
+        }
+    }
+
+    #[test]
+    fn homogeneous_plan_covers_collector_requests() {
+        let cfg = small_cfg();
+        let suite = fake_suite(4);
+        let plan = homogeneous_plan(&cfg, &suite);
+        let mut rec = RecordingSim(Vec::new(), FakeSim);
+        let _ = collect_homogeneous(&mut rec, &cfg, &suite);
+        assert_eq!(plan.len(), rec.0.len());
+        for req in &rec.0 {
+            assert!(plan.contains(req), "plan missing a collector request");
+        }
+    }
+
+    #[test]
+    fn heterogeneous_plan_covers_collector_requests() {
+        let cfg = small_cfg();
+        let suite = fake_suite(29);
+        let sizing = HeteroSizing::default();
+        let plan = heterogeneous_plan(&cfg, &suite, sizing);
+        let mut rec = RecordingSim(Vec::new(), FakeSim);
+        let _ = collect_heterogeneous(&mut rec, &cfg, &suite, sizing);
+        assert_eq!(plan.len(), rec.0.len());
+        for req in &rec.0 {
+            assert!(plan.contains(req), "plan missing a collector request");
+        }
+    }
+
+    #[test]
+    fn mix_training_set_shapes() {
+        let cfg = small_cfg();
+        let data =
+            collect_heterogeneous(&mut FakeSim, &cfg, &fake_suite(29), HeteroSizing::default());
+        let (rows, targets) = mix_training_set(
+            &data.ss,
+            &data.train_target,
+            FeatureMode::IpcBandwidth,
+            TargetMetric::Ipc,
+            32,
+        );
+        assert_eq!(rows.len(), 320);
+        assert_eq!(targets.len(), 320);
+        assert_eq!(rows[0].len(), 3);
+        let (rows1, _) = mix_training_set(
+            &data.ss,
+            &data.train_target,
+            FeatureMode::IpcOnly,
+            TargetMetric::Ipc,
+            32,
+        );
+        assert_eq!(rows1[0].len(), 1);
+    }
+}

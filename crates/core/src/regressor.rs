@@ -1,0 +1,278 @@
+//! ML-based Regression (paper §III-B2): predict the unseen application's
+//! IPC on several multi-core *scale models*, then extrapolate to the
+//! target core count with a least-squares curve fit — no target-system
+//! simulations are needed for training.
+
+use serde::{Deserialize, Serialize};
+use sms_ml::fit::{fit_curve, CurveModel};
+
+use crate::predictor::{MlKind, ModelParams, TrainedPredictor};
+
+/// The default set of multi-core scale models used for regression
+/// (paper §III-B2 / §V-E4: 2-, 4-, 8- and 16-core models).
+pub const DEFAULT_MS_CORES: [u32; 4] = [2, 4, 8, 16];
+
+/// A trained regression extrapolator: one predictor per multi-core scale
+/// model plus the curve family used to extrapolate IPC versus core count.
+pub struct RegressionExtrapolator {
+    models: Vec<(u32, TrainedPredictor)>,
+    curve: CurveModel,
+    kind: MlKind,
+}
+
+impl std::fmt::Debug for RegressionExtrapolator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RegressionExtrapolator")
+            .field("kind", &self.kind)
+            .field("curve", &self.curve)
+            .field(
+                "scale_models",
+                &self.models.iter().map(|m| m.0).collect::<Vec<_>>(),
+            )
+            .finish()
+    }
+}
+
+/// Training set for one multi-core scale model: feature rows (from the
+/// single-core scale model) and per-application IPC measured on that
+/// scale model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScaleModelTraining {
+    /// The scale model's core count.
+    pub cores: u32,
+    /// Feature rows (see [`crate::features`]).
+    pub rows: Vec<Vec<f64>>,
+    /// Per-application IPC on this scale model.
+    pub targets: Vec<f64>,
+}
+
+impl RegressionExtrapolator {
+    /// Train one predictor per multi-core scale model (step 1 of §III-B2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two scale models are supplied (a curve cannot
+    /// be fitted otherwise) or any training set is empty.
+    pub fn train(
+        kind: MlKind,
+        curve: CurveModel,
+        training: &[ScaleModelTraining],
+        params: &ModelParams,
+        seed: u64,
+    ) -> Self {
+        assert!(
+            training.len() >= 2,
+            "regression needs at least two multi-core scale models"
+        );
+        let models = training
+            .iter()
+            .enumerate()
+            .map(|(i, t)| {
+                (
+                    t.cores,
+                    TrainedPredictor::train(kind, &t.rows, &t.targets, params, seed ^ (i as u64)),
+                )
+            })
+            .collect();
+        Self {
+            models,
+            curve,
+            kind,
+        }
+    }
+
+    /// Predict the application's IPC on the target system (steps 2 + 3 of
+    /// §III-B2): predict IPC on each multi-core scale model from the
+    /// per-model feature rows, then fit `IPC = f(cores)` and evaluate at
+    /// `target_cores`.
+    ///
+    /// `rows_per_model` supplies the feature row for each scale model in
+    /// training order (the co-runner bandwidth feature depends on the
+    /// model's core count, see
+    /// [`corunner_bandwidth`](crate::features::corunner_bandwidth)).
+    ///
+    /// Falls back to the largest scale model's prediction if the curve fit
+    /// is degenerate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows_per_model.len()` differs from the model count.
+    pub fn predict(&self, rows_per_model: &[Vec<f64>], target_cores: u32) -> f64 {
+        assert_eq!(
+            rows_per_model.len(),
+            self.models.len(),
+            "one feature row per scale model required"
+        );
+        let xs: Vec<f64> = self.models.iter().map(|(c, _)| f64::from(*c)).collect();
+        let ys: Vec<f64> = self
+            .models
+            .iter()
+            .zip(rows_per_model)
+            .map(|((_, m), row)| m.predict(row))
+            .collect();
+        let last = *ys.last().expect("at least two models");
+        let raw = match fit_curve(self.curve, &xs, &ys) {
+            Some(c) => c.eval(f64::from(target_cores)),
+            None => last,
+        };
+        // Physical prior: under proportional resource scaling, per-core
+        // performance cannot swing far past the largest scale model's
+        // level when growing to the target — contention only adds. Clamp
+        // wild extrapolations (piecewise-constant tree outputs feed the
+        // curve fit noisy series) to a band around the largest model.
+        let hi = last.abs() * 1.25;
+        raw.clamp(0.0, hi.max(1e-12))
+    }
+
+    /// Predicted IPC on each multi-core scale model (step 2 only), for
+    /// diagnostics and the Fig 7 trade-off analysis.
+    pub fn scale_model_predictions(&self, rows_per_model: &[Vec<f64>]) -> Vec<(u32, f64)> {
+        self.models
+            .iter()
+            .zip(rows_per_model)
+            .map(|((c, m), row)| (*c, m.predict(row)))
+            .collect()
+    }
+
+    /// Curve family in use.
+    pub fn curve(&self) -> CurveModel {
+        self.curve
+    }
+
+    /// ML technique in use.
+    pub fn kind(&self) -> MlKind {
+        self.kind
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Synthetic world: IPC(cores) = a·ln(cores) + b per "benchmark",
+    /// where a and b derive from the features.
+    fn synthetic_training(ms_cores: &[u32]) -> Vec<ScaleModelTraining> {
+        ms_cores
+            .iter()
+            .map(|&cores| {
+                let mut rows = Vec::new();
+                let mut targets = Vec::new();
+                for i in 0..40 {
+                    let ipc = 0.5 + (i % 8) as f64 * 0.25;
+                    let bw = (i % 5) as f64 * 0.6;
+                    let co = bw * f64::from(cores - 1);
+                    rows.push(vec![ipc, bw, co]);
+                    targets.push(ipc - 0.05 * bw * f64::from(cores).ln());
+                }
+                ScaleModelTraining {
+                    cores,
+                    rows,
+                    targets,
+                }
+            })
+            .collect()
+    }
+
+    fn rows_for(ipc: f64, bw: f64, ms_cores: &[u32]) -> Vec<Vec<f64>> {
+        ms_cores
+            .iter()
+            .map(|&c| vec![ipc, bw, bw * f64::from(c - 1)])
+            .collect()
+    }
+
+    #[test]
+    fn extrapolates_logarithmic_decline() {
+        let ms = DEFAULT_MS_CORES;
+        let training = synthetic_training(&ms);
+        let ex = RegressionExtrapolator::train(
+            MlKind::Svm,
+            CurveModel::Logarithmic,
+            &training,
+            &ModelParams::default(),
+            0,
+        );
+        let (ipc, bw) = (1.25, 1.2);
+        let rows = rows_for(ipc, bw, &ms);
+        let pred = ex.predict(&rows, 32);
+        let truth = ipc - 0.05 * bw * 32f64.ln();
+        let err = (pred - truth).abs() / truth;
+        assert!(err < 0.1, "pred {pred} truth {truth} err {err}");
+    }
+
+    #[test]
+    fn log_beats_linear_on_log_world() {
+        let ms = DEFAULT_MS_CORES;
+        let training = synthetic_training(&ms);
+        let truth = |ipc: f64, bw: f64| ipc - 0.05 * bw * 32f64.ln();
+        let mut errs = std::collections::HashMap::new();
+        for curve in [CurveModel::Linear, CurveModel::Logarithmic] {
+            let ex = RegressionExtrapolator::train(
+                MlKind::Svm,
+                curve,
+                &training,
+                &ModelParams::default(),
+                0,
+            );
+            let mut e = 0.0;
+            for i in 0..10 {
+                let ipc = 0.6 + i as f64 * 0.15;
+                let bw = 0.3 + (i % 4) as f64 * 0.5;
+                let rows = rows_for(ipc, bw, &ms);
+                let t = truth(ipc, bw);
+                e += (ex.predict(&rows, 32) - t).abs() / t;
+            }
+            errs.insert(format!("{curve}"), e / 10.0);
+        }
+        assert!(
+            errs["log"] < errs["linear"],
+            "log {} should beat linear {}",
+            errs["log"],
+            errs["linear"]
+        );
+    }
+
+    #[test]
+    fn scale_model_predictions_expose_step_two() {
+        let ms = [2u32, 4];
+        let training = synthetic_training(&ms);
+        let ex = RegressionExtrapolator::train(
+            MlKind::DecisionTree,
+            CurveModel::Logarithmic,
+            &training,
+            &ModelParams::default(),
+            0,
+        );
+        let rows = rows_for(1.0, 0.6, &ms);
+        let preds = ex.scale_model_predictions(&rows);
+        assert_eq!(preds.len(), 2);
+        assert_eq!(preds[0].0, 2);
+        assert_eq!(preds[1].0, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn single_scale_model_rejected() {
+        let training = synthetic_training(&[4]);
+        let _ = RegressionExtrapolator::train(
+            MlKind::Svm,
+            CurveModel::Logarithmic,
+            &training,
+            &ModelParams::default(),
+            0,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "one feature row per scale model")]
+    fn row_count_mismatch_rejected() {
+        let training = synthetic_training(&[2, 4]);
+        let ex = RegressionExtrapolator::train(
+            MlKind::Svm,
+            CurveModel::Logarithmic,
+            &training,
+            &ModelParams::default(),
+            0,
+        );
+        let _ = ex.predict(&[vec![1.0, 0.5, 0.5]], 32);
+    }
+}

@@ -1,0 +1,460 @@
+//! Scale-model construction: deriving a scaled-down [`SystemConfig`] from
+//! the target system (paper §II, Table I).
+//!
+//! The central design choice is what happens to the shared resources when
+//! the core count shrinks by a factor `F`:
+//!
+//! * **No Resource Scaling (NRS)** keeps LLC capacity, NoC bandwidth and
+//!   DRAM bandwidth at target size.
+//! * **Proportional Resource Scaling (PRS)** shrinks them by `F` so that
+//!   per-core shares stay constant. DRAM bandwidth scales **MC-first**
+//!   (drop memory controllers down to one, then shrink per-controller
+//!   bandwidth) or **MB-first** (shrink per-controller bandwidth to the
+//!   floor, then drop controllers); the paper finds MC-first more
+//!   accurate (§V-E1, Fig 8).
+
+use serde::{Deserialize, Serialize};
+use sms_sim::config::SystemConfig;
+
+/// How DRAM bandwidth is scaled down under PRS (paper §II and §V-E1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MemBwScaling {
+    /// First reduce the number of memory controllers (keeping per-MC
+    /// bandwidth), then reduce per-MC bandwidth once one controller is
+    /// left. The paper's default.
+    McFirst,
+    /// First reduce per-controller bandwidth down to the floor reached by
+    /// the full scale-down, then reduce the controller count.
+    MbFirst,
+}
+
+/// Which shared resources a scale model scales with core count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ScalingPolicy {
+    /// Scale LLC capacity (slice count follows core count).
+    pub scale_llc: bool,
+    /// Scale DRAM bandwidth.
+    pub scale_dram: bool,
+    /// Scale NoC bisection bandwidth and mesh geometry.
+    pub scale_noc: bool,
+    /// DRAM scaling order (only relevant when `scale_dram`).
+    pub mem_bw: MemBwScaling,
+}
+
+impl ScalingPolicy {
+    /// No Resource Scaling: shared resources stay at target size.
+    pub fn nrs() -> Self {
+        Self {
+            scale_llc: false,
+            scale_dram: false,
+            scale_noc: false,
+            mem_bw: MemBwScaling::McFirst,
+        }
+    }
+
+    /// PRS scaling only the LLC (paper Fig 3, "PRS-LLC").
+    pub fn prs_llc_only() -> Self {
+        Self {
+            scale_llc: true,
+            ..Self::nrs()
+        }
+    }
+
+    /// PRS scaling only DRAM bandwidth (paper Fig 3, "PRS-DRAM").
+    pub fn prs_dram_only() -> Self {
+        Self {
+            scale_dram: true,
+            ..Self::nrs()
+        }
+    }
+
+    /// Full PRS: LLC, DRAM and NoC all scale proportionally. The paper's
+    /// recommended construction.
+    pub fn prs() -> Self {
+        Self {
+            scale_llc: true,
+            scale_dram: true,
+            scale_noc: true,
+            mem_bw: MemBwScaling::McFirst,
+        }
+    }
+
+    /// Full PRS with MB-first DRAM scaling (Fig 8 comparison point).
+    pub fn prs_mb_first() -> Self {
+        Self {
+            mem_bw: MemBwScaling::MbFirst,
+            ..Self::prs()
+        }
+    }
+}
+
+/// Mesh geometry for `cores` nodes: the near-square power-of-two mesh with
+/// `cols >= rows` (8x4 at 32 cores, 4x4 at 16, ... 1x1 at 1).
+pub fn mesh_dims(cores: u32) -> (u32, u32) {
+    debug_assert!(cores.is_power_of_two());
+    let bits = cores.trailing_zeros();
+    let col_bits = bits.div_ceil(2);
+    (1 << col_bits, 1 << (bits - col_bits))
+}
+
+/// Number of cross-section links on the `cols x rows` mesh: the links cut
+/// by bisecting the longer dimension, i.e. the shorter dimension's size.
+pub fn cross_section_links(cols: u32, rows: u32) -> u32 {
+    cols.min(rows).max(1)
+}
+
+/// DRAM controller count and per-controller bandwidth for a scale model
+/// with `cores` cores, given the target's 8 MCs at 16 GB/s and a 4 GB/s
+/// per-core budget (Table I).
+fn scale_dram(
+    target_mcs: u32,
+    target_mc_bw: f64,
+    target_cores: u32,
+    cores: u32,
+    order: MemBwScaling,
+) -> (u32, f64) {
+    let total = f64::from(target_mcs) * target_mc_bw * f64::from(cores) / f64::from(target_cores);
+    match order {
+        MemBwScaling::McFirst => {
+            // Keep per-MC bandwidth; drop controllers until one is left,
+            // then shrink per-MC bandwidth.
+            let mcs = ((total / target_mc_bw).floor() as u32).clamp(1, target_mcs);
+            (mcs, total / f64::from(mcs))
+        }
+        MemBwScaling::MbFirst => {
+            // Shrink per-MC bandwidth first, to the floor it reaches in
+            // the full scale-down (total bandwidth / target MC count at
+            // the point one MC remains = total_at_1core), then drop MCs.
+            let floor_bw = f64::from(target_mcs) * target_mc_bw / f64::from(target_cores);
+            let mcs = ((total / floor_bw).floor() as u32).clamp(1, target_mcs);
+            if mcs == target_mcs {
+                (target_mcs, total / f64::from(target_mcs))
+            } else {
+                (mcs, floor_bw)
+            }
+        }
+    }
+}
+
+/// Derive the scale-model configuration with `cores` cores from `target`
+/// under `policy`.
+///
+/// # Panics
+///
+/// Panics unless `cores` is a non-zero power of two not exceeding the
+/// target's core count (the paper's scale models: 1, 2, 4, 8, 16 of 32).
+pub fn scale_config(target: &SystemConfig, cores: u32, policy: ScalingPolicy) -> SystemConfig {
+    assert!(
+        cores > 0 && cores.is_power_of_two() && cores <= target.num_cores,
+        "scale-model core count {cores} must be a power of two <= {}",
+        target.num_cores
+    );
+    let mut cfg = target.clone();
+    cfg.num_cores = cores;
+
+    if policy.scale_llc {
+        // One slice per core; slice geometry unchanged, so capacity per
+        // core is constant.
+        cfg.llc.num_slices = cores;
+    }
+
+    if policy.scale_noc {
+        let (cols, rows) = mesh_dims(cores);
+        cfg.noc.mesh_cols = cols;
+        cfg.noc.mesh_rows = rows;
+        let csls = cross_section_links(cols, rows);
+        let total_bisection =
+            target.noc.bisection_bandwidth_gbps() * f64::from(cores) / f64::from(target.num_cores);
+        cfg.noc.cross_section_links = csls;
+        cfg.noc.link_bandwidth_gbps = total_bisection / f64::from(csls);
+    }
+
+    if policy.scale_dram {
+        let (mcs, bw) = scale_dram(
+            target.dram.num_controllers,
+            target.dram.controller_bandwidth_gbps,
+            target.num_cores,
+            cores,
+            policy.mem_bw,
+        );
+        cfg.dram.num_controllers = mcs;
+        cfg.dram.controller_bandwidth_gbps = bw;
+    }
+
+    cfg.validate().expect("scaled configuration must be valid");
+    cfg
+}
+
+/// One row of Table I: the PRS scale-model resource configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScaleTableRow {
+    /// Scale-model core count.
+    pub cores: u32,
+    /// LLC capacity in MB and slice count.
+    pub llc_mb: u64,
+    /// LLC slices.
+    pub llc_slices: u32,
+    /// NoC bisection bandwidth in GB/s.
+    pub noc_gbps: f64,
+    /// Cross-section links.
+    pub csls: u32,
+    /// Bandwidth per CSL in GB/s.
+    pub gbps_per_csl: f64,
+    /// Total DRAM bandwidth in GB/s.
+    pub dram_gbps: f64,
+    /// Memory controllers.
+    pub mcs: u32,
+    /// Bandwidth per MC in GB/s.
+    pub gbps_per_mc: f64,
+}
+
+/// Build a Table-II-style target system with `cores` cores: the same
+/// per-core microarchitecture and shared-resource *shares* as the paper's
+/// 32-core machine (1 MB LLC, 4 GB/s NoC bisection and 4 GB/s DRAM per
+/// core, one memory controller per four cores at 16 GB/s), on the
+/// near-square mesh.
+///
+/// This is how the methodology reaches machines that are impractical to
+/// simulate: construct the hypothetical large target, derive its scale
+/// models with [`scale_config`], and extrapolate.
+///
+/// # Panics
+///
+/// Panics unless `cores` is a power of two in `[1, 256]` (the simulator's
+/// core-id width).
+///
+/// # Examples
+///
+/// ```
+/// let big = sms_core::scaling::target_config(64);
+/// assert_eq!(big.num_cores, 64);
+/// assert_eq!(big.llc.total_capacity_bytes(), 64 << 20);
+/// assert!((big.dram.total_bandwidth_gbps() - 256.0).abs() < 1e-9);
+/// big.validate().unwrap();
+/// ```
+pub fn target_config(cores: u32) -> SystemConfig {
+    assert!(
+        cores > 0 && cores.is_power_of_two() && cores <= 256,
+        "target core count {cores} must be a power of two in [1, 256]"
+    );
+    let mut cfg = SystemConfig::target_32core();
+    cfg.num_cores = cores;
+    cfg.llc.num_slices = cores;
+    let (cols, rows) = mesh_dims(cores);
+    cfg.noc.mesh_cols = cols;
+    cfg.noc.mesh_rows = rows;
+    let csls = cross_section_links(cols, rows);
+    cfg.noc.cross_section_links = csls;
+    cfg.noc.link_bandwidth_gbps = 4.0 * f64::from(cores) / f64::from(csls);
+    cfg.dram.num_controllers = (cores / 4).max(1);
+    cfg.dram.controller_bandwidth_gbps =
+        4.0 * f64::from(cores) / f64::from(cfg.dram.num_controllers);
+    cfg.validate().expect("constructed target must validate");
+    cfg
+}
+
+/// Regenerate Table I for the given target and DRAM scaling order.
+pub fn scale_table(target: &SystemConfig, order: MemBwScaling) -> Vec<ScaleTableRow> {
+    let mut rows = Vec::new();
+    let mut cores = target.num_cores;
+    let policy = ScalingPolicy {
+        mem_bw: order,
+        ..ScalingPolicy::prs()
+    };
+    while cores >= 1 {
+        let cfg = scale_config(target, cores, policy);
+        rows.push(ScaleTableRow {
+            cores,
+            llc_mb: cfg.llc.total_capacity_bytes() / (1024 * 1024),
+            llc_slices: cfg.llc.num_slices,
+            noc_gbps: cfg.noc.bisection_bandwidth_gbps(),
+            csls: cfg.noc.cross_section_links,
+            gbps_per_csl: cfg.noc.link_bandwidth_gbps,
+            dram_gbps: cfg.dram.total_bandwidth_gbps(),
+            mcs: cfg.dram.num_controllers,
+            gbps_per_mc: cfg.dram.controller_bandwidth_gbps,
+        });
+        if cores == 1 {
+            break;
+        }
+        cores /= 2;
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn target() -> SystemConfig {
+        SystemConfig::target_32core()
+    }
+
+    #[test]
+    fn mesh_dims_match_paper() {
+        assert_eq!(mesh_dims(32), (8, 4));
+        assert_eq!(mesh_dims(16), (4, 4));
+        assert_eq!(mesh_dims(8), (4, 2));
+        assert_eq!(mesh_dims(4), (2, 2));
+        assert_eq!(mesh_dims(2), (2, 1));
+        assert_eq!(mesh_dims(1), (1, 1));
+    }
+
+    #[test]
+    fn table_i_mc_first_reproduced_exactly() {
+        // Paper Table I, MC-first (default):
+        // cores, LLC MB/slices, NoC GB/s: CSLs x per-CSL, DRAM GB/s: MCs x per-MC
+        let expect = [
+            (32, 32, 32, 128.0, 4, 32.0, 128.0, 8, 16.0),
+            (16, 16, 16, 64.0, 4, 16.0, 64.0, 4, 16.0),
+            (8, 8, 8, 32.0, 2, 16.0, 32.0, 2, 16.0),
+            (4, 4, 4, 16.0, 2, 8.0, 16.0, 1, 16.0),
+            (2, 2, 2, 8.0, 1, 8.0, 8.0, 1, 8.0),
+            (1, 1, 1, 4.0, 1, 4.0, 4.0, 1, 4.0),
+        ];
+        let rows = scale_table(&target(), MemBwScaling::McFirst);
+        assert_eq!(rows.len(), 6);
+        for (row, e) in rows.iter().zip(expect) {
+            assert_eq!(row.cores, e.0);
+            assert_eq!(row.llc_mb, e.1);
+            assert_eq!(row.llc_slices, e.2);
+            assert!((row.noc_gbps - e.3).abs() < 1e-9, "{}-core NoC", row.cores);
+            assert_eq!(row.csls, e.4, "{}-core CSLs", row.cores);
+            assert!((row.gbps_per_csl - e.5).abs() < 1e-9);
+            assert!(
+                (row.dram_gbps - e.6).abs() < 1e-9,
+                "{}-core DRAM",
+                row.cores
+            );
+            assert_eq!(row.mcs, e.7, "{}-core MCs", row.cores);
+            assert!((row.gbps_per_mc - e.8).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn mb_first_scales_bandwidth_before_controllers() {
+        // §V-E1: 16 -> 4 GB/s per MC while keeping 8 MCs, then drop MCs.
+        let rows = scale_table(&target(), MemBwScaling::MbFirst);
+        let at = |c: u32| rows.iter().find(|r| r.cores == c).unwrap().clone();
+        assert_eq!(at(16).mcs, 8);
+        assert!((at(16).gbps_per_mc - 8.0).abs() < 1e-9);
+        assert_eq!(at(8).mcs, 8);
+        assert!((at(8).gbps_per_mc - 4.0).abs() < 1e-9);
+        assert_eq!(at(4).mcs, 4);
+        assert!((at(4).gbps_per_mc - 4.0).abs() < 1e-9);
+        assert_eq!(at(2).mcs, 2);
+        assert_eq!(at(1).mcs, 1);
+        assert!((at(1).gbps_per_mc - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn both_orders_agree_at_endpoints() {
+        let mc = scale_table(&target(), MemBwScaling::McFirst);
+        let mb = scale_table(&target(), MemBwScaling::MbFirst);
+        for c in [32u32, 1] {
+            let a = mc.iter().find(|r| r.cores == c).unwrap();
+            let b = mb.iter().find(|r| r.cores == c).unwrap();
+            assert_eq!(a.mcs, b.mcs);
+            assert!((a.gbps_per_mc - b.gbps_per_mc).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn nrs_keeps_shared_resources() {
+        let cfg = scale_config(&target(), 1, ScalingPolicy::nrs());
+        assert_eq!(cfg.num_cores, 1);
+        assert_eq!(cfg.llc.num_slices, 32);
+        assert!((cfg.dram.total_bandwidth_gbps() - 128.0).abs() < 1e-9);
+        assert!((cfg.noc.bisection_bandwidth_gbps() - 128.0).abs() < 1e-9);
+        assert_eq!(cfg.noc.mesh_cols, 8);
+    }
+
+    #[test]
+    fn partial_policies_scale_only_their_resource() {
+        let llc_only = scale_config(&target(), 2, ScalingPolicy::prs_llc_only());
+        assert_eq!(llc_only.llc.num_slices, 2);
+        assert!((llc_only.dram.total_bandwidth_gbps() - 128.0).abs() < 1e-9);
+
+        let dram_only = scale_config(&target(), 2, ScalingPolicy::prs_dram_only());
+        assert_eq!(dram_only.llc.num_slices, 32);
+        assert!((dram_only.dram.total_bandwidth_gbps() - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn prs_keeps_per_core_shares_constant() {
+        for cores in [1u32, 2, 4, 8, 16, 32] {
+            let cfg = scale_config(&target(), cores, ScalingPolicy::prs());
+            let per_core_llc = cfg.llc.total_capacity_bytes() / u64::from(cores);
+            assert_eq!(per_core_llc, 1024 * 1024, "{cores}-core LLC share");
+            let per_core_bw = cfg.dram.total_bandwidth_gbps() / f64::from(cores);
+            assert!((per_core_bw - 4.0).abs() < 1e-9, "{cores}-core DRAM share");
+            let per_core_noc = cfg.noc.bisection_bandwidth_gbps() / f64::from(cores);
+            assert!((per_core_noc - 4.0).abs() < 1e-9, "{cores}-core NoC share");
+        }
+    }
+
+    #[test]
+    fn scaled_configs_validate() {
+        for cores in [1u32, 2, 4, 8, 16, 32] {
+            for policy in [
+                ScalingPolicy::nrs(),
+                ScalingPolicy::prs_llc_only(),
+                ScalingPolicy::prs_dram_only(),
+                ScalingPolicy::prs(),
+                ScalingPolicy::prs_mb_first(),
+            ] {
+                scale_config(&target(), cores, policy)
+                    .validate()
+                    .unwrap_or_else(|e| panic!("{cores} cores {policy:?}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn target_config_matches_table_ii_at_32() {
+        assert_eq!(target_config(32), SystemConfig::target_32core());
+    }
+
+    #[test]
+    fn target_config_extends_upward() {
+        let t64 = target_config(64);
+        assert_eq!(t64.llc.num_slices, 64);
+        assert_eq!(t64.noc.mesh_cols * t64.noc.mesh_rows, 64);
+        assert_eq!(t64.dram.num_controllers, 16);
+        assert!((t64.dram.controller_bandwidth_gbps - 16.0).abs() < 1e-9);
+        // Per-core shares stay at the paper's constants.
+        assert!((t64.noc.bisection_bandwidth_gbps() / 64.0 - 4.0).abs() < 1e-9);
+
+        let t256 = target_config(256);
+        t256.validate().unwrap();
+        assert_eq!(t256.dram.num_controllers, 64);
+    }
+
+    #[test]
+    fn scale_models_of_a_big_target_keep_shares() {
+        let t64 = target_config(64);
+        for cores in [1u32, 4, 16, 64] {
+            let m = scale_config(&t64, cores, ScalingPolicy::prs());
+            assert_eq!(m.llc.total_capacity_bytes() / u64::from(cores), 1 << 20);
+            assert!((m.dram.total_bandwidth_gbps() / f64::from(cores) - 4.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn target_config_rejects_odd() {
+        let _ = target_config(48);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_rejected() {
+        let _ = scale_config(&target(), 3, ScalingPolicy::prs());
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn larger_than_target_rejected() {
+        let _ = scale_config(&target(), 64, ScalingPolicy::prs());
+    }
+}

@@ -1,0 +1,323 @@
+//! High-level "train once, predict many" API.
+//!
+//! The paper's workflow (§III-B2, Fig 2) amortizes a one-time training
+//! cost — simulating a set of known benchmarks on the single-core and
+//! multi-core scale models — across many cheap predictions, each needing
+//! only one single-core scale-model run of the application of interest.
+//! [`ScaleModelSession`] packages exactly that: build it once from a
+//! training suite, then call [`ScaleModelSession::predict`] per unseen
+//! application.
+//!
+//! ```no_run
+//! use sms_core::pipeline::{DirectSim, ExperimentConfig};
+//! use sms_core::session::ScaleModelSession;
+//! use sms_workloads::spec::{by_name, suite};
+//!
+//! let cfg = ExperimentConfig::default();
+//! let training: Vec<_> = suite().into_iter().filter(|p| p.name != "mcf_r").collect();
+//! let session = ScaleModelSession::train(&mut DirectSim, cfg, &training);
+//! let prediction = session.predict(&mut DirectSim, &by_name("mcf_r").unwrap());
+//! println!("predicted 32-core IPC: {:.3}", prediction.target_ipc);
+//! ```
+
+use sms_ml::fit::CurveModel;
+use sms_sim::stats::SimResult;
+use sms_workloads::mix::MixSpec;
+use sms_workloads::spec::BenchmarkProfile;
+
+use crate::features::{feature_vector, SsMeasurement};
+use crate::pipeline::{collect_scale_models, ExperimentConfig, Simulate};
+use crate::predictor::{MlKind, ModelParams};
+use crate::regressor::{RegressionExtrapolator, ScaleModelTraining};
+use crate::scaling::scale_config;
+
+/// One prediction for an unseen application.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TargetPrediction {
+    /// Application name.
+    pub name: String,
+    /// Predicted per-core IPC on the target system.
+    pub target_ipc: f64,
+    /// The single-core scale-model measurement the prediction used.
+    pub ss: SsMeasurement,
+    /// Predicted IPC on each multi-core scale model (diagnostics).
+    pub scale_model_ipcs: Vec<(u32, f64)>,
+    /// Host seconds spent on the (single) scale-model simulation.
+    pub host_seconds: f64,
+}
+
+/// A trained scale-model prediction session (homogeneous-mix regime).
+///
+/// Training needs no target-system simulations: the dependent variables
+/// come from the multi-core *scale models* (ML-based Regression). Use the
+/// lower-level [`crate::predictor`] API for ML-based Prediction when
+/// target-system training runs are available.
+pub struct ScaleModelSession {
+    cfg: ExperimentConfig,
+    extrapolator: RegressionExtrapolator,
+}
+
+impl std::fmt::Debug for ScaleModelSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ScaleModelSession")
+            .field("target_cores", &self.cfg.target.num_cores)
+            .field("ms_cores", &self.cfg.ms_cores)
+            .field("kind", &self.extrapolator.kind())
+            .field("curve", &self.extrapolator.curve())
+            .finish()
+    }
+}
+
+impl ScaleModelSession {
+    /// Train with the paper's defaults: SVM + logarithmic regression.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the training suite is empty or `cfg.ms_cores` has fewer
+    /// than two scale models.
+    pub fn train<S: Simulate>(
+        sim: &mut S,
+        cfg: ExperimentConfig,
+        training_suite: &[BenchmarkProfile],
+    ) -> Self {
+        Self::train_with(
+            sim,
+            cfg,
+            training_suite,
+            MlKind::Svm,
+            CurveModel::Logarithmic,
+            &ModelParams::default(),
+        )
+    }
+
+    /// Train with explicit model choices.
+    ///
+    /// # Panics
+    ///
+    /// As [`ScaleModelSession::train`].
+    pub fn train_with<S: Simulate>(
+        sim: &mut S,
+        cfg: ExperimentConfig,
+        training_suite: &[BenchmarkProfile],
+        kind: MlKind,
+        curve: CurveModel,
+        params: &ModelParams,
+    ) -> Self {
+        assert!(
+            !training_suite.is_empty(),
+            "training suite must be non-empty"
+        );
+        // Scale models only: ML-based Regression never simulates the
+        // target (§III-B2).
+        let data = collect_scale_models(sim, &cfg, training_suite);
+        let training: Vec<ScaleModelTraining> = cfg
+            .ms_cores
+            .iter()
+            .map(|&cores| {
+                let mut rows = Vec::new();
+                let mut targets = Vec::new();
+                for d in &data {
+                    rows.push(feature_vector(
+                        cfg.mode,
+                        d.ss,
+                        d.ss.bandwidth * f64::from(cores.max(1) - 1),
+                    ));
+                    targets.push(
+                        d.ms_ipc
+                            .iter()
+                            .find(|(c, _)| *c == cores)
+                            .expect("collected for every ms size")
+                            .1,
+                    );
+                }
+                ScaleModelTraining {
+                    cores,
+                    rows,
+                    targets,
+                }
+            })
+            .collect();
+        let extrapolator = RegressionExtrapolator::train(kind, curve, &training, params, 1234);
+        Self { cfg, extrapolator }
+    }
+
+    /// The experiment configuration in use.
+    pub fn config(&self) -> &ExperimentConfig {
+        &self.cfg
+    }
+
+    /// Predict the per-core target IPC of an unseen application from one
+    /// single-core scale-model simulation.
+    pub fn predict<S: Simulate>(
+        &self,
+        sim: &mut S,
+        profile: &BenchmarkProfile,
+    ) -> TargetPrediction {
+        let ss_cfg = scale_config(&self.cfg.target, 1, self.cfg.policy);
+        let mix = MixSpec::homogeneous(profile.name, 1, self.cfg.seed);
+        let run: SimResult = sim.run_mix(&ss_cfg, &mix, self.cfg.spec);
+        let ss = SsMeasurement {
+            ipc: run.cores[0].ipc,
+            bandwidth: run.cores[0].bandwidth_gbps,
+        };
+        self.predict_from_measurement(profile.name, ss, run.host_seconds)
+    }
+
+    /// Predict from an already-measured single-core scale-model result
+    /// (e.g. a cached run or an external measurement).
+    pub fn predict_from_measurement(
+        &self,
+        name: &str,
+        ss: SsMeasurement,
+        host_seconds: f64,
+    ) -> TargetPrediction {
+        let rows: Vec<Vec<f64>> = self
+            .cfg
+            .ms_cores
+            .iter()
+            .map(|&c| {
+                feature_vector(self.cfg.mode, ss, ss.bandwidth * f64::from(c.max(1) - 1))
+            })
+            .collect();
+        let target_ipc = self
+            .extrapolator
+            .predict(&rows, self.cfg.target.num_cores);
+        let scale_model_ipcs = self.extrapolator.scale_model_predictions(&rows);
+        TargetPrediction {
+            name: name.to_owned(),
+            target_ipc,
+            ss,
+            scale_model_ipcs,
+            host_seconds,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sms_sim::config::SystemConfig;
+    use sms_sim::system::RunSpec;
+    use sms_workloads::spec::suite;
+
+    /// Analytic fake world (same family as the pipeline tests): target
+    /// IPC declines logarithmically with machine size, scaled by the
+    /// benchmark's memory weight.
+    struct FakeSim;
+
+    fn intrinsic(name: &str) -> (f64, f64) {
+        let h = name
+            .bytes()
+            .fold(7u64, |a, b| a.wrapping_mul(31).wrapping_add(b.into()));
+        (0.3 + (h % 17) as f64 * 0.15, 0.1 + (h % 7) as f64 * 0.55)
+    }
+
+    impl Simulate for FakeSim {
+        fn run_mix(
+            &mut self,
+            cfg: &SystemConfig,
+            mix: &MixSpec,
+            _spec: RunSpec,
+        ) -> SimResult {
+            let cores = mix.benchmarks.len();
+            let results = mix
+                .benchmarks
+                .iter()
+                .map(|n| {
+                    let (ipc0, bw0) = intrinsic(n);
+                    let mem = bw0 / 3.5;
+                    let ipc = ipc0 / (1.0 + mem * 0.08 * (cores as f64).ln());
+                    sms_sim::stats::CoreResult {
+                        label: n.clone(),
+                        instructions: 1_000_000,
+                        cycles: (1_000_000.0 / ipc) as u64,
+                        ipc,
+                        l1d_load_misses: 0,
+                        llc_hits: 0,
+                        dram_loads: 0,
+                        dram_bytes: 0,
+                        bandwidth_gbps: bw0,
+                        llc_mpki: 0.0,
+                        mem_stall_cycles: 0,
+                        fetch_stall_cycles: 0,
+                        branch_stall_cycles: 0,
+                        prefetches: 0,
+                    }
+                })
+                .collect();
+            SimResult {
+                cores: results,
+                elapsed_cycles: 1_000_000,
+                total_dram_bytes: 0,
+                total_bandwidth_gbps: 0.0,
+                noc_transfers: 0,
+                noc_crossings: 0,
+                llc_accesses: 0,
+                llc_hits: 0,
+                host_seconds: 0.001 * cfg.num_cores as f64,
+            }
+        }
+    }
+
+    #[test]
+    fn session_trains_and_predicts_unseen_apps() {
+        let all = suite();
+        // Hold out four mid-suite benchmarks; the rest train. (Holding out
+        // feature-space extremes instead tests extrapolation beyond the
+        // training hull, which the methodology explicitly does not claim —
+        // see the fig5/ext_64core discussions.)
+        let eval: Vec<_> = [5usize, 10, 15, 20].iter().map(|&i| all[i].clone()).collect();
+        let train: Vec<_> = all
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| ![5usize, 10, 15, 20].contains(i))
+            .map(|(_, p)| p.clone())
+            .collect();
+        let session = ScaleModelSession::train(
+            &mut FakeSim,
+            ExperimentConfig::default(),
+            &train,
+        );
+        for p in &eval {
+            let pred = session.predict(&mut FakeSim, p);
+            let (ipc0, bw0) = intrinsic(p.name);
+            let truth = ipc0 / (1.0 + bw0 / 3.5 * 0.08 * 32f64.ln());
+            let err = (pred.target_ipc - truth).abs() / truth;
+            assert!(err < 0.15, "{}: err {err:.3}", p.name);
+            assert_eq!(pred.scale_model_ipcs.len(), 4);
+            assert!(pred.host_seconds > 0.0);
+        }
+    }
+
+    #[test]
+    fn predict_from_measurement_matches_predict() {
+        let all = suite();
+        let session = ScaleModelSession::train(
+            &mut FakeSim,
+            ExperimentConfig::default(),
+            &all[..10],
+        );
+        let p = &all[20];
+        let a = session.predict(&mut FakeSim, p);
+        let b = session.predict_from_measurement(p.name, a.ss, 0.0);
+        assert_eq!(a.target_ipc, b.target_ipc);
+    }
+
+    #[test]
+    fn debug_formatting_is_informative() {
+        let session = ScaleModelSession::train(
+            &mut FakeSim,
+            ExperimentConfig::default(),
+            &suite()[..5],
+        );
+        let d = format!("{session:?}");
+        assert!(d.contains("target_cores: 32"));
+        assert!(d.contains("SVM") || d.contains("Svm"));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_training_suite_rejected() {
+        let _ = ScaleModelSession::train(&mut FakeSim, ExperimentConfig::default(), &[]);
+    }
+}

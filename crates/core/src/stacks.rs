@@ -1,0 +1,260 @@
+//! Cycle stacks and speedup stacks (paper §V-E6, future work).
+//!
+//! The paper points to *speedup stacks* (Eyerman, Du Bois & Eeckhout,
+//! ISPASS 2012) as the route to extending scale-model simulation to
+//! multi-threaded workloads: quantify how each bottleneck component
+//! (dispatch, branch flushes, instruction fetch, memory) scales with
+//! system size across a range of scale models, and extrapolate each
+//! component separately. This module provides that decomposition on top
+//! of the simulator's per-core counters.
+
+use serde::{Deserialize, Serialize};
+use sms_sim::stats::CoreResult;
+
+/// A per-application cycle stack: the run's cycles attributed to
+/// bottleneck components. Components sum to `total()` exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CycleStack {
+    /// Cycles spent dispatching instructions (the compute base).
+    pub dispatch: f64,
+    /// Cycles lost to branch-misprediction flushes.
+    pub branch: f64,
+    /// Cycles lost to instruction-fetch stalls.
+    pub fetch: f64,
+    /// Cycles the memory completion horizon extended past the front end
+    /// (data-memory boundness, including all shared-resource queueing).
+    pub memory: f64,
+}
+
+impl CycleStack {
+    /// Decompose one core's measured run into a cycle stack.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use sms_core::stacks::CycleStack;
+    /// # use sms_sim::stats::CoreResult;
+    /// let core = CoreResult {
+    ///     label: "lbm_r".into(), instructions: 1000, cycles: 2000, ipc: 0.5,
+    ///     l1d_load_misses: 0, llc_hits: 0, dram_loads: 0, dram_bytes: 0,
+    ///     bandwidth_gbps: 0.0, llc_mpki: 0.0, mem_stall_cycles: 1200,
+    ///     fetch_stall_cycles: 100, branch_stall_cycles: 50, prefetches: 0,
+    /// };
+    /// let s = CycleStack::from_core(&core);
+    /// assert_eq!(s.total(), 2000.0);
+    /// assert_eq!(s.memory, 1200.0);
+    /// assert_eq!(s.dispatch, 650.0);
+    /// ```
+    pub fn from_core(core: &CoreResult) -> Self {
+        let branch = core.branch_stall_cycles as f64;
+        let fetch = core.fetch_stall_cycles as f64;
+        let memory = core.mem_stall_cycles as f64;
+        let dispatch = core.cycles as f64 - branch - fetch - memory;
+        Self {
+            dispatch,
+            branch,
+            fetch,
+            memory,
+        }
+    }
+
+    /// Total cycles across components.
+    pub fn total(&self) -> f64 {
+        self.dispatch + self.branch + self.fetch + self.memory
+    }
+
+    /// Components normalized per instruction (CPI stack).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `instructions` is zero.
+    pub fn per_instruction(&self, instructions: u64) -> CycleStack {
+        assert!(instructions > 0, "need a non-empty run");
+        let n = instructions as f64;
+        CycleStack {
+            dispatch: self.dispatch / n,
+            branch: self.branch / n,
+            fetch: self.fetch / n,
+            memory: self.memory / n,
+        }
+    }
+}
+
+/// One scale-model observation for a speedup-stack analysis.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StackSample {
+    /// Machine size (cores).
+    pub cores: u32,
+    /// CPI stack measured at that size.
+    pub cpi: CycleStack,
+}
+
+/// How each CPI component scales across machine sizes: the per-component
+/// least-squares slope against `ln(cores)` (the same logarithmic family
+/// the IPC regression uses), plus the component values extrapolated to a
+/// target size.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpeedupStack {
+    /// Samples the analysis was built from, sorted by core count.
+    pub samples: Vec<StackSample>,
+    /// Extrapolated CPI stack at the target size.
+    pub extrapolated: CycleStack,
+    /// Target size the extrapolation was evaluated at.
+    pub target_cores: u32,
+}
+
+fn fit_component(samples: &[StackSample], target: f64, get: impl Fn(&CycleStack) -> f64) -> f64 {
+    let xs: Vec<f64> = samples.iter().map(|s| f64::from(s.cores)).collect();
+    let ys: Vec<f64> = samples.iter().map(|s| get(&s.cpi)).collect();
+    match sms_ml::fit::fit_curve(sms_ml::fit::CurveModel::Logarithmic, &xs, &ys) {
+        // CPI components cannot be negative; clamp the extrapolation.
+        Some(c) => c.eval(target).max(0.0),
+        None => *ys.last().expect("at least one sample"),
+    }
+}
+
+/// Build a speedup stack: fit each CPI component across the scale models
+/// and extrapolate to `target_cores`.
+///
+/// # Panics
+///
+/// Panics if fewer than two samples are given.
+pub fn speedup_stack(mut samples: Vec<StackSample>, target_cores: u32) -> SpeedupStack {
+    assert!(samples.len() >= 2, "need at least two scale models");
+    samples.sort_by_key(|s| s.cores);
+    let t = f64::from(target_cores);
+    let extrapolated = CycleStack {
+        dispatch: fit_component(&samples, t, |c| c.dispatch),
+        branch: fit_component(&samples, t, |c| c.branch),
+        fetch: fit_component(&samples, t, |c| c.fetch),
+        memory: fit_component(&samples, t, |c| c.memory),
+    };
+    SpeedupStack {
+        samples,
+        extrapolated,
+        target_cores,
+    }
+}
+
+impl SpeedupStack {
+    /// Predicted IPC at the target size: the reciprocal of the
+    /// extrapolated CPI stack.
+    pub fn predicted_ipc(&self) -> f64 {
+        1.0 / self.extrapolated.total()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stack(d: f64, b: f64, f: f64, m: f64) -> CycleStack {
+        CycleStack {
+            dispatch: d,
+            branch: b,
+            fetch: f,
+            memory: m,
+        }
+    }
+
+    fn core_result(cycles: u64, mem: u64, fetch: u64, branch: u64) -> CoreResult {
+        CoreResult {
+            label: "t".into(),
+            instructions: 1000,
+            cycles,
+            ipc: 1000.0 / cycles as f64,
+            l1d_load_misses: 0,
+            llc_hits: 0,
+            dram_loads: 0,
+            dram_bytes: 0,
+            bandwidth_gbps: 0.0,
+            llc_mpki: 0.0,
+            mem_stall_cycles: mem,
+            fetch_stall_cycles: fetch,
+            branch_stall_cycles: branch,
+            prefetches: 0,
+        }
+    }
+
+    #[test]
+    fn stack_components_sum_to_cycles() {
+        let c = core_result(5000, 3000, 500, 200);
+        let s = CycleStack::from_core(&c);
+        assert_eq!(s.total(), 5000.0);
+        assert_eq!(s.dispatch, 1300.0);
+    }
+
+    #[test]
+    fn per_instruction_normalizes() {
+        let c = core_result(4000, 2000, 0, 0);
+        let s = CycleStack::from_core(&c).per_instruction(1000);
+        assert_eq!(s.memory, 2.0);
+        assert_eq!(s.total(), 4.0);
+    }
+
+    #[test]
+    fn memory_component_extrapolates_log_growth() {
+        // Memory CPI grows as 0.1 ln(cores) + 0.5; others constant.
+        let samples: Vec<StackSample> = [2u32, 4, 8, 16]
+            .iter()
+            .map(|&cores| StackSample {
+                cores,
+                cpi: stack(0.25, 0.05, 0.02, 0.1 * f64::from(cores).ln() + 0.5),
+            })
+            .collect();
+        let s = speedup_stack(samples, 32);
+        let expect = 0.1 * 32f64.ln() + 0.5;
+        assert!((s.extrapolated.memory - expect).abs() < 1e-9);
+        assert!((s.extrapolated.dispatch - 0.25).abs() < 1e-9);
+        let ipc = s.predicted_ipc();
+        let truth = 1.0 / (0.25 + 0.05 + 0.02 + expect);
+        assert!((ipc - truth).abs() < 1e-9);
+    }
+
+    #[test]
+    fn components_never_extrapolate_negative() {
+        // Steeply falling component would go negative at 32 linearly.
+        let samples: Vec<StackSample> = [2u32, 4]
+            .iter()
+            .map(|&cores| StackSample {
+                cores,
+                cpi: stack(0.25, 0.0, 0.0, 1.0 - 0.4 * f64::from(cores).ln()),
+            })
+            .collect();
+        let s = speedup_stack(samples, 32);
+        assert!(s.extrapolated.memory >= 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn one_sample_rejected() {
+        let _ = speedup_stack(
+            vec![StackSample {
+                cores: 2,
+                cpi: stack(0.25, 0.0, 0.0, 0.5),
+            }],
+            32,
+        );
+    }
+
+    #[test]
+    fn samples_sorted_by_cores() {
+        let samples = vec![
+            StackSample {
+                cores: 8,
+                cpi: stack(0.25, 0.0, 0.0, 0.7),
+            },
+            StackSample {
+                cores: 2,
+                cpi: stack(0.25, 0.0, 0.0, 0.5),
+            },
+            StackSample {
+                cores: 4,
+                cpi: stack(0.25, 0.0, 0.0, 0.6),
+            },
+        ];
+        let s = speedup_stack(samples, 32);
+        let order: Vec<u32> = s.samples.iter().map(|x| x.cores).collect();
+        assert_eq!(order, vec![2, 4, 8]);
+    }
+}

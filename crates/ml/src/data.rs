@@ -1,0 +1,194 @@
+//! Dataset representation and the common regressor interface.
+
+use serde::{Deserialize, Serialize};
+
+/// A dense feature matrix: `rows` samples of `cols` features.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    data: Vec<f64>,
+    rows: usize,
+    cols: usize,
+}
+
+impl Matrix {
+    /// Build a matrix from row-major data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_rows(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "shape mismatch");
+        Self { data, rows, cols }
+    }
+
+    /// Build from a slice of row slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rows have differing lengths.
+    pub fn from_vecs(rows: &[Vec<f64>]) -> Self {
+        let cols = rows.first().map_or(0, Vec::len);
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            assert_eq!(r.len(), cols, "ragged rows");
+            data.extend_from_slice(r);
+        }
+        Self {
+            data,
+            rows: rows.len(),
+            cols,
+        }
+    }
+
+    /// Number of samples.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of features.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Row `i` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutable row `i`.
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Iterate over rows.
+    pub fn iter_rows(&self) -> impl Iterator<Item = &[f64]> {
+        self.data.chunks_exact(self.cols.max(1))
+    }
+
+    /// Select a subset of rows by index (with repetition allowed).
+    pub fn select(&self, indices: &[usize]) -> Matrix {
+        let mut data = Vec::with_capacity(indices.len() * self.cols);
+        for &i in indices {
+            data.extend_from_slice(self.row(i));
+        }
+        Matrix {
+            data,
+            rows: indices.len(),
+            cols: self.cols,
+        }
+    }
+}
+
+/// A labelled regression dataset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    /// Feature matrix.
+    pub x: Matrix,
+    /// Targets, one per row of `x`.
+    pub y: Vec<f64>,
+}
+
+impl Dataset {
+    /// Bundle features and targets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the target count differs from the row count.
+    pub fn new(x: Matrix, y: Vec<f64>) -> Self {
+        assert_eq!(x.rows(), y.len(), "row/target count mismatch");
+        Self { x, y }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.y.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.y.is_empty()
+    }
+
+    /// Select a subset of samples by index (with repetition allowed).
+    pub fn select(&self, indices: &[usize]) -> Dataset {
+        Dataset {
+            x: self.x.select(indices),
+            y: indices.iter().map(|&i| self.y[i]).collect(),
+        }
+    }
+}
+
+/// A trained regression model.
+pub trait Regressor {
+    /// Predict the target for one feature vector.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if the feature count differs from the
+    /// training data.
+    fn predict(&self, x: &[f64]) -> f64;
+
+    /// Predict for every row of a matrix.
+    fn predict_batch(&self, x: &Matrix) -> Vec<f64> {
+        x.iter_rows().map(|r| self.predict(r)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_shape_and_rows() {
+        let m = Matrix::from_rows(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 3);
+        assert_eq!(m.row(0), &[1.0, 2.0, 3.0]);
+        assert_eq!(m.row(1), &[4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn matrix_rejects_bad_shape() {
+        let _ = Matrix::from_rows(2, 2, vec![1.0]);
+    }
+
+    #[test]
+    fn from_vecs_round_trip() {
+        let m = Matrix::from_vecs(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert_eq!(m.row(1), &[3.0, 4.0]);
+        let rows: Vec<&[f64]> = m.iter_rows().collect();
+        assert_eq!(rows.len(), 2);
+    }
+
+    #[test]
+    fn select_with_repetition() {
+        let m = Matrix::from_vecs(&[vec![1.0], vec![2.0], vec![3.0]]);
+        let s = m.select(&[2, 0, 2]);
+        assert_eq!(s.rows(), 3);
+        assert_eq!(s.row(0), &[3.0]);
+        assert_eq!(s.row(2), &[3.0]);
+    }
+
+    #[test]
+    fn dataset_select() {
+        let d = Dataset::new(
+            Matrix::from_vecs(&[vec![1.0], vec![2.0], vec![3.0]]),
+            vec![10.0, 20.0, 30.0],
+        );
+        let s = d.select(&[1, 1]);
+        assert_eq!(s.y, vec![20.0, 20.0]);
+        assert_eq!(s.len(), 2);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn dataset_rejects_mismatch() {
+        let _ = Dataset::new(Matrix::from_vecs(&[vec![1.0]]), vec![1.0, 2.0]);
+    }
+}

@@ -1,0 +1,200 @@
+//! Random-forest regressor: bagged CART trees with optional per-split
+//! feature subsampling, predictions averaged across the ensemble
+//! (Breiman 2001; scikit-learn's `RandomForestRegressor`).
+
+use serde::{Deserialize, Serialize};
+
+use crate::data::{Dataset, Regressor};
+use crate::rng::SplitMix64;
+use crate::tree::{DecisionTree, TreeParams};
+
+/// Forest hyper-parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ForestParams {
+    /// Number of trees in the ensemble.
+    pub num_trees: usize,
+    /// Per-tree parameters (including `max_features` for decorrelation).
+    pub tree: TreeParams,
+    /// Whether each tree trains on a bootstrap resample of the data.
+    pub bootstrap: bool,
+}
+
+impl Default for ForestParams {
+    fn default() -> Self {
+        Self {
+            num_trees: 100,
+            tree: TreeParams::default(),
+            bootstrap: true,
+        }
+    }
+}
+
+/// A trained random forest.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RandomForest {
+    trees: Vec<DecisionTree>,
+}
+
+impl RandomForest {
+    /// Fit the forest.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset is empty or `num_trees` is zero.
+    pub fn fit(data: &Dataset, params: &ForestParams, seed: u64) -> Self {
+        assert!(!data.is_empty(), "cannot fit a forest on an empty dataset");
+        assert!(params.num_trees > 0, "forest needs at least one tree");
+        let mut rng = SplitMix64::new(seed ^ 0x51_7C_C1_B7_27_22_0A_95);
+        let n = data.len();
+        let trees = (0..params.num_trees)
+            .map(|t| {
+                let tree_seed = rng.next_u64();
+                if params.bootstrap {
+                    let indices: Vec<usize> = (0..n).map(|_| rng.next_below(n)).collect();
+                    let sample = data.select(&indices);
+                    DecisionTree::fit(&sample, &params.tree, tree_seed)
+                } else {
+                    DecisionTree::fit(data, &params.tree, tree_seed.wrapping_add(t as u64))
+                }
+            })
+            .collect();
+        Self { trees }
+    }
+
+    /// Number of trees.
+    pub fn num_trees(&self) -> usize {
+        self.trees.len()
+    }
+}
+
+impl Regressor for RandomForest {
+    fn predict(&self, x: &[f64]) -> f64 {
+        let sum: f64 = self.trees.iter().map(|t| t.predict(x)).sum();
+        sum / self.trees.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::Matrix;
+
+    fn noisy_line(n: usize) -> Dataset {
+        // y = 3x with deterministic "noise".
+        let rows: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64 / 10.0]).collect();
+        let y: Vec<f64> = (0..n)
+            .map(|i| 3.0 * i as f64 / 10.0 + ((i * 37 % 11) as f64 - 5.0) * 0.05)
+            .collect();
+        Dataset::new(Matrix::from_vecs(&rows), y)
+    }
+
+    #[test]
+    fn forest_fits_and_predicts() {
+        let d = noisy_line(100);
+        let f = RandomForest::fit(
+            &d,
+            &ForestParams {
+                num_trees: 30,
+                ..ForestParams::default()
+            },
+            7,
+        );
+        assert_eq!(f.num_trees(), 30);
+        let err = (f.predict(&[5.0]) - 15.0).abs();
+        assert!(err < 1.0, "err = {err}");
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let d = noisy_line(50);
+        let p = ForestParams {
+            num_trees: 10,
+            ..ForestParams::default()
+        };
+        let a = RandomForest::fit(&d, &p, 3);
+        let b = RandomForest::fit(&d, &p, 3);
+        for x in [0.0, 1.0, 2.5, 4.9] {
+            assert_eq!(a.predict(&[x]), b.predict(&[x]));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let d = noisy_line(50);
+        let p = ForestParams {
+            num_trees: 5,
+            ..ForestParams::default()
+        };
+        let a = RandomForest::fit(&d, &p, 3);
+        let b = RandomForest::fit(&d, &p, 4);
+        let differs = [0.3, 1.7, 3.3]
+            .iter()
+            .any(|&x| a.predict(&[x]) != b.predict(&[x]));
+        assert!(differs);
+    }
+
+    #[test]
+    fn averaging_smooths_single_tree_variance() {
+        let d = noisy_line(100);
+        let tree = DecisionTree::fit(&d, &TreeParams::default(), 0);
+        let forest = RandomForest::fit(
+            &d,
+            &ForestParams {
+                num_trees: 50,
+                ..ForestParams::default()
+            },
+            0,
+        );
+        // Out-of-grid points: the forest should track the underlying line
+        // at least as well on average.
+        let eval = |m: &dyn Regressor| -> f64 {
+            (0..20)
+                .map(|i| {
+                    let x = 0.05 + i as f64 / 2.1;
+                    (m.predict(&[x]) - 3.0 * x).abs()
+                })
+                .sum::<f64>()
+                / 20.0
+        };
+        let ft = eval(&forest);
+        let tt = eval(&tree);
+        assert!(ft <= tt + 0.05, "forest {ft} vs tree {tt}");
+    }
+
+    #[test]
+    fn feature_subsampling_trains() {
+        let rows: Vec<Vec<f64>> = (0..60)
+            .map(|i| vec![i as f64, (i % 7) as f64, (i % 3) as f64])
+            .collect();
+        let y: Vec<f64> = (0..60).map(|i| i as f64).collect();
+        let d = Dataset::new(Matrix::from_vecs(&rows), y);
+        let f = RandomForest::fit(
+            &d,
+            &ForestParams {
+                num_trees: 20,
+                tree: TreeParams {
+                    max_features: Some(1),
+                    ..TreeParams::default()
+                },
+                bootstrap: true,
+            },
+            9,
+        );
+        let err = (f.predict(&[30.0, 2.0, 0.0]) - 30.0).abs();
+        assert!(err < 6.0, "err = {err}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one tree")]
+    fn zero_trees_rejected() {
+        let d = noisy_line(10);
+        let _ = RandomForest::fit(
+            &d,
+            &ForestParams {
+                num_trees: 0,
+                ..ForestParams::default()
+            },
+            0,
+        );
+    }
+}

@@ -1,0 +1,284 @@
+//! Kernel ridge regression (RBF kernel), solved in closed form by
+//! Cholesky decomposition of the regularized kernel matrix.
+//!
+//! Not used by the paper — included as a fourth model family for
+//! comparison studies: KRR shares the SVR's RBF hypothesis space but
+//! replaces the ε-insensitive loss + box constraints with a squared loss
+//! + L2 penalty, so differences between the two isolate the effect of the
+//! loss function.
+
+use serde::{Deserialize, Serialize};
+
+use crate::data::{Dataset, Matrix, Regressor};
+
+/// KRR hyper-parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KrrParams {
+    /// L2 regularization strength (ridge `alpha`).
+    pub alpha: f64,
+    /// RBF width; `None` = `1 / (n_features · Var(X))` (scikit-learn's
+    /// `gamma="scale"`).
+    pub gamma: Option<f64>,
+}
+
+impl Default for KrrParams {
+    fn default() -> Self {
+        Self {
+            alpha: 1.0,
+            gamma: None,
+        }
+    }
+}
+
+/// A trained kernel ridge regressor.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KernelRidge {
+    x: Matrix,
+    dual: Vec<f64>,
+    gamma: f64,
+    num_features: usize,
+}
+
+fn rbf(gamma: f64, a: &[f64], b: &[f64]) -> f64 {
+    let d2: f64 = a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum();
+    (-gamma * d2).exp()
+}
+
+fn scale_gamma(x: &Matrix) -> f64 {
+    let n = (x.rows() * x.cols()) as f64;
+    if n == 0.0 {
+        return 1.0;
+    }
+    let mean: f64 = x.iter_rows().flatten().sum::<f64>() / n;
+    let var: f64 = x
+        .iter_rows()
+        .flatten()
+        .map(|v| (v - mean) * (v - mean))
+        .sum::<f64>()
+        / n;
+    if var > 1e-12 {
+        1.0 / (x.cols() as f64 * var)
+    } else {
+        1.0
+    }
+}
+
+/// In-place Cholesky factorization `A = L·Lᵀ` of a symmetric positive
+/// definite matrix stored row-major; returns `false` if the matrix is not
+/// positive definite.
+fn cholesky(a: &mut [f64], n: usize) -> bool {
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = a[i * n + j];
+            for k in 0..j {
+                sum -= a[i * n + k] * a[j * n + k];
+            }
+            if i == j {
+                if sum <= 0.0 {
+                    return false;
+                }
+                a[i * n + j] = sum.sqrt();
+            } else {
+                a[i * n + j] = sum / a[j * n + j];
+            }
+        }
+        for j in (i + 1)..n {
+            a[i * n + j] = 0.0;
+        }
+    }
+    true
+}
+
+/// Solve `L·Lᵀ x = b` given the Cholesky factor `L`.
+fn cholesky_solve(l: &[f64], n: usize, b: &[f64]) -> Vec<f64> {
+    // Forward substitution: L y = b.
+    let mut y = vec![0.0; n];
+    for i in 0..n {
+        let mut sum = b[i];
+        for k in 0..i {
+            sum -= l[i * n + k] * y[k];
+        }
+        y[i] = sum / l[i * n + i];
+    }
+    // Back substitution: Lᵀ x = y.
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut sum = y[i];
+        for k in (i + 1)..n {
+            sum -= l[k * n + i] * x[k];
+        }
+        x[i] = sum / l[i * n + i];
+    }
+    x
+}
+
+impl KernelRidge {
+    /// Fit on the dataset by solving `(K + αI) c = y`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset is empty or `alpha <= 0` (the regularized
+    /// kernel matrix must be positive definite).
+    pub fn fit(data: &Dataset, params: &KrrParams) -> Self {
+        assert!(!data.is_empty(), "cannot fit KRR on an empty dataset");
+        assert!(params.alpha > 0.0, "alpha must be positive");
+        let n = data.len();
+        let gamma = params.gamma.unwrap_or_else(|| scale_gamma(&data.x));
+
+        let mut k = vec![0.0f64; n * n];
+        for i in 0..n {
+            for j in i..n {
+                let v = rbf(gamma, data.x.row(i), data.x.row(j));
+                k[i * n + j] = v;
+                k[j * n + i] = v;
+            }
+            k[i * n + i] += params.alpha;
+        }
+        let ok = cholesky(&mut k, n);
+        assert!(ok, "regularized kernel matrix must be positive definite");
+        let dual = cholesky_solve(&k, n, &data.y);
+
+        Self {
+            x: data.x.clone(),
+            dual,
+            gamma,
+            num_features: data.x.cols(),
+        }
+    }
+
+    /// The RBF width used.
+    pub fn gamma(&self) -> f64 {
+        self.gamma
+    }
+}
+
+impl Regressor for KernelRidge {
+    fn predict(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.num_features, "feature count mismatch");
+        self.dual
+            .iter()
+            .zip(self.x.iter_rows())
+            .map(|(c, row)| c * rbf(self.gamma, row, x))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid(n: usize, f: impl Fn(f64) -> f64) -> Dataset {
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|i| vec![i as f64 / n as f64 * 4.0 - 2.0])
+            .collect();
+        let y: Vec<f64> = rows.iter().map(|r| f(r[0])).collect();
+        Dataset::new(Matrix::from_vecs(&rows), y)
+    }
+
+    #[test]
+    fn interpolates_smooth_functions() {
+        let d = grid(60, |x| (1.3 * x).sin() + 0.5);
+        let m = KernelRidge::fit(
+            &d,
+            &KrrParams {
+                alpha: 1e-3,
+                gamma: Some(2.0),
+            },
+        );
+        let mae: f64 = (0..30)
+            .map(|i| {
+                let x = -1.8 + i as f64 * 0.12;
+                (m.predict(&[x]) - ((1.3 * x).sin() + 0.5)).abs()
+            })
+            .sum::<f64>()
+            / 30.0;
+        assert!(mae < 0.02, "mae = {mae}");
+    }
+
+    #[test]
+    fn stronger_regularization_shrinks_predictions() {
+        let d = grid(30, |x| 5.0 * x);
+        let weak = KernelRidge::fit(
+            &d,
+            &KrrParams {
+                alpha: 1e-4,
+                gamma: Some(1.0),
+            },
+        );
+        let strong = KernelRidge::fit(
+            &d,
+            &KrrParams {
+                alpha: 100.0,
+                gamma: Some(1.0),
+            },
+        );
+        // At a training point, the weak model fits closely; the strong one
+        // is pulled toward zero.
+        let target = 5.0;
+        let e_weak = (weak.predict(&[1.0]) - target).abs();
+        let e_strong = (strong.predict(&[1.0]) - target).abs();
+        assert!(e_weak < e_strong);
+        assert!(strong.predict(&[1.0]).abs() < target.abs());
+    }
+
+    #[test]
+    fn cholesky_round_trip() {
+        // A small SPD system with a known solution.
+        let mut a = vec![4.0, 2.0, 2.0, 3.0];
+        assert!(cholesky(&mut a, 2));
+        let x = cholesky_solve(&a, 2, &[8.0, 7.0]);
+        // [4 2; 2 3] x = [8; 7] -> x = [1.25, 1.5].
+        assert!((x[0] - 1.25).abs() < 1e-12);
+        assert!((x[1] - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let mut a = vec![1.0, 2.0, 2.0, 1.0]; // eigenvalues 3, -1
+        assert!(!cholesky(&mut a, 2));
+    }
+
+    #[test]
+    fn multivariate_fit() {
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for a in 0..8 {
+            for b in 0..8 {
+                let (xa, xb) = (a as f64 / 4.0 - 1.0, b as f64 / 4.0 - 1.0);
+                rows.push(vec![xa, xb]);
+                y.push(2.0 * xa - xb + 1.0);
+            }
+        }
+        let d = Dataset::new(Matrix::from_vecs(&rows), y);
+        let m = KernelRidge::fit(
+            &d,
+            &KrrParams {
+                alpha: 1e-3,
+                gamma: None,
+            },
+        );
+        let err = (m.predict(&[0.3, -0.2]) - (0.6 + 0.2 + 1.0)).abs();
+        assert!(err < 0.1, "err = {err}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let d = grid(25, |x| x * x);
+        let a = KernelRidge::fit(&d, &KrrParams::default());
+        let b = KernelRidge::fit(&d, &KrrParams::default());
+        assert_eq!(a.predict(&[0.4]), b.predict(&[0.4]));
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be positive")]
+    fn zero_alpha_rejected() {
+        let d = grid(5, |x| x);
+        let _ = KernelRidge::fit(
+            &d,
+            &KrrParams {
+                alpha: 0.0,
+                gamma: None,
+            },
+        );
+    }
+}

@@ -1,0 +1,52 @@
+//! # sms-ml — machine learning for scale-model extrapolation
+//!
+//! From-scratch implementations of the models the paper trains with
+//! scikit-learn v1.0.1:
+//!
+//! * [`tree`] — CART regression trees (`DecisionTreeRegressor`),
+//! * [`forest`] — bagged random forests (`RandomForestRegressor`),
+//! * [`svr`] — ε-SVR with an RBF kernel trained by SMO (`SVR`),
+//! * [`krr`] — kernel ridge regression (beyond the paper, for loss-function
+//!   comparisons),
+//! * [`fit`] — least-squares linear / power / logarithmic curve fits for
+//!   core-count extrapolation,
+//! * [`scale`] — feature standardization,
+//! * [`metrics`] — the paper's `|pred − actual| / actual` error metric and
+//!   friends,
+//! * [`validate`] — k-fold and leave-one-out index splitting.
+//!
+//! # Example
+//!
+//! ```
+//! use sms_ml::data::{Dataset, Matrix, Regressor};
+//! use sms_ml::svr::{Svr, SvrParams};
+//!
+//! let x = Matrix::from_vecs(&[vec![0.0], vec![1.0], vec![2.0], vec![3.0]]);
+//! let y = vec![1.0, 3.0, 5.0, 7.0];
+//! let model = Svr::fit(&Dataset::new(x, y), &SvrParams { c: 10.0, ..SvrParams::default() });
+//! let pred = model.predict(&[1.5]);
+//! assert!((pred - 4.0).abs() < 0.5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod data;
+pub mod fit;
+pub mod forest;
+pub mod krr;
+pub mod metrics;
+pub mod rng;
+pub mod scale;
+pub mod svr;
+pub mod tree;
+pub mod validate;
+
+pub use data::{Dataset, Matrix, Regressor};
+pub use fit::{fit_curve, CurveModel, FittedCurve};
+pub use forest::{ForestParams, RandomForest};
+pub use krr::{KernelRidge, KrrParams};
+pub use scale::StandardScaler;
+pub use svr::{Svr, SvrParams};
+pub use tree::{DecisionTree, TreeParams};

@@ -1,0 +1,134 @@
+//! Regression accuracy metrics, including the paper's prediction-error
+//! metric `|predicted − actual| / actual`.
+
+/// Absolute relative error `|pred − actual| / actual` (paper §V).
+///
+/// # Panics
+///
+/// Panics if `actual` is zero.
+pub fn prediction_error(predicted: f64, actual: f64) -> f64 {
+    assert!(actual != 0.0, "actual value must be non-zero");
+    ((predicted - actual) / actual).abs()
+}
+
+/// Mean absolute error.
+///
+/// # Panics
+///
+/// Panics on length mismatch or empty input.
+pub fn mae(pred: &[f64], actual: &[f64]) -> f64 {
+    assert_eq!(pred.len(), actual.len());
+    assert!(!pred.is_empty());
+    pred.iter()
+        .zip(actual)
+        .map(|(p, a)| (p - a).abs())
+        .sum::<f64>()
+        / pred.len() as f64
+}
+
+/// Mean absolute percentage error (fraction, not percent).
+///
+/// # Panics
+///
+/// Panics on length mismatch, empty input, or a zero actual.
+pub fn mape(pred: &[f64], actual: &[f64]) -> f64 {
+    assert_eq!(pred.len(), actual.len());
+    assert!(!pred.is_empty());
+    pred.iter()
+        .zip(actual)
+        .map(|(&p, &a)| prediction_error(p, a))
+        .sum::<f64>()
+        / pred.len() as f64
+}
+
+/// Maximum absolute percentage error (fraction).
+///
+/// # Panics
+///
+/// Panics on length mismatch, empty input, or a zero actual.
+pub fn max_ape(pred: &[f64], actual: &[f64]) -> f64 {
+    assert_eq!(pred.len(), actual.len());
+    assert!(!pred.is_empty());
+    pred.iter()
+        .zip(actual)
+        .map(|(&p, &a)| prediction_error(p, a))
+        .fold(0.0, f64::max)
+}
+
+/// Coefficient of determination R².
+///
+/// Returns 1.0 for a perfect fit; can be negative for fits worse than the
+/// mean predictor. Returns 0.0 when the actuals are constant and exactly
+/// matched, following scikit-learn's convention of guarding the 0/0 case.
+///
+/// # Panics
+///
+/// Panics on length mismatch or empty input.
+pub fn r2(pred: &[f64], actual: &[f64]) -> f64 {
+    assert_eq!(pred.len(), actual.len());
+    assert!(!pred.is_empty());
+    let mean: f64 = actual.iter().sum::<f64>() / actual.len() as f64;
+    let ss_tot: f64 = actual.iter().map(|a| (a - mean) * (a - mean)).sum();
+    let ss_res: f64 = pred
+        .iter()
+        .zip(actual)
+        .map(|(p, a)| (p - a) * (p - a))
+        .sum();
+    if ss_tot < 1e-15 {
+        if ss_res < 1e-15 {
+            0.0
+        } else {
+            f64::NEG_INFINITY
+        }
+    } else {
+        1.0 - ss_res / ss_tot
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prediction_error_matches_paper_metric() {
+        assert!((prediction_error(1.2, 1.0) - 0.2).abs() < 1e-12);
+        assert!((prediction_error(0.8, 1.0) - 0.2).abs() < 1e-12);
+        assert_eq!(prediction_error(2.0, 2.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn prediction_error_zero_actual_panics() {
+        let _ = prediction_error(1.0, 0.0);
+    }
+
+    #[test]
+    fn mae_and_mape() {
+        let p = [1.0, 2.0, 3.0];
+        let a = [2.0, 2.0, 2.0];
+        assert!((mae(&p, &a) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((mape(&p, &a) - (0.5 + 0.0 + 0.5) / 3.0).abs() < 1e-12);
+        assert!((max_ape(&p, &a) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn r2_perfect_and_mean() {
+        let a = [1.0, 2.0, 3.0];
+        assert!((r2(&a, &a) - 1.0).abs() < 1e-12);
+        let mean_pred = [2.0, 2.0, 2.0];
+        assert!(r2(&mean_pred, &a).abs() < 1e-12);
+    }
+
+    #[test]
+    fn r2_negative_for_bad_fit() {
+        let a = [1.0, 2.0, 3.0];
+        let p = [3.0, 3.0, 0.0];
+        assert!(r2(&p, &a) < 0.0);
+    }
+
+    #[test]
+    fn r2_constant_actuals() {
+        assert_eq!(r2(&[5.0, 5.0], &[5.0, 5.0]), 0.0);
+        assert_eq!(r2(&[5.0, 6.0], &[5.0, 5.0]), f64::NEG_INFINITY);
+    }
+}

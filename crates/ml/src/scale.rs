@@ -1,0 +1,163 @@
+//! Feature standardization (zero mean, unit variance), as scikit-learn's
+//! `StandardScaler`. SVR with an RBF kernel is scale-sensitive, so the
+//! extrapolation pipelines standardize features before training.
+
+use serde::{Deserialize, Serialize};
+
+use crate::data::Matrix;
+
+/// Per-feature standardizer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StandardScaler {
+    means: Vec<f64>,
+    stds: Vec<f64>,
+}
+
+impl StandardScaler {
+    /// Fit a scaler to the columns of `x`.
+    ///
+    /// Constant columns get a standard deviation of 1 so that transforming
+    /// maps them to zero rather than dividing by zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` has no rows.
+    pub fn fit(x: &Matrix) -> Self {
+        Self::fit_robust(x, 0.0)
+    }
+
+    /// Fit with a *floored* standard deviation: each column's divisor is
+    /// at least `rel_floor` times the column's RMS magnitude.
+    ///
+    /// Plain standardization misbehaves when a column's variance is tiny
+    /// relative to its magnitude (e.g. a sum of many draws): new data a
+    /// few units away lands "many sigmas" out and kernel methods collapse.
+    /// The floor keeps such columns on a sane scale while leaving
+    /// well-spread columns untouched. `rel_floor = 0` is plain
+    /// standardization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` has no rows or `rel_floor` is negative.
+    pub fn fit_robust(x: &Matrix, rel_floor: f64) -> Self {
+        assert!(x.rows() > 0, "cannot fit a scaler to an empty matrix");
+        assert!(rel_floor >= 0.0, "rel_floor must be non-negative");
+        let n = x.rows() as f64;
+        let cols = x.cols();
+        let mut means = vec![0.0; cols];
+        for row in x.iter_rows() {
+            for (m, v) in means.iter_mut().zip(row) {
+                *m += v;
+            }
+        }
+        for m in &mut means {
+            *m /= n;
+        }
+        let mut vars = vec![0.0; cols];
+        for row in x.iter_rows() {
+            for ((var, v), m) in vars.iter_mut().zip(row).zip(&means) {
+                let d = v - m;
+                *var += d * d;
+            }
+        }
+        // Column RMS magnitudes for the floor.
+        let mut sq = vec![0.0; cols];
+        for row in x.iter_rows() {
+            for (acc, v) in sq.iter_mut().zip(row) {
+                *acc += v * v;
+            }
+        }
+        let stds = vars
+            .into_iter()
+            .zip(&sq)
+            .map(|(v, &ss)| {
+                let s = (v / n).sqrt();
+                let floor = rel_floor * (ss / n).sqrt();
+                let s = s.max(floor);
+                if s > 1e-12 {
+                    s
+                } else {
+                    1.0
+                }
+            })
+            .collect();
+        Self { means, stds }
+    }
+
+    /// Standardize one feature vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the feature count differs from the fitted one.
+    pub fn transform_row(&self, row: &[f64]) -> Vec<f64> {
+        assert_eq!(row.len(), self.means.len(), "feature count mismatch");
+        row.iter()
+            .zip(&self.means)
+            .zip(&self.stds)
+            .map(|((v, m), s)| (v - m) / s)
+            .collect()
+    }
+
+    /// Standardize a whole matrix.
+    pub fn transform(&self, x: &Matrix) -> Matrix {
+        let rows: Vec<Vec<f64>> = x.iter_rows().map(|r| self.transform_row(r)).collect();
+        Matrix::from_vecs(&rows)
+    }
+
+    /// Fit and transform in one step.
+    pub fn fit_transform(x: &Matrix) -> (Self, Matrix) {
+        let s = Self::fit(x);
+        let t = s.transform(x);
+        (s, t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standardizes_to_zero_mean_unit_variance() {
+        let x = Matrix::from_vecs(&[vec![1.0, 10.0], vec![3.0, 30.0], vec![5.0, 50.0]]);
+        let (_, t) = StandardScaler::fit_transform(&x);
+        for c in 0..2 {
+            let vals: Vec<f64> = (0..3).map(|r| t.row(r)[c]).collect();
+            let mean: f64 = vals.iter().sum::<f64>() / 3.0;
+            let var: f64 = vals.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / 3.0;
+            assert!(mean.abs() < 1e-12);
+            assert!((var - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn constant_column_maps_to_zero() {
+        let x = Matrix::from_vecs(&[vec![7.0], vec![7.0], vec![7.0]]);
+        let (_, t) = StandardScaler::fit_transform(&x);
+        for r in 0..3 {
+            assert_eq!(t.row(r)[0], 0.0);
+        }
+    }
+
+    #[test]
+    fn transform_new_rows_consistent() {
+        let x = Matrix::from_vecs(&[vec![0.0], vec![2.0]]);
+        let s = StandardScaler::fit(&x);
+        // mean 1, std 1.
+        assert_eq!(s.transform_row(&[1.0]), vec![0.0]);
+        assert_eq!(s.transform_row(&[2.0]), vec![1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "feature count mismatch")]
+    fn rejects_wrong_width() {
+        let x = Matrix::from_vecs(&[vec![0.0], vec![2.0]]);
+        let s = StandardScaler::fit(&x);
+        let _ = s.transform_row(&[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn rejects_empty_fit() {
+        let _ = StandardScaler::fit(&Matrix::from_rows(0, 2, vec![]));
+    }
+}

@@ -1,0 +1,434 @@
+//! ε-support-vector regression with an RBF kernel, trained by sequential
+//! minimal optimization (Smola & Schölkopf 2004; LibSVM's ε-SVR).
+//!
+//! The dual is solved over the net coefficients `β_i = α_i − α*_i`:
+//!
+//! ```text
+//! min_β  ½ βᵀKβ − yᵀβ + ε‖β‖₁   s.t.  Σ_i β_i = 0,  |β_i| ≤ C
+//! ```
+//!
+//! Each SMO step picks a maximal-violating pair `(i, j)` — the best
+//! coordinate to increase and the best to decrease (preserving `Σβ = 0`) —
+//! and solves the one-dimensional subproblem exactly (a piecewise
+//! quadratic with breakpoints where `β_i + δ` or `β_j − δ` change sign).
+//! The prediction is `f(x) = Σ_i β_i K(x_i, x) + b`.
+
+use serde::{Deserialize, Serialize};
+
+use crate::data::{Dataset, Matrix, Regressor};
+
+/// SVR hyper-parameters (scikit-learn defaults: `C=1`, `epsilon=0.1`,
+/// `gamma="scale"`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SvrParams {
+    /// Regularization strength (box constraint on `|β_i|`).
+    pub c: f64,
+    /// Width of the ε-insensitive tube.
+    pub epsilon: f64,
+    /// RBF kernel width; `None` = `1 / (n_features · Var(X))`, matching
+    /// scikit-learn's `gamma="scale"`.
+    pub gamma: Option<f64>,
+    /// KKT-violation tolerance for convergence.
+    pub tol: f64,
+    /// Hard cap on SMO pair updates.
+    pub max_iter: usize,
+}
+
+impl Default for SvrParams {
+    fn default() -> Self {
+        Self {
+            c: 1.0,
+            epsilon: 0.1,
+            gamma: None,
+            tol: 1e-3,
+            max_iter: 100_000,
+        }
+    }
+}
+
+/// A trained ε-SVR model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Svr {
+    support_x: Matrix,
+    beta: Vec<f64>,
+    bias: f64,
+    gamma: f64,
+    num_features: usize,
+}
+
+fn rbf(gamma: f64, a: &[f64], b: &[f64]) -> f64 {
+    let d2: f64 = a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum();
+    (-gamma * d2).exp()
+}
+
+/// `gamma = 1 / (n_features * Var(X))` over all matrix entries, as
+/// scikit-learn's `gamma="scale"`.
+fn scale_gamma(x: &Matrix) -> f64 {
+    let n = (x.rows() * x.cols()) as f64;
+    if n == 0.0 {
+        return 1.0;
+    }
+    let mean: f64 = x.iter_rows().flatten().sum::<f64>() / n;
+    let var: f64 = x
+        .iter_rows()
+        .flatten()
+        .map(|v| (v - mean) * (v - mean))
+        .sum::<f64>()
+        / n;
+    if var > 1e-12 {
+        1.0 / (x.cols() as f64 * var)
+    } else {
+        1.0
+    }
+}
+
+impl Svr {
+    /// Fit the model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset is empty or hyper-parameters are invalid
+    /// (`c <= 0`, `epsilon < 0`).
+    pub fn fit(data: &Dataset, params: &SvrParams) -> Self {
+        assert!(!data.is_empty(), "cannot fit SVR on an empty dataset");
+        assert!(params.c > 0.0, "C must be positive");
+        assert!(params.epsilon >= 0.0, "epsilon must be non-negative");
+
+        let n = data.len();
+        let gamma = params.gamma.unwrap_or_else(|| scale_gamma(&data.x));
+        let c = params.c;
+        let eps = params.epsilon;
+
+        // Dense kernel matrix; training sets in the extrapolation pipeline
+        // are a few hundred points, so O(n^2) memory is fine.
+        let mut kernel = vec![0.0f64; n * n];
+        for i in 0..n {
+            for j in i..n {
+                let k = rbf(gamma, data.x.row(i), data.x.row(j));
+                kernel[i * n + j] = k;
+                kernel[j * n + i] = k;
+            }
+        }
+
+        let mut beta = vec![0.0f64; n];
+        // F_i = (Kβ)_i − y_i, maintained incrementally.
+        let mut f: Vec<f64> = data.y.iter().map(|&y| -y).collect();
+
+        for _ in 0..params.max_iter {
+            // Select the maximal violating pair: i to increase, j to
+            // decrease. The directional derivative of the objective for
+            // increasing β_i is F_i + ε·s⁺ (s⁺ = sign entering from β_i),
+            // for decreasing β_j it is −F_j + ε·s⁻.
+            let mut best_up: Option<(usize, f64)> = None;
+            let mut best_down: Option<(usize, f64)> = None;
+            for k in 0..n {
+                if beta[k] < c {
+                    let d = f[k] + if beta[k] >= 0.0 { eps } else { -eps };
+                    if best_up.is_none_or(|(_, bd)| d < bd) {
+                        best_up = Some((k, d));
+                    }
+                }
+                if beta[k] > -c {
+                    let d = -f[k] + if beta[k] > 0.0 { -eps } else { eps };
+                    if best_down.is_none_or(|(_, bd)| d < bd) {
+                        best_down = Some((k, d));
+                    }
+                }
+            }
+            let (Some((i, di)), Some((j, dj))) = (best_up, best_down) else {
+                break;
+            };
+            if i == j || di + dj > -params.tol {
+                break; // KKT-satisfied within tolerance
+            }
+
+            // One-dimensional subproblem over δ > 0:
+            //   g(δ) = ½ηδ² + (F_i − F_j)δ + ε(|β_i+δ| + |β_j−δ|) + const
+            let eta = kernel[i * n + i] + kernel[j * n + j] - 2.0 * kernel[i * n + j];
+            let delta_max = (c - beta[i]).min(beta[j] + c);
+            debug_assert!(delta_max > 0.0);
+            let lin = f[i] - f[j];
+
+            // Candidate minimizers: per-piece stationary points, the
+            // breakpoints, and the box edge.
+            let mut candidates: Vec<f64> = Vec::with_capacity(5);
+            let bp1 = -beta[i]; // β_i + δ crosses zero
+            let bp2 = beta[j]; // β_j − δ crosses zero
+            for bp in [bp1, bp2] {
+                if bp > 0.0 && bp < delta_max {
+                    candidates.push(bp);
+                }
+            }
+            candidates.push(delta_max);
+            if eta > 1e-12 {
+                // Stationary point of each sign combination.
+                for (si, sj) in [(1.0, 1.0), (1.0, -1.0), (-1.0, 1.0), (-1.0, -1.0)] {
+                    // dg/dδ = ηδ + lin + ε·si − ε·sj = 0
+                    let d = -(lin + eps * (si - sj)) / eta;
+                    if d > 0.0
+                        && d < delta_max
+                        && (beta[i] + d).signum() * si >= 0.0
+                        && (beta[j] - d).signum() * sj >= 0.0
+                    {
+                        candidates.push(d);
+                    }
+                }
+            }
+
+            let g = |d: f64| {
+                0.5 * eta * d * d + lin * d + eps * ((beta[i] + d).abs() + (beta[j] - d).abs())
+            };
+            let base = eps * (beta[i].abs() + beta[j].abs());
+            let mut best_d = 0.0;
+            let mut best_g = base; // g(0)
+            for &d in &candidates {
+                let v = g(d);
+                if v < best_g - 1e-15 {
+                    best_g = v;
+                    best_d = d;
+                }
+            }
+            if best_d <= 0.0 {
+                break; // numerically stuck; KKT near-satisfied
+            }
+
+            beta[i] += best_d;
+            beta[j] -= best_d;
+            for k in 0..n {
+                f[k] += best_d * (kernel[i * n + k] - kernel[j * n + k]);
+            }
+        }
+
+        // Bias from free support vectors: for 0 < β_i < C the point sits on
+        // the upper tube edge (y − f = +ε); for −C < β_i < 0 on the lower.
+        let margin = 1e-8 * c;
+        let mut b_sum = 0.0;
+        let mut b_cnt = 0usize;
+        for k in 0..n {
+            if beta[k] > margin && beta[k] < c - margin {
+                b_sum += data.y[k] - (f[k] + data.y[k]) - eps; // y − (Kβ) − ε
+                b_cnt += 1;
+            } else if beta[k] < -margin && beta[k] > -c + margin {
+                b_sum += data.y[k] - (f[k] + data.y[k]) + eps;
+                b_cnt += 1;
+            }
+        }
+        let bias = if b_cnt > 0 {
+            b_sum / b_cnt as f64
+        } else {
+            // No free SVs: use the feasibility interval midpoint over all
+            // points: lo ≤ b ≤ hi with b ∈ [y_i − Kβ_i − ε, y_i − Kβ_i + ε]
+            // for interior points; approximate with the mean residual.
+            let mean_resid: f64 =
+                (0..n).map(|k| data.y[k] - (f[k] + data.y[k])).sum::<f64>() / n as f64;
+            mean_resid
+        };
+
+        // Keep only support vectors for prediction.
+        let sv: Vec<usize> = (0..n).filter(|&k| beta[k].abs() > margin).collect();
+        let support_x = data.x.select(&sv);
+        let beta_sv: Vec<f64> = sv.iter().map(|&k| beta[k]).collect();
+
+        Self {
+            support_x,
+            beta: beta_sv,
+            bias,
+            gamma,
+            num_features: data.x.cols(),
+        }
+    }
+
+    /// Number of support vectors.
+    pub fn num_support_vectors(&self) -> usize {
+        self.beta.len()
+    }
+
+    /// The (possibly derived) RBF width used.
+    pub fn gamma(&self) -> f64 {
+        self.gamma
+    }
+}
+
+impl Regressor for Svr {
+    fn predict(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.num_features, "feature count mismatch");
+        let mut acc = self.bias;
+        for (b, sv) in self.beta.iter().zip(self.support_x.iter_rows()) {
+            acc += b * rbf(self.gamma, sv, x);
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid(n: usize, f: impl Fn(f64) -> f64) -> Dataset {
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|i| vec![i as f64 / n as f64 * 4.0 - 2.0])
+            .collect();
+        let y: Vec<f64> = rows.iter().map(|r| f(r[0])).collect();
+        Dataset::new(Matrix::from_vecs(&rows), y)
+    }
+
+    #[test]
+    fn fits_linear_function() {
+        let d = grid(60, |x| 2.0 * x + 1.0);
+        let m = Svr::fit(
+            &d,
+            &SvrParams {
+                c: 10.0,
+                epsilon: 0.05,
+                ..SvrParams::default()
+            },
+        );
+        for i in 0..20 {
+            let x = -1.8 + i as f64 * 0.18;
+            let err = (m.predict(&[x]) - (2.0 * x + 1.0)).abs();
+            assert!(err < 0.25, "x={x} err={err}");
+        }
+    }
+
+    #[test]
+    fn fits_nonlinear_function() {
+        let d = grid(100, |x| (1.5 * x).sin());
+        let m = Svr::fit(
+            &d,
+            &SvrParams {
+                c: 10.0,
+                epsilon: 0.02,
+                gamma: Some(1.0),
+                ..SvrParams::default()
+            },
+        );
+        let mae: f64 = (0..40)
+            .map(|i| {
+                let x = -1.9 + i as f64 * 0.095;
+                (m.predict(&[x]) - (1.5 * x).sin()).abs()
+            })
+            .sum::<f64>()
+            / 40.0;
+        assert!(mae < 0.06, "mae = {mae}");
+    }
+
+    #[test]
+    fn epsilon_tube_ignores_small_variation() {
+        // All targets within ±0.05 of 1.0 and epsilon = 0.2: no support
+        // vectors needed, prediction collapses to the bias.
+        let rows: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = (0..20)
+            .map(|i| 1.0 + 0.05 * ((i % 2) as f64 - 0.5))
+            .collect();
+        let d = Dataset::new(Matrix::from_vecs(&rows), y);
+        let m = Svr::fit(
+            &d,
+            &SvrParams {
+                epsilon: 0.2,
+                ..SvrParams::default()
+            },
+        );
+        assert_eq!(m.num_support_vectors(), 0);
+        assert!((m.predict(&[10.0]) - 1.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn c_bounds_coefficients() {
+        let d = grid(30, |x| 100.0 * x); // steep: wants large beta
+        let m = Svr::fit(
+            &d,
+            &SvrParams {
+                c: 0.5,
+                epsilon: 0.0,
+                gamma: Some(0.5),
+                ..SvrParams::default()
+            },
+        );
+        for b in &m.beta {
+            assert!(b.abs() <= 0.5 + 1e-9, "beta {b} exceeds C");
+        }
+    }
+
+    #[test]
+    fn beta_sums_to_zero() {
+        let d = grid(50, |x| x * x - 1.0);
+        let m = Svr::fit(
+            &d,
+            &SvrParams {
+                c: 5.0,
+                epsilon: 0.01,
+                ..SvrParams::default()
+            },
+        );
+        let sum: f64 = m.beta.iter().sum();
+        assert!(sum.abs() < 1e-9, "sum(beta) = {sum}");
+    }
+
+    #[test]
+    fn multivariate_fit() {
+        // y = x0 + 2*x1 over a small 2-D grid.
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for a in 0..8 {
+            for b in 0..8 {
+                let (xa, xb) = (a as f64 / 4.0 - 1.0, b as f64 / 4.0 - 1.0);
+                rows.push(vec![xa, xb]);
+                y.push(xa + 2.0 * xb);
+            }
+        }
+        let d = Dataset::new(Matrix::from_vecs(&rows), y);
+        let m = Svr::fit(
+            &d,
+            &SvrParams {
+                c: 10.0,
+                epsilon: 0.02,
+                ..SvrParams::default()
+            },
+        );
+        let err = (m.predict(&[0.3, -0.5]) - (0.3 - 1.0)).abs();
+        assert!(err < 0.15, "err = {err}");
+    }
+
+    #[test]
+    fn scale_gamma_matches_definition() {
+        let x = Matrix::from_vecs(&[vec![0.0, 0.0], vec![2.0, 2.0]]);
+        // mean 1, var 1 over all entries; 2 features -> gamma = 0.5.
+        assert!((scale_gamma(&x) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deterministic_training() {
+        let d = grid(40, |x| x.exp() / 3.0);
+        let p = SvrParams {
+            c: 3.0,
+            ..SvrParams::default()
+        };
+        let a = Svr::fit(&d, &p);
+        let b = Svr::fit(&d, &p);
+        assert_eq!(a.predict(&[0.7]), b.predict(&[0.7]));
+    }
+
+    #[test]
+    #[should_panic(expected = "C must be positive")]
+    fn invalid_c_rejected() {
+        let d = grid(5, |x| x);
+        let _ = Svr::fit(
+            &d,
+            &SvrParams {
+                c: 0.0,
+                ..SvrParams::default()
+            },
+        );
+    }
+
+    #[test]
+    fn extrapolation_is_bounded() {
+        // RBF kernels decay to the bias far from training data: prediction
+        // at a distant point stays finite and near the bias.
+        let d = grid(30, |x| x);
+        let m = Svr::fit(&d, &SvrParams::default());
+        let far = m.predict(&[1000.0]);
+        assert!(far.is_finite());
+        assert!((far - m.bias).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,396 @@
+//! CART regression tree (Breiman et al.), as in scikit-learn's
+//! `DecisionTreeRegressor`: binary splits chosen by maximal variance
+//! reduction (equivalently, minimal summed squared error).
+
+use serde::{Deserialize, Serialize};
+
+use crate::data::{Dataset, Regressor};
+use crate::rng::SplitMix64;
+
+/// Tree hyper-parameters, mirroring scikit-learn defaults.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TreeParams {
+    /// Maximum tree depth (`None` = grow until pure/min-samples).
+    pub max_depth: Option<u32>,
+    /// Minimum samples required to split an internal node.
+    pub min_samples_split: usize,
+    /// Minimum samples required in each leaf.
+    pub min_samples_leaf: usize,
+    /// Number of features considered per split (`None` = all). Used by
+    /// random forests for decorrelation.
+    pub max_features: Option<usize>,
+}
+
+impl Default for TreeParams {
+    fn default() -> Self {
+        Self {
+            max_depth: None,
+            min_samples_split: 2,
+            min_samples_leaf: 1,
+            max_features: None,
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum Node {
+    Leaf {
+        value: f64,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: usize,
+        right: usize,
+    },
+}
+
+/// A trained CART regression tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DecisionTree {
+    nodes: Vec<Node>,
+    num_features: usize,
+}
+
+struct Builder<'a> {
+    data: &'a Dataset,
+    params: &'a TreeParams,
+    nodes: Vec<Node>,
+    rng: Option<SplitMix64>,
+    feature_scratch: Vec<usize>,
+}
+
+impl Builder<'_> {
+    fn leaf(&mut self, indices: &[usize]) -> usize {
+        let mean = indices.iter().map(|&i| self.data.y[i]).sum::<f64>() / indices.len() as f64;
+        self.nodes.push(Node::Leaf { value: mean });
+        self.nodes.len() - 1
+    }
+
+    /// Best split of `indices` on `feature`: returns
+    /// `(threshold, sse_reduction_score)` or `None` if no valid split.
+    fn best_split_on(&self, indices: &mut [usize], feature: usize) -> Option<(f64, f64)> {
+        indices.sort_unstable_by(|&a, &b| {
+            self.data.x.row(a)[feature]
+                .partial_cmp(&self.data.x.row(b)[feature])
+                .expect("feature values must not be NaN")
+        });
+        let n = indices.len();
+        let total_sum: f64 = indices.iter().map(|&i| self.data.y[i]).sum();
+
+        let min_leaf = self.params.min_samples_leaf;
+        let mut left_sum = 0.0;
+        let mut best: Option<(f64, f64)> = None;
+        for k in 0..n - 1 {
+            let i = indices[k];
+            left_sum += self.data.y[i];
+            let v = self.data.x.row(i)[feature];
+            let v_next = self.data.x.row(indices[k + 1])[feature];
+            if v == v_next {
+                continue; // cannot split between equal values
+            }
+            let nl = k + 1;
+            let nr = n - nl;
+            if nl < min_leaf || nr < min_leaf {
+                continue;
+            }
+            // Maximizing SSE reduction == maximizing
+            // left_sum^2/nl + right_sum^2/nr (total constant).
+            let right_sum = total_sum - left_sum;
+            let score = left_sum * left_sum / nl as f64 + right_sum * right_sum / nr as f64;
+            if best.is_none_or(|(_, s)| score > s) {
+                // The midpoint of two adjacent doubles can round up to
+                // `v_next`, which would put the whole set on the left and
+                // recurse forever; fall back to splitting at `v` exactly.
+                let mid = 0.5 * (v + v_next);
+                let threshold = if mid < v_next { mid } else { v };
+                best = Some((threshold, score));
+            }
+        }
+        best
+    }
+
+    fn build(&mut self, indices: &mut [usize], depth: u32) -> usize {
+        let n = indices.len();
+        debug_assert!(n > 0);
+        let y0 = self.data.y[indices[0]];
+        let pure = indices.iter().all(|&i| self.data.y[i] == y0);
+        let depth_ok = self.params.max_depth.is_none_or(|d| depth < d);
+        if pure || !depth_ok || n < self.params.min_samples_split || n < 2 {
+            return self.leaf(indices);
+        }
+
+        // Candidate features: all, or a random subset for forests.
+        let num_features = self.data.x.cols();
+        let k = self
+            .params
+            .max_features
+            .unwrap_or(num_features)
+            .clamp(1, num_features);
+        self.feature_scratch.clear();
+        self.feature_scratch.extend(0..num_features);
+        if k < num_features {
+            let rng = self
+                .rng
+                .as_mut()
+                .expect("max_features requires a seeded tree");
+            // Partial Fisher-Yates for k random features.
+            for i in 0..k {
+                let j = i + rng.next_below(num_features - i);
+                self.feature_scratch.swap(i, j);
+            }
+            self.feature_scratch.truncate(k);
+        }
+
+        let mut best: Option<(usize, f64, f64)> = None;
+        let features = std::mem::take(&mut self.feature_scratch);
+        for &f in &features {
+            if let Some((thr, score)) = self.best_split_on(indices, f) {
+                if best.is_none_or(|(_, _, s)| score > s) {
+                    best = Some((f, thr, score));
+                }
+            }
+        }
+        self.feature_scratch = features;
+
+        let Some((feature, threshold, _)) = best else {
+            return self.leaf(indices);
+        };
+
+        // Partition in place.
+        indices.sort_unstable_by(|&a, &b| {
+            self.data.x.row(a)[feature]
+                .partial_cmp(&self.data.x.row(b)[feature])
+                .expect("no NaN")
+        });
+        let split_at = indices.partition_point(|&i| self.data.x.row(i)[feature] <= threshold);
+        debug_assert!(split_at > 0 && split_at < n);
+        if split_at == 0 || split_at == n {
+            // Defensive: a degenerate partition would recurse on an
+            // unchanged subproblem. Cannot happen with the threshold
+            // clamping above, but a leaf is always a safe answer.
+            return self.leaf(indices);
+        }
+
+        let placeholder = self.nodes.len();
+        self.nodes.push(Node::Leaf { value: 0.0 }); // patched below
+        let (l_idx, r_idx) = indices.split_at_mut(split_at);
+        let left = self.build(l_idx, depth + 1);
+        let right = self.build(r_idx, depth + 1);
+        self.nodes[placeholder] = Node::Split {
+            feature,
+            threshold,
+            left,
+            right,
+        };
+        placeholder
+    }
+}
+
+impl DecisionTree {
+    /// Fit a tree on the dataset.
+    ///
+    /// `seed` drives feature subsampling and is only consulted when
+    /// `params.max_features` restricts the candidate features.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset is empty or contains NaN features.
+    pub fn fit(data: &Dataset, params: &TreeParams, seed: u64) -> Self {
+        assert!(!data.is_empty(), "cannot fit a tree on an empty dataset");
+        let mut builder = Builder {
+            data,
+            params,
+            nodes: Vec::new(),
+            rng: Some(SplitMix64::new(seed)),
+            feature_scratch: Vec::new(),
+        };
+        let mut indices: Vec<usize> = (0..data.len()).collect();
+        let root = builder.build(&mut indices, 0);
+        debug_assert_eq!(root, 0);
+        Self {
+            nodes: builder.nodes,
+            num_features: data.x.cols(),
+        }
+    }
+
+    /// Number of nodes (diagnostics).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Tree depth (diagnostics).
+    pub fn depth(&self) -> u32 {
+        fn rec(nodes: &[Node], i: usize) -> u32 {
+            match nodes[i] {
+                Node::Leaf { .. } => 0,
+                Node::Split { left, right, .. } => 1 + rec(nodes, left).max(rec(nodes, right)),
+            }
+        }
+        rec(&self.nodes, 0)
+    }
+}
+
+impl Regressor for DecisionTree {
+    fn predict(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.num_features, "feature count mismatch");
+        let mut i = 0;
+        loop {
+            match self.nodes[i] {
+                Node::Leaf { value } => return value,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    i = if x[feature] <= threshold { left } else { right };
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::Matrix;
+
+    fn line_data(n: usize) -> Dataset {
+        let rows: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = (0..n).map(|i| 2.0 * i as f64 + 1.0).collect();
+        Dataset::new(Matrix::from_vecs(&rows), y)
+    }
+
+    #[test]
+    fn memorizes_training_data_when_unconstrained() {
+        let d = line_data(32);
+        let t = DecisionTree::fit(&d, &TreeParams::default(), 0);
+        for i in 0..32 {
+            assert_eq!(t.predict(&[i as f64]), 2.0 * i as f64 + 1.0);
+        }
+    }
+
+    #[test]
+    fn step_function_single_split() {
+        let rows: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = (0..10).map(|i| if i < 5 { 0.0 } else { 10.0 }).collect();
+        let d = Dataset::new(Matrix::from_vecs(&rows), y);
+        let t = DecisionTree::fit(&d, &TreeParams::default(), 0);
+        assert_eq!(t.predict(&[0.0]), 0.0);
+        assert_eq!(t.predict(&[9.0]), 10.0);
+        // One split and two leaves suffice.
+        assert_eq!(t.node_count(), 3);
+    }
+
+    #[test]
+    fn max_depth_limits_growth() {
+        let d = line_data(64);
+        let t = DecisionTree::fit(
+            &d,
+            &TreeParams {
+                max_depth: Some(2),
+                ..TreeParams::default()
+            },
+            0,
+        );
+        assert!(t.depth() <= 2, "depth = {}", t.depth());
+    }
+
+    #[test]
+    fn min_samples_leaf_respected() {
+        let d = line_data(16);
+        let t = DecisionTree::fit(
+            &d,
+            &TreeParams {
+                min_samples_leaf: 4,
+                ..TreeParams::default()
+            },
+            0,
+        );
+        // With >= 4 samples per leaf over 16 points, at most 4 leaves.
+        assert!(t.node_count() <= 7, "nodes = {}", t.node_count());
+    }
+
+    #[test]
+    fn constant_target_yields_single_leaf() {
+        let rows: Vec<Vec<f64>> = (0..8).map(|i| vec![i as f64]).collect();
+        let d = Dataset::new(Matrix::from_vecs(&rows), vec![3.5; 8]);
+        let t = DecisionTree::fit(&d, &TreeParams::default(), 0);
+        assert_eq!(t.node_count(), 1);
+        assert_eq!(t.predict(&[100.0]), 3.5);
+    }
+
+    #[test]
+    fn splits_on_informative_feature() {
+        // Feature 0 is noise; feature 1 determines y.
+        let rows: Vec<Vec<f64>> = (0..20)
+            .map(|i| vec![(i * 7 % 13) as f64, (i % 2) as f64])
+            .collect();
+        let y: Vec<f64> = (0..20).map(|i| (i % 2) as f64 * 100.0).collect();
+        let d = Dataset::new(Matrix::from_vecs(&rows), y);
+        let t = DecisionTree::fit(&d, &TreeParams::default(), 0);
+        assert_eq!(t.predict(&[5.0, 0.0]), 0.0);
+        assert_eq!(t.predict(&[5.0, 1.0]), 100.0);
+    }
+
+    #[test]
+    fn duplicate_feature_values_handled() {
+        let rows: Vec<Vec<f64>> = vec![vec![1.0]; 10];
+        let y: Vec<f64> = (0..10).map(f64::from).collect();
+        let d = Dataset::new(Matrix::from_vecs(&rows), y);
+        // No split possible on identical values; must produce a mean leaf.
+        let t = DecisionTree::fit(&d, &TreeParams::default(), 0);
+        assert_eq!(t.node_count(), 1);
+        assert!((t.predict(&[1.0]) - 4.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interpolates_smooth_function_reasonably() {
+        let rows: Vec<Vec<f64>> = (0..200).map(|i| vec![i as f64 / 20.0]).collect();
+        let y: Vec<f64> = rows.iter().map(|r| r[0].sin()).collect();
+        let d = Dataset::new(Matrix::from_vecs(&rows), y);
+        let t = DecisionTree::fit(&d, &TreeParams::default(), 0);
+        let mae: f64 = (0..50)
+            .map(|i| {
+                let x = 0.1 + i as f64 / 5.3;
+                (t.predict(&[x]) - x.sin()).abs()
+            })
+            .sum::<f64>()
+            / 50.0;
+        assert!(mae < 0.05, "mae = {mae}");
+    }
+
+    #[test]
+    fn adjacent_double_features_terminate() {
+        // Two feature values one ULP apart: the naive midpoint rounds up
+        // to the larger value and the split degenerates (regression test
+        // for an infinite recursion found by the heterogeneous pipeline).
+        let v = 1.4719590025860636_f64;
+        let v_next = f64::from_bits(v.to_bits() + 1);
+        assert!(0.5 * (v + v_next) == v_next, "premise: midpoint rounds up");
+        let rows = vec![vec![v], vec![v], vec![v_next], vec![v_next]];
+        let y = vec![0.0, 1.0, 2.0, 3.0];
+        let d = Dataset::new(Matrix::from_vecs(&rows), y);
+        let t = DecisionTree::fit(&d, &TreeParams::default(), 0);
+        assert!((t.predict(&[v]) - 0.5).abs() < 1e-12);
+        assert!((t.predict(&[v_next]) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn duplicate_rows_with_conflicting_targets_terminate() {
+        let rows = vec![vec![1.0, 2.0], vec![1.0, 2.0], vec![3.0, 4.0]];
+        let y = vec![0.0, 10.0, 7.0];
+        let d = Dataset::new(Matrix::from_vecs(&rows), y);
+        let t = DecisionTree::fit(&d, &TreeParams::default(), 0);
+        assert!((t.predict(&[1.0, 2.0]) - 5.0).abs() < 1e-12, "mean leaf");
+        assert!((t.predict(&[3.0, 4.0]) - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_dataset_panics() {
+        let d = Dataset::new(Matrix::from_rows(0, 1, vec![]), vec![]);
+        let _ = DecisionTree::fit(&d, &TreeParams::default(), 0);
+    }
+}

@@ -1,0 +1,174 @@
+//! Train/test splitting utilities: k-fold and leave-one-out
+//! cross-validation index generation, and a generic grid search.
+
+use crate::data::{Dataset, Regressor};
+use crate::metrics::mape;
+use crate::rng::SplitMix64;
+
+/// Deterministic k-fold split of `n` samples: returns `(train, test)`
+/// index lists per fold. Samples are shuffled by `seed` first.
+///
+/// # Panics
+///
+/// Panics if `k < 2` or `k > n`.
+pub fn k_fold(n: usize, k: usize, seed: u64) -> Vec<(Vec<usize>, Vec<usize>)> {
+    assert!(k >= 2, "need at least two folds");
+    assert!(k <= n, "more folds than samples");
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut rng = SplitMix64::new(seed ^ 0x2545_F491_4F6C_DD1D);
+    for i in (1..n).rev() {
+        let j = rng.next_below(i + 1);
+        order.swap(i, j);
+    }
+    let mut folds = Vec::with_capacity(k);
+    for f in 0..k {
+        let test: Vec<usize> = order
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i % k == f)
+            .map(|(_, &s)| s)
+            .collect();
+        let train: Vec<usize> = order
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i % k != f)
+            .map(|(_, &s)| s)
+            .collect();
+        folds.push((train, test));
+    }
+    folds
+}
+
+/// Leave-one-out folds for `n` samples.
+pub fn leave_one_out(n: usize) -> Vec<(Vec<usize>, usize)> {
+    (0..n)
+        .map(|held| {
+            let train: Vec<usize> = (0..n).filter(|&i| i != held).collect();
+            (train, held)
+        })
+        .collect()
+}
+
+/// Exhaustive grid search: evaluate `fit` for every candidate parameter
+/// set under k-fold cross-validation and return the `(best_params,
+/// best_mape)` pair by mean absolute percentage error.
+///
+/// `fit` receives a candidate and a training set and must return a
+/// trained regressor.
+///
+/// # Panics
+///
+/// Panics if `candidates` is empty, `k < 2`, or any fold ends up with an
+/// empty training set.
+pub fn grid_search<P: Clone, M: Regressor>(
+    data: &Dataset,
+    candidates: &[P],
+    k: usize,
+    seed: u64,
+    mut fit: impl FnMut(&P, &Dataset) -> M,
+) -> (P, f64) {
+    assert!(!candidates.is_empty(), "need at least one candidate");
+    let folds = k_fold(data.len(), k, seed);
+    let mut best: Option<(P, f64)> = None;
+    for cand in candidates {
+        let mut preds = Vec::with_capacity(data.len());
+        let mut truth = Vec::with_capacity(data.len());
+        for (train_idx, test_idx) in &folds {
+            let train = data.select(train_idx);
+            let model = fit(cand, &train);
+            for &t in test_idx {
+                preds.push(model.predict(data.x.row(t)));
+                truth.push(data.y[t]);
+            }
+        }
+        let score = mape(&preds, &truth);
+        if best.as_ref().is_none_or(|(_, s)| score < *s) {
+            best = Some((cand.clone(), score));
+        }
+    }
+    best.expect("non-empty candidates")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn k_fold_partitions() {
+        let folds = k_fold(10, 3, 1);
+        assert_eq!(folds.len(), 3);
+        let mut seen = vec![0usize; 10];
+        for (train, test) in &folds {
+            assert_eq!(train.len() + test.len(), 10);
+            for &t in test {
+                seen[t] += 1;
+            }
+            for &t in test {
+                assert!(!train.contains(&t), "test sample leaked into train");
+            }
+        }
+        assert!(
+            seen.iter().all(|&c| c == 1),
+            "each sample in exactly one test fold"
+        );
+    }
+
+    #[test]
+    fn k_fold_deterministic() {
+        assert_eq!(k_fold(20, 4, 9), k_fold(20, 4, 9));
+        assert_ne!(k_fold(20, 4, 9), k_fold(20, 4, 10));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn k_fold_rejects_k1() {
+        let _ = k_fold(10, 1, 0);
+    }
+
+    #[test]
+    fn grid_search_picks_the_better_candidate() {
+        use crate::data::Matrix;
+        use crate::tree::{DecisionTree, TreeParams};
+        // y = 3x + 5 (strictly positive: MAPE divides by the actuals); a
+        // depth-1 tree underfits badly, an unconstrained tree generalizes
+        // better on this grid.
+        let rows: Vec<Vec<f64>> = (0..40).map(|i| vec![f64::from(i)]).collect();
+        let y: Vec<f64> = (0..40).map(|i| 3.0 * f64::from(i) + 5.0).collect();
+        let d = Dataset::new(Matrix::from_vecs(&rows), y);
+        let candidates = [Some(1u32), None];
+        let (best, score) = grid_search(&d, &candidates, 4, 7, |depth, train| {
+            DecisionTree::fit(
+                train,
+                &TreeParams {
+                    max_depth: *depth,
+                    ..TreeParams::default()
+                },
+                0,
+            )
+        });
+        assert_eq!(best, None, "unconstrained tree must win");
+        assert!(score < 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one candidate")]
+    fn grid_search_rejects_empty_grid() {
+        use crate::data::Matrix;
+        use crate::tree::{DecisionTree, TreeParams};
+        let d = Dataset::new(Matrix::from_vecs(&[vec![1.0], vec![2.0]]), vec![1.0, 2.0]);
+        let none: [(); 0] = [];
+        let _ = grid_search(&d, &none, 2, 0, |_, train| {
+            DecisionTree::fit(train, &TreeParams::default(), 0)
+        });
+    }
+
+    #[test]
+    fn loo_shape() {
+        let folds = leave_one_out(5);
+        assert_eq!(folds.len(), 5);
+        for (train, held) in folds {
+            assert_eq!(train.len(), 4);
+            assert!(!train.contains(&held));
+        }
+    }
+}

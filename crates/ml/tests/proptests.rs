@@ -1,0 +1,135 @@
+//! Property-based tests for the ML library's model invariants.
+
+use proptest::prelude::*;
+use sms_ml::data::{Dataset, Matrix, Regressor};
+use sms_ml::fit::{fit_curve, CurveModel};
+use sms_ml::forest::{ForestParams, RandomForest};
+use sms_ml::scale::StandardScaler;
+use sms_ml::svr::{Svr, SvrParams};
+use sms_ml::tree::{DecisionTree, TreeParams};
+
+fn dataset_1d() -> impl Strategy<Value = Dataset> {
+    proptest::collection::vec((-100.0f64..100.0, -50.0f64..50.0), 4..60).prop_map(|pts| {
+        let rows: Vec<Vec<f64>> = pts.iter().map(|(x, _)| vec![*x]).collect();
+        let y: Vec<f64> = pts.iter().map(|(_, y)| *y).collect();
+        Dataset::new(Matrix::from_vecs(&rows), y)
+    })
+}
+
+proptest! {
+    #[test]
+    fn tree_predictions_stay_within_target_range(d in dataset_1d(), probe in -200.0f64..200.0) {
+        let t = DecisionTree::fit(&d, &TreeParams::default(), 0);
+        let lo = d.y.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = d.y.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let p = t.predict(&[probe]);
+        prop_assert!(p >= lo - 1e-9 && p <= hi + 1e-9,
+            "tree prediction {p} outside target range [{lo}, {hi}]");
+    }
+
+    #[test]
+    fn tree_memorizes_distinct_points(
+        xs in proptest::collection::hash_set(-1000i32..1000, 2..40),
+    ) {
+        let xs: Vec<f64> = xs.into_iter().map(f64::from).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| x * 3.0 - 1.0).collect();
+        let rows: Vec<Vec<f64>> = xs.iter().map(|&x| vec![x]).collect();
+        let d = Dataset::new(Matrix::from_vecs(&rows), ys.clone());
+        let t = DecisionTree::fit(&d, &TreeParams::default(), 0);
+        for (x, y) in xs.iter().zip(&ys) {
+            prop_assert!((t.predict(&[*x]) - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn forest_prediction_within_tree_range(d in dataset_1d(), probe in -200.0f64..200.0) {
+        let f = RandomForest::fit(
+            &d,
+            &ForestParams { num_trees: 9, ..ForestParams::default() },
+            3,
+        );
+        // The mean of tree predictions is bounded by the target range too.
+        let lo = d.y.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = d.y.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let p = f.predict(&[probe]);
+        prop_assert!(p >= lo - 1e-9 && p <= hi + 1e-9);
+    }
+
+    #[test]
+    fn scaler_round_trips_statistics(
+        cols in 1usize..5,
+        n in 2usize..40,
+        seed in 0u64..100,
+    ) {
+        // Deterministic pseudo-random matrix.
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % 1000) as f64 / 10.0 - 50.0
+        };
+        let rows: Vec<Vec<f64>> = (0..n).map(|_| (0..cols).map(|_| next()).collect()).collect();
+        let x = Matrix::from_vecs(&rows);
+        let (_, t) = StandardScaler::fit_transform(&x);
+        for c in 0..cols {
+            let vals: Vec<f64> = (0..n).map(|r| t.row(r)[c]).collect();
+            let mean: f64 = vals.iter().sum::<f64>() / n as f64;
+            prop_assert!(mean.abs() < 1e-9, "column {c} mean {mean}");
+        }
+    }
+
+    #[test]
+    fn svr_predictions_are_finite_and_bounded(
+        d in dataset_1d(),
+        probe in -500.0f64..500.0,
+    ) {
+        let m = Svr::fit(&d, &SvrParams::default());
+        let p = m.predict(&[probe]);
+        prop_assert!(p.is_finite());
+        // RBF SVR is bounded by bias ± sum |beta_i| (each kernel value <= 1).
+        let lo = d.y.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = d.y.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let span = (hi - lo).abs() + 1.0;
+        prop_assert!(p > lo - 100.0 * span && p < hi + 100.0 * span);
+    }
+
+    #[test]
+    fn svr_respects_epsilon_tube_on_constant_targets(
+        c in 0.5f64..20.0,
+        target in -10.0f64..10.0,
+    ) {
+        let rows: Vec<Vec<f64>> = (0..10).map(|i| vec![f64::from(i)]).collect();
+        let d = Dataset::new(Matrix::from_vecs(&rows), vec![target; 10]);
+        let m = Svr::fit(&d, &SvrParams { c, epsilon: 0.1, ..SvrParams::default() });
+        // Constant targets need no support vectors at all.
+        prop_assert_eq!(m.num_support_vectors(), 0);
+        prop_assert!((m.predict(&[4.0]) - target).abs() < 0.11);
+    }
+
+    #[test]
+    fn linear_fit_residual_orthogonality(
+        pts in proptest::collection::vec((-50.0f64..50.0, -50.0f64..50.0), 3..40),
+    ) {
+        let xs: Vec<f64> = pts.iter().map(|(x, _)| *x).collect();
+        let ys: Vec<f64> = pts.iter().map(|(_, y)| *y).collect();
+        prop_assume!(xs.iter().any(|&x| (x - xs[0]).abs() > 1e-6));
+        let c = fit_curve(CurveModel::Linear, &xs, &ys).unwrap();
+        // Least squares: residuals sum to ~0 and are uncorrelated with x.
+        let resid: Vec<f64> = xs.iter().zip(&ys).map(|(&x, &y)| y - c.eval(x)).collect();
+        let sum: f64 = resid.iter().sum();
+        let dot: f64 = resid.iter().zip(&xs).map(|(r, x)| r * x).sum();
+        prop_assert!(sum.abs() < 1e-6 * (1.0 + ys.iter().map(|y| y.abs()).sum::<f64>()));
+        prop_assert!(dot.abs() < 1e-5 * (1.0 + xs.iter().map(|x| x * x).sum::<f64>()));
+    }
+
+    #[test]
+    fn power_fit_positive_everywhere(a in 0.1f64..10.0, b in -2.0f64..2.0) {
+        let xs = [1.0f64, 2.0, 4.0, 8.0, 16.0];
+        let ys: Vec<f64> = xs.iter().map(|&x| a * x.powf(b)).collect();
+        let c = fit_curve(CurveModel::Power, &xs, &ys).unwrap();
+        for x in [1.0, 3.0, 32.0, 100.0] {
+            prop_assert!(c.eval(x) > 0.0, "power fit must stay positive");
+        }
+    }
+}

@@ -1,0 +1,693 @@
+//! Set-associative cache with true-LRU replacement, write-back and
+//! write-allocate policies, and per-line owner tracking.
+//!
+//! Addresses at this layer are *line* addresses (byte address divided by
+//! [`LINE_SIZE`](crate::config::LINE_SIZE)); the hierarchy does the shift
+//! once. The owner field records which core inserted a line so that the
+//! shared LLC can back-invalidate private copies on eviction (inclusive
+//! hierarchy).
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::CacheConfig;
+
+/// A line address: byte address right-shifted by `log2(LINE_SIZE)`.
+pub type LineAddr = u64;
+
+/// Replacement policy of a set-associative cache.
+///
+/// True LRU is the default and what the experiments use; the alternatives
+/// exist for the `ablation_replacement` study and for users modelling
+/// hardware that cannot afford full LRU state (as real LLCs cannot).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ReplacementPolicy {
+    /// True least-recently-used (per-way timestamps).
+    #[default]
+    Lru,
+    /// Tree pseudo-LRU (one bit per internal node of a binary tree).
+    /// Requires a power-of-two associativity.
+    TreePlru,
+    /// Static re-reference interval prediction (SRRIP, 2-bit RRPV;
+    /// Jaleel et al., ISCA 2010): scan-resistant approximation used by
+    /// modern LLCs.
+    Srrip,
+    /// Uniform-random victim selection (deterministic xorshift stream).
+    Random,
+}
+
+/// Statistics kept by every cache instance.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Demand lookups (reads + writes).
+    pub accesses: u64,
+    /// Demand lookups that hit.
+    pub hits: u64,
+    /// Lines filled after a miss.
+    pub fills: u64,
+    /// Valid lines displaced by fills.
+    pub evictions: u64,
+    /// Displaced lines that were dirty (caused a writeback).
+    pub dirty_evictions: u64,
+    /// Lines removed by external invalidation.
+    pub invalidations: u64,
+}
+
+impl CacheStats {
+    /// Demand misses.
+    pub fn misses(&self) -> u64 {
+        self.accesses - self.hits
+    }
+
+    /// Miss ratio in `[0, 1]`; zero when no accesses were made.
+    pub fn miss_ratio(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses() as f64 / self.accesses as f64
+        }
+    }
+}
+
+/// A line displaced from the cache, either by a fill or an invalidation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvictedLine {
+    /// Line address of the victim.
+    pub line: LineAddr,
+    /// Whether the victim held modified data (must be written back).
+    pub dirty: bool,
+    /// Core that owned the victim.
+    pub owner: u8,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Way {
+    tag: u64,
+    /// Policy metadata: LRU timestamp, or SRRIP re-reference value.
+    lru: u32,
+    valid: bool,
+    dirty: bool,
+    owner: u8,
+}
+
+const INVALID: Way = Way {
+    tag: 0,
+    lru: 0,
+    valid: false,
+    dirty: false,
+    owner: 0,
+};
+
+/// A set-associative, true-LRU, write-back cache.
+///
+/// # Examples
+///
+/// ```
+/// use sms_sim::cache::Cache;
+/// use sms_sim::config::CacheConfig;
+///
+/// let mut c = Cache::new(&CacheConfig::new_kib(32, 8, 4));
+/// assert!(!c.access(0x40, false));      // cold miss
+/// c.fill(0x40, false, 0);
+/// assert!(c.access(0x40, false));       // now hits
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cache {
+    ways: Vec<Way>,
+    assoc: usize,
+    set_mask: u64,
+    set_shift: u32,
+    lru_clock: u32,
+    stats: CacheStats,
+    access_latency: u32,
+    policy: ReplacementPolicy,
+    /// Tree-PLRU bits, one word per set (bit `i` = internal node `i`).
+    plru_bits: Vec<u64>,
+    /// Xorshift state for the random policy.
+    rng_state: u64,
+}
+
+impl Cache {
+    /// Build a cache from a validated geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry does not yield a power-of-two set count;
+    /// call [`CacheConfig::validate`] first for a recoverable error.
+    pub fn new(cfg: &CacheConfig) -> Self {
+        let sets = cfg.num_sets();
+        assert!(
+            sets > 0 && sets.is_power_of_two(),
+            "cache set count must be a non-zero power of two, got {sets}"
+        );
+        let assoc = cfg.associativity as usize;
+        if cfg.policy == ReplacementPolicy::TreePlru {
+            assert!(
+                assoc.is_power_of_two(),
+                "tree-PLRU requires a power-of-two associativity, got {assoc}"
+            );
+        }
+        let plru_sets = if cfg.policy == ReplacementPolicy::TreePlru {
+            sets as usize
+        } else {
+            0
+        };
+        Self {
+            ways: vec![INVALID; sets as usize * assoc],
+            assoc,
+            set_mask: sets - 1,
+            set_shift: sets.trailing_zeros(),
+            lru_clock: 0,
+            stats: CacheStats::default(),
+            access_latency: cfg.access_latency,
+            policy: cfg.policy,
+            plru_bits: vec![0; plru_sets],
+            rng_state: 0x9E37_79B9_97F4_A7C1,
+        }
+    }
+
+    /// The replacement policy in use.
+    pub fn policy(&self) -> ReplacementPolicy {
+        self.policy
+    }
+
+    /// Update policy metadata for a hit/fill on way `w` of set `set`.
+    #[inline]
+    fn touch(&mut self, set: usize, way: usize) {
+        match self.policy {
+            ReplacementPolicy::Lru => {
+                let stamp = self.tick();
+                self.ways[set * self.assoc + way].lru = stamp;
+            }
+            ReplacementPolicy::Srrip => {
+                // Hit promotion to RRPV 0 (near re-reference).
+                self.ways[set * self.assoc + way].lru = 0;
+            }
+            ReplacementPolicy::TreePlru => {
+                // Flip internal nodes to point away from this way.
+                let mut node = 0usize;
+                let mut lo = 0usize;
+                let mut hi = self.assoc;
+                while hi - lo > 1 {
+                    let mid = (lo + hi) / 2;
+                    let bits = &mut self.plru_bits[set];
+                    if way < mid {
+                        *bits |= 1 << node; // point right (away)
+                        node = 2 * node + 1;
+                        hi = mid;
+                    } else {
+                        *bits &= !(1 << node); // point left (away)
+                        node = 2 * node + 2;
+                        lo = mid;
+                    }
+                }
+            }
+            ReplacementPolicy::Random => {}
+        }
+    }
+
+    /// Pick the victim way index within `set` (no invalid way exists).
+    fn find_victim(&mut self, set: usize) -> usize {
+        match self.policy {
+            ReplacementPolicy::Lru => {
+                let stamp = self.lru_clock;
+                let base = set * self.assoc;
+                let mut victim = 0;
+                let mut best_age = 0u32;
+                for i in 0..self.assoc {
+                    let age = stamp.wrapping_sub(self.ways[base + i].lru);
+                    if age >= best_age {
+                        best_age = age;
+                        victim = i;
+                    }
+                }
+                victim
+            }
+            ReplacementPolicy::Srrip => {
+                // Find an RRPV-3 way, aging the set until one exists.
+                let base = set * self.assoc;
+                loop {
+                    for i in 0..self.assoc {
+                        if self.ways[base + i].lru >= 3 {
+                            return i;
+                        }
+                    }
+                    for i in 0..self.assoc {
+                        self.ways[base + i].lru += 1;
+                    }
+                }
+            }
+            ReplacementPolicy::TreePlru => {
+                let bits = self.plru_bits[set];
+                let mut node = 0usize;
+                let mut lo = 0usize;
+                let mut hi = self.assoc;
+                while hi - lo > 1 {
+                    let mid = (lo + hi) / 2;
+                    if bits & (1 << node) != 0 {
+                        node = 2 * node + 2; // pointed right
+                        lo = mid;
+                    } else {
+                        node = 2 * node + 1; // pointed left
+                        hi = mid;
+                    }
+                }
+                lo
+            }
+            ReplacementPolicy::Random => {
+                self.rng_state ^= self.rng_state << 13;
+                self.rng_state ^= self.rng_state >> 7;
+                self.rng_state ^= self.rng_state << 17;
+                (self.rng_state % self.assoc as u64) as usize
+            }
+        }
+    }
+
+    /// Hit latency in cycles, from the configuration.
+    pub fn access_latency(&self) -> u32 {
+        self.access_latency
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Reset statistics (e.g. after a warm-up phase) without touching state.
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    #[inline]
+    fn set_range(&self, line: LineAddr) -> (usize, u64) {
+        let set = (line & self.set_mask) as usize;
+        let tag = line >> self.set_shift;
+        (set * self.assoc, tag)
+    }
+
+    #[inline]
+    fn tick(&mut self) -> u32 {
+        // A wrapping 32-bit clock is fine: ordering only matters within a
+        // set, and a set sees far fewer than 2^31 accesses between touches
+        // of any resident line in practice; on wrap LRU degrades gracefully
+        // to an arbitrary-but-valid victim choice.
+        self.lru_clock = self.lru_clock.wrapping_add(1);
+        self.lru_clock
+    }
+
+    /// Demand lookup. Returns `true` on hit; updates replacement metadata
+    /// and, for writes, marks the line dirty. On miss the cache is
+    /// unchanged (the caller fetches the line from the next level and then
+    /// calls [`Cache::fill`]).
+    #[inline]
+    pub fn access(&mut self, line: LineAddr, write: bool) -> bool {
+        self.stats.accesses += 1;
+        let (base, tag) = self.set_range(line);
+        for (i, w) in self.ways[base..base + self.assoc].iter_mut().enumerate() {
+            if w.valid && w.tag == tag {
+                w.dirty |= write;
+                self.stats.hits += 1;
+                let set = base / self.assoc;
+                self.touch(set, i);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Probe without updating any state or statistics.
+    pub fn probe(&self, line: LineAddr) -> bool {
+        let (base, tag) = self.set_range(line);
+        self.ways[base..base + self.assoc]
+            .iter()
+            .any(|w| w.valid && w.tag == tag)
+    }
+
+    /// Insert a line after a miss, evicting the LRU way if the set is full.
+    ///
+    /// If the line is already present (possible when two logical requests
+    /// race within a synchronization quantum), the existing copy is updated
+    /// instead and no eviction occurs.
+    pub fn fill(&mut self, line: LineAddr, dirty: bool, owner: u8) -> Option<EvictedLine> {
+        let (base, tag) = self.set_range(line);
+        let set_idx = base / self.assoc;
+
+        // Present already? Refresh in place.
+        let mut invalid_way: Option<usize> = None;
+        for i in 0..self.assoc {
+            let w = &mut self.ways[base + i];
+            if w.valid && w.tag == tag {
+                w.dirty |= dirty;
+                w.owner = owner;
+                self.touch(set_idx, i);
+                return None;
+            }
+            if !w.valid && invalid_way.is_none() {
+                invalid_way = Some(i);
+            }
+        }
+
+        let victim = invalid_way.unwrap_or_else(|| self.find_victim(set_idx));
+        self.stats.fills += 1;
+        let w = &mut self.ways[base + victim];
+        let evicted = if w.valid {
+            self.stats.evictions += 1;
+            if w.dirty {
+                self.stats.dirty_evictions += 1;
+            }
+            Some(EvictedLine {
+                line: (w.tag << self.set_shift) | (line & self.set_mask),
+                dirty: w.dirty,
+                owner: w.owner,
+            })
+        } else {
+            None
+        };
+        *w = Way {
+            tag,
+            // SRRIP inserts at distant-re-reference (2); other policies
+            // overwrite this via touch() below.
+            lru: if self.policy == ReplacementPolicy::Srrip {
+                2
+            } else {
+                0
+            },
+            valid: true,
+            dirty,
+            owner,
+        };
+        if self.policy != ReplacementPolicy::Srrip {
+            self.touch(set_idx, victim);
+        }
+        evicted
+    }
+
+    /// Remove a line if present, returning it (with its dirty state) so the
+    /// caller can forward a writeback. Used for inclusion maintenance.
+    pub fn invalidate(&mut self, line: LineAddr) -> Option<EvictedLine> {
+        let (base, tag) = self.set_range(line);
+        for w in &mut self.ways[base..base + self.assoc] {
+            if w.valid && w.tag == tag {
+                w.valid = false;
+                self.stats.invalidations += 1;
+                return Some(EvictedLine {
+                    line,
+                    dirty: w.dirty,
+                    owner: w.owner,
+                });
+            }
+        }
+        None
+    }
+
+    /// Number of currently valid lines (O(capacity); for tests/debugging).
+    pub fn occupancy(&self) -> usize {
+        self.ways.iter().filter(|w| w.valid).count()
+    }
+
+    /// Total line slots.
+    pub fn capacity_lines(&self) -> usize {
+        self.ways.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CacheConfig;
+
+    fn tiny() -> Cache {
+        // 4 sets x 2 ways x 64B = 512 B.
+        Cache::new(&CacheConfig {
+            capacity_bytes: 512,
+            associativity: 2,
+            access_latency: 1,
+            policy: Default::default(),
+        })
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = tiny();
+        assert!(!c.access(10, false));
+        assert!(c.fill(10, false, 0).is_none());
+        assert!(c.access(10, false));
+        assert_eq!(c.stats().accesses, 2);
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses(), 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut c = tiny();
+        // Lines 0, 4, 8 all map to set 0 (4 sets).
+        c.fill(0, false, 0);
+        c.fill(4, false, 0);
+        c.access(0, false); // 0 is now MRU; 4 is LRU
+        let ev = c.fill(8, false, 0).expect("set full, must evict");
+        assert_eq!(ev.line, 4);
+        assert!(c.probe(0));
+        assert!(c.probe(8));
+        assert!(!c.probe(4));
+    }
+
+    #[test]
+    fn write_marks_dirty_and_eviction_reports_it() {
+        let mut c = tiny();
+        c.fill(0, false, 3);
+        assert!(c.access(0, true)); // dirty it
+        c.fill(4, false, 0);
+        let ev = c.fill(8, false, 0).unwrap();
+        assert_eq!(ev.line, 0);
+        assert!(ev.dirty);
+        assert_eq!(ev.owner, 3);
+        assert_eq!(c.stats().dirty_evictions, 1);
+    }
+
+    #[test]
+    fn fill_of_present_line_updates_in_place() {
+        let mut c = tiny();
+        c.fill(0, false, 0);
+        c.fill(4, false, 0);
+        assert!(c.fill(0, true, 1).is_none(), "refresh must not evict");
+        assert_eq!(c.occupancy(), 2);
+        // Line 0 was refreshed by the second fill, so 4 is the LRU victim.
+        let ev = c.fill(8, false, 0).unwrap();
+        assert_eq!(ev.line, 4);
+        assert!(c.probe(0));
+    }
+
+    #[test]
+    fn invalidate_removes_and_reports_dirty() {
+        let mut c = tiny();
+        c.fill(12, true, 2);
+        let ev = c.invalidate(12).expect("line present");
+        assert!(ev.dirty);
+        assert_eq!(ev.owner, 2);
+        assert!(!c.probe(12));
+        assert!(c.invalidate(12).is_none());
+        assert_eq!(c.stats().invalidations, 1);
+    }
+
+    #[test]
+    fn sets_are_independent() {
+        let mut c = tiny();
+        // 4 sets: lines 0..4 land in distinct sets.
+        for l in 0..4 {
+            c.fill(l, false, 0);
+        }
+        assert_eq!(c.occupancy(), 4);
+        for l in 0..4 {
+            assert!(c.probe(l));
+        }
+    }
+
+    #[test]
+    fn miss_ratio_math() {
+        let mut c = tiny();
+        for l in 0..8 {
+            if !c.access(l, false) {
+                c.fill(l, false, 0);
+            }
+        }
+        assert_eq!(c.stats().miss_ratio(), 1.0);
+        for l in 0..4 {
+            c.access(l, false);
+        }
+        // 8 misses, 4 hits in 12 accesses.
+        assert!((c.stats().miss_ratio() - 8.0 / 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn probe_has_no_side_effects() {
+        let mut c = tiny();
+        c.fill(0, false, 0);
+        let before = c.stats();
+        assert!(c.probe(0));
+        assert!(!c.probe(99));
+        assert_eq!(c.stats(), before);
+    }
+
+    #[test]
+    fn capacity_and_occupancy() {
+        let c = tiny();
+        assert_eq!(c.capacity_lines(), 8);
+        assert_eq!(c.occupancy(), 0);
+    }
+
+    #[test]
+    fn working_set_larger_than_cache_thrashes() {
+        let mut c = tiny(); // 8 lines
+        let mut misses = 0;
+        // Two passes over 16 distinct lines with LRU: every access misses.
+        for _ in 0..2 {
+            for l in 0..16 {
+                if !c.access(l, false) {
+                    misses += 1;
+                    c.fill(l, false, 0);
+                }
+            }
+        }
+        assert_eq!(misses, 32);
+    }
+
+    fn with_policy(policy: ReplacementPolicy, sets: u64, assoc: u32) -> Cache {
+        Cache::new(&CacheConfig {
+            capacity_bytes: sets * u64::from(assoc) * 64,
+            associativity: assoc,
+            access_latency: 1,
+            policy,
+        })
+    }
+
+    #[test]
+    fn tree_plru_victims_cycle_through_untouched_ways() {
+        // 1 set x 4 ways. Fill all four, then touch 0 and 1; the victim
+        // must come from {2, 3}.
+        let mut c = with_policy(ReplacementPolicy::TreePlru, 1, 4);
+        for l in 0..4 {
+            c.fill(l, false, 0);
+        }
+        c.access(0, false);
+        c.access(1, false);
+        let ev = c.fill(10, false, 0).unwrap();
+        assert!(
+            ev.line == 2 || ev.line == 3,
+            "victim {} not in cold half",
+            ev.line
+        );
+    }
+
+    #[test]
+    fn tree_plru_hits_work_like_any_policy() {
+        let mut c = with_policy(ReplacementPolicy::TreePlru, 4, 8);
+        for l in 0..32 {
+            c.fill(l, false, 0);
+        }
+        for l in 0..32 {
+            assert!(c.access(l, false), "line {l} must hit");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two associativity")]
+    fn tree_plru_rejects_non_power_of_two_assoc() {
+        let _ = Cache::new(&CacheConfig {
+            capacity_bytes: 3 * 64,
+            associativity: 3,
+            access_latency: 1,
+            policy: ReplacementPolicy::TreePlru,
+        });
+    }
+
+    #[test]
+    fn srrip_resists_scans() {
+        // 1 set x 4 ways. Build a hot working set of 2 lines (re-touched),
+        // then scan 20 cold lines through; the hot lines must survive more
+        // often than under LRU, which evicts them on every scan pass.
+        let run = |policy: ReplacementPolicy| -> u32 {
+            let mut c = with_policy(policy, 1, 4);
+            let mut hot_hits = 0;
+            for round in 0..40u64 {
+                for hot in [0u64, 1] {
+                    // Touch each hot line twice: SRRIP promotes a line to
+                    // near-re-reference only on a hit, so a freshly filled
+                    // line needs one more touch to be protected.
+                    for _ in 0..2 {
+                        if c.access(hot, false) {
+                            hot_hits += 1;
+                        } else {
+                            c.fill(hot, false, 0);
+                        }
+                    }
+                }
+                // Three scan lines per round (never reused): enough to
+                // displace a hot line under LRU but not under SRRIP.
+                for k in 0..3u64 {
+                    let line = 100 + round * 3 + k;
+                    if !c.access(line, false) {
+                        c.fill(line, false, 0);
+                    }
+                }
+            }
+            hot_hits
+        };
+        let srrip = run(ReplacementPolicy::Srrip);
+        let lru = run(ReplacementPolicy::Lru);
+        assert!(
+            srrip > lru,
+            "SRRIP ({srrip} hot hits) must beat LRU ({lru}) under scans"
+        );
+    }
+
+    #[test]
+    fn random_policy_is_deterministic_and_valid() {
+        let mut a = with_policy(ReplacementPolicy::Random, 2, 4);
+        let mut b = with_policy(ReplacementPolicy::Random, 2, 4);
+        let mut evictions = Vec::new();
+        for l in 0..64u64 {
+            let ea = a.fill(l, false, 0);
+            let eb = b.fill(l, false, 0);
+            assert_eq!(ea, eb, "random stream must be deterministic");
+            if let Some(e) = ea {
+                evictions.push(e.line);
+            }
+        }
+        assert!(!evictions.is_empty());
+        assert!(a.occupancy() <= a.capacity_lines());
+    }
+
+    #[test]
+    fn all_policies_satisfy_basic_invariants() {
+        for policy in [
+            ReplacementPolicy::Lru,
+            ReplacementPolicy::TreePlru,
+            ReplacementPolicy::Srrip,
+            ReplacementPolicy::Random,
+        ] {
+            let mut c = with_policy(policy, 4, 4);
+            for l in 0..200u64 {
+                if !c.access(l % 37, false) {
+                    c.fill(l % 37, false, 0);
+                }
+            }
+            let s = c.stats();
+            assert_eq!(s.hits + s.misses(), s.accesses, "{policy:?}");
+            assert!(c.occupancy() <= c.capacity_lines(), "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn working_set_fitting_cache_hits_after_warmup() {
+        let mut c = tiny();
+        let mut misses = 0;
+        for _ in 0..4 {
+            for l in 0..8 {
+                if !c.access(l, false) {
+                    misses += 1;
+                    c.fill(l, false, 0);
+                }
+            }
+        }
+        assert_eq!(misses, 8, "only cold misses expected");
+    }
+}

@@ -1,0 +1,435 @@
+//! System configuration types.
+//!
+//! A [`SystemConfig`] fully describes the simulated machine: the cores, the
+//! private cache hierarchy, the shared NUCA last-level cache, the mesh NoC
+//! and the DRAM subsystem. The paper's 32-core target system (Table II) is
+//! available as [`SystemConfig::target_32core`]; scale models are derived
+//! from it by the `sms-core` crate's scaling policies.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::ConfigError;
+use crate::prefetch::PrefetchConfig;
+
+/// Cache-line size in bytes, fixed across the whole hierarchy.
+pub const LINE_SIZE: u64 = 64;
+
+/// Core frequency in GHz. Bandwidths expressed in GB/s are converted to
+/// bytes/cycle using this frequency (e.g. 128 GB/s at 4 GHz = 32 B/cycle).
+pub const CORE_FREQ_GHZ: f64 = 4.0;
+
+/// Convert a bandwidth in GB/s into bytes per core cycle.
+///
+/// # Examples
+///
+/// ```
+/// let bpc = sms_sim::config::gbps_to_bytes_per_cycle(128.0);
+/// assert!((bpc - 32.0).abs() < 1e-9);
+/// ```
+pub fn gbps_to_bytes_per_cycle(gbps: f64) -> f64 {
+    gbps / CORE_FREQ_GHZ
+}
+
+/// Out-of-order core parameters (paper Table II, "Processor").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CoreConfig {
+    /// Dispatch/issue width in instructions per cycle.
+    pub issue_width: u32,
+    /// Reorder-buffer size in entries; bounds the miss-overlap window.
+    pub rob_size: u32,
+    /// Maximum outstanding loads (paper: 48).
+    pub max_outstanding_loads: u32,
+    /// Maximum outstanding stores (paper: 32).
+    pub max_outstanding_stores: u32,
+    /// Maximum outstanding L1-D misses (paper: 10); bounds the MLP that the
+    /// memory subsystem can extract.
+    pub max_outstanding_l1d_misses: u32,
+    /// Branch-misprediction flush penalty in cycles.
+    pub branch_miss_penalty: u32,
+}
+
+impl Default for CoreConfig {
+    fn default() -> Self {
+        Self {
+            issue_width: 4,
+            rob_size: 128,
+            max_outstanding_loads: 48,
+            max_outstanding_stores: 32,
+            max_outstanding_l1d_misses: 10,
+            branch_miss_penalty: 15,
+        }
+    }
+}
+
+/// Geometry and latency of one set-associative cache.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub capacity_bytes: u64,
+    /// Associativity (ways per set).
+    pub associativity: u32,
+    /// Access latency in cycles (hit time).
+    pub access_latency: u32,
+    /// Replacement policy (default: true LRU).
+    #[serde(default)]
+    pub policy: crate::cache::ReplacementPolicy,
+}
+
+impl CacheConfig {
+    /// Create a cache geometry, expressing capacity in KiB.
+    pub fn new_kib(kib: u64, associativity: u32, access_latency: u32) -> Self {
+        Self {
+            capacity_bytes: kib * 1024,
+            associativity,
+            access_latency,
+            policy: crate::cache::ReplacementPolicy::default(),
+        }
+    }
+
+    /// Number of sets implied by capacity, line size and associativity.
+    pub fn num_sets(&self) -> u64 {
+        self.capacity_bytes / LINE_SIZE / u64::from(self.associativity)
+    }
+
+    /// Validate that the geometry is internally consistent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if capacity is not an exact multiple of
+    /// `associativity * LINE_SIZE`, or if the set count is not a power of
+    /// two (required by the index function), or any field is zero.
+    pub fn validate(&self, what: &'static str) -> Result<(), ConfigError> {
+        if self.capacity_bytes == 0 || self.associativity == 0 {
+            return Err(ConfigError::ZeroField(what));
+        }
+        if self.capacity_bytes % (LINE_SIZE * u64::from(self.associativity)) != 0 {
+            return Err(ConfigError::CacheGeometry(what));
+        }
+        let sets = self.num_sets();
+        if sets == 0 || !sets.is_power_of_two() {
+            return Err(ConfigError::CacheGeometry(what));
+        }
+        Ok(())
+    }
+}
+
+/// Shared NUCA last-level cache: one slice per core, address-interleaved.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LlcConfig {
+    /// Number of NUCA slices (one per core in the paper's design).
+    pub num_slices: u32,
+    /// Geometry of each individual slice.
+    pub slice: CacheConfig,
+}
+
+impl LlcConfig {
+    /// Total LLC capacity across all slices, in bytes.
+    pub fn total_capacity_bytes(&self) -> u64 {
+        self.slice.capacity_bytes * u64::from(self.num_slices)
+    }
+}
+
+/// Mesh on-chip network with explicit cross-section (bisection) links.
+///
+/// The paper scales NoC bandwidth via the number of cross-section links
+/// (CSLs) and the bandwidth per CSL (Table I).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NocConfig {
+    /// Mesh width (columns). The 32-core target is a 4x8 mesh.
+    pub mesh_cols: u32,
+    /// Mesh height (rows).
+    pub mesh_rows: u32,
+    /// Per-hop router+link latency in cycles.
+    pub hop_latency: u32,
+    /// Number of cross-section links crossing the bisection.
+    pub cross_section_links: u32,
+    /// Bandwidth per cross-section link in GB/s.
+    pub link_bandwidth_gbps: f64,
+}
+
+impl NocConfig {
+    /// Aggregate bisection bandwidth in GB/s.
+    pub fn bisection_bandwidth_gbps(&self) -> f64 {
+        f64::from(self.cross_section_links) * self.link_bandwidth_gbps
+    }
+
+    /// Average hop count between a core and a uniformly random slice on an
+    /// `rows x cols` mesh (Manhattan distance, uniform endpoints).
+    pub fn average_hops(&self) -> f64 {
+        // E|x1-x2| for independent uniforms over {0..n-1} is (n^2-1)/(3n).
+        let e = |n: u32| -> f64 {
+            let n = f64::from(n);
+            (n * n - 1.0) / (3.0 * n)
+        };
+        e(self.mesh_cols) + e(self.mesh_rows)
+    }
+}
+
+/// DRAM subsystem: address-interleaved memory controllers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DramConfig {
+    /// Number of memory controllers.
+    pub num_controllers: u32,
+    /// Bandwidth per controller in GB/s.
+    pub controller_bandwidth_gbps: f64,
+    /// Uncontended DRAM access latency in cycles (row access + channel).
+    pub base_latency: u32,
+    /// Optional open-page row-buffer model (default: off; the flat-latency
+    /// model is what the reference experiments use).
+    #[serde(default)]
+    pub row_buffer: Option<crate::dram::RowBufferConfig>,
+}
+
+impl DramConfig {
+    /// Aggregate DRAM bandwidth in GB/s.
+    pub fn total_bandwidth_gbps(&self) -> f64 {
+        f64::from(self.num_controllers) * self.controller_bandwidth_gbps
+    }
+}
+
+/// Complete description of a simulated machine.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SystemConfig {
+    /// Number of cores (= number of co-running benchmark instances).
+    pub num_cores: u32,
+    /// Core microarchitecture, identical across cores.
+    pub core: CoreConfig,
+    /// Private L1 instruction cache.
+    pub l1i: CacheConfig,
+    /// Private L1 data cache.
+    pub l1d: CacheConfig,
+    /// Private unified L2.
+    pub l2: CacheConfig,
+    /// Shared NUCA LLC.
+    pub llc: LlcConfig,
+    /// On-chip network.
+    pub noc: NocConfig,
+    /// Main memory.
+    pub dram: DramConfig,
+    /// Barrier-synchronization quantum in cycles (simulator knob, not a
+    /// hardware parameter). Cores run ahead at most this far between
+    /// synchronizations with the shared-resource models.
+    pub sync_quantum: u64,
+    /// Whether the LLC is inclusive of the private caches (evictions
+    /// back-invalidate private copies) or non-inclusive (private copies
+    /// survive LLC evictions, as in recent server parts).
+    pub inclusive_llc: bool,
+    /// Per-core stride prefetcher.
+    pub prefetch: PrefetchConfig,
+}
+
+impl SystemConfig {
+    /// The paper's Table II 32-core target system.
+    ///
+    /// 4-wide OoO cores at 4 GHz, 128-entry ROB, 32 KB L1-I/L1-D, 256 KB L2,
+    /// 32 MB NUCA LLC (32 slices of 1 MB), 4x8 mesh with 128 GB/s bisection
+    /// bandwidth (4 CSLs at 32 GB/s) and 8 memory controllers totalling
+    /// 128 GB/s.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sms_sim::config::SystemConfig;
+    /// let t = SystemConfig::target_32core();
+    /// assert_eq!(t.num_cores, 32);
+    /// assert_eq!(t.llc.total_capacity_bytes(), 32 * 1024 * 1024);
+    /// assert!((t.dram.total_bandwidth_gbps() - 128.0).abs() < 1e-9);
+    /// ```
+    pub fn target_32core() -> Self {
+        Self {
+            num_cores: 32,
+            core: CoreConfig::default(),
+            l1i: CacheConfig::new_kib(32, 4, 4),
+            l1d: CacheConfig::new_kib(32, 8, 4),
+            l2: CacheConfig::new_kib(256, 8, 8),
+            llc: LlcConfig {
+                num_slices: 32,
+                slice: CacheConfig::new_kib(1024, 64, 30),
+            },
+            noc: NocConfig {
+                mesh_cols: 8,
+                mesh_rows: 4,
+                hop_latency: 2,
+                cross_section_links: 4,
+                link_bandwidth_gbps: 32.0,
+            },
+            dram: DramConfig {
+                num_controllers: 8,
+                controller_bandwidth_gbps: 16.0,
+                base_latency: 240,
+                row_buffer: None,
+            },
+            sync_quantum: 1_000,
+            inclusive_llc: false,
+            prefetch: PrefetchConfig::default(),
+        }
+    }
+
+    /// Validate the whole configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] describing the first inconsistency found:
+    /// zero-sized structures, non-power-of-two cache sets, a mesh that does
+    /// not cover `num_cores`, or an LLC slice count that is not a power of
+    /// two (required for address interleaving).
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.num_cores == 0 {
+            return Err(ConfigError::ZeroField("num_cores"));
+        }
+        self.l1i.validate("l1i")?;
+        self.l1d.validate("l1d")?;
+        self.l2.validate("l2")?;
+        self.llc.slice.validate("llc slice")?;
+        if self.llc.num_slices == 0 || !self.llc.num_slices.is_power_of_two() {
+            return Err(ConfigError::SliceCount(self.llc.num_slices));
+        }
+        if self.noc.mesh_cols * self.noc.mesh_rows < self.num_cores {
+            return Err(ConfigError::MeshTooSmall {
+                cols: self.noc.mesh_cols,
+                rows: self.noc.mesh_rows,
+                cores: self.num_cores,
+            });
+        }
+        if self.noc.cross_section_links == 0 {
+            return Err(ConfigError::ZeroField("cross_section_links"));
+        }
+        if self.noc.link_bandwidth_gbps <= 0.0 {
+            return Err(ConfigError::NonPositiveBandwidth("noc link"));
+        }
+        if self.dram.num_controllers == 0 || !self.dram.num_controllers.is_power_of_two() {
+            return Err(ConfigError::ControllerCount(self.dram.num_controllers));
+        }
+        if self.dram.controller_bandwidth_gbps <= 0.0 {
+            return Err(ConfigError::NonPositiveBandwidth("dram controller"));
+        }
+        if self.core.issue_width == 0 || self.core.rob_size == 0 {
+            return Err(ConfigError::ZeroField("core"));
+        }
+        if self.sync_quantum == 0 {
+            return Err(ConfigError::ZeroField("sync_quantum"));
+        }
+        if self.prefetch.enabled && (self.prefetch.degree == 0 || self.prefetch.streams == 0) {
+            return Err(ConfigError::ZeroField("prefetch degree/streams"));
+        }
+        if let Some(rb) = &self.dram.row_buffer {
+            if rb.banks == 0 || rb.row_bytes < crate::config::LINE_SIZE {
+                return Err(ConfigError::ZeroField("row_buffer banks/row_bytes"));
+            }
+        }
+        Ok(())
+    }
+
+    /// One-line human-readable summary, convenient for experiment logs.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} cores | LLC {} MB ({} slices) | NoC {:.0} GB/s ({} CSLs x {:.0} GB/s) | DRAM {:.0} GB/s ({} MCs x {:.0} GB/s)",
+            self.num_cores,
+            self.llc.total_capacity_bytes() / (1024 * 1024),
+            self.llc.num_slices,
+            self.noc.bisection_bandwidth_gbps(),
+            self.noc.cross_section_links,
+            self.noc.link_bandwidth_gbps,
+            self.dram.total_bandwidth_gbps(),
+            self.dram.num_controllers,
+            self.dram.controller_bandwidth_gbps,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn target_system_matches_table_ii() {
+        let t = SystemConfig::target_32core();
+        t.validate().expect("target config must validate");
+        assert_eq!(t.num_cores, 32);
+        assert_eq!(t.core.issue_width, 4);
+        assert_eq!(t.core.rob_size, 128);
+        assert_eq!(t.l1i.capacity_bytes, 32 * 1024);
+        assert_eq!(t.l1i.associativity, 4);
+        assert_eq!(t.l1d.capacity_bytes, 32 * 1024);
+        assert_eq!(t.l1d.associativity, 8);
+        assert_eq!(t.l2.capacity_bytes, 256 * 1024);
+        assert_eq!(t.llc.num_slices, 32);
+        assert_eq!(t.llc.slice.capacity_bytes, 1024 * 1024);
+        assert_eq!(t.llc.slice.associativity, 64);
+        assert!((t.noc.bisection_bandwidth_gbps() - 128.0).abs() < 1e-9);
+        assert_eq!(t.dram.num_controllers, 8);
+        assert!((t.dram.total_bandwidth_gbps() - 128.0).abs() < 1e-9);
+        assert_eq!(t.noc.mesh_cols * t.noc.mesh_rows, 32);
+    }
+
+    #[test]
+    fn cache_sets_power_of_two() {
+        let c = CacheConfig::new_kib(32, 8, 4);
+        assert_eq!(c.num_sets(), 64);
+        c.validate("l1d").unwrap();
+    }
+
+    #[test]
+    fn invalid_geometry_rejected() {
+        let c = CacheConfig {
+            capacity_bytes: 3000,
+            associativity: 8,
+            access_latency: 4,
+            policy: Default::default(),
+        };
+        assert!(c.validate("bad").is_err());
+    }
+
+    #[test]
+    fn zero_cores_rejected() {
+        let mut t = SystemConfig::target_32core();
+        t.num_cores = 0;
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn mesh_must_cover_cores() {
+        let mut t = SystemConfig::target_32core();
+        t.noc.mesh_cols = 2;
+        t.noc.mesh_rows = 2;
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn prefetch_and_row_buffer_validated() {
+        let mut t = SystemConfig::target_32core();
+        t.prefetch.degree = 0;
+        assert!(t.validate().is_err());
+        let mut t = SystemConfig::target_32core();
+        t.dram.row_buffer = Some(crate::dram::RowBufferConfig {
+            banks: 0,
+            ..Default::default()
+        });
+        assert!(t.validate().is_err());
+        let mut t = SystemConfig::target_32core();
+        t.dram.row_buffer = Some(Default::default());
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn bandwidth_conversion() {
+        assert!((gbps_to_bytes_per_cycle(4.0) - 1.0).abs() < 1e-12);
+        assert!((gbps_to_bytes_per_cycle(16.0) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn average_hops_reasonable() {
+        let t = SystemConfig::target_32core();
+        let h = t.noc.average_hops();
+        // 4x8 mesh: E[hops] = (64-1)/24 + (16-1)/12 = 2.625 + 1.25 = 3.875.
+        assert!((h - 3.875).abs() < 1e-9, "got {h}");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let t = SystemConfig::target_32core();
+        let s = serde_json::to_string(&t).unwrap();
+        let back: SystemConfig = serde_json::from_str(&s).unwrap();
+        assert_eq!(t, back);
+    }
+}

@@ -1,0 +1,402 @@
+//! DRAM subsystem: address-interleaved memory controllers with explicit
+//! bandwidth queueing.
+//!
+//! Each controller is a single-server FIFO queue: a 64-byte line transfer
+//! occupies the controller for `LINE_SIZE / bytes_per_cycle` cycles, and a
+//! request arriving while the controller is busy waits for the queue to
+//! drain. This is the same history-based queue-contention approach used by
+//! windowed-synchronization simulators (Sniper, Graphite): per-request
+//! timestamps may arrive slightly out of order across cores within one
+//! quantum, which the `max(now, next_free)` update absorbs.
+
+use serde::{Deserialize, Serialize};
+
+use crate::cache::LineAddr;
+use crate::config::{gbps_to_bytes_per_cycle, DramConfig, LINE_SIZE};
+use crate::queue::HistoryQueue;
+
+/// Open-page row-buffer model (opt-in): banks keep their last-accessed
+/// row open; hits to the open row are faster, switching rows costs a
+/// precharge.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RowBufferConfig {
+    /// Banks per memory controller.
+    pub banks: u32,
+    /// Row (page) size in bytes.
+    pub row_bytes: u64,
+    /// Cycles saved on an open-row hit relative to the base latency.
+    pub hit_saving: u32,
+    /// Extra cycles for closing a different open row (precharge).
+    pub conflict_penalty: u32,
+}
+
+impl Default for RowBufferConfig {
+    fn default() -> Self {
+        Self {
+            banks: 16,
+            row_bytes: 2048,
+            hit_saving: 100,
+            conflict_penalty: 40,
+        }
+    }
+}
+
+/// Statistics for one memory controller.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ControllerStats {
+    /// Line transfers serviced (reads + writebacks).
+    pub requests: u64,
+    /// Bytes transferred.
+    pub bytes: u64,
+    /// Total cycles requests spent waiting in the queue.
+    pub total_queue_wait: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Controller {
+    queue: HistoryQueue,
+    stats: ControllerStats,
+}
+
+/// The DRAM subsystem: `num_controllers` queues, line-interleaved.
+#[derive(Debug, Clone)]
+pub struct Dram {
+    controllers: Vec<Controller>,
+    mc_mask: u64,
+    mc_bits: u32,
+    service_cycles: f64,
+    base_latency: u32,
+    row_buffer: Option<RowBufferConfig>,
+    /// Open row per (controller, bank); indexed `mc * banks + bank`.
+    open_rows: Vec<Option<u64>>,
+    /// Row-buffer statistics: `(hits, conflicts)`.
+    row_stats: (u64, u64),
+}
+
+/// Outcome of a DRAM access: total latency and the queue-wait component.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DramAccess {
+    /// Total cycles from request issue to data return.
+    pub latency: u64,
+    /// Cycles of that spent queueing behind other requests.
+    pub queue_wait: u64,
+}
+
+impl Dram {
+    /// Build the DRAM model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the controller count is not a non-zero power of two or the
+    /// per-controller bandwidth is non-positive; validate the
+    /// [`DramConfig`] via `SystemConfig::validate` first.
+    pub fn new(cfg: &DramConfig) -> Self {
+        assert!(
+            cfg.num_controllers > 0 && cfg.num_controllers.is_power_of_two(),
+            "controller count must be a power of two"
+        );
+        let bpc = gbps_to_bytes_per_cycle(cfg.controller_bandwidth_gbps);
+        assert!(bpc > 0.0, "controller bandwidth must be positive");
+        let row_buffer = cfg.row_buffer.clone();
+        let open_rows = match &row_buffer {
+            Some(rb) => vec![None; (cfg.num_controllers * rb.banks.max(1)) as usize],
+            None => Vec::new(),
+        };
+        Self {
+            controllers: vec![
+                Controller {
+                    queue: HistoryQueue::new(),
+                    stats: ControllerStats::default(),
+                };
+                cfg.num_controllers as usize
+            ],
+            mc_mask: u64::from(cfg.num_controllers) - 1,
+            mc_bits: cfg.num_controllers.trailing_zeros(),
+            service_cycles: LINE_SIZE as f64 / bpc,
+            base_latency: cfg.base_latency,
+            row_buffer,
+            open_rows,
+            row_stats: (0, 0),
+        }
+    }
+
+    /// Row-buffer `(hits, conflicts)` counters (zero when disabled).
+    pub fn row_buffer_stats(&self) -> (u64, u64) {
+        self.row_stats
+    }
+
+    /// Latency adjustment (may be negative) from the row-buffer model for
+    /// an access to `line` on controller `mc`, updating the open-row state.
+    fn row_buffer_delta(&mut self, mc: usize, line: LineAddr) -> i64 {
+        let Some(rb) = &self.row_buffer else {
+            return 0;
+        };
+        // Lines on one controller are `num_controllers` apart globally;
+        // the controller-local line index preserves streaming adjacency.
+        let local_line = line >> self.mc_bits;
+        let lines_per_row = (rb.row_bytes / LINE_SIZE).max(1);
+        let row = local_line / lines_per_row;
+        // Row-interleave banks so consecutive rows occupy distinct banks.
+        let bank = (row % u64::from(rb.banks.max(1))) as usize;
+        let slot = mc * rb.banks.max(1) as usize + bank;
+        match self.open_rows[slot] {
+            Some(open) if open == row => {
+                self.row_stats.0 += 1;
+                -i64::from(rb.hit_saving)
+            }
+            Some(_) => {
+                self.row_stats.1 += 1;
+                self.open_rows[slot] = Some(row);
+                i64::from(rb.conflict_penalty)
+            }
+            None => {
+                self.open_rows[slot] = Some(row);
+                0
+            }
+        }
+    }
+
+    /// Controller index a line address maps to (line interleaving).
+    #[inline]
+    pub fn controller_for(&self, line: LineAddr) -> usize {
+        (line & self.mc_mask) as usize
+    }
+
+    /// Cycles a single line transfer occupies a controller.
+    pub fn service_cycles(&self) -> f64 {
+        self.service_cycles
+    }
+
+    /// Issue a demand read for `line` at cycle `now`; returns the latency
+    /// including queueing behind earlier traffic on the same controller.
+    pub fn read(&mut self, line: LineAddr, now: u64) -> DramAccess {
+        self.transfer(line, now, true)
+    }
+
+    /// Issue a writeback for `line` at cycle `now`. The writeback occupies
+    /// controller bandwidth but the issuing core does not wait for it; the
+    /// returned latency is informational.
+    pub fn writeback(&mut self, line: LineAddr, now: u64) -> DramAccess {
+        self.transfer(line, now, false)
+    }
+
+    fn transfer(&mut self, line: LineAddr, now: u64, _read: bool) -> DramAccess {
+        let idx = self.controller_for(line);
+        let row_delta = self.row_buffer_delta(idx, line);
+        let mc = &mut self.controllers[idx];
+        let wait = mc.queue.request(now as f64, self.service_cycles) as u64;
+        mc.stats.requests += 1;
+        mc.stats.bytes += LINE_SIZE;
+        mc.stats.total_queue_wait += wait;
+        let base = i64::from(self.base_latency) + row_delta;
+        DramAccess {
+            latency: base.max(1) as u64 + wait + self.service_cycles as u64,
+            queue_wait: wait,
+        }
+    }
+
+    /// Rebase queue timestamps after the caller rebased its clocks to
+    /// zero (post-warmup): `next_free` times shift down by `origin`,
+    /// preserving any residual backlog.
+    pub fn rebase(&mut self, origin: u64) {
+        let o = origin as f64;
+        for c in &mut self.controllers {
+            c.queue.rebase(o);
+        }
+    }
+
+    /// Per-controller statistics.
+    pub fn controller_stats(&self) -> Vec<ControllerStats> {
+        self.controllers.iter().map(|c| c.stats).collect()
+    }
+
+    /// Total bytes transferred across all controllers.
+    pub fn total_bytes(&self) -> u64 {
+        self.controllers.iter().map(|c| c.stats.bytes).sum()
+    }
+
+    /// Aggregate achieved bandwidth in GB/s over `elapsed_cycles`.
+    pub fn achieved_bandwidth_gbps(&self, elapsed_cycles: u64) -> f64 {
+        if elapsed_cycles == 0 {
+            return 0.0;
+        }
+        let bytes_per_cycle = self.total_bytes() as f64 / elapsed_cycles as f64;
+        bytes_per_cycle * crate::config::CORE_FREQ_GHZ
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dram(mcs: u32, gbps: f64) -> Dram {
+        Dram::new(&DramConfig {
+            num_controllers: mcs,
+            controller_bandwidth_gbps: gbps,
+            base_latency: 100,
+            row_buffer: None,
+        })
+    }
+
+    #[test]
+    fn uncontended_read_pays_base_plus_service() {
+        let mut d = dram(1, 16.0); // 4 B/cyc -> 16 cycles per line
+        let a = d.read(0, 1000);
+        assert_eq!(a.queue_wait, 0);
+        assert_eq!(a.latency, 100 + 16);
+    }
+
+    #[test]
+    fn back_to_back_reads_queue() {
+        let mut d = dram(1, 16.0);
+        let a0 = d.read(0, 0);
+        let a1 = d.read(1 << 3, 0); // different line, same (only) controller
+        assert_eq!(a0.queue_wait, 0);
+        assert_eq!(a1.queue_wait, 16);
+        let a2 = d.read(2 << 3, 0);
+        assert_eq!(a2.queue_wait, 32);
+    }
+
+    #[test]
+    fn interleaving_spreads_load_across_controllers() {
+        let mut d = dram(4, 16.0);
+        for line in 0..4u64 {
+            let a = d.read(line, 0);
+            assert_eq!(a.queue_wait, 0, "distinct controllers must not queue");
+        }
+        // Fifth request hits controller 0 again and queues.
+        let a = d.read(4, 0);
+        assert_eq!(a.queue_wait, 16);
+    }
+
+    #[test]
+    fn queue_drains_over_time() {
+        let mut d = dram(1, 16.0);
+        d.read(0, 0);
+        // 20 cycles later the controller is idle again.
+        let a = d.read(1, 20);
+        assert_eq!(a.queue_wait, 0);
+    }
+
+    #[test]
+    fn halving_bandwidth_doubles_service_time() {
+        let d16 = dram(1, 16.0);
+        let d8 = dram(1, 8.0);
+        assert!((d16.service_cycles() * 2.0 - d8.service_cycles()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn writebacks_consume_bandwidth() {
+        let mut d = dram(1, 16.0);
+        d.writeback(0, 0);
+        let a = d.read(1, 0);
+        assert_eq!(a.queue_wait, 16, "writeback must delay the read");
+        assert_eq!(d.total_bytes(), 128);
+    }
+
+    #[test]
+    fn achieved_bandwidth_accounts_bytes_over_time() {
+        let mut d = dram(2, 16.0);
+        for line in 0..100u64 {
+            d.read(line, (line * 10) as u64);
+        }
+        // 6400 bytes over 1000 cycles = 6.4 B/cyc = 25.6 GB/s at 4 GHz.
+        let bw = d.achieved_bandwidth_gbps(1000);
+        assert!((bw - 25.6).abs() < 1e-9, "got {bw}");
+        assert_eq!(d.achieved_bandwidth_gbps(0), 0.0);
+    }
+
+    #[test]
+    fn controller_mapping_is_line_interleaved() {
+        let d = dram(8, 16.0);
+        for line in 0..32u64 {
+            assert_eq!(d.controller_for(line), (line % 8) as usize);
+        }
+    }
+
+    fn dram_with_rows() -> Dram {
+        Dram::new(&DramConfig {
+            num_controllers: 2,
+            controller_bandwidth_gbps: 16.0,
+            base_latency: 200,
+            row_buffer: Some(RowBufferConfig {
+                banks: 4,
+                row_bytes: 2048, // 32 lines per row
+                hit_saving: 100,
+                conflict_penalty: 40,
+            }),
+        })
+    }
+
+    #[test]
+    fn row_buffer_hits_are_faster() {
+        let mut d = dram_with_rows();
+        // First access opens the row (no penalty, no saving).
+        let a0 = d.read(0, 0);
+        assert_eq!(a0.latency, 200 + 16);
+        // Next line on the same controller (global stride = #MCs) is in
+        // the same row: open-row hit.
+        let a1 = d.read(2, 1_000);
+        assert_eq!(a1.latency, 100 + 16);
+        assert_eq!(d.row_buffer_stats(), (1, 0));
+    }
+
+    #[test]
+    fn row_conflicts_pay_precharge() {
+        let mut d = dram_with_rows();
+        d.read(0, 0); // opens row 0 of bank 0 on MC 0
+                      // Same controller and bank, different row: rows alternate banks,
+                      // so row 4 (banks=4) maps back to bank 0. Local line 4*32 = 128,
+                      // global line = 128 << 1 = 256.
+        let a = d.read(256, 1_000);
+        assert_eq!(a.latency, 240 + 16);
+        assert_eq!(d.row_buffer_stats(), (0, 1));
+    }
+
+    #[test]
+    fn distinct_banks_keep_independent_rows() {
+        let mut d = dram_with_rows();
+        d.read(0, 0); // row 0, bank 0
+        let a = d.read(64, 1_000); // local line 32 -> row 1 -> bank 1: empty
+        assert_eq!(a.latency, 200 + 16);
+        // Back to row 0: still open on bank 0.
+        let b = d.read(2, 2_000);
+        assert_eq!(b.latency, 100 + 16);
+    }
+
+    #[test]
+    fn row_model_disabled_by_default() {
+        let mut d = dram(1, 16.0);
+        d.read(0, 0);
+        d.read(1, 100);
+        assert_eq!(d.row_buffer_stats(), (0, 0));
+    }
+
+    #[test]
+    fn streaming_enjoys_row_locality() {
+        let mut d = dram_with_rows();
+        let mut hits = 0u64;
+        for i in 0..256u64 {
+            let before = d.row_buffer_stats().0;
+            d.read(i, i * 100);
+            if d.row_buffer_stats().0 > before {
+                hits += 1;
+            }
+        }
+        // 256 sequential lines over 2 MCs = 128 per MC = 4 rows of 32:
+        // all but the 4 row-openings per MC hit.
+        assert!(hits >= 240, "hits = {hits}");
+    }
+
+    #[test]
+    fn saturation_grows_queue_linearly() {
+        // Offered load 2x capacity: queue wait grows without bound.
+        let mut d = dram(1, 16.0);
+        let mut last_wait = 0;
+        for i in 0..100u64 {
+            let a = d.read(i, i * 8); // one request per 8 cycles, service 16
+            last_wait = a.queue_wait;
+        }
+        assert!(last_wait > 700, "expected heavy queueing, got {last_wait}");
+    }
+}

@@ -1,0 +1,149 @@
+//! Error types for configuration validation and simulation setup.
+
+use std::error::Error;
+use std::fmt;
+
+/// An inconsistency in a [`SystemConfig`](crate::config::SystemConfig).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// A field that must be non-zero was zero.
+    ZeroField(&'static str),
+    /// Cache capacity, line size and associativity do not yield a
+    /// power-of-two set count.
+    CacheGeometry(&'static str),
+    /// LLC slice count must be a non-zero power of two (address interleave).
+    SliceCount(u32),
+    /// Memory-controller count must be a non-zero power of two.
+    ControllerCount(u32),
+    /// The mesh does not provide a node per core.
+    MeshTooSmall {
+        /// Mesh columns.
+        cols: u32,
+        /// Mesh rows.
+        rows: u32,
+        /// Required number of cores.
+        cores: u32,
+    },
+    /// A bandwidth parameter was zero or negative.
+    NonPositiveBandwidth(&'static str),
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::ZeroField(what) => write!(f, "configuration field `{what}` must be non-zero"),
+            Self::CacheGeometry(what) => write!(
+                f,
+                "cache `{what}` geometry invalid: sets must be a non-zero power of two"
+            ),
+            Self::SliceCount(n) => {
+                write!(f, "LLC slice count {n} must be a non-zero power of two")
+            }
+            Self::ControllerCount(n) => {
+                write!(
+                    f,
+                    "memory controller count {n} must be a non-zero power of two"
+                )
+            }
+            Self::MeshTooSmall { cols, rows, cores } => write!(
+                f,
+                "mesh {cols}x{rows} has fewer nodes than the {cores} cores it must host"
+            ),
+            Self::NonPositiveBandwidth(what) => {
+                write!(f, "bandwidth of `{what}` must be positive")
+            }
+        }
+    }
+}
+
+impl Error for ConfigError {}
+
+/// An error constructing or running a simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The configuration failed validation.
+    Config(ConfigError),
+    /// The number of instruction sources does not match `num_cores`.
+    SourceCountMismatch {
+        /// Sources supplied by the caller.
+        sources: usize,
+        /// Cores in the configuration.
+        cores: u32,
+    },
+    /// A per-core instruction budget of zero was requested.
+    EmptyBudget,
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Config(e) => write!(f, "invalid configuration: {e}"),
+            Self::SourceCountMismatch { sources, cores } => write!(
+                f,
+                "got {sources} instruction sources for {cores} cores; counts must match"
+            ),
+            Self::EmptyBudget => write!(f, "per-core instruction budget must be non-zero"),
+        }
+    }
+}
+
+impl Error for SimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            Self::Config(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ConfigError> for SimError {
+    fn from(e: ConfigError) -> Self {
+        Self::Config(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase_start() {
+        let msgs = [
+            ConfigError::ZeroField("x").to_string(),
+            ConfigError::CacheGeometry("l1d").to_string(),
+            ConfigError::SliceCount(3).to_string(),
+            ConfigError::ControllerCount(5).to_string(),
+            ConfigError::MeshTooSmall {
+                cols: 2,
+                rows: 2,
+                cores: 8,
+            }
+            .to_string(),
+            ConfigError::NonPositiveBandwidth("noc").to_string(),
+            SimError::EmptyBudget.to_string(),
+            SimError::SourceCountMismatch {
+                sources: 3,
+                cores: 4,
+            }
+            .to_string(),
+        ];
+        for m in msgs {
+            assert!(!m.is_empty());
+            assert!(!m.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn sim_error_from_config_error() {
+        let e: SimError = ConfigError::ZeroField("num_cores").into();
+        assert!(matches!(e, SimError::Config(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ConfigError>();
+        assert_send_sync::<SimError>();
+    }
+}

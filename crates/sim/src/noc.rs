@@ -1,0 +1,307 @@
+//! Mesh on-chip network with explicit cross-section (bisection) link
+//! bandwidth contention.
+//!
+//! The model charges per-hop latency from Manhattan distance on the mesh
+//! and, for transfers whose source and destination lie in different halves
+//! of the chip, queueing delay on one of the cross-section links (CSLs).
+//! This mirrors the paper's NoC scaling knobs (Table I): number of CSLs and
+//! bandwidth per CSL.
+
+use crate::cache::LineAddr;
+use crate::config::{gbps_to_bytes_per_cycle, NocConfig, LINE_SIZE};
+use crate::queue::HistoryQueue;
+
+/// Bytes of a request message (address + control).
+pub const REQUEST_BYTES: u64 = 8;
+/// Bytes of a data response message (cache line + header).
+pub const RESPONSE_BYTES: u64 = LINE_SIZE + 8;
+
+/// Statistics for the NoC.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct NocStats {
+    /// Transfers routed (request/response pairs counted once).
+    pub transfers: u64,
+    /// Transfers that crossed the bisection.
+    pub bisection_crossings: u64,
+    /// Bytes pushed across the bisection.
+    pub bisection_bytes: u64,
+    /// Total cycles spent queueing at cross-section links.
+    pub total_link_wait: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Link {
+    queue: HistoryQueue,
+}
+
+/// A node position on the mesh.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodePos {
+    /// Column index.
+    pub col: u32,
+    /// Row index.
+    pub row: u32,
+}
+
+/// Mesh NoC model.
+#[derive(Debug, Clone)]
+pub struct Noc {
+    cols: u32,
+    rows: u32,
+    hop_latency: u32,
+    links: Vec<Link>,
+    cycles_per_byte: f64,
+    stats: NocStats,
+}
+
+/// Outcome of routing one round-trip transfer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NocTransfer {
+    /// Total round-trip network latency in cycles.
+    pub latency: u64,
+    /// Queue wait at a cross-section link (zero if not crossing).
+    pub link_wait: u64,
+}
+
+impl Noc {
+    /// Build the NoC model.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero-size mesh, zero CSLs, or non-positive link
+    /// bandwidth; run `SystemConfig::validate` first.
+    pub fn new(cfg: &NocConfig) -> Self {
+        assert!(
+            cfg.mesh_cols > 0 && cfg.mesh_rows > 0,
+            "mesh must be non-empty"
+        );
+        assert!(cfg.cross_section_links > 0, "need at least one CSL");
+        let bpc = gbps_to_bytes_per_cycle(cfg.link_bandwidth_gbps);
+        assert!(bpc > 0.0, "link bandwidth must be positive");
+        Self {
+            cols: cfg.mesh_cols,
+            rows: cfg.mesh_rows,
+            hop_latency: cfg.hop_latency,
+            links: vec![
+                Link {
+                    queue: HistoryQueue::new()
+                };
+                cfg.cross_section_links as usize
+            ],
+            cycles_per_byte: 1.0 / bpc,
+            stats: NocStats::default(),
+        }
+    }
+
+    /// Position of mesh node `id` (row-major).
+    pub fn node_pos(&self, id: u32) -> NodePos {
+        NodePos {
+            col: id % self.cols,
+            row: id / self.cols,
+        }
+    }
+
+    /// Manhattan hop count between two nodes.
+    pub fn hops(&self, a: u32, b: u32) -> u32 {
+        let pa = self.node_pos(a);
+        let pb = self.node_pos(b);
+        pa.col.abs_diff(pb.col) + pa.row.abs_diff(pb.row)
+    }
+
+    /// Whether a route between the two nodes crosses the chip bisection.
+    ///
+    /// The bisection cuts the longer mesh dimension in half; with a single
+    /// column/row (or a 1x1 mesh) nothing ever crosses.
+    pub fn crosses_bisection(&self, a: u32, b: u32) -> bool {
+        let (half, coord_a, coord_b) = if self.cols >= self.rows {
+            (self.cols / 2, self.node_pos(a).col, self.node_pos(b).col)
+        } else {
+            (self.rows / 2, self.node_pos(a).row, self.node_pos(b).row)
+        };
+        if half == 0 {
+            return false;
+        }
+        (coord_a < half) != (coord_b < half)
+    }
+
+    /// Route a round-trip transfer (request + data response) between nodes
+    /// `src` and `dst`, starting at cycle `now`, for cache line `line`
+    /// (used to pick the CSL deterministically).
+    pub fn transfer(&mut self, src: u32, dst: u32, line: LineAddr, now: u64) -> NocTransfer {
+        self.stats.transfers += 1;
+        let hops = u64::from(self.hops(src, dst));
+        // Round trip: request traverses the hops, response traverses back.
+        let mut latency = 2 * hops * u64::from(self.hop_latency);
+        let mut link_wait = 0;
+        if self.crosses_bisection(src, dst) {
+            let bytes = REQUEST_BYTES + RESPONSE_BYTES;
+            let idx = (line as usize) % self.links.len();
+            let serv = bytes as f64 * self.cycles_per_byte;
+            let link = &mut self.links[idx];
+            link_wait = link.queue.request(now as f64, serv) as u64;
+            // Wormhole routing: per-message serialization overlaps with
+            // flight, so only congestion (queueing for the link) adds
+            // latency; the link occupancy above enforces the bandwidth.
+            latency += link_wait;
+            self.stats.bisection_crossings += 1;
+            self.stats.bisection_bytes += bytes;
+        }
+        self.stats.total_link_wait += link_wait;
+        NocTransfer { latency, link_wait }
+    }
+
+    /// Rebase link-queue timestamps after the caller rebased its clocks
+    /// to zero (post-warmup), preserving any residual backlog.
+    pub fn rebase(&mut self, origin: u64) {
+        let o = origin as f64;
+        for l in &mut self.links {
+            l.queue.rebase(o);
+        }
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> NocStats {
+        self.stats
+    }
+
+    /// Mesh node hosting memory controller `mc` out of `num_mcs`.
+    ///
+    /// Controllers sit on the mesh perimeter: even indices along the top
+    /// row, odd indices along the bottom row, spread across columns.
+    pub fn mc_node(&self, mc: u32, num_mcs: u32) -> u32 {
+        debug_assert!(num_mcs > 0);
+        let per_row = num_mcs.div_ceil(2);
+        let col_stride = (self.cols / per_row).max(1);
+        let slot = mc / 2;
+        let col = (slot * col_stride).min(self.cols - 1);
+        if mc % 2 == 0 {
+            col // top row (row 0)
+        } else {
+            (self.rows - 1) * self.cols + col // bottom row
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn noc(cols: u32, rows: u32, csls: u32, gbps: f64) -> Noc {
+        Noc::new(&NocConfig {
+            mesh_cols: cols,
+            mesh_rows: rows,
+            hop_latency: 2,
+            cross_section_links: csls,
+            link_bandwidth_gbps: gbps,
+        })
+    }
+
+    #[test]
+    fn positions_row_major() {
+        let n = noc(8, 4, 4, 32.0);
+        assert_eq!(n.node_pos(0), NodePos { col: 0, row: 0 });
+        assert_eq!(n.node_pos(7), NodePos { col: 7, row: 0 });
+        assert_eq!(n.node_pos(8), NodePos { col: 0, row: 1 });
+        assert_eq!(n.node_pos(31), NodePos { col: 7, row: 3 });
+    }
+
+    #[test]
+    fn manhattan_hops() {
+        let n = noc(8, 4, 4, 32.0);
+        assert_eq!(n.hops(0, 0), 0);
+        assert_eq!(n.hops(0, 7), 7);
+        assert_eq!(n.hops(0, 31), 10);
+        assert_eq!(n.hops(9, 18), 1 + 1);
+    }
+
+    #[test]
+    fn bisection_detection_on_wide_mesh() {
+        let n = noc(8, 4, 4, 32.0);
+        // Columns 0-3 vs 4-7.
+        assert!(!n.crosses_bisection(0, 3));
+        assert!(n.crosses_bisection(0, 4));
+        assert!(n.crosses_bisection(12, 3)); // col 4 vs col 3
+    }
+
+    #[test]
+    fn single_node_mesh_never_crosses() {
+        let n = noc(1, 1, 1, 4.0);
+        assert!(!n.crosses_bisection(0, 0));
+        let t = n.clone().transfer(0, 0, 0, 0);
+        assert_eq!(t.latency, 0);
+    }
+
+    #[test]
+    fn local_transfer_is_free_remote_costs_hops() {
+        let mut n = noc(8, 4, 4, 32.0);
+        let local = n.transfer(5, 5, 1, 0);
+        assert_eq!(local.latency, 0);
+        let same_half = n.transfer(0, 1, 1, 0);
+        assert_eq!(same_half.latency, 2 * 1 * 2);
+        assert_eq!(same_half.link_wait, 0);
+    }
+
+    #[test]
+    fn crossing_transfers_occupy_link_bandwidth() {
+        let mut n = noc(8, 4, 1, 32.0); // 8 B/cyc -> 80B = 10 cycles occupancy
+        let t = n.transfer(0, 7, 0, 0);
+        assert_eq!(t.link_wait, 0);
+        // Wormhole: only hop latency, no serialization in latency.
+        assert_eq!(t.latency, 28);
+        // A second crossing right behind queues for the link.
+        let t2 = n.transfer(0, 7, 0, 0);
+        assert_eq!(t2.link_wait, 10);
+        assert_eq!(t2.latency, 28 + 10);
+    }
+
+    #[test]
+    fn multiple_links_spread_crossing_traffic() {
+        let mut n = noc(8, 4, 4, 32.0);
+        for line in 0..4u64 {
+            let t = n.transfer(0, 7, line, 0);
+            assert_eq!(t.link_wait, 0, "line {line} should use its own CSL");
+        }
+        let t = n.transfer(0, 7, 4, 0);
+        assert!(t.link_wait > 0);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut n = noc(8, 4, 4, 32.0);
+        n.transfer(0, 7, 0, 0);
+        n.transfer(0, 1, 0, 0);
+        let s = n.stats();
+        assert_eq!(s.transfers, 2);
+        assert_eq!(s.bisection_crossings, 1);
+        assert_eq!(s.bisection_bytes, REQUEST_BYTES + RESPONSE_BYTES);
+    }
+
+    #[test]
+    fn mc_nodes_sit_on_perimeter() {
+        let n = noc(8, 4, 4, 32.0);
+        for mc in 0..8 {
+            let node = n.mc_node(mc, 8);
+            let pos = n.node_pos(node);
+            assert!(
+                pos.row == 0 || pos.row == 3,
+                "mc {mc} at {pos:?} must be on top or bottom row"
+            );
+        }
+        // All eight controllers get distinct nodes on the 8-wide mesh.
+        let nodes: std::collections::HashSet<_> = (0..8).map(|m| n.mc_node(m, 8)).collect();
+        assert_eq!(nodes.len(), 8);
+    }
+
+    #[test]
+    fn mc_node_single_controller_mesh_1x1() {
+        let n = noc(1, 1, 1, 4.0);
+        assert_eq!(n.mc_node(0, 1), 0);
+    }
+
+    #[test]
+    fn tall_mesh_bisects_rows() {
+        let n = noc(1, 2, 1, 4.0);
+        assert!(n.crosses_bisection(0, 1));
+        assert!(!n.crosses_bisection(0, 0));
+    }
+}

@@ -1,0 +1,215 @@
+//! Simulation results: per-core and system-level metrics.
+//!
+//! [`SimResult`] is serde-serializable so experiment harnesses can cache
+//! simulation outcomes on disk and rebuild figures without re-simulating.
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::CORE_FREQ_GHZ;
+
+/// Metrics for one core / benchmark instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CoreResult {
+    /// Benchmark label from the instruction source.
+    pub label: String,
+    /// Instructions retired in the measured phase.
+    pub instructions: u64,
+    /// Core cycles elapsed in the measured phase.
+    pub cycles: u64,
+    /// Instructions per cycle.
+    pub ipc: f64,
+    /// Loads that missed the private L1-D.
+    pub l1d_load_misses: u64,
+    /// Loads serviced by the LLC.
+    pub llc_hits: u64,
+    /// Loads serviced by DRAM.
+    pub dram_loads: u64,
+    /// DRAM traffic attributed to this core (bytes, reads + writebacks).
+    pub dram_bytes: u64,
+    /// Achieved DRAM bandwidth for this core in GB/s.
+    pub bandwidth_gbps: f64,
+    /// LLC misses (loads to DRAM) per kilo-instruction.
+    pub llc_mpki: f64,
+    /// Cycles stalled on memory.
+    pub mem_stall_cycles: u64,
+    /// Cycles stalled on instruction fetch.
+    pub fetch_stall_cycles: u64,
+    /// Cycles lost to branch mispredictions.
+    pub branch_stall_cycles: u64,
+    /// Prefetches launched on behalf of this core.
+    #[serde(default)]
+    pub prefetches: u64,
+}
+
+/// Whole-run metrics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimResult {
+    /// Per-core results, indexed by core id.
+    pub cores: Vec<CoreResult>,
+    /// Cycles simulated in the measured phase (max over cores).
+    pub elapsed_cycles: u64,
+    /// Total DRAM traffic in bytes.
+    pub total_dram_bytes: u64,
+    /// Aggregate achieved DRAM bandwidth in GB/s.
+    pub total_bandwidth_gbps: f64,
+    /// NoC transfers routed.
+    pub noc_transfers: u64,
+    /// NoC bisection crossings.
+    pub noc_crossings: u64,
+    /// LLC demand accesses.
+    pub llc_accesses: u64,
+    /// LLC demand hits.
+    pub llc_hits: u64,
+    /// Host wall-clock seconds spent simulating the measured phase.
+    pub host_seconds: f64,
+}
+
+impl std::fmt::Display for SimResult {
+    /// Compact human-readable run summary: one line per core plus totals.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{:<14} {:>8} {:>9} {:>9} {:>9}",
+            "core", "IPC", "LLC MPKI", "BW GB/s", "instrs"
+        )?;
+        for c in &self.cores {
+            writeln!(
+                f,
+                "{:<14} {:>8.3} {:>9.2} {:>9.2} {:>9}",
+                c.label, c.ipc, c.llc_mpki, c.bandwidth_gbps, c.instructions
+            )?;
+        }
+        write!(
+            f,
+            "total: {} cycles, {:.1} GB/s DRAM, {:.2}s host",
+            self.elapsed_cycles, self.total_bandwidth_gbps, self.host_seconds
+        )
+    }
+}
+
+impl SimResult {
+    /// IPC of core `i`.
+    pub fn ipc(&self, i: usize) -> f64 {
+        self.cores[i].ipc
+    }
+
+    /// Per-core bandwidth utilization in GB/s.
+    pub fn bandwidth(&self, i: usize) -> f64 {
+        self.cores[i].bandwidth_gbps
+    }
+
+    /// System throughput relative to per-core reference IPCs: the sum over
+    /// cores of `IPC_i / reference_ipc_i` (Eyerman & Eeckhout's STP).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reference_ipcs` has a different length than the core
+    /// count or contains a non-positive value.
+    pub fn stp(&self, reference_ipcs: &[f64]) -> f64 {
+        assert_eq!(reference_ipcs.len(), self.cores.len());
+        self.cores
+            .iter()
+            .zip(reference_ipcs)
+            .map(|(c, &r)| {
+                assert!(r > 0.0, "reference IPC must be positive");
+                c.ipc / r
+            })
+            .sum()
+    }
+
+    /// Simulated time in seconds for the measured phase.
+    pub fn simulated_seconds(&self) -> f64 {
+        self.elapsed_cycles as f64 / (CORE_FREQ_GHZ * 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result_with_ipcs(ipcs: &[f64]) -> SimResult {
+        SimResult {
+            cores: ipcs
+                .iter()
+                .enumerate()
+                .map(|(i, &ipc)| CoreResult {
+                    label: format!("b{i}"),
+                    instructions: 1000,
+                    cycles: (1000.0 / ipc) as u64,
+                    ipc,
+                    l1d_load_misses: 0,
+                    llc_hits: 0,
+                    dram_loads: 0,
+                    dram_bytes: 0,
+                    bandwidth_gbps: 0.0,
+                    llc_mpki: 0.0,
+                    mem_stall_cycles: 0,
+                    fetch_stall_cycles: 0,
+                    branch_stall_cycles: 0,
+                    prefetches: 0,
+                })
+                .collect(),
+            elapsed_cycles: 4_000_000_000,
+            total_dram_bytes: 0,
+            total_bandwidth_gbps: 0.0,
+            noc_transfers: 0,
+            noc_crossings: 0,
+            llc_accesses: 0,
+            llc_hits: 0,
+            host_seconds: 0.0,
+        }
+    }
+
+    #[test]
+    fn stp_sums_normalized_ipcs() {
+        let r = result_with_ipcs(&[1.0, 2.0]);
+        let stp = r.stp(&[2.0, 2.0]);
+        assert!((stp - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn stp_rejects_length_mismatch() {
+        let r = result_with_ipcs(&[1.0]);
+        let _ = r.stp(&[1.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn stp_rejects_zero_reference() {
+        let r = result_with_ipcs(&[1.0]);
+        let _ = r.stp(&[0.0]);
+    }
+
+    #[test]
+    fn simulated_seconds_uses_frequency() {
+        let r = result_with_ipcs(&[1.0]);
+        assert!((r.simulated_seconds() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let r = result_with_ipcs(&[1.5, 0.5]);
+        let s = serde_json::to_string(&r).unwrap();
+        let back: SimResult = serde_json::from_str(&s).unwrap();
+        assert_eq!(r, back);
+    }
+
+    #[test]
+    fn display_is_compact_and_nonempty() {
+        let r = result_with_ipcs(&[1.5, 0.5]);
+        let text = r.to_string();
+        assert!(text.contains("b0"));
+        assert!(text.contains("total:"));
+        assert_eq!(text.lines().count(), 4);
+    }
+
+    #[test]
+    fn old_cache_entries_without_prefetch_field_deserialize() {
+        let r = result_with_ipcs(&[1.0]);
+        let mut v: serde_json::Value = serde_json::to_value(&r).unwrap();
+        v["cores"][0].as_object_mut().unwrap().remove("prefetches");
+        let back: SimResult = serde_json::from_value(v).unwrap();
+        assert_eq!(back.cores[0].prefetches, 0);
+    }
+}

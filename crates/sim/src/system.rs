@@ -1,0 +1,617 @@
+//! The multicore system: windowed-synchronization simulation loop.
+//!
+//! Cores advance independently within a synchronization quantum
+//! ([`SystemConfig::sync_quantum`]); at quantum boundaries the deferred
+//! inclusion back-invalidations are applied and the finish condition is
+//! evaluated. Following the paper's methodology (§IV-2), a multiprogram
+//! run ends as soon as the *first* benchmark in the mix retires its
+//! instruction budget.
+
+use std::time::Instant;
+
+use crate::config::SystemConfig;
+use crate::core_model::CoreModel;
+use crate::error::SimError;
+use crate::hierarchy::{PrivateCaches, Uncore};
+use crate::stats::{CoreResult, SimResult};
+use crate::trace::InstructionSource;
+
+/// Warm-up and measurement lengths for a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct RunSpec {
+    /// Instructions per core executed before measurement starts (caches
+    /// and queues warm up; counters are then reset).
+    pub warmup_instructions: u64,
+    /// Instructions per core in the measured phase; the run ends when the
+    /// first core retires this many.
+    pub measure_instructions: u64,
+}
+
+impl RunSpec {
+    /// A spec with a warm-up of 25% of the measured length.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let spec = sms_sim::system::RunSpec::with_default_warmup(1_000_000);
+    /// assert_eq!(spec.warmup_instructions, 250_000);
+    /// ```
+    pub fn with_default_warmup(measure_instructions: u64) -> Self {
+        Self {
+            warmup_instructions: measure_instructions / 4,
+            measure_instructions,
+        }
+    }
+}
+
+struct CoreCtx {
+    model: CoreModel,
+    privs: PrivateCaches,
+    source: Box<dyn InstructionSource>,
+    retired: u64,
+    finished: bool,
+}
+
+/// One sample of a run timeline, taken at a synchronization boundary.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct TimelineSample {
+    /// Global cycle of the sample.
+    pub cycle: u64,
+    /// Cumulative retired instructions per core.
+    pub instructions: Vec<u64>,
+    /// Cumulative DRAM bytes transferred.
+    pub dram_bytes: u64,
+}
+
+/// A sampled time series of a measured run (see
+/// [`MulticoreSystem::run_with_timeline`]).
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct Timeline {
+    /// Requested sampling interval in cycles (samples land on the first
+    /// quantum boundary at or after each interval mark).
+    pub interval_cycles: u64,
+    /// Samples in time order.
+    pub samples: Vec<TimelineSample>,
+}
+
+impl Timeline {
+    /// Per-interval aggregate IPC between consecutive samples:
+    /// `(cycle, ipc)` pairs.
+    pub fn interval_ipc(&self) -> Vec<(u64, f64)> {
+        self.samples
+            .windows(2)
+            .map(|w| {
+                let dc = (w[1].cycle - w[0].cycle).max(1);
+                let di: u64 = w[1]
+                    .instructions
+                    .iter()
+                    .zip(&w[0].instructions)
+                    .map(|(b, a)| b - a)
+                    .sum();
+                (w[1].cycle, di as f64 / dc as f64)
+            })
+            .collect()
+    }
+
+    /// Per-interval aggregate DRAM bandwidth in GB/s between samples.
+    pub fn interval_bandwidth(&self) -> Vec<(u64, f64)> {
+        self.samples
+            .windows(2)
+            .map(|w| {
+                let dc = (w[1].cycle - w[0].cycle).max(1) as f64;
+                let db = (w[1].dram_bytes - w[0].dram_bytes) as f64;
+                (w[1].cycle, db / dc * crate::config::CORE_FREQ_GHZ)
+            })
+            .collect()
+    }
+}
+
+/// A configured multicore system ready to simulate.
+pub struct MulticoreSystem {
+    cfg: SystemConfig,
+    cores: Vec<CoreCtx>,
+    uncore: Uncore,
+    global_cycle: u64,
+    /// Active timeline recorder: `(interval, next mark, samples)`.
+    timeline: Option<(u64, u64, Vec<TimelineSample>)>,
+}
+
+impl std::fmt::Debug for MulticoreSystem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MulticoreSystem")
+            .field("config", &self.cfg.summary())
+            .field("cores", &self.cores.len())
+            .field("global_cycle", &self.global_cycle)
+            .finish()
+    }
+}
+
+impl MulticoreSystem {
+    /// Build a system from a configuration and one instruction source per
+    /// core.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Config`] if the configuration is invalid and
+    /// [`SimError::SourceCountMismatch`] if the source count differs from
+    /// `config.num_cores`.
+    pub fn new(
+        cfg: SystemConfig,
+        sources: Vec<Box<dyn InstructionSource>>,
+    ) -> Result<Self, SimError> {
+        cfg.validate()?;
+        if sources.len() != cfg.num_cores as usize {
+            return Err(SimError::SourceCountMismatch {
+                sources: sources.len(),
+                cores: cfg.num_cores,
+            });
+        }
+        let uncore = Uncore::new(&cfg);
+        let cores = sources
+            .into_iter()
+            .enumerate()
+            .map(|(i, source)| CoreCtx {
+                model: CoreModel::new(cfg.core.clone(), i as u8),
+                privs: PrivateCaches::new(&cfg),
+                source,
+                retired: 0,
+                finished: false,
+            })
+            .collect();
+        Ok(Self {
+            cfg,
+            cores,
+            uncore,
+            global_cycle: 0,
+            timeline: None,
+        })
+    }
+
+    /// The system configuration.
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// Execute until the first core retires `budget` instructions (or all
+    /// cores do, whichever happens first per the stop rule).
+    fn run_phase(&mut self, budget: u64) {
+        if budget == 0 {
+            return;
+        }
+        let n = self.cores.len();
+        let mut rotation = 0usize;
+        loop {
+            let quantum_end = self.global_cycle + self.cfg.sync_quantum;
+            // Rotate the service order each quantum so no core is
+            // systematically first to stamp the shared queues.
+            for k in 0..n {
+                let idx = (k + rotation) % n;
+                let ctx = &mut self.cores[idx];
+                if ctx.finished {
+                    continue;
+                }
+                while ctx.model.cycle < quantum_end && ctx.retired < budget {
+                    let left = budget - ctx.retired;
+                    ctx.retired += ctx.model.run_window(
+                        ctx.source.as_mut(),
+                        &mut ctx.privs,
+                        &mut self.uncore,
+                        left,
+                    );
+                }
+                if ctx.retired >= budget {
+                    ctx.finished = true;
+                }
+            }
+            rotation = rotation.wrapping_add(1);
+            // Apply deferred inclusion invalidations at the barrier.
+            {
+                let mut privs: Vec<&mut PrivateCaches> =
+                    self.cores.iter_mut().map(|c| &mut c.privs).collect();
+                // Uncore::apply_invalidations expects a slice of
+                // PrivateCaches; adapt through a temporary swap-free path.
+                let pending = std::mem::take(&mut self.uncore.pending_invalidations);
+                for (owner, line) in pending {
+                    let p = &mut privs[owner as usize];
+                    let mut dirty = false;
+                    if let Some(ev) = p.l1d.invalidate(line) {
+                        dirty |= ev.dirty;
+                    }
+                    p.l1i.invalidate(line);
+                    if let Some(ev) = p.l2.invalidate(line) {
+                        dirty |= ev.dirty;
+                    }
+                    if dirty {
+                        self.uncore.writeback_to_dram(line, owner, quantum_end);
+                    }
+                }
+            }
+            self.global_cycle = quantum_end;
+            if let Some((interval, next_mark, samples)) = &mut self.timeline {
+                if quantum_end >= *next_mark {
+                    samples.push(TimelineSample {
+                        cycle: quantum_end,
+                        instructions: self.cores.iter().map(|c| c.retired).collect(),
+                        dram_bytes: self.uncore.dram.total_bytes(),
+                    });
+                    while *next_mark <= quantum_end {
+                        *next_mark += *interval;
+                    }
+                }
+            }
+            if self.cores.iter().any(|c| c.finished) {
+                break;
+            }
+        }
+    }
+
+    /// Like [`MulticoreSystem::run`], additionally sampling cumulative
+    /// per-core progress and DRAM traffic every `interval_cycles` of the
+    /// measured phase (rounded up to synchronization boundaries).
+    ///
+    /// # Errors
+    ///
+    /// As [`MulticoreSystem::run`]; additionally rejects a zero interval.
+    pub fn run_with_timeline(
+        &mut self,
+        spec: RunSpec,
+        interval_cycles: u64,
+    ) -> Result<(SimResult, Timeline), SimError> {
+        if interval_cycles == 0 {
+            return Err(SimError::EmptyBudget);
+        }
+        self.timeline = Some((interval_cycles, interval_cycles, Vec::new()));
+        let result = self.run(spec);
+        let (interval, _, samples) = self.timeline.take().expect("set above");
+        let result = result?;
+        Ok((
+            result,
+            Timeline {
+                interval_cycles: interval,
+                samples,
+            },
+        ))
+    }
+
+    /// Run the warm-up phase then the measured phase, returning results
+    /// for the measured phase only.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::EmptyBudget`] if the measured instruction count
+    /// is zero.
+    pub fn run(&mut self, spec: RunSpec) -> Result<SimResult, SimError> {
+        if spec.measure_instructions == 0 {
+            return Err(SimError::EmptyBudget);
+        }
+
+        // Warm-up: run, then reset all measurement state.
+        if spec.warmup_instructions > 0 {
+            self.run_phase(spec.warmup_instructions);
+            for ctx in &mut self.cores {
+                ctx.model.reset_counters();
+                ctx.retired = 0;
+                ctx.finished = false;
+                ctx.privs.l1i.reset_stats();
+                ctx.privs.l1d.reset_stats();
+                ctx.privs.l2.reset_stats();
+            }
+            self.uncore.reset_stats();
+            self.uncore.dram.rebase(self.global_cycle);
+            self.uncore.noc.rebase(self.global_cycle);
+            self.global_cycle = 0;
+            if let Some((interval, next_mark, samples)) = &mut self.timeline {
+                *next_mark = *interval;
+                samples.clear();
+            }
+        }
+
+        // Snapshot cumulative uncore stats so the measured phase reports
+        // deltas.
+        let noc_before = self.uncore.noc.stats();
+        let llc_before = self.uncore.llc.stats();
+        let dram_bytes_before = self.uncore.dram.total_bytes();
+
+        let wall = Instant::now();
+        self.run_phase(spec.measure_instructions);
+        let host_seconds = wall.elapsed().as_secs_f64();
+
+        let elapsed_cycles = self
+            .cores
+            .iter()
+            .map(|c| c.model.counters().cycles)
+            .max()
+            .unwrap_or(0);
+
+        let cores: Vec<CoreResult> = self
+            .cores
+            .iter()
+            .enumerate()
+            .map(|(i, ctx)| {
+                let c = ctx.model.counters();
+                let bytes = self.uncore.dram_bytes_per_core[i];
+                let cycles = c.cycles.max(1);
+                let bandwidth_gbps = bytes as f64 / cycles as f64 * crate::config::CORE_FREQ_GHZ;
+                CoreResult {
+                    label: ctx.source.label().to_owned(),
+                    instructions: c.instructions,
+                    prefetches: ctx.privs.prefetcher.issued(),
+                    cycles: c.cycles,
+                    ipc: c.ipc(),
+                    l1d_load_misses: c.load_l1_misses,
+                    llc_hits: c.load_llc_hits,
+                    dram_loads: c.load_dram,
+                    dram_bytes: bytes,
+                    bandwidth_gbps,
+                    llc_mpki: if c.instructions == 0 {
+                        0.0
+                    } else {
+                        c.load_dram as f64 * 1000.0 / c.instructions as f64
+                    },
+                    mem_stall_cycles: c.mem_stall_cycles,
+                    fetch_stall_cycles: c.fetch_stall_cycles,
+                    branch_stall_cycles: c.branch_stall_cycles,
+                }
+            })
+            .collect();
+
+        let noc_after = self.uncore.noc.stats();
+        let llc_after = self.uncore.llc.stats();
+        let total_dram_bytes = self.uncore.dram.total_bytes() - dram_bytes_before;
+
+        Ok(SimResult {
+            cores,
+            elapsed_cycles,
+            total_dram_bytes,
+            total_bandwidth_gbps: if elapsed_cycles == 0 {
+                0.0
+            } else {
+                total_dram_bytes as f64 / elapsed_cycles as f64 * crate::config::CORE_FREQ_GHZ
+            },
+            noc_transfers: noc_after.transfers - noc_before.transfers,
+            noc_crossings: noc_after.bisection_crossings - noc_before.bisection_crossings,
+            llc_accesses: llc_after.accesses - llc_before.accesses,
+            llc_hits: llc_after.hits - llc_before.hits,
+            host_seconds,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{MicroOp, VecSource};
+
+    fn compute_source(label: &str) -> Box<dyn InstructionSource> {
+        Box::new(VecSource::new(label, vec![MicroOp::Compute { count: 64 }]))
+    }
+
+    fn memory_source(label: &str, span_lines: u64) -> Box<dyn InstructionSource> {
+        memory_source_at(label, span_lines, 0)
+    }
+
+    /// One load per 4 instructions over `span_lines` lines, based at
+    /// `base` so that co-running instances occupy disjoint address spaces
+    /// (as separate processes do).
+    fn memory_source_at(label: &str, span_lines: u64, base: u64) -> Box<dyn InstructionSource> {
+        let ops: Vec<MicroOp> = (0..span_lines)
+            .flat_map(|i| {
+                [
+                    MicroOp::Compute { count: 3 },
+                    MicroOp::Load {
+                        addr: base + (i * 67 % span_lines) * 64,
+                        dependent: false,
+                    },
+                ]
+            })
+            .collect();
+        Box::new(VecSource::new(label, ops))
+    }
+
+    fn small_cfg(n: u32) -> SystemConfig {
+        let mut cfg = SystemConfig::target_32core();
+        cfg.num_cores = n;
+        cfg.llc.num_slices = n.next_power_of_two();
+        cfg.noc.mesh_cols = n.next_power_of_two();
+        cfg.noc.mesh_rows = 1;
+        cfg.dram.num_controllers = 1;
+        cfg.dram.controller_bandwidth_gbps = 4.0 * f64::from(n);
+        cfg
+    }
+
+    #[test]
+    fn source_count_must_match() {
+        let cfg = small_cfg(2);
+        let err = MulticoreSystem::new(cfg, vec![compute_source("a")]).unwrap_err();
+        assert!(matches!(err, SimError::SourceCountMismatch { .. }));
+    }
+
+    #[test]
+    fn zero_budget_rejected() {
+        let cfg = small_cfg(1);
+        let mut sys = MulticoreSystem::new(cfg, vec![compute_source("a")]).unwrap();
+        let err = sys
+            .run(RunSpec {
+                warmup_instructions: 0,
+                measure_instructions: 0,
+            })
+            .unwrap_err();
+        assert_eq!(err, SimError::EmptyBudget);
+    }
+
+    #[test]
+    fn single_core_compute_run() {
+        let cfg = small_cfg(1);
+        let mut sys = MulticoreSystem::new(cfg, vec![compute_source("calc")]).unwrap();
+        let r = sys
+            .run(RunSpec {
+                warmup_instructions: 1000,
+                measure_instructions: 100_000,
+            })
+            .unwrap();
+        assert_eq!(r.cores.len(), 1);
+        assert_eq!(r.cores[0].label, "calc");
+        assert_eq!(r.cores[0].instructions, 100_000);
+        assert!(r.cores[0].ipc > 3.0, "ipc = {}", r.cores[0].ipc);
+    }
+
+    #[test]
+    fn run_stops_when_first_core_finishes() {
+        let cfg = small_cfg(2);
+        let fast = compute_source("fast");
+        let slow = memory_source("slow", 1 << 18); // far beyond LLC
+        let mut sys = MulticoreSystem::new(cfg, vec![fast, slow]).unwrap();
+        let r = sys
+            .run(RunSpec {
+                warmup_instructions: 0,
+                measure_instructions: 200_000,
+            })
+            .unwrap();
+        assert_eq!(r.cores[0].instructions, 200_000);
+        assert!(
+            r.cores[1].instructions < 200_000,
+            "slow core must not have finished: {}",
+            r.cores[1].instructions
+        );
+        assert!(r.cores[1].ipc < r.cores[0].ipc);
+    }
+
+    #[test]
+    fn contention_lowers_ipc_versus_running_alone() {
+        // One memory-bound benchmark alone on a 1-core system with 4 GB/s...
+        let cfg1 = small_cfg(1);
+        let mut alone = MulticoreSystem::new(cfg1, vec![memory_source("m", 1 << 16)]).unwrap();
+        let spec = RunSpec {
+            warmup_instructions: 50_000,
+            measure_instructions: 200_000,
+        };
+        let r_alone = alone.run(spec).unwrap();
+
+        // ...versus four copies sharing 4x the bandwidth but one LLC of 4x
+        // slices (same per-core share) — IPC should be in the same
+        // ballpark; versus four copies sharing only 1x bandwidth — IPC
+        // must drop.
+        let mut cfg4_starved = small_cfg(4);
+        cfg4_starved.dram.controller_bandwidth_gbps = 4.0;
+        let sources: Vec<Box<dyn InstructionSource>> = (0..4u64)
+            .map(|i| memory_source_at("m", 1 << 16, i << 32))
+            .collect();
+        let mut starved = MulticoreSystem::new(cfg4_starved, sources).unwrap();
+        let r_starved = starved.run(spec).unwrap();
+
+        let ipc_alone = r_alone.cores[0].ipc;
+        let ipc_starved = r_starved.cores[0].ipc;
+        assert!(
+            ipc_starved < ipc_alone * 0.8,
+            "bandwidth starvation must hurt: alone={ipc_alone:.3} starved={ipc_starved:.3}"
+        );
+    }
+
+    #[test]
+    fn results_are_deterministic() {
+        let spec = RunSpec {
+            warmup_instructions: 10_000,
+            measure_instructions: 50_000,
+        };
+        let run = || {
+            let cfg = small_cfg(2);
+            let mut sys = MulticoreSystem::new(
+                cfg,
+                vec![memory_source("a", 1 << 12), memory_source("b", 1 << 14)],
+            )
+            .unwrap();
+            sys.run(spec).unwrap()
+        };
+        let r1 = run();
+        let r2 = run();
+        assert_eq!(r1.cores[0].cycles, r2.cores[0].cycles);
+        assert_eq!(r1.cores[1].cycles, r2.cores[1].cycles);
+        assert_eq!(r1.total_dram_bytes, r2.total_dram_bytes);
+    }
+
+    #[test]
+    fn timeline_samples_measured_phase() {
+        let cfg = small_cfg(1);
+        let mut sys = MulticoreSystem::new(cfg, vec![compute_source("calc")]).unwrap();
+        let (r, tl) = sys
+            .run_with_timeline(
+                RunSpec {
+                    warmup_instructions: 5_000,
+                    measure_instructions: 50_000,
+                },
+                2_000,
+            )
+            .unwrap();
+        assert!(!tl.samples.is_empty());
+        // Samples are strictly increasing in time and monotone in progress.
+        for w in tl.samples.windows(2) {
+            assert!(w[1].cycle > w[0].cycle);
+            assert!(w[1].instructions[0] >= w[0].instructions[0]);
+            assert!(w[1].dram_bytes >= w[0].dram_bytes);
+        }
+        // Warm-up must not appear: the first sample's instruction count is
+        // part of the measured 50k, and the last does not exceed it.
+        assert!(tl.samples.last().unwrap().instructions[0] <= r.cores[0].instructions);
+        // Interval IPC is near the aggregate IPC for a steady workload.
+        let ipcs = tl.interval_ipc();
+        assert!(!ipcs.is_empty());
+        for (_, ipc) in &ipcs {
+            assert!((ipc - r.cores[0].ipc).abs() < 0.5, "interval ipc {ipc}");
+        }
+    }
+
+    #[test]
+    fn timeline_rejects_zero_interval() {
+        let cfg = small_cfg(1);
+        let mut sys = MulticoreSystem::new(cfg, vec![compute_source("calc")]).unwrap();
+        assert!(sys
+            .run_with_timeline(
+                RunSpec {
+                    warmup_instructions: 0,
+                    measure_instructions: 1_000,
+                },
+                0,
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn timeline_bandwidth_series_reflects_traffic() {
+        let cfg = small_cfg(1);
+        let mut sys = MulticoreSystem::new(cfg, vec![memory_source("mem", 1 << 16)]).unwrap();
+        let (_, tl) = sys
+            .run_with_timeline(
+                RunSpec {
+                    warmup_instructions: 5_000,
+                    measure_instructions: 50_000,
+                },
+                5_000,
+            )
+            .unwrap();
+        let bw = tl.interval_bandwidth();
+        assert!(!bw.is_empty());
+        assert!(
+            bw.iter().any(|(_, b)| *b > 0.1),
+            "memory workload moves data"
+        );
+    }
+
+    #[test]
+    fn bandwidth_accounting_is_consistent() {
+        let cfg = small_cfg(2);
+        let mut sys = MulticoreSystem::new(
+            cfg,
+            vec![memory_source("a", 1 << 16), memory_source("b", 1 << 16)],
+        )
+        .unwrap();
+        let r = sys
+            .run(RunSpec {
+                warmup_instructions: 0,
+                measure_instructions: 100_000,
+            })
+            .unwrap();
+        let per_core_sum: u64 = r.cores.iter().map(|c| c.dram_bytes).sum();
+        assert_eq!(per_core_sum, r.total_dram_bytes);
+        assert!(r.total_bandwidth_gbps > 0.0);
+    }
+}

@@ -1,0 +1,208 @@
+//! Micro-op trace representation and the instruction-source abstraction.
+//!
+//! The simulator is trace-driven: each core consumes a stream of
+//! [`MicroOp`]s from an [`InstructionSource`]. Workload generators (the
+//! `sms-workloads` crate) implement [`InstructionSource`] by expanding a
+//! statistical benchmark profile on the fly, so no trace files are needed.
+
+/// One micro-operation as seen by the core model.
+///
+/// `Compute` ops are batched (a run of `count` non-memory instructions)
+/// because they carry no per-instruction state; this keeps generation and
+/// simulation fast without losing timing fidelity, since the interval core
+/// model only needs the instruction count for dispatch-cycle accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MicroOp {
+    /// A run of `count` non-memory, non-branch instructions.
+    Compute {
+        /// Number of instructions in the run; must be non-zero.
+        count: u32,
+    },
+    /// A load from byte address `addr`.
+    Load {
+        /// Virtual byte address accessed.
+        addr: u64,
+        /// Whether this load depends on the previous load's result
+        /// (pointer chasing); dependent loads cannot overlap with their
+        /// predecessor in the core model.
+        dependent: bool,
+    },
+    /// A store to byte address `addr`.
+    Store {
+        /// Virtual byte address accessed.
+        addr: u64,
+    },
+    /// A conditional branch.
+    Branch {
+        /// Whether the branch predictor mispredicted it (the workload
+        /// profile decides this statistically; the core model charges the
+        /// flush penalty).
+        mispredicted: bool,
+    },
+}
+
+impl MicroOp {
+    /// Number of retired instructions this micro-op accounts for.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sms_sim::trace::MicroOp;
+    /// assert_eq!(MicroOp::Compute { count: 7 }.instruction_count(), 7);
+    /// assert_eq!(MicroOp::Load { addr: 64, dependent: false }.instruction_count(), 1);
+    /// ```
+    pub fn instruction_count(&self) -> u64 {
+        match self {
+            Self::Compute { count } => u64::from(*count),
+            _ => 1,
+        }
+    }
+
+    /// Whether this micro-op accesses data memory.
+    pub fn is_memory(&self) -> bool {
+        matches!(self, Self::Load { .. } | Self::Store { .. })
+    }
+}
+
+/// A source of micro-ops for one core.
+///
+/// Implementations must be deterministic for a fixed construction (same
+/// seed ⇒ same stream) so that simulations are reproducible, and must be
+/// effectively infinite: the simulator stops on instruction budgets, never
+/// on source exhaustion. `Send` is required because independent simulations
+/// are run on worker threads.
+pub trait InstructionSource: Send {
+    /// Produce the next micro-op.
+    fn next_op(&mut self) -> MicroOp;
+
+    /// Instruction address (program counter) region identifier for the
+    /// current position, used to drive the L1-I model. Implementations
+    /// return a byte address within the benchmark's code footprint; the
+    /// default places everything in one line (perfect I-cache).
+    fn code_addr(&mut self) -> u64 {
+        0
+    }
+
+    /// A short human-readable label (benchmark name) for reporting.
+    fn label(&self) -> &str {
+        "anonymous"
+    }
+}
+
+/// Replays a fixed sequence of micro-ops, cycling when exhausted.
+///
+/// Mostly useful in tests and microbenchmarks where precise control over
+/// the op stream is needed.
+///
+/// # Examples
+///
+/// ```
+/// use sms_sim::trace::{InstructionSource, MicroOp, VecSource};
+/// let mut s = VecSource::new("tiny", vec![MicroOp::Compute { count: 2 }]);
+/// assert_eq!(s.next_op(), MicroOp::Compute { count: 2 });
+/// assert_eq!(s.next_op(), MicroOp::Compute { count: 2 }); // cycles
+/// ```
+#[derive(Debug, Clone)]
+pub struct VecSource {
+    label: String,
+    ops: Vec<MicroOp>,
+    pos: usize,
+}
+
+impl VecSource {
+    /// Create a cycling source from a non-empty op sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ops` is empty: a core cannot run on an empty stream.
+    pub fn new(label: impl Into<String>, ops: Vec<MicroOp>) -> Self {
+        assert!(!ops.is_empty(), "VecSource requires at least one op");
+        Self {
+            label: label.into(),
+            ops,
+            pos: 0,
+        }
+    }
+}
+
+impl InstructionSource for VecSource {
+    fn next_op(&mut self) -> MicroOp {
+        let op = self.ops[self.pos];
+        self.pos = (self.pos + 1) % self.ops.len();
+        op
+    }
+
+    fn label(&self) -> &str {
+        &self.label
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instruction_counts() {
+        assert_eq!(MicroOp::Compute { count: 3 }.instruction_count(), 3);
+        assert_eq!(
+            MicroOp::Load {
+                addr: 0,
+                dependent: false
+            }
+            .instruction_count(),
+            1
+        );
+        assert_eq!(MicroOp::Store { addr: 0 }.instruction_count(), 1);
+        assert_eq!(
+            MicroOp::Branch { mispredicted: true }.instruction_count(),
+            1
+        );
+    }
+
+    #[test]
+    fn memory_classification() {
+        assert!(MicroOp::Load {
+            addr: 1,
+            dependent: true
+        }
+        .is_memory());
+        assert!(MicroOp::Store { addr: 1 }.is_memory());
+        assert!(!MicroOp::Compute { count: 1 }.is_memory());
+        assert!(!MicroOp::Branch {
+            mispredicted: false
+        }
+        .is_memory());
+    }
+
+    #[test]
+    fn vec_source_cycles_in_order() {
+        let ops = vec![
+            MicroOp::Load {
+                addr: 64,
+                dependent: false,
+            },
+            MicroOp::Store { addr: 128 },
+            MicroOp::Branch {
+                mispredicted: false,
+            },
+        ];
+        let mut s = VecSource::new("t", ops.clone());
+        for i in 0..9 {
+            assert_eq!(s.next_op(), ops[i % 3]);
+        }
+        assert_eq!(s.label(), "t");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one op")]
+    fn vec_source_rejects_empty() {
+        let _ = VecSource::new("e", vec![]);
+    }
+
+    #[test]
+    fn sources_are_object_safe() {
+        let s: Box<dyn InstructionSource> =
+            Box::new(VecSource::new("o", vec![MicroOp::Compute { count: 1 }]));
+        assert_eq!(s.label(), "o");
+    }
+}

@@ -1,0 +1,177 @@
+//! Property-based tests for the simulator substrate's core invariants.
+
+use proptest::prelude::*;
+use sms_sim::cache::Cache;
+use sms_sim::config::{CacheConfig, DramConfig, NocConfig};
+use sms_sim::dram::Dram;
+use sms_sim::noc::Noc;
+use sms_sim::prefetch::{PrefetchConfig, StridePrefetcher};
+use sms_sim::queue::HistoryQueue;
+
+fn small_cache() -> impl Strategy<Value = Cache> {
+    (1u32..=4, 0u32..=3).prop_map(|(assoc_bits, set_bits)| {
+        let assoc = 1 << assoc_bits;
+        let sets = 1u64 << set_bits;
+        Cache::new(&CacheConfig {
+            capacity_bytes: sets * u64::from(assoc) * 64,
+            associativity: assoc,
+            access_latency: 4,
+            policy: Default::default(),
+        })
+    })
+}
+
+proptest! {
+    #[test]
+    fn cache_occupancy_never_exceeds_capacity(
+        cache in small_cache(),
+        lines in proptest::collection::vec(0u64..10_000, 1..500),
+    ) {
+        let mut cache = cache;
+        for line in lines {
+            if !cache.access(line, false) {
+                cache.fill(line, false, 0);
+            }
+        }
+        prop_assert!(cache.occupancy() <= cache.capacity_lines());
+    }
+
+    #[test]
+    fn filled_line_is_immediately_present(
+        cache in small_cache(),
+        lines in proptest::collection::vec(0u64..10_000, 1..200),
+    ) {
+        let mut cache = cache;
+        for line in lines {
+            cache.fill(line, false, 0);
+            prop_assert!(cache.probe(line), "line {line} missing right after fill");
+        }
+    }
+
+    #[test]
+    fn eviction_victim_was_resident_and_leaves(
+        cache in small_cache(),
+        lines in proptest::collection::vec(0u64..64, 1..300),
+    ) {
+        let mut cache = cache;
+        for line in lines {
+            if !cache.access(line, false) {
+                if let Some(ev) = cache.fill(line, false, 0) {
+                    prop_assert_ne!(ev.line, line, "cannot evict the filled line");
+                    prop_assert!(!cache.probe(ev.line), "victim still present");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cache_stats_are_consistent(
+        cache in small_cache(),
+        ops in proptest::collection::vec((0u64..256, proptest::bool::ANY), 1..400),
+    ) {
+        let mut cache = cache;
+        for (line, write) in ops {
+            if !cache.access(line, write) {
+                cache.fill(line, write, 0);
+            }
+        }
+        let s = cache.stats();
+        prop_assert_eq!(s.hits + s.misses(), s.accesses);
+        prop_assert!(s.dirty_evictions <= s.evictions);
+        prop_assert!(s.evictions <= s.fills);
+    }
+
+    #[test]
+    fn dram_latency_at_least_base_plus_service(
+        requests in proptest::collection::vec((0u64..100_000, 0u64..1024), 1..200),
+    ) {
+        let mut d = Dram::new(&DramConfig {
+            num_controllers: 4,
+            controller_bandwidth_gbps: 16.0,
+            base_latency: 200,
+            row_buffer: None,
+        });
+        let floor = 200 + d.service_cycles() as u64;
+        for (now, line) in requests {
+            let a = d.read(line, now);
+            prop_assert!(a.latency >= floor);
+            prop_assert_eq!(a.latency, floor + a.queue_wait);
+        }
+    }
+
+    #[test]
+    fn dram_total_bytes_equals_requests_times_line(
+        requests in proptest::collection::vec(0u64..4096, 1..300),
+    ) {
+        let mut d = Dram::new(&DramConfig {
+            num_controllers: 2,
+            controller_bandwidth_gbps: 8.0,
+            base_latency: 100,
+            row_buffer: None,
+        });
+        for (i, line) in requests.iter().enumerate() {
+            d.read(*line, i as u64 * 3);
+        }
+        prop_assert_eq!(d.total_bytes(), requests.len() as u64 * 64);
+    }
+
+    #[test]
+    fn noc_hops_are_symmetric_and_triangle(
+        a in 0u32..32, b in 0u32..32, c in 0u32..32,
+    ) {
+        let n = Noc::new(&NocConfig {
+            mesh_cols: 8,
+            mesh_rows: 4,
+            hop_latency: 2,
+            cross_section_links: 4,
+            link_bandwidth_gbps: 32.0,
+        });
+        prop_assert_eq!(n.hops(a, b), n.hops(b, a));
+        prop_assert!(n.hops(a, c) <= n.hops(a, b) + n.hops(b, c));
+        prop_assert_eq!(n.hops(a, a), 0);
+    }
+
+    #[test]
+    fn noc_crossing_is_symmetric(a in 0u32..32, b in 0u32..32) {
+        let n = Noc::new(&NocConfig {
+            mesh_cols: 8,
+            mesh_rows: 4,
+            hop_latency: 2,
+            cross_section_links: 4,
+            link_bandwidth_gbps: 32.0,
+        });
+        prop_assert_eq!(n.crosses_bisection(a, b), n.crosses_bisection(b, a));
+    }
+
+    #[test]
+    fn history_queue_serialization_conserves_busy_time(
+        requests in proptest::collection::vec(0u32..10_000u32, 1..300),
+    ) {
+        let mut q = HistoryQueue::new();
+        let service = 10.0;
+        for now in requests.iter() {
+            q.request(f64::from(*now), service);
+        }
+        prop_assert!((q.busy_time() - service * requests.len() as f64).abs() < 1e-6);
+    }
+
+    #[test]
+    fn prefetcher_output_follows_detected_stride(
+        base in 0u64..1_000_000,
+        stride in 1i64..8,
+        degree in 1u32..8,
+    ) {
+        let mut p = StridePrefetcher::new(PrefetchConfig {
+            degree,
+            ..PrefetchConfig::default()
+        });
+        let line = |k: i64| base.checked_add_signed(stride * k).unwrap();
+        p.train(line(0));
+        p.train(line(1));
+        let out = p.train(line(2));
+        prop_assert_eq!(out.len(), degree as usize);
+        for (i, l) in out.iter().enumerate() {
+            prop_assert_eq!(*l, line(3 + i as i64));
+        }
+    }
+}

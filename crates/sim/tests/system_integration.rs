@@ -1,0 +1,168 @@
+//! System-level integration tests: multi-core invariants that unit tests
+//! of individual components cannot see.
+
+use sms_sim::config::SystemConfig;
+use sms_sim::system::{MulticoreSystem, RunSpec};
+use sms_sim::trace::{InstructionSource, MicroOp, VecSource};
+
+fn cfg(cores: u32) -> SystemConfig {
+    let mut cfg = SystemConfig::target_32core();
+    cfg.num_cores = cores;
+    cfg.llc.num_slices = cores.next_power_of_two();
+    let cols = cores.next_power_of_two().min(8);
+    cfg.noc.mesh_cols = cols;
+    cfg.noc.mesh_rows = cores.next_power_of_two().div_ceil(cols).max(1);
+    cfg.dram.num_controllers = (cores / 4).max(1).next_power_of_two();
+    cfg
+}
+
+/// An element-granular stream (8-byte stride, like the real generators:
+/// eight loads share a cache line) over `span_lines` lines, starting at a
+/// per-instance `offset` so co-running copies are decorrelated — the
+/// paper's "slightly different offsets".
+fn stream_source(
+    label: &str,
+    base: u64,
+    span_lines: u64,
+    offset_lines: u64,
+) -> Box<dyn InstructionSource> {
+    let span_bytes = span_lines * 64;
+    let start = (offset_lines * 64) % span_bytes;
+    let ops: Vec<MicroOp> = (0..span_lines * 8)
+        .flat_map(|i| {
+            [
+                MicroOp::Compute { count: 3 },
+                MicroOp::Load {
+                    addr: base + (start + i * 8) % span_bytes,
+                    dependent: false,
+                },
+            ]
+        })
+        .collect();
+    Box::new(VecSource::new(label, ops))
+}
+
+fn spec(n: u64) -> RunSpec {
+    RunSpec {
+        warmup_instructions: n / 5,
+        measure_instructions: n,
+    }
+}
+
+#[test]
+fn symmetric_cores_get_symmetric_performance() {
+    // Four identical streams in disjoint address windows: the rotating
+    // quantum order must keep per-core IPC near-identical.
+    let sources: Vec<Box<dyn InstructionSource>> = (0..4u64)
+        .map(|i| stream_source("s", i << 40, 1 << 14, i * 997))
+        .collect();
+    let mut sys = MulticoreSystem::new(cfg(4), sources).unwrap();
+    let r = sys.run(spec(400_000)).unwrap();
+    let ipcs: Vec<f64> = r.cores.iter().map(|c| c.ipc).collect();
+    let min = ipcs.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = ipcs.iter().cloned().fold(0.0, f64::max);
+    assert!(
+        max / min < 1.15,
+        "identical workloads diverge: {ipcs:?} (no core should be systematically biased)"
+    );
+}
+
+#[test]
+fn inclusive_mode_is_strictly_harsher_for_victims() {
+    // A small hot workload co-runs with an LLC-thrashing stream. Under the
+    // inclusive LLC the victim's private caches are invalidated by the
+    // stream's evictions; non-inclusive protects them.
+    let run = |inclusive: bool| -> f64 {
+        let mut c = cfg(2);
+        c.inclusive_llc = inclusive;
+        // Make the LLC small so the stream actually thrashes it.
+        c.llc.slice.capacity_bytes = 128 * 1024;
+        let hot = stream_source("hot", 0, 256, 0); // 16 KB: L1-resident
+        let stream = stream_source("stream", 1 << 40, 1 << 16, 7); // 4 MB
+        let mut sys = MulticoreSystem::new(c, vec![hot, stream]).unwrap();
+        let r = sys.run(spec(300_000)).unwrap();
+        r.cores[0].ipc
+    };
+    let non_inclusive = run(false);
+    let inclusive = run(true);
+    assert!(
+        inclusive <= non_inclusive * 1.02,
+        "inclusion cannot help the victim: inclusive={inclusive:.3} non={non_inclusive:.3}"
+    );
+}
+
+#[test]
+fn sixtyfour_core_machine_simulates() {
+    let mut c = cfg(64);
+    c.noc.mesh_cols = 8;
+    c.noc.mesh_rows = 8;
+    let sources: Vec<Box<dyn InstructionSource>> = (0..64u64)
+        .map(|i| stream_source("s", i << 40, 1 << 10, i * 31))
+        .collect();
+    let mut sys = MulticoreSystem::new(c, sources).unwrap();
+    let r = sys.run(spec(20_000)).unwrap();
+    assert_eq!(r.cores.len(), 64);
+    assert!(r.cores.iter().all(|c| c.ipc > 0.0));
+}
+
+#[test]
+fn quantum_granularity_changes_results_only_slightly() {
+    let run = |quantum: u64| -> f64 {
+        let mut c = cfg(4);
+        c.sync_quantum = quantum;
+        let sources: Vec<Box<dyn InstructionSource>> = (0..4u64)
+            .map(|i| stream_source("s", i << 40, 1 << 14, i * 997))
+            .collect();
+        let mut sys = MulticoreSystem::new(c, sources).unwrap();
+        let r = sys.run(spec(400_000)).unwrap();
+        r.cores.iter().map(|c| c.ipc).sum::<f64>() / 4.0
+    };
+    let fine = run(200);
+    let default = run(1_000);
+    assert!(
+        (fine - default).abs() / fine < 0.08,
+        "quantum sensitivity too high: {fine:.4} vs {default:.4}"
+    );
+}
+
+#[test]
+fn prefetcher_disabled_slows_streamers() {
+    let run = |enabled: bool| -> f64 {
+        let mut c = cfg(1);
+        c.prefetch.enabled = enabled;
+        // 4 GB/s per-core share, like the PRS scale model.
+        c.dram.controller_bandwidth_gbps = 4.0;
+        let src = stream_source("s", 0, 1 << 16, 0); // 4 MB stream, misses LLC
+        let mut sys = MulticoreSystem::new(c, vec![src]).unwrap();
+        let r = sys.run(spec(400_000)).unwrap();
+        r.cores[0].ipc
+    };
+    let with_pf = run(true);
+    let without = run(false);
+    // At one miss per 32 instructions the MSHRs already cover much of the
+    // latency, so the prefetcher's edge here is real but moderate.
+    assert!(
+        with_pf > without * 1.15,
+        "prefetching must speed a line stream: on={with_pf:.3} off={without:.3}"
+    );
+}
+
+#[test]
+fn total_instructions_conserved_across_stop_rule() {
+    // Whatever the stop rule does, every core's retired count must be
+    // consistent with its reported IPC and cycles.
+    let sources: Vec<Box<dyn InstructionSource>> = (0..4u64)
+        .map(|i| stream_source("s", i << 40, (1 << 10) << i, 0))
+        .collect();
+    let mut sys = MulticoreSystem::new(cfg(4), sources).unwrap();
+    let r = sys.run(spec(100_000)).unwrap();
+    for c in &r.cores {
+        let implied = c.ipc * c.cycles as f64;
+        assert!(
+            (implied - c.instructions as f64).abs() < 1.0,
+            "ipc*cycles must equal instructions for {}",
+            c.label
+        );
+    }
+    assert!(r.cores.iter().any(|c| c.instructions == 100_000));
+}

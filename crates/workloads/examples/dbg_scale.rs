@@ -1,0 +1,84 @@
+use sms_sim::config::SystemConfig;
+use sms_sim::system::{MulticoreSystem, RunSpec};
+use sms_workloads::mix::MixSpec;
+
+fn scaled(f: u32) -> SystemConfig {
+    // PRS scale-down of the 32-core target by factor 32/f cores.
+    let mut cfg = SystemConfig::target_32core();
+    cfg.num_cores = f;
+    cfg.llc.num_slices = f;
+    let (cols, rows) = match f {
+        32 => (8, 4),
+        16 => (4, 4),
+        8 => (4, 2),
+        4 => (2, 2),
+        2 => (2, 1),
+        1 => (1, 1),
+        _ => unreachable!(),
+    };
+    cfg.noc.mesh_cols = cols;
+    cfg.noc.mesh_rows = rows;
+    // Table I NoC: 32:4x32, 16:4x16, 8:2x16, 4:2x8, 2:1x8, 1:1x4
+    let (csl, lbw) = match f {
+        32 => (4, 32.0),
+        16 => (4, 16.0),
+        8 => (2, 16.0),
+        4 => (2, 8.0),
+        2 => (1, 8.0),
+        1 => (1, 4.0),
+        _ => unreachable!(),
+    };
+    cfg.noc.cross_section_links = csl;
+    cfg.noc.link_bandwidth_gbps = lbw;
+    // Table I DRAM MC-first: 32:8x16, 16:4x16, 8:2x16, 4:1x16, 2:1x8, 1:1x4
+    let (mcs, mbw) = match f {
+        32 => (8, 16.0),
+        16 => (4, 16.0),
+        8 => (2, 16.0),
+        4 => (1, 16.0),
+        2 => (1, 8.0),
+        1 => (1, 4.0),
+        _ => unreachable!(),
+    };
+    cfg.dram.num_controllers = mcs;
+    cfg.dram.controller_bandwidth_gbps = mbw;
+    cfg
+}
+
+fn nrs_1core() -> SystemConfig {
+    let mut cfg = SystemConfig::target_32core();
+    cfg.num_cores = 1;
+    // Keep shared resources at target size; mesh must still cover 1 core
+    // but keep the 4x8 mesh so NUCA distances stay target-like.
+    cfg
+}
+
+fn main() {
+    let instr = 1_000_000u64;
+    for name in [
+        "lbm_r",
+        "mcf_r",
+        "gcc_r",
+        "leela_r",
+        "bwaves_r",
+        "xalancbmk_r",
+    ] {
+        let run = |cfg: SystemConfig, n: usize| -> (f64, f64) {
+            let mix = MixSpec::homogeneous(name, n, 42);
+            let mut sys = MulticoreSystem::new(cfg, mix.sources()).unwrap();
+            let r = sys.run(RunSpec::with_default_warmup(instr)).unwrap();
+            // mean IPC across cores & host time
+            let m = r.cores.iter().map(|c| c.ipc).sum::<f64>() / r.cores.len() as f64;
+            (m, r.host_seconds)
+        };
+        let (prs1, t1) = run(scaled(1), 1);
+        let (nrs1, _) = run(nrs_1core(), 1);
+        let (prs2, _) = run(scaled(2), 2);
+        let (prs4, _) = run(scaled(4), 4);
+        let (prs8, _) = run(scaled(8), 8);
+        let (prs16, _) = run(scaled(16), 16);
+        let (tgt, t32) = run(scaled(32), 32);
+        println!("{name:<13} tgt={tgt:.3} prs1={prs1:.3} ({:+.1}%) nrs1={nrs1:.3} ({:+.1}%) prs2={prs2:.3} prs4={prs4:.3} prs8={prs8:.3} prs16={prs16:.3} speedup={:.1}x",
+            (prs1/tgt-1.0)*100.0, (nrs1/tgt-1.0)*100.0, t32/t1);
+    }
+}

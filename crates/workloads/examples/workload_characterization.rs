@@ -1,0 +1,53 @@
+//! Characterize the 29 synthetic benchmarks on a single-core PRS scale
+//! model (1 MB LLC, 4 GB/s DRAM): IPC, LLC MPKI, bandwidth utilization.
+//!
+//! Run with `cargo run --release --example workload_characterization`.
+
+use sms_sim::config::SystemConfig;
+use sms_sim::system::{MulticoreSystem, RunSpec};
+use sms_workloads::mix::MixSpec;
+use sms_workloads::spec::suite;
+
+fn single_core_prs() -> SystemConfig {
+    let mut cfg = SystemConfig::target_32core();
+    cfg.num_cores = 1;
+    cfg.llc.num_slices = 1;
+    cfg.noc.mesh_cols = 1;
+    cfg.noc.mesh_rows = 1;
+    cfg.noc.cross_section_links = 1;
+    cfg.noc.link_bandwidth_gbps = 4.0;
+    cfg.dram.num_controllers = 1;
+    cfg.dram.controller_bandwidth_gbps = 4.0;
+    cfg
+}
+
+fn main() {
+    let instr: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1_000_000);
+    println!(
+        "{:<14} {:>6} {:>9} {:>9} {:>10} {:>8}",
+        "benchmark", "IPC", "LLC MPKI", "BW GB/s", "Minstr/s", "host s"
+    );
+    let mut total_host = 0.0;
+    for profile in suite() {
+        let mix = MixSpec::homogeneous(profile.name, 1, 42);
+        let mut sys = MulticoreSystem::new(single_core_prs(), mix.sources()).expect("valid config");
+        let r = sys
+            .run(RunSpec::with_default_warmup(instr))
+            .expect("run succeeds");
+        let c = &r.cores[0];
+        total_host += r.host_seconds;
+        println!(
+            "{:<14} {:>6.3} {:>9.2} {:>9.2} {:>10.1} {:>8.2}",
+            c.label,
+            c.ipc,
+            c.llc_mpki,
+            c.bandwidth_gbps,
+            c.instructions as f64 / r.host_seconds / 1e6,
+            r.host_seconds
+        );
+    }
+    println!("total measured host time: {total_host:.1} s");
+}

@@ -1,0 +1,387 @@
+//! Expansion of a [`BenchmarkProfile`] into a deterministic micro-op
+//! stream implementing [`InstructionSource`].
+//!
+//! Each generated instance owns a disjoint address-space window (selected
+//! by `instance_id`), so co-running instances contend for shared *capacity*
+//! and *bandwidth* without ever sharing data — the multiprogram model of
+//! the paper. Homogeneous mixes use the same profile with different seeds
+//! and starting offsets ("co-running instances of the same benchmark, all
+//! starting at slightly different offsets", §IV-2).
+
+use sms_sim::trace::{InstructionSource, MicroOp};
+
+use crate::rng::SplitMix64;
+use crate::spec::{BenchmarkProfile, NUM_LAYERS};
+
+/// Bits of private address space per instance (1 TiB windows).
+const INSTANCE_SPACE_BITS: u32 = 40;
+/// Offset of the code region within an instance's window.
+const CODE_REGION_OFFSET: u64 = 1 << 38;
+/// Streaming accesses touch 8-byte elements.
+const STREAM_ELEMENT_BYTES: u64 = 8;
+/// Average fetch blocks between control-flow discontinuities in the code
+/// stream.
+const CODE_JUMP_PERIOD: u64 = 32;
+/// Size of the hot (L1-I-resident) code region.
+const HOT_CODE_BYTES: u64 = 8 * 1024;
+
+/// A deterministic micro-op generator for one benchmark instance.
+#[derive(Debug, Clone)]
+pub struct SyntheticSource {
+    profile: BenchmarkProfile,
+    rng: SplitMix64,
+    /// Base byte address of this instance's private window.
+    base: u64,
+    /// Start offset of each working-set layer within the window.
+    layer_starts: [u64; NUM_LAYERS],
+    /// Streaming cursor per layer (bytes within the layer).
+    stream_cursors: [u64; NUM_LAYERS],
+    /// Cumulative layer-selection thresholds.
+    layer_cum: [f64; NUM_LAYERS],
+    /// Op-type thresholds: load / store / branch (else compute).
+    op_cum: [f64; 3],
+    /// Cold-path code-fetch cursor (bytes within the code region).
+    code_cursor: u64,
+    /// Hot-loop code-fetch cursor.
+    hot_code_cursor: u64,
+    code_rng: SplitMix64,
+}
+
+impl SyntheticSource {
+    /// Create instance `instance_id` of `profile`, seeded by `seed`.
+    ///
+    /// Distinct `(instance_id, seed)` pairs give independent streams in
+    /// disjoint address spaces; equal pairs give identical streams.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profile is inconsistent
+    /// ([`BenchmarkProfile::is_consistent`]) or `instance_id` does not fit
+    /// the address-space partitioning (max 255, matching the simulator's
+    /// core-id width).
+    pub fn new(profile: BenchmarkProfile, instance_id: u32, seed: u64) -> Self {
+        assert!(
+            profile.is_consistent(),
+            "inconsistent profile {}",
+            profile.name
+        );
+        assert!(instance_id < 256, "instance_id {instance_id} out of range");
+
+        let base = u64::from(instance_id) << INSTANCE_SPACE_BITS;
+
+        // Lay the data layers out back to back, 1 MiB-aligned.
+        let mut layer_starts = [0u64; NUM_LAYERS];
+        let mut cursor = 0u64;
+        for (i, layer) in profile.layers.iter().enumerate() {
+            layer_starts[i] = cursor;
+            let aligned = layer.bytes.div_ceil(1 << 20) << 20;
+            cursor += aligned.max(1 << 20);
+        }
+        assert!(
+            cursor < CODE_REGION_OFFSET,
+            "data layers overflow the instance window"
+        );
+
+        let mut layer_cum = [0.0f64; NUM_LAYERS];
+        let mut acc = 0.0;
+        for (i, layer) in profile.layers.iter().enumerate() {
+            acc += layer.weight;
+            layer_cum[i] = acc;
+        }
+        // Guard against floating-point shortfall in the last bucket.
+        layer_cum[NUM_LAYERS - 1] = 1.0;
+
+        // Emission probabilities per *op*: compute ops carry
+        // `mean_compute_run` instructions on average, so their op-level
+        // weight is the instruction-level weight divided by the run length.
+        let compute_frac = 1.0 - profile.load_frac - profile.store_frac - profile.branch_frac;
+        let w_compute = compute_frac / f64::from(profile.mean_compute_run);
+        let total = profile.load_frac + profile.store_frac + profile.branch_frac + w_compute;
+        let op_cum = [
+            profile.load_frac / total,
+            (profile.load_frac + profile.store_frac) / total,
+            (profile.load_frac + profile.store_frac + profile.branch_frac) / total,
+        ];
+
+        let mut rng = SplitMix64::new(seed ^ 0xA076_1D64_78BD_642F);
+        // "Slightly different offsets": randomize the streaming cursors.
+        let mut stream_cursors = [0u64; NUM_LAYERS];
+        for (i, layer) in profile.layers.iter().enumerate() {
+            if layer.bytes >= STREAM_ELEMENT_BYTES {
+                stream_cursors[i] =
+                    rng.next_below(layer.bytes / STREAM_ELEMENT_BYTES) * STREAM_ELEMENT_BYTES;
+            }
+        }
+        let code_cursor = rng.next_below(profile.code_bytes / 64) * 64;
+
+        Self {
+            code_rng: SplitMix64::new(seed ^ 0x5851_F42D_4C95_7F2D),
+            profile,
+            rng,
+            base,
+            layer_starts,
+            stream_cursors,
+            layer_cum,
+            op_cum,
+            code_cursor,
+            hot_code_cursor: 0,
+        }
+    }
+
+    /// The underlying profile.
+    pub fn profile(&self) -> &BenchmarkProfile {
+        &self.profile
+    }
+
+    /// Generate a data address (and whether a load at it chases pointers).
+    fn data_address(&mut self) -> (u64, bool) {
+        let r = self.rng.next_f64();
+        let mut layer = NUM_LAYERS - 1;
+        for (i, &cum) in self.layer_cum.iter().enumerate() {
+            if r < cum {
+                layer = i;
+                break;
+            }
+        }
+        let bytes = self.profile.layers[layer].bytes;
+        debug_assert!(bytes > 0, "zero-weight layers are never selected");
+        let start = self.base + self.layer_starts[layer];
+
+        if self.rng.next_f64() < self.profile.stream_frac {
+            // Sequential 8-byte-element walk: eight accesses per line.
+            let c = self.stream_cursors[layer];
+            self.stream_cursors[layer] = (c + STREAM_ELEMENT_BYTES) % bytes;
+            (start + c, false)
+        } else {
+            let line = self.rng.next_below(bytes.div_ceil(64).max(1));
+            let dependent = self.rng.next_f64() < self.profile.chase_frac;
+            (start + line * 64, dependent)
+        }
+    }
+}
+
+impl InstructionSource for SyntheticSource {
+    fn next_op(&mut self) -> MicroOp {
+        let r = self.rng.next_f64();
+        if r < self.op_cum[0] {
+            let (addr, dependent) = self.data_address();
+            MicroOp::Load { addr, dependent }
+        } else if r < self.op_cum[1] {
+            let (addr, _) = self.data_address();
+            MicroOp::Store { addr }
+        } else if r < self.op_cum[2] {
+            MicroOp::Branch {
+                mispredicted: self.rng.next_f64() < self.profile.branch_miss_rate,
+            }
+        } else {
+            // Uniform on [1, 2*mean-1]: mean = mean_compute_run.
+            let span = u64::from(2 * self.profile.mean_compute_run - 1);
+            let count = 1 + self.rng.next_below(span) as u32;
+            MicroOp::Compute { count }
+        }
+    }
+
+    fn code_addr(&mut self) -> u64 {
+        // Two-level code locality: most fetches hit a hot, L1-I-resident
+        // region (inner loops); the rest walk the full footprint
+        // sequentially with occasional jumps (cold paths, unwinding,
+        // library code). Real programs do not stream their entire binary
+        // through the I-cache, so cold fetches are rate-limited by
+        // `code_hot_frac`.
+        let hot = HOT_CODE_BYTES.min(self.profile.code_bytes);
+        if self.code_rng.next_f64() < self.profile.code_hot_frac {
+            self.hot_code_cursor = (self.hot_code_cursor + 64) % hot;
+            return self.base + CODE_REGION_OFFSET + self.hot_code_cursor;
+        }
+        if self.code_rng.next_below(CODE_JUMP_PERIOD) == 0 {
+            self.code_cursor = self.code_rng.next_below(self.profile.code_bytes / 64) * 64;
+        } else {
+            self.code_cursor = (self.code_cursor + 64) % self.profile.code_bytes;
+        }
+        self.base + CODE_REGION_OFFSET + self.code_cursor
+    }
+
+    fn label(&self) -> &str {
+        self.profile.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::by_name;
+
+    fn source(name: &str, id: u32, seed: u64) -> SyntheticSource {
+        SyntheticSource::new(by_name(name).unwrap(), id, seed)
+    }
+
+    fn op_histogram(src: &mut SyntheticSource, n: u64) -> (f64, f64, f64, u64) {
+        let (mut loads, mut stores, mut branches, mut instrs) = (0u64, 0u64, 0u64, 0u64);
+        while instrs < n {
+            match src.next_op() {
+                MicroOp::Load { .. } => {
+                    loads += 1;
+                    instrs += 1;
+                }
+                MicroOp::Store { .. } => {
+                    stores += 1;
+                    instrs += 1;
+                }
+                MicroOp::Branch { .. } => {
+                    branches += 1;
+                    instrs += 1;
+                }
+                MicroOp::Compute { count } => instrs += u64::from(count),
+            }
+        }
+        let t = instrs as f64;
+        (
+            loads as f64 / t,
+            stores as f64 / t,
+            branches as f64 / t,
+            instrs,
+        )
+    }
+
+    #[test]
+    fn instruction_mix_matches_profile() {
+        let profile = by_name("gcc_r").unwrap();
+        let mut src = source("gcc_r", 0, 1);
+        let (l, s, b, _) = op_histogram(&mut src, 2_000_000);
+        assert!((l - profile.load_frac).abs() < 0.01, "load frac {l}");
+        assert!((s - profile.store_frac).abs() < 0.01, "store frac {s}");
+        assert!((b - profile.branch_frac).abs() < 0.01, "branch frac {b}");
+    }
+
+    #[test]
+    fn streams_are_deterministic() {
+        let mut a = source("mcf_r", 3, 99);
+        let mut b = source("mcf_r", 3, 99);
+        for _ in 0..10_000 {
+            assert_eq!(a.next_op(), b.next_op());
+            assert_eq!(a.code_addr(), b.code_addr());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = source("mcf_r", 3, 1);
+        let mut b = source("mcf_r", 3, 2);
+        let mut diff = 0;
+        for _ in 0..1000 {
+            if a.next_op() != b.next_op() {
+                diff += 1;
+            }
+        }
+        assert!(diff > 100);
+    }
+
+    #[test]
+    fn instances_have_disjoint_address_spaces() {
+        let mut a = source("lbm_r", 0, 7);
+        let mut b = source("lbm_r", 1, 7);
+        let collect = |s: &mut SyntheticSource| {
+            let mut addrs = Vec::new();
+            while addrs.len() < 1000 {
+                match s.next_op() {
+                    MicroOp::Load { addr, .. } | MicroOp::Store { addr } => addrs.push(addr),
+                    _ => {}
+                }
+            }
+            addrs
+        };
+        let aa = collect(&mut a);
+        let bb = collect(&mut b);
+        let window = 1u64 << INSTANCE_SPACE_BITS;
+        assert!(aa.iter().all(|&x| x < window));
+        assert!(bb.iter().all(|&x| (window..2 * window).contains(&x)));
+    }
+
+    #[test]
+    fn chaser_emits_dependent_loads() {
+        let mut mcf = source("mcf_r", 0, 5);
+        let mut dependent = 0;
+        let mut loads = 0;
+        for _ in 0..100_000 {
+            if let MicroOp::Load { dependent: d, .. } = mcf.next_op() {
+                loads += 1;
+                if d {
+                    dependent += 1;
+                }
+            }
+        }
+        let frac = f64::from(dependent) / f64::from(loads);
+        // chase applies only to non-streaming loads: expect roughly
+        // (1 - stream) * chase = 0.9 * 0.7 = 0.63.
+        assert!((frac - 0.63).abs() < 0.05, "dependent frac {frac}");
+    }
+
+    #[test]
+    fn streamer_emits_no_dependent_loads() {
+        let mut lbm = source("lbm_r", 0, 5);
+        for _ in 0..50_000 {
+            if let MicroOp::Load { dependent, .. } = lbm.next_op() {
+                assert!(!dependent);
+            }
+        }
+    }
+
+    #[test]
+    fn addresses_fall_in_declared_layers() {
+        let profile = by_name("xz_r").unwrap();
+        let mut src = source("xz_r", 0, 3);
+        let total_span: u64 = profile
+            .layers
+            .iter()
+            .map(|l| (l.bytes.div_ceil(1 << 20) << 20).max(1 << 20))
+            .sum();
+        for _ in 0..100_000 {
+            if let MicroOp::Load { addr, .. } | MicroOp::Store { addr } = src.next_op() {
+                assert!(addr < total_span, "addr {addr:#x} beyond layers");
+            }
+        }
+    }
+
+    #[test]
+    fn code_addresses_stay_in_code_region() {
+        let profile = by_name("gcc_r").unwrap();
+        let mut src = source("gcc_r", 2, 3);
+        let base = 2u64 << INSTANCE_SPACE_BITS;
+        for _ in 0..10_000 {
+            let a = src.code_addr();
+            assert!(a >= base + CODE_REGION_OFFSET);
+            assert!(a < base + CODE_REGION_OFFSET + profile.code_bytes);
+        }
+    }
+
+    #[test]
+    fn offsets_differ_between_instances() {
+        // Same seed, different instance ids still start at the same place
+        // within their window (seed controls offsets), so use different
+        // seeds for offsets as mixes do.
+        let a = source("bwaves_r", 0, 1).stream_cursors;
+        let b = source("bwaves_r", 0, 2).stream_cursors;
+        assert_ne!(a, b, "different seeds must give different start offsets");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn instance_id_bounds_checked() {
+        let _ = SyntheticSource::new(by_name("gcc_r").unwrap(), 256, 0);
+    }
+
+    #[test]
+    fn compute_runs_have_requested_mean() {
+        let mut src = source("lbm_r", 0, 11); // mean run 6
+        let mut total = 0u64;
+        let mut n = 0u64;
+        for _ in 0..200_000 {
+            if let MicroOp::Compute { count } = src.next_op() {
+                total += u64::from(count);
+                n += 1;
+            }
+        }
+        let mean = total as f64 / n as f64;
+        assert!((mean - 6.0).abs() < 0.1, "mean run {mean}");
+    }
+}

@@ -1,0 +1,46 @@
+//! # sms-workloads — synthetic SPEC CPU2017-like workloads
+//!
+//! Statistical benchmark profiles ([`spec`]), a deterministic micro-op
+//! generator implementing the simulator's
+//! [`InstructionSource`](sms_sim::trace::InstructionSource) ([`generator`]),
+//! and multiprogram mix construction with the paper's train/eval splits
+//! ([`mix`]).
+//!
+//! # Example
+//!
+//! Run a 2-core homogeneous `lbm_r` mix:
+//!
+//! ```
+//! use sms_sim::config::SystemConfig;
+//! use sms_sim::system::{MulticoreSystem, RunSpec};
+//! use sms_workloads::mix::MixSpec;
+//!
+//! # fn main() -> Result<(), sms_sim::error::SimError> {
+//! let mut cfg = SystemConfig::target_32core();
+//! cfg.num_cores = 2;
+//! cfg.llc.num_slices = 2;
+//! cfg.noc.mesh_cols = 2;
+//! cfg.noc.mesh_rows = 1;
+//!
+//! let mix = MixSpec::homogeneous("lbm_r", 2, 42);
+//! let mut system = MulticoreSystem::new(cfg, mix.sources())?;
+//! let result = system.run(RunSpec::with_default_warmup(50_000))?;
+//! assert!(result.cores[0].ipc > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod generator;
+pub mod mix;
+pub mod multithreaded;
+pub mod rng;
+pub mod spec;
+pub mod trace_io;
+
+pub use generator::SyntheticSource;
+pub use mix::MixSpec;
+pub use spec::{suite, BenchmarkProfile};

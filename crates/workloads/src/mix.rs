@@ -1,0 +1,250 @@
+//! Multiprogram workload-mix construction and train/eval splits.
+//!
+//! Mirrors the paper's §IV-2 methodology:
+//!
+//! * **Homogeneous mixes**: `T` co-running instances of the same benchmark
+//!   with different starting offsets.
+//! * **Heterogeneous mixes**: `T` benchmarks drawn (with repetition) from a
+//!   pool, seeded for reproducibility.
+//! * **Splits**: leave-one-out over the 29-benchmark suite for homogeneous
+//!   experiments; a random 8-benchmark evaluation set against the 21
+//!   remaining training benchmarks for heterogeneous experiments.
+
+use serde::{Deserialize, Serialize};
+use sms_sim::trace::InstructionSource;
+
+use crate::generator::SyntheticSource;
+use crate::rng::SplitMix64;
+use crate::spec::{suite, BenchmarkProfile};
+
+/// A multiprogram workload mix: one benchmark name per core.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MixSpec {
+    /// Benchmark names, one per core slot.
+    pub benchmarks: Vec<String>,
+    /// Seed controlling the instances' private streams and offsets.
+    pub seed: u64,
+}
+
+impl MixSpec {
+    /// A homogeneous mix: `t` instances of `name`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let mix = sms_workloads::mix::MixSpec::homogeneous("lbm_r", 4, 1);
+    /// assert_eq!(mix.benchmarks.len(), 4);
+    /// assert!(mix.benchmarks.iter().all(|b| b == "lbm_r"));
+    /// ```
+    pub fn homogeneous(name: &str, t: usize, seed: u64) -> Self {
+        Self {
+            benchmarks: vec![name.to_owned(); t],
+            seed,
+        }
+    }
+
+    /// A heterogeneous mix of `t` benchmarks drawn uniformly (with
+    /// repetition) from `pool`, deterministically from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pool is empty or `t` is zero.
+    pub fn random(pool: &[BenchmarkProfile], t: usize, seed: u64) -> Self {
+        assert!(!pool.is_empty(), "pool must be non-empty");
+        assert!(t > 0, "mix size must be non-zero");
+        let mut rng = SplitMix64::new(seed ^ 0xC2B2_AE3D_27D4_EB4F);
+        let benchmarks = (0..t)
+            .map(|_| {
+                pool[rng.next_below(pool.len() as u64) as usize]
+                    .name
+                    .to_owned()
+            })
+            .collect();
+        Self { benchmarks, seed }
+    }
+
+    /// Number of slots (cores) in the mix.
+    pub fn len(&self) -> usize {
+        self.benchmarks.len()
+    }
+
+    /// Whether the mix has no slots.
+    pub fn is_empty(&self) -> bool {
+        self.benchmarks.is_empty()
+    }
+
+    /// Truncate the mix to its first `t` slots (used when running a mix on
+    /// a scale model with fewer cores than the target).
+    pub fn truncated(&self, t: usize) -> Self {
+        Self {
+            benchmarks: self.benchmarks.iter().take(t).cloned().collect(),
+            seed: self.seed,
+        }
+    }
+
+    /// Instantiate one [`SyntheticSource`] per slot, each with a distinct
+    /// derived seed and a disjoint address-space window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a benchmark name is unknown or the mix exceeds 255 slots.
+    pub fn sources(&self) -> Vec<Box<dyn InstructionSource>> {
+        self.benchmarks
+            .iter()
+            .enumerate()
+            .map(|(i, name)| {
+                let profile = crate::spec::by_name(name)
+                    .unwrap_or_else(|| panic!("unknown benchmark `{name}`"));
+                let instance_seed = derive_seed(self.seed, i as u64);
+                Box::new(SyntheticSource::new(profile, i as u32, instance_seed))
+                    as Box<dyn InstructionSource>
+            })
+            .collect()
+    }
+}
+
+/// Derive an independent per-instance seed from a mix seed.
+fn derive_seed(seed: u64, index: u64) -> u64 {
+    let mut r = SplitMix64::new(seed.wrapping_add(index.wrapping_mul(0x9E37_79B9_7F4A_7C15)));
+    r.next_u64()
+}
+
+/// Train/eval split of the full suite for heterogeneous experiments:
+/// `eval_count` random benchmarks form the evaluation set, the rest the
+/// training set (paper: 8 eval / 21 train).
+///
+/// # Panics
+///
+/// Panics if `eval_count` is zero or not smaller than the suite size.
+pub fn eval_train_split(
+    eval_count: usize,
+    seed: u64,
+) -> (Vec<BenchmarkProfile>, Vec<BenchmarkProfile>) {
+    let mut all = suite();
+    assert!(eval_count > 0 && eval_count < all.len());
+    let mut rng = SplitMix64::new(seed ^ 0x165_667B1_9E37_79F9);
+    // Fisher-Yates partial shuffle.
+    for i in 0..eval_count {
+        let j = i + rng.next_below((all.len() - i) as u64) as usize;
+        all.swap(i, j);
+    }
+    let train = all.split_off(eval_count);
+    (all, train)
+}
+
+/// Leave-one-out folds over the suite for homogeneous experiments: yields
+/// `(held-out benchmark, remaining 28 training benchmarks)` per fold.
+pub fn leave_one_out() -> Vec<(BenchmarkProfile, Vec<BenchmarkProfile>)> {
+    let all = suite();
+    (0..all.len())
+        .map(|i| {
+            let held = all[i].clone();
+            let rest = all
+                .iter()
+                .enumerate()
+                .filter(|&(j, _)| j != i)
+                .map(|(_, p)| p.clone())
+                .collect();
+            (held, rest)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn homogeneous_mix_shape() {
+        let m = MixSpec::homogeneous("gcc_r", 32, 7);
+        assert_eq!(m.len(), 32);
+        assert!(m.benchmarks.iter().all(|b| b == "gcc_r"));
+    }
+
+    #[test]
+    fn random_mix_is_deterministic() {
+        let pool = suite();
+        let a = MixSpec::random(&pool, 32, 5);
+        let b = MixSpec::random(&pool, 32, 5);
+        assert_eq!(a, b);
+        let c = MixSpec::random(&pool, 32, 6);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn random_mix_draws_from_pool() {
+        let pool: Vec<_> = suite().into_iter().take(3).collect();
+        let names: Vec<&str> = pool.iter().map(|p| p.name).collect();
+        let m = MixSpec::random(&pool, 64, 9);
+        assert!(m.benchmarks.iter().all(|b| names.contains(&b.as_str())));
+        // With 64 draws from 3 benchmarks, all should appear.
+        for n in names {
+            assert!(m.benchmarks.iter().any(|b| b == n), "{n} missing");
+        }
+    }
+
+    #[test]
+    fn truncation_preserves_prefix_and_seed() {
+        let pool = suite();
+        let m = MixSpec::random(&pool, 32, 5);
+        let t = m.truncated(4);
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.benchmarks[..], m.benchmarks[..4]);
+        assert_eq!(t.seed, m.seed);
+    }
+
+    #[test]
+    fn sources_have_distinct_labels_matching_mix() {
+        let m = MixSpec::homogeneous("mcf_r", 4, 3);
+        let sources = m.sources();
+        assert_eq!(sources.len(), 4);
+        for s in &sources {
+            assert_eq!(s.label(), "mcf_r");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown benchmark")]
+    fn unknown_benchmark_panics() {
+        let m = MixSpec {
+            benchmarks: vec!["not_a_benchmark".into()],
+            seed: 0,
+        };
+        let _ = m.sources();
+    }
+
+    #[test]
+    fn eval_train_split_partition() {
+        let (eval, train) = eval_train_split(8, 42);
+        assert_eq!(eval.len(), 8);
+        assert_eq!(train.len(), 21);
+        let all: std::collections::HashSet<&str> =
+            eval.iter().chain(train.iter()).map(|p| p.name).collect();
+        assert_eq!(all.len(), 29, "split must partition the suite");
+    }
+
+    #[test]
+    fn eval_train_split_deterministic() {
+        let (e1, _) = eval_train_split(8, 42);
+        let (e2, _) = eval_train_split(8, 42);
+        assert_eq!(e1, e2);
+        let (e3, _) = eval_train_split(8, 43);
+        assert_ne!(e1, e3);
+    }
+
+    #[test]
+    fn leave_one_out_folds() {
+        let folds = leave_one_out();
+        assert_eq!(folds.len(), 29);
+        for (held, rest) in &folds {
+            assert_eq!(rest.len(), 28);
+            assert!(rest.iter().all(|p| p.name != held.name));
+        }
+    }
+
+    #[test]
+    fn derived_seeds_are_distinct() {
+        let seeds: std::collections::HashSet<u64> = (0..64).map(|i| derive_seed(1234, i)).collect();
+        assert_eq!(seeds.len(), 64);
+    }
+}

@@ -1,0 +1,262 @@
+//! Data-parallel multi-threaded workloads (paper §V-E6, future work).
+//!
+//! The paper conjectures that scale-model simulation "might be easily
+//! applied to data-parallel multi-threaded workloads in which all threads
+//! execute the same code (on different data elements) and there is very
+//! little or no communication between threads", behaving like the
+//! homogeneous multiprogram mixes. This module provides exactly that
+//! workload class so the conjecture can be tested:
+//!
+//! * all threads run the same benchmark profile (same code footprint, in
+//!   a **shared** code region),
+//! * the largest working-set layer (the dataset) is **shared read-only**,
+//!   with each thread streaming its own chunk — so threads cooperate on
+//!   LLC capacity instead of competing with private copies,
+//! * stores always go to per-thread private regions (private outputs),
+//!   so no write sharing and no coherence traffic exists — matching the
+//!   paper's "no communication" premise.
+
+use sms_sim::trace::{InstructionSource, MicroOp};
+
+use crate::generator::SyntheticSource;
+use crate::rng::SplitMix64;
+use crate::spec::{BenchmarkProfile, NUM_LAYERS};
+
+/// Address-space window reserved for shared data (above any per-instance
+/// window; instance ids are < 256).
+const SHARED_BASE: u64 = 256u64 << 40;
+
+/// One thread of a data-parallel application.
+///
+/// Wraps a [`SyntheticSource`] and rewrites its dataset-layer loads and
+/// code fetches into the shared region; each thread's sequential streaming
+/// is confined to its own chunk of the shared dataset.
+#[derive(Debug, Clone)]
+pub struct DataParallelThread {
+    inner: SyntheticSource,
+    /// Start of this instance's private window (rewritten to shared).
+    private_base: u64,
+    /// Byte range of the dataset layer within the instance window.
+    dataset_start: u64,
+    dataset_end: u64,
+    /// This thread's chunk of the shared dataset.
+    chunk_start: u64,
+    chunk_len: u64,
+    /// Offset of the code region within the window.
+    code_offset: u64,
+    label: String,
+    rng: SplitMix64,
+}
+
+impl DataParallelThread {
+    /// Create thread `thread_id` of `threads` running `profile`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero, `thread_id >= threads`, or the profile
+    /// is inconsistent.
+    pub fn new(profile: BenchmarkProfile, thread_id: u32, threads: u32, seed: u64) -> Self {
+        assert!(threads > 0, "need at least one thread");
+        assert!(thread_id < threads, "thread_id out of range");
+        let label = format!("{}#mt", profile.name);
+
+        // Reconstruct the generator's layer placement (back-to-back,
+        // 1 MiB aligned) to locate the dataset (last) layer.
+        let mut starts = [0u64; NUM_LAYERS];
+        let mut cursor = 0u64;
+        for (i, layer) in profile.layers.iter().enumerate() {
+            starts[i] = cursor;
+            let aligned = layer.bytes.div_ceil(1 << 20) << 20;
+            cursor += aligned.max(1 << 20);
+        }
+        let dataset_idx = NUM_LAYERS - 1;
+        let dataset_start = starts[dataset_idx];
+        let dataset_bytes = profile.layers[dataset_idx].bytes.max(1 << 20);
+        let chunk_len = (dataset_bytes / u64::from(threads)).max(64);
+
+        let inner = SyntheticSource::new(profile, thread_id, seed);
+        Self {
+            private_base: u64::from(thread_id) << 40,
+            dataset_start,
+            dataset_end: dataset_start + dataset_bytes,
+            chunk_start: u64::from(thread_id) * chunk_len,
+            chunk_len,
+            code_offset: 1 << 38,
+            label,
+            inner,
+            rng: SplitMix64::new(seed ^ 0x0DDB_1A5E_5BAD_5EED),
+        }
+    }
+
+    /// Rewrite a private dataset-layer address into the shared region,
+    /// confining sequential positions to this thread's chunk.
+    fn to_shared(&mut self, addr: u64) -> u64 {
+        let offset = addr - self.private_base;
+        debug_assert!(offset >= self.dataset_start && offset < self.dataset_end);
+        let within = offset - self.dataset_start;
+        // Random accesses roam the whole shared dataset; sequential ones
+        // are folded into the thread's chunk. We cannot see which pattern
+        // produced the address, so fold deterministically and let a small
+        // random fraction roam (read-only sharing makes both safe).
+        if self.rng.next_below(8) == 0 {
+            SHARED_BASE + self.dataset_start + within
+        } else {
+            SHARED_BASE + self.dataset_start + self.chunk_start + (within % self.chunk_len)
+        }
+    }
+}
+
+impl InstructionSource for DataParallelThread {
+    fn next_op(&mut self) -> MicroOp {
+        match self.inner.next_op() {
+            MicroOp::Load { addr, dependent } => {
+                let offset = addr.wrapping_sub(self.private_base);
+                if offset >= self.dataset_start && offset < self.dataset_end {
+                    MicroOp::Load {
+                        addr: self.to_shared(addr),
+                        dependent,
+                    }
+                } else {
+                    MicroOp::Load { addr, dependent }
+                }
+            }
+            // Stores always stay private (per-thread outputs; no write
+            // sharing, hence no coherence in the paper's premise).
+            other => other,
+        }
+    }
+
+    fn code_addr(&mut self) -> u64 {
+        // All threads fetch the same shared code image.
+        let a = self.inner.code_addr();
+        SHARED_BASE + self.code_offset + (a - self.private_base - self.code_offset)
+    }
+
+    fn label(&self) -> &str {
+        &self.label
+    }
+}
+
+/// Build the thread sources for a `threads`-way data-parallel run of
+/// `profile`.
+pub fn data_parallel_sources(
+    profile: &BenchmarkProfile,
+    threads: u32,
+    seed: u64,
+) -> Vec<Box<dyn InstructionSource>> {
+    (0..threads)
+        .map(|t| {
+            let mut r = SplitMix64::new(seed ^ (u64::from(t) << 32));
+            Box::new(DataParallelThread::new(
+                profile.clone(),
+                t,
+                threads,
+                r.next_u64(),
+            )) as Box<dyn InstructionSource>
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::by_name;
+
+    fn thread(name: &str, id: u32, n: u32) -> DataParallelThread {
+        DataParallelThread::new(by_name(name).unwrap(), id, n, 7)
+    }
+
+    #[test]
+    fn dataset_loads_land_in_shared_region() {
+        let mut t = thread("lbm_r", 1, 4);
+        let mut shared = 0u64;
+        let mut private = 0u64;
+        for _ in 0..50_000 {
+            if let MicroOp::Load { addr, .. } = t.next_op() {
+                if addr >= SHARED_BASE {
+                    shared += 1;
+                } else {
+                    private += 1;
+                    assert!(addr >> 40 == 1, "private loads stay in own window");
+                }
+            }
+        }
+        assert!(shared > 0, "lbm's dataset layer must produce shared loads");
+        assert!(private > 0, "hot layers stay private");
+    }
+
+    #[test]
+    fn stores_never_touch_shared_region() {
+        let mut t = thread("lbm_r", 2, 4);
+        for _ in 0..50_000 {
+            if let MicroOp::Store { addr } = t.next_op() {
+                assert!(addr < SHARED_BASE, "stores must stay private");
+            }
+        }
+    }
+
+    #[test]
+    fn code_is_shared_across_threads() {
+        let mut a = thread("gcc_r", 0, 4);
+        let mut b = thread("gcc_r", 3, 4);
+        let ca = a.code_addr();
+        let cb = b.code_addr();
+        assert!(ca >= SHARED_BASE && cb >= SHARED_BASE);
+        // Same shared code window (same upper bits).
+        assert_eq!(ca >> 30, cb >> 30);
+    }
+
+    #[test]
+    fn threads_stream_disjoint_chunks() {
+        // Collect the chunk-confined (non-roaming) sequential shared loads
+        // of two threads and check their ranges are disjoint.
+        let range = |id: u32| -> (u64, u64) {
+            let t = thread("lbm_r", id, 4);
+            (
+                SHARED_BASE + t.dataset_start + t.chunk_start,
+                SHARED_BASE + t.dataset_start + t.chunk_start + t.chunk_len,
+            )
+        };
+        let (a0, a1) = range(0);
+        let (b0, b1) = range(1);
+        assert!(a1 <= b0 || b1 <= a0, "chunks must not overlap");
+    }
+
+    #[test]
+    fn sources_builder_shapes() {
+        let profile = by_name("roms_r").unwrap();
+        let sources = data_parallel_sources(&profile, 4, 9);
+        assert_eq!(sources.len(), 4);
+        for s in &sources {
+            assert_eq!(s.label(), "roms_r#mt");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn thread_id_bounds() {
+        let _ = thread("gcc_r", 4, 4);
+    }
+
+    #[test]
+    fn runs_on_the_simulator() {
+        use sms_sim::config::SystemConfig;
+        use sms_sim::system::{MulticoreSystem, RunSpec};
+        let mut cfg = SystemConfig::target_32core();
+        cfg.num_cores = 4;
+        cfg.llc.num_slices = 4;
+        cfg.noc.mesh_cols = 2;
+        cfg.noc.mesh_rows = 2;
+        let profile = by_name("roms_r").unwrap();
+        let mut sys = MulticoreSystem::new(cfg, data_parallel_sources(&profile, 4, 1)).unwrap();
+        let r = sys
+            .run(RunSpec {
+                warmup_instructions: 5_000,
+                measure_instructions: 40_000,
+            })
+            .unwrap();
+        for c in &r.cores {
+            assert!(c.ipc > 0.0);
+        }
+    }
+}

@@ -1,0 +1,722 @@
+//! Synthetic benchmark profiles modelled after the SPEC CPU2017 suite.
+//!
+//! Each [`BenchmarkProfile`] is a compact statistical description of a
+//! benchmark: instruction mix, branch predictability, a four-layer working
+//! set (L1-resident, L2-scale, LLC-scale, DRAM-scale), access-pattern mix
+//! (streaming / random / pointer-chasing) and code footprint. The
+//! [`generator`](crate::generator) module expands a profile into a
+//! deterministic micro-op stream.
+//!
+//! The 29 profiles span the same qualitative range as the paper's SPEC
+//! CPU2017 setup: compute-bound kernels (`exchange2`, `leela`, `povray`),
+//! bandwidth-bound streamers (`lbm`, `bwaves`, `fotonik3d`, `roms`),
+//! latency-bound pointer chasers (`mcf`, `omnetpp`, `xalancbmk`) and
+//! everything in between. Parameters are hand-calibrated for qualitative
+//! fidelity (LLC-MPKI ordering, bandwidth diversity), not for absolute
+//! SPEC scores — see DESIGN.md for the substitution rationale.
+
+use serde::{Deserialize, Serialize};
+
+/// Number of working-set layers in a profile.
+pub const NUM_LAYERS: usize = 4;
+
+/// One working-set layer: a region of `bytes` receiving `weight` of the
+/// benchmark's data accesses.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WsLayer {
+    /// Region size in bytes (0 disables the layer).
+    pub bytes: u64,
+    /// Fraction of data accesses landing in this layer; weights across the
+    /// profile's layers must sum to 1.
+    pub weight: f64,
+}
+
+const fn kib(k: u64) -> u64 {
+    k * 1024
+}
+const fn mib(m: u64) -> u64 {
+    m * 1024 * 1024
+}
+
+/// Statistical description of one benchmark.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchmarkProfile {
+    /// SPEC-style benchmark name.
+    pub name: &'static str,
+    /// Fraction of instructions that are loads.
+    pub load_frac: f64,
+    /// Fraction of instructions that are stores.
+    pub store_frac: f64,
+    /// Fraction of instructions that are conditional branches.
+    pub branch_frac: f64,
+    /// Fraction of branches the (hybrid) predictor mispredicts.
+    pub branch_miss_rate: f64,
+    /// Working-set layers from hottest/smallest to coldest/largest.
+    pub layers: [WsLayer; NUM_LAYERS],
+    /// Fraction of data accesses that stream sequentially through their
+    /// layer (8-byte elements, so eight accesses share a cache line).
+    pub stream_frac: f64,
+    /// Fraction of *random* loads that are pointer-chasing (dependent on
+    /// the previous load).
+    pub chase_frac: f64,
+    /// Code footprint in bytes (drives the L1-I model).
+    pub code_bytes: u64,
+    /// Fraction of instruction fetches served from the hot (L1-I-resident)
+    /// code region; the remainder walk the full footprint.
+    pub code_hot_frac: f64,
+    /// Mean length of compute-instruction runs between memory/branch ops.
+    pub mean_compute_run: u32,
+}
+
+impl BenchmarkProfile {
+    /// Check internal consistency: fractions in range, layer weights
+    /// summing to 1 (within tolerance), non-zero code footprint.
+    pub fn is_consistent(&self) -> bool {
+        let fracs = self.load_frac + self.store_frac + self.branch_frac;
+        let wsum: f64 = self.layers.iter().map(|l| l.weight).sum();
+        self.load_frac >= 0.0
+            && self.store_frac >= 0.0
+            && self.branch_frac >= 0.0
+            && fracs < 1.0
+            && (0.0..=1.0).contains(&self.branch_miss_rate)
+            && (0.0..=1.0).contains(&self.stream_frac)
+            && (0.0..=1.0).contains(&self.chase_frac)
+            && (wsum - 1.0).abs() < 1e-9
+            && self.layers.iter().all(|l| l.weight >= 0.0)
+            && self
+                .layers
+                .iter()
+                .all(|l| l.weight == 0.0 || l.bytes >= 4096)
+            && self.code_bytes >= 4096
+            && (0.0..=1.0).contains(&self.code_hot_frac)
+            && self.mean_compute_run >= 1
+    }
+}
+
+macro_rules! profile {
+    ($name:literal, ld=$ld:expr, st=$st:expr, br=$br:expr, miss=$miss:expr,
+     layers=[$(($b:expr, $w:expr)),+], stream=$stream:expr, chase=$chase:expr,
+     code=$code:expr, hot=$hot:expr, run=$run:expr) => {
+        BenchmarkProfile {
+            name: $name,
+            load_frac: $ld,
+            store_frac: $st,
+            branch_frac: $br,
+            branch_miss_rate: $miss,
+            layers: [$(WsLayer { bytes: $b, weight: $w }),+],
+            stream_frac: $stream,
+            chase_frac: $chase,
+            code_bytes: $code,
+            code_hot_frac: $hot,
+            mean_compute_run: $run,
+        }
+    };
+}
+
+/// The 29-benchmark suite: SPECrate 2017 int (10) + fp (13) plus six
+/// larger-footprint `_s` variants, matching the paper's `N = 29`.
+pub fn suite() -> Vec<BenchmarkProfile> {
+    vec![
+        // ---- SPECrate 2017 Integer ----
+        profile!(
+            "perlbench_r",
+            ld = 0.28,
+            st = 0.12,
+            br = 0.22,
+            miss = 0.02,
+            layers = [
+                (kib(16), 0.925),
+                (kib(128), 0.05),
+                (mib(2), 0.015),
+                (mib(64), 0.01)
+            ],
+            stream = 0.2,
+            chase = 0.15,
+            code = kib(512),
+            hot = 0.9,
+            run = 3
+        ),
+        profile!(
+            "gcc_r",
+            ld = 0.27,
+            st = 0.11,
+            br = 0.21,
+            miss = 0.025,
+            layers = [
+                (kib(16), 0.888),
+                (kib(192), 0.06),
+                (mib(4), 0.034),
+                (mib(128), 0.018)
+            ],
+            stream = 0.25,
+            chase = 0.2,
+            code = mib(2),
+            hot = 0.85,
+            run = 3
+        ),
+        profile!(
+            "mcf_r",
+            ld = 0.32,
+            st = 0.08,
+            br = 0.2,
+            miss = 0.04,
+            layers = [
+                (kib(16), 0.795),
+                (kib(128), 0.08),
+                (mib(4), 0.07),
+                (mib(1024), 0.055)
+            ],
+            stream = 0.1,
+            chase = 0.7,
+            code = kib(64),
+            hot = 0.99,
+            run = 3
+        ),
+        profile!(
+            "omnetpp_r",
+            ld = 0.3,
+            st = 0.12,
+            br = 0.2,
+            miss = 0.03,
+            layers = [
+                (kib(16), 0.862),
+                (kib(128), 0.065),
+                (mib(8), 0.048),
+                (mib(256), 0.025)
+            ],
+            stream = 0.1,
+            chase = 0.6,
+            code = kib(512),
+            hot = 0.92,
+            run = 3
+        ),
+        profile!(
+            "xalancbmk_r",
+            ld = 0.3,
+            st = 0.08,
+            br = 0.25,
+            miss = 0.025,
+            layers = [
+                (kib(16), 0.896),
+                (kib(128), 0.06),
+                (mib(4), 0.029),
+                (mib(128), 0.015)
+            ],
+            stream = 0.15,
+            chase = 0.45,
+            code = mib(1),
+            hot = 0.88,
+            run = 3
+        ),
+        profile!(
+            "x264_r",
+            ld = 0.3,
+            st = 0.12,
+            br = 0.08,
+            miss = 0.01,
+            layers = [
+                (kib(16), 0.94),
+                (kib(128), 0.045),
+                (mib(2), 0.012),
+                (mib(32), 0.003)
+            ],
+            stream = 0.6,
+            chase = 0.02,
+            code = kib(256),
+            hot = 0.97,
+            run = 4
+        ),
+        profile!(
+            "deepsjeng_r",
+            ld = 0.25,
+            st = 0.08,
+            br = 0.18,
+            miss = 0.030,
+            layers = [
+                (kib(16), 0.9565),
+                (kib(128), 0.04),
+                (mib(1), 0.003),
+                (mib(16), 0.0005)
+            ],
+            stream = 0.2,
+            chase = 0.1,
+            code = kib(128),
+            hot = 0.98,
+            run = 3
+        ),
+        profile!(
+            "leela_r",
+            ld = 0.24,
+            st = 0.07,
+            br = 0.16,
+            miss = 0.025,
+            layers = [
+                (kib(16), 0.9668),
+                (kib(96), 0.032),
+                (kib(512), 0.001),
+                (mib(8), 0.0002)
+            ],
+            stream = 0.15,
+            chase = 0.1,
+            code = kib(128),
+            hot = 0.98,
+            run = 3
+        ),
+        profile!(
+            "exchange2_r",
+            ld = 0.2,
+            st = 0.08,
+            br = 0.2,
+            miss = 0.012,
+            layers = [
+                (kib(16), 0.968),
+                (kib(64), 0.029),
+                (kib(256), 0.003),
+                (mib(1), 0.0)
+            ],
+            stream = 0.3,
+            chase = 0.0,
+            code = kib(64),
+            hot = 0.995,
+            run = 4
+        ),
+        profile!(
+            "xz_r",
+            ld = 0.28,
+            st = 0.1,
+            br = 0.15,
+            miss = 0.03,
+            layers = [
+                (kib(16), 0.862),
+                (kib(128), 0.08),
+                (mib(8), 0.038),
+                (mib(192), 0.02)
+            ],
+            stream = 0.35,
+            chase = 0.15,
+            code = kib(128),
+            hot = 0.98,
+            run = 3
+        ),
+        // ---- SPECrate 2017 Floating Point ----
+        profile!(
+            "bwaves_r",
+            ld = 0.35,
+            st = 0.1,
+            br = 0.04,
+            miss = 0.005,
+            layers = [
+                (kib(16), 0.74),
+                (kib(128), 0.08),
+                (mib(4), 0.05),
+                (mib(512), 0.13)
+            ],
+            stream = 0.85,
+            chase = 0.0,
+            code = kib(64),
+            hot = 0.99,
+            run = 6
+        ),
+        profile!(
+            "cactuBSSN_r",
+            ld = 0.34,
+            st = 0.12,
+            br = 0.03,
+            miss = 0.005,
+            layers = [
+                (kib(16), 0.76),
+                (kib(256), 0.08),
+                (mib(8), 0.06),
+                (mib(384), 0.1)
+            ],
+            stream = 0.7,
+            chase = 0.0,
+            code = kib(256),
+            hot = 0.97,
+            run = 6
+        ),
+        profile!(
+            "namd_r",
+            ld = 0.28,
+            st = 0.08,
+            br = 0.05,
+            miss = 0.008,
+            layers = [
+                (kib(16), 0.952),
+                (kib(192), 0.04),
+                (mib(2), 0.006),
+                (mib(48), 0.002)
+            ],
+            stream = 0.4,
+            chase = 0.0,
+            code = kib(256),
+            hot = 0.97,
+            run = 6
+        ),
+        profile!(
+            "parest_r",
+            ld = 0.3,
+            st = 0.09,
+            br = 0.08,
+            miss = 0.012,
+            layers = [
+                (kib(16), 0.907),
+                (kib(192), 0.05),
+                (mib(4), 0.025),
+                (mib(128), 0.018)
+            ],
+            stream = 0.4,
+            chase = 0.1,
+            code = kib(512),
+            hot = 0.93,
+            run = 5
+        ),
+        profile!(
+            "povray_r",
+            ld = 0.28,
+            st = 0.09,
+            br = 0.12,
+            miss = 0.012,
+            layers = [
+                (kib(16), 0.9722),
+                (kib(96), 0.025),
+                (kib(512), 0.002),
+                (mib(4), 0.0008)
+            ],
+            stream = 0.2,
+            chase = 0.05,
+            code = kib(512),
+            hot = 0.95,
+            run = 4
+        ),
+        profile!(
+            "lbm_r",
+            ld = 0.32,
+            st = 0.18,
+            br = 0.02,
+            miss = 0.002,
+            layers = [
+                (kib(16), 0.39),
+                (kib(128), 0.08),
+                (mib(4), 0.07),
+                (mib(448), 0.46)
+            ],
+            stream = 0.95,
+            chase = 0.0,
+            code = kib(32),
+            hot = 0.999,
+            run = 6
+        ),
+        profile!(
+            "wrf_r",
+            ld = 0.3,
+            st = 0.1,
+            br = 0.07,
+            miss = 0.01,
+            layers = [
+                (kib(16), 0.845),
+                (kib(192), 0.06),
+                (mib(6), 0.05),
+                (mib(192), 0.045)
+            ],
+            stream = 0.55,
+            chase = 0.0,
+            code = mib(1),
+            hot = 0.9,
+            run = 5
+        ),
+        profile!(
+            "blender_r",
+            ld = 0.28,
+            st = 0.1,
+            br = 0.1,
+            miss = 0.015,
+            layers = [
+                (kib(16), 0.917),
+                (kib(128), 0.04),
+                (mib(4), 0.025),
+                (mib(96), 0.018)
+            ],
+            stream = 0.35,
+            chase = 0.05,
+            code = mib(1),
+            hot = 0.92,
+            run = 4
+        ),
+        profile!(
+            "cam4_r",
+            ld = 0.3,
+            st = 0.1,
+            br = 0.08,
+            miss = 0.012,
+            layers = [
+                (kib(16), 0.845),
+                (kib(192), 0.06),
+                (mib(8), 0.05),
+                (mib(256), 0.045)
+            ],
+            stream = 0.5,
+            chase = 0.0,
+            code = kib(1536),
+            hot = 0.9,
+            run = 5
+        ),
+        profile!(
+            "imagick_r",
+            ld = 0.27,
+            st = 0.09,
+            br = 0.06,
+            miss = 0.006,
+            layers = [
+                (kib(16), 0.9545),
+                (kib(128), 0.04),
+                (mib(2), 0.004),
+                (mib(32), 0.0015)
+            ],
+            stream = 0.6,
+            chase = 0.0,
+            code = kib(256),
+            hot = 0.98,
+            run = 6
+        ),
+        profile!(
+            "nab_r",
+            ld = 0.28,
+            st = 0.08,
+            br = 0.07,
+            miss = 0.008,
+            layers = [
+                (kib(16), 0.96),
+                (kib(128), 0.034),
+                (mib(1), 0.004),
+                (mib(24), 0.002)
+            ],
+            stream = 0.35,
+            chase = 0.05,
+            code = kib(128),
+            hot = 0.98,
+            run = 6
+        ),
+        profile!(
+            "fotonik3d_r",
+            ld = 0.34,
+            st = 0.1,
+            br = 0.03,
+            miss = 0.004,
+            layers = [
+                (kib(16), 0.67),
+                (kib(128), 0.1),
+                (mib(8), 0.07),
+                (mib(320), 0.16)
+            ],
+            stream = 0.8,
+            chase = 0.0,
+            code = kib(128),
+            hot = 0.99,
+            run = 6
+        ),
+        profile!(
+            "roms_r",
+            ld = 0.33,
+            st = 0.11,
+            br = 0.05,
+            miss = 0.006,
+            layers = [
+                (kib(16), 0.69),
+                (kib(192), 0.1),
+                (mib(8), 0.08),
+                (mib(384), 0.13)
+            ],
+            stream = 0.75,
+            chase = 0.0,
+            code = kib(256),
+            hot = 0.97,
+            run = 6
+        ),
+        // ---- SPECspeed 2017 FP variants (larger footprints) ----
+        profile!(
+            "bwaves_s",
+            ld = 0.35,
+            st = 0.1,
+            br = 0.04,
+            miss = 0.005,
+            layers = [
+                (kib(16), 0.69),
+                (kib(128), 0.08),
+                (mib(8), 0.06),
+                (mib(1536), 0.17)
+            ],
+            stream = 0.88,
+            chase = 0.0,
+            code = kib(64),
+            hot = 0.99,
+            run = 6
+        ),
+        profile!(
+            "cactuBSSN_s",
+            ld = 0.34,
+            st = 0.12,
+            br = 0.03,
+            miss = 0.005,
+            layers = [
+                (kib(16), 0.72),
+                (kib(256), 0.08),
+                (mib(12), 0.065),
+                (mib(1024), 0.135)
+            ],
+            stream = 0.72,
+            chase = 0.0,
+            code = kib(256),
+            hot = 0.97,
+            run = 6
+        ),
+        profile!(
+            "lbm_s",
+            ld = 0.32,
+            st = 0.18,
+            br = 0.02,
+            miss = 0.002,
+            layers = [
+                (kib(16), 0.32),
+                (kib(128), 0.07),
+                (mib(4), 0.06),
+                (mib(1280), 0.55)
+            ],
+            stream = 0.96,
+            chase = 0.0,
+            code = kib(32),
+            hot = 0.999,
+            run = 6
+        ),
+        profile!(
+            "wrf_s",
+            ld = 0.3,
+            st = 0.1,
+            br = 0.07,
+            miss = 0.01,
+            layers = [
+                (kib(16), 0.82),
+                (kib(192), 0.06),
+                (mib(8), 0.06),
+                (mib(512), 0.06)
+            ],
+            stream = 0.58,
+            chase = 0.0,
+            code = mib(1),
+            hot = 0.9,
+            run = 5
+        ),
+        profile!(
+            "cam4_s",
+            ld = 0.3,
+            st = 0.1,
+            br = 0.08,
+            miss = 0.012,
+            layers = [
+                (kib(16), 0.82),
+                (kib(192), 0.06),
+                (mib(12), 0.06),
+                (mib(768), 0.06)
+            ],
+            stream = 0.52,
+            chase = 0.0,
+            code = kib(1536),
+            hot = 0.9,
+            run = 5
+        ),
+        profile!(
+            "roms_s",
+            ld = 0.33,
+            st = 0.11,
+            br = 0.05,
+            miss = 0.006,
+            layers = [
+                (kib(16), 0.63),
+                (kib(192), 0.11),
+                (mib(12), 0.09),
+                (mib(1024), 0.17)
+            ],
+            stream = 0.78,
+            chase = 0.0,
+            code = kib(256),
+            hot = 0.97,
+            run = 6
+        ),
+    ]
+}
+
+/// Look up a profile by name.
+///
+/// # Examples
+///
+/// ```
+/// let mcf = sms_workloads::spec::by_name("mcf_r").unwrap();
+/// assert!(mcf.chase_frac > 0.5, "mcf is a pointer chaser");
+/// assert!(sms_workloads::spec::by_name("nonexistent").is_none());
+/// ```
+pub fn by_name(name: &str) -> Option<BenchmarkProfile> {
+    suite().into_iter().find(|p| p.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_29_benchmarks() {
+        assert_eq!(suite().len(), 29);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let s = suite();
+        let names: std::collections::HashSet<_> = s.iter().map(|p| p.name).collect();
+        assert_eq!(names.len(), s.len());
+    }
+
+    #[test]
+    fn all_profiles_consistent() {
+        for p in suite() {
+            assert!(p.is_consistent(), "profile {} is inconsistent", p.name);
+        }
+    }
+
+    #[test]
+    fn suite_spans_memory_intensity() {
+        let s = suite();
+        // DRAM-layer weight is a proxy for memory intensity; the suite must
+        // include both near-zero and heavy cases.
+        let dram_weight = |p: &BenchmarkProfile| p.layers[3].weight;
+        assert!(s.iter().any(|p| dram_weight(p) < 0.01));
+        assert!(s.iter().any(|p| dram_weight(p) > 0.4));
+    }
+
+    #[test]
+    fn suite_spans_access_patterns() {
+        let s = suite();
+        assert!(s.iter().any(|p| p.chase_frac > 0.5), "need pointer chasers");
+        assert!(s.iter().any(|p| p.stream_frac > 0.9), "need streamers");
+        assert!(
+            s.iter().any(|p| p.chase_frac == 0.0 && p.stream_frac < 0.4),
+            "need random-access workloads"
+        );
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(by_name("lbm_r").is_some());
+        assert!(by_name("lbm_s").is_some());
+        assert_eq!(by_name("lbm_r").unwrap().name, "lbm_r");
+    }
+
+    #[test]
+    fn consistency_rejects_bad_profiles() {
+        let mut p = by_name("gcc_r").unwrap();
+        p.load_frac = 0.9; // fractions exceed 1
+        assert!(!p.is_consistent());
+
+        let mut q = by_name("gcc_r").unwrap();
+        q.layers[0].weight += 0.5; // weights no longer sum to 1
+        assert!(!q.is_consistent());
+    }
+}

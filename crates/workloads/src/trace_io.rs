@@ -1,0 +1,456 @@
+//! Trace recording and replay.
+//!
+//! A [`RecordedTrace`] captures a finite window of a workload's micro-op
+//! stream (plus its instruction-fetch addresses) into a compact binary
+//! format, so runs can be archived, shared, or replayed bit-identically —
+//! e.g. to compare simulator versions on frozen inputs, or to feed this
+//! crate's workloads into another simulator.
+//!
+//! The binary layout is a small header followed by one tag byte per op:
+//!
+//! ```text
+//! magic "SMST" | u16 version | u32 label_len | label bytes
+//! u64 op_count | ops... | u64 code_count | code addrs (u64 each)
+//! tag 0: Compute  + u32 count
+//! tag 1: Load     + u64 addr         (independent)
+//! tag 2: Load     + u64 addr         (dependent)
+//! tag 3: Store    + u64 addr
+//! tag 4: Branch   (predicted)
+//! tag 5: Branch   (mispredicted)
+//! ```
+
+use std::error::Error;
+use std::fmt;
+use std::path::Path;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use sms_sim::core_model::FETCH_BLOCK_INSTRUCTIONS;
+use sms_sim::trace::{InstructionSource, MicroOp};
+
+const MAGIC: &[u8; 4] = b"SMST";
+const VERSION: u16 = 1;
+
+/// Errors decoding a serialized trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceDecodeError {
+    /// The buffer does not start with the trace magic.
+    BadMagic,
+    /// The format version is not supported.
+    BadVersion(u16),
+    /// The buffer ended mid-structure.
+    Truncated,
+    /// An unknown op tag was encountered.
+    BadTag(u8),
+    /// The label is not valid UTF-8.
+    BadLabel,
+}
+
+impl fmt::Display for TraceDecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::BadMagic => write!(f, "buffer is not a serialized trace (bad magic)"),
+            Self::BadVersion(v) => write!(f, "unsupported trace version {v}"),
+            Self::Truncated => write!(f, "trace buffer ends mid-structure"),
+            Self::BadTag(t) => write!(f, "unknown op tag {t}"),
+            Self::BadLabel => write!(f, "trace label is not valid UTF-8"),
+        }
+    }
+}
+
+impl Error for TraceDecodeError {}
+
+/// A finite recorded micro-op window, replayable as an
+/// [`InstructionSource`] (cycling at the end like the live generators).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecordedTrace {
+    label: String,
+    ops: Vec<MicroOp>,
+    code_addrs: Vec<u64>,
+}
+
+impl RecordedTrace {
+    /// Record at least `instructions` instructions from `source`,
+    /// sampling one fetch address per
+    /// [`FETCH_BLOCK_INSTRUCTIONS`] as the simulator would.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `instructions` is zero.
+    pub fn record(source: &mut dyn InstructionSource, instructions: u64) -> Self {
+        assert!(instructions > 0, "cannot record an empty trace");
+        let mut ops = Vec::new();
+        let mut code_addrs = Vec::new();
+        let mut recorded = 0u64;
+        let mut fetch_residue = 0u64;
+        while recorded < instructions {
+            let op = source.next_op();
+            recorded += op.instruction_count();
+            fetch_residue += op.instruction_count();
+            while fetch_residue >= FETCH_BLOCK_INSTRUCTIONS {
+                fetch_residue -= FETCH_BLOCK_INSTRUCTIONS;
+                code_addrs.push(source.code_addr());
+            }
+            ops.push(op);
+        }
+        Self {
+            label: source.label().to_owned(),
+            ops,
+            code_addrs,
+        }
+    }
+
+    /// Number of recorded micro-ops.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the trace holds no ops.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Total instructions across the recorded ops.
+    pub fn instructions(&self) -> u64 {
+        self.ops.iter().map(MicroOp::instruction_count).sum()
+    }
+
+    /// A replaying source over this trace (cycling past the end).
+    pub fn replay(&self) -> TraceReplay<'_> {
+        TraceReplay {
+            trace: self,
+            op_pos: 0,
+            code_pos: 0,
+        }
+    }
+
+    /// An owning replay source, suitable for
+    /// `Box<dyn InstructionSource>` slots in
+    /// [`MulticoreSystem`](sms_sim::system::MulticoreSystem).
+    pub fn into_replay(self) -> OwnedTraceReplay {
+        OwnedTraceReplay {
+            trace: self,
+            op_pos: 0,
+            code_pos: 0,
+        }
+    }
+
+    /// Serialize into the compact binary format.
+    pub fn to_bytes(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(32 + self.ops.len() * 9 + self.code_addrs.len() * 8);
+        buf.put_slice(MAGIC);
+        buf.put_u16(VERSION);
+        buf.put_u32(self.label.len() as u32);
+        buf.put_slice(self.label.as_bytes());
+        buf.put_u64(self.ops.len() as u64);
+        for op in &self.ops {
+            match *op {
+                MicroOp::Compute { count } => {
+                    buf.put_u8(0);
+                    buf.put_u32(count);
+                }
+                MicroOp::Load { addr, dependent } => {
+                    buf.put_u8(if dependent { 2 } else { 1 });
+                    buf.put_u64(addr);
+                }
+                MicroOp::Store { addr } => {
+                    buf.put_u8(3);
+                    buf.put_u64(addr);
+                }
+                MicroOp::Branch { mispredicted } => {
+                    buf.put_u8(if mispredicted { 5 } else { 4 });
+                }
+            }
+        }
+        buf.put_u64(self.code_addrs.len() as u64);
+        for &a in &self.code_addrs {
+            buf.put_u64(a);
+        }
+        buf.freeze()
+    }
+
+    /// Decode a trace previously produced by [`RecordedTrace::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TraceDecodeError`] describing the first malformation
+    /// found; the buffer is never panicked on.
+    pub fn from_bytes(mut data: &[u8]) -> Result<Self, TraceDecodeError> {
+        use TraceDecodeError as E;
+        if data.remaining() < 4 || &data[..4] != MAGIC {
+            return Err(E::BadMagic);
+        }
+        data.advance(4);
+        if data.remaining() < 2 {
+            return Err(E::Truncated);
+        }
+        let version = data.get_u16();
+        if version != VERSION {
+            return Err(E::BadVersion(version));
+        }
+        if data.remaining() < 4 {
+            return Err(E::Truncated);
+        }
+        let label_len = data.get_u32() as usize;
+        if data.remaining() < label_len {
+            return Err(E::Truncated);
+        }
+        let label = std::str::from_utf8(&data[..label_len])
+            .map_err(|_| E::BadLabel)?
+            .to_owned();
+        data.advance(label_len);
+
+        if data.remaining() < 8 {
+            return Err(E::Truncated);
+        }
+        let n_ops = data.get_u64() as usize;
+        let mut ops = Vec::with_capacity(n_ops.min(1 << 24));
+        for _ in 0..n_ops {
+            if data.remaining() < 1 {
+                return Err(E::Truncated);
+            }
+            let tag = data.get_u8();
+            let op = match tag {
+                0 => {
+                    if data.remaining() < 4 {
+                        return Err(E::Truncated);
+                    }
+                    MicroOp::Compute {
+                        count: data.get_u32(),
+                    }
+                }
+                1 | 2 => {
+                    if data.remaining() < 8 {
+                        return Err(E::Truncated);
+                    }
+                    MicroOp::Load {
+                        addr: data.get_u64(),
+                        dependent: tag == 2,
+                    }
+                }
+                3 => {
+                    if data.remaining() < 8 {
+                        return Err(E::Truncated);
+                    }
+                    MicroOp::Store {
+                        addr: data.get_u64(),
+                    }
+                }
+                4 | 5 => MicroOp::Branch {
+                    mispredicted: tag == 5,
+                },
+                t => return Err(E::BadTag(t)),
+            };
+            ops.push(op);
+        }
+
+        if data.remaining() < 8 {
+            return Err(E::Truncated);
+        }
+        let n_code = data.get_u64() as usize;
+        if data.remaining() < n_code * 8 {
+            return Err(E::Truncated);
+        }
+        let mut code_addrs = Vec::with_capacity(n_code.min(1 << 24));
+        for _ in 0..n_code {
+            code_addrs.push(data.get_u64());
+        }
+
+        Ok(Self {
+            label,
+            ops,
+            code_addrs,
+        })
+    }
+
+    /// Write the trace to a file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn save(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.to_bytes())
+    }
+
+    /// Read a trace from a file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors; decode failures surface as
+    /// `InvalidData` I/O errors.
+    pub fn load(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let data = std::fs::read(path)?;
+        Self::from_bytes(&data).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+}
+
+/// Replaying [`InstructionSource`] borrowed from a [`RecordedTrace`].
+#[derive(Debug, Clone)]
+pub struct TraceReplay<'a> {
+    trace: &'a RecordedTrace,
+    op_pos: usize,
+    code_pos: usize,
+}
+
+impl InstructionSource for TraceReplay<'_> {
+    fn next_op(&mut self) -> MicroOp {
+        let op = self.trace.ops[self.op_pos];
+        self.op_pos = (self.op_pos + 1) % self.trace.ops.len();
+        op
+    }
+
+    fn code_addr(&mut self) -> u64 {
+        if self.trace.code_addrs.is_empty() {
+            return 0;
+        }
+        let a = self.trace.code_addrs[self.code_pos];
+        self.code_pos = (self.code_pos + 1) % self.trace.code_addrs.len();
+        a
+    }
+
+    fn label(&self) -> &str {
+        &self.trace.label
+    }
+}
+
+/// Owning version of [`TraceReplay`].
+#[derive(Debug, Clone)]
+pub struct OwnedTraceReplay {
+    trace: RecordedTrace,
+    op_pos: usize,
+    code_pos: usize,
+}
+
+impl InstructionSource for OwnedTraceReplay {
+    fn next_op(&mut self) -> MicroOp {
+        let op = self.trace.ops[self.op_pos];
+        self.op_pos = (self.op_pos + 1) % self.trace.ops.len();
+        op
+    }
+
+    fn code_addr(&mut self) -> u64 {
+        if self.trace.code_addrs.is_empty() {
+            return 0;
+        }
+        let a = self.trace.code_addrs[self.code_pos];
+        self.code_pos = (self.code_pos + 1) % self.trace.code_addrs.len();
+        a
+    }
+
+    fn label(&self) -> &str {
+        &self.trace.label
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::SyntheticSource;
+    use crate::spec::by_name;
+
+    fn recorded(name: &str, n: u64) -> RecordedTrace {
+        let mut src = SyntheticSource::new(by_name(name).unwrap(), 0, 42);
+        RecordedTrace::record(&mut src, n)
+    }
+
+    #[test]
+    fn record_captures_requested_instructions() {
+        let t = recorded("gcc_r", 10_000);
+        assert!(t.instructions() >= 10_000);
+        assert!(t.instructions() < 10_100, "no gross overshoot");
+        assert_eq!(t.replay().label(), "gcc_r");
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn binary_round_trip_is_exact() {
+        let t = recorded("mcf_r", 5_000);
+        let bytes = t.to_bytes();
+        let back = RecordedTrace::from_bytes(&bytes).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn replay_matches_recording_order() {
+        let mut src = SyntheticSource::new(by_name("xz_r").unwrap(), 0, 7);
+        let t = RecordedTrace::record(&mut src, 2_000);
+        let mut replay = t.replay();
+        // Fresh identical generator must produce the same leading ops.
+        let mut fresh = SyntheticSource::new(by_name("xz_r").unwrap(), 0, 7);
+        for _ in 0..t.len() {
+            assert_eq!(replay.next_op(), fresh.next_op());
+        }
+    }
+
+    #[test]
+    fn replay_cycles_past_the_end() {
+        let t = recorded("leela_r", 500);
+        let mut r1 = t.replay();
+        let first: Vec<MicroOp> = (0..t.len()).map(|_| r1.next_op()).collect();
+        let second: Vec<MicroOp> = (0..t.len()).map(|_| r1.next_op()).collect();
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let t = recorded("lbm_r", 3_000);
+        let path = std::env::temp_dir().join(format!("sms-trace-{}.smst", std::process::id()));
+        t.save(&path).unwrap();
+        let back = RecordedTrace::load(&path).unwrap();
+        assert_eq!(t, back);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert_eq!(
+            RecordedTrace::from_bytes(b"nope"),
+            Err(TraceDecodeError::BadMagic)
+        );
+        assert_eq!(
+            RecordedTrace::from_bytes(b"SM"),
+            Err(TraceDecodeError::BadMagic)
+        );
+        // Valid magic, bad version.
+        let mut buf = Vec::from(*MAGIC);
+        buf.extend_from_slice(&99u16.to_be_bytes());
+        assert_eq!(
+            RecordedTrace::from_bytes(&buf),
+            Err(TraceDecodeError::BadVersion(99))
+        );
+    }
+
+    #[test]
+    fn decode_rejects_truncation_everywhere() {
+        let t = recorded("namd_r", 1_000);
+        let bytes = t.to_bytes();
+        // Chop at a few strategic points: every prefix must fail cleanly,
+        // never panic.
+        for cut in [4usize, 6, 10, 14, 20, bytes.len() / 2, bytes.len() - 1] {
+            let r = RecordedTrace::from_bytes(&bytes[..cut]);
+            assert!(r.is_err(), "prefix of {cut} bytes must not decode");
+        }
+    }
+
+    #[test]
+    fn simulator_accepts_replayed_traces() {
+        use sms_sim::config::SystemConfig;
+        use sms_sim::system::{MulticoreSystem, RunSpec};
+
+        let t = recorded("xz_r", 30_000);
+        let mut cfg = SystemConfig::target_32core();
+        cfg.num_cores = 1;
+        cfg.llc.num_slices = 1;
+        cfg.noc.mesh_cols = 1;
+        cfg.noc.mesh_rows = 1;
+        cfg.dram.num_controllers = 1;
+
+        let mut sys = MulticoreSystem::new(cfg, vec![Box::new(t.into_replay())]).unwrap();
+        let r = sys
+            .run(RunSpec {
+                warmup_instructions: 2_000,
+                measure_instructions: 20_000,
+            })
+            .unwrap();
+        assert!(r.cores[0].ipc > 0.0);
+    }
+}

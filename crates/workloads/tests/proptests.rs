@@ -1,0 +1,96 @@
+//! Property-based tests for workload generation invariants.
+
+use proptest::prelude::*;
+use sms_sim::trace::{InstructionSource, MicroOp};
+use sms_workloads::generator::SyntheticSource;
+use sms_workloads::mix::MixSpec;
+use sms_workloads::multithreaded::DataParallelThread;
+use sms_workloads::spec::suite;
+
+proptest! {
+    #[test]
+    fn instruction_mix_tracks_profile(bench_idx in 0usize..29, seed in 0u64..32) {
+        let profile = suite()[bench_idx].clone();
+        let mut src = SyntheticSource::new(profile.clone(), 0, seed);
+        let (mut loads, mut stores, mut branches, mut instrs) = (0u64, 0u64, 0u64, 0u64);
+        while instrs < 400_000 {
+            match src.next_op() {
+                MicroOp::Load { .. } => { loads += 1; instrs += 1; }
+                MicroOp::Store { .. } => { stores += 1; instrs += 1; }
+                MicroOp::Branch { .. } => { branches += 1; instrs += 1; }
+                MicroOp::Compute { count } => instrs += u64::from(count),
+            }
+        }
+        let t = instrs as f64;
+        prop_assert!((loads as f64 / t - profile.load_frac).abs() < 0.02);
+        prop_assert!((stores as f64 / t - profile.store_frac).abs() < 0.02);
+        prop_assert!((branches as f64 / t - profile.branch_frac).abs() < 0.02);
+    }
+
+    #[test]
+    fn branch_miss_rate_tracks_profile(bench_idx in 0usize..29) {
+        let profile = suite()[bench_idx].clone();
+        prop_assume!(profile.branch_frac > 0.01);
+        let mut src = SyntheticSource::new(profile.clone(), 0, 11);
+        let (mut misses, mut branches) = (0u64, 0u64);
+        for _ in 0..300_000 {
+            if let MicroOp::Branch { mispredicted } = src.next_op() {
+                branches += 1;
+                if mispredicted { misses += 1; }
+            }
+        }
+        prop_assume!(branches > 1000);
+        let rate = misses as f64 / branches as f64;
+        prop_assert!((rate - profile.branch_miss_rate).abs() < 0.01,
+            "{}: rate {rate} vs {}", profile.name, profile.branch_miss_rate);
+    }
+
+    #[test]
+    fn random_mixes_are_valid_and_deterministic(
+        t in 1usize..33,
+        seed in 0u64..64,
+    ) {
+        let pool = suite();
+        let a = MixSpec::random(&pool, t, seed);
+        let b = MixSpec::random(&pool, t, seed);
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.len(), t);
+        let names: Vec<&str> = pool.iter().map(|p| p.name).collect();
+        for bench in &a.benchmarks {
+            prop_assert!(names.contains(&bench.as_str()));
+        }
+        // Sources build without panicking.
+        let sources = a.sources();
+        prop_assert_eq!(sources.len(), t);
+    }
+
+    #[test]
+    fn truncated_mix_is_a_prefix(t in 2usize..32, keep in 1usize..32, seed in 0u64..16) {
+        let keep = keep.min(t);
+        let mix = MixSpec::random(&suite(), t, seed);
+        let tr = mix.truncated(keep);
+        prop_assert_eq!(tr.len(), keep);
+        prop_assert_eq!(&tr.benchmarks[..], &mix.benchmarks[..keep]);
+    }
+
+    #[test]
+    fn data_parallel_threads_emit_valid_ops(
+        bench_idx in 0usize..29,
+        threads in 1u32..8,
+        seed in 0u64..16,
+    ) {
+        let profile = suite()[bench_idx].clone();
+        for id in 0..threads {
+            let mut t = DataParallelThread::new(profile.clone(), id, threads, seed);
+            for _ in 0..2_000 {
+                match t.next_op() {
+                    MicroOp::Compute { count } => prop_assert!(count > 0),
+                    MicroOp::Store { addr } => {
+                        prop_assert!(addr < (256u64 << 40), "stores stay private");
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+}

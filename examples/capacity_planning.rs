@@ -1,0 +1,124 @@
+//! Capacity planning with ML-based regression — the paper's headline use
+//! case: predict how an application will perform on a 32-core machine
+//! **without ever simulating that machine**, using only scale models of
+//! at most 16 cores.
+//!
+//! The flow is exactly §III-B2:
+//! 1. train per-scale-model predictors on a set of known benchmarks,
+//! 2. predict the unseen application's IPC on each multi-core scale model,
+//! 3. fit a logarithmic curve over core count and extrapolate to 32.
+//!
+//! ```text
+//! cargo run --release --example capacity_planning
+//! ```
+
+use sms_core::features::{feature_vector, FeatureMode, SsMeasurement};
+use sms_core::predictor::{MlKind, ModelParams};
+use sms_core::regressor::{RegressionExtrapolator, ScaleModelTraining};
+use sms_core::scaling::{scale_config, ScalingPolicy};
+use sms_ml::fit::CurveModel;
+use sms_sim::config::SystemConfig;
+use sms_sim::system::{MulticoreSystem, RunSpec};
+use sms_workloads::mix::MixSpec;
+use sms_workloads::spec::suite;
+
+const MS_CORES: [u32; 4] = [2, 4, 8, 16];
+const UNSEEN: &str = "fotonik3d_r";
+
+fn run(cfg: SystemConfig, mix: &MixSpec, spec: RunSpec) -> (f64, f64) {
+    let mut sys = MulticoreSystem::new(cfg, mix.sources()).expect("valid setup");
+    let r = sys.run(spec).expect("non-empty budget");
+    let ipc = r.cores.iter().map(|c| c.ipc).sum::<f64>() / r.cores.len() as f64;
+    let bw = r.cores.iter().map(|c| c.bandwidth_gbps).sum::<f64>() / r.cores.len() as f64;
+    (ipc, bw)
+}
+
+fn main() {
+    let spec = RunSpec::with_default_warmup(200_000);
+    let target = SystemConfig::target_32core();
+    let mode = FeatureMode::IpcBandwidth;
+
+    // Train on a handful of known benchmarks (excluding the app of
+    // interest — it must be previously unseen).
+    let training_benchmarks: Vec<_> = suite()
+        .into_iter()
+        .filter(|p| p.name != UNSEEN)
+        .take(12)
+        .collect();
+
+    println!(
+        "measuring {} training benchmarks on scale models up to 16 cores...",
+        training_benchmarks.len()
+    );
+
+    // Single-core measurements for everyone (features).
+    let ss_cfg = scale_config(&target, 1, ScalingPolicy::prs());
+    let mut ss: Vec<SsMeasurement> = Vec::new();
+    for b in &training_benchmarks {
+        let (ipc, bandwidth) = run(ss_cfg.clone(), &MixSpec::homogeneous(b.name, 1, 42), spec);
+        ss.push(SsMeasurement { ipc, bandwidth });
+    }
+
+    // Multi-core scale-model measurements (regression targets).
+    let mut training = Vec::new();
+    for &cores in &MS_CORES {
+        let machine = scale_config(&target, cores, ScalingPolicy::prs());
+        let mut rows = Vec::new();
+        let mut targets = Vec::new();
+        for (b, own) in training_benchmarks.iter().zip(&ss) {
+            let (ipc, _) = run(
+                machine.clone(),
+                &MixSpec::homogeneous(b.name, cores as usize, 42),
+                spec,
+            );
+            rows.push(feature_vector(
+                mode,
+                *own,
+                own.bandwidth * f64::from(cores - 1),
+            ));
+            targets.push(ipc);
+        }
+        training.push(ScaleModelTraining {
+            cores,
+            rows,
+            targets,
+        });
+    }
+
+    let extrapolator = RegressionExtrapolator::train(
+        MlKind::Svm,
+        CurveModel::Logarithmic,
+        &training,
+        &ModelParams::default(),
+        7,
+    );
+
+    // The unseen application: one cheap single-core run, then extrapolate.
+    let (ipc_ss, bw_ss) = run(ss_cfg, &MixSpec::homogeneous(UNSEEN, 1, 42), spec);
+    let own = SsMeasurement {
+        ipc: ipc_ss,
+        bandwidth: bw_ss,
+    };
+    let rows: Vec<Vec<f64>> = MS_CORES
+        .iter()
+        .map(|&c| feature_vector(mode, own, bw_ss * f64::from(c - 1)))
+        .collect();
+    let predicted = extrapolator.predict(&rows, target.num_cores);
+
+    println!("\napplication of interest: {UNSEEN}");
+    println!("single-core scale model: IPC {ipc_ss:.4}, BW {bw_ss:.2} GB/s");
+    for (c, p) in extrapolator.scale_model_predictions(&rows) {
+        println!("predicted IPC on {c:>2}-core scale model: {p:.4}");
+    }
+    println!("=> extrapolated 32-core per-core IPC: {predicted:.4}");
+
+    // Verify against the (otherwise unnecessary) target simulation.
+    let (actual, _) = run(target, &MixSpec::homogeneous(UNSEEN, 32, 42), spec);
+    println!("   actual 32-core per-core IPC      : {actual:.4}");
+    println!(
+        "   prediction error                  : {:.1}%",
+        (predicted - actual).abs() / actual * 100.0
+    );
+    println!("\nNo 32-core simulation was used for training or prediction —");
+    println!("that is the practical appeal of ML-based regression (§III-B2).");
+}

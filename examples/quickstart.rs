@@ -1,0 +1,60 @@
+//! Quickstart: build the 32-core target system, derive its single-core
+//! PRS scale model, simulate one benchmark on both, and compare the
+//! scale model's (No-Extrapolation) prediction against the truth.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use sms_core::scaling::{scale_config, ScalingPolicy};
+use sms_sim::config::SystemConfig;
+use sms_sim::system::{MulticoreSystem, RunSpec};
+use sms_workloads::mix::MixSpec;
+
+fn main() -> Result<(), sms_sim::error::SimError> {
+    let benchmark = "xz_r";
+    let budget = RunSpec::with_default_warmup(300_000);
+
+    // The paper's Table II target: 32 OoO cores, 32 MB NUCA LLC, 4x8 mesh,
+    // 128 GB/s DRAM.
+    let target = SystemConfig::target_32core();
+    println!("target     : {}", target.summary());
+
+    // Proportional Resource Scaling keeps per-core shares constant: the
+    // single-core scale model gets 1 MB of LLC and 4 GB/s of DRAM.
+    let scale_model = scale_config(&target, 1, ScalingPolicy::prs());
+    println!("scale model: {}", scale_model.summary());
+
+    // Simulate the benchmark alone on the scale model...
+    let mix1 = MixSpec::homogeneous(benchmark, 1, 42);
+    let mut sm_sys = MulticoreSystem::new(scale_model, mix1.sources())?;
+    let sm = sm_sys.run(budget)?;
+    let predicted = sm.cores[0].ipc;
+
+    // ...and 32 co-running instances on the target (the expensive run the
+    // methodology avoids).
+    let mix32 = MixSpec::homogeneous(benchmark, 32, 42);
+    let mut tgt_sys = MulticoreSystem::new(target, mix32.sources())?;
+    let tgt = tgt_sys.run(budget)?;
+    let actual = tgt.cores.iter().map(|c| c.ipc).sum::<f64>() / tgt.cores.len() as f64;
+
+    println!();
+    println!("benchmark          : {benchmark}");
+    println!(
+        "scale-model IPC    : {predicted:.4} (simulated in {:.2}s)",
+        sm.host_seconds
+    );
+    println!(
+        "target per-core IPC: {actual:.4} (simulated in {:.2}s)",
+        tgt.host_seconds
+    );
+    println!(
+        "No-Extrapolation error: {:.1}%  |  simulation speedup: {:.1}x",
+        (predicted - actual).abs() / actual * 100.0,
+        tgt.host_seconds / sm.host_seconds
+    );
+    println!();
+    println!("ML-based extrapolation (see examples/capacity_planning.rs) trims");
+    println!("this error further without ever simulating the target.");
+    Ok(())
+}

@@ -1,0 +1,4 @@
+//! Host crate for the workspace's cross-crate integration tests; the
+//! tests themselves live under `tests/tests/`.
+
+#![forbid(unsafe_code)]

@@ -1,0 +1,65 @@
+//! Determinism and reproducibility across the full stack: identical
+//! seeds must give bit-identical results; different seeds must differ.
+
+use sms_core::scaling::{scale_config, ScalingPolicy};
+use sms_sim::config::SystemConfig;
+use sms_sim::system::{MulticoreSystem, RunSpec};
+use sms_workloads::mix::MixSpec;
+use sms_workloads::spec::suite;
+
+fn run(mix: &MixSpec, cores: u32) -> sms_sim::stats::SimResult {
+    let target = SystemConfig::target_32core();
+    let machine = scale_config(&target, cores, ScalingPolicy::prs());
+    let mut sys = MulticoreSystem::new(machine, mix.sources()).unwrap();
+    sys.run(RunSpec {
+        warmup_instructions: 10_000,
+        measure_instructions: 60_000,
+    })
+    .unwrap()
+}
+
+#[test]
+fn identical_seeds_are_bit_identical() {
+    let mix = MixSpec::random(&suite(), 4, 99);
+    let a = run(&mix, 4);
+    let b = run(&mix, 4);
+    for (ca, cb) in a.cores.iter().zip(&b.cores) {
+        assert_eq!(ca.cycles, cb.cycles);
+        assert_eq!(ca.instructions, cb.instructions);
+        assert_eq!(ca.dram_bytes, cb.dram_bytes);
+    }
+    assert_eq!(a.total_dram_bytes, b.total_dram_bytes);
+    assert_eq!(a.noc_transfers, b.noc_transfers);
+    assert_eq!(a.llc_accesses, b.llc_accesses);
+}
+
+#[test]
+fn different_mix_seeds_change_results() {
+    let m1 = MixSpec::homogeneous("xz_r", 2, 1);
+    let m2 = MixSpec::homogeneous("xz_r", 2, 2);
+    let a = run(&m1, 2);
+    let b = run(&m2, 2);
+    // Different starting offsets => different cycle counts (with
+    // overwhelming probability).
+    assert_ne!(a.cores[0].cycles, b.cores[0].cycles);
+}
+
+#[test]
+fn results_identical_through_json_round_trip() {
+    let mix = MixSpec::homogeneous("gcc_r", 2, 5);
+    let a = run(&mix, 2);
+    let json = serde_json::to_string(&a).unwrap();
+    let back: sms_sim::stats::SimResult = serde_json::from_str(&json).unwrap();
+    assert_eq!(a, back);
+}
+
+#[test]
+fn mix_spec_round_trips_and_rebuilds_identical_sources() {
+    let mix = MixSpec::random(&suite(), 8, 7);
+    let json = serde_json::to_string(&mix).unwrap();
+    let back: MixSpec = serde_json::from_str(&json).unwrap();
+    assert_eq!(mix, back);
+    let a = run(&mix, 8);
+    let b = run(&back, 8);
+    assert_eq!(a.cores[0].cycles, b.cores[0].cycles);
+}

@@ -1,0 +1,141 @@
+//! Property-based tests over the cross-crate invariants: scale-model
+//! construction, workload generation, queue models and curve fitting.
+
+use proptest::prelude::*;
+use sms_core::scaling::{mesh_dims, scale_config, MemBwScaling, ScalingPolicy};
+use sms_ml::fit::{fit_curve, CurveModel};
+use sms_sim::config::SystemConfig;
+use sms_sim::queue::HistoryQueue;
+use sms_sim::trace::{InstructionSource, MicroOp};
+use sms_workloads::generator::SyntheticSource;
+use sms_workloads::spec::suite;
+
+fn power_of_two_cores() -> impl Strategy<Value = u32> {
+    (0u32..=5).prop_map(|b| 1 << b)
+}
+
+proptest! {
+    #[test]
+    fn prs_preserves_per_core_shares(cores in power_of_two_cores()) {
+        let target = SystemConfig::target_32core();
+        let cfg = scale_config(&target, cores, ScalingPolicy::prs());
+        prop_assert!(cfg.validate().is_ok());
+        let llc_per_core = cfg.llc.total_capacity_bytes() / u64::from(cores);
+        prop_assert_eq!(llc_per_core, 1024 * 1024);
+        let bw = cfg.dram.total_bandwidth_gbps() / f64::from(cores);
+        prop_assert!((bw - 4.0).abs() < 1e-9);
+        let noc = cfg.noc.bisection_bandwidth_gbps() / f64::from(cores);
+        prop_assert!((noc - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn both_dram_orders_preserve_totals(cores in power_of_two_cores()) {
+        let target = SystemConfig::target_32core();
+        for order in [MemBwScaling::McFirst, MemBwScaling::MbFirst] {
+            let policy = ScalingPolicy { mem_bw: order, ..ScalingPolicy::prs() };
+            let cfg = scale_config(&target, cores, policy);
+            let total = cfg.dram.total_bandwidth_gbps();
+            prop_assert!((total - 4.0 * f64::from(cores)).abs() < 1e-9,
+                "{order:?} at {cores} cores gives {total}");
+        }
+    }
+
+    #[test]
+    fn mesh_dims_cover_cores(cores in power_of_two_cores()) {
+        let (cols, rows) = mesh_dims(cores);
+        prop_assert_eq!(cols * rows, cores);
+        prop_assert!(cols >= rows);
+        prop_assert!(cols <= 2 * rows);
+    }
+
+    #[test]
+    fn generator_respects_instance_window(
+        bench_idx in 0usize..29,
+        instance in 0u32..8,
+        seed in 0u64..1000,
+    ) {
+        let profile = suite()[bench_idx].clone();
+        let mut src = SyntheticSource::new(profile, instance, seed);
+        let base = u64::from(instance) << 40;
+        let end = base + (1u64 << 40);
+        for _ in 0..2000 {
+            match src.next_op() {
+                MicroOp::Load { addr, .. } | MicroOp::Store { addr } => {
+                    prop_assert!(addr >= base && addr < end,
+                        "address {addr:#x} outside instance window");
+                }
+                MicroOp::Compute { count } => prop_assert!(count > 0),
+                MicroOp::Branch { .. } => {}
+            }
+        }
+        let code = src.code_addr();
+        prop_assert!(code >= base && code < end);
+    }
+
+    #[test]
+    fn history_queue_wait_is_nonnegative_and_bounded(
+        arrivals in proptest::collection::vec((0u32..100_000, 1u32..100), 1..200)
+    ) {
+        let mut q = HistoryQueue::new();
+        let mut total_service = 0.0;
+        let mut count = 0u32;
+        for (now, service) in arrivals {
+            let wait = q.request(f64::from(now), f64::from(service));
+            prop_assert!(wait >= 0.0);
+            // Worst case, the request waits behind all prior service plus
+            // one sub-`service` gap skipped per prior busy interval (gaps
+            // it cannot fit into).
+            let bound = total_service + f64::from(count + 1) * f64::from(service);
+            prop_assert!(wait <= bound + 1e-9,
+                "wait {wait} exceeds bound {bound}");
+            total_service += f64::from(service);
+            count += 1;
+        }
+    }
+
+    #[test]
+    fn curve_fits_interpolate_exact_families(a in 0.1f64..5.0, b in 0.1f64..5.0) {
+        let xs = [2.0f64, 4.0, 8.0, 16.0];
+        // Logarithmic family recovered exactly.
+        let ys: Vec<f64> = xs.iter().map(|&x| a * x.ln() + b).collect();
+        let c = fit_curve(CurveModel::Logarithmic, &xs, &ys).unwrap();
+        prop_assert!((c.a - a).abs() < 1e-9 && (c.b - b).abs() < 1e-9);
+        // Power family recovered exactly.
+        let ys: Vec<f64> = xs.iter().map(|&x| a * x.powf(-b)).collect();
+        let c = fit_curve(CurveModel::Power, &xs, &ys).unwrap();
+        prop_assert!((c.a - a).abs() < 1e-6 && (c.b + b).abs() < 1e-9);
+    }
+
+    #[test]
+    fn instruction_mix_fractions_sum_to_one(bench_idx in 0usize..29) {
+        let p = suite()[bench_idx].clone();
+        prop_assert!(p.is_consistent());
+        let frac = p.load_frac + p.store_frac + p.branch_frac;
+        prop_assert!(frac > 0.0 && frac < 1.0);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn short_simulations_never_panic(
+        bench_idx in 0usize..29,
+        cores_bits in 0u32..3,
+        seed in 0u64..50,
+    ) {
+        let cores = 1u32 << cores_bits;
+        let target = SystemConfig::target_32core();
+        let machine = scale_config(&target, cores, ScalingPolicy::prs());
+        let name = suite()[bench_idx].name;
+        let mix = sms_workloads::mix::MixSpec::homogeneous(name, cores as usize, seed);
+        let mut sys = sms_sim::system::MulticoreSystem::new(machine, mix.sources()).unwrap();
+        let r = sys.run(sms_sim::system::RunSpec {
+            warmup_instructions: 1_000,
+            measure_instructions: 10_000,
+        }).unwrap();
+        for c in &r.cores {
+            prop_assert!(c.ipc > 0.0 && c.ipc <= 4.0);
+        }
+    }
+}

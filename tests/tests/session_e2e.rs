@@ -1,0 +1,130 @@
+//! End-to-end test of the high-level session API on the real simulator:
+//! train on a small suite against a reduced (8-core) target, then predict
+//! held-out benchmarks and sanity-check against the simulated truth.
+
+use sms_core::pipeline::{DirectSim, ExperimentConfig, Simulate};
+use sms_core::scaling::{scale_config, target_config, ScalingPolicy};
+use sms_core::session::ScaleModelSession;
+use sms_core::FeatureMode;
+use sms_sim::system::RunSpec;
+use sms_workloads::mix::MixSpec;
+use sms_workloads::spec::by_name;
+
+#[test]
+fn session_end_to_end_on_real_simulator() {
+    let target = target_config(8);
+    let cfg = ExperimentConfig {
+        target: target.clone(),
+        policy: ScalingPolicy::prs(),
+        ms_cores: vec![2, 4],
+        spec: RunSpec {
+            warmup_instructions: 20_000,
+            measure_instructions: 100_000,
+        },
+        mode: FeatureMode::IpcBandwidth,
+        seed: 43,
+    };
+
+    let training: Vec<_> = [
+        "leela_r",
+        "x264_r",
+        "namd_r",
+        "perlbench_r",
+        "blender_r",
+        "wrf_r",
+        "omnetpp_r",
+        "bwaves_r",
+        "roms_r",
+        "gcc_r",
+        "imagick_r",
+        "cam4_r",
+    ]
+    .iter()
+    .map(|n| by_name(n).expect("known"))
+    .collect();
+
+    let session = ScaleModelSession::train(&mut DirectSim, cfg.clone(), &training);
+
+    for name in ["xz_r", "fotonik3d_r", "nab_r"] {
+        let profile = by_name(name).expect("known");
+        let pred = session.predict(&mut DirectSim, &profile);
+        assert!(pred.target_ipc.is_finite() && pred.target_ipc > 0.0);
+
+        // Simulate the 8-core truth and require a sane error bound: the
+        // budget is tiny, so allow generous slack; the point is that the
+        // whole chain is wired correctly, not peak accuracy.
+        let mix = MixSpec::homogeneous(name, 8, cfg.seed);
+        let truth_run = DirectSim.run_mix(&target, &mix, cfg.spec);
+        let truth =
+            truth_run.cores.iter().map(|c| c.ipc).sum::<f64>() / truth_run.cores.len() as f64;
+        let err = (pred.target_ipc - truth).abs() / truth;
+        assert!(err < 0.6, "{name}: prediction {:.3} vs truth {truth:.3} (err {err:.2})", pred.target_ipc);
+    }
+}
+
+#[test]
+fn session_predictions_are_deterministic() {
+    let cfg = ExperimentConfig {
+        target: target_config(4),
+        ms_cores: vec![2, 4],
+        spec: RunSpec {
+            warmup_instructions: 5_000,
+            measure_instructions: 30_000,
+        },
+        ..ExperimentConfig::default()
+    };
+    let training: Vec<_> = ["leela_r", "xz_r", "roms_r", "namd_r", "gcc_r"]
+        .iter()
+        .map(|n| by_name(n).expect("known"))
+        .collect();
+    let profile = by_name("wrf_r").unwrap();
+
+    let s1 = ScaleModelSession::train(&mut DirectSim, cfg.clone(), &training);
+    let s2 = ScaleModelSession::train(&mut DirectSim, cfg, &training);
+    let p1 = s1.predict(&mut DirectSim, &profile);
+    let p2 = s2.predict(&mut DirectSim, &profile);
+    assert_eq!(p1.target_ipc, p2.target_ipc);
+    assert_eq!(p1.ss, p2.ss);
+}
+
+#[test]
+fn session_uses_only_scale_model_machines() {
+    // Recording wrapper: assert no machine as large as the target is ever
+    // simulated during training or prediction.
+    struct Recording(Vec<u32>);
+    impl Simulate for Recording {
+        fn run_mix(
+            &mut self,
+            cfg: &sms_sim::config::SystemConfig,
+            mix: &MixSpec,
+            spec: RunSpec,
+        ) -> sms_sim::stats::SimResult {
+            self.0.push(cfg.num_cores);
+            DirectSim.run_mix(cfg, mix, spec)
+        }
+    }
+
+    let target = target_config(8);
+    let cfg = ExperimentConfig {
+        target,
+        ms_cores: vec![2, 4],
+        spec: RunSpec {
+            warmup_instructions: 2_000,
+            measure_instructions: 15_000,
+        },
+        ..ExperimentConfig::default()
+    };
+    let training: Vec<_> = ["leela_r", "xz_r", "roms_r"]
+        .iter()
+        .map(|n| by_name(n).expect("known"))
+        .collect();
+
+    let mut rec = Recording(Vec::new());
+    let session = ScaleModelSession::train(&mut rec, cfg, &training);
+    let _ = session.predict(&mut rec, &by_name("wrf_r").unwrap());
+    assert!(
+        rec.0.iter().all(|&c| c < 8),
+        "the 8-core target must never be simulated: {:?}",
+        rec.0
+    );
+}
