@@ -1,5 +1,11 @@
 //! Ablation: synchronization-quantum sensitivity.
 fn main() {
     let mut ctx = sms_bench::Ctx::from_env();
-    sms_bench::experiments::ablations::quantum(&mut ctx).emit(&ctx);
+    match sms_bench::experiments::ablations::quantum(&mut ctx) {
+        Ok(report) => report.emit(&ctx),
+        Err(e) => {
+            eprintln!("experiment failed: {e}");
+            std::process::exit(1);
+        }
+    }
 }

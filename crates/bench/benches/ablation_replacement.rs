@@ -1,5 +1,11 @@
 //! Ablation: LLC replacement-policy sensitivity.
 fn main() {
     let mut ctx = sms_bench::Ctx::from_env();
-    sms_bench::experiments::ablations::replacement(&mut ctx).emit(&ctx);
+    match sms_bench::experiments::ablations::replacement(&mut ctx) {
+        Ok(report) => report.emit(&ctx),
+        Err(e) => {
+            eprintln!("experiment failed: {e}");
+            std::process::exit(1);
+        }
+    }
 }

@@ -1,5 +1,11 @@
 //! Extension bench: predicting a 64-core next-generation target.
 fn main() {
     let mut ctx = sms_bench::Ctx::from_env();
-    sms_bench::experiments::ext_64core::run(&mut ctx).emit(&ctx);
+    match sms_bench::experiments::ext_64core::run(&mut ctx) {
+        Ok(report) => report.emit(&ctx),
+        Err(e) => {
+            eprintln!("experiment failed: {e}");
+            std::process::exit(1);
+        }
+    }
 }

@@ -1,5 +1,11 @@
 //! Bench target reproducing fig11 of the paper.
 fn main() {
     let mut ctx = sms_bench::Ctx::from_env();
-    sms_bench::experiments::fig11::run(&mut ctx).emit(&ctx);
+    match sms_bench::experiments::fig11::run(&mut ctx) {
+        Ok(report) => report.emit(&ctx),
+        Err(e) => {
+            eprintln!("experiment failed: {e}");
+            std::process::exit(1);
+        }
+    }
 }

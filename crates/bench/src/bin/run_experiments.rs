@@ -3,9 +3,14 @@
 //!
 //! Usage: `cargo run --release -p sms-bench --bin run_experiments [ids...]`
 //! with optional figure ids (e.g. `fig4 fig5`) to run a subset.
+//!
+//! A failing experiment does not abort the batch: its error is reported
+//! and the remaining experiments still run. The process exits nonzero if
+//! any experiment failed.
 
-use sms_bench::ctx::Ctx;
+use sms_bench::ctx::{Ctx, Report};
 use sms_bench::experiments as ex;
+use sms_sim::error::SimError;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -18,58 +23,51 @@ fn main() {
         ctx.results_dir.display()
     );
 
+    let mut failures: Vec<(&str, SimError)> = Vec::new();
+
     if want("table1") {
         ex::table1::run(&ctx).emit(&ctx);
     }
-    if want("fig3") {
-        ex::fig3::run(&mut ctx).emit(&ctx);
+
+    {
+        let mut attempt = |id: &'static str,
+                           run: fn(&mut Ctx) -> Result<Report, SimError>| {
+            if !want(id) {
+                return;
+            }
+            match run(&mut ctx) {
+                Ok(report) => report.emit(&ctx),
+                Err(e) => {
+                    eprintln!("experiment {id} failed: {e}");
+                    failures.push((id, e));
+                }
+            }
+        };
+
+        attempt("fig3", ex::fig3::run);
+        attempt("fig4", ex::fig4::run);
+        attempt("fig5", ex::fig5::run);
+        attempt("fig6", ex::fig6::run);
+        attempt("fig7", ex::fig7::run);
+        attempt("fig8", ex::fig8::run);
+        attempt("fig9", ex::fig9::run);
+        attempt("fig10", ex::fig10::run);
+        attempt("fig11", ex::fig11::run);
+        attempt("fig12", ex::fig12::run);
+        attempt("ext_64core", ex::ext_64core::run);
+        attempt("ext_multithreaded", ex::ext_multithreaded::run);
+        attempt("ablation_quantum", ex::ablations::quantum);
+        attempt("ablation_svr", ex::ablations::svr);
+        attempt("ablation_replacement", ex::ablations::replacement);
+        attempt("ablation_rowbuffer", ex::ablations::row_buffer);
+        attempt("ablation_krr", ex::ablations::krr);
     }
-    if want("fig4") {
-        ex::fig4::run(&mut ctx).emit(&ctx);
-    }
-    if want("fig5") {
-        ex::fig5::run(&mut ctx).emit(&ctx);
-    }
-    if want("fig6") {
-        ex::fig6::run(&mut ctx).emit(&ctx);
-    }
-    if want("fig7") {
-        ex::fig7::run(&mut ctx).emit(&ctx);
-    }
-    if want("fig8") {
-        ex::fig8::run(&mut ctx).emit(&ctx);
-    }
-    if want("fig9") {
-        ex::fig9::run(&mut ctx).emit(&ctx);
-    }
-    if want("fig10") {
-        ex::fig10::run(&mut ctx).emit(&ctx);
-    }
-    if want("fig11") {
-        ex::fig11::run(&mut ctx).emit(&ctx);
-    }
-    if want("fig12") {
-        ex::fig12::run(&mut ctx).emit(&ctx);
-    }
-    if want("ext_64core") {
-        ex::ext_64core::run(&mut ctx).emit(&ctx);
-    }
-    if want("ext_multithreaded") {
-        ex::ext_multithreaded::run(&mut ctx).emit(&ctx);
-    }
-    if want("ablation_quantum") {
-        ex::ablations::quantum(&mut ctx).emit(&ctx);
-    }
-    if want("ablation_svr") {
-        ex::ablations::svr(&mut ctx).emit(&ctx);
-    }
-    if want("ablation_replacement") {
-        ex::ablations::replacement(&mut ctx).emit(&ctx);
-    }
-    if want("ablation_rowbuffer") {
-        ex::ablations::row_buffer(&mut ctx).emit(&ctx);
-    }
-    if want("ablation_krr") {
-        ex::ablations::krr(&mut ctx).emit(&ctx);
+
+    if !failures.is_empty() {
+        eprintln!("{} experiment(s) failed:", failures.len());
+        for (id, e) in &failures {
+            eprintln!("  {id}: {e}");
+        }
+        std::process::exit(1);
     }
 }

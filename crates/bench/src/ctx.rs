@@ -7,6 +7,7 @@
 //! | `SMS_RESULTS` | `<workspace root>/results` | cache / output directory |
 //! | `SMS_THREADS` | available parallelism | plan-executor worker threads |
 //! | `SMS_SEED` | `43` | workload-mix seed |
+//! | `SMS_RETRIES` | `1` | executor retries per failing run before quarantine |
 //!
 //! The seed fixes the heterogeneous eval/train benchmark split. Some
 //! draws are pathological — seed 42, for instance, holds out four of the

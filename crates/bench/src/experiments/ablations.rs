@@ -8,6 +8,7 @@ use sms_core::scaling::{scale_config, ScalingPolicy};
 use sms_ml::svr::SvrParams;
 use sms_sim::cache::ReplacementPolicy;
 use sms_sim::dram::RowBufferConfig;
+use sms_sim::error::SimError;
 use sms_workloads::mix::MixSpec;
 
 use crate::ctx::{Ctx, Report};
@@ -17,7 +18,11 @@ use crate::table::{pct, render};
 /// Sweep the barrier-synchronization quantum on an 8-core PRS scale model
 /// and report how per-core IPC and host time move relative to the
 /// finest-grained setting.
-pub fn quantum(ctx: &mut Ctx) -> Report {
+///
+/// # Errors
+///
+/// Propagates the first simulation failure.
+pub fn quantum(ctx: &mut Ctx) -> Result<Report, SimError> {
     let quanta = [100u64, 500, 1_000, 5_000, 20_000];
     let benches = ["lbm_r", "mcf_r", "gcc_r", "leela_r"];
     let base_cfg = scale_config(&ctx.cfg.target, 8, ScalingPolicy::prs());
@@ -30,7 +35,7 @@ pub fn quantum(ctx: &mut Ctx) -> Report {
         let mut host = 0.0;
         for b in benches {
             let mix = MixSpec::homogeneous(b, 8, ctx.cfg.seed);
-            let r = ctx.cache.run_mix(&cfg, &mix, ctx.cfg.spec);
+            let r = ctx.cache.run_mix(&cfg, &mix, ctx.cfg.spec)?;
             ipc_sum += r.cores.iter().map(|c| c.ipc).sum::<f64>() / r.cores.len() as f64;
             host += r.host_seconds;
         }
@@ -53,18 +58,22 @@ pub fn quantum(ctx: &mut Ctx) -> Report {
         &["quantum (cycles)", "mean IPC", "|Δ| vs 100", "host time"],
         &rows,
     );
-    Report {
+    Ok(Report {
         id: "ablation_quantum",
         title: "Synchronization-quantum sensitivity (8-core PRS scale model)",
         body,
-    }
+    })
 }
 
 /// Sweep SVR hyper-parameters (C, epsilon) for homogeneous SVM-based
 /// prediction and report the average error per setting.
-pub fn svr(ctx: &mut Ctx) -> Report {
+///
+/// # Errors
+///
+/// Propagates the first simulation failure.
+pub fn svr(ctx: &mut Ctx) -> Result<Report, SimError> {
     let ms = ctx.cfg.ms_cores.clone();
-    let data = homogeneous_data(ctx, ScalingPolicy::prs(), &ms);
+    let data = homogeneous_data(ctx, ScalingPolicy::prs(), &ms)?;
     let truth: Vec<f64> = data.iter().map(|d| d.target_ipc).collect();
 
     let mut rows: Vec<Vec<String>> = Vec::new();
@@ -97,16 +106,20 @@ pub fn svr(ctx: &mut Ctx) -> Report {
         }
     }
     let body = render(&["C", "epsilon", "avg error", "max error"], &rows);
-    Report {
+    Ok(Report {
         id: "ablation_svr",
         title: "SVR hyper-parameter sweep (homogeneous SVM prediction)",
         body,
-    }
+    })
 }
 
 /// Sweep the LLC replacement policy on an 8-core PRS scale model and
 /// report per-benchmark IPC and LLC hit-rate shifts relative to true LRU.
-pub fn replacement(ctx: &mut Ctx) -> Report {
+///
+/// # Errors
+///
+/// Propagates the first simulation failure.
+pub fn replacement(ctx: &mut Ctx) -> Result<Report, SimError> {
     let benches = ["xz_r", "omnetpp_r", "roms_r", "leela_r"];
     let policies = [
         ("LRU", ReplacementPolicy::Lru),
@@ -126,7 +139,7 @@ pub fn replacement(ctx: &mut Ctx) -> Report {
             let mix = MixSpec::homogeneous(b, 8, ctx.cfg.seed);
             // Direct runs: policy variants are one-off studies, not worth
             // polluting the persistent cache namespace.
-            let r = DirectSim.run_mix(&cfg, &mix, ctx.cfg.spec);
+            let r = DirectSim.run_mix(&cfg, &mix, ctx.cfg.spec)?;
             let ipc = r.cores.iter().map(|c| c.ipc).sum::<f64>() / r.cores.len() as f64;
             if i == 0 {
                 lru_ipc = ipc;
@@ -141,27 +154,31 @@ pub fn replacement(ctx: &mut Ctx) -> Report {
         &["benchmark", "LRU IPC", "TreePLRU", "SRRIP", "Random"],
         &rows,
     );
-    Report {
+    Ok(Report {
         id: "ablation_replacement",
         title: "LLC replacement-policy sensitivity (8-core PRS scale model)",
         body,
-    }
+    })
 }
 
 /// Compare the flat-latency DRAM model against the open-page row-buffer
 /// model on the single-core PRS scale model, for a streaming, a chasing
 /// and a compute benchmark.
-pub fn row_buffer(ctx: &mut Ctx) -> Report {
+///
+/// # Errors
+///
+/// Propagates the first simulation failure.
+pub fn row_buffer(ctx: &mut Ctx) -> Result<Report, SimError> {
     let benches = ["lbm_r", "mcf_r", "xz_r", "leela_r"];
     let base_cfg = scale_config(&ctx.cfg.target, 1, ScalingPolicy::prs());
 
     let mut rows = Vec::new();
     for b in benches {
         let mix = MixSpec::homogeneous(b, 1, ctx.cfg.seed);
-        let flat = DirectSim.run_mix(&base_cfg, &mix, ctx.cfg.spec);
+        let flat = DirectSim.run_mix(&base_cfg, &mix, ctx.cfg.spec)?;
         let mut cfg = base_cfg.clone();
         cfg.dram.row_buffer = Some(RowBufferConfig::default());
-        let paged = DirectSim.run_mix(&cfg, &mix, ctx.cfg.spec);
+        let paged = DirectSim.run_mix(&cfg, &mix, ctx.cfg.spec)?;
         rows.push(vec![
             b.to_owned(),
             format!("{:.4}", flat.cores[0].ipc),
@@ -173,19 +190,23 @@ pub fn row_buffer(ctx: &mut Ctx) -> Report {
         ]);
     }
     let body = render(&["benchmark", "flat IPC", "open-page IPC", "delta"], &rows);
-    Report {
+    Ok(Report {
         id: "ablation_rowbuffer",
         title: "DRAM row-buffer model sensitivity (1-core PRS scale model)",
         body,
-    }
+    })
 }
 
 /// Compare SVR against kernel ridge regression (same RBF hypothesis
 /// space, squared loss instead of the ε-insensitive loss) on the
 /// homogeneous prediction task — a beyond-the-paper loss-function study.
-pub fn krr(ctx: &mut Ctx) -> Report {
+///
+/// # Errors
+///
+/// Propagates the first simulation failure.
+pub fn krr(ctx: &mut Ctx) -> Result<Report, SimError> {
     let ms = ctx.cfg.ms_cores.clone();
-    let data = homogeneous_data(ctx, ScalingPolicy::prs(), &ms);
+    let data = homogeneous_data(ctx, ScalingPolicy::prs(), &ms)?;
     let truth: Vec<f64> = data.iter().map(|d| d.target_ipc).collect();
     let params = ModelParams::default();
 
@@ -204,9 +225,9 @@ pub fn krr(ctx: &mut Ctx) -> Report {
         rows.push(vec![kind.to_string(), pct(mean), pct(max)]);
     }
     let body = render(&["model", "avg error", "max error"], &rows);
-    Report {
+    Ok(Report {
         id: "ablation_krr",
         title: "SVR vs kernel ridge regression (homogeneous prediction)",
         body,
-    }
+    })
 }

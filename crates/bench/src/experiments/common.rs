@@ -6,6 +6,7 @@ use sms_core::pipeline::{
     BenchScaleData, ExperimentConfig, HeteroSizing, HeterogeneousData,
 };
 use sms_core::scaling::ScalingPolicy;
+use sms_sim::error::SimError;
 use sms_workloads::spec::suite;
 
 use crate::ctx::Ctx;
@@ -14,11 +15,17 @@ use crate::runner::execute_plan;
 /// Collect homogeneous scale-model data for the full suite under a policy,
 /// executing missing simulations first. Results are sorted by single-core
 /// LLC MPKI (the paper's Fig 3/4 x-axis ordering).
+///
+/// # Errors
+///
+/// Returns the first simulation error when a required run cannot be
+/// produced (quarantined runs are retried once more by the collector's
+/// direct path, so only persistent failures surface).
 pub fn homogeneous_data(
     ctx: &mut Ctx,
     policy: ScalingPolicy,
     ms_cores: &[u32],
-) -> Vec<BenchScaleData> {
+) -> Result<Vec<BenchScaleData>, SimError> {
     let cfg = ExperimentConfig {
         policy,
         ms_cores: ms_cores.to_vec(),
@@ -26,28 +33,45 @@ pub fn homogeneous_data(
     };
     let bench_suite = suite();
     let plan = homogeneous_plan(&cfg, &bench_suite);
-    execute_plan(&ctx.cache, &plan, cfg.spec, ctx.threads, "homogeneous");
-    let mut data = collect_homogeneous(&mut ctx.cache, &cfg, &bench_suite);
+    let summary = execute_plan(&ctx.cache, &plan, cfg.spec, ctx.threads, "homogeneous");
+    if summary.failed > 0 {
+        eprintln!(
+            "[homogeneous] {} run(s) quarantined; the collector will retry them directly",
+            summary.failed
+        );
+    }
+    let mut data = collect_homogeneous(&mut ctx.cache, &cfg, &bench_suite)?;
     data.sort_by(|a, b| a.ss_llc_mpki.total_cmp(&b.ss_llc_mpki));
-    data
+    Ok(data)
 }
 
 /// Collect heterogeneous data (paper §IV-2 sizing, with `eval_mixes`
 /// target-system evaluation mixes).
-pub fn heterogeneous_data(ctx: &mut Ctx, eval_mixes: usize) -> HeterogeneousData {
+///
+/// # Errors
+///
+/// Returns the first simulation error when a required run cannot be
+/// produced.
+pub fn heterogeneous_data(ctx: &mut Ctx, eval_mixes: usize) -> Result<HeterogeneousData, SimError> {
     let sizing = HeteroSizing {
         eval_mixes,
         ..HeteroSizing::default()
     };
     let bench_suite = suite();
     let plan = heterogeneous_plan(&ctx.cfg, &bench_suite, sizing);
-    execute_plan(
+    let summary = execute_plan(
         &ctx.cache,
         &plan,
         ctx.cfg.spec,
         ctx.threads,
         "heterogeneous",
     );
+    if summary.failed > 0 {
+        eprintln!(
+            "[heterogeneous] {} run(s) quarantined; the collector will retry them directly",
+            summary.failed
+        );
+    }
     collect_heterogeneous(&mut ctx.cache, &ctx.cfg.clone(), &bench_suite, sizing)
 }
 

@@ -15,6 +15,7 @@ use sms_core::pipeline::{
 use sms_core::predictor::{MlKind, ModelParams};
 use sms_core::scaling::{target_config, ScalingPolicy};
 use sms_ml::fit::CurveModel;
+use sms_sim::error::SimError;
 use sms_workloads::spec::suite;
 
 use crate::ctx::{Ctx, Report};
@@ -23,7 +24,11 @@ use crate::runner::execute_plan;
 use crate::table::{pct, render, times};
 
 /// Run the 64-core prediction experiment.
-pub fn run(ctx: &mut Ctx) -> Report {
+///
+/// # Errors
+///
+/// Propagates the first simulation failure.
+pub fn run(ctx: &mut Ctx) -> Result<Report, SimError> {
     // Scale models for a 64-core target span 4..32 cores — the same 16x
     // ratio between the largest scale model and the target as the paper's
     // 2..16-core ladder for its 32-core target.
@@ -36,8 +41,14 @@ pub fn run(ctx: &mut Ctx) -> Report {
     let bench_suite = suite();
 
     let plan = homogeneous_plan(&cfg, &bench_suite);
-    execute_plan(&ctx.cache, &plan, cfg.spec, ctx.threads, "64-core");
-    let data = collect_homogeneous(&mut ctx.cache, &cfg, &bench_suite);
+    let summary = execute_plan(&ctx.cache, &plan, cfg.spec, ctx.threads, "64-core");
+    if summary.failed > 0 {
+        eprintln!(
+            "[64-core] {} run(s) quarantined; the collector will retry them directly",
+            summary.failed
+        );
+    }
+    let data = collect_homogeneous(&mut ctx.cache, &cfg, &bench_suite)?;
     let truth: Vec<f64> = data.iter().map(|d| d.target_ipc).collect();
 
     let noext = no_extrapolation(&data, TargetMetric::Ipc);
@@ -104,9 +115,9 @@ pub fn run(ctx: &mut Ctx) -> Report {
          wins exactly when the scale-model series follows a predictive\n\
          trend line) \u{2014} extrapolation quality hinges on that premise.\n",
     );
-    Report {
+    Ok(Report {
         id: "ext_64core",
         title: "Extension: predicting a 64-core next-generation target",
         body,
-    }
+    })
 }

@@ -9,6 +9,7 @@
 
 use sms_core::pipeline::Simulate;
 use sms_core::scaling::{scale_config, ScalingPolicy};
+use sms_sim::error::SimError;
 use sms_sim::stats::SimResult;
 use sms_sim::system::RunSpec;
 use sms_workloads::mix::MixSpec;
@@ -23,7 +24,11 @@ fn mean_ipc(r: &SimResult) -> f64 {
 }
 
 /// Run the multi-threaded transfer experiment.
-pub fn run(ctx: &mut Ctx) -> Report {
+///
+/// # Errors
+///
+/// Propagates the first simulation failure.
+pub fn run(ctx: &mut Ctx) -> Result<Report, SimError> {
     let benchmarks = [
         "roms_r",
         "wrf_r",
@@ -47,14 +52,14 @@ pub fn run(ctx: &mut Ctx) -> Report {
         let profile = by_name(name).expect("known benchmark");
 
         // Multiprogram (cached: plain mixes).
-        let mp_ss = ctx
-            .cache
-            .run_mix(&ss_cfg, &MixSpec::homogeneous(name, 1, ctx.cfg.seed), spec);
+        let mp_ss =
+            ctx.cache
+                .run_mix(&ss_cfg, &MixSpec::homogeneous(name, 1, ctx.cfg.seed), spec)?;
         let mp_tgt = ctx.cache.run_mix(
             &target,
             &MixSpec::homogeneous(name, t as usize, ctx.cfg.seed),
             spec,
-        );
+        )?;
         let mp_err = (mp_ss.cores[0].ipc - mean_ipc(&mp_tgt)).abs() / mean_ipc(&mp_tgt);
 
         // Data-parallel multi-threaded (uncached: sources are not MixSpecs).
@@ -62,17 +67,15 @@ pub fn run(ctx: &mut Ctx) -> Report {
             let mut sys = sms_sim::system::MulticoreSystem::new(
                 ss_cfg.clone(),
                 data_parallel_sources(&profile, 1, ctx.cfg.seed),
-            )
-            .expect("valid");
-            sys.run(spec).expect("runs")
+            )?;
+            sys.run(spec)?
         };
         let mt_tgt = {
             let mut sys = sms_sim::system::MulticoreSystem::new(
                 target.clone(),
                 data_parallel_sources(&profile, t, ctx.cfg.seed),
-            )
-            .expect("valid");
-            sys.run(spec).expect("runs")
+            )?;
+            sys.run(spec)?
         };
         let mt_err = (mt_ss.cores[0].ipc - mean_ipc(&mt_tgt)).abs() / mean_ipc(&mt_tgt);
 
@@ -107,9 +110,9 @@ pub fn run(ctx: &mut Ctx) -> Report {
     body.push_str(
         "the conjecture holds if the data-parallel errors track the\nmultiprogram errors (paper §V-E6).\n",
     );
-    Report {
+    Ok(Report {
         id: "ext_multithreaded",
         title: "Extension: scale models for data-parallel multi-threaded workloads",
         body,
-    }
+    })
 }

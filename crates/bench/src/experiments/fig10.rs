@@ -9,15 +9,20 @@ use sms_core::predictor::{MlKind, ModelParams};
 use sms_core::scaling::ScalingPolicy;
 use sms_core::FeatureMode;
 use sms_ml::fit::CurveModel;
+use sms_sim::error::SimError;
 
 use crate::ctx::{Ctx, Report};
 use crate::experiments::common::{errors, homogeneous_data, summarize, ML_SEED};
 use crate::table::{pct, render};
 
 /// Run the Fig 10 experiment.
-pub fn run(ctx: &mut Ctx) -> Report {
+///
+/// # Errors
+///
+/// Propagates the first simulation failure.
+pub fn run(ctx: &mut Ctx) -> Result<Report, SimError> {
     let ms = ctx.cfg.ms_cores.clone();
-    let data = homogeneous_data(ctx, ScalingPolicy::prs(), &ms);
+    let data = homogeneous_data(ctx, ScalingPolicy::prs(), &ms)?;
     let truth: Vec<f64> = data.iter().map(|d| d.target_ipc).collect();
     let params = ModelParams::default();
     let target_cores = ctx.cfg.target.num_cores;
@@ -66,9 +71,9 @@ pub fn run(ctx: &mut Ctx) -> Report {
     }
 
     let body = render(&["method", "IPC only", "IPC + BW"], &rows);
-    Report {
+    Ok(Report {
         id: "fig10",
         title: "ML input variables: performance only vs performance + bandwidth",
         body,
-    }
+    })
 }

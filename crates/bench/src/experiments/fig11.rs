@@ -9,16 +9,21 @@ use sms_core::pipeline::{regress_homogeneous_loo, TargetMetric};
 use sms_core::predictor::{MlKind, ModelParams};
 use sms_core::scaling::ScalingPolicy;
 use sms_ml::fit::CurveModel;
+use sms_sim::error::SimError;
 
 use crate::ctx::{Ctx, Report};
 use crate::experiments::common::{errors, homogeneous_data, summarize, ML_SEED};
 use crate::table::{pct, render};
 
 /// Run the Fig 11 experiment.
-pub fn run(ctx: &mut Ctx) -> Report {
+///
+/// # Errors
+///
+/// Propagates the first simulation failure.
+pub fn run(ctx: &mut Ctx) -> Result<Report, SimError> {
     // Collect with the full scale-model set; subsets reuse the data.
     let full: Vec<u32> = vec![2, 4, 8, 16];
-    let data = homogeneous_data(ctx, ScalingPolicy::prs(), &full);
+    let data = homogeneous_data(ctx, ScalingPolicy::prs(), &full)?;
     let truth: Vec<f64> = data.iter().map(|d| d.target_ipc).collect();
     let params = ModelParams::default();
 
@@ -53,9 +58,9 @@ pub fn run(ctx: &mut Ctx) -> Report {
         .collect();
 
     let body = render(&["scale models", "#", "avg error", "max error"], &rows);
-    Report {
+    Ok(Report {
         id: "fig11",
         title: "SVM-log accuracy vs number of multi-core scale models",
         body,
-    }
+    })
 }

@@ -10,15 +10,20 @@ use sms_core::pipeline::{
 use sms_core::predictor::{MlKind, ModelParams};
 use sms_core::scaling::ScalingPolicy;
 use sms_ml::fit::CurveModel;
+use sms_sim::error::SimError;
 
 use crate::ctx::{Ctx, Report};
 use crate::experiments::common::{errors, homogeneous_data, summarize, ML_SEED};
 use crate::table::{pct, render};
 
 /// Run the Fig 12 experiment.
-pub fn run(ctx: &mut Ctx) -> Report {
+///
+/// # Errors
+///
+/// Propagates the first simulation failure.
+pub fn run(ctx: &mut Ctx) -> Result<Report, SimError> {
     let ms = ctx.cfg.ms_cores.clone();
-    let data = homogeneous_data(ctx, ScalingPolicy::prs(), &ms);
+    let data = homogeneous_data(ctx, ScalingPolicy::prs(), &ms)?;
     // Exclude benchmarks whose target bandwidth is negligible: the
     // relative-error metric is ill-conditioned near zero (the paper's
     // suite has no zero-bandwidth benchmarks at its scale).
@@ -85,9 +90,9 @@ pub fn run(ctx: &mut Ctx) -> Report {
             pct(max)
         ));
     }
-    Report {
+    Ok(Report {
         id: "fig12",
         title: "Predicting memory-bandwidth utilization",
         body,
-    }
+    })
 }

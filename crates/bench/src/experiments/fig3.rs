@@ -8,13 +8,18 @@
 
 use sms_core::pipeline::{no_extrapolation, TargetMetric};
 use sms_core::scaling::ScalingPolicy;
+use sms_sim::error::SimError;
 
 use crate::ctx::{Ctx, Report};
 use crate::experiments::common::{errors, homogeneous_data, summarize};
 use crate::table::{pct, render};
 
 /// Run the four construction variants and report per-benchmark errors.
-pub fn run(ctx: &mut Ctx) -> Report {
+///
+/// # Errors
+///
+/// Propagates the first simulation failure.
+pub fn run(ctx: &mut Ctx) -> Result<Report, SimError> {
     let policies = [
         ("NRS", ScalingPolicy::nrs()),
         ("PRS-LLC", ScalingPolicy::prs_llc_only()),
@@ -26,7 +31,7 @@ pub fn run(ctx: &mut Ctx) -> Report {
     let datasets: Vec<_> = policies
         .iter()
         .map(|(_, p)| homogeneous_data(ctx, *p, &[]))
-        .collect();
+        .collect::<Result<_, _>>()?;
 
     // All datasets share benchmark ordering (sorted by PRS MPKI differs per
     // policy; re-sort each to the PRS-both order by name).
@@ -85,9 +90,9 @@ pub fn run(ctx: &mut Ctx) -> Report {
             pct(max)
         ));
     }
-    Report {
+    Ok(Report {
         id: "fig3",
         title: "Scale-model construction: NRS vs PRS variants (homogeneous mixes)",
         body,
-    }
+    })
 }

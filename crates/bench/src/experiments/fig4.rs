@@ -14,6 +14,7 @@ use sms_core::predictor::{MlKind, ModelParams};
 use sms_core::scaling::ScalingPolicy;
 use sms_core::FeatureMode;
 use sms_ml::fit::CurveModel;
+use sms_sim::error::SimError;
 
 use crate::ctx::{Ctx, Report};
 use crate::experiments::common::{errors, homogeneous_data, summarize, ML_SEED};
@@ -99,9 +100,13 @@ pub fn render_methods(data: &[BenchScaleData], series: &[(String, Vec<f64>)]) ->
 }
 
 /// Run the Fig 4 experiment.
-pub fn run(ctx: &mut Ctx) -> Report {
+///
+/// # Errors
+///
+/// Propagates the first simulation failure.
+pub fn run(ctx: &mut Ctx) -> Result<Report, SimError> {
     let ms = ctx.cfg.ms_cores.clone();
-    let data = homogeneous_data(ctx, ScalingPolicy::prs(), &ms);
+    let data = homogeneous_data(ctx, ScalingPolicy::prs(), &ms)?;
     let series = method_series(
         &data,
         ctx.cfg.mode,
@@ -109,9 +114,9 @@ pub fn run(ctx: &mut Ctx) -> Report {
         CurveModel::Logarithmic,
         ctx.cfg.target.num_cores,
     );
-    Report {
+    Ok(Report {
         id: "fig4",
         title: "Scale-model extrapolation, homogeneous mixes (LOO cross-validation)",
         body: render_methods(&data, &series),
-    }
+    })
 }

@@ -13,6 +13,7 @@ use sms_core::pipeline::{
 use sms_core::predictor::{MlKind, ModelParams};
 use sms_core::FeatureMode;
 use sms_ml::fit::CurveModel;
+use sms_sim::error::SimError;
 
 use crate::ctx::{Ctx, Report};
 use crate::experiments::common::{heterogeneous_data, ML_SEED};
@@ -97,10 +98,14 @@ pub fn hetero_method_errors(
 }
 
 /// Run the Fig 5 experiment (10 evaluation mixes, paper §IV-2).
-pub fn run(ctx: &mut Ctx) -> Report {
+///
+/// # Errors
+///
+/// Propagates the first simulation failure.
+pub fn run(ctx: &mut Ctx) -> Result<Report, SimError> {
     // Collect with 80 eval mixes so Fig 6 shares the same dataset; Fig 5
     // uses the first 10.
-    let data = heterogeneous_data(ctx, 80);
+    let data = heterogeneous_data(ctx, 80)?;
     let ms = ctx.cfg.ms_cores.clone();
     let methods = hetero_method_errors(&data, ctx.cfg.mode, &ms, ctx.cfg.target.num_cores, 10);
 
@@ -129,9 +134,9 @@ pub fn run(ctx: &mut Ctx) -> Report {
             pct(max)
         ));
     }
-    Report {
+    Ok(Report {
         id: "fig5",
         title: "Scale-model extrapolation, heterogeneous mixes",
         body,
-    }
+    })
 }

@@ -12,6 +12,7 @@ use sms_core::pipeline::{
 use sms_core::predictor::{MlKind, ModelParams};
 use sms_core::FeatureMode;
 use sms_ml::fit::CurveModel;
+use sms_sim::error::SimError;
 
 use crate::ctx::{Ctx, Report};
 use crate::experiments::common::{heterogeneous_data, summarize, ML_SEED};
@@ -51,8 +52,12 @@ pub fn stp_errors(
 }
 
 /// Run the Fig 6 experiment.
-pub fn run(ctx: &mut Ctx) -> Report {
-    let data = heterogeneous_data(ctx, 80);
+///
+/// # Errors
+///
+/// Propagates the first simulation failure.
+pub fn run(ctx: &mut Ctx) -> Result<Report, SimError> {
+    let data = heterogeneous_data(ctx, 80)?;
     let ms = ctx.cfg.ms_cores.clone();
     let methods: Vec<(String, Vec<f64>)> = MlKind::all()
         .into_iter()
@@ -89,9 +94,9 @@ pub fn run(ctx: &mut Ctx) -> Report {
             errs.len()
         ));
     }
-    Report {
+    Ok(Report {
         id: "fig6",
         title: "STP prediction error, ML-based regression over 80 heterogeneous mixes",
         body,
-    }
+    })
 }

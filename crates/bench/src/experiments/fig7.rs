@@ -12,6 +12,7 @@ use sms_core::pipeline::{
 use sms_core::predictor::{MlKind, ModelParams};
 use sms_core::scaling::ScalingPolicy;
 use sms_ml::fit::CurveModel;
+use sms_sim::error::SimError;
 
 use crate::ctx::{Ctx, Report};
 use crate::experiments::common::{errors, homogeneous_data, summarize, ML_SEED};
@@ -123,18 +124,22 @@ pub fn tradeoff_points(
 }
 
 /// Run the Fig 7 experiment.
-pub fn run(ctx: &mut Ctx) -> Report {
+///
+/// # Errors
+///
+/// Propagates the first simulation failure.
+pub fn run(ctx: &mut Ctx) -> Result<Report, SimError> {
     let ms = ctx.cfg.ms_cores.clone();
-    let data = homogeneous_data(ctx, ScalingPolicy::prs(), &ms);
+    let data = homogeneous_data(ctx, ScalingPolicy::prs(), &ms)?;
     let points = tradeoff_points(&data, &ms, ctx.cfg.target.num_cores);
     let rows: Vec<Vec<String>> = points
         .iter()
         .map(|p| vec![p.label.clone(), pct(p.mean_error), times(p.speedup)])
         .collect();
     let body = render(&["method", "avg error", "speedup"], &rows);
-    Report {
+    Ok(Report {
         id: "fig7",
         title: "Prediction error versus simulation speedup",
         body,
-    }
+    })
 }

@@ -8,6 +8,7 @@ use sms_core::pipeline::{regress_homogeneous_loo, BenchScaleData, TargetMetric};
 use sms_core::predictor::{MlKind, ModelParams};
 use sms_core::scaling::ScalingPolicy;
 use sms_ml::fit::CurveModel;
+use sms_sim::error::SimError;
 
 use crate::ctx::{Ctx, Report};
 use crate::experiments::common::{errors, homogeneous_data, summarize, ML_SEED};
@@ -29,10 +30,14 @@ fn noext_errors_at(data: &[BenchScaleData], cores: u32) -> Vec<f64> {
 }
 
 /// Run the Fig 8 experiment.
-pub fn run(ctx: &mut Ctx) -> Report {
+///
+/// # Errors
+///
+/// Propagates the first simulation failure.
+pub fn run(ctx: &mut Ctx) -> Result<Report, SimError> {
     let ms = ctx.cfg.ms_cores.clone();
-    let mc_first = homogeneous_data(ctx, ScalingPolicy::prs(), &ms);
-    let mb_first = homogeneous_data(ctx, ScalingPolicy::prs_mb_first(), &ms);
+    let mc_first = homogeneous_data(ctx, ScalingPolicy::prs(), &ms)?;
+    let mb_first = homogeneous_data(ctx, ScalingPolicy::prs_mb_first(), &ms)?;
 
     let mut rows: Vec<Vec<String>> = Vec::new();
 
@@ -71,9 +76,9 @@ pub fn run(ctx: &mut Ctx) -> Report {
     }
 
     let body = render(&["method", "MC-first", "MB-first"], &rows);
-    Report {
+    Ok(Report {
         id: "fig8",
         title: "Memory-bandwidth scaling alternatives under PRS",
         body,
-    }
+    })
 }

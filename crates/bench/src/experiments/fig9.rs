@@ -8,15 +8,20 @@ use sms_core::pipeline::{regress_homogeneous_loo, TargetMetric};
 use sms_core::predictor::{MlKind, ModelParams};
 use sms_core::scaling::ScalingPolicy;
 use sms_ml::fit::CurveModel;
+use sms_sim::error::SimError;
 
 use crate::ctx::{Ctx, Report};
 use crate::experiments::common::{errors, homogeneous_data, summarize, ML_SEED};
 use crate::table::{pct, render};
 
 /// Run the Fig 9 experiment.
-pub fn run(ctx: &mut Ctx) -> Report {
+///
+/// # Errors
+///
+/// Propagates the first simulation failure.
+pub fn run(ctx: &mut Ctx) -> Result<Report, SimError> {
     let ms = ctx.cfg.ms_cores.clone();
-    let data = homogeneous_data(ctx, ScalingPolicy::prs(), &ms);
+    let data = homogeneous_data(ctx, ScalingPolicy::prs(), &ms)?;
     let truth: Vec<f64> = data.iter().map(|d| d.target_ipc).collect();
     let params = ModelParams::default();
 
@@ -63,9 +68,9 @@ pub fn run(ctx: &mut Ctx) -> Report {
             pct(max)
         ));
     }
-    Report {
+    Ok(Report {
         id: "fig9",
         title: "Linear vs power vs logarithmic regression under SVM",
         body,
-    }
+    })
 }

@@ -3,7 +3,9 @@
 //! Reproduces every table and figure of *Scale-Model Architectural
 //! Simulation* on the `sms-sim`/`sms-workloads` substrate:
 //!
-//! * [`runner`] — persistent simulation-result cache + plan executor,
+//! * [`runner`] — persistent simulation-result cache + fault-tolerant
+//!   plan executor (panic isolation, bounded retries, quarantine),
+//! * [`telemetry`] — per-run records, counters, and the JSON run-manifest,
 //! * [`ctx`] — experiment context (env-var knobs, report emission),
 //! * [`experiments`] — one driver per table/figure,
 //! * [`table`] — text-table rendering.
@@ -21,6 +23,10 @@ pub mod ctx;
 pub mod experiments;
 pub mod runner;
 pub mod table;
+pub mod telemetry;
 
 pub use ctx::{Ctx, Report};
-pub use runner::{cache_key, execute_plan, CachedSim};
+pub use runner::{
+    cache_key, execute_plan, execute_plan_with, CachedSim, PlanSummary, QuarantineRecord,
+};
+pub use telemetry::{RunManifest, RunRecord, RunStatus, RunSummary};

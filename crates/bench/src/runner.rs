@@ -1,23 +1,37 @@
 //! Simulation execution with a persistent on-disk result cache and a
-//! multi-threaded plan executor.
+//! fault-tolerant multi-threaded plan executor.
 //!
 //! Every distinct `(machine config, workload mix, run spec)` triple is
 //! keyed by a hash of its canonical JSON encoding; results are stored as
 //! JSON files under the cache directory, so re-running an experiment
 //! binary only simulates what is missing. The stored key string is
 //! verified on load, ruling out silent hash collisions.
+//!
+//! The executor isolates each run: a panicking or erroring simulation is
+//! retried a bounded number of times, and a persistent failure is
+//! *quarantined* (recorded under `quarantine/` in the cache directory)
+//! while the rest of the plan completes. Every invocation writes a JSON
+//! run-manifest (see [`crate::telemetry`]) next to the cache, and
+//! [`execute_plan`] returns a [`PlanSummary`] whose `failed` count the
+//! caller must inspect.
 
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use sms_core::pipeline::{DirectSim, Simulate};
 use sms_sim::config::SystemConfig;
+use sms_sim::error::SimError;
 use sms_sim::stats::SimResult;
 use sms_sim::system::RunSpec;
 use sms_workloads::mix::MixSpec;
+
+use crate::telemetry::{
+    mix_label, write_manifest, RunRecord, RunStatus, RunSummary, Telemetry,
+};
 
 /// 128-bit FNV-1a over a byte string.
 fn fnv128(bytes: &[u8]) -> (u64, u64) {
@@ -60,17 +74,45 @@ pub fn cache_key(cfg: &SystemConfig, mix: &MixSpec, spec: RunSpec) -> String {
     )
 }
 
+/// Hex rendering of the 128-bit key hash — the cache file stem, and the
+/// `key_hash` field of manifest and quarantine records.
+pub fn key_hash_hex(key: &str) -> String {
+    let (h1, h2) = fnv128(key.as_bytes());
+    format!("{h1:016x}{h2:016x}")
+}
+
 #[derive(Debug, Serialize, Deserialize)]
 struct CacheEntry {
     key: String,
     result: SimResult,
 }
 
+/// What a quarantine file records about a persistently failing run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QuarantineRecord {
+    /// The full cache key of the failing request.
+    pub key: String,
+    /// Human-readable mix description.
+    pub mix: String,
+    /// Rendered error of the final attempt.
+    pub error: String,
+    /// Attempts made before giving up.
+    pub attempts: u32,
+}
+
 /// A caching simulator: checks the in-memory map, then disk, then runs.
+///
+/// The disk layer is best-effort: on the first write failure the cache
+/// warns once and degrades to memory-only operation rather than aborting
+/// a sweep that may already hold hours of simulation.
 #[derive(Debug, Clone)]
 pub struct CachedSim {
     dir: PathBuf,
     memory: Arc<Mutex<std::collections::HashMap<String, SimResult>>>,
+    /// Cleared on the first disk write failure (shared across clones).
+    disk_ok: Arc<AtomicBool>,
+    /// Key hashes quarantined through this cache instance.
+    quarantined: Arc<Mutex<Vec<String>>>,
 }
 
 impl CachedSim {
@@ -84,12 +126,29 @@ impl CachedSim {
         Ok(Self {
             dir: dir.as_ref().to_owned(),
             memory: Arc::new(Mutex::new(std::collections::HashMap::new())),
+            disk_ok: Arc::new(AtomicBool::new(true)),
+            quarantined: Arc::new(Mutex::new(Vec::new())),
         })
     }
 
+    /// The cache root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Where quarantine records for persistently failing runs live.
+    pub fn quarantine_dir(&self) -> PathBuf {
+        self.dir.join("quarantine")
+    }
+
+    /// Whether the disk layer is still writable (false after degrading to
+    /// memory-only operation).
+    pub fn disk_available(&self) -> bool {
+        self.disk_ok.load(Ordering::Relaxed)
+    }
+
     fn path_for(&self, key: &str) -> PathBuf {
-        let (h1, h2) = fnv128(key.as_bytes());
-        self.dir.join(format!("{h1:016x}{h2:016x}.json"))
+        self.dir.join(format!("{}.json", key_hash_hex(key)))
     }
 
     /// Look up a result without simulating.
@@ -108,25 +167,103 @@ impl CachedSim {
         Some(entry.result)
     }
 
-    /// Insert a freshly computed result.
+    /// Insert a freshly computed result. Never fails: a disk error
+    /// degrades the cache to memory-only with a single warning.
     pub fn insert(&self, cfg: &SystemConfig, mix: &MixSpec, spec: RunSpec, result: &SimResult) {
         let key = cache_key(cfg, mix, spec);
+        self.memory.lock().insert(key.clone(), result.clone());
+        if !self.disk_ok.load(Ordering::Relaxed) {
+            return;
+        }
         let entry = CacheEntry {
             key: key.clone(),
             result: result.clone(),
         };
         let path = self.path_for(&key);
         // Write via a temp file so interrupted runs never leave torn JSON.
-        let tmp = path.with_extension("tmp");
-        if serde_json::to_writer(
-            std::fs::File::create(&tmp).expect("cache dir writable"),
-            &entry,
-        )
-        .is_ok()
-        {
-            let _ = std::fs::rename(&tmp, &path);
+        // The temp name is unique per writer (pid + sequence): concurrent
+        // inserts of the *same* key must not race on a shared `.tmp` path,
+        // or one writer's rename can publish another's half-written file.
+        static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+        let tmp = self.dir.join(format!(
+            "{}.{}.{}.tmp",
+            key_hash_hex(&key),
+            std::process::id(),
+            TMP_SEQ.fetch_add(1, Ordering::Relaxed),
+        ));
+        let write = || -> std::io::Result<()> {
+            let file = std::fs::File::create(&tmp)?;
+            serde_json::to_writer(file, &entry)
+                .map_err(|e| std::io::Error::new(std::io::ErrorKind::Other, e))?;
+            std::fs::rename(&tmp, &path)
+        };
+        if let Err(e) = write() {
+            let _ = std::fs::remove_file(&tmp);
+            self.degrade_disk(&e);
         }
-        self.memory.lock().insert(key, result.clone());
+    }
+
+    /// Warn once and switch to memory-only operation.
+    fn degrade_disk(&self, err: &dyn std::fmt::Display) {
+        if self.disk_ok.swap(false, Ordering::Relaxed) {
+            eprintln!(
+                "cache: disk layer unwritable ({err}); continuing memory-only — \
+                 results of this process will not persist"
+            );
+        }
+    }
+
+    /// Record a persistently failing run under `quarantine/`, returning
+    /// the key hash. Best-effort on disk; always tracked in memory.
+    pub fn quarantine(
+        &self,
+        cfg: &SystemConfig,
+        mix: &MixSpec,
+        spec: RunSpec,
+        error: &SimError,
+        attempts: u32,
+    ) -> String {
+        let key = cache_key(cfg, mix, spec);
+        let hash = key_hash_hex(&key);
+        self.quarantined.lock().push(hash.clone());
+        if !self.disk_ok.load(Ordering::Relaxed) {
+            return hash;
+        }
+        let record = QuarantineRecord {
+            key,
+            mix: mix_label(mix),
+            error: error.to_string(),
+            attempts,
+        };
+        let dir = self.quarantine_dir();
+        let write = || -> std::io::Result<()> {
+            std::fs::create_dir_all(&dir)?;
+            let json = serde_json::to_string_pretty(&record)
+                .map_err(|e| std::io::Error::new(std::io::ErrorKind::Other, e))?;
+            std::fs::write(dir.join(format!("{hash}.json")), json)
+        };
+        if let Err(e) = write() {
+            self.degrade_disk(&e);
+        }
+        hash
+    }
+
+    /// Number of quarantined entries visible to this cache: those recorded
+    /// through this instance plus any `quarantine/` files on disk.
+    pub fn quarantine_count(&self) -> usize {
+        let mut seen: std::collections::BTreeSet<String> =
+            self.quarantined.lock().iter().cloned().collect();
+        if let Ok(rd) = std::fs::read_dir(self.quarantine_dir()) {
+            for entry in rd.flatten() {
+                let path = entry.path();
+                if path.extension().is_some_and(|e| e == "json") {
+                    if let Some(stem) = path.file_stem().and_then(|s| s.to_str()) {
+                        seen.insert(stem.to_owned());
+                    }
+                }
+            }
+        }
+        seen.len()
     }
 
     /// Number of entries currently in the in-memory layer.
@@ -136,71 +273,227 @@ impl CachedSim {
 }
 
 impl Simulate for CachedSim {
-    fn run_mix(&mut self, cfg: &SystemConfig, mix: &MixSpec, spec: RunSpec) -> SimResult {
+    fn run_mix(
+        &mut self,
+        cfg: &SystemConfig,
+        mix: &MixSpec,
+        spec: RunSpec,
+    ) -> Result<SimResult, SimError> {
         if let Some(hit) = self.lookup(cfg, mix, spec) {
-            return hit;
+            return Ok(hit);
         }
-        let result = DirectSim.run_mix(cfg, mix, spec);
+        let result = DirectSim.run_mix(cfg, mix, spec)?;
         self.insert(cfg, mix, spec, &result);
-        result
+        Ok(result)
     }
 }
 
+/// What [`execute_plan`] reports back to its caller. `failed` is the
+/// number of quarantined runs — zero means the cache now covers the whole
+/// plan.
+#[derive(Debug, Clone)]
+#[must_use = "inspect `failed` to detect quarantined runs"]
+pub struct PlanSummary {
+    /// Plan size.
+    pub total: usize,
+    /// Entries already cached before execution.
+    pub cached: usize,
+    /// Entries simulated successfully this invocation.
+    pub simulated: usize,
+    /// Entries quarantined after exhausting retries.
+    pub failed: usize,
+    /// Retry attempts consumed across all entries.
+    pub retries: usize,
+    /// Wall-clock seconds for the invocation.
+    pub wall_seconds: f64,
+    /// Busy time over `workers * wall` (0..1).
+    pub worker_utilization: f64,
+    /// Where the JSON run-manifest was written, when it was.
+    pub manifest_path: Option<PathBuf>,
+}
+
+/// Default retry budget per failing run; override with `SMS_RETRIES`.
+pub fn default_retries() -> u32 {
+    std::env::var("SMS_RETRIES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+/// Execute one plan entry with panic isolation and bounded retries, then
+/// record the outcome (cache insert or quarantine) and telemetry.
+fn run_one<F>(
+    cache: &CachedSim,
+    cfg: &SystemConfig,
+    mix: &MixSpec,
+    spec: RunSpec,
+    retries: u32,
+    run_fn: &F,
+    telemetry: &Telemetry,
+) where
+    F: Fn(&SystemConfig, &MixSpec, RunSpec) -> Result<SimResult, SimError> + Sync,
+{
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    let started = Instant::now();
+    let mut attempts = 0u32;
+    let outcome = loop {
+        attempts += 1;
+        let attempt = catch_unwind(AssertUnwindSafe(|| run_fn(cfg, mix, spec)))
+            .unwrap_or_else(|payload| Err(SimError::Panicked(panic_message(payload.as_ref()))));
+        match attempt {
+            Ok(result) => break Ok(result),
+            Err(_) if attempts <= retries => telemetry.record_retry(),
+            Err(e) => break Err(e),
+        }
+    };
+    let wall = started.elapsed().as_secs_f64();
+    let key_hash = key_hash_hex(&cache_key(cfg, mix, spec));
+    let record = match outcome {
+        Ok(result) => {
+            cache.insert(cfg, mix, spec, &result);
+            RunRecord {
+                key_hash,
+                mix: mix_label(mix),
+                cores: cfg.num_cores,
+                status: RunStatus::Ok,
+                attempts,
+                wall_seconds: wall,
+                summary: Some(RunSummary::from_result(cfg, &result)),
+                error: None,
+            }
+        }
+        Err(e) => {
+            cache.quarantine(cfg, mix, spec, &e, attempts);
+            RunRecord {
+                key_hash,
+                mix: mix_label(mix),
+                cores: cfg.num_cores,
+                status: RunStatus::Quarantined,
+                attempts,
+                wall_seconds: wall,
+                summary: None,
+                error: Some(e.to_string()),
+            }
+        }
+    };
+    telemetry.record(record);
+}
+
 /// Execute a run plan into the cache, using up to `threads` worker
-/// threads (capped by available parallelism); already-cached entries are
-/// skipped. Progress is reported on stderr via `label`.
+/// threads (capped, with a notice, by available parallelism);
+/// already-cached entries are skipped. Each run is isolated: panics are
+/// caught, failures retried up to `SMS_RETRIES` times (default 1), and
+/// persistent failures quarantined while the rest of the plan completes.
+/// A JSON run-manifest is written under `<cache>/manifests/`.
 pub fn execute_plan(
     cache: &CachedSim,
     plan: &[(SystemConfig, MixSpec)],
     spec: RunSpec,
     threads: usize,
     label: &str,
-) {
+) -> PlanSummary {
+    execute_plan_with(
+        cache,
+        plan,
+        spec,
+        threads,
+        label,
+        default_retries(),
+        |cfg, mix, spec| DirectSim.run_mix(cfg, mix, spec),
+    )
+}
+
+/// [`execute_plan`] with an explicit retry budget and an injectable run
+/// function — the seam fault-injection and determinism tests use.
+pub fn execute_plan_with<F>(
+    cache: &CachedSim,
+    plan: &[(SystemConfig, MixSpec)],
+    spec: RunSpec,
+    threads: usize,
+    label: &str,
+    retries: u32,
+    run_fn: F,
+) -> PlanSummary
+where
+    F: Fn(&SystemConfig, &MixSpec, RunSpec) -> Result<SimResult, SimError> + Sync,
+{
     let todo: Vec<&(SystemConfig, MixSpec)> = plan
         .iter()
         .filter(|(cfg, mix)| cache.lookup(cfg, mix, spec).is_none())
         .collect();
+    let cached = plan.len() - todo.len();
+    let available = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let workers = threads.min(available).max(1).min(todo.len().max(1));
+    let telemetry = Telemetry::start(label, workers, plan.len(), cached);
     if todo.is_empty() {
         eprintln!("[{label}] all {} runs cached", plan.len());
-        return;
-    }
-    eprintln!(
-        "[{label}] {} of {} runs to simulate",
-        todo.len(),
-        plan.len()
-    );
-    let workers = threads
-        .min(
-            std::thread::available_parallelism()
-                .map(std::num::NonZeroUsize::get)
-                .unwrap_or(1),
-        )
-        .max(1);
-    let next = AtomicUsize::new(0);
-    let done = AtomicUsize::new(0);
-    crossbeam::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= todo.len() {
-                    break;
-                }
-                let (cfg, mix) = todo[i];
-                let result = DirectSim.run_mix(cfg, mix, spec);
-                cache.insert(cfg, mix, spec, &result);
-                let d = done.fetch_add(1, Ordering::Relaxed) + 1;
-                if d % 10 == 0 || d == todo.len() {
-                    eprintln!("[{label}] {d}/{} done", todo.len());
-                }
-            });
+    } else {
+        if workers < threads {
+            eprintln!(
+                "[{label}] note: {threads} threads requested, running {workers} \
+                 (available parallelism {available}, {} runs)",
+                todo.len()
+            );
         }
-    })
-    .expect("worker threads must not panic");
+        eprintln!(
+            "[{label}] {} of {} runs to simulate on {workers} thread(s)",
+            todo.len(),
+            plan.len()
+        );
+        let next = AtomicUsize::new(0);
+        let run_fn = &run_fn;
+        let telemetry_ref = &telemetry;
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(move |_| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= todo.len() {
+                        break;
+                    }
+                    let (cfg, mix) = todo[i];
+                    run_one(cache, cfg, mix, spec, retries, run_fn, telemetry_ref);
+                });
+            }
+        })
+        .expect("executor worker threads are panic-isolated");
+    }
+    let manifest = telemetry.finish();
+    let manifest_path = write_manifest(cache.dir(), &manifest);
+    if manifest.failed > 0 {
+        eprintln!(
+            "[{label}] {} run(s) failed after retries; see {} and the manifest",
+            manifest.failed,
+            cache.quarantine_dir().display()
+        );
+    }
+    PlanSummary {
+        total: manifest.total_runs,
+        cached: manifest.cached,
+        simulated: manifest.simulated,
+        failed: manifest.failed,
+        retries: manifest.retries,
+        wall_seconds: manifest.wall_seconds,
+        worker_utilization: manifest.worker_utilization,
+        manifest_path,
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::telemetry::RunManifest;
     use sms_sim::system::RunSpec;
 
     fn tiny_cfg() -> SystemConfig {
@@ -219,6 +512,38 @@ mod tests {
         d
     }
 
+    /// A deterministic stand-in simulation: results derived purely from
+    /// the cache key, with zero host time.
+    fn fake_run(cfg: &SystemConfig, mix: &MixSpec, spec: RunSpec) -> Result<SimResult, SimError> {
+        let (h1, h2) = fnv128(cache_key(cfg, mix, spec).as_bytes());
+        Ok(SimResult {
+            cores: vec![],
+            elapsed_cycles: h1 % 100_000 + 1,
+            total_dram_bytes: h2 % 977 * 64,
+            total_bandwidth_gbps: (h1 % 64) as f64,
+            noc_transfers: h1 % 311,
+            noc_crossings: h2 % 173,
+            llc_accesses: h1 % 997,
+            llc_hits: h1 % 499,
+            host_seconds: 0.0,
+        })
+    }
+
+    fn spec_n(n: u64) -> RunSpec {
+        RunSpec {
+            warmup_instructions: 0,
+            measure_instructions: n,
+        }
+    }
+
+    fn fake_plan(names: &[&str]) -> Vec<(SystemConfig, MixSpec)> {
+        let cfg = tiny_cfg();
+        names
+            .iter()
+            .map(|n| (cfg.clone(), MixSpec::homogeneous(n, 1, 7)))
+            .collect()
+    }
+
     #[test]
     fn cache_round_trip_and_hit() {
         let dir = tmpdir("rt");
@@ -230,7 +555,7 @@ mod tests {
             measure_instructions: 20_000,
         };
         assert!(sim.lookup(&cfg, &mix, spec).is_none());
-        let a = sim.run_mix(&cfg, &mix, spec);
+        let a = sim.run_mix(&cfg, &mix, spec).unwrap();
         let b = sim.lookup(&cfg, &mix, spec).expect("cached now");
         assert_eq!(a.cores[0].cycles, b.cores[0].cycles);
 
@@ -246,12 +571,13 @@ mod tests {
         let dir = tmpdir("distinct");
         let mut sim = CachedSim::open(&dir).unwrap();
         let cfg = tiny_cfg();
-        let spec = RunSpec {
-            warmup_instructions: 0,
-            measure_instructions: 10_000,
-        };
-        let a = sim.run_mix(&cfg, &MixSpec::homogeneous("leela_r", 1, 1), spec);
-        let b = sim.run_mix(&cfg, &MixSpec::homogeneous("lbm_r", 1, 1), spec);
+        let spec = spec_n(10_000);
+        let a = sim
+            .run_mix(&cfg, &MixSpec::homogeneous("leela_r", 1, 1), spec)
+            .unwrap();
+        let b = sim
+            .run_mix(&cfg, &MixSpec::homogeneous("lbm_r", 1, 1), spec)
+            .unwrap();
         assert_ne!(a.cores[0].label, b.cores[0].label);
         assert_eq!(sim.memory_len(), 2);
         let _ = std::fs::remove_dir_all(&dir);
@@ -262,20 +588,21 @@ mod tests {
         let dir = tmpdir("plan");
         let cache = CachedSim::open(&dir).unwrap();
         let cfg = tiny_cfg();
-        let spec = RunSpec {
-            warmup_instructions: 0,
-            measure_instructions: 5_000,
-        };
+        let spec = spec_n(5_000);
         let plan: Vec<(SystemConfig, MixSpec)> = ["leela_r", "lbm_r", "mcf_r"]
             .iter()
             .map(|n| (cfg.clone(), MixSpec::homogeneous(n, 1, 7)))
             .collect();
-        execute_plan(&cache, &plan, spec, 4, "test");
+        let summary = execute_plan(&cache, &plan, spec, 4, "test");
+        assert_eq!(summary.failed, 0);
+        assert_eq!(summary.simulated, 3);
         for (c, m) in &plan {
             assert!(cache.lookup(c, m, spec).is_some());
         }
         // Second execution is a no-op (covered entries skipped).
-        execute_plan(&cache, &plan, spec, 4, "test");
+        let again = execute_plan(&cache, &plan, spec, 4, "test");
+        assert_eq!(again.cached, 3);
+        assert_eq!(again.simulated, 0);
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -283,15 +610,10 @@ mod tests {
     fn key_distinguishes_spec() {
         let cfg = tiny_cfg();
         let mix = MixSpec::homogeneous("leela_r", 1, 1);
-        let s1 = RunSpec {
-            warmup_instructions: 0,
-            measure_instructions: 1,
-        };
-        let s2 = RunSpec {
-            warmup_instructions: 0,
-            measure_instructions: 2,
-        };
-        assert_ne!(cache_key(&cfg, &mix, s1), cache_key(&cfg, &mix, s2));
+        assert_ne!(
+            cache_key(&cfg, &mix, spec_n(1)),
+            cache_key(&cfg, &mix, spec_n(2))
+        );
     }
 
     #[test]
@@ -299,5 +621,156 @@ mod tests {
         let (a1, a2) = fnv128(b"hello");
         let (b1, b2) = fnv128(b"hellp");
         assert!(a1 != b1 || a2 != b2);
+    }
+
+    #[test]
+    fn panicking_run_is_quarantined_and_plan_completes() {
+        // The acceptance scenario: one plan entry always panics. The plan
+        // must complete the other runs, quarantine the failure, report it
+        // in the JSON manifest, and return a nonzero failure count — all
+        // without aborting the process.
+        let dir = tmpdir("quarantine");
+        let cache = CachedSim::open(&dir).unwrap();
+        let spec = spec_n(5_000);
+        let plan = fake_plan(&["leela_r", "boom", "mcf_r"]);
+        let summary = execute_plan_with(&cache, &plan, spec, 2, "faulty", 1, |cfg, mix, spec| {
+            if mix.benchmarks[0] == "boom" {
+                panic!("injected fault");
+            }
+            fake_run(cfg, mix, spec)
+        });
+        assert_eq!(summary.total, 3);
+        assert_eq!(summary.simulated, 2);
+        assert_eq!(summary.failed, 1, "the panicking run must be counted");
+        assert_eq!(summary.retries, 1, "one retry before quarantine");
+        assert!(cache.lookup(&plan[0].0, &plan[0].1, spec).is_some());
+        assert!(cache.lookup(&plan[2].0, &plan[2].1, spec).is_some());
+        assert!(cache.lookup(&plan[1].0, &plan[1].1, spec).is_none());
+        assert_eq!(cache.quarantine_count(), 1);
+
+        // The quarantine record carries the panic message.
+        let qdir = cache.quarantine_dir();
+        let entry = std::fs::read_dir(&qdir).unwrap().next().unwrap().unwrap();
+        let record: QuarantineRecord =
+            serde_json::from_str(&std::fs::read_to_string(entry.path()).unwrap()).unwrap();
+        assert!(record.error.contains("injected fault"), "{}", record.error);
+        assert_eq!(record.attempts, 2);
+
+        // And the manifest reports the failure.
+        let manifest = RunManifest::load(summary.manifest_path.expect("manifest written")).unwrap();
+        assert_eq!(manifest.failed, 1);
+        assert_eq!(manifest.failed_keys.len(), 1);
+        assert!(manifest.worker_utilization >= 0.0 && manifest.worker_utilization <= 1.0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn transient_failure_is_retried_to_success() {
+        let dir = tmpdir("retry");
+        let cache = CachedSim::open(&dir).unwrap();
+        let spec = spec_n(5_000);
+        let plan = fake_plan(&["leela_r", "lbm_r"]);
+        let failed_once = Mutex::new(std::collections::HashSet::new());
+        let summary = execute_plan_with(&cache, &plan, spec, 1, "flaky", 1, |cfg, mix, spec| {
+            if failed_once.lock().insert(mix.benchmarks[0].clone()) {
+                return Err(SimError::Panicked("transient".to_owned()));
+            }
+            fake_run(cfg, mix, spec)
+        });
+        assert_eq!(summary.simulated, 2);
+        assert_eq!(summary.failed, 0);
+        assert_eq!(summary.retries, 2, "each run failed exactly once");
+        assert_eq!(cache.quarantine_count(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn concurrent_same_key_inserts_never_tear() {
+        // Regression: all writers used to share `<hash>.tmp`, so two
+        // threads inserting the same key could interleave writes and
+        // publish a torn file. Unique per-writer temp names make the
+        // rename atomic regardless of interleaving.
+        let dir = tmpdir("race");
+        let cache = CachedSim::open(&dir).unwrap();
+        let cfg = tiny_cfg();
+        let mix = MixSpec::homogeneous("leela_r", 1, 1);
+        let spec = spec_n(5_000);
+        let result = fake_run(&cfg, &mix, spec).unwrap();
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|_| {
+                    for _ in 0..25 {
+                        cache.insert(&cfg, &mix, spec, &result);
+                    }
+                });
+            }
+        })
+        .unwrap();
+        // No temp litter, and a fresh instance reads back intact JSON.
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .flatten()
+            .filter(|e| e.path().extension().is_some_and(|x| x == "tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "temp files left behind: {leftovers:?}");
+        let fresh = CachedSim::open(&dir).unwrap();
+        let back = fresh.lookup(&cfg, &mix, spec).expect("intact entry");
+        assert_eq!(back.elapsed_cycles, result.elapsed_cycles);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unwritable_disk_degrades_to_memory_only() {
+        let dir = tmpdir("degrade");
+        let cache = CachedSim::open(&dir).unwrap();
+        let cfg = tiny_cfg();
+        let mix = MixSpec::homogeneous("leela_r", 1, 1);
+        let spec = spec_n(5_000);
+        // Replace the cache directory with a plain file: every disk write
+        // now fails, even for root.
+        std::fs::remove_dir_all(&dir).unwrap();
+        std::fs::write(&dir, b"not a directory").unwrap();
+        let result = fake_run(&cfg, &mix, spec).unwrap();
+        cache.insert(&cfg, &mix, spec, &result);
+        assert!(!cache.disk_available(), "first failure must degrade");
+        // The memory layer still serves, and further inserts are silent.
+        assert!(cache.lookup(&cfg, &mix, spec).is_some());
+        cache.insert(&cfg, &MixSpec::homogeneous("lbm_r", 1, 1), spec, &result);
+        assert_eq!(cache.memory_len(), 2);
+        let _ = std::fs::remove_file(&dir);
+    }
+
+    #[test]
+    fn single_and_multi_threaded_plans_cache_identically() {
+        // Determinism: executing the same plan with 1 thread and with N
+        // threads must produce byte-identical cache files (scheduling must
+        // not leak into results).
+        let spec = spec_n(5_000);
+        let plan = fake_plan(&["leela_r", "lbm_r", "mcf_r", "gcc_r", "x264_r", "nab_r"]);
+        let snapshot = |tag: &str, threads: usize| {
+            let dir = tmpdir(tag);
+            let cache = CachedSim::open(&dir).unwrap();
+            let summary =
+                execute_plan_with(&cache, &plan, spec, threads, tag, 0, fake_run);
+            assert_eq!(summary.failed, 0);
+            let mut files: Vec<(String, Vec<u8>)> = std::fs::read_dir(&dir)
+                .unwrap()
+                .flatten()
+                .filter(|e| e.path().is_file())
+                .map(|e| {
+                    (
+                        e.file_name().to_string_lossy().into_owned(),
+                        std::fs::read(e.path()).unwrap(),
+                    )
+                })
+                .collect();
+            files.sort();
+            let _ = std::fs::remove_dir_all(&dir);
+            files
+        };
+        let serial = snapshot("det-serial", 1);
+        let parallel = snapshot("det-parallel", 4);
+        assert_eq!(serial.len(), plan.len());
+        assert_eq!(serial, parallel, "cache contents must not depend on thread count");
     }
 }

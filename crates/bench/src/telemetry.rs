@@ -1,0 +1,433 @@
+//! Execution telemetry for the plan executor: per-run records, cache and
+//! quarantine counters, worker utilization, and a structured JSON
+//! run-manifest written next to the result cache.
+//!
+//! The manifest (one per `execute_plan` label, overwritten on re-run) is
+//! the machine-readable account of a sweep: what ran, what was already
+//! cached, what failed after retries, and summary statistics (IPC,
+//! DRAM/NoC utilization) for every simulated run. The human-facing side is
+//! a single progress line on stderr that replaces the executor's former
+//! ad-hoc `eprintln!`s.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Instant;
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use sms_sim::config::{SystemConfig, CORE_FREQ_GHZ, LINE_SIZE};
+use sms_sim::stats::SimResult;
+use sms_workloads::mix::MixSpec;
+
+/// Manifest schema version; bump when the JSON layout changes.
+pub const MANIFEST_SCHEMA_VERSION: u32 = 1;
+
+/// Outcome of one plan entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum RunStatus {
+    /// Simulated successfully (possibly after retries).
+    Ok,
+    /// Failed every attempt and was quarantined.
+    Quarantined,
+}
+
+/// Summary statistics of one successful run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunSummary {
+    /// Mean per-core IPC.
+    pub mean_ipc: f64,
+    /// Aggregate achieved DRAM bandwidth in GB/s.
+    pub dram_gbps: f64,
+    /// Achieved DRAM bandwidth over configured DRAM capacity (0..1).
+    pub dram_utilization: f64,
+    /// Achieved NoC bisection bandwidth over configured capacity (0..1).
+    pub noc_utilization: f64,
+    /// Cycles simulated in the measured phase.
+    pub elapsed_cycles: u64,
+}
+
+impl RunSummary {
+    /// Extract summary statistics from a run on `cfg`.
+    pub fn from_result(cfg: &SystemConfig, r: &SimResult) -> Self {
+        let mean_ipc = if r.cores.is_empty() {
+            0.0
+        } else {
+            r.cores.iter().map(|c| c.ipc).sum::<f64>() / r.cores.len() as f64
+        };
+        let noc_gbps = if r.elapsed_cycles == 0 {
+            0.0
+        } else {
+            (r.noc_crossings * LINE_SIZE) as f64 / r.elapsed_cycles as f64 * CORE_FREQ_GHZ
+        };
+        let dram_cap = cfg.dram.total_bandwidth_gbps();
+        let noc_cap = cfg.noc.bisection_bandwidth_gbps();
+        Self {
+            mean_ipc,
+            dram_gbps: r.total_bandwidth_gbps,
+            dram_utilization: if dram_cap > 0.0 {
+                r.total_bandwidth_gbps / dram_cap
+            } else {
+                0.0
+            },
+            noc_utilization: if noc_cap > 0.0 { noc_gbps / noc_cap } else { 0.0 },
+            elapsed_cycles: r.elapsed_cycles,
+        }
+    }
+}
+
+/// One plan entry's execution record.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunRecord {
+    /// Hex hash of the cache key (the cache file stem).
+    pub key_hash: String,
+    /// Human-readable mix description, e.g. `32x lbm_r` or `lbm_r+mcf_r`.
+    pub mix: String,
+    /// Cores in the machine configuration.
+    pub cores: u32,
+    /// Outcome.
+    pub status: RunStatus,
+    /// Attempts consumed (1 = first try succeeded).
+    pub attempts: u32,
+    /// Host wall-clock seconds spent on this entry (all attempts).
+    pub wall_seconds: f64,
+    /// Summary statistics (successful runs only).
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub summary: Option<RunSummary>,
+    /// Error message (quarantined runs only).
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub error: Option<String>,
+}
+
+/// The structured account of one `execute_plan` invocation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunManifest {
+    /// Manifest schema version.
+    pub schema_version: u32,
+    /// The executor label (e.g. `homogeneous`).
+    pub label: String,
+    /// Plan size.
+    pub total_runs: usize,
+    /// Entries satisfied by the cache before execution.
+    pub cached: usize,
+    /// Entries simulated successfully this invocation.
+    pub simulated: usize,
+    /// Entries quarantined after exhausting retries.
+    pub failed: usize,
+    /// Total retry attempts across all entries.
+    pub retries: usize,
+    /// Worker threads used.
+    pub workers: usize,
+    /// Wall-clock seconds for the whole invocation.
+    pub wall_seconds: f64,
+    /// Sum of per-run busy seconds over `workers * wall_seconds` (0..1).
+    pub worker_utilization: f64,
+    /// Hex key hashes of quarantined entries (also under `quarantine/`).
+    pub failed_keys: Vec<String>,
+    /// Per-entry records, in completion order.
+    pub runs: Vec<RunRecord>,
+}
+
+impl RunManifest {
+    /// Load a manifest from disk.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the file is unreadable or not a manifest.
+    pub fn load(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let text = std::fs::read_to_string(path)?;
+        serde_json::from_str(&text)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+
+    /// Compact human-readable rendering (CLI `sms manifest`).
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "sweep `{}`: {} runs ({} cached, {} simulated, {} quarantined, {} retries)\n\
+             {} workers, {:.1}s wall, {:.0}% worker utilization\n",
+            self.label,
+            self.total_runs,
+            self.cached,
+            self.simulated,
+            self.failed,
+            self.retries,
+            self.workers,
+            self.wall_seconds,
+            self.worker_utilization * 100.0,
+        );
+        for r in self.runs.iter().filter(|r| r.status == RunStatus::Quarantined) {
+            out.push_str(&format!(
+                "  quarantined {} ({}): {}\n",
+                r.key_hash,
+                r.mix,
+                r.error.as_deref().unwrap_or("unknown error"),
+            ));
+        }
+        if let Some(slowest) = self
+            .runs
+            .iter()
+            .max_by(|a, b| a.wall_seconds.total_cmp(&b.wall_seconds))
+        {
+            out.push_str(&format!(
+                "  slowest run: {} ({}) {:.2}s\n",
+                slowest.key_hash, slowest.mix, slowest.wall_seconds
+            ));
+        }
+        out
+    }
+}
+
+/// Short human label for a mix: `Nx name` for homogeneous mixes, else the
+/// benchmark names joined with `+` (truncated).
+pub fn mix_label(mix: &MixSpec) -> String {
+    let n = mix.benchmarks.len();
+    if n > 1 && mix.benchmarks.iter().all(|b| b == &mix.benchmarks[0]) {
+        return format!("{n}x {}", mix.benchmarks[0]);
+    }
+    let mut label = mix.benchmarks.join("+");
+    if label.len() > 48 {
+        label.truncate(45);
+        label.push_str("...");
+    }
+    label
+}
+
+/// Live telemetry collector for one `execute_plan` invocation. All
+/// recording methods take `&self` and are called from worker threads.
+#[derive(Debug)]
+pub struct Telemetry {
+    label: String,
+    workers: usize,
+    total_runs: usize,
+    cached: usize,
+    todo: usize,
+    started: Instant,
+    simulated: AtomicUsize,
+    failed: AtomicUsize,
+    retries: AtomicUsize,
+    busy_micros: AtomicU64,
+    records: Mutex<Vec<RunRecord>>,
+    /// Print a progress line every this many completions (the final
+    /// completion always prints).
+    progress_every: usize,
+}
+
+impl Telemetry {
+    /// Start telemetry for a plan of `total_runs` entries of which
+    /// `cached` were already satisfied, running on `workers` threads.
+    pub fn start(label: &str, workers: usize, total_runs: usize, cached: usize) -> Self {
+        let todo = total_runs - cached;
+        Self {
+            label: label.to_owned(),
+            workers,
+            total_runs,
+            cached,
+            todo,
+            started: Instant::now(),
+            simulated: AtomicUsize::new(0),
+            failed: AtomicUsize::new(0),
+            retries: AtomicUsize::new(0),
+            busy_micros: AtomicU64::new(0),
+            records: Mutex::new(Vec::with_capacity(todo)),
+            progress_every: if todo <= 20 { 1 } else { 10 },
+        }
+    }
+
+    /// Record one retry attempt (a failed attempt that will be re-run).
+    pub fn record_retry(&self) {
+        self.retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a completed entry and print the progress line when due.
+    pub fn record(&self, record: RunRecord) {
+        self.busy_micros.fetch_add(
+            (record.wall_seconds * 1e6) as u64,
+            Ordering::Relaxed,
+        );
+        let counter = match record.status {
+            RunStatus::Ok => &self.simulated,
+            RunStatus::Quarantined => &self.failed,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+        self.records.lock().push(record);
+        self.progress();
+    }
+
+    fn progress(&self) {
+        let simulated = self.simulated.load(Ordering::Relaxed);
+        let failed = self.failed.load(Ordering::Relaxed);
+        let done = simulated + failed;
+        if done != self.todo && done % self.progress_every != 0 {
+            return;
+        }
+        let elapsed = self.started.elapsed().as_secs_f64();
+        let rate = if elapsed > 0.0 { done as f64 / elapsed } else { 0.0 };
+        let eta = if rate > 0.0 {
+            (self.todo - done) as f64 / rate
+        } else {
+            0.0
+        };
+        let failures = if failed > 0 {
+            format!(", {failed} failed")
+        } else {
+            String::new()
+        };
+        eprintln!(
+            "[{}] {done}/{} done{failures} ({rate:.1} runs/s, eta {eta:.0}s)",
+            self.label, self.todo,
+        );
+    }
+
+    /// Finalize into a manifest.
+    pub fn finish(&self) -> RunManifest {
+        let wall = self.started.elapsed().as_secs_f64();
+        let busy = self.busy_micros.load(Ordering::Relaxed) as f64 / 1e6;
+        let runs = self.records.lock().clone();
+        let failed_keys = runs
+            .iter()
+            .filter(|r| r.status == RunStatus::Quarantined)
+            .map(|r| r.key_hash.clone())
+            .collect();
+        RunManifest {
+            schema_version: MANIFEST_SCHEMA_VERSION,
+            label: self.label.clone(),
+            total_runs: self.total_runs,
+            cached: self.cached,
+            simulated: self.simulated.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            workers: self.workers,
+            wall_seconds: wall,
+            worker_utilization: if wall > 0.0 && self.workers > 0 {
+                (busy / (wall * self.workers as f64)).min(1.0)
+            } else {
+                0.0
+            },
+            failed_keys,
+            runs,
+        }
+    }
+}
+
+/// Write `manifest` as pretty JSON to `dir/manifests/<label>.json`,
+/// returning the path. Failures are reported, not fatal: a sweep must
+/// not die because its diagnostics directory is unwritable.
+pub fn write_manifest(dir: &Path, manifest: &RunManifest) -> Option<PathBuf> {
+    let dir = dir.join("manifests");
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!(
+            "[{}] warning: cannot create manifest dir {}: {e}",
+            manifest.label,
+            dir.display()
+        );
+        return None;
+    }
+    let path = dir.join(format!("{}.json", sanitize_label(&manifest.label)));
+    match serde_json::to_string_pretty(manifest) {
+        Ok(json) => match std::fs::write(&path, json) {
+            Ok(()) => Some(path),
+            Err(e) => {
+                eprintln!(
+                    "[{}] warning: cannot write manifest {}: {e}",
+                    manifest.label,
+                    path.display()
+                );
+                None
+            }
+        },
+        Err(e) => {
+            eprintln!("[{}] warning: cannot encode manifest: {e}", manifest.label);
+            None
+        }
+    }
+}
+
+fn sanitize_label(label: &str) -> String {
+    label
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == '-' || c == '_' { c } else { '_' })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(status: RunStatus, wall: f64) -> RunRecord {
+        RunRecord {
+            key_hash: "abc".into(),
+            mix: "2x lbm_r".into(),
+            cores: 2,
+            status,
+            attempts: 1,
+            wall_seconds: wall,
+            summary: None,
+            error: if status == RunStatus::Quarantined {
+                Some("boom".into())
+            } else {
+                None
+            },
+        }
+    }
+
+    #[test]
+    fn telemetry_counts_and_manifest_round_trip() {
+        let t = Telemetry::start("test", 2, 5, 2);
+        t.record(record(RunStatus::Ok, 0.5));
+        t.record_retry();
+        t.record(record(RunStatus::Quarantined, 0.1));
+        t.record(record(RunStatus::Ok, 0.2));
+        let m = t.finish();
+        assert_eq!(m.total_runs, 5);
+        assert_eq!(m.cached, 2);
+        assert_eq!(m.simulated, 2);
+        assert_eq!(m.failed, 1);
+        assert_eq!(m.retries, 1);
+        assert_eq!(m.failed_keys, vec!["abc".to_owned()]);
+
+        let dir = std::env::temp_dir().join(format!("sms-telemetry-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = write_manifest(&dir, &m).expect("manifest written");
+        let back = RunManifest::load(&path).unwrap();
+        assert_eq!(back.simulated, 2);
+        assert_eq!(back.runs.len(), 3);
+        assert!(back.render().contains("quarantined"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mix_labels_compress_homogeneous_mixes() {
+        let homo = MixSpec::homogeneous("lbm_r", 4, 1);
+        assert_eq!(mix_label(&homo), "4x lbm_r");
+        let hetero = MixSpec {
+            benchmarks: vec!["a".into(), "b".into()],
+            seed: 0,
+        };
+        assert_eq!(mix_label(&hetero), "a+b");
+    }
+
+    #[test]
+    fn run_summary_utilization_is_bounded_and_positive() {
+        let cfg = SystemConfig::target_32core();
+        let r = SimResult {
+            cores: vec![],
+            elapsed_cycles: 1000,
+            total_dram_bytes: 64_000,
+            total_bandwidth_gbps: 64.0,
+            noc_transfers: 10,
+            noc_crossings: 5,
+            llc_accesses: 0,
+            llc_hits: 0,
+            host_seconds: 0.1,
+        };
+        let s = RunSummary::from_result(&cfg, &r);
+        assert!(s.dram_utilization > 0.0 && s.dram_utilization <= 1.0);
+        assert!(s.noc_utilization >= 0.0);
+    }
+
+    #[test]
+    fn sanitized_labels_are_filesystem_safe() {
+        assert_eq!(sanitize_label("64-core/PRS x"), "64-core_PRS_x");
+    }
+}

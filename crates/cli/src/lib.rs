@@ -1,8 +1,8 @@
 //! # sms-cli — command-line front end
 //!
 //! Argument parsing and command implementations for the `sms` binary.
-//! Hand-rolled parsing (no CLI dependency): four subcommands, each with a
-//! small set of `--key value` options.
+//! Hand-rolled parsing (no CLI dependency): a handful of subcommands,
+//! each with a small set of `--key value` options.
 //!
 //! ```text
 //! sms simulate  --bench lbm_r[,mcf_r,...] --cores 8 [--policy prs|nrs] [--budget N] [--seed S] [--json]
@@ -10,12 +10,16 @@
 //! sms predict   --bench lbm_r [--target-cores 32] [--budget N] [--seed S]
 //! sms trace     --bench lbm_r --out trace.smst [--instructions N] [--seed S]
 //! sms bench-table                                          # characterize the suite
+//! sms sweep     --bench lbm_r[,mcf_r,...] [--target-cores 32] [--threads T] [--results DIR]
+//! sms manifest  --path results/cache/manifests/LABEL.json  # inspect a run manifest
 //! ```
 
 #![forbid(unsafe_code)]
 use std::collections::HashMap;
+use std::path::Path;
 
-use sms_core::pipeline::{mean_bandwidth, mean_ipc, DirectSim, ExperimentConfig};
+use sms_bench::{execute_plan, CachedSim, RunManifest};
+use sms_core::pipeline::{homogeneous_plan, mean_bandwidth, mean_ipc, DirectSim, ExperimentConfig};
 use sms_core::scaling::{scale_config, scale_table, target_config, MemBwScaling, ScalingPolicy};
 use sms_core::session::ScaleModelSession;
 use sms_sim::config::SystemConfig;
@@ -135,6 +139,8 @@ pub fn run(args: &Args) -> Result<String, CliError> {
         "predict" => cmd_predict(args),
         "trace" => cmd_trace(args),
         "bench-table" => cmd_bench_table(args),
+        "sweep" => cmd_sweep(args),
+        "manifest" => cmd_manifest(args),
         "help" | "--help" | "-h" => Ok(HELP.to_owned()),
         other => Err(CliError::UnknownCommand(other.to_owned())),
     }
@@ -163,6 +169,17 @@ USAGE:
 
   sms bench-table [--budget N]
       Characterize all 29 benchmarks on the single-core scale model.
+
+  sms sweep --bench NAME[,NAME...] [--target-cores N] [--budget N] [--seed S]
+            [--threads T] [--results DIR] [--label L]
+      Run the full scale-model ladder (1..N cores) for each benchmark
+      through the fault-tolerant parallel executor: results are cached
+      under DIR/cache, failing runs are retried then quarantined, and a
+      JSON run manifest is written under DIR/cache/manifests/.
+
+  sms manifest --path FILE
+      Pretty-print a JSON run manifest written by `sms sweep` or the
+      bench experiment executor.
 ";
 
 fn machine_for(args: &Args, cores: u32) -> Result<SystemConfig, CliError> {
@@ -281,8 +298,11 @@ fn cmd_predict(args: &Args) -> Result<String, CliError> {
             "training SVM-log regression on {} benchmarks (one-time cost)...",
             training.len()
         );
-        let session = ScaleModelSession::train(&mut DirectSim, cfg, &training);
-        let pred = session.predict(&mut DirectSim, &profile);
+        let session = ScaleModelSession::train(&mut DirectSim, cfg, &training)
+            .map_err(|e| CliError::Sim(e.to_string()))?;
+        let pred = session
+            .predict(&mut DirectSim, &profile)
+            .map_err(|e| CliError::Sim(e.to_string()))?;
         let series = pred
             .scale_model_ipcs
             .iter()
@@ -363,6 +383,98 @@ fn cmd_bench_table(args: &Args) -> Result<String, CliError> {
         ));
     }
     Ok(out)
+}
+
+fn cmd_sweep(args: &Args) -> Result<String, CliError> {
+    let bench = args
+        .options
+        .get("bench")
+        .ok_or(CliError::MissingOption("bench"))?;
+    let target_cores = args.get_u32("target-cores", 32)?;
+    if !target_cores.is_power_of_two() || target_cores == 0 || target_cores > 256 {
+        return Err(CliError::BadValue(
+            "target-cores".into(),
+            target_cores.to_string(),
+        ));
+    }
+    let seed = args.get_u64("seed", 43)?;
+    let spec = spec_for(args)?;
+    let threads = args.get_u64("threads", 0)? as usize;
+    let threads = if threads == 0 {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    } else {
+        threads
+    };
+    let results = args
+        .options
+        .get("results")
+        .cloned()
+        .unwrap_or_else(|| "results".to_owned());
+    let label = args
+        .options
+        .get("label")
+        .cloned()
+        .unwrap_or_else(|| "cli-sweep".to_owned());
+
+    let profiles: Vec<_> = bench
+        .split(',')
+        .map(|n| by_name(n).ok_or_else(|| CliError::UnknownBenchmark(n.to_owned())))
+        .collect::<Result<_, _>>()?;
+
+    // Scale-model ladder: every power of two strictly between 1 and the
+    // target (homogeneous_plan adds the 1-core model and the target).
+    let mut ms_cores = Vec::new();
+    let mut c = 2u32;
+    while c < target_cores {
+        ms_cores.push(c);
+        c *= 2;
+    }
+    let cfg = ExperimentConfig {
+        target: target_config(target_cores),
+        ms_cores,
+        spec,
+        seed,
+        ..ExperimentConfig::default()
+    };
+    let plan = homogeneous_plan(&cfg, &profiles);
+    let cache =
+        CachedSim::open(Path::new(&results).join("cache")).map_err(|e| CliError::Io(e.to_string()))?;
+    let summary = execute_plan(&cache, &plan, spec, threads, &label);
+
+    let mut out = format!(
+        "sweep `{label}`: {} runs ({} cached, {} simulated, {} quarantined, {} retries)\n\
+         wall {:.1}s, worker utilization {:.0}%\n",
+        summary.total,
+        summary.cached,
+        summary.simulated,
+        summary.failed,
+        summary.retries,
+        summary.wall_seconds,
+        summary.worker_utilization * 100.0,
+    );
+    match &summary.manifest_path {
+        Some(p) => out.push_str(&format!("manifest: {}\n", p.display())),
+        None => out.push_str("manifest: not written (cache disk unavailable)\n"),
+    }
+    if summary.failed > 0 {
+        out.push_str(&format!(
+            "{} run(s) quarantined under {}\n",
+            summary.failed,
+            cache.quarantine_dir().display()
+        ));
+    }
+    Ok(out)
+}
+
+fn cmd_manifest(args: &Args) -> Result<String, CliError> {
+    let path = args
+        .options
+        .get("path")
+        .ok_or(CliError::MissingOption("path"))?;
+    let manifest = RunManifest::load(path).map_err(|e| CliError::Io(e.to_string()))?;
+    Ok(manifest.render())
 }
 
 #[cfg(test)]
@@ -489,6 +601,61 @@ mod tests {
         let t = RecordedTrace::load(&path).unwrap();
         assert!(t.instructions() >= 5000);
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn sweep_executes_plan_and_manifest_renders() {
+        let results = std::env::temp_dir().join(format!("sms-cli-sweep-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&results);
+        let out = run(&args(&[
+            "sweep",
+            "--bench",
+            "leela_r,xz_r",
+            "--target-cores",
+            "2",
+            "--budget",
+            "20000",
+            "--results",
+            results.to_str().unwrap(),
+            "--label",
+            "cli-test",
+        ]))
+        .unwrap();
+        assert!(out.contains("sweep `cli-test`"), "{out}");
+        assert!(out.contains("4 runs"), "{out}");
+        assert!(out.contains("0 quarantined"), "{out}");
+
+        let manifest_path = results.join("cache/manifests/cli-test.json");
+        assert!(manifest_path.exists(), "manifest missing: {out}");
+        let rendered = run(&args(&["manifest", "--path", manifest_path.to_str().unwrap()]))
+            .unwrap();
+        assert!(rendered.contains("cli-test"), "{rendered}");
+
+        // A second identical sweep is served entirely from the cache.
+        let again = run(&args(&[
+            "sweep",
+            "--bench",
+            "leela_r,xz_r",
+            "--target-cores",
+            "2",
+            "--budget",
+            "20000",
+            "--results",
+            results.to_str().unwrap(),
+            "--label",
+            "cli-test",
+        ]))
+        .unwrap();
+        assert!(again.contains("4 cached"), "{again}");
+        let _ = std::fs::remove_dir_all(&results);
+    }
+
+    #[test]
+    fn manifest_on_missing_file_is_io_error() {
+        assert!(matches!(
+            run(&args(&["manifest", "--path", "/nonexistent/manifest.json"])),
+            Err(CliError::Io(_))
+        ));
     }
 
     #[test]

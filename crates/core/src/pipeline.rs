@@ -13,6 +13,7 @@ use std::collections::BTreeMap;
 use serde::{Deserialize, Serialize};
 use sms_ml::fit::CurveModel;
 use sms_sim::config::SystemConfig;
+use sms_sim::error::SimError;
 use sms_sim::stats::SimResult;
 use sms_sim::system::{MulticoreSystem, RunSpec};
 use sms_workloads::mix::MixSpec;
@@ -26,7 +27,19 @@ use crate::scaling::{scale_config, ScalingPolicy};
 /// Runs a workload mix on a machine configuration.
 pub trait Simulate {
     /// Simulate `mix` on `cfg` with the given warm-up/measure budgets.
-    fn run_mix(&mut self, cfg: &SystemConfig, mix: &MixSpec, spec: RunSpec) -> SimResult;
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SimError`] when the configuration is invalid, the mix
+    /// does not match the core count, or the run budget is empty —
+    /// implementations must report failures as typed errors rather than
+    /// panicking, so batch executors can isolate and retry them.
+    fn run_mix(
+        &mut self,
+        cfg: &SystemConfig,
+        mix: &MixSpec,
+        spec: RunSpec,
+    ) -> Result<SimResult, SimError>;
 }
 
 /// Plain, in-process simulation.
@@ -34,10 +47,14 @@ pub trait Simulate {
 pub struct DirectSim;
 
 impl Simulate for DirectSim {
-    fn run_mix(&mut self, cfg: &SystemConfig, mix: &MixSpec, spec: RunSpec) -> SimResult {
-        let mut system = MulticoreSystem::new(cfg.clone(), mix.sources())
-            .expect("configuration and mix must be consistent");
-        system.run(spec).expect("non-empty budget")
+    fn run_mix(
+        &mut self,
+        cfg: &SystemConfig,
+        mix: &MixSpec,
+        spec: RunSpec,
+    ) -> Result<SimResult, SimError> {
+        let mut system = MulticoreSystem::new(cfg.clone(), mix.sources())?;
+        system.run(spec)
     }
 }
 
@@ -131,18 +148,22 @@ pub struct ScaleModelData {
 
 /// Simulate one benchmark's homogeneous mixes on the single-core and
 /// multi-core scale models only (no target runs).
+///
+/// # Errors
+///
+/// Propagates the first [`SimError`] of any underlying run.
 pub fn collect_scale_models_bench<S: Simulate>(
     sim: &mut S,
     cfg: &ExperimentConfig,
     bench: &BenchmarkProfile,
-) -> ScaleModelData {
-    let run_at = |sim: &mut S, cores: u32| -> SimResult {
+) -> Result<ScaleModelData, SimError> {
+    let run_at = |sim: &mut S, cores: u32| -> Result<SimResult, SimError> {
         let machine = scale_config(&cfg.target, cores, cfg.policy);
         let mix = MixSpec::homogeneous(bench.name, cores as usize, cfg.seed);
         sim.run_mix(&machine, &mix, cfg.spec)
     };
 
-    let ss_run = run_at(sim, 1);
+    let ss_run = run_at(sim, 1)?;
     let ss = SsMeasurement {
         ipc: ss_run.cores[0].ipc,
         bandwidth: ss_run.cores[0].bandwidth_gbps,
@@ -153,13 +174,13 @@ pub fn collect_scale_models_bench<S: Simulate>(
     let mut ms_bw = Vec::new();
     let mut ms_host_seconds = Vec::new();
     for &cores in &cfg.ms_cores {
-        let r = run_at(sim, cores);
+        let r = run_at(sim, cores)?;
         ms_ipc.push((cores, mean_ipc(&r)));
         ms_bw.push((cores, mean_bandwidth(&r)));
         ms_host_seconds.push((cores, r.host_seconds));
     }
 
-    ScaleModelData {
+    Ok(ScaleModelData {
         name: bench.name.to_owned(),
         ss,
         ss_llc_mpki,
@@ -167,15 +188,19 @@ pub fn collect_scale_models_bench<S: Simulate>(
         ms_bw,
         ss_host_seconds: ss_run.host_seconds,
         ms_host_seconds,
-    }
+    })
 }
 
 /// [`collect_scale_models_bench`] over a whole suite.
+///
+/// # Errors
+///
+/// Propagates the first [`SimError`] of any underlying run.
 pub fn collect_scale_models<S: Simulate>(
     sim: &mut S,
     cfg: &ExperimentConfig,
     suite: &[BenchmarkProfile],
-) -> Vec<ScaleModelData> {
+) -> Result<Vec<ScaleModelData>, SimError> {
     suite
         .iter()
         .map(|b| collect_scale_models_bench(sim, cfg, b))
@@ -184,20 +209,24 @@ pub fn collect_scale_models<S: Simulate>(
 
 /// Simulate one benchmark's homogeneous mixes on the single-core scale
 /// model, every multi-core scale model, and the target system.
+///
+/// # Errors
+///
+/// Propagates the first [`SimError`] of any underlying run.
 pub fn collect_homogeneous_bench<S: Simulate>(
     sim: &mut S,
     cfg: &ExperimentConfig,
     bench: &BenchmarkProfile,
-) -> BenchScaleData {
-    let sm = collect_scale_models_bench(sim, cfg, bench);
+) -> Result<BenchScaleData, SimError> {
+    let sm = collect_scale_models_bench(sim, cfg, bench)?;
     let machine = if cfg.target.num_cores == 1 {
         scale_config(&cfg.target, 1, cfg.policy)
     } else {
         cfg.target.clone()
     };
     let mix = MixSpec::homogeneous(bench.name, cfg.target.num_cores as usize, cfg.seed);
-    let t = sim.run_mix(&machine, &mix, cfg.spec);
-    BenchScaleData {
+    let t = sim.run_mix(&machine, &mix, cfg.spec)?;
+    Ok(BenchScaleData {
         name: sm.name,
         ss: sm.ss,
         ss_llc_mpki: sm.ss_llc_mpki,
@@ -208,15 +237,19 @@ pub fn collect_homogeneous_bench<S: Simulate>(
         ss_host_seconds: sm.ss_host_seconds,
         ms_host_seconds: sm.ms_host_seconds,
         target_host_seconds: t.host_seconds,
-    }
+    })
 }
 
 /// Collect [`BenchScaleData`] for a whole suite.
+///
+/// # Errors
+///
+/// Propagates the first [`SimError`] of any underlying run.
 pub fn collect_homogeneous<S: Simulate>(
     sim: &mut S,
     cfg: &ExperimentConfig,
     suite: &[BenchmarkProfile],
-) -> Vec<BenchScaleData> {
+) -> Result<Vec<BenchScaleData>, SimError> {
     suite
         .iter()
         .map(|b| collect_homogeneous_bench(sim, cfg, b))
@@ -409,12 +442,16 @@ impl Default for HeteroSizing {
 }
 
 /// Collect every simulation the heterogeneous experiments need.
+///
+/// # Errors
+///
+/// Propagates the first [`SimError`] of any underlying run.
 pub fn collect_heterogeneous<S: Simulate>(
     sim: &mut S,
     cfg: &ExperimentConfig,
     suite: &[BenchmarkProfile],
     sizing: HeteroSizing,
-) -> HeterogeneousData {
+) -> Result<HeterogeneousData, SimError> {
     let (eval_pool, train_pool) = heterogeneous_split(cfg, suite, sizing);
 
     // Single-core scale model for every benchmark.
@@ -422,7 +459,7 @@ pub fn collect_heterogeneous<S: Simulate>(
     let mut ss = BTreeMap::new();
     for b in suite {
         let mix = MixSpec::homogeneous(b.name, 1, cfg.seed);
-        let r = sim.run_mix(&ss_cfg, &mix, cfg.spec);
+        let r = sim.run_mix(&ss_cfg, &mix, cfg.spec)?;
         ss.insert(
             b.name.to_owned(),
             SsMeasurement {
@@ -439,7 +476,7 @@ pub fn collect_heterogeneous<S: Simulate>(
     let mut train_target = Vec::new();
     for i in 0..n_train_mixes {
         let mix = MixSpec::random(&train_pool, t_cores, cfg.seed ^ (0x1000 + i as u64));
-        let r = sim.run_mix(&cfg.target, &mix, cfg.spec);
+        let r = sim.run_mix(&cfg.target, &mix, cfg.spec)?;
         train_target.push(to_mix_run(mix, &r));
     }
 
@@ -455,7 +492,7 @@ pub fn collect_heterogeneous<S: Simulate>(
                 cores as usize,
                 cfg.seed ^ (0x2000 + u64::from(cores) * 1000 + i as u64),
             );
-            let r = sim.run_mix(&machine, &mix, cfg.spec);
+            let r = sim.run_mix(&machine, &mix, cfg.spec)?;
             runs.push(to_mix_run(mix, &r));
         }
         ms_train.push((cores, runs));
@@ -465,18 +502,18 @@ pub fn collect_heterogeneous<S: Simulate>(
     let mut eval_target = Vec::new();
     for i in 0..sizing.eval_mixes {
         let mix = MixSpec::random(&eval_pool, t_cores, cfg.seed ^ (0x3000 + i as u64));
-        let r = sim.run_mix(&cfg.target, &mix, cfg.spec);
+        let r = sim.run_mix(&cfg.target, &mix, cfg.spec)?;
         eval_target.push(to_mix_run(mix, &r));
     }
 
-    HeterogeneousData {
+    Ok(HeterogeneousData {
         eval_names: eval_pool.iter().map(|p| p.name.to_owned()).collect(),
         train_names: train_pool.iter().map(|p| p.name.to_owned()).collect(),
         ss,
         train_target,
         ms_train,
         eval_target,
-    }
+    })
 }
 
 /// Feature rows + targets from a set of mix runs, using each slot as one
@@ -710,7 +747,12 @@ mod tests {
     }
 
     impl Simulate for FakeSim {
-        fn run_mix(&mut self, cfg: &SystemConfig, mix: &MixSpec, _spec: RunSpec) -> SimResult {
+        fn run_mix(
+            &mut self,
+            cfg: &SystemConfig,
+            mix: &MixSpec,
+            _spec: RunSpec,
+        ) -> Result<SimResult, SimError> {
             let per_core_bw_budget = cfg.dram.total_bandwidth_gbps() / f64::from(cfg.num_cores);
             let total_demand: f64 = mix.benchmarks.iter().map(|n| intrinsic(n).1).sum();
             let cores = mix.benchmarks.len();
@@ -751,7 +793,7 @@ mod tests {
                     }
                 })
                 .collect();
-            SimResult {
+            Ok(SimResult {
                 cores: core_results,
                 elapsed_cycles: 1_000_000,
                 total_dram_bytes: 0,
@@ -761,7 +803,7 @@ mod tests {
                 llc_accesses: 0,
                 llc_hits: 0,
                 host_seconds: 0.0,
-            }
+            })
         }
     }
 
@@ -779,7 +821,7 @@ mod tests {
     #[test]
     fn homogeneous_collection_shapes() {
         let cfg = small_cfg();
-        let data = collect_homogeneous(&mut FakeSim, &cfg, &fake_suite(5));
+        let data = collect_homogeneous(&mut FakeSim, &cfg, &fake_suite(5)).unwrap();
         assert_eq!(data.len(), 5);
         for d in &data {
             assert_eq!(d.ms_ipc.len(), 4);
@@ -795,7 +837,7 @@ mod tests {
     #[test]
     fn probe_all_kinds() {
         let cfg = small_cfg();
-        let data = collect_homogeneous(&mut FakeSim, &cfg, &fake_suite(29));
+        let data = collect_homogeneous(&mut FakeSim, &cfg, &fake_suite(29)).unwrap();
         let truth: Vec<f64> = data.iter().map(|d| d.target_ipc).collect();
         let err = |p: &[f64]| -> f64 {
             p.iter()
@@ -823,7 +865,7 @@ mod tests {
     #[test]
     fn ml_prediction_beats_no_extrapolation_on_fake_world() {
         let cfg = small_cfg();
-        let data = collect_homogeneous(&mut FakeSim, &cfg, &fake_suite(29));
+        let data = collect_homogeneous(&mut FakeSim, &cfg, &fake_suite(29)).unwrap();
         let truth: Vec<f64> = data.iter().map(|d| d.target_ipc).collect();
 
         let noext = no_extrapolation(&data, TargetMetric::Ipc);
@@ -854,7 +896,7 @@ mod tests {
     #[test]
     fn ml_regression_close_to_prediction_on_fake_world() {
         let cfg = small_cfg();
-        let data = collect_homogeneous(&mut FakeSim, &cfg, &fake_suite(20));
+        let data = collect_homogeneous(&mut FakeSim, &cfg, &fake_suite(20)).unwrap();
         let truth: Vec<f64> = data.iter().map(|d| d.target_ipc).collect();
         let reg = regress_homogeneous_loo(
             &data,
@@ -880,7 +922,7 @@ mod tests {
     fn heterogeneous_collection_shapes() {
         let cfg = small_cfg();
         let sizing = HeteroSizing::default();
-        let data = collect_heterogeneous(&mut FakeSim, &cfg, &fake_suite(29), sizing);
+        let data = collect_heterogeneous(&mut FakeSim, &cfg, &fake_suite(29), sizing).unwrap();
         assert_eq!(data.eval_names.len(), 8);
         assert_eq!(data.train_names.len(), 21);
         assert_eq!(data.ss.len(), 29);
@@ -911,7 +953,8 @@ mod tests {
     fn heterogeneous_prediction_pipeline_runs_and_learns() {
         let cfg = small_cfg();
         let data =
-            collect_heterogeneous(&mut FakeSim, &cfg, &fake_suite(29), HeteroSizing::default());
+            collect_heterogeneous(&mut FakeSim, &cfg, &fake_suite(29), HeteroSizing::default())
+                .unwrap();
         let predictor = train_hetero_predictor(
             &data,
             MlKind::Svm,
@@ -944,7 +987,8 @@ mod tests {
     fn heterogeneous_regression_pipeline_runs() {
         let cfg = small_cfg();
         let data =
-            collect_heterogeneous(&mut FakeSim, &cfg, &fake_suite(29), HeteroSizing::default());
+            collect_heterogeneous(&mut FakeSim, &cfg, &fake_suite(29), HeteroSizing::default())
+                .unwrap();
         let ex = train_hetero_regressor(
             &data,
             MlKind::Svm,
@@ -977,7 +1021,12 @@ mod tests {
     struct RecordingSim(Vec<(SystemConfig, MixSpec)>, FakeSim);
 
     impl Simulate for RecordingSim {
-        fn run_mix(&mut self, cfg: &SystemConfig, mix: &MixSpec, spec: RunSpec) -> SimResult {
+        fn run_mix(
+            &mut self,
+            cfg: &SystemConfig,
+            mix: &MixSpec,
+            spec: RunSpec,
+        ) -> Result<SimResult, SimError> {
             self.0.push((cfg.clone(), mix.clone()));
             self.1.run_mix(cfg, mix, spec)
         }
@@ -989,7 +1038,7 @@ mod tests {
         let suite = fake_suite(4);
         let plan = homogeneous_plan(&cfg, &suite);
         let mut rec = RecordingSim(Vec::new(), FakeSim);
-        let _ = collect_homogeneous(&mut rec, &cfg, &suite);
+        collect_homogeneous(&mut rec, &cfg, &suite).unwrap();
         assert_eq!(plan.len(), rec.0.len());
         for req in &rec.0 {
             assert!(plan.contains(req), "plan missing a collector request");
@@ -1003,7 +1052,7 @@ mod tests {
         let sizing = HeteroSizing::default();
         let plan = heterogeneous_plan(&cfg, &suite, sizing);
         let mut rec = RecordingSim(Vec::new(), FakeSim);
-        let _ = collect_heterogeneous(&mut rec, &cfg, &suite, sizing);
+        collect_heterogeneous(&mut rec, &cfg, &suite, sizing).unwrap();
         assert_eq!(plan.len(), rec.0.len());
         for req in &rec.0 {
             assert!(plan.contains(req), "plan missing a collector request");
@@ -1014,7 +1063,8 @@ mod tests {
     fn mix_training_set_shapes() {
         let cfg = small_cfg();
         let data =
-            collect_heterogeneous(&mut FakeSim, &cfg, &fake_suite(29), HeteroSizing::default());
+            collect_heterogeneous(&mut FakeSim, &cfg, &fake_suite(29), HeteroSizing::default())
+                .unwrap();
         let (rows, targets) = mix_training_set(
             &data.ss,
             &data.train_target,

@@ -15,12 +15,15 @@
 //!
 //! let cfg = ExperimentConfig::default();
 //! let training: Vec<_> = suite().into_iter().filter(|p| p.name != "mcf_r").collect();
-//! let session = ScaleModelSession::train(&mut DirectSim, cfg, &training);
-//! let prediction = session.predict(&mut DirectSim, &by_name("mcf_r").unwrap());
+//! let session = ScaleModelSession::train(&mut DirectSim, cfg, &training).unwrap();
+//! let prediction = session
+//!     .predict(&mut DirectSim, &by_name("mcf_r").unwrap())
+//!     .unwrap();
 //! println!("predicted 32-core IPC: {:.3}", prediction.target_ipc);
 //! ```
 
 use sms_ml::fit::CurveModel;
+use sms_sim::error::SimError;
 use sms_sim::stats::SimResult;
 use sms_workloads::mix::MixSpec;
 use sms_workloads::spec::BenchmarkProfile;
@@ -71,6 +74,10 @@ impl std::fmt::Debug for ScaleModelSession {
 impl ScaleModelSession {
     /// Train with the paper's defaults: SVM + logarithmic regression.
     ///
+    /// # Errors
+    ///
+    /// Propagates the first [`SimError`] of any training simulation.
+    ///
     /// # Panics
     ///
     /// Panics if the training suite is empty or `cfg.ms_cores` has fewer
@@ -79,7 +86,7 @@ impl ScaleModelSession {
         sim: &mut S,
         cfg: ExperimentConfig,
         training_suite: &[BenchmarkProfile],
-    ) -> Self {
+    ) -> Result<Self, SimError> {
         Self::train_with(
             sim,
             cfg,
@@ -92,6 +99,10 @@ impl ScaleModelSession {
 
     /// Train with explicit model choices.
     ///
+    /// # Errors
+    ///
+    /// Propagates the first [`SimError`] of any training simulation.
+    ///
     /// # Panics
     ///
     /// As [`ScaleModelSession::train`].
@@ -102,14 +113,14 @@ impl ScaleModelSession {
         kind: MlKind,
         curve: CurveModel,
         params: &ModelParams,
-    ) -> Self {
+    ) -> Result<Self, SimError> {
         assert!(
             !training_suite.is_empty(),
             "training suite must be non-empty"
         );
         // Scale models only: ML-based Regression never simulates the
         // target (§III-B2).
-        let data = collect_scale_models(sim, &cfg, training_suite);
+        let data = collect_scale_models(sim, &cfg, training_suite)?;
         let training: Vec<ScaleModelTraining> = cfg
             .ms_cores
             .iter()
@@ -138,7 +149,7 @@ impl ScaleModelSession {
             })
             .collect();
         let extrapolator = RegressionExtrapolator::train(kind, curve, &training, params, 1234);
-        Self { cfg, extrapolator }
+        Ok(Self { cfg, extrapolator })
     }
 
     /// The experiment configuration in use.
@@ -148,19 +159,23 @@ impl ScaleModelSession {
 
     /// Predict the per-core target IPC of an unseen application from one
     /// single-core scale-model simulation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the [`SimError`] of the scale-model run.
     pub fn predict<S: Simulate>(
         &self,
         sim: &mut S,
         profile: &BenchmarkProfile,
-    ) -> TargetPrediction {
+    ) -> Result<TargetPrediction, SimError> {
         let ss_cfg = scale_config(&self.cfg.target, 1, self.cfg.policy);
         let mix = MixSpec::homogeneous(profile.name, 1, self.cfg.seed);
-        let run: SimResult = sim.run_mix(&ss_cfg, &mix, self.cfg.spec);
+        let run: SimResult = sim.run_mix(&ss_cfg, &mix, self.cfg.spec)?;
         let ss = SsMeasurement {
             ipc: run.cores[0].ipc,
             bandwidth: run.cores[0].bandwidth_gbps,
         };
-        self.predict_from_measurement(profile.name, ss, run.host_seconds)
+        Ok(self.predict_from_measurement(profile.name, ss, run.host_seconds))
     }
 
     /// Predict from an already-measured single-core scale-model result
@@ -218,7 +233,7 @@ mod tests {
             cfg: &SystemConfig,
             mix: &MixSpec,
             _spec: RunSpec,
-        ) -> SimResult {
+        ) -> Result<SimResult, SimError> {
             let cores = mix.benchmarks.len();
             let results = mix
                 .benchmarks
@@ -245,7 +260,7 @@ mod tests {
                     }
                 })
                 .collect();
-            SimResult {
+            Ok(SimResult {
                 cores: results,
                 elapsed_cycles: 1_000_000,
                 total_dram_bytes: 0,
@@ -255,7 +270,7 @@ mod tests {
                 llc_accesses: 0,
                 llc_hits: 0,
                 host_seconds: 0.001 * cfg.num_cores as f64,
-            }
+            })
         }
     }
 
@@ -273,13 +288,10 @@ mod tests {
             .filter(|(i, _)| ![5usize, 10, 15, 20].contains(i))
             .map(|(_, p)| p.clone())
             .collect();
-        let session = ScaleModelSession::train(
-            &mut FakeSim,
-            ExperimentConfig::default(),
-            &train,
-        );
+        let session =
+            ScaleModelSession::train(&mut FakeSim, ExperimentConfig::default(), &train).unwrap();
         for p in &eval {
-            let pred = session.predict(&mut FakeSim, p);
+            let pred = session.predict(&mut FakeSim, p).unwrap();
             let (ipc0, bw0) = intrinsic(p.name);
             let truth = ipc0 / (1.0 + bw0 / 3.5 * 0.08 * 32f64.ln());
             let err = (pred.target_ipc - truth).abs() / truth;
@@ -292,24 +304,20 @@ mod tests {
     #[test]
     fn predict_from_measurement_matches_predict() {
         let all = suite();
-        let session = ScaleModelSession::train(
-            &mut FakeSim,
-            ExperimentConfig::default(),
-            &all[..10],
-        );
+        let session =
+            ScaleModelSession::train(&mut FakeSim, ExperimentConfig::default(), &all[..10])
+                .unwrap();
         let p = &all[20];
-        let a = session.predict(&mut FakeSim, p);
+        let a = session.predict(&mut FakeSim, p).unwrap();
         let b = session.predict_from_measurement(p.name, a.ss, 0.0);
         assert_eq!(a.target_ipc, b.target_ipc);
     }
 
     #[test]
     fn debug_formatting_is_informative() {
-        let session = ScaleModelSession::train(
-            &mut FakeSim,
-            ExperimentConfig::default(),
-            &suite()[..5],
-        );
+        let session =
+            ScaleModelSession::train(&mut FakeSim, ExperimentConfig::default(), &suite()[..5])
+                .unwrap();
         let d = format!("{session:?}");
         assert!(d.contains("target_cores: 32"));
         assert!(d.contains("SVM") || d.contains("Svm"));

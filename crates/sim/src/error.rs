@@ -72,6 +72,10 @@ pub enum SimError {
     },
     /// A per-core instruction budget of zero was requested.
     EmptyBudget,
+    /// The simulation panicked; the payload is the panic message. Produced
+    /// by fault-tolerant executors that isolate worker panics
+    /// (`catch_unwind`) and convert them into typed errors.
+    Panicked(String),
 }
 
 impl fmt::Display for SimError {
@@ -83,6 +87,7 @@ impl fmt::Display for SimError {
                 "got {sources} instruction sources for {cores} cores; counts must match"
             ),
             Self::EmptyBudget => write!(f, "per-core instruction budget must be non-zero"),
+            Self::Panicked(msg) => write!(f, "simulation panicked: {msg}"),
         }
     }
 }
@@ -126,6 +131,7 @@ mod tests {
                 cores: 4,
             }
             .to_string(),
+            SimError::Panicked("index out of bounds".to_owned()).to_string(),
         ];
         for m in msgs {
             assert!(!m.is_empty());

@@ -22,6 +22,15 @@ pub struct HistoryQueue {
 /// forgotten (their gaps can no longer be filled, a harmless approximation).
 const MAX_INTERVALS: usize = 256;
 
+/// Gap (in cycles) below which two busy intervals are considered touching
+/// and coalesced. Interval endpoints are built from independently
+/// accumulated `f64` sums (per-core timestamps vs. chained service times),
+/// so logically adjacent intervals differ by rounding error and exact
+/// equality almost never merges them; the list then fragments until
+/// [`MAX_INTERVALS`] silently drops history. A sub-cycle epsilon merges
+/// those while leaving genuine idle gaps (>= 1 cycle) alone.
+const COALESCE_EPS: f64 = 1e-6;
+
 impl HistoryQueue {
     /// An initially idle queue.
     pub fn new() -> Self {
@@ -58,8 +67,10 @@ impl HistoryQueue {
 
         // Claim [t, t + service), coalescing with touching neighbours.
         let end = t + service;
-        let touches_prev = idx > 0 && self.intervals[idx - 1].1 == t;
-        let touches_next = idx < self.intervals.len() && self.intervals[idx].0 == end;
+        // `t >= intervals[idx-1].1` and `end <= intervals[idx].0` hold by
+        // construction, so the gap widths below are non-negative.
+        let touches_prev = idx > 0 && t - self.intervals[idx - 1].1 <= COALESCE_EPS;
+        let touches_next = idx < self.intervals.len() && self.intervals[idx].0 - end <= COALESCE_EPS;
         match (touches_prev, touches_next) {
             (true, true) => {
                 self.intervals[idx - 1].1 = self.intervals[idx].1;
@@ -195,6 +206,40 @@ mod tests {
             q.request(i as f64 * 100.0, 1.0);
         }
         assert!(q.interval_count() <= MAX_INTERVALS);
+    }
+
+    #[test]
+    fn float_drift_adjacent_intervals_coalesce() {
+        // Regression: arrival timestamps computed by multiplication
+        // (`i * dt`) and interval ends accumulated by addition drift apart
+        // by rounding error, so adjacent intervals used to fail the exact
+        // `==` coalescing check and fragment the list until MAX_INTERVALS
+        // dropped history. With epsilon coalescing the saturated queue
+        // collapses to a handful of intervals.
+        let mut q = HistoryQueue::new();
+        let dt = 1.0 / 3.0;
+        for i in 0..5_000 {
+            // Offered load exactly matches capacity: every request lands
+            // flush against the previous one, modulo float error.
+            q.request(i as f64 * dt, dt);
+        }
+        assert!(
+            q.interval_count() <= 4,
+            "drifted back-to-back intervals must coalesce, got {} intervals",
+            q.interval_count()
+        );
+        // Sanity: the queue is still a correct server — a request at time
+        // zero waits behind the whole backlog.
+        let wait = q.request(0.0, 1.0);
+        assert!(wait > 1000.0, "expected full backlog wait, got {wait}");
+    }
+
+    #[test]
+    fn genuine_idle_gaps_are_not_absorbed() {
+        let mut q = HistoryQueue::new();
+        q.request(0.0, 16.0); // [0,16)
+        q.request(17.0, 16.0); // [17,33): a 1-cycle gap, far above EPS
+        assert_eq!(q.interval_count(), 2);
     }
 
     #[test]

@@ -148,6 +148,83 @@ fn prefetcher_disabled_slows_streamers() {
 }
 
 #[test]
+fn post_warmup_stats_cover_measured_phase_only() {
+    // Guards the warm-up snapshot-subtract contract (`reset_stats` on the
+    // private caches / uncore plus the DRAM/NoC queue `rebase`): a run
+    // with a heavy warm-up must report DRAM and NoC traffic from the
+    // measured phase only. With deterministic sources, a full run over
+    // [0, W+M) decomposes into a prefix run over [0, W) plus the measured
+    // phase of a warmed run (warmup W, measure M), so the warmed run's
+    // totals must match full-minus-prefix, not the full totals.
+    // 4 MB streams (vs a 2 MB LLC): the measured phase always has DRAM
+    // traffic, so the decomposition is over steady-state streaming.
+    let make = || -> Vec<Box<dyn InstructionSource>> {
+        (0..2u64)
+            .map(|i| stream_source("s", i << 40, 1 << 16, i * 997))
+            .collect()
+    };
+    let w = 400_000u64;
+    let m = 100_000u64;
+    let run = |spec: RunSpec| {
+        let mut sys = MulticoreSystem::new(cfg(2), make()).unwrap();
+        sys.run(spec).unwrap()
+    };
+    let full = run(RunSpec {
+        warmup_instructions: 0,
+        measure_instructions: w + m,
+    });
+    let prefix = run(RunSpec {
+        warmup_instructions: 0,
+        measure_instructions: w,
+    });
+    let warmed = run(RunSpec {
+        warmup_instructions: w,
+        measure_instructions: m,
+    });
+
+    // The measured phase retires ~M instructions per core, not W+M.
+    for c in &warmed.cores {
+        assert!(
+            c.instructions >= m && c.instructions < w,
+            "measured-phase retire count {} must be ~{m}, far below the warmup {w}",
+            c.instructions
+        );
+    }
+
+    // Warm-up traffic must be excluded from every uncore counter.
+    assert!(warmed.total_dram_bytes > 0, "stream must still miss");
+    assert!(warmed.total_dram_bytes < full.total_dram_bytes);
+    assert!(warmed.noc_transfers < full.noc_transfers);
+    assert!(warmed.llc_accesses < full.llc_accesses);
+
+    // Decomposition: prefix + warmed ≈ full (warm-up rounds up to a
+    // synchronization boundary, so allow a small tolerance).
+    let close = |a: u64, b: u64, what: &str| {
+        let (a, b) = (a as f64, b as f64);
+        assert!(
+            (a - b).abs() <= 0.05 * b.max(1.0),
+            "{what}: prefix+warmed = {a} vs full = {b}"
+        );
+    };
+    close(
+        prefix.total_dram_bytes + warmed.total_dram_bytes,
+        full.total_dram_bytes,
+        "DRAM bytes",
+    );
+    close(
+        prefix.noc_transfers + warmed.noc_transfers,
+        full.noc_transfers,
+        "NoC transfers",
+    );
+
+    // Utilization-style rates are computed against measured-phase cycles
+    // only: the warmed run's bandwidth must reflect its own phase, within
+    // the same tolerance as the traffic decomposition.
+    assert!(warmed.elapsed_cycles < full.elapsed_cycles);
+    assert!(warmed.total_bandwidth_gbps > 0.0);
+}
+
+#[test]
 fn total_instructions_conserved_across_stop_rule() {
     // Whatever the stop rule does, every core's retired count must be
     // consistent with its reported IPC and cycles.

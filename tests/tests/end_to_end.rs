@@ -49,7 +49,7 @@ fn full_pipeline_on_real_simulator() {
         "roms_r",
         "namd_r",
     ];
-    let data = collect_homogeneous(&mut DirectSim, &cfg, &subset(&bench_names));
+    let data = collect_homogeneous(&mut DirectSim, &cfg, &subset(&bench_names)).unwrap();
     assert_eq!(data.len(), bench_names.len());
 
     let truth: Vec<f64> = data.iter().map(|d| d.target_ipc).collect();
@@ -136,7 +136,7 @@ fn scale_model_ipc_series_is_monotone_toward_target_for_streamers() {
     // model over-predicts and the multi-core scale models approach the
     // target value (the trend regression exploits).
     let cfg = small_experiment();
-    let data = collect_homogeneous(&mut DirectSim, &cfg, &subset(&["lbm_r"]));
+    let data = collect_homogeneous(&mut DirectSim, &cfg, &subset(&["lbm_r"])).unwrap();
     let d = &data[0];
     assert!(
         d.ss.ipc >= d.target_ipc * 0.8,

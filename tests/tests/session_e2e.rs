@@ -43,18 +43,18 @@ fn session_end_to_end_on_real_simulator() {
     .map(|n| by_name(n).expect("known"))
     .collect();
 
-    let session = ScaleModelSession::train(&mut DirectSim, cfg.clone(), &training);
+    let session = ScaleModelSession::train(&mut DirectSim, cfg.clone(), &training).unwrap();
 
     for name in ["xz_r", "fotonik3d_r", "nab_r"] {
         let profile = by_name(name).expect("known");
-        let pred = session.predict(&mut DirectSim, &profile);
+        let pred = session.predict(&mut DirectSim, &profile).unwrap();
         assert!(pred.target_ipc.is_finite() && pred.target_ipc > 0.0);
 
         // Simulate the 8-core truth and require a sane error bound: the
         // budget is tiny, so allow generous slack; the point is that the
         // whole chain is wired correctly, not peak accuracy.
         let mix = MixSpec::homogeneous(name, 8, cfg.seed);
-        let truth_run = DirectSim.run_mix(&target, &mix, cfg.spec);
+        let truth_run = DirectSim.run_mix(&target, &mix, cfg.spec).unwrap();
         let truth =
             truth_run.cores.iter().map(|c| c.ipc).sum::<f64>() / truth_run.cores.len() as f64;
         let err = (pred.target_ipc - truth).abs() / truth;
@@ -79,10 +79,10 @@ fn session_predictions_are_deterministic() {
         .collect();
     let profile = by_name("wrf_r").unwrap();
 
-    let s1 = ScaleModelSession::train(&mut DirectSim, cfg.clone(), &training);
-    let s2 = ScaleModelSession::train(&mut DirectSim, cfg, &training);
-    let p1 = s1.predict(&mut DirectSim, &profile);
-    let p2 = s2.predict(&mut DirectSim, &profile);
+    let s1 = ScaleModelSession::train(&mut DirectSim, cfg.clone(), &training).unwrap();
+    let s2 = ScaleModelSession::train(&mut DirectSim, cfg, &training).unwrap();
+    let p1 = s1.predict(&mut DirectSim, &profile).unwrap();
+    let p2 = s2.predict(&mut DirectSim, &profile).unwrap();
     assert_eq!(p1.target_ipc, p2.target_ipc);
     assert_eq!(p1.ss, p2.ss);
 }
@@ -98,7 +98,7 @@ fn session_uses_only_scale_model_machines() {
             cfg: &sms_sim::config::SystemConfig,
             mix: &MixSpec,
             spec: RunSpec,
-        ) -> sms_sim::stats::SimResult {
+        ) -> Result<sms_sim::stats::SimResult, sms_sim::error::SimError> {
             self.0.push(cfg.num_cores);
             DirectSim.run_mix(cfg, mix, spec)
         }
@@ -120,8 +120,8 @@ fn session_uses_only_scale_model_machines() {
         .collect();
 
     let mut rec = Recording(Vec::new());
-    let session = ScaleModelSession::train(&mut rec, cfg, &training);
-    let _ = session.predict(&mut rec, &by_name("wrf_r").unwrap());
+    let session = ScaleModelSession::train(&mut rec, cfg, &training).unwrap();
+    let _ = session.predict(&mut rec, &by_name("wrf_r").unwrap()).unwrap();
     assert!(
         rec.0.iter().all(|&c| c < 8),
         "the 8-core target must never be simulated: {:?}",
