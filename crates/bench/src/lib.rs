@@ -29,4 +29,4 @@ pub use ctx::{Ctx, Report};
 pub use runner::{
     cache_key, execute_plan, execute_plan_with, CachedSim, PlanSummary, QuarantineRecord,
 };
-pub use telemetry::{RunManifest, RunRecord, RunStatus, RunSummary};
+pub use telemetry::{percentiles, Percentiles, RunManifest, RunRecord, RunStatus, RunSummary};

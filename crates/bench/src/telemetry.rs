@@ -20,7 +20,41 @@ use sms_sim::stats::SimResult;
 use sms_workloads::mix::MixSpec;
 
 /// Manifest schema version; bump when the JSON layout changes.
-pub const MANIFEST_SCHEMA_VERSION: u32 = 1;
+///
+/// v2 added `wall_percentiles` and switched emission to sorted-key JSON.
+pub const MANIFEST_SCHEMA_VERSION: u32 = 2;
+
+/// p50/p95/p99 of a latency or wall-time sample set, in the samples'
+/// unit. Shared between the sweep manifest and the `sms-serve` metrics
+/// endpoint so both report tail behaviour the same way.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Percentiles {
+    /// Median.
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+}
+
+/// Nearest-rank p50/p95/p99 of `samples` (non-finite values ignored).
+/// Returns `None` when no finite samples exist.
+pub fn percentiles(samples: &[f64]) -> Option<Percentiles> {
+    let mut sorted: Vec<f64> = samples.iter().copied().filter(|v| v.is_finite()).collect();
+    if sorted.is_empty() {
+        return None;
+    }
+    sorted.sort_by(f64::total_cmp);
+    let pick = |q: f64| -> f64 {
+        let rank = (q * sorted.len() as f64).ceil() as usize;
+        sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
+    };
+    Some(Percentiles {
+        p50: pick(0.50),
+        p95: pick(0.95),
+        p99: pick(0.99),
+    })
+}
 
 /// Outcome of one plan entry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -122,6 +156,10 @@ pub struct RunManifest {
     pub wall_seconds: f64,
     /// Sum of per-run busy seconds over `workers * wall_seconds` (0..1).
     pub worker_utilization: f64,
+    /// p50/p95/p99 of per-run wall seconds (absent in v1 manifests and
+    /// when nothing ran this invocation).
+    #[serde(default)]
+    pub wall_percentiles: Option<Percentiles>,
     /// Hex key hashes of quarantined entries (also under `quarantine/`).
     pub failed_keys: Vec<String>,
     /// Per-entry records, in completion order.
@@ -155,6 +193,12 @@ impl RunManifest {
             self.wall_seconds,
             self.worker_utilization * 100.0,
         );
+        if let Some(p) = self.wall_percentiles {
+            out.push_str(&format!(
+                "run wall time p50 {:.2}s, p95 {:.2}s, p99 {:.2}s\n",
+                p.p50, p.p95, p.p99
+            ));
+        }
         for r in self.runs.iter().filter(|r| r.status == RunStatus::Quarantined) {
             out.push_str(&format!(
                 "  quarantined {} ({}): {}\n",
@@ -288,6 +332,7 @@ impl Telemetry {
             .filter(|r| r.status == RunStatus::Quarantined)
             .map(|r| r.key_hash.clone())
             .collect();
+        let wall_times: Vec<f64> = runs.iter().map(|r| r.wall_seconds).collect();
         RunManifest {
             schema_version: MANIFEST_SCHEMA_VERSION,
             label: self.label.clone(),
@@ -303,15 +348,17 @@ impl Telemetry {
             } else {
                 0.0
             },
+            wall_percentiles: percentiles(&wall_times),
             failed_keys,
             runs,
         }
     }
 }
 
-/// Write `manifest` as pretty JSON to `dir/manifests/<label>.json`,
-/// returning the path. Failures are reported, not fatal: a sweep must
-/// not die because its diagnostics directory is unwritable.
+/// Write `manifest` as pretty JSON with deterministically sorted keys to
+/// `dir/manifests/<label>.json`, returning the path. Failures are
+/// reported, not fatal: a sweep must not die because its diagnostics
+/// directory is unwritable.
 pub fn write_manifest(dir: &Path, manifest: &RunManifest) -> Option<PathBuf> {
     let dir = dir.join("manifests");
     if let Err(e) = std::fs::create_dir_all(&dir) {
@@ -323,7 +370,7 @@ pub fn write_manifest(dir: &Path, manifest: &RunManifest) -> Option<PathBuf> {
         return None;
     }
     let path = dir.join(format!("{}.json", sanitize_label(&manifest.label)));
-    match serde_json::to_string_pretty(manifest) {
+    match sms_core::artifact::to_sorted_pretty_json(manifest) {
         Ok(json) => match std::fs::write(&path, json) {
             Ok(()) => Some(path),
             Err(e) => {
@@ -429,5 +476,54 @@ mod tests {
     #[test]
     fn sanitized_labels_are_filesystem_safe() {
         assert_eq!(sanitize_label("64-core/PRS x"), "64-core_PRS_x");
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        assert_eq!(percentiles(&[]), None);
+        assert_eq!(percentiles(&[f64::NAN]), None);
+        let one = percentiles(&[3.0]).unwrap();
+        assert_eq!((one.p50, one.p95, one.p99), (3.0, 3.0, 3.0));
+        // 1..=100: nearest-rank percentiles are exactly the rank values,
+        // regardless of input order.
+        let mut v: Vec<f64> = (1..=100).rev().map(f64::from).collect();
+        v.push(f64::INFINITY); // ignored
+        let p = percentiles(&v).unwrap();
+        assert_eq!((p.p50, p.p95, p.p99), (50.0, 95.0, 99.0));
+    }
+
+    #[test]
+    fn manifest_records_wall_percentiles_and_sorted_keys() {
+        let t = Telemetry::start("pct", 1, 3, 0);
+        t.record(record(RunStatus::Ok, 0.1));
+        t.record(record(RunStatus::Ok, 0.2));
+        t.record(record(RunStatus::Ok, 0.9));
+        let m = t.finish();
+        let p = m.wall_percentiles.expect("percentiles present");
+        assert_eq!(p.p50, 0.2);
+        assert_eq!(p.p99, 0.9);
+        assert!(m.render().contains("p95"));
+
+        let dir = std::env::temp_dir().join(format!("sms-telemetry-pct-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = write_manifest(&dir, &m).expect("manifest written");
+        let text = std::fs::read_to_string(&path).unwrap();
+        // Emission is canonical: keys sorted, so re-serializing the parsed
+        // value reproduces the bytes.
+        let v: serde_json::Value = serde_json::from_str(&text).unwrap();
+        assert_eq!(serde_json::to_string_pretty(&v).unwrap(), text);
+        let keys: Vec<&String> = v.as_object().unwrap().keys().collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
+        // Older (v1) manifests without the field still load.
+        let mut v1 = v.clone();
+        v1.as_object_mut().unwrap().remove("wall_percentiles");
+        v1["schema_version"] = serde_json::json!(1);
+        std::fs::write(&path, serde_json::to_string(&v1).unwrap()).unwrap();
+        let back = RunManifest::load(&path).unwrap();
+        assert_eq!(back.wall_percentiles, None);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

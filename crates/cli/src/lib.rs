@@ -12,6 +12,9 @@
 //! sms bench-table                                          # characterize the suite
 //! sms sweep     --bench lbm_r[,mcf_r,...] [--target-cores 32] [--threads T] [--results DIR]
 //! sms manifest  --path results/cache/manifests/LABEL.json  # inspect a run manifest
+//! sms train     [--bench ...] [--target-cores 32] [--kind svm] [--curve log] [--save]
+//! sms models    [--results DIR]                             # list saved artifacts
+//! sms serve     [--addr 127.0.0.1:8080] [--workers 4] [--results DIR]
 //! ```
 
 #![forbid(unsafe_code)]
@@ -19,7 +22,11 @@ use std::collections::HashMap;
 use std::path::Path;
 
 use sms_bench::{execute_plan, CachedSim, RunManifest};
+use sms_core::artifact::train_artifact;
 use sms_core::pipeline::{homogeneous_plan, mean_bandwidth, mean_ipc, DirectSim, ExperimentConfig};
+use sms_core::predictor::{MlKind, ModelParams};
+use sms_ml::fit::CurveModel;
+use sms_serve::{models_dir, serve, ModelRegistry, ServerConfig};
 use sms_core::scaling::{scale_config, scale_table, target_config, MemBwScaling, ScalingPolicy};
 use sms_core::session::ScaleModelSession;
 use sms_sim::config::SystemConfig;
@@ -59,8 +66,16 @@ pub enum CliError {
 impl std::fmt::Display for CliError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            Self::NoCommand => write!(f, "no command given; try `sms help`"),
-            Self::UnknownCommand(c) => write!(f, "unknown command `{c}`; try `sms help`"),
+            Self::NoCommand => {
+                write!(f, "no command given; commands: {}", COMMANDS.join(", "))
+            }
+            Self::UnknownCommand(c) => {
+                write!(
+                    f,
+                    "unknown command `{c}`; commands: {} (see `sms help`)",
+                    COMMANDS.join(", ")
+                )
+            }
             Self::MissingOption(o) => write!(f, "missing required option --{o}"),
             Self::BadValue(k, v) => write!(f, "cannot parse --{k} value `{v}`"),
             Self::UnknownBenchmark(b) => {
@@ -141,10 +156,29 @@ pub fn run(args: &Args) -> Result<String, CliError> {
         "bench-table" => cmd_bench_table(args),
         "sweep" => cmd_sweep(args),
         "manifest" => cmd_manifest(args),
+        "train" => cmd_train(args),
+        "models" => cmd_models(args),
+        "serve" => cmd_serve(args),
         "help" | "--help" | "-h" => Ok(HELP.to_owned()),
         other => Err(CliError::UnknownCommand(other.to_owned())),
     }
 }
+
+/// Every subcommand the `sms` binary understands, in help order. Both the
+/// help text and the unknown-command error enumerate this list.
+pub const COMMANDS: &[&str] = &[
+    "simulate",
+    "scale",
+    "predict",
+    "trace",
+    "bench-table",
+    "sweep",
+    "manifest",
+    "train",
+    "models",
+    "serve",
+    "help",
+];
 
 /// Help text.
 pub const HELP: &str = "\
@@ -180,6 +214,28 @@ USAGE:
   sms manifest --path FILE
       Pretty-print a JSON run manifest written by `sms sweep` or the
       bench experiment executor.
+
+  sms train [--bench NAME[,NAME...]] [--target-cores N] [--budget N] [--seed S]
+            [--kind svm|dt|rf|krr] [--curve log|linear|power] [--name NAME]
+            [--results DIR] [--save]
+      Train the paper's ML-based Regression on the scale-model ladder
+      (benchmarks default to the full 29-entry suite) and report its
+      leave-one-out cross-validation error. With --save, persist the
+      trained model as a versioned, checksummed JSON artifact under
+      DIR/cache/models/ for `sms serve`.
+
+  sms models [--results DIR]
+      List the model artifacts saved under DIR/cache/models/.
+
+  sms serve [--addr HOST:PORT] [--workers N] [--results DIR]
+      Serve saved model artifacts over HTTP (no simulation at request
+      time): POST /predict, GET /models, GET /healthz, GET /metrics,
+      POST /shutdown. Requests are batched per model, memoized in an
+      LRU cache, and shed with 503 when the queue is full. Stop with
+      POST /shutdown or by typing `q` on stdin.
+
+  sms help
+      Print this help.
 ";
 
 fn machine_for(args: &Args, cores: u32) -> Result<SystemConfig, CliError> {
@@ -477,6 +533,199 @@ fn cmd_manifest(args: &Args) -> Result<String, CliError> {
     Ok(manifest.render())
 }
 
+fn results_dir(args: &Args) -> String {
+    args.options
+        .get("results")
+        .cloned()
+        .unwrap_or_else(|| "results".to_owned())
+}
+
+fn kind_for(args: &Args) -> Result<MlKind, CliError> {
+    match args.options.get("kind").map(String::as_str) {
+        None | Some("svm") => Ok(MlKind::Svm),
+        Some("dt") => Ok(MlKind::DecisionTree),
+        Some("rf") => Ok(MlKind::RandomForest),
+        Some("krr") => Ok(MlKind::KernelRidge),
+        Some(other) => Err(CliError::BadValue("kind".into(), other.to_owned())),
+    }
+}
+
+fn curve_for(args: &Args) -> Result<CurveModel, CliError> {
+    match args.options.get("curve").map(String::as_str) {
+        None | Some("log") => Ok(CurveModel::Logarithmic),
+        Some("linear") => Ok(CurveModel::Linear),
+        Some("power") => Ok(CurveModel::Power),
+        Some(other) => Err(CliError::BadValue("curve".into(), other.to_owned())),
+    }
+}
+
+fn format_cv(cv: Option<f64>) -> String {
+    cv.map_or_else(|| "n/a".to_owned(), |e| format!("{:.1}%", e * 100.0))
+}
+
+fn cmd_train(args: &Args) -> Result<String, CliError> {
+    let target_cores = args.get_u32("target-cores", 32)?;
+    // The ladder needs at least two multi-core scale models (2 and 4), so
+    // the smallest trainable target is 8 cores.
+    if !target_cores.is_power_of_two() || target_cores < 8 || target_cores > 256 {
+        return Err(CliError::BadValue(
+            "target-cores".into(),
+            target_cores.to_string(),
+        ));
+    }
+    let seed = args.get_u64("seed", 43)?;
+    let spec = spec_for(args)?;
+    let kind = kind_for(args)?;
+    let curve = curve_for(args)?;
+    let results = results_dir(args);
+
+    let profiles: Vec<_> = match args.options.get("bench") {
+        Some(list) => list
+            .split(',')
+            .map(|n| by_name(n).ok_or_else(|| CliError::UnknownBenchmark(n.to_owned())))
+            .collect::<Result<_, _>>()?,
+        None => suite(),
+    };
+
+    // Scale-model ladder: every power of two strictly between 1 and the
+    // target (the 1-core model is the ss measurement collected anyway).
+    let mut ms_cores = Vec::new();
+    let mut c = 2u32;
+    while c < target_cores {
+        ms_cores.push(c);
+        c *= 2;
+    }
+    let cfg = ExperimentConfig {
+        target: target_config(target_cores),
+        ms_cores,
+        spec,
+        seed,
+        ..ExperimentConfig::default()
+    };
+    let name = args.options.get("name").cloned().unwrap_or_else(|| {
+        format!("{kind}-{curve}-{target_cores}c").to_lowercase()
+    });
+
+    let mut cache = CachedSim::open(Path::new(&results).join("cache"))
+        .map_err(|e| CliError::Io(e.to_string()))?;
+    eprintln!(
+        "training {kind}-{curve} artifact `{name}`: {} benchmarks x {} scale models...",
+        profiles.len(),
+        cfg.ms_cores.len() + 1,
+    );
+    let artifact = train_artifact(
+        &mut cache,
+        cfg,
+        &profiles,
+        kind,
+        curve,
+        &ModelParams::default(),
+        &name,
+    )
+    .map_err(|e| CliError::Sim(e.to_string()))?;
+
+    let mut out = format!(
+        "artifact `{}`: kind {kind}, curve {curve}, target {target_cores} cores\n\
+         trained on {} benchmark(s), LOO cv error {}\n",
+        artifact.name,
+        artifact.payload.trained_on.len(),
+        format_cv(artifact.payload.cv_error),
+    );
+    if args.flag("save") {
+        let path = artifact
+            .save_in(&models_dir(Path::new(&results)))
+            .map_err(|e| CliError::Io(e.to_string()))?;
+        out.push_str(&format!("saved to {}\n", path.display()));
+    } else {
+        out.push_str("(pass --save to persist it under <results>/cache/models/)\n");
+    }
+    Ok(out)
+}
+
+fn cmd_models(args: &Args) -> Result<String, CliError> {
+    let dir = models_dir(Path::new(&results_dir(args)));
+    let registry = ModelRegistry::open(&dir).map_err(|e| CliError::Io(e.to_string()))?;
+    if registry.is_empty() {
+        return Ok(format!(
+            "no model artifacts under {} (train one with `sms train --save`)\n",
+            dir.display()
+        ));
+    }
+    let mut out = format!(
+        "{:<24} {:>5} {:>7} {:>7} {:>7} {:>9}\n",
+        "name", "kind", "curve", "target", "benchs", "cv error"
+    );
+    for info in registry.infos() {
+        out.push_str(&format!(
+            "{:<24} {:>5} {:>7} {:>7} {:>7} {:>9}\n",
+            info.name,
+            info.kind,
+            info.curve,
+            info.target_cores,
+            info.benchmarks,
+            format_cv(info.cv_error),
+        ));
+    }
+    out.push_str(&format!("({} artifact(s) under {})\n", registry.len(), dir.display()));
+    Ok(out)
+}
+
+fn cmd_serve(args: &Args) -> Result<String, CliError> {
+    let results = results_dir(args);
+    let addr = args
+        .options
+        .get("addr")
+        .cloned()
+        .unwrap_or_else(|| "127.0.0.1:8080".to_owned());
+    let workers = args.get_u64("workers", 4)? as usize;
+
+    let dir = models_dir(Path::new(&results));
+    let registry = ModelRegistry::open(&dir).map_err(|e| CliError::Io(e.to_string()))?;
+    if registry.is_empty() {
+        eprintln!(
+            "warning: no model artifacts under {}; /predict will answer 404 \
+             (train one with `sms train --save`)",
+            dir.display()
+        );
+    }
+    let models = registry.len();
+
+    let config = ServerConfig {
+        addr,
+        workers,
+        ..ServerConfig::default()
+    };
+    let handle = serve(registry, config).map_err(|e| CliError::Io(e.to_string()))?;
+    let bound = handle.addr();
+    eprintln!(
+        "sms-serve listening on http://{bound} serving {models} model(s); \
+         stop with POST /shutdown or `q` on stdin"
+    );
+
+    // Pure-std builds cannot install OS signal handlers, so graceful
+    // shutdown comes from POST /shutdown or an explicit `q`/`quit`/`stop`
+    // line on stdin. EOF parks the watcher (a detached stdin must not
+    // stop the server).
+    let trigger = handle.shutdown_trigger();
+    std::thread::spawn(move || {
+        let mut line = String::new();
+        loop {
+            line.clear();
+            match std::io::stdin().read_line(&mut line) {
+                Ok(0) | Err(_) => return,
+                Ok(_) if matches!(line.trim(), "q" | "quit" | "stop") => {
+                    trigger.trigger();
+                    return;
+                }
+                Ok(_) => {}
+            }
+        }
+    });
+
+    handle.join();
+    Ok(format!("sms-serve on {bound} shut down cleanly\n"))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -518,6 +767,77 @@ mod tests {
         assert!(matches!(
             run(&args(&["frobnicate"])),
             Err(CliError::UnknownCommand(_))
+        ));
+    }
+
+    #[test]
+    fn help_and_unknown_command_list_every_subcommand() {
+        let help = run(&args(&["help"])).unwrap();
+        let unknown = run(&args(&["frobnicate"])).unwrap_err().to_string();
+        for c in COMMANDS {
+            assert!(help.contains(c), "help is missing `{c}`");
+            assert!(unknown.contains(c), "unknown-command error is missing `{c}`");
+        }
+        assert!(unknown.contains("frobnicate"));
+    }
+
+    #[test]
+    fn train_save_and_models_roundtrip() {
+        let results = std::env::temp_dir().join(format!("sms-cli-train-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&results);
+        let out = run(&args(&[
+            "train",
+            "--bench",
+            "leela_r,xz_r,gcc_r",
+            "--target-cores",
+            "8",
+            "--budget",
+            "20000",
+            "--save",
+            "--results",
+            results.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("artifact `svm-log-8c`"), "{out}");
+        assert!(out.contains("trained on 3 benchmark(s)"), "{out}");
+        assert!(out.contains("saved to"), "{out}");
+        assert!(results.join("cache/models/svm-log-8c.json").exists());
+
+        let listing = run(&args(&["models", "--results", results.to_str().unwrap()])).unwrap();
+        assert!(listing.contains("svm-log-8c"), "{listing}");
+        assert!(listing.contains("SVM"), "{listing}");
+        assert!(listing.contains("1 artifact(s)"), "{listing}");
+        let _ = std::fs::remove_dir_all(&results);
+    }
+
+    #[test]
+    fn models_with_no_artifacts_hints_at_train() {
+        let results = std::env::temp_dir().join(format!("sms-cli-nomodels-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&results);
+        let out = run(&args(&["models", "--results", results.to_str().unwrap()])).unwrap();
+        assert!(out.contains("no model artifacts"), "{out}");
+        assert!(out.contains("sms train --save"), "{out}");
+        let _ = std::fs::remove_dir_all(&results);
+    }
+
+    #[test]
+    fn train_rejects_bad_options() {
+        assert!(matches!(
+            run(&args(&["train", "--kind", "gpt"])),
+            Err(CliError::BadValue(_, _))
+        ));
+        assert!(matches!(
+            run(&args(&["train", "--curve", "cubic"])),
+            Err(CliError::BadValue(_, _))
+        ));
+        // Too small for a two-model scale ladder.
+        assert!(matches!(
+            run(&args(&["train", "--target-cores", "4"])),
+            Err(CliError::BadValue(_, _))
+        ));
+        assert!(matches!(
+            run(&args(&["train", "--bench", "nope_r", "--target-cores", "8"])),
+            Err(CliError::UnknownBenchmark(_))
         ));
     }
 

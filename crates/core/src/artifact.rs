@@ -1,0 +1,687 @@
+//! Persisted model artifacts: versioned, checksummed JSON snapshots of a
+//! trained ML-based-Regression model.
+//!
+//! The paper's economics hinge on amortization: training simulates the
+//! scale models once, then every prediction is a cheap model evaluation
+//! (§III-B2, Fig 2). An in-process [`crate::session::ScaleModelSession`]
+//! only amortizes within one process lifetime; a [`ModelArtifact`]
+//! extends that across processes and machines by serializing everything a
+//! prediction needs:
+//!
+//! * the trained [`RegressionExtrapolator`] (per-scale-model predictors
+//!   plus the extrapolation curve family),
+//! * the [`ExperimentConfig`] it was trained under (target machine,
+//!   scale-model ladder, feature mode),
+//! * the single-core scale-model measurements of every training
+//!   benchmark, so mixes over known benchmarks can be predicted without
+//!   any simulation at all,
+//! * a leave-one-out cross-validation error estimated at the scale-model
+//!   level (no target-system truth required), attached to every
+//!   prediction served from the artifact.
+//!
+//! The on-disk format is JSON with deterministically sorted keys, a
+//! schema tag, a format version and an FNV-1a checksum over the canonical
+//! payload encoding. Loading verifies all three and fails with a typed
+//! [`ArtifactError`] rather than silently predicting from corrupt state.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use serde::{Deserialize, Serialize};
+use sms_ml::fit::CurveModel;
+use sms_sim::error::SimError;
+use sms_workloads::spec::BenchmarkProfile;
+
+use crate::features::{corunner_bandwidth, feature_vector, SsMeasurement};
+use crate::metrics::prediction_error;
+use crate::pipeline::{
+    collect_scale_models, scale_model_training_sets, ExperimentConfig, ScaleModelData, Simulate,
+};
+use crate::predictor::{MlKind, ModelParams};
+use crate::regressor::RegressionExtrapolator;
+use crate::session::TRAINING_SEED;
+
+/// Schema tag identifying artifact files (`schema` field).
+pub const ARTIFACT_SCHEMA: &str = "sms-model-artifact";
+
+/// Current artifact format version (`schema_version` field). Bump on any
+/// incompatible change to [`ArtifactPayload`].
+pub const ARTIFACT_SCHEMA_VERSION: u32 = 1;
+
+/// Everything needed to answer prediction queries without retraining.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ArtifactPayload {
+    /// ML technique of the per-scale-model predictors.
+    pub kind: MlKind,
+    /// Curve family used to extrapolate IPC versus core count.
+    pub curve: CurveModel,
+    /// The experiment configuration the model was trained under.
+    pub cfg: ExperimentConfig,
+    /// The trained extrapolator (full model state).
+    pub extrapolator: RegressionExtrapolator,
+    /// Single-core scale-model measurements per training benchmark,
+    /// keyed by benchmark name.
+    pub ss_table: BTreeMap<String, SsMeasurement>,
+    /// Mean leave-one-out cross-validation error at the scale-model
+    /// level (see [`train_artifact`]); `None` when the training suite is
+    /// too small to estimate one.
+    pub cv_error: Option<f64>,
+    /// Benchmark names the model was trained on, in training order.
+    pub trained_on: Vec<String>,
+}
+
+/// A versioned, checksummed, serialized trained model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelArtifact {
+    /// Schema tag; always [`ARTIFACT_SCHEMA`].
+    pub schema: String,
+    /// Format version; always [`ARTIFACT_SCHEMA_VERSION`] when produced
+    /// by this build.
+    pub schema_version: u32,
+    /// User-chosen model name (registry key).
+    pub name: String,
+    /// Hex FNV-1a/64 checksum of the canonical (sorted-key, compact)
+    /// JSON encoding of `payload`.
+    pub checksum: String,
+    /// The trained model state.
+    pub payload: ArtifactPayload,
+}
+
+/// One served prediction for a workload mix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MixPrediction {
+    /// The benchmarks of the mix, one per target core slot.
+    pub benchmarks: Vec<String>,
+    /// Core count the prediction extrapolates to.
+    pub target_cores: u32,
+    /// Predicted per-core IPC, aligned with `benchmarks`.
+    pub per_core_ipc: Vec<f64>,
+    /// Predicted system throughput (sum of per-slot speedups over the
+    /// single-core scale-model baseline); `0.0` when a baseline IPC is
+    /// non-positive.
+    pub stp: f64,
+    /// The model's cross-validation error, attached so consumers can
+    /// weigh the prediction.
+    pub cv_error: Option<f64>,
+}
+
+/// Errors loading, validating, or querying a [`ModelArtifact`].
+#[derive(Debug)]
+pub enum ArtifactError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// The file is not valid JSON or does not match the artifact shape.
+    Json(serde_json::Error),
+    /// The file's schema tag is not [`ARTIFACT_SCHEMA`].
+    SchemaMismatch {
+        /// Tag found in the file.
+        found: String,
+    },
+    /// The file's format version differs from this build's.
+    VersionMismatch {
+        /// Version found in the file.
+        found: u32,
+        /// Version this build reads/writes.
+        expected: u32,
+    },
+    /// The stored checksum does not match the payload.
+    ChecksumMismatch {
+        /// Checksum recorded in the file.
+        stored: String,
+        /// Checksum recomputed from the payload.
+        computed: String,
+    },
+    /// A prediction request named a benchmark absent from the artifact's
+    /// single-core measurement table.
+    UnknownBenchmark(String),
+    /// A prediction request supplied an empty mix.
+    EmptyMix,
+    /// A prediction request supplied an unusable target core count.
+    BadTargetCores(u32),
+}
+
+impl std::fmt::Display for ArtifactError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "artifact I/O error: {e}"),
+            Self::Json(e) => write!(f, "artifact JSON error: {e}"),
+            Self::SchemaMismatch { found } => {
+                write!(f, "not a model artifact (schema tag {found:?}, expected {ARTIFACT_SCHEMA:?})")
+            }
+            Self::VersionMismatch { found, expected } => {
+                write!(f, "artifact format version {found} unsupported (expected {expected})")
+            }
+            Self::ChecksumMismatch { stored, computed } => {
+                write!(f, "artifact checksum mismatch (stored {stored}, computed {computed})")
+            }
+            Self::UnknownBenchmark(name) => {
+                write!(f, "benchmark {name:?} is not in the model's measurement table")
+            }
+            Self::EmptyMix => write!(f, "prediction request has an empty mix"),
+            Self::BadTargetCores(n) => write!(f, "target core count {n} is unusable"),
+        }
+    }
+}
+
+impl std::error::Error for ArtifactError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Io(e) => Some(e),
+            Self::Json(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ArtifactError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for ArtifactError {
+    fn from(e: serde_json::Error) -> Self {
+        Self::Json(e)
+    }
+}
+
+/// Serialize to canonical JSON: compact, with object keys sorted.
+///
+/// Round-tripping through [`serde_json::Value`] sorts keys because the
+/// workspace's `serde_json` uses the `BTreeMap`-backed object
+/// representation, and the `float_roundtrip` feature keeps every `f64`
+/// exact. Checksums and golden tests rely on this encoding being
+/// byte-stable.
+///
+/// # Errors
+///
+/// Propagates any [`serde_json::Error`] from serialization.
+pub fn to_canonical_json<T: Serialize>(value: &T) -> Result<String, serde_json::Error> {
+    let v = serde_json::to_value(value)?;
+    serde_json::to_string(&v)
+}
+
+/// Pretty-printed variant of [`to_canonical_json`] (sorted keys, 2-space
+/// indentation) for on-disk files.
+///
+/// # Errors
+///
+/// Propagates any [`serde_json::Error`] from serialization.
+pub fn to_sorted_pretty_json<T: Serialize>(value: &T) -> Result<String, serde_json::Error> {
+    let v = serde_json::to_value(value)?;
+    serde_json::to_string_pretty(&v)
+}
+
+/// FNV-1a 64-bit hash, rendered as 16 hex digits.
+fn fnv1a64_hex(bytes: &[u8]) -> String {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    format!("{h:016x}")
+}
+
+/// Make a model name safe for use as a file stem.
+pub fn sanitize_name(name: &str) -> String {
+    let cleaned: String = name
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' || c == '_' || c == '.' {
+                c
+            } else {
+                '-'
+            }
+        })
+        .collect();
+    if cleaned.is_empty() {
+        "model".to_owned()
+    } else {
+        cleaned
+    }
+}
+
+impl ModelArtifact {
+    /// Wrap a payload with the current schema tag, version, and a freshly
+    /// computed checksum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the payload fails to serialize, which cannot happen for
+    /// the plain-data types it contains.
+    pub fn new(name: &str, payload: ArtifactPayload) -> Self {
+        let canonical = to_canonical_json(&payload).expect("artifact payload serializes");
+        Self {
+            schema: ARTIFACT_SCHEMA.to_owned(),
+            schema_version: ARTIFACT_SCHEMA_VERSION,
+            name: name.to_owned(),
+            checksum: fnv1a64_hex(canonical.as_bytes()),
+            payload,
+        }
+    }
+
+    /// Re-derive the payload checksum and compare against the stored one.
+    ///
+    /// # Errors
+    ///
+    /// [`ArtifactError::ChecksumMismatch`] when they differ.
+    pub fn verify(&self) -> Result<(), ArtifactError> {
+        let canonical = to_canonical_json(&self.payload)?;
+        let computed = fnv1a64_hex(canonical.as_bytes());
+        if computed != self.checksum {
+            return Err(ArtifactError::ChecksumMismatch {
+                stored: self.checksum.clone(),
+                computed,
+            });
+        }
+        Ok(())
+    }
+
+    /// The file name this artifact saves under: `<sanitized name>.json`.
+    pub fn file_name(&self) -> String {
+        format!("{}.json", sanitize_name(&self.name))
+    }
+
+    /// Write the artifact to `path` as sorted-key pretty JSON, creating
+    /// parent directories as needed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem and serialization failures.
+    pub fn save(&self, path: &Path) -> Result<(), ArtifactError> {
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        let mut text = to_sorted_pretty_json(self)?;
+        text.push('\n');
+        fs::write(path, text)?;
+        Ok(())
+    }
+
+    /// Write the artifact into `dir` under [`ModelArtifact::file_name`]
+    /// and return the full path.
+    ///
+    /// # Errors
+    ///
+    /// As [`ModelArtifact::save`].
+    pub fn save_in(&self, dir: &Path) -> Result<PathBuf, ArtifactError> {
+        let path = dir.join(self.file_name());
+        self.save(&path)?;
+        Ok(path)
+    }
+
+    /// Load and fully validate an artifact: JSON shape, schema tag,
+    /// format version, and payload checksum.
+    ///
+    /// # Errors
+    ///
+    /// The corresponding [`ArtifactError`] variant for each failed check.
+    pub fn load(path: &Path) -> Result<Self, ArtifactError> {
+        let text = fs::read_to_string(path)?;
+        let value: serde_json::Value = serde_json::from_str(&text)?;
+        // Check the envelope before strict struct decoding so mismatched
+        // files fail with a precise error instead of a generic shape one.
+        let schema = value.get("schema").and_then(|v| v.as_str()).unwrap_or("");
+        if schema != ARTIFACT_SCHEMA {
+            return Err(ArtifactError::SchemaMismatch {
+                found: schema.to_owned(),
+            });
+        }
+        let version = value
+            .get("schema_version")
+            .and_then(serde_json::Value::as_u64)
+            .unwrap_or(0) as u32;
+        if version != ARTIFACT_SCHEMA_VERSION {
+            return Err(ArtifactError::VersionMismatch {
+                found: version,
+                expected: ARTIFACT_SCHEMA_VERSION,
+            });
+        }
+        let artifact: Self = serde_json::from_value(value)?;
+        artifact.verify()?;
+        Ok(artifact)
+    }
+
+    /// Predict per-core IPC and STP for a workload mix of known
+    /// benchmarks — pure model evaluation, no simulation.
+    ///
+    /// Each mix slot gets the paper's feature rows (own single-core IPC
+    /// and bandwidth plus rescaled co-runner bandwidth per scale model,
+    /// §III-B) and is extrapolated to `target_cores` (defaults to the
+    /// training target's core count).
+    ///
+    /// # Errors
+    ///
+    /// [`ArtifactError::EmptyMix`], [`ArtifactError::BadTargetCores`], or
+    /// [`ArtifactError::UnknownBenchmark`] on invalid requests.
+    pub fn predict_mix(
+        &self,
+        benchmarks: &[String],
+        target_cores: Option<u32>,
+    ) -> Result<MixPrediction, ArtifactError> {
+        if benchmarks.is_empty() {
+            return Err(ArtifactError::EmptyMix);
+        }
+        let target = target_cores.unwrap_or(self.payload.cfg.target.num_cores);
+        if target == 0 || target > 4096 {
+            return Err(ArtifactError::BadTargetCores(target));
+        }
+        let ss: Vec<SsMeasurement> = benchmarks
+            .iter()
+            .map(|name| {
+                self.payload
+                    .ss_table
+                    .get(name)
+                    .copied()
+                    .ok_or_else(|| ArtifactError::UnknownBenchmark(name.clone()))
+            })
+            .collect::<Result<_, _>>()?;
+        let bws: Vec<f64> = ss.iter().map(|m| m.bandwidth).collect();
+        let per_core_ipc: Vec<f64> = ss
+            .iter()
+            .enumerate()
+            .map(|(j, own)| {
+                let rows: Vec<Vec<f64>> = self
+                    .payload
+                    .cfg
+                    .ms_cores
+                    .iter()
+                    .map(|&c| {
+                        let co = if bws.len() >= 2 {
+                            corunner_bandwidth(&bws, j, c)
+                        } else {
+                            0.0
+                        };
+                        feature_vector(self.payload.cfg.mode, *own, co)
+                    })
+                    .collect();
+                self.payload.extrapolator.predict(&rows, target)
+            })
+            .collect();
+        let stp = if ss.iter().all(|m| m.ipc > 0.0) {
+            let ss_ipcs: Vec<f64> = ss.iter().map(|m| m.ipc).collect();
+            crate::metrics::stp(&per_core_ipc, &ss_ipcs)
+        } else {
+            0.0
+        };
+        Ok(MixPrediction {
+            benchmarks: benchmarks.to_vec(),
+            target_cores: target,
+            per_core_ipc,
+            stp,
+            cv_error: self.payload.cv_error,
+        })
+    }
+}
+
+/// Mean leave-one-out cross-validation error at the scale-model level:
+/// for each training benchmark, retrain on the others and compare the
+/// held-out benchmark's predicted IPC on every multi-core scale model
+/// against its measured value. Needs no target-system truth, matching
+/// the methodology's no-target-simulation promise.
+fn loo_cv_error(
+    cfg: &ExperimentConfig,
+    data: &[ScaleModelData],
+    kind: MlKind,
+    curve: CurveModel,
+    params: &ModelParams,
+) -> Option<f64> {
+    if data.len() < 2 {
+        return None;
+    }
+    let mut errors = Vec::new();
+    for held in 0..data.len() {
+        let rest: Vec<ScaleModelData> = data
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != held)
+            .map(|(_, d)| d.clone())
+            .collect();
+        let training = scale_model_training_sets(cfg, &rest);
+        let ex = RegressionExtrapolator::train(kind, curve, &training, params, TRAINING_SEED);
+        let d = &data[held];
+        let rows: Vec<Vec<f64>> = cfg
+            .ms_cores
+            .iter()
+            .map(|&c| {
+                feature_vector(cfg.mode, d.ss, d.ss.bandwidth * f64::from(c.max(1) - 1))
+            })
+            .collect();
+        for (pred, actual) in ex.scale_model_predictions(&rows).iter().zip(&d.ms_ipc) {
+            if actual.1 > 0.0 {
+                errors.push(prediction_error(pred.1, actual.1));
+            }
+        }
+    }
+    if errors.is_empty() {
+        None
+    } else {
+        Some(errors.iter().sum::<f64>() / errors.len() as f64)
+    }
+}
+
+/// Train a model and package it as a persistable artifact.
+///
+/// Runs the same collection and training pipeline as
+/// [`crate::session::ScaleModelSession::train_with`] (identical training
+/// sets and seed, so predictions agree bit-for-bit), then additionally
+/// captures the single-core measurement table and a leave-one-out
+/// cross-validation error estimate.
+///
+/// # Errors
+///
+/// Propagates the first [`SimError`] of any training simulation.
+///
+/// # Panics
+///
+/// Panics if the training suite is empty or `cfg.ms_cores` has fewer
+/// than two scale models.
+pub fn train_artifact<S: Simulate>(
+    sim: &mut S,
+    cfg: ExperimentConfig,
+    training_suite: &[BenchmarkProfile],
+    kind: MlKind,
+    curve: CurveModel,
+    params: &ModelParams,
+    name: &str,
+) -> Result<ModelArtifact, SimError> {
+    assert!(
+        !training_suite.is_empty(),
+        "training suite must be non-empty"
+    );
+    let data = collect_scale_models(sim, &cfg, training_suite)?;
+    let training = scale_model_training_sets(&cfg, &data);
+    let extrapolator = RegressionExtrapolator::train(kind, curve, &training, params, TRAINING_SEED);
+    let cv_error = loo_cv_error(&cfg, &data, kind, curve, params);
+    let ss_table: BTreeMap<String, SsMeasurement> = data
+        .iter()
+        .map(|d| (d.name.clone(), d.ss))
+        .collect();
+    let trained_on: Vec<String> = data.iter().map(|d| d.name.clone()).collect();
+    Ok(ModelArtifact::new(
+        name,
+        ArtifactPayload {
+            kind,
+            curve,
+            cfg,
+            extrapolator,
+            ss_table,
+            cv_error,
+            trained_on,
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regressor::ScaleModelTraining;
+
+    fn synthetic_payload() -> ArtifactPayload {
+        let ms_cores = vec![2u32, 4];
+        let training: Vec<ScaleModelTraining> = ms_cores
+            .iter()
+            .map(|&cores| {
+                let mut rows = Vec::new();
+                let mut targets = Vec::new();
+                for i in 0..24 {
+                    let ipc = 0.4 + (i % 8) as f64 * 0.25;
+                    let bw = (i % 5) as f64 * 0.6;
+                    rows.push(vec![ipc, bw, bw * f64::from(cores - 1)]);
+                    targets.push(ipc - 0.04 * bw * f64::from(cores).ln());
+                }
+                ScaleModelTraining {
+                    cores,
+                    rows,
+                    targets,
+                }
+            })
+            .collect();
+        let extrapolator = RegressionExtrapolator::train(
+            MlKind::Svm,
+            CurveModel::Logarithmic,
+            &training,
+            &ModelParams::default(),
+            TRAINING_SEED,
+        );
+        let mut ss_table = BTreeMap::new();
+        ss_table.insert(
+            "alpha".to_owned(),
+            SsMeasurement {
+                ipc: 1.2,
+                bandwidth: 0.9,
+            },
+        );
+        ss_table.insert(
+            "beta".to_owned(),
+            SsMeasurement {
+                ipc: 0.7,
+                bandwidth: 1.8,
+            },
+        );
+        ArtifactPayload {
+            kind: MlKind::Svm,
+            curve: CurveModel::Logarithmic,
+            cfg: ExperimentConfig {
+                ms_cores,
+                ..ExperimentConfig::default()
+            },
+            extrapolator,
+            ss_table,
+            cv_error: Some(0.05),
+            trained_on: vec!["alpha".to_owned(), "beta".to_owned()],
+        }
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "sms-artifact-{tag}-{}",
+            std::process::id()
+        ));
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn round_trips_exactly() {
+        let artifact = ModelArtifact::new("unit", synthetic_payload());
+        let dir = temp_dir("roundtrip");
+        let path = artifact.save_in(&dir).unwrap();
+        let loaded = ModelArtifact::load(&path).unwrap();
+        assert_eq!(artifact, loaded);
+        let mix = vec!["alpha".to_owned(), "beta".to_owned()];
+        let a = artifact.predict_mix(&mix, None).unwrap();
+        let b = loaded.predict_mix(&mix, None).unwrap();
+        assert_eq!(a.per_core_ipc, b.per_core_ipc);
+        assert_eq!(a.stp, b.stp);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn canonical_json_has_sorted_keys_and_is_stable() {
+        let artifact = ModelArtifact::new("unit", synthetic_payload());
+        let a = to_sorted_pretty_json(&artifact).unwrap();
+        let b = to_sorted_pretty_json(&artifact).unwrap();
+        assert_eq!(a, b, "serialization must be byte-stable");
+        // Re-parsing and re-serializing reproduces the same bytes: the
+        // encoding is canonical.
+        let v: serde_json::Value = serde_json::from_str(&a).unwrap();
+        assert_eq!(serde_json::to_string_pretty(&v).unwrap(), a);
+        // Top-level keys come out in sorted order.
+        let keys: Vec<&String> = v.as_object().unwrap().keys().collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
+    }
+
+    #[test]
+    fn tampered_payload_rejected() {
+        let artifact = ModelArtifact::new("unit", synthetic_payload());
+        let dir = temp_dir("tamper");
+        let path = artifact.save_in(&dir).unwrap();
+        let mut v: serde_json::Value =
+            serde_json::from_str(&fs::read_to_string(&path).unwrap()).unwrap();
+        v["payload"]["cv_error"] = serde_json::json!(0.0001);
+        fs::write(&path, serde_json::to_string_pretty(&v).unwrap()).unwrap();
+        match ModelArtifact::load(&path) {
+            Err(ArtifactError::ChecksumMismatch { .. }) => {}
+            other => panic!("expected checksum mismatch, got {other:?}"),
+        }
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn version_and_schema_mismatches_rejected() {
+        let artifact = ModelArtifact::new("unit", synthetic_payload());
+        let dir = temp_dir("version");
+        let path = artifact.save_in(&dir).unwrap();
+        let original = fs::read_to_string(&path).unwrap();
+
+        let mut v: serde_json::Value = serde_json::from_str(&original).unwrap();
+        v["schema_version"] = serde_json::json!(999);
+        fs::write(&path, serde_json::to_string(&v).unwrap()).unwrap();
+        match ModelArtifact::load(&path) {
+            Err(ArtifactError::VersionMismatch { found: 999, .. }) => {}
+            other => panic!("expected version mismatch, got {other:?}"),
+        }
+
+        let mut v: serde_json::Value = serde_json::from_str(&original).unwrap();
+        v["schema"] = serde_json::json!("something-else");
+        fs::write(&path, serde_json::to_string(&v).unwrap()).unwrap();
+        match ModelArtifact::load(&path) {
+            Err(ArtifactError::SchemaMismatch { .. }) => {}
+            other => panic!("expected schema mismatch, got {other:?}"),
+        }
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn prediction_request_validation() {
+        let artifact = ModelArtifact::new("unit", synthetic_payload());
+        assert!(matches!(
+            artifact.predict_mix(&[], None),
+            Err(ArtifactError::EmptyMix)
+        ));
+        assert!(matches!(
+            artifact.predict_mix(&["nope".to_owned()], None),
+            Err(ArtifactError::UnknownBenchmark(_))
+        ));
+        assert!(matches!(
+            artifact.predict_mix(&["alpha".to_owned()], Some(0)),
+            Err(ArtifactError::BadTargetCores(0))
+        ));
+        // A single-benchmark mix is legal: no co-runners.
+        let p = artifact.predict_mix(&["alpha".to_owned()], Some(8)).unwrap();
+        assert_eq!(p.per_core_ipc.len(), 1);
+        assert!(p.per_core_ipc[0].is_finite());
+        assert_eq!(p.target_cores, 8);
+    }
+
+    #[test]
+    fn sanitize_name_keeps_safe_chars() {
+        assert_eq!(sanitize_name("svm-log.32c"), "svm-log.32c");
+        assert_eq!(sanitize_name("a b/c"), "a-b-c");
+        assert_eq!(sanitize_name(""), "model");
+    }
+}

@@ -21,6 +21,9 @@
 //! * [`stacks`] — cycle/speedup stacks (the §V-E6 extension path to
 //!   multi-threaded workloads).
 //! * [`session`] — the high-level "train once, predict many" API.
+//! * [`artifact`] — persisted model artifacts: versioned, checksummed
+//!   JSON snapshots of a trained extrapolator plus the single-core
+//!   measurements it needs to answer prediction queries offline.
 //!
 //! # Example: construct a scale model
 //!
@@ -39,6 +42,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod artifact;
 pub mod features;
 pub mod metrics;
 pub mod pipeline;
@@ -48,6 +52,9 @@ pub mod scaling;
 pub mod session;
 pub mod stacks;
 
+pub use artifact::{
+    train_artifact, ArtifactError, ArtifactPayload, MixPrediction, ModelArtifact,
+};
 pub use features::{FeatureMode, SsMeasurement};
 pub use pipeline::{DirectSim, ExperimentConfig, Simulate, TargetMetric};
 pub use predictor::{MlKind, ModelParams, TrainedPredictor};

@@ -207,6 +207,51 @@ pub fn collect_scale_models<S: Simulate>(
         .collect()
 }
 
+/// Assemble the per-scale-model training sets of ML-based Regression from
+/// collected scale-model measurements: one [`ScaleModelTraining`] per entry
+/// of `cfg.ms_cores`, with one feature row and one IPC target per
+/// benchmark in `data`.
+///
+/// Shared by [`crate::session::ScaleModelSession`] and
+/// [`crate::artifact::train_artifact`], so a persisted model is trained on
+/// byte-identical sets to an in-process session.
+///
+/// # Panics
+///
+/// Panics if any entry of `data` lacks a measurement for one of
+/// `cfg.ms_cores` (the collectors always produce all of them).
+pub fn scale_model_training_sets(
+    cfg: &ExperimentConfig,
+    data: &[ScaleModelData],
+) -> Vec<ScaleModelTraining> {
+    cfg.ms_cores
+        .iter()
+        .map(|&cores| {
+            let mut rows = Vec::new();
+            let mut targets = Vec::new();
+            for d in data {
+                rows.push(feature_vector(
+                    cfg.mode,
+                    d.ss,
+                    d.ss.bandwidth * f64::from(cores.max(1) - 1),
+                ));
+                targets.push(
+                    d.ms_ipc
+                        .iter()
+                        .find(|(c, _)| *c == cores)
+                        .expect("collected for every ms size")
+                        .1,
+                );
+            }
+            ScaleModelTraining {
+                cores,
+                rows,
+                targets,
+            }
+        })
+        .collect()
+}
+
 /// Simulate one benchmark's homogeneous mixes on the single-core scale
 /// model, every multi-core scale model, and the target system.
 ///

@@ -107,6 +107,7 @@ impl Default for ModelParams {
     }
 }
 
+#[derive(Clone, PartialEq, Serialize, Deserialize)]
 enum Model {
     Tree(DecisionTree),
     Forest(RandomForest),
@@ -115,6 +116,11 @@ enum Model {
 }
 
 /// A trained feature→IPC predictor with its feature scaler.
+///
+/// Serializable: the full trained state (scaler, model coefficients and
+/// clip ranges) round-trips through serde, which is what
+/// [`crate::artifact`] persists to disk.
+#[derive(Clone, PartialEq, Serialize, Deserialize)]
 pub struct TrainedPredictor {
     scaler: StandardScaler,
     model: Model,

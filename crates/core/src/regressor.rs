@@ -14,6 +14,11 @@ pub const DEFAULT_MS_CORES: [u32; 4] = [2, 4, 8, 16];
 
 /// A trained regression extrapolator: one predictor per multi-core scale
 /// model plus the curve family used to extrapolate IPC versus core count.
+///
+/// Serializable: persisting this value (plus the [`crate::pipeline::ExperimentConfig`]
+/// it was trained under) captures everything needed to predict without
+/// retraining — see [`crate::artifact`].
+#[derive(Clone, PartialEq, Serialize, Deserialize)]
 pub struct RegressionExtrapolator {
     models: Vec<(u32, TrainedPredictor)>,
     curve: CurveModel,

@@ -22,6 +22,7 @@
 //! println!("predicted 32-core IPC: {:.3}", prediction.target_ipc);
 //! ```
 
+use serde::{Deserialize, Serialize};
 use sms_ml::fit::CurveModel;
 use sms_sim::error::SimError;
 use sms_sim::stats::SimResult;
@@ -29,10 +30,17 @@ use sms_workloads::mix::MixSpec;
 use sms_workloads::spec::BenchmarkProfile;
 
 use crate::features::{feature_vector, SsMeasurement};
-use crate::pipeline::{collect_scale_models, ExperimentConfig, Simulate};
+use crate::pipeline::{
+    collect_scale_models, scale_model_training_sets, ExperimentConfig, Simulate,
+};
 use crate::predictor::{MlKind, ModelParams};
-use crate::regressor::{RegressionExtrapolator, ScaleModelTraining};
+use crate::regressor::RegressionExtrapolator;
 use crate::scaling::scale_config;
+
+/// The fixed seed used to train session extrapolators, shared with
+/// [`crate::artifact::train_artifact`] so a persisted artifact reproduces
+/// an in-process session bit-for-bit given the same measurements.
+pub const TRAINING_SEED: u64 = 1234;
 
 /// One prediction for an unseen application.
 #[derive(Debug, Clone, PartialEq)]
@@ -55,6 +63,11 @@ pub struct TargetPrediction {
 /// come from the multi-core *scale models* (ML-based Regression). Use the
 /// lower-level [`crate::predictor`] API for ML-based Prediction when
 /// target-system training runs are available.
+///
+/// Serializable: a trained session round-trips through serde, and
+/// [`crate::artifact::ModelArtifact`] persists the same `(config,
+/// extrapolator)` pair with a schema tag and checksum.
+#[derive(Clone, PartialEq, Serialize, Deserialize)]
 pub struct ScaleModelSession {
     cfg: ExperimentConfig,
     extrapolator: RegressionExtrapolator,
@@ -121,40 +134,27 @@ impl ScaleModelSession {
         // Scale models only: ML-based Regression never simulates the
         // target (§III-B2).
         let data = collect_scale_models(sim, &cfg, training_suite)?;
-        let training: Vec<ScaleModelTraining> = cfg
-            .ms_cores
-            .iter()
-            .map(|&cores| {
-                let mut rows = Vec::new();
-                let mut targets = Vec::new();
-                for d in &data {
-                    rows.push(feature_vector(
-                        cfg.mode,
-                        d.ss,
-                        d.ss.bandwidth * f64::from(cores.max(1) - 1),
-                    ));
-                    targets.push(
-                        d.ms_ipc
-                            .iter()
-                            .find(|(c, _)| *c == cores)
-                            .expect("collected for every ms size")
-                            .1,
-                    );
-                }
-                ScaleModelTraining {
-                    cores,
-                    rows,
-                    targets,
-                }
-            })
-            .collect();
-        let extrapolator = RegressionExtrapolator::train(kind, curve, &training, params, 1234);
+        let training = scale_model_training_sets(&cfg, &data);
+        let extrapolator =
+            RegressionExtrapolator::train(kind, curve, &training, params, TRAINING_SEED);
         Ok(Self { cfg, extrapolator })
+    }
+
+    /// Rebuild a session from an already-trained extrapolator and the
+    /// configuration it was trained under (e.g. a loaded
+    /// [`crate::artifact::ModelArtifact`]).
+    pub fn from_parts(cfg: ExperimentConfig, extrapolator: RegressionExtrapolator) -> Self {
+        Self { cfg, extrapolator }
     }
 
     /// The experiment configuration in use.
     pub fn config(&self) -> &ExperimentConfig {
         &self.cfg
+    }
+
+    /// The trained extrapolator.
+    pub fn extrapolator(&self) -> &RegressionExtrapolator {
+        &self.extrapolator
     }
 
     /// Predict the per-core target IPC of an unseen application from one

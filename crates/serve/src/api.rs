@@ -1,0 +1,121 @@
+//! JSON request/response bodies of the prediction service.
+
+use serde::{Deserialize, Serialize};
+use sms_core::artifact::{MixPrediction, ModelArtifact};
+
+/// Body of `POST /predict`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PredictRequest {
+    /// Name of a registered model artifact.
+    pub model: String,
+    /// Workload mix: one benchmark name per target core slot. Benchmarks
+    /// must appear in the model's measurement table.
+    pub mix: Vec<String>,
+    /// Core count to extrapolate to; defaults to the model's training
+    /// target.
+    #[serde(default)]
+    pub target_cores: Option<u32>,
+    /// Artificial per-request model latency in milliseconds, capped by
+    /// the server. A load-testing knob: it lets tests and drills fill the
+    /// queue deterministically. Not part of the cache key.
+    #[serde(default)]
+    pub delay_ms: Option<u64>,
+}
+
+impl PredictRequest {
+    /// Canonical cache key: the semantic fields only (`delay_ms` never
+    /// affects the answer), serialized with sorted keys so two
+    /// differently-ordered request bodies hit the same cache entry.
+    pub fn cache_key(&self) -> String {
+        serde_json::json!({
+            "mix": self.mix,
+            "model": self.model,
+            "target_cores": self.target_cores,
+        })
+        .to_string()
+    }
+}
+
+/// Body of a successful `POST /predict` response.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PredictResponse {
+    /// The model that answered.
+    pub model: String,
+    /// The prediction: per-core IPC, STP, and the model's
+    /// cross-validation error.
+    #[serde(flatten)]
+    pub prediction: MixPrediction,
+}
+
+/// One entry of `GET /models`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelInfo {
+    /// Registry name.
+    pub name: String,
+    /// ML technique (`DT`/`RF`/`SVM`/`KRR`).
+    pub kind: String,
+    /// Extrapolation curve family (`linear`/`power`/`log`).
+    pub curve: String,
+    /// Core count of the training target system.
+    pub target_cores: u32,
+    /// Multi-core scale-model ladder used in training.
+    pub ms_cores: Vec<u32>,
+    /// Number of benchmarks in the measurement table.
+    pub benchmarks: usize,
+    /// Leave-one-out cross-validation error, when available.
+    pub cv_error: Option<f64>,
+}
+
+impl ModelInfo {
+    /// Summarize a loaded artifact.
+    pub fn from_artifact(artifact: &ModelArtifact) -> Self {
+        Self {
+            name: artifact.name.clone(),
+            kind: artifact.payload.kind.to_string(),
+            curve: artifact.payload.curve.to_string(),
+            target_cores: artifact.payload.cfg.target.num_cores,
+            ms_cores: artifact.payload.cfg.ms_cores.clone(),
+            benchmarks: artifact.payload.ss_table.len(),
+            cv_error: artifact.payload.cv_error,
+        }
+    }
+}
+
+/// Body of `GET /models`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelsResponse {
+    /// All registered models, sorted by name.
+    pub models: Vec<ModelInfo>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_key_ignores_delay_and_field_order() {
+        let a = PredictRequest {
+            model: "m".into(),
+            mix: vec!["x".into(), "y".into()],
+            target_cores: Some(32),
+            delay_ms: Some(250),
+        };
+        let b = PredictRequest {
+            delay_ms: None,
+            ..a.clone()
+        };
+        assert_eq!(a.cache_key(), b.cache_key());
+        // Different order in the JSON body parses to the same key.
+        let c: PredictRequest = serde_json::from_str(
+            r#"{"target_cores":32,"mix":["x","y"],"model":"m"}"#,
+        )
+        .unwrap();
+        assert_eq!(c.cache_key(), a.cache_key());
+        // But a different mix is a different key.
+        let d = PredictRequest {
+            mix: vec!["y".into(), "x".into()],
+            ..a.clone()
+        };
+        assert_ne!(d.cache_key(), a.cache_key());
+    }
+}

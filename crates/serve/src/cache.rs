@@ -1,0 +1,118 @@
+//! LRU response cache keyed on canonicalized request bodies.
+//!
+//! Predictions are deterministic functions of `(model, mix,
+//! target_cores)`, so the server memoizes whole response bodies. The key
+//! is the canonical JSON of the semantic request fields (see
+//! [`crate::api::PredictRequest::cache_key`]), making the cache immune to
+//! field order and to non-semantic knobs.
+
+use std::collections::{HashMap, VecDeque};
+
+/// A plain LRU map from canonical request keys to response bodies.
+///
+/// Not thread-safe by itself; the server wraps it in a mutex. Recency is
+/// tracked with a deque of keys — `O(capacity)` updates, which is
+/// irrelevant at the few-hundred-entry capacities used here.
+#[derive(Debug)]
+pub struct LruCache {
+    capacity: usize,
+    map: HashMap<String, String>,
+    recency: VecDeque<String>,
+}
+
+impl LruCache {
+    /// Create a cache holding at most `capacity` entries (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Self {
+            capacity,
+            map: HashMap::with_capacity(capacity),
+            recency: VecDeque::with_capacity(capacity),
+        }
+    }
+
+    /// Look up a response body, marking the entry most-recently used.
+    pub fn get(&mut self, key: &str) -> Option<String> {
+        let value = self.map.get(key).cloned()?;
+        self.touch(key);
+        Some(value)
+    }
+
+    /// Insert (or refresh) an entry, evicting the least-recently-used one
+    /// when at capacity.
+    pub fn put(&mut self, key: String, value: String) {
+        if self.map.insert(key.clone(), value).is_some() {
+            self.touch(&key);
+            return;
+        }
+        self.recency.push_back(key);
+        while self.map.len() > self.capacity {
+            if let Some(oldest) = self.recency.pop_front() {
+                self.map.remove(&oldest);
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn touch(&mut self, key: &str) {
+        if let Some(pos) = self.recency.iter().position(|k| k == key) {
+            if let Some(k) = self.recency.remove(pos) {
+                self.recency.push_back(k);
+            }
+        }
+    }
+
+    /// Current entry count.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c = LruCache::new(2);
+        c.put("a".into(), "1".into());
+        c.put("b".into(), "2".into());
+        assert_eq!(c.get("a"), Some("1".into())); // refresh a
+        c.put("c".into(), "3".into()); // evicts b
+        assert_eq!(c.get("b"), None);
+        assert_eq!(c.get("a"), Some("1".into()));
+        assert_eq!(c.get("c"), Some("3".into()));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn refreshing_an_entry_does_not_grow_the_cache() {
+        let mut c = LruCache::new(2);
+        c.put("a".into(), "1".into());
+        c.put("a".into(), "2".into());
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.get("a"), Some("2".into()));
+    }
+
+    #[test]
+    fn zero_capacity_clamped_to_one() {
+        let mut c = LruCache::new(0);
+        assert_eq!(c.capacity(), 1);
+        c.put("a".into(), "1".into());
+        c.put("b".into(), "2".into());
+        assert_eq!(c.len(), 1);
+        assert!(c.get("b").is_some());
+        assert!(!c.is_empty());
+    }
+}

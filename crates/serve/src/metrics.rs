@@ -1,0 +1,246 @@
+//! Live server metrics, served by `GET /metrics`.
+//!
+//! Counters follow the `sms-bench` telemetry style (relaxed atomics
+//! incremented from worker threads, snapshot on demand) and latency tails
+//! are computed with the same [`sms_bench::telemetry::percentiles`]
+//! helper the sweep manifest uses, so `sms sweep` and `sms serve` report
+//! p50/p95/p99 identically.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+use sms_bench::telemetry::{percentiles, Percentiles};
+
+/// How many of the most recent prediction latencies feed the percentile
+/// estimate.
+pub const LATENCY_WINDOW: usize = 4096;
+
+/// Thread-safe metric collectors. All recording methods take `&self`.
+#[derive(Debug)]
+pub struct ServerMetrics {
+    started: Instant,
+    requests_total: AtomicU64,
+    predict_requests: AtomicU64,
+    models_requests: AtomicU64,
+    healthz_requests: AtomicU64,
+    metrics_requests: AtomicU64,
+    bad_requests: AtomicU64,
+    shed_total: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    batched_requests: AtomicU64,
+    latencies: Mutex<Vec<f64>>,
+}
+
+/// Point-in-time snapshot of the collectors, the body of `GET /metrics`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Seconds since the server started.
+    pub uptime_seconds: f64,
+    /// All requests accepted, any endpoint.
+    pub requests_total: u64,
+    /// `POST /predict` requests (including shed and cached ones).
+    pub predict_requests: u64,
+    /// `GET /models` requests.
+    pub models_requests: u64,
+    /// `GET /healthz` requests.
+    pub healthz_requests: u64,
+    /// `GET /metrics` requests.
+    pub metrics_requests: u64,
+    /// Requests rejected as malformed (4xx other than load shedding).
+    pub bad_requests: u64,
+    /// Predict requests shed with 503 because the queue was full.
+    pub shed_total: u64,
+    /// Predict requests answered from the response cache.
+    pub cache_hits: u64,
+    /// Predict requests that required model evaluation.
+    pub cache_misses: u64,
+    /// Cache hits over all cache lookups (0 when none yet).
+    pub cache_hit_rate: f64,
+    /// Predict requests answered as part of a multi-request batch.
+    pub batched_requests: u64,
+    /// Current prediction-queue depth.
+    pub queue_depth: usize,
+    /// p50/p95/p99 of recent prediction latencies, seconds (absent until
+    /// the first prediction completes).
+    pub latency_seconds: Option<Percentiles>,
+}
+
+impl ServerMetrics {
+    /// Fresh collectors, with uptime measured from now.
+    pub fn new() -> Self {
+        Self {
+            started: Instant::now(),
+            requests_total: AtomicU64::new(0),
+            predict_requests: AtomicU64::new(0),
+            models_requests: AtomicU64::new(0),
+            healthz_requests: AtomicU64::new(0),
+            metrics_requests: AtomicU64::new(0),
+            bad_requests: AtomicU64::new(0),
+            shed_total: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+            batched_requests: AtomicU64::new(0),
+            latencies: Mutex::new(Vec::with_capacity(LATENCY_WINDOW)),
+        }
+    }
+
+    /// Count one accepted request.
+    pub fn record_request(&self) {
+        self.requests_total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one `POST /predict`.
+    pub fn record_predict(&self) {
+        self.predict_requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one `GET /models`.
+    pub fn record_models(&self) {
+        self.models_requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one `GET /healthz`.
+    pub fn record_healthz(&self) {
+        self.healthz_requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one `GET /metrics`.
+    pub fn record_metrics(&self) {
+        self.metrics_requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one malformed/rejected request.
+    pub fn record_bad_request(&self) {
+        self.bad_requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one load-shed predict request.
+    pub fn record_shed(&self) {
+        self.shed_total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one response-cache hit.
+    pub fn record_cache_hit(&self) {
+        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one response-cache miss.
+    pub fn record_cache_miss(&self) {
+        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count predict requests that rode along in a batch behind the
+    /// batch's first request.
+    pub fn record_batched(&self, n: u64) {
+        self.batched_requests.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record one completed prediction's wall latency in seconds,
+    /// keeping only the most recent [`LATENCY_WINDOW`] samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the latency mutex was poisoned by a panicking thread.
+    pub fn record_latency(&self, seconds: f64) {
+        let mut window = self.latencies.lock().unwrap();
+        if window.len() >= LATENCY_WINDOW {
+            let drop = window.len() + 1 - LATENCY_WINDOW;
+            window.drain(..drop);
+        }
+        window.push(seconds);
+    }
+
+    /// Snapshot every collector; `queue_depth` comes from the caller
+    /// because the queue lives next to, not inside, the metrics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the latency mutex was poisoned by a panicking thread.
+    pub fn snapshot(&self, queue_depth: usize) -> MetricsSnapshot {
+        let hits = self.cache_hits.load(Ordering::Relaxed);
+        let misses = self.cache_misses.load(Ordering::Relaxed);
+        let lookups = hits + misses;
+        let latency_seconds = percentiles(&self.latencies.lock().unwrap());
+        MetricsSnapshot {
+            uptime_seconds: self.started.elapsed().as_secs_f64(),
+            requests_total: self.requests_total.load(Ordering::Relaxed),
+            predict_requests: self.predict_requests.load(Ordering::Relaxed),
+            models_requests: self.models_requests.load(Ordering::Relaxed),
+            healthz_requests: self.healthz_requests.load(Ordering::Relaxed),
+            metrics_requests: self.metrics_requests.load(Ordering::Relaxed),
+            bad_requests: self.bad_requests.load(Ordering::Relaxed),
+            shed_total: self.shed_total.load(Ordering::Relaxed),
+            cache_hits: hits,
+            cache_misses: misses,
+            cache_hit_rate: if lookups > 0 {
+                hits as f64 / lookups as f64
+            } else {
+                0.0
+            },
+            batched_requests: self.batched_requests.load(Ordering::Relaxed),
+            queue_depth,
+            latency_seconds,
+        }
+    }
+}
+
+impl Default for ServerMetrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_counters() {
+        let m = ServerMetrics::new();
+        m.record_request();
+        m.record_request();
+        m.record_predict();
+        m.record_cache_hit();
+        m.record_cache_miss();
+        m.record_cache_miss();
+        m.record_shed();
+        m.record_batched(2);
+        m.record_latency(0.010);
+        m.record_latency(0.020);
+        let s = m.snapshot(3);
+        assert_eq!(s.requests_total, 2);
+        assert_eq!(s.predict_requests, 1);
+        assert_eq!(s.shed_total, 1);
+        assert_eq!(s.batched_requests, 2);
+        assert_eq!(s.queue_depth, 3);
+        assert!((s.cache_hit_rate - 1.0 / 3.0).abs() < 1e-12);
+        let p = s.latency_seconds.unwrap();
+        assert_eq!(p.p50, 0.010);
+        assert_eq!(p.p99, 0.020);
+        assert!(s.uptime_seconds >= 0.0);
+    }
+
+    #[test]
+    fn empty_metrics_snapshot_is_well_formed() {
+        let s = ServerMetrics::new().snapshot(0);
+        assert_eq!(s.cache_hit_rate, 0.0);
+        assert_eq!(s.latency_seconds, None);
+        // The snapshot serializes (the /metrics endpoint depends on it).
+        let text = serde_json::to_string(&s).unwrap();
+        assert!(text.contains("\"queue_depth\":0"));
+    }
+
+    #[test]
+    fn latency_window_is_bounded() {
+        let m = ServerMetrics::new();
+        for i in 0..(LATENCY_WINDOW + 100) {
+            m.record_latency(i as f64);
+        }
+        assert_eq!(m.latencies.lock().unwrap().len(), LATENCY_WINDOW);
+        // Oldest samples were dropped: the window starts at 100.
+        assert_eq!(m.latencies.lock().unwrap()[0], 100.0);
+    }
+}

@@ -1,0 +1,169 @@
+//! Bounded MPMC work queue with load shedding.
+//!
+//! Accept-side `try_push` never blocks: when the queue is at capacity the
+//! caller sheds the request (HTTP 503 + `Retry-After`) instead of letting
+//! latency grow without bound. Worker-side `pop_timeout` blocks with a
+//! timeout so workers can poll the shutdown flag between jobs.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// A mutex+condvar bounded FIFO queue.
+#[derive(Debug)]
+pub struct BoundedQueue<T> {
+    inner: Mutex<VecDeque<T>>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// Create a queue holding at most `capacity` items (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Self {
+            inner: Mutex::new(VecDeque::with_capacity(capacity)),
+            ready: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Enqueue without blocking. Returns the new queue depth, or hands
+    /// the item back when at capacity so the caller can shed the work
+    /// (e.g. answer the connection carried inside it with a 503).
+    ///
+    /// # Errors
+    ///
+    /// `Err(item)` when the queue already holds `capacity` items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the internal mutex was poisoned by a panicking thread.
+    pub fn try_push(&self, item: T) -> Result<usize, T> {
+        let mut queue = self.inner.lock().unwrap();
+        if queue.len() >= self.capacity {
+            return Err(item);
+        }
+        queue.push_back(item);
+        let depth = queue.len();
+        drop(queue);
+        self.ready.notify_one();
+        Ok(depth)
+    }
+
+    /// Dequeue the oldest item, waiting up to `timeout` for one to
+    /// arrive. Returns `None` on timeout so callers can re-check their
+    /// shutdown flag.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the internal mutex was poisoned by a panicking thread.
+    pub fn pop_timeout(&self, timeout: Duration) -> Option<T> {
+        let mut queue = self.inner.lock().unwrap();
+        if let Some(item) = queue.pop_front() {
+            return Some(item);
+        }
+        let (mut queue, _timed_out) = self.ready.wait_timeout(queue, timeout).unwrap();
+        queue.pop_front()
+    }
+
+    /// Remove and return up to `max` queued items matching `predicate`,
+    /// preserving FIFO order among both the taken and the remaining
+    /// items. The micro-batching hook: a worker that just dequeued a job
+    /// for model M drains other queued jobs for M and answers them in one
+    /// batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the internal mutex was poisoned by a panicking thread.
+    pub fn drain_matching<F: FnMut(&T) -> bool>(&self, mut predicate: F, max: usize) -> Vec<T> {
+        let mut queue = self.inner.lock().unwrap();
+        let mut taken = Vec::new();
+        let mut i = 0;
+        while i < queue.len() && taken.len() < max {
+            if predicate(&queue[i]) {
+                if let Some(item) = queue.remove(i) {
+                    taken.push(item);
+                }
+            } else {
+                i += 1;
+            }
+        }
+        taken
+    }
+
+    /// Current queue depth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the internal mutex was poisoned by a panicking thread.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Wake every waiting worker (used at shutdown so blocked
+    /// `pop_timeout` calls re-check their flag immediately).
+    pub fn notify_all(&self) {
+        self.ready.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn sheds_when_full() {
+        let q = BoundedQueue::new(2);
+        assert_eq!(q.try_push(1), Ok(1));
+        assert_eq!(q.try_push(2), Ok(2));
+        assert_eq!(q.try_push(3), Err(3));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop_timeout(Duration::from_millis(1)), Some(1));
+        assert_eq!(q.try_push(3), Ok(2));
+    }
+
+    #[test]
+    fn pop_times_out_when_empty() {
+        let q: BoundedQueue<u32> = BoundedQueue::new(1);
+        assert_eq!(q.pop_timeout(Duration::from_millis(5)), None);
+    }
+
+    #[test]
+    fn drain_matching_preserves_order_and_respects_max() {
+        let q = BoundedQueue::new(8);
+        for v in [1, 2, 3, 4, 5, 6] {
+            q.try_push(v).unwrap();
+        }
+        let even = q.drain_matching(|v| v % 2 == 0, 2);
+        assert_eq!(even, vec![2, 4]);
+        assert_eq!(q.pop_timeout(Duration::from_millis(1)), Some(1));
+        assert_eq!(q.pop_timeout(Duration::from_millis(1)), Some(3));
+        assert_eq!(q.pop_timeout(Duration::from_millis(1)), Some(5));
+        assert_eq!(q.pop_timeout(Duration::from_millis(1)), Some(6));
+    }
+
+    #[test]
+    fn wakes_a_blocked_consumer() {
+        let q = Arc::new(BoundedQueue::new(1));
+        let consumer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.pop_timeout(Duration::from_secs(5)))
+        };
+        // Give the consumer a moment to block, then feed it.
+        std::thread::sleep(Duration::from_millis(20));
+        q.try_push(42u32).unwrap();
+        assert_eq!(consumer.join().unwrap(), Some(42));
+    }
+}

@@ -1,0 +1,248 @@
+//! Model registry: the on-disk collection of trained artifacts the
+//! server loads at startup.
+//!
+//! Artifacts live under `<results>/cache/models/` (next to the
+//! simulation-result cache, written by `sms train --save`). The registry
+//! scans that directory, validates every `*.json` with the full
+//! [`ModelArtifact::load`] checks, and keeps the valid ones in memory
+//! keyed by artifact name. Invalid files are skipped with a warning —
+//! one corrupt artifact must not take the service down.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use sms_core::artifact::ModelArtifact;
+
+use crate::api::ModelInfo;
+
+/// The models directory convention under a results root:
+/// `<results>/cache/models`.
+pub fn models_dir(results_root: &Path) -> PathBuf {
+    results_root.join("cache").join("models")
+}
+
+/// An in-memory index of validated model artifacts.
+#[derive(Debug, Clone)]
+pub struct ModelRegistry {
+    dir: PathBuf,
+    models: BTreeMap<String, Arc<ModelArtifact>>,
+}
+
+impl ModelRegistry {
+    /// Open a registry over `dir`, creating the directory if missing and
+    /// scanning it for artifacts.
+    ///
+    /// # Errors
+    ///
+    /// Fails only when the directory cannot be created or listed;
+    /// individually invalid artifact files are skipped with a warning.
+    pub fn open(dir: &Path) -> std::io::Result<Self> {
+        std::fs::create_dir_all(dir)?;
+        let mut registry = Self {
+            dir: dir.to_path_buf(),
+            models: BTreeMap::new(),
+        };
+        registry.rescan()?;
+        Ok(registry)
+    }
+
+    /// An empty registry with no backing directory scan (for tests and
+    /// in-process composition via [`ModelRegistry::insert`]).
+    pub fn in_memory() -> Self {
+        Self {
+            dir: PathBuf::new(),
+            models: BTreeMap::new(),
+        }
+    }
+
+    /// Re-scan the backing directory, replacing the in-memory index.
+    /// Returns the number of valid artifacts loaded.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the directory cannot be listed.
+    pub fn rescan(&mut self) -> std::io::Result<usize> {
+        self.models.clear();
+        for entry in std::fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            if path.extension().and_then(|e| e.to_str()) != Some("json") {
+                continue;
+            }
+            match ModelArtifact::load(&path) {
+                Ok(artifact) => {
+                    let name = artifact.name.clone();
+                    if self.models.insert(name.clone(), Arc::new(artifact)).is_some() {
+                        eprintln!(
+                            "[registry] warning: duplicate model name {name:?}; keeping {}",
+                            path.display()
+                        );
+                    }
+                }
+                Err(e) => {
+                    eprintln!(
+                        "[registry] warning: skipping {}: {e}",
+                        path.display()
+                    );
+                }
+            }
+        }
+        Ok(self.models.len())
+    }
+
+    /// Register an artifact directly (no disk involved).
+    pub fn insert(&mut self, artifact: ModelArtifact) {
+        self.models
+            .insert(artifact.name.clone(), Arc::new(artifact));
+    }
+
+    /// Fetch a model by name.
+    pub fn get(&self, name: &str) -> Option<Arc<ModelArtifact>> {
+        self.models.get(name).cloned()
+    }
+
+    /// Summaries of every registered model, sorted by name.
+    pub fn infos(&self) -> Vec<ModelInfo> {
+        self.models
+            .values()
+            .map(|a| ModelInfo::from_artifact(a))
+            .collect()
+    }
+
+    /// Registered model names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        self.models.keys().cloned().collect()
+    }
+
+    /// The backing directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Number of registered models.
+    pub fn len(&self) -> usize {
+        self.models.len()
+    }
+
+    /// Whether no models are registered.
+    pub fn is_empty(&self) -> bool {
+        self.models.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sms_core::artifact::{ArtifactPayload, ARTIFACT_SCHEMA, ARTIFACT_SCHEMA_VERSION};
+    use sms_core::features::SsMeasurement;
+    use sms_core::pipeline::ExperimentConfig;
+    use sms_core::predictor::{MlKind, ModelParams};
+    use sms_core::regressor::{RegressionExtrapolator, ScaleModelTraining};
+    use sms_ml::fit::CurveModel;
+
+    fn tiny_artifact(name: &str) -> ModelArtifact {
+        let ms_cores = vec![2u32, 4];
+        let training: Vec<ScaleModelTraining> = ms_cores
+            .iter()
+            .map(|&cores| ScaleModelTraining {
+                cores,
+                rows: (0..12)
+                    .map(|i| {
+                        let ipc = 0.5 + (i % 6) as f64 * 0.3;
+                        let bw = (i % 4) as f64 * 0.7;
+                        vec![ipc, bw, bw * f64::from(cores - 1)]
+                    })
+                    .collect(),
+                targets: (0..12)
+                    .map(|i| 0.5 + (i % 6) as f64 * 0.3 - 0.02 * f64::from(cores))
+                    .collect(),
+            })
+            .collect();
+        let extrapolator = RegressionExtrapolator::train(
+            MlKind::Svm,
+            CurveModel::Logarithmic,
+            &training,
+            &ModelParams::default(),
+            1234,
+        );
+        let mut ss_table = std::collections::BTreeMap::new();
+        ss_table.insert(
+            "alpha".to_owned(),
+            SsMeasurement {
+                ipc: 1.0,
+                bandwidth: 0.8,
+            },
+        );
+        ModelArtifact::new(
+            name,
+            ArtifactPayload {
+                kind: MlKind::Svm,
+                curve: CurveModel::Logarithmic,
+                cfg: ExperimentConfig {
+                    ms_cores,
+                    ..ExperimentConfig::default()
+                },
+                extrapolator,
+                ss_table,
+                cv_error: Some(0.1),
+                trained_on: vec!["alpha".to_owned()],
+            },
+        )
+    }
+
+    #[test]
+    fn scans_valid_skips_invalid() {
+        let dir = std::env::temp_dir().join(format!("sms-registry-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        tiny_artifact("good").save_in(&dir).unwrap();
+        std::fs::write(dir.join("broken.json"), "{not json").unwrap();
+        std::fs::write(dir.join("ignored.txt"), "not an artifact").unwrap();
+
+        let registry = ModelRegistry::open(&dir).unwrap();
+        assert_eq!(registry.len(), 1);
+        assert_eq!(registry.names(), vec!["good".to_owned()]);
+        let infos = registry.infos();
+        assert_eq!(infos.len(), 1);
+        assert_eq!(infos[0].kind, "SVM");
+        assert_eq!(infos[0].curve, "log");
+        assert!(registry.get("good").is_some());
+        assert!(registry.get("missing").is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn open_creates_missing_directory() {
+        let dir = std::env::temp_dir()
+            .join(format!("sms-registry-new-{}", std::process::id()))
+            .join("cache")
+            .join("models");
+        let _ = std::fs::remove_dir_all(&dir);
+        let registry = ModelRegistry::open(&dir).unwrap();
+        assert!(registry.is_empty());
+        assert!(dir.is_dir());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn schema_constants_are_wired() {
+        // The registry depends on load()'s envelope checks; pin the
+        // constants it relies on.
+        assert_eq!(ARTIFACT_SCHEMA, "sms-model-artifact");
+        assert_eq!(ARTIFACT_SCHEMA_VERSION, 1);
+        assert_eq!(
+            models_dir(Path::new("results")),
+            Path::new("results").join("cache").join("models")
+        );
+    }
+
+    #[test]
+    fn in_memory_insert_and_lookup() {
+        let mut registry = ModelRegistry::in_memory();
+        registry.insert(tiny_artifact("mem"));
+        assert_eq!(registry.len(), 1);
+        let a = registry.get("mem").unwrap();
+        assert_eq!(a.name, "mem");
+    }
+}

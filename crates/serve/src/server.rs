@@ -1,0 +1,473 @@
+//! The threaded prediction server.
+//!
+//! Architecture: one acceptor thread handles connections from a
+//! `std::net::TcpListener` (non-blocking accept so it can poll the
+//! shutdown flag). Cheap endpoints (`/healthz`, `/models`, `/metrics`,
+//! `/shutdown`) and cache hits are answered inline on the acceptor;
+//! `POST /predict` cache misses are enqueued on a [`BoundedQueue`] and
+//! answered by a fixed worker pool. When the queue is full the request
+//! is shed immediately with `503` + `Retry-After` — bounded latency is
+//! preferred over unbounded queueing. Workers micro-batch: after
+//! dequeuing a job they drain other queued jobs for the same model and
+//! answer the whole batch in one pass (one artifact lookup, one
+//! simulated-latency charge).
+//!
+//! Shutdown is cooperative via an [`AtomicBool`]: `POST /shutdown` (or
+//! [`ServerHandle::begin_shutdown`] / a [`ShutdownTrigger`] wired to
+//! ctrl-c handling in the CLI) flips the flag; the acceptor stops
+//! accepting, workers drain the queue, and [`ServerHandle::join`]
+//! returns. Pure-`std` builds cannot install OS signal handlers, so the
+//! process-level ctrl-c path is the CLI's stdin watcher plus the
+//! `/shutdown` endpoint (see DESIGN.md).
+
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use sms_core::artifact::to_canonical_json;
+
+use crate::api::{ModelsResponse, PredictRequest, PredictResponse};
+use crate::cache::LruCache;
+use crate::http::{read_request, HttpError, Request, Response};
+use crate::metrics::ServerMetrics;
+use crate::queue::BoundedQueue;
+use crate::registry::ModelRegistry;
+
+/// Server tuning knobs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerConfig {
+    /// Bind address, e.g. `127.0.0.1:8080` (`:0` for an ephemeral port).
+    pub addr: String,
+    /// Prediction worker threads (minimum 1).
+    pub workers: usize,
+    /// Bounded prediction-queue capacity; beyond it requests are shed.
+    pub queue_capacity: usize,
+    /// LRU response-cache capacity, entries.
+    pub cache_capacity: usize,
+    /// Maximum predict requests coalesced into one worker batch.
+    pub batch_max: usize,
+    /// Cap on the per-request `delay_ms` load-testing knob, milliseconds.
+    pub max_delay_ms: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:8080".to_owned(),
+            workers: 4,
+            queue_capacity: 64,
+            cache_capacity: 256,
+            batch_max: 8,
+            max_delay_ms: 2_000,
+        }
+    }
+}
+
+/// One queued prediction: the parsed request plus the connection to
+/// answer on.
+struct Job {
+    stream: TcpStream,
+    request: PredictRequest,
+    key: String,
+    received: Instant,
+}
+
+struct Shared {
+    registry: ModelRegistry,
+    queue: BoundedQueue<Job>,
+    cache: Mutex<LruCache>,
+    metrics: ServerMetrics,
+    shutdown: AtomicBool,
+    config: ServerConfig,
+}
+
+impl Shared {
+    fn begin_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Wake blocked workers so they observe the flag immediately.
+        self.queue.notify_all();
+    }
+}
+
+/// A cloneable handle that triggers graceful shutdown, for wiring into
+/// CLI stdin watchers or other out-of-band stop signals.
+#[derive(Clone)]
+pub struct ShutdownTrigger {
+    shared: Arc<Shared>,
+}
+
+impl ShutdownTrigger {
+    /// Request graceful shutdown: stop accepting, drain the queue, exit.
+    pub fn trigger(&self) {
+        self.shared.begin_shutdown();
+    }
+}
+
+impl std::fmt::Debug for ShutdownTrigger {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShutdownTrigger").finish()
+    }
+}
+
+/// A running server: its bound address and the threads to join.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ServerHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerHandle")
+            .field("addr", &self.addr)
+            .field("threads", &self.threads.len())
+            .finish()
+    }
+}
+
+impl ServerHandle {
+    /// The actually-bound socket address (resolves `:0` requests).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Live metrics collectors (shared with the serving threads).
+    pub fn metrics(&self) -> &ServerMetrics {
+        &self.shared.metrics
+    }
+
+    /// Number of models the server is answering for.
+    pub fn model_count(&self) -> usize {
+        self.shared.registry.len()
+    }
+
+    /// Whether shutdown has been requested.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shared.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// A cloneable out-of-band shutdown trigger.
+    pub fn shutdown_trigger(&self) -> ShutdownTrigger {
+        ShutdownTrigger {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Request graceful shutdown without waiting for it to finish.
+    pub fn begin_shutdown(&self) {
+        self.shared.begin_shutdown();
+    }
+
+    /// Block until every serving thread has exited. Returns only after a
+    /// shutdown request (from [`ServerHandle::begin_shutdown`], a
+    /// [`ShutdownTrigger`], or `POST /shutdown`) has been observed and
+    /// the queue drained.
+    pub fn join(self) {
+        for t in self.threads {
+            let _ = t.join();
+        }
+    }
+
+    /// [`ServerHandle::begin_shutdown`] then [`ServerHandle::join`].
+    pub fn shutdown_and_join(self) {
+        self.begin_shutdown();
+        self.join();
+    }
+}
+
+/// Bind, spawn the acceptor and worker pool, and return immediately.
+///
+/// # Errors
+///
+/// Propagates bind/spawn failures.
+pub fn serve(registry: ModelRegistry, config: ServerConfig) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+    let workers = config.workers.max(1);
+    let shared = Arc::new(Shared {
+        registry,
+        queue: BoundedQueue::new(config.queue_capacity),
+        cache: Mutex::new(LruCache::new(config.cache_capacity)),
+        metrics: ServerMetrics::new(),
+        shutdown: AtomicBool::new(false),
+        config,
+    });
+
+    let mut threads = Vec::with_capacity(workers + 1);
+    for i in 0..workers {
+        let shared = Arc::clone(&shared);
+        threads.push(
+            thread::Builder::new()
+                .name(format!("sms-serve-worker-{i}"))
+                .spawn(move || worker_loop(&shared))?,
+        );
+    }
+    {
+        let shared = Arc::clone(&shared);
+        threads.push(
+            thread::Builder::new()
+                .name("sms-serve-acceptor".to_owned())
+                .spawn(move || acceptor_loop(&listener, &shared))?,
+        );
+    }
+
+    Ok(ServerHandle {
+        addr,
+        shared,
+        threads,
+    })
+}
+
+fn acceptor_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => handle_connection(shared, stream),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+fn respond(stream: &mut TcpStream, response: &Response) {
+    let _ = response.write_to(stream);
+}
+
+fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
+    // Accepted sockets may inherit the listener's non-blocking mode on
+    // some platforms; request handling is blocking with short timeouts.
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
+    let _ = stream.set_nodelay(true);
+
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let request = match read_request(&mut reader) {
+        Ok(r) => r,
+        Err(HttpError::Closed) => return,
+        Err(HttpError::BodyTooLarge(_)) => {
+            shared.metrics.record_bad_request();
+            respond(&mut stream, &Response::error(413, "request body too large"));
+            return;
+        }
+        Err(HttpError::Malformed(what)) => {
+            shared.metrics.record_bad_request();
+            respond(&mut stream, &Response::error(400, what));
+            return;
+        }
+        Err(HttpError::Io(_)) => return,
+    };
+    drop(reader);
+
+    shared.metrics.record_request();
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => {
+            shared.metrics.record_healthz();
+            let body = serde_json::json!({
+                "models": shared.registry.len(),
+                "status": if shared.shutdown.load(Ordering::SeqCst) { "shutting-down" } else { "ok" },
+            });
+            respond(&mut stream, &Response::json(200, body.to_string()));
+        }
+        ("GET", "/models") => {
+            shared.metrics.record_models();
+            let response = ModelsResponse {
+                models: shared.registry.infos(),
+            };
+            match to_canonical_json(&response) {
+                Ok(body) => respond(&mut stream, &Response::json(200, body)),
+                Err(_) => respond(&mut stream, &Response::error(500, "encoding failed")),
+            }
+        }
+        ("GET", "/metrics") => {
+            shared.metrics.record_metrics();
+            let snapshot = shared.metrics.snapshot(shared.queue.len());
+            match to_canonical_json(&snapshot) {
+                Ok(body) => respond(&mut stream, &Response::json(200, body)),
+                Err(_) => respond(&mut stream, &Response::error(500, "encoding failed")),
+            }
+        }
+        ("POST", "/shutdown") => {
+            shared.begin_shutdown();
+            respond(
+                &mut stream,
+                &Response::json(200, r#"{"status":"shutting-down"}"#.to_owned()),
+            );
+        }
+        ("POST", "/predict") => handle_predict(shared, stream, &request),
+        (_, "/healthz" | "/models" | "/metrics" | "/shutdown" | "/predict") => {
+            shared.metrics.record_bad_request();
+            respond(&mut stream, &Response::error(405, "method not allowed"));
+        }
+        _ => {
+            shared.metrics.record_bad_request();
+            respond(&mut stream, &Response::error(404, "no such endpoint"));
+        }
+    }
+}
+
+fn handle_predict(shared: &Arc<Shared>, mut stream: TcpStream, request: &Request) {
+    shared.metrics.record_predict();
+    let predict: PredictRequest = match serde_json::from_slice(&request.body) {
+        Ok(p) => p,
+        Err(e) => {
+            shared.metrics.record_bad_request();
+            respond(
+                &mut stream,
+                &Response::error(400, &format!("invalid predict body: {e}")),
+            );
+            return;
+        }
+    };
+
+    // Validate eagerly on the acceptor so bad requests never occupy
+    // queue slots, and so worker-side prediction cannot fail for
+    // request-shaped reasons.
+    let Some(artifact) = shared.registry.get(&predict.model) else {
+        shared.metrics.record_bad_request();
+        respond(
+            &mut stream,
+            &Response::error(404, &format!("unknown model {:?}", predict.model)),
+        );
+        return;
+    };
+    if predict.mix.is_empty() {
+        shared.metrics.record_bad_request();
+        respond(&mut stream, &Response::error(400, "empty mix"));
+        return;
+    }
+    if let Some(unknown) = predict
+        .mix
+        .iter()
+        .find(|name| !artifact.payload.ss_table.contains_key(*name))
+    {
+        shared.metrics.record_bad_request();
+        respond(
+            &mut stream,
+            &Response::error(
+                400,
+                &format!("benchmark {unknown:?} is not in model {:?}", predict.model),
+            ),
+        );
+        return;
+    }
+    if let Some(cores) = predict.target_cores {
+        if cores == 0 || cores > 4096 {
+            shared.metrics.record_bad_request();
+            respond(
+                &mut stream,
+                &Response::error(400, &format!("target_cores {cores} out of range")),
+            );
+            return;
+        }
+    }
+
+    let key = predict.cache_key();
+    let cached = shared.cache.lock().unwrap().get(&key);
+    if let Some(body) = cached {
+        shared.metrics.record_cache_hit();
+        respond(
+            &mut stream,
+            &Response::json(200, body).with_header("x-cache", "hit"),
+        );
+        return;
+    }
+
+    let job = Job {
+        stream,
+        request: predict,
+        key,
+        received: Instant::now(),
+    };
+    match shared.queue.try_push(job) {
+        Ok(_depth) => shared.metrics.record_cache_miss(),
+        Err(job) => {
+            // Load shedding: the queue hands the job (and its connection)
+            // back so the refusal can be written on it.
+            shared.metrics.record_shed();
+            let mut stream = job.stream;
+            respond(
+                &mut stream,
+                &Response::error(503, "prediction queue is full; retry shortly")
+                    .with_header("retry-after", "1"),
+            );
+        }
+    }
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    loop {
+        match shared.queue.pop_timeout(Duration::from_millis(50)) {
+            Some(job) => {
+                let model = job.request.model.clone();
+                let mut batch = vec![job];
+                let extra = shared.queue.drain_matching(
+                    |j| j.request.model == model,
+                    shared.config.batch_max.saturating_sub(1),
+                );
+                shared.metrics.record_batched(extra.len() as u64);
+                batch.extend(extra);
+                process_batch(shared, batch);
+            }
+            None => {
+                if shared.shutdown.load(Ordering::SeqCst) && shared.queue.is_empty() {
+                    break;
+                }
+            }
+        }
+    }
+}
+
+fn process_batch(shared: &Arc<Shared>, batch: Vec<Job>) {
+    let artifact = shared.registry.get(&batch[0].request.model);
+    // The load-testing latency knob is charged once per batch (the
+    // batching win: coalesced requests share the "model latency"), using
+    // the batch's largest requested delay, capped by the server.
+    let delay_ms = batch
+        .iter()
+        .filter_map(|j| j.request.delay_ms)
+        .max()
+        .unwrap_or(0)
+        .min(shared.config.max_delay_ms);
+    if delay_ms > 0 {
+        thread::sleep(Duration::from_millis(delay_ms));
+    }
+    for job in batch {
+        let response = match &artifact {
+            Some(a) => match a.predict_mix(&job.request.mix, job.request.target_cores) {
+                Ok(prediction) => {
+                    let body = PredictResponse {
+                        model: job.request.model.clone(),
+                        prediction,
+                    };
+                    match to_canonical_json(&body) {
+                        Ok(text) => {
+                            shared
+                                .cache
+                                .lock()
+                                .unwrap()
+                                .put(job.key.clone(), text.clone());
+                            Response::json(200, text).with_header("x-cache", "miss")
+                        }
+                        Err(_) => Response::error(500, "encoding failed"),
+                    }
+                }
+                Err(e) => Response::error(400, &e.to_string()),
+            },
+            None => Response::error(404, "model vanished from the registry"),
+        };
+        shared
+            .metrics
+            .record_latency(job.received.elapsed().as_secs_f64());
+        let mut stream = job.stream;
+        respond(&mut stream, &response);
+    }
+}

@@ -1,0 +1,148 @@
+//! Golden round-trip tests for persisted model artifacts: train on the
+//! real simulator, save to disk, load, and require identical predictions
+//! — plus rejection of corrupted and version-mismatched files.
+
+use std::path::PathBuf;
+
+use sms_core::artifact::{
+    train_artifact, ArtifactError, ModelArtifact, ARTIFACT_SCHEMA_VERSION,
+};
+use sms_core::pipeline::{DirectSim, ExperimentConfig};
+use sms_core::predictor::{MlKind, ModelParams};
+use sms_core::scaling::target_config;
+use sms_core::session::ScaleModelSession;
+use sms_ml::fit::CurveModel;
+use sms_sim::system::RunSpec;
+use sms_workloads::spec::by_name;
+
+const TRAINING: [&str; 4] = ["leela_r", "xz_r", "gcc_r", "roms_r"];
+
+fn small_cfg() -> ExperimentConfig {
+    ExperimentConfig {
+        target: target_config(8),
+        ms_cores: vec![2, 4],
+        spec: RunSpec {
+            warmup_instructions: 5_000,
+            measure_instructions: 20_000,
+        },
+        ..ExperimentConfig::default()
+    }
+}
+
+fn trained(name: &str) -> ModelArtifact {
+    let training: Vec<_> = TRAINING.iter().map(|n| by_name(n).expect("known")).collect();
+    train_artifact(
+        &mut DirectSim,
+        small_cfg(),
+        &training,
+        MlKind::Svm,
+        CurveModel::Logarithmic,
+        &ModelParams::default(),
+        name,
+    )
+    .expect("training on the real simulator succeeds")
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sms-artifact-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn golden_round_trip_preserves_predictions() {
+    let dir = scratch_dir("golden");
+    let artifact = trained("golden");
+    let path = artifact.save_in(&dir).unwrap();
+    let loaded = ModelArtifact::load(&path).unwrap();
+    assert_eq!(loaded, artifact, "full model state must survive the disk");
+
+    let mix: Vec<String> = ["leela_r", "xz_r", "gcc_r", "leela_r"]
+        .iter()
+        .map(|s| (*s).to_owned())
+        .collect();
+    let before = artifact.predict_mix(&mix, Some(8)).unwrap();
+    let after = loaded.predict_mix(&mix, Some(8)).unwrap();
+    assert_eq!(before.per_core_ipc.len(), 4);
+    for (a, b) in before.per_core_ipc.iter().zip(&after.per_core_ipc) {
+        assert!(a.is_finite() && *a > 0.0);
+        assert!((a - b).abs() <= 1e-12, "prediction drifted: {a} vs {b}");
+    }
+    assert!((before.stp - after.stp).abs() <= 1e-12);
+    assert_eq!(before.cv_error, after.cv_error);
+
+    // Saving the loaded artifact again is byte-identical (deterministic
+    // sorted-key encoding), and top-level keys are sorted.
+    let first = std::fs::read_to_string(&path).unwrap();
+    loaded.save(&path).unwrap();
+    let second = std::fs::read_to_string(&path).unwrap();
+    assert_eq!(first, second);
+    let pos = |k: &str| first.find(&format!("\"{k}\"")).unwrap_or_else(|| panic!("{k} missing"));
+    assert!(pos("checksum") < pos("name"));
+    assert!(pos("name") < pos("payload"));
+    assert!(pos("payload") < pos("schema"));
+    assert!(pos("schema") < pos("schema_version"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn artifact_training_matches_in_process_session() {
+    // `sms train` and the in-process session API share one training path
+    // (same training sets, same fixed seed), so the persisted extrapolator
+    // must equal the session's bit for bit.
+    let artifact = trained("parity");
+    let training: Vec<_> = TRAINING.iter().map(|n| by_name(n).expect("known")).collect();
+    let session = ScaleModelSession::train(&mut DirectSim, small_cfg(), &training).unwrap();
+    assert_eq!(session.extrapolator(), &artifact.payload.extrapolator);
+}
+
+#[test]
+fn corrupted_and_mismatched_files_are_rejected() {
+    let dir = scratch_dir("reject");
+    let artifact = trained("reject");
+    let path = artifact.save_in(&dir).unwrap();
+    let original: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+
+    // Payload tampering flips the checksum.
+    let mut tampered = original.clone();
+    tampered["payload"]["cv_error"] = serde_json::json!(0.123456);
+    let tampered_path = dir.join("tampered.json");
+    std::fs::write(&tampered_path, tampered.to_string()).unwrap();
+    match ModelArtifact::load(&tampered_path) {
+        Err(ArtifactError::ChecksumMismatch { .. }) => {}
+        other => panic!("expected checksum mismatch, got {other:?}"),
+    }
+
+    // A future format version is refused, not misread.
+    let mut versioned = original.clone();
+    versioned["schema_version"] = serde_json::json!(999);
+    let versioned_path = dir.join("versioned.json");
+    std::fs::write(&versioned_path, versioned.to_string()).unwrap();
+    match ModelArtifact::load(&versioned_path) {
+        Err(ArtifactError::VersionMismatch { found: 999, expected }) => {
+            assert_eq!(expected, ARTIFACT_SCHEMA_VERSION);
+        }
+        other => panic!("expected version mismatch, got {other:?}"),
+    }
+
+    // A different schema tag is refused.
+    let mut wrong = original;
+    wrong["schema"] = serde_json::json!("not-a-model");
+    let wrong_path = dir.join("wrong-schema.json");
+    std::fs::write(&wrong_path, wrong.to_string()).unwrap();
+    match ModelArtifact::load(&wrong_path) {
+        Err(ArtifactError::SchemaMismatch { found }) => assert_eq!(found, "not-a-model"),
+        other => panic!("expected schema mismatch, got {other:?}"),
+    }
+
+    // Truncated JSON is an error, not a panic.
+    let broken_path = dir.join("broken.json");
+    std::fs::write(&broken_path, "{\"schema\": \"sms-model-art").unwrap();
+    assert!(matches!(
+        ModelArtifact::load(&broken_path),
+        Err(ArtifactError::Json(_))
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+}
