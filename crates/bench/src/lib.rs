@@ -5,7 +5,10 @@
 //!
 //! * [`runner`] — persistent simulation-result cache + fault-tolerant
 //!   plan executor (panic isolation, bounded retries, quarantine),
-//! * [`telemetry`] — per-run records, counters, and the JSON run-manifest,
+//! * [`telemetry`] — per-run records, `sms-obs` counters, the JSON
+//!   run-manifest, and Chrome-trace flushing,
+//! * [`timeline`] — opt-in per-run epoch timelines written next to the
+//!   cache (`sms sweep --timelines`, rendered by `sms timeline`),
 //! * [`ctx`] — experiment context (env-var knobs, report emission),
 //! * [`experiments`] — one driver per table/figure,
 //! * [`table`] — text-table rendering.
@@ -24,9 +27,17 @@ pub mod experiments;
 pub mod runner;
 pub mod table;
 pub mod telemetry;
+pub mod timeline;
 
 pub use ctx::{Ctx, Report};
 pub use runner::{
-    cache_key, execute_plan, execute_plan_with, CachedSim, PlanSummary, QuarantineRecord,
+    cache_key, execute_plan, execute_plan_with, key_hash_hex, CachedSim, PlanSummary,
+    QuarantineRecord,
 };
-pub use telemetry::{percentiles, Percentiles, RunManifest, RunRecord, RunStatus, RunSummary};
+pub use telemetry::{
+    percentiles, write_trace, Percentiles, RunManifest, RunRecord, RunStatus, RunSummary,
+};
+pub use timeline::{
+    execute_plan_with_timelines, timeline_run_fn, timelines_dir, TimelineFile,
+    TIMELINE_SCHEMA_VERSION,
+};

@@ -30,7 +30,7 @@ use sms_sim::system::RunSpec;
 use sms_workloads::mix::MixSpec;
 
 use crate::telemetry::{
-    mix_label, write_manifest, RunRecord, RunStatus, RunSummary, Telemetry,
+    mix_label, write_manifest, write_trace, RunRecord, RunStatus, RunSummary, Telemetry,
 };
 
 /// 128-bit FNV-1a over a byte string.
@@ -344,6 +344,10 @@ fn run_one<F>(
     F: Fn(&SystemConfig, &MixSpec, RunSpec) -> Result<SimResult, SimError> + Sync,
 {
     use std::panic::{catch_unwind, AssertUnwindSafe};
+    let _span = sms_obs::tracer()
+        .span("run_one", "bench")
+        .arg("mix", &mix_label(mix))
+        .arg("cores", &cfg.num_cores.to_string());
     let started = Instant::now();
     let mut attempts = 0u32;
     let outcome = loop {
@@ -352,7 +356,10 @@ fn run_one<F>(
             .unwrap_or_else(|payload| Err(SimError::Panicked(panic_message(payload.as_ref()))));
         match attempt {
             Ok(result) => break Ok(result),
-            Err(_) if attempts <= retries => telemetry.record_retry(),
+            Err(_) if attempts <= retries => {
+                sms_obs::tracer().instant("retry", "bench");
+                telemetry.record_retry();
+            }
             Err(e) => break Err(e),
         }
     };
@@ -427,6 +434,10 @@ pub fn execute_plan_with<F>(
 where
     F: Fn(&SystemConfig, &MixSpec, RunSpec) -> Result<SimResult, SimError> + Sync,
 {
+    let plan_span = sms_obs::tracer()
+        .span("execute_plan", "bench")
+        .arg("label", label)
+        .arg("runs", &plan.len().to_string());
     let todo: Vec<&(SystemConfig, MixSpec)> = plan
         .iter()
         .filter(|(cfg, mix)| cache.lookup(cfg, mix, spec).is_none())
@@ -453,6 +464,10 @@ where
             plan.len()
         );
         let next = AtomicUsize::new(0);
+        // Shadow with references so each worker's `move` closure copies a
+        // shared borrow instead of trying to move the value out of the loop.
+        let next = &next;
+        let todo = &todo;
         let run_fn = &run_fn;
         let telemetry_ref = &telemetry;
         crossbeam::thread::scope(|scope| {
@@ -471,6 +486,10 @@ where
     }
     let manifest = telemetry.finish();
     let manifest_path = write_manifest(cache.dir(), &manifest);
+    // Close the invocation span before flushing so it appears in its own
+    // trace file when tracing is on.
+    drop(plan_span);
+    let _ = write_trace(cache.dir(), label);
     if manifest.failed > 0 {
         eprintln!(
             "[{label}] {} run(s) failed after retries; see {} and the manifest",

@@ -11,10 +11,12 @@
 
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
+use sms_obs::{Counter, Family, Histogram, Registry};
 use sms_sim::config::{SystemConfig, CORE_FREQ_GHZ, LINE_SIZE};
 use sms_sim::stats::SimResult;
 use sms_workloads::mix::MixSpec;
@@ -22,7 +24,9 @@ use sms_workloads::mix::MixSpec;
 /// Manifest schema version; bump when the JSON layout changes.
 ///
 /// v2 added `wall_percentiles` and switched emission to sorted-key JSON.
-pub const MANIFEST_SCHEMA_VERSION: u32 = 2;
+/// v3 added the `registry` metrics snapshot; v2 manifests (no snapshot)
+/// still load.
+pub const MANIFEST_SCHEMA_VERSION: u32 = 3;
 
 /// p50/p95/p99 of a latency or wall-time sample set, in the samples'
 /// unit. Shared between the sweep manifest and the `sms-serve` metrics
@@ -164,6 +168,10 @@ pub struct RunManifest {
     pub failed_keys: Vec<String>,
     /// Per-entry records, in completion order.
     pub runs: Vec<RunRecord>,
+    /// Snapshot of the executor's `sms-obs` metrics registry at finish
+    /// time, keyed by metric family name (absent in pre-v3 manifests).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub registry: Option<serde_json::Value>,
 }
 
 impl RunManifest {
@@ -254,6 +262,11 @@ pub struct Telemetry {
     /// Print a progress line every this many completions (the final
     /// completion always prints).
     progress_every: usize,
+    /// Per-invocation metrics registry, snapshotted into the manifest.
+    registry: Arc<Registry>,
+    obs_runs: Arc<Family<Counter>>,
+    obs_retries: Arc<Counter>,
+    obs_run_wall_micros: Arc<Histogram>,
 }
 
 impl Telemetry {
@@ -261,6 +274,26 @@ impl Telemetry {
     /// `cached` were already satisfied, running on `workers` threads.
     pub fn start(label: &str, workers: usize, total_runs: usize, cached: usize) -> Self {
         let todo = total_runs - cached;
+        let registry = Arc::new(Registry::new());
+        let obs_runs = registry.counter_family(
+            "sms_bench_runs_total",
+            "Completed plan entries by outcome.",
+            &["status"],
+        );
+        let obs_retries = registry.counter(
+            "sms_bench_retries_total",
+            "Failed attempts that were re-run.",
+        );
+        let obs_run_wall_micros = registry.histogram(
+            "sms_bench_run_wall_micros",
+            "Host wall-clock time per plan entry (all attempts), microseconds.",
+        );
+        registry
+            .counter(
+                "sms_bench_cached_runs_total",
+                "Plan entries satisfied by the result cache before execution.",
+            )
+            .inc_by(cached as u64);
         Self {
             label: label.to_owned(),
             workers,
@@ -274,25 +307,35 @@ impl Telemetry {
             busy_micros: AtomicU64::new(0),
             records: Mutex::new(Vec::with_capacity(todo)),
             progress_every: if todo <= 20 { 1 } else { 10 },
+            registry,
+            obs_runs,
+            obs_retries,
+            obs_run_wall_micros,
         }
+    }
+
+    /// The invocation's metrics registry (snapshotted into the manifest).
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
     }
 
     /// Record one retry attempt (a failed attempt that will be re-run).
     pub fn record_retry(&self) {
         self.retries.fetch_add(1, Ordering::Relaxed);
+        self.obs_retries.inc();
     }
 
     /// Record a completed entry and print the progress line when due.
     pub fn record(&self, record: RunRecord) {
-        self.busy_micros.fetch_add(
-            (record.wall_seconds * 1e6) as u64,
-            Ordering::Relaxed,
-        );
-        let counter = match record.status {
-            RunStatus::Ok => &self.simulated,
-            RunStatus::Quarantined => &self.failed,
+        let wall_micros = (record.wall_seconds * 1e6) as u64;
+        self.busy_micros.fetch_add(wall_micros, Ordering::Relaxed);
+        self.obs_run_wall_micros.observe(wall_micros);
+        let (counter, status) = match record.status {
+            RunStatus::Ok => (&self.simulated, "ok"),
+            RunStatus::Quarantined => (&self.failed, "quarantined"),
         };
         counter.fetch_add(1, Ordering::Relaxed);
+        self.obs_runs.with(&[status]).inc();
         self.records.lock().push(record);
         self.progress();
     }
@@ -351,6 +394,35 @@ impl Telemetry {
             wall_percentiles: percentiles(&wall_times),
             failed_keys,
             runs,
+            registry: serde_json::from_str(&self.registry.to_json()).ok(),
+        }
+    }
+}
+
+/// Flush the global tracer's ring to `dir/traces/<label>.json` as Chrome
+/// `trace_event` JSON (load it at `chrome://tracing` or Perfetto),
+/// returning the path. A no-op returning `None` when tracing is disabled
+/// or nothing was recorded; write failures warn rather than abort, like
+/// [`write_manifest`].
+pub fn write_trace(dir: &Path, label: &str) -> Option<PathBuf> {
+    let tracer = sms_obs::tracer();
+    if !tracer.is_enabled() || tracer.is_empty() {
+        return None;
+    }
+    let dir = dir.join("traces");
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("[{label}] warning: cannot create trace dir {}: {e}", dir.display());
+        return None;
+    }
+    let path = dir.join(format!("{}.json", sanitize_label(label)));
+    match std::fs::write(&path, tracer.chrome_json()) {
+        Ok(()) => {
+            eprintln!("[{label}] trace written to {}", path.display());
+            Some(path)
+        }
+        Err(e) => {
+            eprintln!("[{label}] warning: cannot write trace {}: {e}", path.display());
+            None
         }
     }
 }
@@ -431,6 +503,28 @@ mod tests {
         assert_eq!(m.failed, 1);
         assert_eq!(m.retries, 1);
         assert_eq!(m.failed_keys, vec!["abc".to_owned()]);
+        assert_eq!(m.schema_version, MANIFEST_SCHEMA_VERSION);
+
+        // The obs registry tracked the same counts and is snapshotted
+        // into the manifest.
+        let reg = m.registry.as_ref().expect("registry snapshot present");
+        assert_eq!(
+            reg["sms_bench_runs_total"]["samples"]
+                .as_array()
+                .unwrap()
+                .iter()
+                .map(|s| s["value"].as_f64().unwrap())
+                .sum::<f64>(),
+            3.0
+        );
+        assert_eq!(reg["sms_bench_retries_total"]["samples"][0]["value"], 1.0);
+        assert_eq!(
+            reg["sms_bench_cached_runs_total"]["samples"][0]["value"],
+            2.0
+        );
+        assert_eq!(
+            reg["sms_bench_run_wall_micros"]["samples"][0]["count"], 3.0
+        );
 
         let dir = std::env::temp_dir().join(format!("sms-telemetry-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
@@ -517,13 +611,24 @@ mod tests {
         let mut sorted = keys.clone();
         sorted.sort();
         assert_eq!(keys, sorted);
-        // Older (v1) manifests without the field still load.
+        // Older manifests still load: v2 lacked the registry snapshot,
+        // v1 additionally lacked wall percentiles.
+        let mut v2 = v.clone();
+        v2.as_object_mut().unwrap().remove("registry");
+        v2["schema_version"] = serde_json::json!(2);
+        std::fs::write(&path, serde_json::to_string(&v2).unwrap()).unwrap();
+        let back = RunManifest::load(&path).unwrap();
+        assert_eq!(back.registry, None);
+        assert!(back.wall_percentiles.is_some());
+
         let mut v1 = v.clone();
         v1.as_object_mut().unwrap().remove("wall_percentiles");
+        v1.as_object_mut().unwrap().remove("registry");
         v1["schema_version"] = serde_json::json!(1);
         std::fs::write(&path, serde_json::to_string(&v1).unwrap()).unwrap();
         let back = RunManifest::load(&path).unwrap();
         assert_eq!(back.wall_percentiles, None);
+        assert_eq!(back.registry, None);
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -1,0 +1,234 @@
+//! Per-run epoch timelines: an opt-in run function for the plan executor
+//! that records every simulated run's per-sync-window samples and writes
+//! them under `<cache>/timelines/<key_hash>.json`.
+//!
+//! The plain executor runs with a [`sms_sim::NullSink`], so sweeps pay
+//! nothing for this capability; wiring [`timeline_run_fn`] through the
+//! [`execute_plan_with`](crate::runner::execute_plan_with) seam swaps in a
+//! [`RecordingSink`] per run. Each file carries the run's
+//! [`SimTimeline`] plus a snapshot of the global `sms-obs` registry, and
+//! is rendered by `sms timeline`.
+
+use std::path::{Path, PathBuf};
+
+use serde::{Deserialize, Serialize};
+use sms_sim::config::SystemConfig;
+use sms_sim::error::SimError;
+use sms_sim::stats::SimResult;
+use sms_sim::system::{MulticoreSystem, RunSpec};
+use sms_sim::{RecordingSink, SimTimeline};
+use sms_workloads::mix::MixSpec;
+
+use crate::runner::{cache_key, key_hash_hex, CachedSim, PlanSummary};
+use crate::telemetry::mix_label;
+
+/// Timeline file schema version; bump when the JSON layout changes.
+pub const TIMELINE_SCHEMA_VERSION: u32 = 1;
+
+/// One timeline file: the epoch-resolved record of a single simulated
+/// run, written next to the result cache.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TimelineFile {
+    /// Timeline file schema version.
+    pub schema_version: u32,
+    /// Hex hash of the run's cache key (also the file stem).
+    pub key_hash: String,
+    /// Human-readable mix description.
+    pub mix: String,
+    /// Cores in the machine configuration.
+    pub cores: u32,
+    /// Per-sync-window samples of the measured phase.
+    pub timeline: SimTimeline,
+    /// Snapshot of the global `sms-obs` metrics registry at write time
+    /// (absent when written by older versions).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub registry: Option<serde_json::Value>,
+}
+
+impl TimelineFile {
+    /// Load a timeline file from disk.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the file is unreadable or not a timeline.
+    pub fn load(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let text = std::fs::read_to_string(path)?;
+        serde_json::from_str(&text)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+
+    /// Write the file as sorted-key pretty JSON.
+    ///
+    /// # Errors
+    ///
+    /// Propagates encoding and filesystem failures.
+    pub fn save(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        let json = sms_core::artifact::to_sorted_pretty_json(self)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::Other, e))?;
+        std::fs::write(path, json)
+    }
+}
+
+/// Where [`timeline_run_fn`] writes its files.
+pub fn timelines_dir(cache_dir: &Path) -> PathBuf {
+    cache_dir.join("timelines")
+}
+
+/// A run function for the `execute_plan_with` seam that simulates with a
+/// [`RecordingSink`] and writes each run's [`TimelineFile`] under
+/// `<cache_dir>/timelines/`. Write failures warn and drop the timeline
+/// rather than failing the run — the `SimResult` is identical either way
+/// (sampling is read-only).
+pub fn timeline_run_fn(
+    cache_dir: &Path,
+) -> impl Fn(&SystemConfig, &MixSpec, RunSpec) -> Result<SimResult, SimError> + Sync {
+    let dir = timelines_dir(cache_dir);
+    move |cfg, mix, spec| {
+        let mut sink = RecordingSink::new();
+        let mut system = MulticoreSystem::new(cfg.clone(), mix.sources())?;
+        let result = system.run_with_sink(spec, &mut sink)?;
+        let file = TimelineFile {
+            schema_version: TIMELINE_SCHEMA_VERSION,
+            key_hash: key_hash_hex(&cache_key(cfg, mix, spec)),
+            mix: mix_label(mix),
+            cores: cfg.num_cores,
+            timeline: SimTimeline {
+                sync_quantum: cfg.sync_quantum,
+                num_cores: cfg.num_cores,
+                samples: sink.into_samples(),
+            },
+            registry: serde_json::from_str(&sms_obs::registry().to_json()).ok(),
+        };
+        write_timeline(&dir, &file);
+        Ok(result)
+    }
+}
+
+/// [`execute_plan_with`](crate::runner::execute_plan_with) preconfigured
+/// with [`timeline_run_fn`]: every simulated (non-cached) run leaves a
+/// timeline file behind. This is what `sms sweep --timelines` calls.
+pub fn execute_plan_with_timelines(
+    cache: &CachedSim,
+    plan: &[(SystemConfig, MixSpec)],
+    spec: RunSpec,
+    threads: usize,
+    label: &str,
+) -> PlanSummary {
+    let run_fn = timeline_run_fn(cache.dir());
+    crate::runner::execute_plan_with(
+        cache,
+        plan,
+        spec,
+        threads,
+        label,
+        crate::runner::default_retries(),
+        run_fn,
+    )
+}
+
+/// Best-effort write of one timeline file as sorted-key pretty JSON.
+fn write_timeline(dir: &Path, file: &TimelineFile) {
+    let write = || -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        file.save(dir.join(format!("{}.json", file.key_hash)))
+    };
+    if let Err(e) = write() {
+        eprintln!(
+            "warning: cannot write timeline for {} ({}): {e}",
+            file.key_hash, file.mix
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cfg() -> SystemConfig {
+        let mut cfg = SystemConfig::target_32core();
+        cfg.num_cores = 1;
+        cfg.llc.num_slices = 1;
+        cfg.noc.mesh_cols = 1;
+        cfg.noc.mesh_rows = 1;
+        cfg.dram.num_controllers = 1;
+        cfg
+    }
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d =
+            std::env::temp_dir().join(format!("sms-timeline-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn timeline_run_fn_writes_one_file_per_simulated_run() {
+        let dir = tmpdir("files");
+        let cache = CachedSim::open(&dir).unwrap();
+        let cfg = tiny_cfg();
+        let spec = RunSpec {
+            warmup_instructions: 0,
+            measure_instructions: 5_000,
+        };
+        let plan: Vec<(SystemConfig, MixSpec)> = ["leela_r", "lbm_r"]
+            .iter()
+            .map(|n| (cfg.clone(), MixSpec::homogeneous(n, 1, 7)))
+            .collect();
+        let summary = execute_plan_with_timelines(&cache, &plan, spec, 2, "tl");
+        assert_eq!(summary.failed, 0);
+        assert_eq!(summary.simulated, 2);
+
+        let tdir = timelines_dir(cache.dir());
+        let mut files: Vec<PathBuf> = std::fs::read_dir(&tdir)
+            .unwrap()
+            .flatten()
+            .map(|e| e.path())
+            .collect();
+        files.sort();
+        assert_eq!(files.len(), 2);
+        for path in &files {
+            let tl = TimelineFile::load(path).unwrap();
+            assert_eq!(tl.schema_version, TIMELINE_SCHEMA_VERSION);
+            assert_eq!(tl.cores, 1);
+            assert_eq!(
+                path.file_stem().unwrap().to_str().unwrap(),
+                tl.key_hash,
+                "file stem is the key hash"
+            );
+            assert!(!tl.timeline.samples.is_empty(), "epochs recorded");
+            assert!(tl
+                .timeline
+                .samples
+                .windows(2)
+                .all(|w| w[0].cycle < w[1].cycle));
+            assert!(tl.registry.is_some(), "registry snapshot embedded");
+            assert!(!tl.timeline.render().is_empty());
+        }
+
+        // Re-running is all-cached: no run function calls, no new files.
+        let again = execute_plan_with_timelines(&cache, &plan, spec, 2, "tl");
+        assert_eq!(again.cached, 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn timeline_file_without_registry_still_loads() {
+        // Forward compatibility with files written before the registry
+        // snapshot existed.
+        let dir = tmpdir("compat");
+        std::fs::create_dir_all(&dir).unwrap();
+        let json = r#"{
+            "schema_version": 1,
+            "key_hash": "ab12",
+            "mix": "1x leela_r",
+            "cores": 1,
+            "timeline": {"sync_quantum": 1000, "num_cores": 1, "samples": []}
+        }"#;
+        let path = dir.join("ab12.json");
+        std::fs::write(&path, json).unwrap();
+        let tl = TimelineFile::load(&path).unwrap();
+        assert_eq!(tl.registry, None);
+        assert_eq!(tl.timeline.sync_quantum, 1_000);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -5,13 +5,14 @@
 //! each with a small set of `--key value` options.
 //!
 //! ```text
-//! sms simulate  --bench lbm_r[,mcf_r,...] --cores 8 [--policy prs|nrs] [--budget N] [--seed S] [--json]
+//! sms simulate  --bench lbm_r[,mcf_r,...] --cores 8 [--policy prs|nrs] [--budget N] [--seed S] [--json] [--timeline-out FILE]
 //! sms scale     [--cores 32] [--mb-first]                 # print Table I
 //! sms predict   --bench lbm_r [--target-cores 32] [--budget N] [--seed S]
 //! sms trace     --bench lbm_r --out trace.smst [--instructions N] [--seed S]
 //! sms bench-table                                          # characterize the suite
-//! sms sweep     --bench lbm_r[,mcf_r,...] [--target-cores 32] [--threads T] [--results DIR]
+//! sms sweep     --bench lbm_r[,mcf_r,...] [--target-cores 32] [--threads T] [--results DIR] [--timelines] [--spans]
 //! sms manifest  --path results/cache/manifests/LABEL.json  # inspect a run manifest
+//! sms timeline  --path results/cache/timelines/HASH.json [--csv]  # per-epoch view of a run
 //! sms train     [--bench ...] [--target-cores 32] [--kind svm] [--curve log] [--save]
 //! sms models    [--results DIR]                             # list saved artifacts
 //! sms serve     [--addr 127.0.0.1:8080] [--workers 4] [--results DIR]
@@ -21,7 +22,11 @@
 use std::collections::HashMap;
 use std::path::Path;
 
-use sms_bench::{execute_plan, CachedSim, RunManifest};
+use sms_bench::telemetry::mix_label;
+use sms_bench::{
+    cache_key, execute_plan, execute_plan_with_timelines, key_hash_hex, timelines_dir, CachedSim,
+    RunManifest, TimelineFile, TIMELINE_SCHEMA_VERSION,
+};
 use sms_core::artifact::train_artifact;
 use sms_core::pipeline::{homogeneous_plan, mean_bandwidth, mean_ipc, DirectSim, ExperimentConfig};
 use sms_core::predictor::{MlKind, ModelParams};
@@ -31,6 +36,7 @@ use sms_core::scaling::{scale_config, scale_table, target_config, MemBwScaling, 
 use sms_core::session::ScaleModelSession;
 use sms_sim::config::SystemConfig;
 use sms_sim::system::{MulticoreSystem, RunSpec};
+use sms_sim::{RecordingSink, SimTimeline};
 use sms_workloads::mix::MixSpec;
 use sms_workloads::spec::{by_name, suite};
 use sms_workloads::trace_io::RecordedTrace;
@@ -156,6 +162,7 @@ pub fn run(args: &Args) -> Result<String, CliError> {
         "bench-table" => cmd_bench_table(args),
         "sweep" => cmd_sweep(args),
         "manifest" => cmd_manifest(args),
+        "timeline" => cmd_timeline(args),
         "train" => cmd_train(args),
         "models" => cmd_models(args),
         "serve" => cmd_serve(args),
@@ -174,6 +181,7 @@ pub const COMMANDS: &[&str] = &[
     "bench-table",
     "sweep",
     "manifest",
+    "timeline",
     "train",
     "models",
     "serve",
@@ -186,8 +194,11 @@ sms — scale-model architectural simulation
 
 USAGE:
   sms simulate --bench NAME[,NAME...] --cores N [--policy prs|nrs] [--budget N] [--seed S] [--json]
+               [--timeline-out FILE]
       Simulate a multiprogram mix on an N-core PRS/NRS machine (repeat
-      a single name to fill all cores) and print per-core results.
+      a single name to fill all cores) and print per-core results. With
+      --timeline-out, also record per-sync-window samples (IPC, LLC,
+      NoC, DRAM) and write them as a timeline file for `sms timeline`.
 
   sms scale [--cores N] [--mb-first]
       Print the Table-I scale-model resource ladder for an N-core target.
@@ -205,15 +216,24 @@ USAGE:
       Characterize all 29 benchmarks on the single-core scale model.
 
   sms sweep --bench NAME[,NAME...] [--target-cores N] [--budget N] [--seed S]
-            [--threads T] [--results DIR] [--label L]
+            [--threads T] [--results DIR] [--label L] [--timelines] [--spans]
       Run the full scale-model ladder (1..N cores) for each benchmark
       through the fault-tolerant parallel executor: results are cached
       under DIR/cache, failing runs are retried then quarantined, and a
-      JSON run manifest is written under DIR/cache/manifests/.
+      JSON run manifest is written under DIR/cache/manifests/. With
+      --timelines, every simulated run also leaves a per-epoch timeline
+      under DIR/cache/timelines/. With --spans, executor spans are
+      recorded and flushed as Chrome trace-event JSON under
+      DIR/cache/traces/ (open at chrome://tracing or Perfetto).
 
   sms manifest --path FILE
       Pretty-print a JSON run manifest written by `sms sweep` or the
-      bench experiment executor.
+      bench experiment executor, including its metrics-registry snapshot.
+
+  sms timeline --path FILE [--csv]
+      Render a timeline file (per-epoch IPC, LLC hit rate and occupancy,
+      NoC traffic, DRAM bandwidth and queue depth) as a table, or as CSV
+      with --csv.
 
   sms train [--bench NAME[,NAME...]] [--target-cores N] [--budget N] [--seed S]
             [--kind svm|dt|rf|krr] [--curve log|linear|power] [--name NAME]
@@ -281,16 +301,41 @@ fn cmd_simulate(args: &Args) -> Result<String, CliError> {
     let mix = MixSpec { benchmarks, seed };
 
     let machine = machine_for(args, cores)?;
+    let spec = spec_for(args)?;
     let mut sys = MulticoreSystem::new(machine.clone(), mix.sources())
         .map_err(|e| CliError::Sim(e.to_string()))?;
-    let r = sys
-        .run(spec_for(args)?)
-        .map_err(|e| CliError::Sim(e.to_string()))?;
+    let mut timeline_note = String::new();
+    let r = if let Some(out_path) = args.options.get("timeline-out") {
+        let mut sink = RecordingSink::new();
+        let r = sys
+            .run_with_sink(spec, &mut sink)
+            .map_err(|e| CliError::Sim(e.to_string()))?;
+        let file = TimelineFile {
+            schema_version: TIMELINE_SCHEMA_VERSION,
+            key_hash: key_hash_hex(&cache_key(&machine, &mix, spec)),
+            mix: mix_label(&mix),
+            cores,
+            timeline: SimTimeline {
+                sync_quantum: machine.sync_quantum,
+                num_cores: machine.num_cores,
+                samples: sink.into_samples(),
+            },
+            registry: serde_json::from_str(&sms_obs::registry().to_json()).ok(),
+        };
+        file.save(out_path).map_err(|e| CliError::Io(e.to_string()))?;
+        timeline_note = format!(
+            "\ntimeline: {} epochs written to {out_path} (render with `sms timeline --path {out_path}`)",
+            file.timeline.samples.len()
+        );
+        r
+    } else {
+        sys.run(spec).map_err(|e| CliError::Sim(e.to_string()))?
+    };
 
     if args.flag("json") {
         return serde_json::to_string_pretty(&r).map_err(|e| CliError::Io(e.to_string()));
     }
-    Ok(format!("machine: {}\n{r}", machine.summary()))
+    Ok(format!("machine: {}\n{r}{timeline_note}", machine.summary()))
 }
 
 fn cmd_scale(args: &Args) -> Result<String, CliError> {
@@ -497,7 +542,14 @@ fn cmd_sweep(args: &Args) -> Result<String, CliError> {
     let plan = homogeneous_plan(&cfg, &profiles);
     let cache =
         CachedSim::open(Path::new(&results).join("cache")).map_err(|e| CliError::Io(e.to_string()))?;
-    let summary = execute_plan(&cache, &plan, spec, threads, &label);
+    if args.flag("spans") {
+        sms_obs::tracer().set_enabled(true);
+    }
+    let summary = if args.flag("timelines") {
+        execute_plan_with_timelines(&cache, &plan, spec, threads, &label)
+    } else {
+        execute_plan(&cache, &plan, spec, threads, &label)
+    };
 
     let mut out = format!(
         "sweep `{label}`: {} runs ({} cached, {} simulated, {} quarantined, {} retries)\n\
@@ -513,6 +565,12 @@ fn cmd_sweep(args: &Args) -> Result<String, CliError> {
     match &summary.manifest_path {
         Some(p) => out.push_str(&format!("manifest: {}\n", p.display())),
         None => out.push_str("manifest: not written (cache disk unavailable)\n"),
+    }
+    if args.flag("timelines") {
+        out.push_str(&format!(
+            "timelines: {} (render one with `sms timeline --path FILE`)\n",
+            timelines_dir(cache.dir()).display()
+        ));
     }
     if summary.failed > 0 {
         out.push_str(&format!(
@@ -531,6 +589,24 @@ fn cmd_manifest(args: &Args) -> Result<String, CliError> {
         .ok_or(CliError::MissingOption("path"))?;
     let manifest = RunManifest::load(path).map_err(|e| CliError::Io(e.to_string()))?;
     Ok(manifest.render())
+}
+
+fn cmd_timeline(args: &Args) -> Result<String, CliError> {
+    let path = args
+        .options
+        .get("path")
+        .ok_or(CliError::MissingOption("path"))?;
+    let tl = TimelineFile::load(path).map_err(|e| CliError::Io(e.to_string()))?;
+    if args.flag("csv") {
+        return Ok(tl.timeline.render_csv());
+    }
+    Ok(format!(
+        "run {} ({}, {} cores)\n{}",
+        tl.key_hash,
+        tl.mix,
+        tl.cores,
+        tl.timeline.render()
+    ))
 }
 
 fn results_dir(args: &Args) -> String {
@@ -968,6 +1044,84 @@ mod tests {
         .unwrap();
         assert!(again.contains("4 cached"), "{again}");
         let _ = std::fs::remove_dir_all(&results);
+    }
+
+    #[test]
+    fn simulate_timeline_out_then_timeline_renders() {
+        let path = std::env::temp_dir().join(format!("sms-cli-tl-{}.json", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let out = run(&args(&[
+            "simulate",
+            "--bench",
+            "leela_r",
+            "--cores",
+            "1",
+            "--budget",
+            "20000",
+            "--timeline-out",
+            path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("timeline:"), "{out}");
+        assert!(path.exists());
+
+        let rendered = run(&args(&["timeline", "--path", path.to_str().unwrap()])).unwrap();
+        assert!(rendered.contains("1x leela_r"), "{rendered}");
+        assert!(rendered.contains("epoch"), "{rendered}");
+        assert!(rendered.contains("epochs of"), "{rendered}");
+
+        let csv = run(&args(&[
+            "timeline",
+            "--path",
+            path.to_str().unwrap(),
+            "--csv",
+        ]))
+        .unwrap();
+        assert!(csv.starts_with("epoch,cycle,ipc,"), "{csv}");
+        assert!(csv.lines().count() >= 2, "{csv}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn sweep_with_timelines_writes_per_run_files() {
+        let results =
+            std::env::temp_dir().join(format!("sms-cli-sweep-tl-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&results);
+        let out = run(&args(&[
+            "sweep",
+            "--bench",
+            "leela_r",
+            "--target-cores",
+            "2",
+            "--budget",
+            "20000",
+            "--results",
+            results.to_str().unwrap(),
+            "--label",
+            "cli-tl",
+            "--timelines",
+        ]))
+        .unwrap();
+        assert!(out.contains("timelines:"), "{out}");
+        let tdir = results.join("cache/timelines");
+        let files: Vec<_> = std::fs::read_dir(&tdir).unwrap().flatten().collect();
+        assert_eq!(files.len(), 2, "one timeline per simulated run");
+        let rendered = run(&args(&[
+            "timeline",
+            "--path",
+            files[0].path().to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(rendered.contains("epoch"), "{rendered}");
+        let _ = std::fs::remove_dir_all(&results);
+    }
+
+    #[test]
+    fn timeline_on_missing_file_is_io_error() {
+        assert!(matches!(
+            run(&args(&["timeline", "--path", "/nonexistent/timeline.json"])),
+            Err(CliError::Io(_))
+        ));
     }
 
     #[test]

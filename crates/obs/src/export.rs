@@ -1,0 +1,288 @@
+//! Textual exporters for the registry: Prometheus exposition format
+//! (version 0.0.4) and canonical JSON.
+//!
+//! Both are hand-rolled on `std` so the crate stays dependency-free; the
+//! JSON form sorts every key and renders deterministically so registry
+//! snapshots can be embedded in run manifests and diffed across runs.
+
+use crate::registry::{
+    bucket_bound, AnyFamily, Family, HistogramSnapshot, Metric, Registry, HISTOGRAM_BOUNDS,
+};
+
+/// Escape a Prometheus HELP string: backslash and newline.
+fn escape_help(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+/// Escape a Prometheus label value: backslash, double-quote, newline.
+fn escape_label_value(s: &str) -> String {
+    s.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// Render a `{k="v",...}` label block; empty labels render as nothing.
+/// `extra` appends one more pair (used for histogram `le`).
+fn label_block(names: &[String], values: &[String], extra: Option<(&str, &str)>) -> String {
+    let mut pairs: Vec<String> = names
+        .iter()
+        .zip(values)
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label_value(v)))
+        .collect();
+    if let Some((k, v)) = extra {
+        pairs.push(format!("{k}=\"{v}\""));
+    }
+    if pairs.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", pairs.join(","))
+    }
+}
+
+/// Format an `f64` sample value the way Prometheus expects
+/// (`NaN`, `+Inf`, `-Inf` for the non-finite cases).
+fn fmt_prom_f64(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_owned()
+    } else if v == f64::INFINITY {
+        "+Inf".to_owned()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_owned()
+    } else {
+        format!("{v}")
+    }
+}
+
+fn push_header(out: &mut String, name: &str, help: &str, kind: &str) {
+    out.push_str(&format!("# HELP {name} {}\n", escape_help(help)));
+    out.push_str(&format!("# TYPE {name} {kind}\n"));
+}
+
+fn push_scalar_family<M: Metric>(
+    out: &mut String,
+    family: &Family<M>,
+    value_of: impl Fn(&M) -> String,
+) {
+    push_header(out, family.name(), family.help(), M::kind().as_str());
+    for (labels, metric) in family.children() {
+        let block = label_block(family.label_names(), &labels, None);
+        out.push_str(&format!("{}{block} {}\n", family.name(), value_of(&metric)));
+    }
+}
+
+fn push_histogram_child(out: &mut String, name: &str, names: &[String], labels: &[String], snap: &HistogramSnapshot) {
+    let mut cumulative = 0u64;
+    for (i, count) in snap.buckets.iter().take(HISTOGRAM_BOUNDS).enumerate() {
+        cumulative += count;
+        let le = bucket_bound(i).to_string();
+        let block = label_block(names, labels, Some(("le", &le)));
+        out.push_str(&format!("{name}_bucket{block} {cumulative}\n"));
+    }
+    let block = label_block(names, labels, Some(("le", "+Inf")));
+    out.push_str(&format!("{name}_bucket{block} {}\n", snap.count));
+    let block = label_block(names, labels, None);
+    out.push_str(&format!("{name}_sum{block} {}\n", snap.sum));
+    out.push_str(&format!("{name}_count{block} {}\n", snap.count));
+}
+
+/// Render the whole registry in the Prometheus text exposition format.
+pub(crate) fn prometheus_text(registry: &Registry) -> String {
+    let mut out = String::new();
+    for (name, family) in registry.families() {
+        match family {
+            AnyFamily::Counter(f) => push_scalar_family(&mut out, &f, |c| c.get().to_string()),
+            AnyFamily::Gauge(f) => push_scalar_family(&mut out, &f, |g| fmt_prom_f64(g.get())),
+            AnyFamily::Histogram(f) => {
+                push_header(&mut out, &name, f.help(), "histogram");
+                for (labels, metric) in f.children() {
+                    push_histogram_child(
+                        &mut out,
+                        &name,
+                        f.label_names(),
+                        &labels,
+                        &metric.snapshot(),
+                    );
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Escape a string for embedding in a JSON document.
+pub(crate) fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A finite `f64` as a JSON number; non-finite values become `null`
+/// (JSON has no NaN/Inf).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+fn json_string_array(items: &[String]) -> String {
+    let quoted: Vec<String> = items
+        .iter()
+        .map(|s| format!("\"{}\"", escape_json(s)))
+        .collect();
+    format!("[{}]", quoted.join(","))
+}
+
+fn json_u64_array(items: &[u64]) -> String {
+    let rendered: Vec<String> = items.iter().map(|v| v.to_string()).collect();
+    format!("[{}]", rendered.join(","))
+}
+
+fn json_family<M: Metric>(family: &Family<M>, sample_of: impl Fn(&[String], &M) -> String) -> String {
+    let samples: Vec<String> = family
+        .children()
+        .iter()
+        .map(|(labels, metric)| sample_of(labels, metric))
+        .collect();
+    format!(
+        "{{\"help\":\"{}\",\"kind\":\"{}\",\"label_names\":{},\"samples\":[{}]}}",
+        escape_json(family.help()),
+        M::kind().as_str(),
+        json_string_array(family.label_names()),
+        samples.join(",")
+    )
+}
+
+/// Render the whole registry as one canonical JSON object keyed by family
+/// name (keys sorted, fixed field order inside each object).
+pub(crate) fn registry_json(registry: &Registry) -> String {
+    let mut entries = Vec::new();
+    for (name, family) in registry.families() {
+        let body = match family {
+            AnyFamily::Counter(f) => json_family(&f, |labels, c| {
+                format!(
+                    "{{\"labels\":{},\"value\":{}}}",
+                    json_string_array(labels),
+                    c.get()
+                )
+            }),
+            AnyFamily::Gauge(f) => json_family(&f, |labels, g| {
+                format!(
+                    "{{\"labels\":{},\"value\":{}}}",
+                    json_string_array(labels),
+                    json_f64(g.get())
+                )
+            }),
+            AnyFamily::Histogram(f) => json_family(&f, |labels, h| {
+                let snap = h.snapshot();
+                format!(
+                    "{{\"buckets\":{},\"count\":{},\"labels\":{},\"sum\":{}}}",
+                    json_u64_array(&snap.buckets),
+                    snap.count,
+                    json_string_array(labels),
+                    snap.sum
+                )
+            }),
+        };
+        entries.push(format!("\"{}\":{body}", escape_json(&name)));
+    }
+    format!("{{{}}}", entries.join(","))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prometheus_golden_counter_and_gauge() {
+        let r = Registry::new();
+        r.counter("sms_runs_total", "Total runs").inc_by(42);
+        r.gauge("sms_queue_depth", "Current queue depth").set(3.5);
+        let text = r.prometheus_text();
+        let expected = "\
+# HELP sms_queue_depth Current queue depth
+# TYPE sms_queue_depth gauge
+sms_queue_depth 3.5
+# HELP sms_runs_total Total runs
+# TYPE sms_runs_total counter
+sms_runs_total 42
+";
+        assert_eq!(text, expected);
+    }
+
+    #[test]
+    fn prometheus_label_value_escaping() {
+        let r = Registry::new();
+        let fam = r.counter_family("sms_weird_total", "Weird labels", &["path"]);
+        fam.with(&["a\\b\"c\nd"]).inc();
+        let text = r.prometheus_text();
+        assert!(
+            text.contains("sms_weird_total{path=\"a\\\\b\\\"c\\nd\"} 1"),
+            "escaped label missing from:\n{text}"
+        );
+    }
+
+    #[test]
+    fn prometheus_help_escaping_and_nonfinite_gauge() {
+        let r = Registry::new();
+        r.gauge("sms_ratio", "line1\nline2 \\ backslash").set(f64::INFINITY);
+        let text = r.prometheus_text();
+        assert!(text.contains("# HELP sms_ratio line1\\nline2 \\\\ backslash"));
+        assert!(text.contains("sms_ratio +Inf"));
+    }
+
+    #[test]
+    fn prometheus_histogram_is_cumulative_with_inf() {
+        let r = Registry::new();
+        let h = r.histogram("sms_lat_micros", "Latency");
+        h.observe(1); // bucket le="1"
+        h.observe(2); // bucket le="2"
+        h.observe(3); // bucket le="4"
+        h.observe(1 << 40); // overflow
+        let text = r.prometheus_text();
+        assert!(text.contains("# TYPE sms_lat_micros histogram"));
+        assert!(text.contains("sms_lat_micros_bucket{le=\"1\"} 1\n"));
+        assert!(text.contains("sms_lat_micros_bucket{le=\"2\"} 2\n"));
+        assert!(text.contains("sms_lat_micros_bucket{le=\"4\"} 3\n"));
+        // Cumulative count carries through the untouched buckets.
+        assert!(text.contains("sms_lat_micros_bucket{le=\"2147483648\"} 3\n"));
+        assert!(text.contains("sms_lat_micros_bucket{le=\"+Inf\"} 4\n"));
+        assert!(text.contains("sms_lat_micros_sum 1099511627782\n"));
+        assert!(text.contains("sms_lat_micros_count 4\n"));
+    }
+
+    #[test]
+    fn json_is_canonical_and_sorted() {
+        let r = Registry::new();
+        r.counter("zeta_total", "Z").inc();
+        r.gauge("alpha_gauge", "A").set(1.0);
+        let json = r.to_json();
+        let alpha = json.find("alpha_gauge").unwrap();
+        let zeta = json.find("zeta_total").unwrap();
+        assert!(alpha < zeta, "keys must be sorted: {json}");
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"kind\":\"gauge\""));
+        // Stable across repeated export.
+        assert_eq!(json, r.to_json());
+    }
+
+    #[test]
+    fn json_escapes_and_nonfinite() {
+        let r = Registry::new();
+        r.gauge("g_nan", "has \"quotes\" and \\slashes\\").set(f64::NAN);
+        let json = r.to_json();
+        assert!(json.contains("has \\\"quotes\\\" and \\\\slashes\\\\"));
+        assert!(json.contains("\"value\":null"));
+    }
+}

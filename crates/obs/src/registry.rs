@@ -1,0 +1,594 @@
+//! The metrics registry: atomic counters, gauges and log-bucketed
+//! histograms organised into labeled families.
+//!
+//! Hot paths hold `Arc` handles to individual metrics and update them
+//! with relaxed atomics — no lock, no allocation, no formatting. The
+//! registry itself is only locked when a family is first created or when
+//! a snapshot is exported ([`Registry::prometheus_text`],
+//! [`Registry::to_json`]).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+
+use crate::export;
+
+/// Lock a mutex, recovering from poisoning: a metrics substrate must keep
+/// counting even after some unrelated thread panicked mid-update.
+pub(crate) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Increment by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Increment by `n`.
+    #[inline]
+    pub fn inc_by(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a value that can go up and down. Stored as `f64` bits in an
+/// atomic word.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// Set the gauge to `v`.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Add `delta` (may be negative) with a compare-and-swap loop.
+    pub fn add(&self, delta: f64) {
+        let mut current = self.0.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(current) + delta).to_bits();
+            match self
+                .0
+                .compare_exchange_weak(current, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(seen) => current = seen,
+            }
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// Number of finite histogram bucket bounds; bound `i` is `2^i`, so the
+/// finite range covers `1 ..= 2^31`. Values beyond fall into the overflow
+/// (`+Inf`) bucket.
+pub const HISTOGRAM_BOUNDS: usize = 32;
+
+/// A log2-bucketed histogram of `u64` observations (unit-agnostic:
+/// microseconds, cycles, bytes — the metric name carries the unit).
+///
+/// Bucket `i` (`i < HISTOGRAM_BOUNDS`) counts observations `v` with
+/// `prev_bound < v <= 2^i` (bucket 0 covers `0..=1`); the final bucket is
+/// the overflow. Counts are per-bucket internally and cumulated on export
+/// as the Prometheus format requires.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BOUNDS + 1],
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Index of the bucket an observation falls into.
+#[inline]
+fn bucket_for(v: u64) -> usize {
+    if v <= 1 {
+        0
+    } else {
+        let idx = 64 - (v - 1).leading_zeros() as usize;
+        idx.min(HISTOGRAM_BOUNDS)
+    }
+}
+
+/// Inclusive upper bound of finite bucket `i`.
+pub fn bucket_bound(i: usize) -> u64 {
+    debug_assert!(i < HISTOGRAM_BOUNDS);
+    1u64 << i
+}
+
+/// Point-in-time copy of one histogram's state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket (non-cumulative) observation counts; the last entry is
+    /// the overflow bucket.
+    pub buckets: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: u64,
+}
+
+impl Histogram {
+    /// Record one observation.
+    #[inline]
+    pub fn observe(&self, v: u64) {
+        self.buckets[bucket_for(v)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Fold another histogram's counts into this one (same fixed bucket
+    /// layout, so the merge is exact).
+    pub fn merge(&self, other: &Self) {
+        for (mine, theirs) in self.buckets.iter().zip(&other.buckets) {
+            mine.fetch_add(theirs.load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+        self.sum
+            .fetch_add(other.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Sum of all observed values.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Copy out the current state.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let buckets: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let count = buckets.iter().sum();
+        HistogramSnapshot {
+            buckets,
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// What kind of metric a family holds (drives the Prometheus `# TYPE`
+/// line and the JSON `kind` field).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotonic counter.
+    Counter,
+    /// Up/down gauge.
+    Gauge,
+    /// Log-bucketed histogram.
+    Histogram,
+}
+
+impl MetricKind {
+    /// The Prometheus exposition name of the kind.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Self::Counter => "counter",
+            Self::Gauge => "gauge",
+            Self::Histogram => "histogram",
+        }
+    }
+}
+
+/// Implemented by the three metric types so [`Family`] can be generic.
+pub trait Metric: Default + Send + Sync + 'static {
+    /// The family kind reported for this metric type.
+    fn kind() -> MetricKind;
+}
+
+impl Metric for Counter {
+    fn kind() -> MetricKind {
+        MetricKind::Counter
+    }
+}
+impl Metric for Gauge {
+    fn kind() -> MetricKind {
+        MetricKind::Gauge
+    }
+}
+impl Metric for Histogram {
+    fn kind() -> MetricKind {
+        MetricKind::Histogram
+    }
+}
+
+/// A named set of metrics of one kind, distinguished by label values.
+///
+/// A family with no label names has exactly one child (the metric
+/// itself); a labeled family creates children on first use of each label
+/// combination.
+#[derive(Debug)]
+pub struct Family<M: Metric> {
+    name: String,
+    help: String,
+    label_names: Vec<String>,
+    children: Mutex<BTreeMap<Vec<String>, Arc<M>>>,
+}
+
+impl<M: Metric> Family<M> {
+    fn new(name: &str, help: &str, label_names: &[&str]) -> Self {
+        Self {
+            name: name.to_owned(),
+            help: help.to_owned(),
+            label_names: label_names.iter().map(|&l| l.to_owned()).collect(),
+            children: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// The family name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The help text.
+    pub fn help(&self) -> &str {
+        &self.help
+    }
+
+    /// The label names, in declaration order.
+    pub fn label_names(&self) -> &[String] {
+        &self.label_names
+    }
+
+    /// The child for the given label values, created on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of values differs from the family's label
+    /// names (a programming error at the call site).
+    pub fn with(&self, label_values: &[&str]) -> Arc<M> {
+        assert_eq!(
+            label_values.len(),
+            self.label_names.len(),
+            "family `{}` takes {} label value(s), got {}",
+            self.name,
+            self.label_names.len(),
+            label_values.len()
+        );
+        let key: Vec<String> = label_values.iter().map(|&v| v.to_owned()).collect();
+        let mut children = lock(&self.children);
+        Arc::clone(children.entry(key).or_default())
+    }
+
+    /// All children as `(label values, metric)` pairs, sorted by labels.
+    pub fn children(&self) -> Vec<(Vec<String>, Arc<M>)> {
+        lock(&self.children)
+            .iter()
+            .map(|(k, v)| (k.clone(), Arc::clone(v)))
+            .collect()
+    }
+}
+
+/// A type-erased family, as stored in the registry.
+#[derive(Debug, Clone)]
+pub(crate) enum AnyFamily {
+    /// A counter family.
+    Counter(Arc<Family<Counter>>),
+    /// A gauge family.
+    Gauge(Arc<Family<Gauge>>),
+    /// A histogram family.
+    Histogram(Arc<Family<Histogram>>),
+}
+
+impl AnyFamily {
+    pub(crate) fn kind(&self) -> MetricKind {
+        match self {
+            Self::Counter(_) => MetricKind::Counter,
+            Self::Gauge(_) => MetricKind::Gauge,
+            Self::Histogram(_) => MetricKind::Histogram,
+        }
+    }
+}
+
+/// A collection of metric families with stable, sorted iteration order.
+///
+/// One process-wide instance is available via [`Registry::global`] (or
+/// the crate-level [`crate::registry()`] shorthand); components that need
+/// isolation (tests, one registry per server) construct their own with
+/// [`Registry::new`].
+#[derive(Debug, Default)]
+pub struct Registry {
+    families: Mutex<BTreeMap<String, AnyFamily>>,
+}
+
+/// Whether `name` is a valid Prometheus metric name
+/// (`[a-zA-Z_:][a-zA-Z0-9_:]*`).
+fn valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The process-wide registry.
+    pub fn global() -> &'static Registry {
+        static GLOBAL: OnceLock<Registry> = OnceLock::new();
+        GLOBAL.get_or_init(Registry::new)
+    }
+
+    fn family<M: Metric>(
+        &self,
+        name: &str,
+        help: &str,
+        label_names: &[&str],
+        wrap: fn(Arc<Family<M>>) -> AnyFamily,
+        unwrap: fn(&AnyFamily) -> Option<Arc<Family<M>>>,
+    ) -> Arc<Family<M>> {
+        assert!(
+            valid_metric_name(name),
+            "invalid metric name `{name}` (want [a-zA-Z_:][a-zA-Z0-9_:]*)"
+        );
+        let mut families = lock(&self.families);
+        if let Some(existing) = families.get(name) {
+            let Some(family) = unwrap(existing) else {
+                panic!(
+                    "metric `{name}` already registered as a {}, requested as a {}",
+                    existing.kind().as_str(),
+                    M::kind().as_str()
+                );
+            };
+            assert_eq!(
+                family.label_names(),
+                label_names,
+                "metric `{name}` re-registered with different label names"
+            );
+            return family;
+        }
+        let family = Arc::new(Family::new(name, help, label_names));
+        families.insert(name.to_owned(), wrap(Arc::clone(&family)));
+        family
+    }
+
+    /// Get or create a labeled counter family.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is not a valid metric name, or is already
+    /// registered with a different kind or different label names.
+    pub fn counter_family(
+        &self,
+        name: &str,
+        help: &str,
+        label_names: &[&str],
+    ) -> Arc<Family<Counter>> {
+        self.family(name, help, label_names, AnyFamily::Counter, |f| match f {
+            AnyFamily::Counter(c) => Some(Arc::clone(c)),
+            _ => None,
+        })
+    }
+
+    /// Get or create a labeled gauge family (panics as
+    /// [`Registry::counter_family`]).
+    pub fn gauge_family(&self, name: &str, help: &str, label_names: &[&str]) -> Arc<Family<Gauge>> {
+        self.family(name, help, label_names, AnyFamily::Gauge, |f| match f {
+            AnyFamily::Gauge(g) => Some(Arc::clone(g)),
+            _ => None,
+        })
+    }
+
+    /// Get or create a labeled histogram family (panics as
+    /// [`Registry::counter_family`]).
+    pub fn histogram_family(
+        &self,
+        name: &str,
+        help: &str,
+        label_names: &[&str],
+    ) -> Arc<Family<Histogram>> {
+        self.family(name, help, label_names, AnyFamily::Histogram, |f| match f {
+            AnyFamily::Histogram(h) => Some(Arc::clone(h)),
+            _ => None,
+        })
+    }
+
+    /// Get or create an unlabeled counter (panics as
+    /// [`Registry::counter_family`]).
+    pub fn counter(&self, name: &str, help: &str) -> Arc<Counter> {
+        self.counter_family(name, help, &[]).with(&[])
+    }
+
+    /// Get or create an unlabeled gauge (panics as
+    /// [`Registry::counter_family`]).
+    pub fn gauge(&self, name: &str, help: &str) -> Arc<Gauge> {
+        self.gauge_family(name, help, &[]).with(&[])
+    }
+
+    /// Get or create an unlabeled histogram (panics as
+    /// [`Registry::counter_family`]).
+    pub fn histogram(&self, name: &str, help: &str) -> Arc<Histogram> {
+        self.histogram_family(name, help, &[]).with(&[])
+    }
+
+    /// Snapshot of the registered families, sorted by name.
+    pub(crate) fn families(&self) -> Vec<(String, AnyFamily)> {
+        lock(&self.families)
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
+    }
+
+    /// Number of registered families.
+    pub fn len(&self) -> usize {
+        lock(&self.families).len()
+    }
+
+    /// Whether no family is registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Render every family in the Prometheus text exposition format
+    /// (version 0.0.4): `# HELP` / `# TYPE` headers followed by one
+    /// sample line per child, histogram children expanded into
+    /// cumulative `_bucket{le=...}` series plus `_sum` and `_count`.
+    pub fn prometheus_text(&self) -> String {
+        export::prometheus_text(self)
+    }
+
+    /// Render every family as one canonical JSON object: keys sorted,
+    /// stable field order, no non-deterministic content — suitable for
+    /// embedding in run manifests and comparing across runs.
+    pub fn to_json(&self) -> String {
+        export::registry_json(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let r = Registry::new();
+        let c = r.counter("obs_test_total", "test counter");
+        c.inc();
+        c.inc_by(4);
+        assert_eq!(c.get(), 5);
+        // Same handle comes back on re-registration.
+        assert_eq!(r.counter("obs_test_total", "test counter").get(), 5);
+
+        let g = r.gauge("obs_gauge", "test gauge");
+        g.set(2.5);
+        g.add(-1.0);
+        assert!((g.get() - 1.5).abs() < 1e-12);
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn labeled_family_children_are_distinct() {
+        let r = Registry::new();
+        let fam = r.counter_family("obs_requests_total", "by endpoint", &["endpoint"]);
+        fam.with(&["predict"]).inc_by(3);
+        fam.with(&["models"]).inc();
+        assert_eq!(fam.with(&["predict"]).get(), 3);
+        assert_eq!(fam.with(&["models"]).get(), 1);
+        assert_eq!(fam.children().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "label value(s)")]
+    fn wrong_label_arity_panics() {
+        let r = Registry::new();
+        let fam = r.counter_family("obs_labeled", "l", &["a", "b"]);
+        let _ = fam.with(&["only-one"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_mismatch_panics() {
+        let r = Registry::new();
+        let _ = r.counter("obs_dual", "as counter");
+        let _ = r.gauge("obs_dual", "as gauge");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid metric name")]
+    fn invalid_name_panics() {
+        let r = Registry::new();
+        let _ = r.counter("bad name!", "nope");
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries() {
+        // Boundary values land in the bucket whose inclusive upper bound
+        // they equal; bound+1 lands in the next.
+        assert_eq!(bucket_for(0), 0);
+        assert_eq!(bucket_for(1), 0);
+        assert_eq!(bucket_for(2), 1);
+        assert_eq!(bucket_for(3), 2);
+        assert_eq!(bucket_for(4), 2);
+        assert_eq!(bucket_for(5), 3);
+        for i in 1..HISTOGRAM_BOUNDS {
+            assert_eq!(bucket_for(bucket_bound(i)), i, "bound 2^{i} inclusive");
+            assert_eq!(bucket_for(bucket_bound(i) + 1), i + 1, "2^{i}+1 in next");
+        }
+    }
+
+    #[test]
+    fn histogram_overflow_bucket() {
+        let h = Histogram::default();
+        h.observe(1 << 31); // largest finite bound, inclusive
+        h.observe((1 << 31) + 1); // first overflow value
+        h.observe(u64::MAX / 2);
+        let s = h.snapshot();
+        assert_eq!(s.buckets[HISTOGRAM_BOUNDS - 1], 1);
+        assert_eq!(s.buckets[HISTOGRAM_BOUNDS], 2, "overflow bucket");
+        assert_eq!(s.count, 3);
+    }
+
+    #[test]
+    fn histogram_merge_is_exact() {
+        let a = Histogram::default();
+        let b = Histogram::default();
+        for v in [0, 1, 2, 100, 5_000_000] {
+            a.observe(v);
+        }
+        for v in [1, 7, 1 << 40] {
+            b.observe(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 8);
+        assert_eq!(a.sum(), 0 + 1 + 2 + 100 + 5_000_000 + 1 + 7 + (1u64 << 40));
+        let sa = a.snapshot();
+        // Bucket 0 covers 0..=1: values 0, 1 from `a` and 1 from `b`.
+        assert_eq!(sa.buckets[0], 3);
+        assert_eq!(sa.buckets[HISTOGRAM_BOUNDS], 1, "1<<40 overflows");
+    }
+
+    #[test]
+    fn concurrent_updates_do_not_lose_counts() {
+        let r = Registry::new();
+        let c = r.counter("obs_mt_total", "mt");
+        let h = r.histogram("obs_mt_hist", "mt");
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    for i in 0..1000 {
+                        c.inc();
+                        h.observe(i);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 8000);
+        assert_eq!(h.count(), 8000);
+    }
+}

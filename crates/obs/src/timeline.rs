@@ -1,0 +1,109 @@
+//! Timeline sinks: a minimal push interface for time-resolved samples.
+//!
+//! Producers (e.g. `sms-sim`'s windowed-sync loop) are generic over
+//! [`TimelineSink`] and guard sample *construction* on
+//! [`TimelineSink::enabled`], so a [`NullSink`] — whose `enabled` is a
+//! compile-time `false` — costs nothing on the hot path. The sample type
+//! `S` is owned by the producer; this crate only defines the plumbing.
+
+/// Receives time-ordered samples of type `S`.
+pub trait TimelineSink<S> {
+    /// Whether the producer should build and push samples at all.
+    /// Producers must skip sample construction when this is `false`.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Accept one sample.
+    fn record(&mut self, sample: S);
+}
+
+/// A sink that discards everything; `enabled()` is `false` so producers
+/// skip sampling work entirely.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl<S> TimelineSink<S> for NullSink {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn record(&mut self, _sample: S) {}
+}
+
+/// A sink that keeps every sample in memory, in arrival order.
+#[derive(Debug)]
+pub struct RecordingSink<S> {
+    samples: Vec<S>,
+}
+
+impl<S> Default for RecordingSink<S> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<S> RecordingSink<S> {
+    /// An empty recording sink.
+    pub fn new() -> Self {
+        Self {
+            samples: Vec::new(),
+        }
+    }
+
+    /// The samples recorded so far.
+    pub fn samples(&self) -> &[S] {
+        &self.samples
+    }
+
+    /// Consume the sink, yielding the recorded samples.
+    pub fn into_samples(self) -> Vec<S> {
+        self.samples
+    }
+
+    /// Number of recorded samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+}
+
+impl<S> TimelineSink<S> for RecordingSink<S> {
+    fn record(&mut self, sample: S) {
+        self.samples.push(sample);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn produce(sink: &mut dyn TimelineSink<u32>, n: u32) -> u32 {
+        let mut built = 0;
+        for i in 0..n {
+            if sink.enabled() {
+                built += 1;
+                sink.record(i);
+            }
+        }
+        built
+    }
+
+    #[test]
+    fn null_sink_skips_sample_construction() {
+        let mut sink = NullSink;
+        assert_eq!(produce(&mut sink, 10), 0);
+    }
+
+    #[test]
+    fn recording_sink_keeps_order() {
+        let mut sink = RecordingSink::new();
+        assert_eq!(produce(&mut sink, 5), 5);
+        assert_eq!(sink.samples(), &[0, 1, 2, 3, 4]);
+        assert_eq!(sink.into_samples(), vec![0, 1, 2, 3, 4]);
+    }
+}

@@ -1,0 +1,330 @@
+//! Lightweight span tracing with Chrome `trace_event` export.
+//!
+//! A [`Tracer`] records completed spans and instant events into a bounded
+//! in-memory ring; when the ring is full the oldest events are dropped
+//! (and counted). Spans are RAII guards: [`Tracer::span`] starts one, and
+//! dropping it records a complete (`ph: "X"`) event with the measured
+//! duration. When the tracer is disabled — the default — `span` returns
+//! an inert guard without allocating, so instrumented code pays only an
+//! atomic load.
+//!
+//! [`Tracer::chrome_json`] renders the ring in the Chrome trace-event
+//! JSON format, loadable in Perfetto or `chrome://tracing`.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+use crate::export::escape_json;
+use crate::registry::lock;
+
+/// Default ring capacity of the global tracer.
+pub const DEFAULT_TRACE_CAPACITY: usize = 65_536;
+
+/// Sequential id assigned to each thread the first time it records an
+/// event (Chrome trace `tid`; stable within a process run).
+fn current_tid() -> u64 {
+    static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+    thread_local! {
+        static TID: u64 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+    }
+    TID.with(|t| *t)
+}
+
+/// One recorded event: a completed span (`ph == 'X'`) or an instant
+/// marker (`ph == 'i'`).
+#[derive(Debug, Clone)]
+pub struct TraceEvent {
+    /// Event name.
+    pub name: String,
+    /// Category (used by trace viewers to group and filter).
+    pub cat: String,
+    /// Chrome phase code: `'X'` complete span, `'i'` instant.
+    pub ph: char,
+    /// Microseconds since the tracer's epoch.
+    pub ts_micros: u64,
+    /// Span duration in microseconds (zero for instants).
+    pub dur_micros: u64,
+    /// Recording thread's sequential id.
+    pub tid: u64,
+    /// Key/value annotations rendered into the event's `args` object.
+    pub args: Vec<(String, String)>,
+}
+
+/// Bounded-ring span recorder; see the [module docs](self).
+#[derive(Debug)]
+pub struct Tracer {
+    enabled: AtomicBool,
+    epoch: Instant,
+    capacity: usize,
+    ring: Mutex<VecDeque<TraceEvent>>,
+    dropped: AtomicU64,
+}
+
+impl Tracer {
+    /// A disabled tracer with the given ring capacity (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            enabled: AtomicBool::new(false),
+            epoch: Instant::now(),
+            capacity: capacity.max(1),
+            ring: Mutex::new(VecDeque::new()),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// The process-wide tracer ([`DEFAULT_TRACE_CAPACITY`] events).
+    pub fn global() -> &'static Tracer {
+        static GLOBAL: OnceLock<Tracer> = OnceLock::new();
+        GLOBAL.get_or_init(|| Tracer::new(DEFAULT_TRACE_CAPACITY))
+    }
+
+    /// Turn recording on or off.
+    pub fn set_enabled(&self, enabled: bool) {
+        self.enabled.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Whether events are currently recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Start a span; the returned guard records a complete event when
+    /// dropped. Inert (no allocation, nothing recorded) while the tracer
+    /// is disabled.
+    pub fn span(&self, name: &str, cat: &str) -> Span<'_> {
+        if !self.is_enabled() {
+            return Span { inner: None };
+        }
+        Span {
+            inner: Some(SpanInner {
+                tracer: self,
+                name: name.to_owned(),
+                cat: cat.to_owned(),
+                start: Instant::now(),
+                args: Vec::new(),
+            }),
+        }
+    }
+
+    /// Record an instant event (a point-in-time marker).
+    pub fn instant(&self, name: &str, cat: &str) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.push(TraceEvent {
+            name: name.to_owned(),
+            cat: cat.to_owned(),
+            ph: 'i',
+            ts_micros: self.now_micros(),
+            dur_micros: 0,
+            tid: current_tid(),
+            args: Vec::new(),
+        });
+    }
+
+    fn now_micros(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+
+    fn push(&self, event: TraceEvent) {
+        let mut ring = lock(&self.ring);
+        if ring.len() >= self.capacity {
+            ring.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        ring.push_back(event);
+    }
+
+    /// Number of events currently in the ring.
+    pub fn len(&self) -> usize {
+        lock(&self.ring).len()
+    }
+
+    /// Whether the ring is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Discard all recorded events (the dropped count is kept).
+    pub fn clear(&self) {
+        lock(&self.ring).clear();
+    }
+
+    /// Copy out the recorded events, oldest first.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        lock(&self.ring).iter().cloned().collect()
+    }
+
+    /// Render the ring as Chrome trace-event JSON
+    /// (`{"displayTimeUnit":"ms","traceEvents":[...]}`), non-destructively.
+    pub fn chrome_json(&self) -> String {
+        let events = self.events();
+        let rendered: Vec<String> = events.iter().map(chrome_event_json).collect();
+        format!(
+            "{{\"displayTimeUnit\":\"ms\",\"traceEvents\":[{}]}}",
+            rendered.join(",")
+        )
+    }
+}
+
+fn chrome_event_json(e: &TraceEvent) -> String {
+    let args: Vec<String> = e
+        .args
+        .iter()
+        .map(|(k, v)| format!("\"{}\":\"{}\"", escape_json(k), escape_json(v)))
+        .collect();
+    let mut out = format!(
+        "{{\"args\":{{{}}},\"cat\":\"{}\",",
+        args.join(","),
+        escape_json(&e.cat)
+    );
+    if e.ph == 'X' {
+        out.push_str(&format!("\"dur\":{},", e.dur_micros));
+    }
+    out.push_str(&format!(
+        "\"name\":\"{}\",\"ph\":\"{}\",\"pid\":1,",
+        escape_json(&e.name),
+        e.ph
+    ));
+    if e.ph == 'i' {
+        // Thread-scoped instant marker.
+        out.push_str("\"s\":\"t\",");
+    }
+    out.push_str(&format!("\"tid\":{},\"ts\":{}}}", e.tid, e.ts_micros));
+    out
+}
+
+#[derive(Debug)]
+struct SpanInner<'a> {
+    tracer: &'a Tracer,
+    name: String,
+    cat: String,
+    start: Instant,
+    args: Vec<(String, String)>,
+}
+
+/// RAII span guard returned by [`Tracer::span`]; records a complete
+/// trace event on drop.
+#[derive(Debug)]
+#[must_use = "a span measures until it is dropped; binding it to `_` drops it immediately"]
+pub struct Span<'a> {
+    inner: Option<SpanInner<'a>>,
+}
+
+impl Span<'_> {
+    /// Attach a key/value annotation (no-op on an inert guard).
+    pub fn arg(mut self, key: &str, value: &str) -> Self {
+        if let Some(inner) = &mut self.inner {
+            inner.args.push((key.to_owned(), value.to_owned()));
+        }
+        self
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        let Some(inner) = self.inner.take() else {
+            return;
+        };
+        // Re-check: tracing may have been turned off mid-span.
+        if !inner.tracer.is_enabled() {
+            return;
+        }
+        let dur = inner.start.elapsed().as_micros() as u64;
+        let ts = inner
+            .start
+            .duration_since(inner.tracer.epoch)
+            .as_micros() as u64;
+        inner.tracer.push(TraceEvent {
+            name: inner.name,
+            cat: inner.cat,
+            ph: 'X',
+            ts_micros: ts,
+            dur_micros: dur,
+            tid: current_tid(),
+            args: inner.args,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let t = Tracer::new(16);
+        {
+            let _s = t.span("noop", "test");
+        }
+        t.instant("marker", "test");
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn span_guard_records_complete_event() {
+        let t = Tracer::new(16);
+        t.set_enabled(true);
+        {
+            let _s = t.span("work", "bench").arg("label", "mix-a");
+        }
+        let events = t.events();
+        assert_eq!(events.len(), 1);
+        let e = &events[0];
+        assert_eq!(e.name, "work");
+        assert_eq!(e.cat, "bench");
+        assert_eq!(e.ph, 'X');
+        assert_eq!(e.args, vec![("label".to_owned(), "mix-a".to_owned())]);
+    }
+
+    #[test]
+    fn ring_bounds_and_drop_count() {
+        let t = Tracer::new(4);
+        t.set_enabled(true);
+        for i in 0..10 {
+            t.instant(&format!("e{i}"), "test");
+        }
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.dropped(), 6);
+        // Drops evict the oldest events first — a snapshot is suffix-biased.
+        let events = t.events();
+        assert_eq!(events.first().unwrap().name, "e6");
+        assert_eq!(events.last().unwrap().name, "e9");
+    }
+
+    #[test]
+    fn chrome_json_shape() {
+        let t = Tracer::new(16);
+        t.set_enabled(true);
+        {
+            let _s = t.span("phase", "sim").arg("k", "v\"q");
+        }
+        t.instant("tick", "sim");
+        let json = t.chrome_json();
+        assert!(json.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"ph\":\"i\""));
+        assert!(json.contains("\"s\":\"t\""));
+        assert!(json.contains("\"k\":\"v\\\"q\""), "args escaped: {json}");
+        assert!(json.contains("\"dur\":"));
+        assert!(json.ends_with("]}"));
+    }
+
+    #[test]
+    fn timestamps_are_monotone_per_thread() {
+        let t = Tracer::new(64);
+        t.set_enabled(true);
+        for i in 0..5 {
+            t.instant(&format!("m{i}"), "test");
+        }
+        let ts: Vec<u64> = t.events().iter().map(|e| e.ts_micros).collect();
+        assert!(ts.windows(2).all(|w| w[0] <= w[1]), "{ts:?}");
+    }
+}

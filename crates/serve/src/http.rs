@@ -159,6 +159,8 @@ pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Request, HttpError> {
 pub struct Response {
     /// Status code, e.g. 200.
     pub status: u16,
+    /// Value of the `Content-Type` header.
+    pub content_type: String,
     /// Extra headers beyond the always-emitted `Content-Type`,
     /// `Content-Length`, and `Connection: close`.
     pub headers: Vec<(String, String)>,
@@ -171,6 +173,18 @@ impl Response {
     pub fn json(status: u16, body: String) -> Self {
         Self {
             status,
+            content_type: "application/json".to_owned(),
+            headers: Vec::new(),
+            body: body.into_bytes(),
+        }
+    }
+
+    /// A plain-text response with the given status and content type
+    /// (e.g. the Prometheus exposition format for `/metrics`).
+    pub fn text(status: u16, content_type: &str, body: String) -> Self {
+        Self {
+            status,
+            content_type: content_type.to_owned(),
             headers: Vec::new(),
             body: body.into_bytes(),
         }
@@ -197,9 +211,10 @@ impl Response {
     /// Propagates socket write failures.
     pub fn write_to<W: Write>(&self, writer: &mut W) -> std::io::Result<()> {
         let mut head = format!(
-            "HTTP/1.1 {} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n",
+            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: close\r\n",
             self.status,
             reason_phrase(self.status),
+            self.content_type,
             self.body.len()
         );
         for (name, value) in &self.headers {

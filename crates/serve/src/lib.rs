@@ -17,12 +17,14 @@
 //! - [`registry`] — on-disk artifact discovery and in-memory index.
 //! - [`queue`] — bounded MPMC queue with non-blocking, load-shedding push.
 //! - [`cache`] — LRU response cache keyed on canonical request JSON.
-//! - [`metrics`] — live counters and latency percentiles for `/metrics`.
+//! - [`metrics`] — `sms-obs`-registry-backed counters, histograms, and
+//!   latency percentiles for `/metrics` and `/metrics.json`.
 //! - [`server`] — acceptor + worker pool wiring, batching, shutdown.
 //!
 //! Endpoints: `POST /predict`, `GET /models`, `GET /healthz`,
-//! `GET /metrics`, `POST /shutdown`. See `DESIGN.md` for the batching and
-//! load-shedding policy.
+//! `GET /metrics` (Prometheus text exposition), `GET /metrics.json`
+//! (JSON snapshot), `POST /shutdown`. See `DESIGN.md` for the batching
+//! and load-shedding policy.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

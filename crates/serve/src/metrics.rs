@@ -1,40 +1,52 @@
-//! Live server metrics, served by `GET /metrics`.
+//! Live server metrics, served by `GET /metrics` (Prometheus text) and
+//! `GET /metrics.json` (JSON snapshot).
 //!
-//! Counters follow the `sms-bench` telemetry style (relaxed atomics
-//! incremented from worker threads, snapshot on demand) and latency tails
-//! are computed with the same [`sms_bench::telemetry::percentiles`]
-//! helper the sweep manifest uses, so `sms sweep` and `sms serve` report
-//! p50/p95/p99 identically.
+//! Counters live in a per-server [`sms_obs::Registry`] — one registry per
+//! [`ServerMetrics`] so concurrently running servers (tests spawn
+//! several per process) never cross-count — and are exported straight in
+//! the Prometheus exposition format. The JSON [`MetricsSnapshot`] keeps
+//! the pre-registry field layout for existing consumers, and latency
+//! tails are still computed with the same
+//! [`sms_bench::telemetry::percentiles`] helper the sweep manifest uses,
+//! so `sms sweep` and `sms serve` report p50/p95/p99 identically; a
+//! registry histogram (`sms_serve_predict_latency_micros`) carries the
+//! full latency distribution for Prometheus scrapers.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use serde::{Deserialize, Serialize};
 use sms_bench::telemetry::{percentiles, Percentiles};
+use sms_obs::{Counter, Family, Gauge, Histogram, Registry};
 
 /// How many of the most recent prediction latencies feed the percentile
 /// estimate.
 pub const LATENCY_WINDOW: usize = 4096;
 
-/// Thread-safe metric collectors. All recording methods take `&self`.
+/// Thread-safe metric collectors backed by an isolated obs registry.
+/// All recording methods take `&self`.
 #[derive(Debug)]
 pub struct ServerMetrics {
     started: Instant,
-    requests_total: AtomicU64,
-    predict_requests: AtomicU64,
-    models_requests: AtomicU64,
-    healthz_requests: AtomicU64,
-    metrics_requests: AtomicU64,
-    bad_requests: AtomicU64,
-    shed_total: AtomicU64,
-    cache_hits: AtomicU64,
-    cache_misses: AtomicU64,
-    batched_requests: AtomicU64,
+    registry: Arc<Registry>,
+    requests_total: Arc<Counter>,
+    endpoint_requests: Arc<Family<Counter>>,
+    bad_requests: Arc<Counter>,
+    shed_total: Arc<Counter>,
+    cache_requests: Arc<Family<Counter>>,
+    batched_requests: Arc<Counter>,
+    queue_depth: Arc<Gauge>,
+    uptime_seconds: Arc<Gauge>,
+    latency_micros: Arc<Histogram>,
+    /// Count of latency observations, mirrored outside the histogram so
+    /// tests can assert on it without decoding buckets.
+    latency_count: AtomicU64,
     latencies: Mutex<Vec<f64>>,
 }
 
-/// Point-in-time snapshot of the collectors, the body of `GET /metrics`.
+/// Point-in-time snapshot of the collectors, the body of
+/// `GET /metrics.json`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MetricsSnapshot {
     /// Seconds since the server started.
@@ -47,7 +59,7 @@ pub struct MetricsSnapshot {
     pub models_requests: u64,
     /// `GET /healthz` requests.
     pub healthz_requests: u64,
-    /// `GET /metrics` requests.
+    /// `GET /metrics` and `GET /metrics.json` requests.
     pub metrics_requests: u64,
     /// Requests rejected as malformed (4xx other than load shedding).
     pub bad_requests: u64,
@@ -69,82 +81,123 @@ pub struct MetricsSnapshot {
 }
 
 impl ServerMetrics {
-    /// Fresh collectors, with uptime measured from now.
+    /// Fresh collectors in a fresh registry, with uptime measured from
+    /// now.
     pub fn new() -> Self {
+        let registry = Arc::new(Registry::new());
+        let endpoint_requests = registry.counter_family(
+            "sms_serve_endpoint_requests_total",
+            "Requests handled, by endpoint",
+            &["endpoint"],
+        );
         Self {
             started: Instant::now(),
-            requests_total: AtomicU64::new(0),
-            predict_requests: AtomicU64::new(0),
-            models_requests: AtomicU64::new(0),
-            healthz_requests: AtomicU64::new(0),
-            metrics_requests: AtomicU64::new(0),
-            bad_requests: AtomicU64::new(0),
-            shed_total: AtomicU64::new(0),
-            cache_hits: AtomicU64::new(0),
-            cache_misses: AtomicU64::new(0),
-            batched_requests: AtomicU64::new(0),
+            requests_total: registry.counter(
+                "sms_serve_requests_total",
+                "All requests accepted, any endpoint",
+            ),
+            endpoint_requests,
+            bad_requests: registry.counter(
+                "sms_serve_bad_requests_total",
+                "Requests rejected as malformed (4xx other than load shedding)",
+            ),
+            shed_total: registry.counter(
+                "sms_serve_shed_total",
+                "Predict requests shed with 503 because the queue was full",
+            ),
+            cache_requests: registry.counter_family(
+                "sms_serve_cache_requests_total",
+                "Response-cache lookups, by result",
+                &["result"],
+            ),
+            batched_requests: registry.counter(
+                "sms_serve_batched_requests_total",
+                "Predict requests answered as part of a multi-request batch",
+            ),
+            queue_depth: registry.gauge(
+                "sms_serve_queue_depth",
+                "Prediction-queue depth at the last scrape",
+            ),
+            uptime_seconds: registry.gauge(
+                "sms_serve_uptime_seconds",
+                "Seconds since the server started, at the last scrape",
+            ),
+            latency_micros: registry.histogram(
+                "sms_serve_predict_latency_micros",
+                "Prediction wall latency in microseconds",
+            ),
+            latency_count: AtomicU64::new(0),
+            registry,
             latencies: Mutex::new(Vec::with_capacity(LATENCY_WINDOW)),
         }
     }
 
+    /// The registry backing these collectors.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
     /// Count one accepted request.
     pub fn record_request(&self) {
-        self.requests_total.fetch_add(1, Ordering::Relaxed);
+        self.requests_total.inc();
     }
 
     /// Count one `POST /predict`.
     pub fn record_predict(&self) {
-        self.predict_requests.fetch_add(1, Ordering::Relaxed);
+        self.endpoint_requests.with(&["predict"]).inc();
     }
 
     /// Count one `GET /models`.
     pub fn record_models(&self) {
-        self.models_requests.fetch_add(1, Ordering::Relaxed);
+        self.endpoint_requests.with(&["models"]).inc();
     }
 
     /// Count one `GET /healthz`.
     pub fn record_healthz(&self) {
-        self.healthz_requests.fetch_add(1, Ordering::Relaxed);
+        self.endpoint_requests.with(&["healthz"]).inc();
     }
 
-    /// Count one `GET /metrics`.
+    /// Count one `GET /metrics` or `GET /metrics.json`.
     pub fn record_metrics(&self) {
-        self.metrics_requests.fetch_add(1, Ordering::Relaxed);
+        self.endpoint_requests.with(&["metrics"]).inc();
     }
 
     /// Count one malformed/rejected request.
     pub fn record_bad_request(&self) {
-        self.bad_requests.fetch_add(1, Ordering::Relaxed);
+        self.bad_requests.inc();
     }
 
     /// Count one load-shed predict request.
     pub fn record_shed(&self) {
-        self.shed_total.fetch_add(1, Ordering::Relaxed);
+        self.shed_total.inc();
     }
 
     /// Count one response-cache hit.
     pub fn record_cache_hit(&self) {
-        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+        self.cache_requests.with(&["hit"]).inc();
     }
 
     /// Count one response-cache miss.
     pub fn record_cache_miss(&self) {
-        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+        self.cache_requests.with(&["miss"]).inc();
     }
 
     /// Count predict requests that rode along in a batch behind the
     /// batch's first request.
     pub fn record_batched(&self, n: u64) {
-        self.batched_requests.fetch_add(n, Ordering::Relaxed);
+        self.batched_requests.inc_by(n);
     }
 
-    /// Record one completed prediction's wall latency in seconds,
-    /// keeping only the most recent [`LATENCY_WINDOW`] samples.
+    /// Record one completed prediction's wall latency in seconds: into
+    /// the registry histogram (as microseconds) and into the bounded
+    /// window that feeds the percentile estimate.
     ///
     /// # Panics
     ///
     /// Panics if the latency mutex was poisoned by a panicking thread.
     pub fn record_latency(&self, seconds: f64) {
+        self.latency_micros.observe((seconds * 1e6) as u64);
+        self.latency_count.fetch_add(1, Ordering::Relaxed);
         let mut window = self.latencies.lock().unwrap();
         if window.len() >= LATENCY_WINDOW {
             let drop = window.len() + 1 - LATENCY_WINDOW;
@@ -153,26 +206,40 @@ impl ServerMetrics {
         window.push(seconds);
     }
 
-    /// Snapshot every collector; `queue_depth` comes from the caller
-    /// because the queue lives next to, not inside, the metrics.
+    /// Number of latencies observed (not bounded by the window).
+    pub fn latency_count(&self) -> u64 {
+        self.latency_count.load(Ordering::Relaxed)
+    }
+
+    /// Refresh the scrape-time gauges and render the registry in the
+    /// Prometheus text exposition format; `queue_depth` comes from the
+    /// caller because the queue lives next to, not inside, the metrics.
+    pub fn prometheus_text(&self, queue_depth: usize) -> String {
+        self.queue_depth.set(queue_depth as f64);
+        self.uptime_seconds.set(self.started.elapsed().as_secs_f64());
+        self.registry.prometheus_text()
+    }
+
+    /// Snapshot every collector into the JSON layout; `queue_depth` as
+    /// in [`ServerMetrics::prometheus_text`].
     ///
     /// # Panics
     ///
     /// Panics if the latency mutex was poisoned by a panicking thread.
     pub fn snapshot(&self, queue_depth: usize) -> MetricsSnapshot {
-        let hits = self.cache_hits.load(Ordering::Relaxed);
-        let misses = self.cache_misses.load(Ordering::Relaxed);
+        let hits = self.cache_requests.with(&["hit"]).get();
+        let misses = self.cache_requests.with(&["miss"]).get();
         let lookups = hits + misses;
         let latency_seconds = percentiles(&self.latencies.lock().unwrap());
         MetricsSnapshot {
             uptime_seconds: self.started.elapsed().as_secs_f64(),
-            requests_total: self.requests_total.load(Ordering::Relaxed),
-            predict_requests: self.predict_requests.load(Ordering::Relaxed),
-            models_requests: self.models_requests.load(Ordering::Relaxed),
-            healthz_requests: self.healthz_requests.load(Ordering::Relaxed),
-            metrics_requests: self.metrics_requests.load(Ordering::Relaxed),
-            bad_requests: self.bad_requests.load(Ordering::Relaxed),
-            shed_total: self.shed_total.load(Ordering::Relaxed),
+            requests_total: self.requests_total.get(),
+            predict_requests: self.endpoint_requests.with(&["predict"]).get(),
+            models_requests: self.endpoint_requests.with(&["models"]).get(),
+            healthz_requests: self.endpoint_requests.with(&["healthz"]).get(),
+            metrics_requests: self.endpoint_requests.with(&["metrics"]).get(),
+            bad_requests: self.bad_requests.get(),
+            shed_total: self.shed_total.get(),
             cache_hits: hits,
             cache_misses: misses,
             cache_hit_rate: if lookups > 0 {
@@ -180,7 +247,7 @@ impl ServerMetrics {
             } else {
                 0.0
             },
-            batched_requests: self.batched_requests.load(Ordering::Relaxed),
+            batched_requests: self.batched_requests.get(),
             queue_depth,
             latency_seconds,
         }
@@ -221,6 +288,7 @@ mod tests {
         assert_eq!(p.p50, 0.010);
         assert_eq!(p.p99, 0.020);
         assert!(s.uptime_seconds >= 0.0);
+        assert_eq!(m.latency_count(), 2);
     }
 
     #[test]
@@ -228,7 +296,8 @@ mod tests {
         let s = ServerMetrics::new().snapshot(0);
         assert_eq!(s.cache_hit_rate, 0.0);
         assert_eq!(s.latency_seconds, None);
-        // The snapshot serializes (the /metrics endpoint depends on it).
+        // The snapshot serializes (the /metrics.json endpoint depends on
+        // it).
         let text = serde_json::to_string(&s).unwrap();
         assert!(text.contains("\"queue_depth\":0"));
     }
@@ -242,5 +311,33 @@ mod tests {
         assert_eq!(m.latencies.lock().unwrap().len(), LATENCY_WINDOW);
         // Oldest samples were dropped: the window starts at 100.
         assert_eq!(m.latencies.lock().unwrap()[0], 100.0);
+        // The registry histogram keeps every observation.
+        assert_eq!(m.latency_count(), (LATENCY_WINDOW + 100) as u64);
+    }
+
+    #[test]
+    fn prometheus_text_exposes_families() {
+        let m = ServerMetrics::new();
+        m.record_request();
+        m.record_predict();
+        m.record_cache_hit();
+        m.record_latency(0.005);
+        let text = m.prometheus_text(2);
+        assert!(text.contains("# TYPE sms_serve_requests_total counter"));
+        assert!(text.contains("sms_serve_requests_total 1"));
+        assert!(text.contains("sms_serve_endpoint_requests_total{endpoint=\"predict\"} 1"));
+        assert!(text.contains("sms_serve_cache_requests_total{result=\"hit\"} 1"));
+        assert!(text.contains("sms_serve_queue_depth 2"));
+        assert!(text.contains("# TYPE sms_serve_predict_latency_micros histogram"));
+        assert!(text.contains("sms_serve_predict_latency_micros_count 1"));
+    }
+
+    #[test]
+    fn registries_are_isolated_per_server() {
+        let a = ServerMetrics::new();
+        let b = ServerMetrics::new();
+        a.record_request();
+        assert_eq!(a.snapshot(0).requests_total, 1);
+        assert_eq!(b.snapshot(0).requests_total, 0);
     }
 }

@@ -2,8 +2,9 @@
 //!
 //! Architecture: one acceptor thread handles connections from a
 //! `std::net::TcpListener` (non-blocking accept so it can poll the
-//! shutdown flag). Cheap endpoints (`/healthz`, `/models`, `/metrics`,
-//! `/shutdown`) and cache hits are answered inline on the acceptor;
+//! shutdown flag). Cheap endpoints (`/healthz`, `/models`, `/metrics`
+//! in Prometheus text, `/metrics.json`, `/shutdown`) and cache hits are
+//! answered inline on the acceptor;
 //! `POST /predict` cache misses are enqueued on a [`BoundedQueue`] and
 //! answered by a fixed worker pool. When the queue is full the request
 //! is shed immediately with `503` + `Retry-After` — bounded latency is
@@ -289,6 +290,14 @@ fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
         }
         ("GET", "/metrics") => {
             shared.metrics.record_metrics();
+            let body = shared.metrics.prometheus_text(shared.queue.len());
+            respond(
+                &mut stream,
+                &Response::text(200, "text/plain; version=0.0.4", body),
+            );
+        }
+        ("GET", "/metrics.json") => {
+            shared.metrics.record_metrics();
             let snapshot = shared.metrics.snapshot(shared.queue.len());
             match to_canonical_json(&snapshot) {
                 Ok(body) => respond(&mut stream, &Response::json(200, body)),
@@ -303,7 +312,7 @@ fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
             );
         }
         ("POST", "/predict") => handle_predict(shared, stream, &request),
-        (_, "/healthz" | "/models" | "/metrics" | "/shutdown" | "/predict") => {
+        (_, "/healthz" | "/models" | "/metrics" | "/metrics.json" | "/shutdown" | "/predict") => {
             shared.metrics.record_bad_request();
             respond(&mut stream, &Response::error(405, "method not allowed"));
         }

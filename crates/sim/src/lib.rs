@@ -62,10 +62,12 @@ pub mod prefetch;
 pub mod queue;
 pub mod stats;
 pub mod system;
+pub mod timeline;
 pub mod trace;
 
 pub use config::SystemConfig;
 pub use error::{ConfigError, SimError};
 pub use stats::{CoreResult, SimResult};
 pub use system::{MulticoreSystem, RunSpec};
+pub use timeline::{EpochSample, NullSink, RecordingSink, SimTimeline, TimelineSink};
 pub use trace::{InstructionSource, MicroOp};

@@ -6,6 +6,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::config::CORE_FREQ_GHZ;
+use crate::core_model::CoreCounters;
 
 /// Metrics for one core / benchmark instance.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -39,6 +40,39 @@ pub struct CoreResult {
     /// Prefetches launched on behalf of this core.
     #[serde(default)]
     pub prefetches: u64,
+}
+
+impl CoreResult {
+    /// Build a result from raw event counts, deriving every rate (`ipc`,
+    /// `llc_mpki`, `bandwidth_gbps`) in one place so serialized and
+    /// recomputed values can never diverge across call sites.
+    pub fn from_counts(
+        label: &str,
+        counters: CoreCounters,
+        dram_bytes: u64,
+        prefetches: u64,
+    ) -> Self {
+        Self {
+            label: label.to_owned(),
+            instructions: counters.instructions,
+            cycles: counters.cycles,
+            ipc: counters.ipc(),
+            l1d_load_misses: counters.load_l1_misses,
+            llc_hits: counters.load_llc_hits,
+            dram_loads: counters.load_dram,
+            dram_bytes,
+            bandwidth_gbps: dram_bytes as f64 / counters.cycles.max(1) as f64 * CORE_FREQ_GHZ,
+            llc_mpki: if counters.instructions == 0 {
+                0.0
+            } else {
+                counters.load_dram as f64 * 1000.0 / counters.instructions as f64
+            },
+            mem_stall_cycles: counters.mem_stall_cycles,
+            fetch_stall_cycles: counters.fetch_stall_cycles,
+            branch_stall_cycles: counters.branch_stall_cycles,
+            prefetches,
+        }
+    }
 }
 
 /// Whole-run metrics.
@@ -202,6 +236,34 @@ mod tests {
         assert!(text.contains("b0"));
         assert!(text.contains("total:"));
         assert_eq!(text.lines().count(), 4);
+    }
+
+    #[test]
+    fn from_counts_derives_rates_once() {
+        let counters = CoreCounters {
+            instructions: 10_000,
+            cycles: 5_000,
+            load_dram: 40,
+            ..CoreCounters::default()
+        };
+        let r = CoreResult::from_counts("bench", counters, 64_000, 7);
+        assert!((r.ipc - counters.ipc()).abs() < 1e-12);
+        assert!((r.ipc - 2.0).abs() < 1e-12);
+        assert!((r.llc_mpki - 4.0).abs() < 1e-12, "40 per 10k instrs");
+        assert!(
+            (r.bandwidth_gbps - 64_000.0 / 5_000.0 * CORE_FREQ_GHZ).abs() < 1e-12,
+            "bytes per cycle times frequency"
+        );
+        assert_eq!(r.prefetches, 7);
+        assert_eq!(r.label, "bench");
+    }
+
+    #[test]
+    fn from_counts_zero_denominators() {
+        let r = CoreResult::from_counts("idle", CoreCounters::default(), 0, 0);
+        assert_eq!(r.ipc, 0.0);
+        assert_eq!(r.llc_mpki, 0.0);
+        assert_eq!(r.bandwidth_gbps, 0.0);
     }
 
     #[test]

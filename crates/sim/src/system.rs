@@ -9,11 +9,14 @@
 
 use std::time::Instant;
 
+use crate::cache::CacheStats;
 use crate::config::SystemConfig;
 use crate::core_model::CoreModel;
 use crate::error::SimError;
 use crate::hierarchy::{PrivateCaches, Uncore};
+use crate::noc::NocStats;
 use crate::stats::{CoreResult, SimResult};
+use crate::timeline::{EpochSample, NullSink, TimelineSink};
 use crate::trace::InstructionSource;
 
 /// Warm-up and measurement lengths for a run.
@@ -173,13 +176,31 @@ impl MulticoreSystem {
     }
 
     /// Execute until the first core retires `budget` instructions (or all
-    /// cores do, whichever happens first per the stop rule).
-    fn run_phase(&mut self, budget: u64) {
+    /// cores do, whichever happens first per the stop rule), emitting one
+    /// [`EpochSample`] per synchronization window into `sink` when it is
+    /// enabled. Sampling only reads simulator state, so results are
+    /// identical whether or not a recording sink is attached.
+    fn run_phase(&mut self, budget: u64, sink: &mut dyn TimelineSink<EpochSample>) {
         if budget == 0 {
             return;
         }
         let n = self.cores.len();
         let mut rotation = 0usize;
+        // Baselines so samples read relative to this phase's start; a
+        // disabled sink skips all sampling work.
+        let sampling = sink.enabled();
+        let (cycle0, noc0, llc0, dram_bytes0, controllers0) = if sampling {
+            (
+                self.global_cycle,
+                self.uncore.noc.stats(),
+                self.uncore.llc.stats(),
+                self.uncore.dram.total_bytes(),
+                self.uncore.dram.controller_stats(),
+            )
+        } else {
+            (0, NocStats::default(), CacheStats::default(), 0, Vec::new())
+        };
+        let mut epoch = 0u64;
         loop {
             let quantum_end = self.global_cycle + self.cfg.sync_quantum;
             // Rotate the service order each quantum so no core is
@@ -239,6 +260,38 @@ impl MulticoreSystem {
                     }
                 }
             }
+            if sampling {
+                let noc = self.uncore.noc.stats();
+                let llc = self.uncore.llc.stats();
+                let controllers = self.uncore.dram.controller_stats();
+                sink.record(EpochSample {
+                    epoch,
+                    cycle: quantum_end - cycle0,
+                    instructions: self.cores.iter().map(|c| c.retired).collect(),
+                    core_cycles: self
+                        .cores
+                        .iter()
+                        .map(|c| c.model.counters().cycles)
+                        .collect(),
+                    llc_accesses: llc.accesses - llc0.accesses,
+                    llc_hits: llc.hits - llc0.hits,
+                    llc_occupancy: self.uncore.llc.occupancy() as u64,
+                    noc_transfers: noc.transfers - noc0.transfers,
+                    noc_crossings: noc.bisection_crossings - noc0.bisection_crossings,
+                    dram_bytes: self.uncore.dram.total_bytes() - dram_bytes0,
+                    dram_requests: controllers
+                        .iter()
+                        .zip(&controllers0)
+                        .map(|(c, c0)| c.requests - c0.requests)
+                        .collect(),
+                    dram_queue_wait: controllers
+                        .iter()
+                        .zip(&controllers0)
+                        .map(|(c, c0)| c.total_queue_wait - c0.total_queue_wait)
+                        .collect(),
+                });
+                epoch += 1;
+            }
             if self.cores.iter().any(|c| c.finished) {
                 break;
             }
@@ -281,13 +334,30 @@ impl MulticoreSystem {
     /// Returns [`SimError::EmptyBudget`] if the measured instruction count
     /// is zero.
     pub fn run(&mut self, spec: RunSpec) -> Result<SimResult, SimError> {
+        self.run_with_sink(spec, &mut NullSink)
+    }
+
+    /// Like [`MulticoreSystem::run`], additionally emitting one
+    /// [`EpochSample`] per synchronization window of the *measured* phase
+    /// into `sink` (the warm-up is never sampled). With a [`NullSink`]
+    /// this is exactly `run`; the `SimResult` is identical either way
+    /// because sampling only reads simulator state.
+    ///
+    /// # Errors
+    ///
+    /// As [`MulticoreSystem::run`].
+    pub fn run_with_sink(
+        &mut self,
+        spec: RunSpec,
+        sink: &mut dyn TimelineSink<EpochSample>,
+    ) -> Result<SimResult, SimError> {
         if spec.measure_instructions == 0 {
             return Err(SimError::EmptyBudget);
         }
 
         // Warm-up: run, then reset all measurement state.
         if spec.warmup_instructions > 0 {
-            self.run_phase(spec.warmup_instructions);
+            self.run_phase(spec.warmup_instructions, &mut NullSink);
             for ctx in &mut self.cores {
                 ctx.model.reset_counters();
                 ctx.retired = 0;
@@ -313,7 +383,7 @@ impl MulticoreSystem {
         let dram_bytes_before = self.uncore.dram.total_bytes();
 
         let wall = Instant::now();
-        self.run_phase(spec.measure_instructions);
+        self.run_phase(spec.measure_instructions, sink);
         let host_seconds = wall.elapsed().as_secs_f64();
 
         let elapsed_cycles = self
@@ -328,30 +398,12 @@ impl MulticoreSystem {
             .iter()
             .enumerate()
             .map(|(i, ctx)| {
-                let c = ctx.model.counters();
-                let bytes = self.uncore.dram_bytes_per_core[i];
-                let cycles = c.cycles.max(1);
-                let bandwidth_gbps = bytes as f64 / cycles as f64 * crate::config::CORE_FREQ_GHZ;
-                CoreResult {
-                    label: ctx.source.label().to_owned(),
-                    instructions: c.instructions,
-                    prefetches: ctx.privs.prefetcher.issued(),
-                    cycles: c.cycles,
-                    ipc: c.ipc(),
-                    l1d_load_misses: c.load_l1_misses,
-                    llc_hits: c.load_llc_hits,
-                    dram_loads: c.load_dram,
-                    dram_bytes: bytes,
-                    bandwidth_gbps,
-                    llc_mpki: if c.instructions == 0 {
-                        0.0
-                    } else {
-                        c.load_dram as f64 * 1000.0 / c.instructions as f64
-                    },
-                    mem_stall_cycles: c.mem_stall_cycles,
-                    fetch_stall_cycles: c.fetch_stall_cycles,
-                    branch_stall_cycles: c.branch_stall_cycles,
-                }
+                CoreResult::from_counts(
+                    ctx.source.label(),
+                    ctx.model.counters(),
+                    self.uncore.dram_bytes_per_core[i],
+                    ctx.privs.prefetcher.issued(),
+                )
             })
             .collect();
 
@@ -594,6 +646,102 @@ mod tests {
             bw.iter().any(|(_, b)| *b > 0.1),
             "memory workload moves data"
         );
+    }
+
+    #[test]
+    fn epoch_sink_samples_every_sync_window() {
+        let cfg = small_cfg(2);
+        let quantum = cfg.sync_quantum;
+        let mut sys = MulticoreSystem::new(
+            cfg,
+            vec![memory_source("a", 1 << 12), memory_source("b", 1 << 14)],
+        )
+        .unwrap();
+        let mut sink = crate::timeline::RecordingSink::new();
+        let spec = RunSpec {
+            warmup_instructions: 5_000,
+            measure_instructions: 50_000,
+        };
+        let r = sys.run_with_sink(spec, &mut sink).unwrap();
+        let samples = sink.into_samples();
+        assert!(!samples.is_empty());
+        // One sample per sync window: the k-th barrier lands at
+        // (k+1) * quantum cycles from measure start.
+        for (i, s) in samples.iter().enumerate() {
+            assert_eq!(s.epoch, i as u64);
+            assert_eq!(s.cycle, (i as u64 + 1) * quantum);
+            assert_eq!(s.instructions.len(), 2, "one entry per core");
+            assert_eq!(s.core_cycles.len(), 2);
+        }
+        let last = samples.last().unwrap();
+        assert_eq!(samples.len() as u64, last.cycle / quantum);
+        // Epoch timestamps and cumulative counters are monotone.
+        for w in samples.windows(2) {
+            assert!(w[1].cycle > w[0].cycle);
+            assert!(w[1].llc_accesses >= w[0].llc_accesses);
+            assert!(w[1].dram_bytes >= w[0].dram_bytes);
+            for core in 0..2 {
+                assert!(w[1].instructions[core] >= w[0].instructions[core]);
+            }
+        }
+        // The final sample agrees with the end-of-run result: the winning
+        // core retired exactly the measured budget.
+        assert_eq!(
+            *last.instructions.iter().max().unwrap(),
+            r.cores
+                .iter()
+                .map(|c| c.instructions)
+                .max()
+                .unwrap()
+        );
+    }
+
+    #[test]
+    fn recording_sink_does_not_perturb_results() {
+        let spec = RunSpec {
+            warmup_instructions: 10_000,
+            measure_instructions: 50_000,
+        };
+        let build = || {
+            MulticoreSystem::new(
+                small_cfg(2),
+                vec![memory_source("a", 1 << 12), memory_source("b", 1 << 14)],
+            )
+            .unwrap()
+        };
+        let plain = build().run(spec).unwrap();
+        let mut sink = crate::timeline::RecordingSink::new();
+        let recorded = build().run_with_sink(spec, &mut sink).unwrap();
+        // Bit-identical apart from host wall time: sampling is read-only.
+        let strip = |mut r: SimResult| {
+            r.host_seconds = 0.0;
+            r
+        };
+        assert_eq!(strip(plain), strip(recorded));
+        assert!(!sink.is_empty());
+    }
+
+    #[test]
+    fn epoch_sink_never_samples_warmup() {
+        let cfg = small_cfg(1);
+        let mut sys = MulticoreSystem::new(cfg, vec![compute_source("calc")]).unwrap();
+        let mut sink = crate::timeline::RecordingSink::new();
+        let r = sys
+            .run_with_sink(
+                RunSpec {
+                    warmup_instructions: 40_000,
+                    measure_instructions: 10_000,
+                },
+                &mut sink,
+            )
+            .unwrap();
+        let samples = sink.into_samples();
+        // Cumulative instruction counts stay within the measured budget
+        // even though warm-up retired 4x as much.
+        assert!(samples
+            .iter()
+            .all(|s| s.instructions[0] <= r.cores[0].instructions));
+        assert_eq!(samples[0].epoch, 0);
     }
 
     #[test]

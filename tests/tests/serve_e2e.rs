@@ -182,10 +182,37 @@ fn all_endpoints_over_real_tcp() {
     let bad_method = http(addr, "PUT", "/predict", "");
     assert_eq!(bad_method.status, 405);
 
-    // Metrics reflect all of the above.
+    // Metrics reflect all of the above. `/metrics` speaks the Prometheus
+    // text exposition format...
     let metrics = http(addr, "GET", "/metrics", "");
     assert_eq!(metrics.status, 200);
-    let m = metrics.json();
+    assert_eq!(
+        metrics.header("content-type"),
+        Some("text/plain; version=0.0.4")
+    );
+    assert!(metrics.body.contains("# TYPE sms_serve_requests_total counter"));
+    assert!(metrics.body.contains("# HELP sms_serve_requests_total"));
+    assert!(metrics
+        .body
+        .contains(r#"sms_serve_endpoint_requests_total{endpoint="predict"} 7"#));
+    assert!(metrics
+        .body
+        .contains(r#"sms_serve_cache_requests_total{result="hit"} 1"#));
+    assert!(metrics
+        .body
+        .contains(r#"sms_serve_cache_requests_total{result="miss"} 1"#));
+    assert!(metrics.body.contains("sms_serve_bad_requests_total 7"));
+    assert!(metrics
+        .body
+        .contains("# TYPE sms_serve_predict_latency_micros histogram"));
+    assert!(metrics
+        .body
+        .contains(r#"sms_serve_predict_latency_micros_bucket{le="+Inf"}"#));
+
+    // ...while `/metrics.json` keeps the JSON snapshot contract.
+    let metrics_json = http(addr, "GET", "/metrics.json", "");
+    assert_eq!(metrics_json.status, 200);
+    let m = metrics_json.json();
     assert!(m["requests_total"].as_u64().unwrap() >= 10);
     assert_eq!(m["predict_requests"].as_u64().unwrap(), 7);
     assert_eq!(m["cache_hits"].as_u64().unwrap(), 1);
@@ -248,7 +275,7 @@ fn full_queue_sheds_with_503_and_retry_after() {
     assert_eq!(replies[2].status, 503, "{}", replies[2].body);
     assert_eq!(replies[2].header("retry-after"), Some("1"));
 
-    let m = http(addr, "GET", "/metrics", "").json();
+    let m = http(addr, "GET", "/metrics.json", "").json();
     assert_eq!(m["shed_total"].as_u64().unwrap(), 1);
     assert_eq!(m["cache_misses"].as_u64().unwrap(), 2);
     handle.shutdown_and_join();
@@ -292,7 +319,7 @@ fn same_model_requests_batch_behind_a_slow_one() {
         assert_eq!(f.join().unwrap().status, 200);
     }
 
-    let m = http(addr, "GET", "/metrics", "").json();
+    let m = http(addr, "GET", "/metrics.json", "").json();
     // The three followers were drained behind one dequeued job: two of
     // them (at least) rode along in its batch.
     assert!(
