@@ -1,0 +1,325 @@
+//! Crash-safe plan journal: an append-only, fsync'd `.jsonl` record of
+//! sweep progress written under `<cache>/journal/<label>.jsonl`.
+//!
+//! Every `execute_plan` invocation appends one line per completed or
+//! quarantined run (each line synced to disk before the executor moves
+//! on), so a killed sweep leaves a durable account of exactly what
+//! finished. `sms sweep` prepends a [`PlanHeader`] line carrying the plan
+//! parameters, which is what lets `sms resume` rebuild the identical plan
+//! and continue — already-cached entries are skipped, quarantined ones
+//! retried — until the final cache is bit-identical to an uninterrupted
+//! run. A crash mid-append can leave a torn final line; [`replay`] skips
+//! it and `sms fsck` trims it.
+
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use crate::telemetry::{sanitize_label, RunStatus};
+
+/// Journal line-format version; bump when the line layout changes.
+pub const JOURNAL_SCHEMA_VERSION: u32 = 1;
+
+/// The plan parameters `sms sweep` records so `sms resume` can rebuild
+/// the identical plan after a crash.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlanHeader {
+    /// Journal line-format version.
+    pub schema_version: u32,
+    /// The sweep label (also the journal file stem).
+    pub label: String,
+    /// Comma-separated benchmark names, as given to `--bench`.
+    pub bench: String,
+    /// Target machine core count.
+    pub target_cores: u32,
+    /// Per-instance instruction budget.
+    pub budget: u64,
+    /// Workload seed.
+    pub seed: u64,
+    /// Worker threads requested.
+    pub threads: usize,
+    /// Whether per-run timelines were requested.
+    pub timelines: bool,
+}
+
+/// One journal line.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "t", rename_all = "snake_case")]
+pub enum JournalLine {
+    /// A new plan invocation with its rebuild parameters (CLI sweeps
+    /// only; bare `execute_plan` calls journal runs without a header).
+    Plan(PlanHeader),
+    /// One plan entry reached a terminal state.
+    Run {
+        /// Hex hash of the run's cache key.
+        key_hash: String,
+        /// Outcome of the entry.
+        status: RunStatus,
+    },
+    /// The invocation finished (all entries accounted for).
+    Done {
+        /// Entries simulated successfully this invocation.
+        simulated: usize,
+        /// Entries quarantined after exhausting retries.
+        failed: usize,
+    },
+}
+
+/// Where plan journals live, next to the result cache.
+pub fn journal_dir(cache_dir: &Path) -> PathBuf {
+    cache_dir.join("journal")
+}
+
+/// The journal file for a sweep label.
+pub fn journal_path(cache_dir: &Path, label: &str) -> PathBuf {
+    journal_dir(cache_dir).join(format!("{}.jsonl", sanitize_label(label)))
+}
+
+/// An open, append-only plan journal. Appends are serialized through a
+/// mutex and fsync'd (`sync_data`) so a kill cannot lose an acknowledged
+/// line — at worst the final line is torn, which [`replay`] tolerates.
+#[derive(Debug)]
+pub struct PlanJournal {
+    path: PathBuf,
+    file: Mutex<std::fs::File>,
+    /// Set after the first append failure: journaling degrades to a
+    /// no-op with a single warning instead of failing the sweep.
+    degraded: AtomicBool,
+}
+
+impl PlanJournal {
+    /// Open (creating directory and file as needed) the journal for
+    /// `label` in append mode.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error if the directory or file cannot be created.
+    pub fn open_append(cache_dir: &Path, label: &str) -> std::io::Result<Self> {
+        let dir = journal_dir(cache_dir);
+        std::fs::create_dir_all(&dir)?;
+        let path = journal_path(cache_dir, label);
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)?;
+        Ok(Self {
+            path,
+            file: Mutex::new(file),
+            degraded: AtomicBool::new(false),
+        })
+    }
+
+    /// The journal file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Append one line and sync it to disk.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error on encoding, write, or sync failure (or when
+    /// the `journal.append` failpoint fires).
+    pub fn append(&self, line: &JournalLine) -> std::io::Result<()> {
+        let mut buf = serde_json::to_vec(line).map_err(std::io::Error::other)?;
+        sms_faults::check_io("journal.append")?;
+        sms_faults::corrupt_bytes("journal.append", &mut buf).map_err(std::io::Error::from)?;
+        buf.push(b'\n');
+        let mut file = self.file.lock();
+        file.write_all(&buf)?;
+        file.sync_data()
+    }
+
+    /// [`Self::append`] for the executor hot path: the first failure
+    /// warns and degrades journaling to a no-op — a sweep must not die
+    /// because its journal directory went away.
+    pub fn append_best_effort(&self, line: &JournalLine) {
+        if self.degraded.load(Ordering::Relaxed) {
+            return;
+        }
+        if let Err(e) = self.append(line) {
+            if !self.degraded.swap(true, Ordering::Relaxed) {
+                eprintln!(
+                    "journal: {} unwritable ({e}); continuing without crash-safe journaling",
+                    self.path.display()
+                );
+            }
+        }
+    }
+}
+
+/// What [`replay`] reconstructs from a journal file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JournalReplay {
+    /// The journal file read.
+    pub path: PathBuf,
+    /// The latest plan header, when the journal was written by a CLI
+    /// sweep.
+    pub header: Option<PlanHeader>,
+    /// Key hashes whose latest terminal state is a successful run.
+    pub completed: std::collections::BTreeSet<String>,
+    /// Key hashes whose latest terminal state is quarantine.
+    pub quarantined: std::collections::BTreeSet<String>,
+    /// Whether the latest invocation ran to completion (`Done` seen after
+    /// the latest `Plan`).
+    pub done: bool,
+    /// Unparseable lines skipped (a crash mid-append tears at most the
+    /// final line; `sms fsck` trims them).
+    pub torn_lines: usize,
+}
+
+/// Replay the journal for `label`, tolerating torn lines.
+///
+/// # Errors
+///
+/// Returns an I/O error when the journal file cannot be read (a missing
+/// file means the label was never swept — `NotFound`).
+pub fn replay(cache_dir: &Path, label: &str) -> std::io::Result<JournalReplay> {
+    let path = journal_path(cache_dir, label);
+    let text = std::fs::read_to_string(&path)?;
+    let mut out = JournalReplay {
+        path,
+        header: None,
+        completed: std::collections::BTreeSet::new(),
+        quarantined: std::collections::BTreeSet::new(),
+        done: false,
+        torn_lines: 0,
+    };
+    for line in text.lines().filter(|l| !l.trim().is_empty()) {
+        match serde_json::from_str::<JournalLine>(line) {
+            Ok(JournalLine::Plan(header)) => {
+                out.header = Some(header);
+                out.done = false;
+            }
+            Ok(JournalLine::Run { key_hash, status }) => match status {
+                RunStatus::Ok => {
+                    out.quarantined.remove(&key_hash);
+                    out.completed.insert(key_hash);
+                }
+                RunStatus::Quarantined => {
+                    out.completed.remove(&key_hash);
+                    out.quarantined.insert(key_hash);
+                }
+            },
+            Ok(JournalLine::Done { .. }) => out.done = true,
+            Err(_) => out.torn_lines += 1,
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("sms-journal-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn header(label: &str) -> PlanHeader {
+        PlanHeader {
+            schema_version: JOURNAL_SCHEMA_VERSION,
+            label: label.to_owned(),
+            bench: "leela_r,xz_r".to_owned(),
+            target_cores: 8,
+            budget: 20_000,
+            seed: 43,
+            threads: 2,
+            timelines: false,
+        }
+    }
+
+    #[test]
+    fn append_and_replay_round_trip() {
+        let dir = tmpdir("rt");
+        let j = PlanJournal::open_append(&dir, "sweep-a").unwrap();
+        j.append(&JournalLine::Plan(header("sweep-a"))).unwrap();
+        j.append(&JournalLine::Run {
+            key_hash: "aa".into(),
+            status: RunStatus::Ok,
+        })
+        .unwrap();
+        j.append(&JournalLine::Run {
+            key_hash: "bb".into(),
+            status: RunStatus::Quarantined,
+        })
+        .unwrap();
+        let r = replay(&dir, "sweep-a").unwrap();
+        assert_eq!(r.header, Some(header("sweep-a")));
+        assert!(r.completed.contains("aa"));
+        assert!(r.quarantined.contains("bb"));
+        assert!(!r.done);
+        assert_eq!(r.torn_lines, 0);
+
+        // A later success releases the quarantined key; Done closes the
+        // invocation.
+        j.append(&JournalLine::Run {
+            key_hash: "bb".into(),
+            status: RunStatus::Ok,
+        })
+        .unwrap();
+        j.append(&JournalLine::Done {
+            simulated: 2,
+            failed: 0,
+        })
+        .unwrap();
+        let r = replay(&dir, "sweep-a").unwrap();
+        assert!(r.quarantined.is_empty());
+        assert_eq!(r.completed.len(), 2);
+        assert!(r.done);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn replay_tolerates_a_torn_tail() {
+        let dir = tmpdir("torn");
+        let j = PlanJournal::open_append(&dir, "k").unwrap();
+        j.append(&JournalLine::Run {
+            key_hash: "aa".into(),
+            status: RunStatus::Ok,
+        })
+        .unwrap();
+        // Simulate a kill mid-append: half a JSON object at the tail.
+        let path = journal_path(&dir, "k");
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.push_str("{\"t\":\"run\",\"key_ha");
+        std::fs::write(&path, text).unwrap();
+        let r = replay(&dir, "k").unwrap();
+        assert_eq!(r.completed.len(), 1);
+        assert_eq!(r.torn_lines, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_journal_is_not_found() {
+        let dir = tmpdir("missing");
+        let err = replay(&dir, "never-swept").unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::NotFound);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_of_resume_takes_the_latest_header() {
+        let dir = tmpdir("latest");
+        let j = PlanJournal::open_append(&dir, "s").unwrap();
+        j.append(&JournalLine::Plan(header("s"))).unwrap();
+        j.append(&JournalLine::Done {
+            simulated: 0,
+            failed: 0,
+        })
+        .unwrap();
+        let mut h2 = header("s");
+        h2.threads = 8;
+        j.append(&JournalLine::Plan(h2.clone())).unwrap();
+        let r = replay(&dir, "s").unwrap();
+        assert_eq!(r.header, Some(h2));
+        assert!(!r.done, "a new Plan line reopens the invocation");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -3,8 +3,12 @@
 //! Reproduces every table and figure of *Scale-Model Architectural
 //! Simulation* on the `sms-sim`/`sms-workloads` substrate:
 //!
-//! * [`runner`] — persistent simulation-result cache + fault-tolerant
-//!   plan executor (panic isolation, bounded retries, quarantine),
+//! * [`runner`] — persistent simulation-result cache (checksummed
+//!   entries) + fault-tolerant plan executor (panic isolation, bounded
+//!   retries, quarantine, watchdog deadline via `SMS_RUN_TIMEOUT_SECS`),
+//! * [`journal`] — append-only fsync'd plan journal enabling crash-safe
+//!   sweep resume (`sms resume`),
+//! * [`fsck`] — cache integrity verification and repair (`sms fsck`),
 //! * [`telemetry`] — per-run records, `sms-obs` counters, the JSON
 //!   run-manifest, and Chrome-trace flushing,
 //! * [`timeline`] — opt-in per-run epoch timelines written next to the
@@ -12,6 +16,11 @@
 //! * [`ctx`] — experiment context (env-var knobs, report emission),
 //! * [`experiments`] — one driver per table/figure,
 //! * [`table`] — text-table rendering.
+//!
+//! Failure-prone paths (cache read/write, journal append, manifest and
+//! timeline flush, the run body itself) carry deterministic `sms-faults`
+//! failpoints, armed via the `SMS_FAULTS` environment variable and free
+//! when it is unset.
 //!
 //! Run individual figures via `cargo bench -p sms-bench --bench fig4_homogeneous`
 //! (plain harnesses that print the paper's series), or everything via the
@@ -24,15 +33,22 @@
 
 pub mod ctx;
 pub mod experiments;
+pub mod fsck;
+pub mod journal;
 pub mod runner;
 pub mod table;
 pub mod telemetry;
 pub mod timeline;
 
 pub use ctx::{Ctx, Report};
+pub use fsck::{fsck, Defect, DefectKind, FsckAction, FsckReport};
+pub use journal::{
+    journal_path, replay, JournalLine, JournalReplay, PlanHeader, PlanJournal,
+    JOURNAL_SCHEMA_VERSION,
+};
 pub use runner::{
-    cache_key, execute_plan, execute_plan_with, key_hash_hex, CachedSim, PlanSummary,
-    QuarantineRecord,
+    cache_key, execute_plan, execute_plan_with, key_hash_hex, result_checksum, CachedSim,
+    ExecOptions, PlanSummary, QuarantineRecord, CACHE_SCHEMA_VERSION,
 };
 pub use telemetry::{
     percentiles, write_trace, Percentiles, RunManifest, RunRecord, RunStatus, RunSummary,

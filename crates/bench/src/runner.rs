@@ -18,7 +18,7 @@
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
@@ -29,6 +29,7 @@ use sms_sim::stats::SimResult;
 use sms_sim::system::RunSpec;
 use sms_workloads::mix::MixSpec;
 
+use crate::journal::{JournalLine, PlanJournal};
 use crate::telemetry::{
     mix_label, write_manifest, write_trace, RunRecord, RunStatus, RunSummary, Telemetry,
 };
@@ -81,10 +82,40 @@ pub fn key_hash_hex(key: &str) -> String {
     format!("{h1:016x}{h2:016x}")
 }
 
+/// Cache entry schema version.
+///
+/// v2 added the `checksum` field (FNV-128 of the result's JSON encoding)
+/// so `lookup` and `sms fsck` can detect bit-level damage; v1 entries
+/// (no version, no checksum) still load.
+pub const CACHE_SCHEMA_VERSION: u32 = 2;
+
+fn v1_cache_schema() -> u32 {
+    1
+}
+
 #[derive(Debug, Serialize, Deserialize)]
-struct CacheEntry {
-    key: String,
-    result: SimResult,
+pub(crate) struct CacheEntry {
+    #[serde(default = "v1_cache_schema")]
+    pub(crate) schema_version: u32,
+    pub(crate) key: String,
+    /// FNV-128 hex of the result's JSON encoding (absent in v1 entries).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub(crate) checksum: Option<String>,
+    pub(crate) result: SimResult,
+}
+
+/// The checksum stored in v2 cache entries: FNV-128 hex of the result's
+/// canonical JSON encoding.
+pub fn result_checksum(result: &SimResult) -> String {
+    let json = serde_json::to_string(result).expect("result serializes");
+    let (h1, h2) = fnv128(json.as_bytes());
+    format!("{h1:016x}{h2:016x}")
+}
+
+/// Whether an I/O error is a deterministic `sms-faults` injection rather
+/// than a real filesystem failure.
+fn is_injected(e: &std::io::Error) -> bool {
+    e.get_ref().is_some_and(|inner| inner.is::<sms_faults::FaultError>())
 }
 
 /// What a quarantine file records about a persistently failing run.
@@ -151,17 +182,70 @@ impl CachedSim {
         self.dir.join(format!("{}.json", key_hash_hex(key)))
     }
 
-    /// Look up a result without simulating.
+    /// Record a corrupt or unreadable on-disk entry: counted in the
+    /// global `sms-obs` registry (`sms_cache_corrupt_total{kind}`) and
+    /// warned about once per process.
+    fn note_corrupt(path: &Path, kind: &str, detail: &str) {
+        static WARNED: AtomicBool = AtomicBool::new(false);
+        sms_obs::registry()
+            .counter_family(
+                "sms_cache_corrupt_total",
+                "Cache entries rejected at lookup, by defect kind.",
+                &["kind"],
+            )
+            .with(&[kind])
+            .inc();
+        if !WARNED.swap(true, Ordering::Relaxed) {
+            eprintln!(
+                "cache: corrupt entry {} ({kind}: {detail}); treating as a miss — \
+                 run `sms fsck` to repair the cache (further corruption warnings suppressed)",
+                path.display()
+            );
+        }
+    }
+
+    /// Look up a result without simulating. A corrupt, torn, stale, or
+    /// checksum-failing on-disk entry is counted
+    /// (`sms_cache_corrupt_total{kind}`), warned about once, and treated
+    /// as a miss so the run is simply re-simulated.
     pub fn lookup(&self, cfg: &SystemConfig, mix: &MixSpec, spec: RunSpec) -> Option<SimResult> {
         let key = cache_key(cfg, mix, spec);
         if let Some(hit) = self.memory.lock().get(&key) {
             return Some(hit.clone());
         }
         let path = self.path_for(&key);
-        let data = std::fs::read_to_string(path).ok()?;
-        let entry: CacheEntry = serde_json::from_str(&data).ok()?;
+        let mut data = match std::fs::read(&path) {
+            Ok(data) => data,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return None,
+            Err(e) => {
+                Self::note_corrupt(&path, "unreadable", &e.to_string());
+                return None;
+            }
+        };
+        // `cache.read` failpoint: `corrupt` flips bytes in the just-read
+        // payload (caught below by the checksum), `err` turns the hit
+        // into a miss.
+        if sms_faults::corrupt_bytes("cache.read", &mut data).is_err() {
+            return None;
+        }
+        let entry: CacheEntry = match serde_json::from_slice(&data) {
+            Ok(entry) => entry,
+            Err(e) => {
+                Self::note_corrupt(&path, "torn", &e.to_string());
+                return None;
+            }
+        };
         if entry.key != key {
-            return None; // hash collision or stale file: treat as miss
+            // Hash collision or a file renamed/copied into the wrong stem.
+            Self::note_corrupt(&path, "stale_key", "stored key does not match request");
+            return None;
+        }
+        if let Some(stored) = &entry.checksum {
+            let actual = result_checksum(&entry.result);
+            if *stored != actual {
+                Self::note_corrupt(&path, "checksum", "payload checksum mismatch");
+                return None;
+            }
         }
         self.memory.lock().insert(key, entry.result.clone());
         Some(entry.result)
@@ -176,7 +260,9 @@ impl CachedSim {
             return;
         }
         let entry = CacheEntry {
+            schema_version: CACHE_SCHEMA_VERSION,
             key: key.clone(),
+            checksum: Some(result_checksum(result)),
             result: result.clone(),
         };
         let path = self.path_for(&key);
@@ -192,15 +278,38 @@ impl CachedSim {
             TMP_SEQ.fetch_add(1, Ordering::Relaxed),
         ));
         let write = || -> std::io::Result<()> {
-            let file = std::fs::File::create(&tmp)?;
-            serde_json::to_writer(file, &entry)
-                .map_err(|e| std::io::Error::new(std::io::ErrorKind::Other, e))?;
+            use std::io::Write as _;
+            sms_faults::check_io("cache.write")?;
+            let mut buf = serde_json::to_vec(&entry).map_err(std::io::Error::other)?;
+            // `corrupt` rules damage the serialized payload before it hits
+            // disk; `lookup` and `sms fsck` must catch it via the checksum.
+            sms_faults::corrupt_bytes("cache.write", &mut buf)?;
+            let mut file = std::fs::File::create(&tmp)?;
+            file.write_all(&buf)?;
+            // Sync before the rename publishes the entry: a crash must
+            // never expose a name whose bytes were not yet durable.
+            file.sync_data()?;
             std::fs::rename(&tmp, &path)
         };
         if let Err(e) = write() {
             let _ = std::fs::remove_file(&tmp);
-            self.degrade_disk(&e);
+            if is_injected(&e) {
+                // An injected write fault drops this entry's disk copy
+                // (the memory layer still serves it) without degrading the
+                // whole cache; a later `sms resume` re-simulates it.
+                eprintln!("cache: dropping disk write of {} ({e})", path.display());
+            } else {
+                self.degrade_disk(&e);
+            }
         }
+    }
+
+    /// Release a key from quarantine (memory record and on-disk file) —
+    /// called when a previously failing run later succeeds, so a resumed
+    /// sweep converges to the same final state as a fault-free one.
+    pub fn absolve(&self, key_hash: &str) {
+        self.quarantined.lock().retain(|h| h != key_hash);
+        let _ = std::fs::remove_file(self.quarantine_dir().join(format!("{key_hash}.json")));
     }
 
     /// Warn once and switch to memory-only operation.
@@ -237,13 +346,19 @@ impl CachedSim {
         };
         let dir = self.quarantine_dir();
         let write = || -> std::io::Result<()> {
+            sms_faults::check_io("cache.quarantine")?;
             std::fs::create_dir_all(&dir)?;
-            let json = serde_json::to_string_pretty(&record)
-                .map_err(|e| std::io::Error::new(std::io::ErrorKind::Other, e))?;
+            let json = serde_json::to_string_pretty(&record).map_err(std::io::Error::other)?;
             std::fs::write(dir.join(format!("{hash}.json")), json)
         };
         if let Err(e) = write() {
-            self.degrade_disk(&e);
+            if is_injected(&e) {
+                // An injected failure costs only this record's disk copy,
+                // not the whole cache's disk layer.
+                eprintln!("quarantine: dropping disk record {hash} ({e})");
+            } else {
+                self.degrade_disk(&e);
+            }
         }
         hash
     }
@@ -320,6 +435,42 @@ pub fn default_retries() -> u32 {
         .unwrap_or(1)
 }
 
+/// Knobs for one executor invocation. Tests construct these explicitly;
+/// `execute_plan` reads them from the environment via [`Self::from_env`].
+#[derive(Debug, Clone, Copy)]
+pub struct ExecOptions {
+    /// Retry budget per failing run.
+    pub retries: u32,
+    /// Watchdog deadline per run attempt: an attempt still running after
+    /// this long is abandoned and the run quarantined as hung. `None`
+    /// disables the watchdog (runs execute on the worker thread itself).
+    pub run_timeout: Option<Duration>,
+}
+
+impl ExecOptions {
+    /// Options with the given retry budget and no watchdog.
+    pub fn with_retries(retries: u32) -> Self {
+        Self {
+            retries,
+            run_timeout: None,
+        }
+    }
+
+    /// Read `SMS_RETRIES` (default 1) and `SMS_RUN_TIMEOUT_SECS` (0 or
+    /// unset disables the watchdog).
+    pub fn from_env() -> Self {
+        let run_timeout = std::env::var("SMS_RUN_TIMEOUT_SECS")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .filter(|&secs| secs > 0)
+            .map(Duration::from_secs);
+        Self {
+            retries: default_retries(),
+            run_timeout,
+        }
+    }
+}
+
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_owned()
@@ -330,20 +481,39 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
-/// Execute one plan entry with panic isolation and bounded retries, then
-/// record the outcome (cache insert or quarantine) and telemetry.
+/// One panic-isolated attempt of `run_fn`, with the `run.body` failpoint
+/// evaluated inside the isolation boundary (so injected panics are caught
+/// like real ones and injected errors surface as [`SimError::Injected`]).
+fn attempt_run<F>(run_fn: &F, cfg: &SystemConfig, mix: &MixSpec, spec: RunSpec) -> Result<SimResult, SimError>
+where
+    F: Fn(&SystemConfig, &MixSpec, RunSpec) -> Result<SimResult, SimError>,
+{
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    catch_unwind(AssertUnwindSafe(|| {
+        if let Err(e) = sms_faults::check("run.body") {
+            return Err(SimError::Injected(e.to_string()));
+        }
+        run_fn(cfg, mix, spec)
+    }))
+    .unwrap_or_else(|payload| Err(SimError::Panicked(panic_message(payload.as_ref()))))
+}
+
+/// Execute one plan entry with panic isolation, an optional watchdog
+/// deadline, and bounded retries, then record the outcome (cache insert
+/// or quarantine, journal line) and telemetry.
+#[allow(clippy::too_many_arguments)]
 fn run_one<F>(
     cache: &CachedSim,
     cfg: &SystemConfig,
     mix: &MixSpec,
     spec: RunSpec,
-    retries: u32,
-    run_fn: &F,
+    opts: ExecOptions,
+    run_fn: &Arc<F>,
     telemetry: &Telemetry,
+    journal: Option<&PlanJournal>,
 ) where
-    F: Fn(&SystemConfig, &MixSpec, RunSpec) -> Result<SimResult, SimError> + Sync,
+    F: Fn(&SystemConfig, &MixSpec, RunSpec) -> Result<SimResult, SimError> + Send + Sync + 'static,
 {
-    use std::panic::{catch_unwind, AssertUnwindSafe};
     let _span = sms_obs::tracer()
         .span("run_one", "bench")
         .arg("mix", &mix_label(mix))
@@ -352,11 +522,38 @@ fn run_one<F>(
     let mut attempts = 0u32;
     let outcome = loop {
         attempts += 1;
-        let attempt = catch_unwind(AssertUnwindSafe(|| run_fn(cfg, mix, spec)))
-            .unwrap_or_else(|payload| Err(SimError::Panicked(panic_message(payload.as_ref()))));
+        let attempt = match opts.run_timeout {
+            None => attempt_run(run_fn.as_ref(), cfg, mix, spec),
+            Some(deadline) => {
+                // Watchdog: run the attempt on a detached thread and wait
+                // with a deadline. On timeout the thread is abandoned (its
+                // eventual send fails silently — the receiver is gone — so
+                // a late result can never reach the cache) and the run is
+                // quarantined as hung without killing the worker.
+                let (tx, rx) = std::sync::mpsc::channel();
+                let run_fn = Arc::clone(run_fn);
+                let cfg_own = cfg.clone();
+                let mix_own = mix.clone();
+                std::thread::spawn(move || {
+                    let _ = tx.send(attempt_run(run_fn.as_ref(), &cfg_own, &mix_own, spec));
+                });
+                match rx.recv_timeout(deadline) {
+                    Ok(result) => result,
+                    Err(_) => {
+                        // Mark the stall instant in the trace, then give up
+                        // on this entry entirely: a hang is not transient,
+                        // so retrying would just burn another deadline.
+                        sms_obs::tracer().instant("hung", "bench");
+                        break Err(SimError::Hung {
+                            deadline_ms: deadline.as_millis() as u64,
+                        });
+                    }
+                }
+            }
+        };
         match attempt {
             Ok(result) => break Ok(result),
-            Err(_) if attempts <= retries => {
+            Err(_) if attempts <= opts.retries => {
                 sms_obs::tracer().instant("retry", "bench");
                 telemetry.record_retry();
             }
@@ -368,6 +565,15 @@ fn run_one<F>(
     let record = match outcome {
         Ok(result) => {
             cache.insert(cfg, mix, spec, &result);
+            // A success releases any quarantine record left by an earlier
+            // (crashed or faulted) invocation of the same plan entry.
+            cache.absolve(&key_hash);
+            if let Some(journal) = journal {
+                journal.append_best_effort(&JournalLine::Run {
+                    key_hash: key_hash.clone(),
+                    status: RunStatus::Ok,
+                });
+            }
             RunRecord {
                 key_hash,
                 mix: mix_label(mix),
@@ -381,6 +587,12 @@ fn run_one<F>(
         }
         Err(e) => {
             cache.quarantine(cfg, mix, spec, &e, attempts);
+            if let Some(journal) = journal {
+                journal.append_best_effort(&JournalLine::Run {
+                    key_hash: key_hash.clone(),
+                    status: RunStatus::Quarantined,
+                });
+            }
             RunRecord {
                 key_hash,
                 mix: mix_label(mix),
@@ -415,25 +627,37 @@ pub fn execute_plan(
         spec,
         threads,
         label,
-        default_retries(),
+        ExecOptions::from_env(),
         |cfg, mix, spec| DirectSim.run_mix(cfg, mix, spec),
     )
 }
 
-/// [`execute_plan`] with an explicit retry budget and an injectable run
+/// [`execute_plan`] with explicit [`ExecOptions`] and an injectable run
 /// function — the seam fault-injection and determinism tests use.
+///
+/// Progress is journaled best-effort to `<cache>/journal/<label>.jsonl`
+/// (one fsync'd line per terminal run state, a `done` line at the end) so
+/// a killed invocation can be resumed by `sms resume`.
 pub fn execute_plan_with<F>(
     cache: &CachedSim,
     plan: &[(SystemConfig, MixSpec)],
     spec: RunSpec,
     threads: usize,
     label: &str,
-    retries: u32,
+    opts: ExecOptions,
     run_fn: F,
 ) -> PlanSummary
 where
-    F: Fn(&SystemConfig, &MixSpec, RunSpec) -> Result<SimResult, SimError> + Sync,
+    F: Fn(&SystemConfig, &MixSpec, RunSpec) -> Result<SimResult, SimError> + Send + Sync + 'static,
 {
+    let run_fn = Arc::new(run_fn);
+    let journal = match PlanJournal::open_append(cache.dir(), label) {
+        Ok(journal) => Some(journal),
+        Err(e) => {
+            eprintln!("[{label}] warning: cannot open plan journal: {e}");
+            None
+        }
+    };
     let plan_span = sms_obs::tracer()
         .span("execute_plan", "bench")
         .arg("label", label)
@@ -470,6 +694,7 @@ where
         let todo = &todo;
         let run_fn = &run_fn;
         let telemetry_ref = &telemetry;
+        let journal_ref = journal.as_ref();
         crossbeam::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(move |_| loop {
@@ -478,13 +703,19 @@ where
                         break;
                     }
                     let (cfg, mix) = todo[i];
-                    run_one(cache, cfg, mix, spec, retries, run_fn, telemetry_ref);
+                    run_one(cache, cfg, mix, spec, opts, run_fn, telemetry_ref, journal_ref);
                 });
             }
         })
         .expect("executor worker threads are panic-isolated");
     }
     let manifest = telemetry.finish();
+    if let Some(journal) = &journal {
+        journal.append_best_effort(&JournalLine::Done {
+            simulated: manifest.simulated,
+            failed: manifest.failed,
+        });
+    }
     let manifest_path = write_manifest(cache.dir(), &manifest);
     // Close the invocation span before flushing so it appears in its own
     // trace file when tracing is on.
@@ -652,12 +883,20 @@ mod tests {
         let cache = CachedSim::open(&dir).unwrap();
         let spec = spec_n(5_000);
         let plan = fake_plan(&["leela_r", "boom", "mcf_r"]);
-        let summary = execute_plan_with(&cache, &plan, spec, 2, "faulty", 1, |cfg, mix, spec| {
-            if mix.benchmarks[0] == "boom" {
-                panic!("injected fault");
-            }
-            fake_run(cfg, mix, spec)
-        });
+        let summary = execute_plan_with(
+            &cache,
+            &plan,
+            spec,
+            2,
+            "faulty",
+            ExecOptions::with_retries(1),
+            |cfg, mix, spec| {
+                if mix.benchmarks[0] == "boom" {
+                    panic!("injected fault");
+                }
+                fake_run(cfg, mix, spec)
+            },
+        );
         assert_eq!(summary.total, 3);
         assert_eq!(summary.simulated, 2);
         assert_eq!(summary.failed, 1, "the panicking run must be counted");
@@ -690,12 +929,20 @@ mod tests {
         let spec = spec_n(5_000);
         let plan = fake_plan(&["leela_r", "lbm_r"]);
         let failed_once = Mutex::new(std::collections::HashSet::new());
-        let summary = execute_plan_with(&cache, &plan, spec, 1, "flaky", 1, |cfg, mix, spec| {
-            if failed_once.lock().insert(mix.benchmarks[0].clone()) {
-                return Err(SimError::Panicked("transient".to_owned()));
-            }
-            fake_run(cfg, mix, spec)
-        });
+        let summary = execute_plan_with(
+            &cache,
+            &plan,
+            spec,
+            1,
+            "flaky",
+            ExecOptions::with_retries(1),
+            move |cfg, mix, spec| {
+                if failed_once.lock().insert(mix.benchmarks[0].clone()) {
+                    return Err(SimError::Panicked("transient".to_owned()));
+                }
+                fake_run(cfg, mix, spec)
+            },
+        );
         assert_eq!(summary.simulated, 2);
         assert_eq!(summary.failed, 0);
         assert_eq!(summary.retries, 2, "each run failed exactly once");
@@ -769,8 +1016,15 @@ mod tests {
         let snapshot = |tag: &str, threads: usize| {
             let dir = tmpdir(tag);
             let cache = CachedSim::open(&dir).unwrap();
-            let summary =
-                execute_plan_with(&cache, &plan, spec, threads, tag, 0, fake_run);
+            let summary = execute_plan_with(
+                &cache,
+                &plan,
+                spec,
+                threads,
+                tag,
+                ExecOptions::with_retries(0),
+                fake_run,
+            );
             assert_eq!(summary.failed, 0);
             let mut files: Vec<(String, Vec<u8>)> = std::fs::read_dir(&dir)
                 .unwrap()
@@ -791,5 +1045,202 @@ mod tests {
         let parallel = snapshot("det-parallel", 4);
         assert_eq!(serial.len(), plan.len());
         assert_eq!(serial, parallel, "cache contents must not depend on thread count");
+    }
+
+    #[test]
+    fn hung_run_is_quarantined_within_deadline_and_plan_completes() {
+        // The watchdog acceptance scenario: one entry stalls forever. The
+        // executor must abandon it at the deadline, quarantine it as hung
+        // without retrying (a hang is not transient), and finish the rest
+        // of the plan promptly.
+        let dir = tmpdir("hung");
+        let cache = CachedSim::open(&dir).unwrap();
+        let spec = spec_n(5_000);
+        let plan = fake_plan(&["leela_r", "stall", "mcf_r"]);
+        let opts = ExecOptions {
+            retries: 3,
+            run_timeout: Some(Duration::from_millis(150)),
+        };
+        let started = Instant::now();
+        let summary =
+            execute_plan_with(&cache, &plan, spec, 2, "hangs", opts, |cfg, mix, spec| {
+                if mix.benchmarks[0] == "stall" {
+                    std::thread::sleep(Duration::from_secs(600));
+                }
+                fake_run(cfg, mix, spec)
+            });
+        assert!(
+            started.elapsed() < Duration::from_secs(30),
+            "the watchdog must not wait out the stall"
+        );
+        assert_eq!(summary.simulated, 2);
+        assert_eq!(summary.failed, 1);
+        assert_eq!(summary.retries, 0, "hung runs are not retried");
+        assert_eq!(cache.quarantine_count(), 1);
+        let qdir = cache.quarantine_dir();
+        let entry = std::fs::read_dir(&qdir).unwrap().next().unwrap().unwrap();
+        let record: QuarantineRecord =
+            serde_json::from_str(&std::fs::read_to_string(entry.path()).unwrap()).unwrap();
+        assert!(record.error.contains("hung"), "{}", record.error);
+        assert!(record.error.contains("150ms"), "{}", record.error);
+        assert_eq!(record.attempts, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn watchdog_leaves_healthy_runs_untouched() {
+        // With a generous deadline every run completes on the detached
+        // attempt thread and results flow back unchanged.
+        let dir = tmpdir("healthy-watchdog");
+        let cache = CachedSim::open(&dir).unwrap();
+        let spec = spec_n(5_000);
+        let plan = fake_plan(&["leela_r", "lbm_r"]);
+        let opts = ExecOptions {
+            retries: 0,
+            run_timeout: Some(Duration::from_secs(60)),
+        };
+        let summary = execute_plan_with(&cache, &plan, spec, 2, "healthy", opts, fake_run);
+        assert_eq!(summary.simulated, 2);
+        assert_eq!(summary.failed, 0);
+        for (c, m) in &plan {
+            assert!(cache.lookup(c, m, spec).is_some());
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_disk_entry_is_a_counted_miss_and_resimulated() {
+        let dir = tmpdir("corrupt");
+        let cache = CachedSim::open(&dir).unwrap();
+        let cfg = tiny_cfg();
+        let mix = MixSpec::homogeneous("leela_r", 1, 1);
+        let spec = spec_n(5_000);
+        let result = fake_run(&cfg, &mix, spec).unwrap();
+        cache.insert(&cfg, &mix, spec, &result);
+
+        // Flip a byte inside the stored result payload.
+        let path = dir.join(format!("{}.json", key_hash_hex(&cache_key(&cfg, &mix, spec))));
+        let mut bytes = std::fs::read(&path).unwrap();
+        let pos = bytes.len() - 10;
+        bytes[pos] ^= 0x5a;
+        std::fs::write(&path, &bytes).unwrap();
+
+        // A fresh instance (no memory copy) must reject the entry...
+        let fresh = CachedSim::open(&dir).unwrap();
+        assert!(fresh.lookup(&cfg, &mix, spec).is_none(), "corrupt entry must miss");
+        // ...count it in the global registry...
+        let reg: serde_json::Value =
+            serde_json::from_str(&sms_obs::registry().to_json()).unwrap();
+        let total: f64 = reg["sms_cache_corrupt_total"]["samples"]
+            .as_array()
+            .expect("corrupt counter family exists")
+            .iter()
+            .map(|s| s["value"].as_f64().unwrap())
+            .sum();
+        assert!(total >= 1.0, "corruption must be counted, got {total}");
+        // ...and a fresh insert repairs the file in place.
+        fresh.insert(&cfg, &mix, spec, &result);
+        let repaired = CachedSim::open(&dir).unwrap();
+        let back = repaired.lookup(&cfg, &mix, spec).expect("repaired entry loads");
+        assert_eq!(back.elapsed_cycles, result.elapsed_cycles);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn v1_cache_entries_without_checksum_still_load() {
+        let dir = tmpdir("v1");
+        let cache = CachedSim::open(&dir).unwrap();
+        let cfg = tiny_cfg();
+        let mix = MixSpec::homogeneous("leela_r", 1, 1);
+        let spec = spec_n(5_000);
+        let result = fake_run(&cfg, &mix, spec).unwrap();
+        cache.insert(&cfg, &mix, spec, &result);
+
+        // Strip the v2 fields, emulating a pre-checksum cache file.
+        let path = dir.join(format!("{}.json", key_hash_hex(&cache_key(&cfg, &mix, spec))));
+        let mut v: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        let obj = v.as_object_mut().unwrap();
+        obj.remove("schema_version");
+        obj.remove("checksum");
+        std::fs::write(&path, serde_json::to_string(&v).unwrap()).unwrap();
+
+        let fresh = CachedSim::open(&dir).unwrap();
+        let back = fresh.lookup(&cfg, &mix, spec).expect("v1 entry loads");
+        assert_eq!(back.elapsed_cycles, result.elapsed_cycles);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn success_absolves_an_earlier_quarantine() {
+        // A key quarantined by a previous (faulted) invocation must be
+        // released when a later invocation simulates it successfully —
+        // otherwise a resumed sweep could never converge to the fault-free
+        // final state.
+        let dir = tmpdir("absolve");
+        let cache = CachedSim::open(&dir).unwrap();
+        let spec = spec_n(5_000);
+        let plan = fake_plan(&["leela_r"]);
+        let (cfg, mix) = &plan[0];
+        cache.quarantine(cfg, mix, spec, &SimError::Panicked("earlier crash".into()), 2);
+        assert_eq!(cache.quarantine_count(), 1);
+        let summary = execute_plan_with(
+            &cache,
+            &plan,
+            spec,
+            1,
+            "absolve",
+            ExecOptions::with_retries(0),
+            fake_run,
+        );
+        assert_eq!(summary.simulated, 1);
+        assert_eq!(cache.quarantine_count(), 0, "success must clear the record");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn executor_journals_runs_and_completion() {
+        let dir = tmpdir("journal");
+        let cache = CachedSim::open(&dir).unwrap();
+        let spec = spec_n(5_000);
+        let plan = fake_plan(&["leela_r", "boom", "mcf_r"]);
+        let summary = execute_plan_with(
+            &cache,
+            &plan,
+            spec,
+            1,
+            "journaled",
+            ExecOptions::with_retries(0),
+            |cfg, mix, spec| {
+                if mix.benchmarks[0] == "boom" {
+                    return Err(SimError::Panicked("boom".to_owned()));
+                }
+                fake_run(cfg, mix, spec)
+            },
+        );
+        assert_eq!(summary.failed, 1);
+        let replayed = crate::journal::replay(cache.dir(), "journaled").unwrap();
+        assert_eq!(replayed.completed.len(), 2);
+        assert_eq!(replayed.quarantined.len(), 1);
+        assert!(replayed.done, "a finished invocation must journal `done`");
+        assert_eq!(replayed.torn_lines, 0);
+        assert!(replayed.header.is_none(), "bare executor writes no header");
+
+        // Re-running with a healthy run function re-simulates the failed
+        // entry; the journal's latest state absorbs the success.
+        let again = execute_plan_with(
+            &cache,
+            &plan,
+            spec,
+            1,
+            "journaled",
+            ExecOptions::with_retries(0),
+            fake_run,
+        );
+        assert_eq!(again.failed, 0);
+        let replayed = crate::journal::replay(cache.dir(), "journaled").unwrap();
+        assert_eq!(replayed.completed.len(), 3);
+        assert!(replayed.quarantined.is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

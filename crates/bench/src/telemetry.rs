@@ -432,6 +432,10 @@ pub fn write_trace(dir: &Path, label: &str) -> Option<PathBuf> {
 /// reported, not fatal: a sweep must not die because its diagnostics
 /// directory is unwritable.
 pub fn write_manifest(dir: &Path, manifest: &RunManifest) -> Option<PathBuf> {
+    if let Err(e) = sms_faults::check("manifest.flush") {
+        eprintln!("[{}] warning: cannot write manifest: {e}", manifest.label);
+        return None;
+    }
     let dir = dir.join("manifests");
     if let Err(e) = std::fs::create_dir_all(&dir) {
         eprintln!(
@@ -461,7 +465,7 @@ pub fn write_manifest(dir: &Path, manifest: &RunManifest) -> Option<PathBuf> {
     }
 }
 
-fn sanitize_label(label: &str) -> String {
+pub(crate) fn sanitize_label(label: &str) -> String {
     label
         .chars()
         .map(|c| if c.is_ascii_alphanumeric() || c == '-' || c == '_' { c } else { '_' })

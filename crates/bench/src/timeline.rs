@@ -64,7 +64,7 @@ impl TimelineFile {
     /// Propagates encoding and filesystem failures.
     pub fn save(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
         let json = sms_core::artifact::to_sorted_pretty_json(self)
-            .map_err(|e| std::io::Error::new(std::io::ErrorKind::Other, e))?;
+            .map_err(std::io::Error::other)?;
         std::fs::write(path, json)
     }
 }
@@ -81,7 +81,8 @@ pub fn timelines_dir(cache_dir: &Path) -> PathBuf {
 /// (sampling is read-only).
 pub fn timeline_run_fn(
     cache_dir: &Path,
-) -> impl Fn(&SystemConfig, &MixSpec, RunSpec) -> Result<SimResult, SimError> + Sync {
+) -> impl Fn(&SystemConfig, &MixSpec, RunSpec) -> Result<SimResult, SimError> + Send + Sync + 'static
+{
     let dir = timelines_dir(cache_dir);
     move |cfg, mix, spec| {
         let mut sink = RecordingSink::new();
@@ -121,7 +122,7 @@ pub fn execute_plan_with_timelines(
         spec,
         threads,
         label,
-        crate::runner::default_retries(),
+        crate::runner::ExecOptions::from_env(),
         run_fn,
     )
 }
@@ -129,6 +130,7 @@ pub fn execute_plan_with_timelines(
 /// Best-effort write of one timeline file as sorted-key pretty JSON.
 fn write_timeline(dir: &Path, file: &TimelineFile) {
     let write = || -> std::io::Result<()> {
+        sms_faults::check_io("timeline.write")?;
         std::fs::create_dir_all(dir)?;
         file.save(dir.join(format!("{}.json", file.key_hash)))
     };

@@ -11,6 +11,9 @@
 //! sms trace     --bench lbm_r --out trace.smst [--instructions N] [--seed S]
 //! sms bench-table                                          # characterize the suite
 //! sms sweep     --bench lbm_r[,mcf_r,...] [--target-cores 32] [--threads T] [--results DIR] [--timelines] [--spans]
+//! sms resume    --label L [--results DIR] [--threads T]     # continue an interrupted sweep
+//! sms fsck      [--results DIR]                             # verify & repair the result cache
+//! sms quarantine [--results DIR] [--clear]                  # list / release quarantined runs
 //! sms manifest  --path results/cache/manifests/LABEL.json  # inspect a run manifest
 //! sms timeline  --path results/cache/timelines/HASH.json [--csv]  # per-epoch view of a run
 //! sms train     [--bench ...] [--target-cores 32] [--kind svm] [--curve log] [--save]
@@ -24,8 +27,9 @@ use std::path::Path;
 
 use sms_bench::telemetry::mix_label;
 use sms_bench::{
-    cache_key, execute_plan, execute_plan_with_timelines, key_hash_hex, timelines_dir, CachedSim,
-    RunManifest, TimelineFile, TIMELINE_SCHEMA_VERSION,
+    cache_key, execute_plan, execute_plan_with_timelines, fsck, journal_path, key_hash_hex,
+    replay, timelines_dir, CachedSim, JournalLine, PlanHeader, PlanJournal, QuarantineRecord,
+    RunManifest, TimelineFile, JOURNAL_SCHEMA_VERSION, TIMELINE_SCHEMA_VERSION,
 };
 use sms_core::artifact::train_artifact;
 use sms_core::pipeline::{homogeneous_plan, mean_bandwidth, mean_ipc, DirectSim, ExperimentConfig};
@@ -161,6 +165,9 @@ pub fn run(args: &Args) -> Result<String, CliError> {
         "trace" => cmd_trace(args),
         "bench-table" => cmd_bench_table(args),
         "sweep" => cmd_sweep(args),
+        "resume" => cmd_resume(args),
+        "fsck" => cmd_fsck(args),
+        "quarantine" => cmd_quarantine(args),
         "manifest" => cmd_manifest(args),
         "timeline" => cmd_timeline(args),
         "train" => cmd_train(args),
@@ -180,6 +187,9 @@ pub const COMMANDS: &[&str] = &[
     "trace",
     "bench-table",
     "sweep",
+    "resume",
+    "fsck",
+    "quarantine",
     "manifest",
     "timeline",
     "train",
@@ -224,7 +234,28 @@ USAGE:
       --timelines, every simulated run also leaves a per-epoch timeline
       under DIR/cache/timelines/. With --spans, executor spans are
       recorded and flushed as Chrome trace-event JSON under
-      DIR/cache/traces/ (open at chrome://tracing or Perfetto).
+      DIR/cache/traces/ (open at chrome://tracing or Perfetto). The plan
+      parameters and every completed run are journaled (fsync'd) under
+      DIR/cache/journal/LABEL.jsonl, so a killed sweep is resumable.
+
+  sms resume --label L [--results DIR] [--threads T]
+      Continue an interrupted `sms sweep`: replay the label's plan
+      journal, rebuild the identical plan from its recorded header, and
+      re-execute it. Cached runs are skipped and quarantined runs are
+      retried, so repeating resume after crashes converges on the same
+      final cache as one uninterrupted sweep.
+
+  sms fsck [--results DIR]
+      Verify every result-cache file under DIR/cache: cache entries
+      (JSON shape, key-hash filename, payload checksum), quarantine
+      records, manifests, timelines, leftover temp files, and plan
+      journals. Defective files are evicted (journals: repaired in
+      place) and reported; valid entries are never touched.
+
+  sms quarantine [--results DIR] [--clear]
+      List the quarantine records left by persistently failing runs.
+      With --clear, release them so the next sweep or resume retries
+      those runs.
 
   sms manifest --path FILE
       Pretty-print a JSON run manifest written by `sms sweep` or the
@@ -486,74 +517,84 @@ fn cmd_bench_table(args: &Args) -> Result<String, CliError> {
     Ok(out)
 }
 
-fn cmd_sweep(args: &Args) -> Result<String, CliError> {
-    let bench = args
-        .options
-        .get("bench")
-        .ok_or(CliError::MissingOption("bench"))?;
-    let target_cores = args.get_u32("target-cores", 32)?;
-    if !target_cores.is_power_of_two() || target_cores == 0 || target_cores > 256 {
+/// Concrete sweep parameters: parsed from `sms sweep` flags, or rebuilt
+/// from a journaled [`PlanHeader`] by `sms resume`.
+struct SweepParams {
+    bench: String,
+    target_cores: u32,
+    budget: u64,
+    seed: u64,
+    threads: usize,
+    results: String,
+    label: String,
+    timelines: bool,
+    spans: bool,
+}
+
+fn run_sweep(p: &SweepParams) -> Result<String, CliError> {
+    if !p.target_cores.is_power_of_two() || p.target_cores == 0 || p.target_cores > 256 {
         return Err(CliError::BadValue(
             "target-cores".into(),
-            target_cores.to_string(),
+            p.target_cores.to_string(),
         ));
     }
-    let seed = args.get_u64("seed", 43)?;
-    let spec = spec_for(args)?;
-    let threads = args.get_u64("threads", 0)? as usize;
-    let threads = if threads == 0 {
-        std::thread::available_parallelism()
-            .map(std::num::NonZeroUsize::get)
-            .unwrap_or(1)
-    } else {
-        threads
-    };
-    let results = args
-        .options
-        .get("results")
-        .cloned()
-        .unwrap_or_else(|| "results".to_owned());
-    let label = args
-        .options
-        .get("label")
-        .cloned()
-        .unwrap_or_else(|| "cli-sweep".to_owned());
-
-    let profiles: Vec<_> = bench
+    let profiles: Vec<_> = p
+        .bench
         .split(',')
         .map(|n| by_name(n).ok_or_else(|| CliError::UnknownBenchmark(n.to_owned())))
         .collect::<Result<_, _>>()?;
+    let spec = RunSpec::with_default_warmup(p.budget);
 
     // Scale-model ladder: every power of two strictly between 1 and the
     // target (homogeneous_plan adds the 1-core model and the target).
     let mut ms_cores = Vec::new();
     let mut c = 2u32;
-    while c < target_cores {
+    while c < p.target_cores {
         ms_cores.push(c);
         c *= 2;
     }
     let cfg = ExperimentConfig {
-        target: target_config(target_cores),
+        target: target_config(p.target_cores),
         ms_cores,
         spec,
-        seed,
+        seed: p.seed,
         ..ExperimentConfig::default()
     };
     let plan = homogeneous_plan(&cfg, &profiles);
-    let cache =
-        CachedSim::open(Path::new(&results).join("cache")).map_err(|e| CliError::Io(e.to_string()))?;
-    if args.flag("spans") {
+    let cache = CachedSim::open(Path::new(&p.results).join("cache"))
+        .map_err(|e| CliError::Io(e.to_string()))?;
+
+    // Journal the plan parameters before executing so `sms resume` can
+    // rebuild the identical plan after a crash; the executor appends the
+    // per-run and completion lines under the same label. Best-effort: a
+    // sweep must not die because its journal directory is unwritable.
+    match PlanJournal::open_append(cache.dir(), &p.label) {
+        Ok(journal) => journal.append_best_effort(&JournalLine::Plan(PlanHeader {
+            schema_version: JOURNAL_SCHEMA_VERSION,
+            label: p.label.clone(),
+            bench: p.bench.clone(),
+            target_cores: p.target_cores,
+            budget: p.budget,
+            seed: p.seed,
+            threads: p.threads,
+            timelines: p.timelines,
+        })),
+        Err(e) => eprintln!("[{}] warning: cannot open plan journal: {e}", p.label),
+    }
+
+    if p.spans {
         sms_obs::tracer().set_enabled(true);
     }
-    let summary = if args.flag("timelines") {
-        execute_plan_with_timelines(&cache, &plan, spec, threads, &label)
+    let summary = if p.timelines {
+        execute_plan_with_timelines(&cache, &plan, spec, p.threads, &p.label)
     } else {
-        execute_plan(&cache, &plan, spec, threads, &label)
+        execute_plan(&cache, &plan, spec, p.threads, &p.label)
     };
 
     let mut out = format!(
-        "sweep `{label}`: {} runs ({} cached, {} simulated, {} quarantined, {} retries)\n\
+        "sweep `{}`: {} runs ({} cached, {} simulated, {} quarantined, {} retries)\n\
          wall {:.1}s, worker utilization {:.0}%\n",
+        p.label,
         summary.total,
         summary.cached,
         summary.simulated,
@@ -563,10 +604,15 @@ fn cmd_sweep(args: &Args) -> Result<String, CliError> {
         summary.worker_utilization * 100.0,
     );
     match &summary.manifest_path {
-        Some(p) => out.push_str(&format!("manifest: {}\n", p.display())),
+        Some(path) => out.push_str(&format!("manifest: {}\n", path.display())),
         None => out.push_str("manifest: not written (cache disk unavailable)\n"),
     }
-    if args.flag("timelines") {
+    out.push_str(&format!(
+        "journal: {} (resume an interrupted sweep with `sms resume --label {}`)\n",
+        journal_path(cache.dir(), &p.label).display(),
+        p.label,
+    ));
+    if p.timelines {
         out.push_str(&format!(
             "timelines: {} (render one with `sms timeline --path FILE`)\n",
             timelines_dir(cache.dir()).display()
@@ -574,9 +620,156 @@ fn cmd_sweep(args: &Args) -> Result<String, CliError> {
     }
     if summary.failed > 0 {
         out.push_str(&format!(
-            "{} run(s) quarantined under {}\n",
+            "{} run(s) quarantined under {} (inspect with `sms quarantine`)\n",
             summary.failed,
             cache.quarantine_dir().display()
+        ));
+    }
+    Ok(out)
+}
+
+fn threads_for(args: &Args, default: usize) -> Result<usize, CliError> {
+    let threads = args.get_u64("threads", 0)? as usize;
+    Ok(if threads == 0 { default } else { threads })
+}
+
+fn cmd_sweep(args: &Args) -> Result<String, CliError> {
+    let bench = args
+        .options
+        .get("bench")
+        .ok_or(CliError::MissingOption("bench"))?
+        .clone();
+    let default_threads = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let p = SweepParams {
+        bench,
+        target_cores: args.get_u32("target-cores", 32)?,
+        budget: args.get_u64("budget", 500_000)?,
+        seed: args.get_u64("seed", 43)?,
+        threads: threads_for(args, default_threads)?,
+        results: results_dir(args),
+        label: args
+            .options
+            .get("label")
+            .cloned()
+            .unwrap_or_else(|| "cli-sweep".to_owned()),
+        timelines: args.flag("timelines"),
+        spans: args.flag("spans"),
+    };
+    run_sweep(&p)
+}
+
+fn cmd_resume(args: &Args) -> Result<String, CliError> {
+    let results = results_dir(args);
+    let label = args
+        .options
+        .get("label")
+        .cloned()
+        .unwrap_or_else(|| "cli-sweep".to_owned());
+    let cache_dir = Path::new(&results).join("cache");
+    let r = replay(&cache_dir, &label).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::NotFound {
+            CliError::Io(format!(
+                "no journal for label `{label}` at {} — nothing to resume (run `sms sweep` first)",
+                journal_path(&cache_dir, &label).display()
+            ))
+        } else {
+            CliError::Io(e.to_string())
+        }
+    })?;
+    let header = r.header.ok_or_else(|| {
+        CliError::Io(format!(
+            "journal {} has no plan header (written by a bare executor, not `sms sweep`); \
+             re-run the sweep instead",
+            r.path.display()
+        ))
+    })?;
+
+    let mut out = format!(
+        "resuming sweep `{label}` from {}: {} run(s) completed, {} quarantined, previous \
+         invocation {}{}\n",
+        r.path.display(),
+        r.completed.len(),
+        r.quarantined.len(),
+        if r.done { "finished" } else { "interrupted" },
+        if r.torn_lines > 0 {
+            format!(" ({} torn journal line(s) skipped)", r.torn_lines)
+        } else {
+            String::new()
+        },
+    );
+    let p = SweepParams {
+        bench: header.bench,
+        target_cores: header.target_cores,
+        budget: header.budget,
+        seed: header.seed,
+        threads: threads_for(args, header.threads)?,
+        results,
+        label,
+        timelines: header.timelines,
+        spans: args.flag("spans"),
+    };
+    out.push_str(&run_sweep(&p)?);
+    Ok(out)
+}
+
+fn cmd_fsck(args: &Args) -> Result<String, CliError> {
+    let cache_dir = Path::new(&results_dir(args)).join("cache");
+    let report = fsck(&cache_dir)
+        .map_err(|e| CliError::Io(format!("cannot fsck {}: {e}", cache_dir.display())))?;
+    Ok(format!("cache: {}\n{}", cache_dir.display(), report.render()))
+}
+
+fn cmd_quarantine(args: &Args) -> Result<String, CliError> {
+    let qdir = Path::new(&results_dir(args)).join("cache").join("quarantine");
+    let mut files: Vec<std::path::PathBuf> = match std::fs::read_dir(&qdir) {
+        Ok(rd) => rd
+            .flatten()
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|x| x == "json"))
+            .collect(),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+        Err(e) => return Err(CliError::Io(e.to_string())),
+    };
+    files.sort();
+    if files.is_empty() {
+        return Ok(format!("no quarantined runs under {}\n", qdir.display()));
+    }
+
+    let mut out = format!("{:<34} {:<20} {:>8} error\n", "key hash", "mix", "attempts");
+    for path in &files {
+        let stem = path
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        match std::fs::read_to_string(path)
+            .map_err(|e| e.to_string())
+            .and_then(|text| {
+                serde_json::from_str::<QuarantineRecord>(&text).map_err(|e| e.to_string())
+            }) {
+            Ok(rec) => out.push_str(&format!(
+                "{stem:<34} {:<20} {:>8} {}\n",
+                rec.mix, rec.attempts, rec.error
+            )),
+            Err(e) => out.push_str(&format!(
+                "{stem:<34} {:<20} {:>8} unreadable record ({e}); run `sms fsck`\n",
+                "?", "?"
+            )),
+        }
+    }
+    if args.flag("clear") {
+        for path in &files {
+            std::fs::remove_file(path).map_err(|e| CliError::Io(e.to_string()))?;
+        }
+        out.push_str(&format!(
+            "released {} quarantined run(s); the next sweep or resume will retry them\n",
+            files.len()
+        ));
+    } else {
+        out.push_str(&format!(
+            "({} record(s); pass --clear to release them for re-simulation)\n",
+            files.len()
         ));
     }
     Ok(out)
@@ -1138,5 +1331,115 @@ mod tests {
             run(&args(&["trace", "--bench", "gcc_r"])),
             Err(CliError::MissingOption("out"))
         );
+    }
+
+    #[test]
+    fn sweep_journals_then_resume_fsck_quarantine_report_clean() {
+        let results = std::env::temp_dir().join(format!("sms-cli-resume-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&results);
+        let out = run(&args(&[
+            "sweep",
+            "--bench",
+            "leela_r",
+            "--target-cores",
+            "2",
+            "--budget",
+            "20000",
+            "--results",
+            results.to_str().unwrap(),
+            "--label",
+            "cyc",
+        ]))
+        .unwrap();
+        assert!(out.contains("journal:"), "{out}");
+        assert!(results.join("cache/journal/cyc.jsonl").exists(), "{out}");
+
+        // Resume after a completed sweep: the plan rebuilds identically
+        // and every run is served from the cache.
+        let resumed = run(&args(&[
+            "resume",
+            "--label",
+            "cyc",
+            "--results",
+            results.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(resumed.contains("resuming sweep `cyc`"), "{resumed}");
+        assert!(resumed.contains("invocation finished"), "{resumed}");
+        assert!(resumed.contains("2 cached"), "{resumed}");
+
+        let checked = run(&args(&["fsck", "--results", results.to_str().unwrap()])).unwrap();
+        assert!(checked.contains("0 defect(s)"), "{checked}");
+
+        let q = run(&args(&["quarantine", "--results", results.to_str().unwrap()])).unwrap();
+        assert!(q.contains("no quarantined runs"), "{q}");
+        let _ = std::fs::remove_dir_all(&results);
+    }
+
+    #[test]
+    fn resume_without_a_journal_is_an_error() {
+        let results =
+            std::env::temp_dir().join(format!("sms-cli-noresume-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&results);
+        let err = run(&args(&[
+            "resume",
+            "--label",
+            "never",
+            "--results",
+            results.to_str().unwrap(),
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("nothing to resume"), "{err}");
+        let _ = std::fs::remove_dir_all(&results);
+    }
+
+    #[test]
+    fn fsck_on_missing_cache_is_an_error() {
+        let results = std::env::temp_dir().join(format!("sms-cli-nofsck-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&results);
+        assert!(matches!(
+            run(&args(&["fsck", "--results", results.to_str().unwrap()])),
+            Err(CliError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn quarantine_lists_and_clears_records() {
+        let results = std::env::temp_dir().join(format!("sms-cli-quar-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&results);
+        let qdir = results.join("cache/quarantine");
+        std::fs::create_dir_all(&qdir).unwrap();
+        let rec = QuarantineRecord {
+            key: "cfg|mix|spec".into(),
+            mix: "2x leela_r".into(),
+            error: "boom".into(),
+            attempts: 3,
+        };
+        let hash = "00000000000000000000000000000000";
+        std::fs::write(
+            qdir.join(format!("{hash}.json")),
+            serde_json::to_string(&rec).unwrap(),
+        )
+        .unwrap();
+
+        let listing =
+            run(&args(&["quarantine", "--results", results.to_str().unwrap()])).unwrap();
+        assert!(listing.contains(hash), "{listing}");
+        assert!(listing.contains("boom"), "{listing}");
+        assert!(listing.contains("--clear"), "{listing}");
+
+        let cleared = run(&args(&[
+            "quarantine",
+            "--results",
+            results.to_str().unwrap(),
+            "--clear",
+        ]))
+        .unwrap();
+        assert!(cleared.contains("released 1 quarantined run(s)"), "{cleared}");
+        assert!(!qdir.join(format!("{hash}.json")).exists());
+
+        let empty = run(&args(&["quarantine", "--results", results.to_str().unwrap()])).unwrap();
+        assert!(empty.contains("no quarantined runs"), "{empty}");
+        let _ = std::fs::remove_dir_all(&results);
     }
 }

@@ -1,0 +1,659 @@
+//! # sms-faults — deterministic failpoint registry
+//!
+//! Named fault-injection sites (`cache.write`, `cache.read`, `run.body`,
+//! `manifest.flush`, `serve.worker`, …) that production code calls on its
+//! failure-prone paths. A site is a no-op unless a fault *schedule* is
+//! installed, which normally happens once per process from the
+//! `SMS_FAULTS` environment variable. With a schedule active, each hit of
+//! a site is numbered and the schedule decides — as a pure function of
+//! the (site, hit index, seed) triple — whether to inject an error, a
+//! panic, a delay, or byte corruption. Because the decision depends only
+//! on the hit index, the injection *sequence* at a site is identical
+//! whether hits come from one thread or many; this is what makes chaos
+//! runs reproducible and lets a kill/resume test assert bit-identical
+//! final state.
+//!
+//! # Schedule grammar (`SMS_FAULTS`)
+//!
+//! Semicolon-separated rules, each `site=action[@trigger]`, plus an
+//! optional `seed=N` segment for probabilistic triggers:
+//!
+//! ```text
+//! SMS_FAULTS='cache.write=err@3;run.body=panic@0.1%seed=42'
+//! SMS_FAULTS='run.body=delay:200;cache.read=corrupt@2'
+//! SMS_FAULTS='serve.worker=err@5%;seed=7'
+//! ```
+//!
+//! * actions — `err` (typed error), `panic`, `delay:MS` (sleep MS
+//!   milliseconds then continue), `corrupt` (flip bytes at sites that
+//!   expose a payload; a no-op at sites that don't),
+//! * triggers — `@N` fires on the N-th hit only (1-based), `@P%` fires
+//!   each hit with probability P percent (seeded, deterministic per hit
+//!   index), no trigger fires on every hit,
+//! * a trailing `seed=N` glued after a `%` trigger seeds that rule; a
+//!   standalone `seed=N` segment seeds every probabilistic rule that does
+//!   not carry its own.
+//!
+//! When several rules name the same site, the first rule (in spec order)
+//! that fires on a given hit wins.
+//!
+//! # Example
+//!
+//! ```
+//! use sms_faults::{FaultAction, Schedule};
+//!
+//! let s = Schedule::parse("cache.write=err@2;cache.write=delay:0").unwrap();
+//! assert_eq!(s.evaluate("cache.write").action, Some(FaultAction::DelayMs(0)));
+//! assert_eq!(s.evaluate("cache.write").action, Some(FaultAction::Err));
+//! assert_eq!(s.evaluate("other.site").action, None);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+/// What an armed failpoint injects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Return a typed [`FaultError`] from the site.
+    Err,
+    /// Panic at the site (exercises `catch_unwind` isolation).
+    Panic,
+    /// Sleep this many milliseconds, then continue normally.
+    DelayMs(u64),
+    /// Deterministically flip bytes in the site's payload (sites without
+    /// a payload treat this as a no-op).
+    Corrupt,
+}
+
+/// The error injected by an `err` action; convert to `std::io::Error` or
+/// a domain error at the call site.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultError {
+    /// The failpoint site that fired.
+    pub site: String,
+    /// The hit index (1-based) at which it fired.
+    pub hit: u64,
+}
+
+impl std::fmt::Display for FaultError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "injected fault at `{}` (hit {})", self.site, self.hit)
+    }
+}
+
+impl std::error::Error for FaultError {}
+
+impl From<FaultError> for std::io::Error {
+    fn from(e: FaultError) -> Self {
+        std::io::Error::other(e)
+    }
+}
+
+/// When a rule fires.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Trigger {
+    /// Every hit.
+    Always,
+    /// The N-th hit only (1-based).
+    Nth(u64),
+    /// Each hit independently with this probability (0..=1), decided by a
+    /// deterministic hash of `(seed, site, hit)`.
+    Probability { p: f64, seed: u64 },
+}
+
+/// One `site=action@trigger` rule.
+#[derive(Debug, Clone, PartialEq)]
+struct Rule {
+    action: FaultAction,
+    trigger: Trigger,
+}
+
+/// A malformed `SMS_FAULTS` specification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// The offending segment.
+    pub segment: String,
+    /// What was wrong with it.
+    pub reason: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "bad SMS_FAULTS segment `{}`: {}", self.segment, self.reason)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// The outcome of evaluating one hit of a site.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Evaluation {
+    /// This hit's 1-based index at the site.
+    pub hit: u64,
+    /// The action to inject, if any rule fired.
+    pub action: Option<FaultAction>,
+}
+
+/// SplitMix64: the deterministic per-hit coin for probabilistic triggers.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// FNV-1a over a site name, mixing it into the probabilistic coin so two
+/// sites with the same seed draw independent sequences.
+fn site_hash(site: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in site.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// A parsed fault schedule with per-site hit counters.
+///
+/// Instantiable directly for tests; production code goes through the
+/// process-global schedule installed from `SMS_FAULTS` (see
+/// [`check`], [`check_io`], [`corrupt_bytes`]).
+#[derive(Debug)]
+pub struct Schedule {
+    rules: BTreeMap<String, Vec<Rule>>,
+    hits: BTreeMap<String, AtomicU64>,
+    spec: String,
+}
+
+impl Schedule {
+    /// Parse a schedule from the `SMS_FAULTS` grammar.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseError`] describing the first malformed segment.
+    pub fn parse(spec: &str) -> Result<Self, ParseError> {
+        let mut rules: BTreeMap<String, Vec<(usize, Rule)>> = BTreeMap::new();
+        let mut default_seed: Option<u64> = None;
+        let mut order = 0usize;
+        // Two passes: a standalone `seed=N` segment applies to every
+        // probabilistic rule in the spec, wherever it appears.
+        for segment in spec.split(';').map(str::trim).filter(|s| !s.is_empty()) {
+            if let Some(seed) = segment.strip_prefix("seed=") {
+                default_seed = Some(seed.parse().map_err(|_| ParseError {
+                    segment: segment.to_owned(),
+                    reason: "seed must be an unsigned integer".to_owned(),
+                })?);
+            }
+        }
+        for segment in spec.split(';').map(str::trim).filter(|s| !s.is_empty()) {
+            if segment.starts_with("seed=") {
+                continue;
+            }
+            let (site, rhs) = segment.split_once('=').ok_or_else(|| ParseError {
+                segment: segment.to_owned(),
+                reason: "expected `site=action[@trigger]`".to_owned(),
+            })?;
+            let site = site.trim();
+            if site.is_empty() {
+                return Err(ParseError {
+                    segment: segment.to_owned(),
+                    reason: "empty site name".to_owned(),
+                });
+            }
+            let (action_str, trigger_str) = match rhs.split_once('@') {
+                Some((a, t)) => (a.trim(), Some(t.trim())),
+                None => (rhs.trim(), None),
+            };
+            let action = Self::parse_action(action_str, segment)?;
+            let trigger = match trigger_str {
+                None => Trigger::Always,
+                Some(t) => Self::parse_trigger(t, default_seed, segment)?,
+            };
+            rules
+                .entry(site.to_owned())
+                .or_default()
+                .push((order, Rule { action, trigger }));
+            order += 1;
+        }
+        let mut hits = BTreeMap::new();
+        let rules: BTreeMap<String, Vec<Rule>> = rules
+            .into_iter()
+            .map(|(site, mut rs)| {
+                rs.sort_by_key(|(o, _)| *o);
+                hits.insert(site.clone(), AtomicU64::new(0));
+                (site, rs.into_iter().map(|(_, r)| r).collect())
+            })
+            .collect();
+        Ok(Self {
+            rules,
+            hits,
+            spec: spec.to_owned(),
+        })
+    }
+
+    fn parse_action(s: &str, segment: &str) -> Result<FaultAction, ParseError> {
+        if let Some(ms) = s.strip_prefix("delay:") {
+            let ms = ms.parse().map_err(|_| ParseError {
+                segment: segment.to_owned(),
+                reason: "delay milliseconds must be an unsigned integer".to_owned(),
+            })?;
+            return Ok(FaultAction::DelayMs(ms));
+        }
+        match s {
+            "err" => Ok(FaultAction::Err),
+            "panic" => Ok(FaultAction::Panic),
+            "corrupt" => Ok(FaultAction::Corrupt),
+            other => Err(ParseError {
+                segment: segment.to_owned(),
+                reason: format!("unknown action `{other}` (err, panic, delay:MS, corrupt)"),
+            }),
+        }
+    }
+
+    fn parse_trigger(
+        t: &str,
+        default_seed: Option<u64>,
+        segment: &str,
+    ) -> Result<Trigger, ParseError> {
+        if let Some(percent_pos) = t.find('%') {
+            let (pct, rest) = t.split_at(percent_pos);
+            let rest = &rest[1..]; // drop '%'
+            let p: f64 = pct.trim().parse().map_err(|_| ParseError {
+                segment: segment.to_owned(),
+                reason: "probability must be a number, e.g. `0.1%`".to_owned(),
+            })?;
+            if !(0.0..=100.0).contains(&p) {
+                return Err(ParseError {
+                    segment: segment.to_owned(),
+                    reason: "probability must be within 0..=100 percent".to_owned(),
+                });
+            }
+            let seed = match rest.trim() {
+                "" => default_seed.unwrap_or(0),
+                glued => glued
+                    .strip_prefix("seed=")
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| ParseError {
+                        segment: segment.to_owned(),
+                        reason: "expected `seed=N` after `%`".to_owned(),
+                    })?,
+            };
+            return Ok(Trigger::Probability { p: p / 100.0, seed });
+        }
+        let n: u64 = t.parse().map_err(|_| ParseError {
+            segment: segment.to_owned(),
+            reason: "trigger must be a hit count `N` or a probability `P%`".to_owned(),
+        })?;
+        if n == 0 {
+            return Err(ParseError {
+                segment: segment.to_owned(),
+                reason: "hit counts are 1-based; `@0` never fires".to_owned(),
+            });
+        }
+        Ok(Trigger::Nth(n))
+    }
+
+    /// The spec string this schedule was parsed from.
+    pub fn spec(&self) -> &str {
+        &self.spec
+    }
+
+    /// Whether a rule fires on `hit` (1-based) of `site` — a pure
+    /// function, shared by [`Self::evaluate`] and the determinism tests.
+    fn decide(&self, site: &str, hit: u64) -> Option<FaultAction> {
+        let rules = self.rules.get(site)?;
+        rules
+            .iter()
+            .find(|r| match r.trigger {
+                Trigger::Always => true,
+                Trigger::Nth(n) => hit == n,
+                Trigger::Probability { p, seed } => {
+                    let coin = splitmix64(seed ^ site_hash(site) ^ hit);
+                    (coin as f64 / u64::MAX as f64) < p
+                }
+            })
+            .map(|r| r.action)
+    }
+
+    /// Count one hit of `site` and return the injection decision for it.
+    ///
+    /// Hit numbering is per-site and process-wide monotonic; the decision
+    /// depends only on the hit index, never on which thread hit the site.
+    pub fn evaluate(&self, site: &str) -> Evaluation {
+        match self.hits.get(site) {
+            // Sites with no rules are not counted: an unscheduled site
+            // must cost one map lookup and nothing else.
+            None => Evaluation { hit: 0, action: None },
+            Some(counter) => {
+                let hit = counter.fetch_add(1, Ordering::Relaxed) + 1;
+                Evaluation {
+                    hit,
+                    action: self.decide(site, hit),
+                }
+            }
+        }
+    }
+}
+
+/// The process-global schedule, installed at most once from `SMS_FAULTS`.
+static GLOBAL: OnceLock<Option<Schedule>> = OnceLock::new();
+
+/// The active global schedule, if `SMS_FAULTS` was set (and parsed) when
+/// the first failpoint was hit. A malformed spec warns once and disables
+/// injection rather than poisoning every run that inherits the variable.
+pub fn active() -> Option<&'static Schedule> {
+    GLOBAL
+        .get_or_init(|| match std::env::var("SMS_FAULTS") {
+            Err(_) => None,
+            Ok(spec) if spec.trim().is_empty() => None,
+            Ok(spec) => match Schedule::parse(&spec) {
+                Ok(s) => {
+                    eprintln!("sms-faults: armed with `{spec}`");
+                    Some(s)
+                }
+                Err(e) => {
+                    eprintln!("sms-faults: ignoring SMS_FAULTS: {e}");
+                    None
+                }
+            },
+        })
+        .as_ref()
+}
+
+/// Whether any fault schedule is armed in this process.
+pub fn enabled() -> bool {
+    active().is_some()
+}
+
+fn announce(site: &str, hit: u64, what: &str) {
+    eprintln!("sms-faults: injected {what} at `{site}` (hit {hit})");
+}
+
+/// Hit a payload-less failpoint: injects `err` (as `Err`), `panic`, and
+/// `delay`; `corrupt` is a no-op here. Compiles down to a single cached
+/// `None` check when `SMS_FAULTS` is unset.
+///
+/// # Errors
+///
+/// Returns the injected [`FaultError`] when an `err` rule fires.
+///
+/// # Panics
+///
+/// Panics when a `panic` rule fires — by design; callers are expected to
+/// be panic-isolated.
+pub fn check(site: &str) -> Result<(), FaultError> {
+    let Some(schedule) = active() else {
+        return Ok(());
+    };
+    let eval = schedule.evaluate(site);
+    match eval.action {
+        None | Some(FaultAction::Corrupt) => Ok(()),
+        Some(FaultAction::DelayMs(ms)) => {
+            announce(site, eval.hit, &format!("{ms}ms delay"));
+            std::thread::sleep(std::time::Duration::from_millis(ms));
+            Ok(())
+        }
+        Some(FaultAction::Err) => {
+            announce(site, eval.hit, "error");
+            Err(FaultError {
+                site: site.to_owned(),
+                hit: eval.hit,
+            })
+        }
+        Some(FaultAction::Panic) => {
+            announce(site, eval.hit, "panic");
+            panic!("sms-faults: injected panic at `{site}` (hit {})", eval.hit);
+        }
+    }
+}
+
+/// [`check`] with the injected error converted to `std::io::Error`, for
+/// `?` use inside I/O closures.
+///
+/// # Errors
+///
+/// Returns the injected fault as an `io::Error` of kind `Other`.
+pub fn check_io(site: &str) -> std::io::Result<()> {
+    check(site).map_err(std::io::Error::from)
+}
+
+/// Hit a failpoint that owns a byte payload (a serialized cache entry, a
+/// journal line): `corrupt` deterministically flips bytes in `bytes` and
+/// returns `Ok(true)`; `err`/`panic`/`delay` behave as in [`check`].
+///
+/// The flipped positions derive from the hit index, so a corruption
+/// schedule damages the same bytes no matter how work is threaded.
+///
+/// # Errors
+///
+/// Returns the injected [`FaultError`] when an `err` rule fires.
+pub fn corrupt_bytes(site: &str, bytes: &mut [u8]) -> Result<bool, FaultError> {
+    let Some(schedule) = active() else {
+        return Ok(false);
+    };
+    let eval = schedule.evaluate(site);
+    match eval.action {
+        Some(FaultAction::Corrupt) => {
+            if bytes.is_empty() {
+                return Ok(false);
+            }
+            announce(site, eval.hit, "byte corruption");
+            // Flip three deterministic bytes (or as many as fit).
+            for i in 0..3u64 {
+                let pos = splitmix64(eval.hit ^ site_hash(site) ^ (i << 32)) as usize % bytes.len();
+                bytes[pos] ^= 0xa5;
+            }
+            Ok(true)
+        }
+        Some(FaultAction::DelayMs(ms)) => {
+            announce(site, eval.hit, &format!("{ms}ms delay"));
+            std::thread::sleep(std::time::Duration::from_millis(ms));
+            Ok(false)
+        }
+        Some(FaultAction::Err) => {
+            announce(site, eval.hit, "error");
+            Err(FaultError {
+                site: site.to_owned(),
+                hit: eval.hit,
+            })
+        }
+        Some(FaultAction::Panic) => {
+            announce(site, eval.hit, "panic");
+            panic!("sms-faults: injected panic at `{site}` (hit {})", eval.hit);
+        }
+        None => Ok(false),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap as Map;
+
+    #[test]
+    fn parse_the_issue_example() {
+        let s = Schedule::parse("cache.write=err@3;run.body=panic@0.1%seed=42").unwrap();
+        assert_eq!(
+            s.rules["cache.write"],
+            vec![Rule {
+                action: FaultAction::Err,
+                trigger: Trigger::Nth(3)
+            }]
+        );
+        assert_eq!(
+            s.rules["run.body"],
+            vec![Rule {
+                action: FaultAction::Panic,
+                trigger: Trigger::Probability { p: 0.001, seed: 42 }
+            }]
+        );
+    }
+
+    #[test]
+    fn parse_standalone_seed_and_delay_and_corrupt() {
+        let s = Schedule::parse("a=delay:250;seed=7;b=corrupt@5%;c=err").unwrap();
+        assert_eq!(
+            s.rules["a"][0],
+            Rule {
+                action: FaultAction::DelayMs(250),
+                trigger: Trigger::Always
+            }
+        );
+        assert_eq!(
+            s.rules["b"][0],
+            Rule {
+                action: FaultAction::Corrupt,
+                trigger: Trigger::Probability { p: 0.05, seed: 7 }
+            }
+        );
+        assert_eq!(
+            s.rules["c"][0],
+            Rule {
+                action: FaultAction::Err,
+                trigger: Trigger::Always
+            }
+        );
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        for bad in [
+            "nosuchformat",
+            "a=explode",
+            "a=err@zero",
+            "a=err@0",
+            "a=err@150%",
+            "a=delay:x",
+            "=err@1",
+            "a=err@1%x=2",
+            "seed=x",
+        ] {
+            assert!(Schedule::parse(bad).is_err(), "`{bad}` should not parse");
+        }
+    }
+
+    #[test]
+    fn nth_trigger_fires_exactly_once() {
+        let s = Schedule::parse("x=err@3").unwrap();
+        let fired: Vec<bool> = (0..6).map(|_| s.evaluate("x").action.is_some()).collect();
+        assert_eq!(fired, vec![false, false, true, false, false, false]);
+    }
+
+    #[test]
+    fn first_matching_rule_wins() {
+        let s = Schedule::parse("x=err@2;x=delay:1").unwrap();
+        assert_eq!(s.evaluate("x").action, Some(FaultAction::DelayMs(1)));
+        assert_eq!(s.evaluate("x").action, Some(FaultAction::Err));
+        assert_eq!(s.evaluate("x").action, Some(FaultAction::DelayMs(1)));
+    }
+
+    #[test]
+    fn unscheduled_sites_are_not_counted() {
+        let s = Schedule::parse("x=err@1").unwrap();
+        for _ in 0..5 {
+            let e = s.evaluate("unrelated.site");
+            assert_eq!(e.hit, 0);
+            assert_eq!(e.action, None);
+        }
+    }
+
+    #[test]
+    fn probability_sequence_matches_seed_and_roughly_matches_rate() {
+        let a = Schedule::parse("x=err@10%seed=9").unwrap();
+        let b = Schedule::parse("x=err@10%seed=9").unwrap();
+        let c = Schedule::parse("x=err@10%seed=10").unwrap();
+        let seq = |s: &Schedule| -> Vec<bool> {
+            (0..2000).map(|_| s.evaluate("x").action.is_some()).collect()
+        };
+        let sa = seq(&a);
+        assert_eq!(sa, seq(&b), "same seed, same sequence");
+        assert_ne!(sa, seq(&c), "different seed, different sequence");
+        let rate = sa.iter().filter(|f| **f).count() as f64 / sa.len() as f64;
+        assert!((0.05..0.2).contains(&rate), "rate {rate} far from 10%");
+    }
+
+    #[test]
+    fn injection_sequence_is_thread_count_independent() {
+        // The satellite guarantee: the same spec + seed yields the same
+        // per-hit decisions whether one thread or eight hammer the site.
+        let spec = "x=err@1.5%seed=42;x=corrupt@7;y=panic@3%seed=5";
+        let collect = |threads: usize| -> Map<(String, u64), Option<FaultAction>> {
+            let s = Schedule::parse(spec).unwrap();
+            let out = std::sync::Mutex::new(Map::new());
+            std::thread::scope(|scope| {
+                for _ in 0..threads {
+                    scope.spawn(|| {
+                        for _ in 0..600 / threads {
+                            for site in ["x", "y"] {
+                                let e = s.evaluate(site);
+                                out.lock().unwrap().insert((site.to_owned(), e.hit), e.action);
+                            }
+                        }
+                    });
+                }
+            });
+            out.into_inner().unwrap()
+        };
+        let serial = collect(1);
+        let parallel = collect(8);
+        assert_eq!(serial.len(), 1200);
+        assert_eq!(serial, parallel, "injection schedule leaked thread scheduling");
+    }
+
+    #[test]
+    fn corruption_is_deterministic_and_visible() {
+        let mutate = |seed_spec: &str| -> Vec<u8> {
+            let s = Schedule::parse(seed_spec).unwrap();
+            let mut bytes = vec![0u8; 64];
+            // Drive the site to hit 2 where the corrupt rule fires.
+            let mut sink = vec![0u8; 64];
+            assert_eq!(corrupt_bytes_with(&s, "x", &mut sink), Ok(false));
+            assert_eq!(corrupt_bytes_with(&s, "x", &mut bytes), Ok(true));
+            bytes
+        };
+        let a = mutate("x=corrupt@2");
+        let b = mutate("x=corrupt@2");
+        assert_eq!(a, b, "same schedule, same damage");
+        assert_ne!(a, vec![0u8; 64], "corruption must actually flip bytes");
+    }
+
+    /// Test-only analogue of [`corrupt_bytes`] against an explicit
+    /// schedule (the public helper goes through the process global).
+    fn corrupt_bytes_with(
+        s: &Schedule,
+        site: &str,
+        bytes: &mut [u8],
+    ) -> Result<bool, FaultError> {
+        let eval = s.evaluate(site);
+        match eval.action {
+            Some(FaultAction::Corrupt) => {
+                for i in 0..3u64 {
+                    let pos =
+                        splitmix64(eval.hit ^ site_hash(site) ^ (i << 32)) as usize % bytes.len();
+                    bytes[pos] ^= 0xa5;
+                }
+                Ok(true)
+            }
+            None => Ok(false),
+            other => panic!("unexpected action {other:?}"),
+        }
+    }
+
+    #[test]
+    fn global_helpers_are_noops_without_env() {
+        // The test harness never sets SMS_FAULTS, so the global schedule
+        // must be disarmed and every helper free.
+        assert!(!enabled());
+        assert_eq!(check("cache.write"), Ok(()));
+        assert!(check_io("cache.write").is_ok());
+        let mut bytes = vec![1, 2, 3];
+        assert_eq!(corrupt_bytes("cache.write", &mut bytes), Ok(false));
+        assert_eq!(bytes, vec![1, 2, 3]);
+    }
+}

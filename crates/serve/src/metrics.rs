@@ -36,6 +36,7 @@ pub struct ServerMetrics {
     shed_total: Arc<Counter>,
     cache_requests: Arc<Family<Counter>>,
     batched_requests: Arc<Counter>,
+    worker_panics: Arc<Counter>,
     queue_depth: Arc<Gauge>,
     uptime_seconds: Arc<Gauge>,
     latency_micros: Arc<Histogram>,
@@ -73,6 +74,10 @@ pub struct MetricsSnapshot {
     pub cache_hit_rate: f64,
     /// Predict requests answered as part of a multi-request batch.
     pub batched_requests: u64,
+    /// Worker batches that panicked and were isolated (the worker thread
+    /// survived). Absent in snapshots from older servers.
+    #[serde(default)]
+    pub worker_panics: u64,
     /// Current prediction-queue depth.
     pub queue_depth: usize,
     /// p50/p95/p99 of recent prediction latencies, seconds (absent until
@@ -113,6 +118,10 @@ impl ServerMetrics {
             batched_requests: registry.counter(
                 "sms_serve_batched_requests_total",
                 "Predict requests answered as part of a multi-request batch",
+            ),
+            worker_panics: registry.counter(
+                "sms_serve_worker_panics_total",
+                "Worker batches that panicked and were isolated",
             ),
             queue_depth: registry.gauge(
                 "sms_serve_queue_depth",
@@ -188,6 +197,11 @@ impl ServerMetrics {
         self.batched_requests.inc_by(n);
     }
 
+    /// Count one isolated worker-batch panic.
+    pub fn record_worker_panic(&self) {
+        self.worker_panics.inc();
+    }
+
     /// Record one completed prediction's wall latency in seconds: into
     /// the registry histogram (as microseconds) and into the bounded
     /// window that feeds the percentile estimate.
@@ -248,6 +262,7 @@ impl ServerMetrics {
                 0.0
             },
             batched_requests: self.batched_requests.get(),
+            worker_panics: self.worker_panics.get(),
             queue_depth,
             latency_seconds,
         }

@@ -424,7 +424,20 @@ fn worker_loop(shared: &Arc<Shared>) {
                 );
                 shared.metrics.record_batched(extra.len() as u64);
                 batch.extend(extra);
-                process_batch(shared, batch);
+                // Panic isolation: a panicking batch (poisoned artifact,
+                // injected fault) must not take the worker thread down —
+                // its connections are dropped, the panic counted, and the
+                // worker moves on to the next batch.
+                let shielded = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    process_batch(shared, batch);
+                }));
+                if shielded.is_err() {
+                    shared.metrics.record_worker_panic();
+                    eprintln!(
+                        "sms-serve: worker batch panicked; dropping the batch's \
+                         connections and continuing"
+                    );
+                }
             }
             None => {
                 if shared.shutdown.load(Ordering::SeqCst) && shared.queue.is_empty() {
@@ -436,6 +449,16 @@ fn worker_loop(shared: &Arc<Shared>) {
 }
 
 fn process_batch(shared: &Arc<Shared>, batch: Vec<Job>) {
+    // `serve.worker` failpoint: an injected error fails the whole batch
+    // with 500s (clients see a typed error, the worker survives); an
+    // injected panic exercises the `catch_unwind` shield in `worker_loop`.
+    if let Err(e) = sms_faults::check("serve.worker") {
+        for job in batch {
+            let mut stream = job.stream;
+            respond(&mut stream, &Response::error(500, &e.to_string()));
+        }
+        return;
+    }
     let artifact = shared.registry.get(&batch[0].request.model);
     // The load-testing latency knob is charged once per batch (the
     // batching win: coalesced requests share the "model latency"), using

@@ -76,6 +76,16 @@ pub enum SimError {
     /// by fault-tolerant executors that isolate worker panics
     /// (`catch_unwind`) and convert them into typed errors.
     Panicked(String),
+    /// The run exceeded the executor's watchdog deadline
+    /// (`SMS_RUN_TIMEOUT_SECS`) and was abandoned; the run is quarantined
+    /// as hung while the rest of the plan proceeds.
+    Hung {
+        /// The deadline that was exceeded, in milliseconds.
+        deadline_ms: u64,
+    },
+    /// A deterministic failpoint (`sms-faults`, scheduled via
+    /// `SMS_FAULTS`) injected this error.
+    Injected(String),
 }
 
 impl fmt::Display for SimError {
@@ -88,6 +98,11 @@ impl fmt::Display for SimError {
             ),
             Self::EmptyBudget => write!(f, "per-core instruction budget must be non-zero"),
             Self::Panicked(msg) => write!(f, "simulation panicked: {msg}"),
+            Self::Hung { deadline_ms } => write!(
+                f,
+                "run hung: exceeded the {deadline_ms}ms watchdog deadline and was abandoned"
+            ),
+            Self::Injected(msg) => write!(f, "injected fault: {msg}"),
         }
     }
 }
@@ -132,6 +147,8 @@ mod tests {
             }
             .to_string(),
             SimError::Panicked("index out of bounds".to_owned()).to_string(),
+            SimError::Hung { deadline_ms: 5000 }.to_string(),
+            SimError::Injected("fault at `cache.write` (hit 3)".to_owned()).to_string(),
         ];
         for m in msgs {
             assert!(!m.is_empty());
