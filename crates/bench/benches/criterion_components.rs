@@ -3,6 +3,10 @@
 //! throughput for the single-core scale model versus the 32-core target
 //! (the raw material of the paper's 28x speedup claim).
 
+// Test/bench/example target: the workspace-wide clippy::unwrap_used deny
+// is meant for library code (see Cargo.toml); unwrapping here is fine.
+#![allow(clippy::unwrap_used)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use sms_core::scaling::{scale_config, ScalingPolicy};
 use sms_sim::cache::Cache;

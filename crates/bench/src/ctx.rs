@@ -83,6 +83,7 @@ impl Ctx {
         } else {
             threads
         };
+        // sms-lint: allow(E1): documented panic — an unusable results dir is fatal at startup
         let cache = CachedSim::open(results_dir.join("cache")).expect("cache dir creatable");
         let cfg = ExperimentConfig {
             spec: RunSpec::with_default_warmup(budget),
@@ -116,10 +117,17 @@ impl Report {
         println!("==== {} — {} ====", self.id, self.title);
         println!("{}", self.body);
         let dir = ctx.results_dir.join("figures");
-        if std::fs::create_dir_all(&dir).is_ok() {
-            let _ = std::fs::write(
+        let persisted = std::fs::create_dir_all(&dir).and_then(|()| {
+            std::fs::write(
                 dir.join(format!("{}.txt", self.id)),
                 format!("{} — {}\n\n{}", self.id, self.title, self.body),
+            )
+        });
+        if let Err(e) = persisted {
+            eprintln!(
+                "warning: could not persist report {} under {}: {e}",
+                self.id,
+                dir.display()
             );
         }
     }

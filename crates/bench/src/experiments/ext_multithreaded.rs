@@ -49,6 +49,7 @@ pub fn run(ctx: &mut Ctx) -> Result<Report, SimError> {
     let mut mp_sum = 0.0;
     let mut mt_sum = 0.0;
     for name in benchmarks {
+        // sms-lint: allow(E1): the benchmark list above is drawn from the suite itself
         let profile = by_name(name).expect("known benchmark");
 
         // Multiprogram (cached: plain mixes).

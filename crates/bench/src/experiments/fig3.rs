@@ -42,6 +42,7 @@ pub fn run(ctx: &mut Ctx) -> Result<Report, SimError> {
             datasets[3]
                 .iter()
                 .find(|d| &d.name == n)
+                // sms-lint: allow(E1): `order` is built from this same dataset two lines up
                 .expect("benchmark present")
                 .target_ipc
         })
@@ -49,7 +50,7 @@ pub fn run(ctx: &mut Ctx) -> Result<Report, SimError> {
 
     let mut per_policy_errors: Vec<Vec<f64>> = Vec::new();
     for data in &datasets {
-        let by_name: std::collections::HashMap<&str, f64> =
+        let by_name: std::collections::BTreeMap<&str, f64> =
             no_extrapolation(data, TargetMetric::Ipc)
                 .into_iter()
                 .zip(data.iter())

@@ -52,6 +52,7 @@ pub fn tradeoff_points(
                 d.ms_ipc
                     .iter()
                     .find(|(c, _)| *c == cores)
+                    // sms-lint: allow(E1): every size in `sizes` was measured in the loop above
                     .expect("scale model measured")
                     .1
             })
@@ -62,6 +63,7 @@ pub fn tradeoff_points(
                 d.ms_host_seconds
                     .iter()
                     .find(|(c, _)| *c == cores)
+                    // sms-lint: allow(E1): every size in `sizes` was measured in the loop above
                     .expect("scale model measured")
                     .1
             })

@@ -22,6 +22,7 @@ fn noext_errors_at(data: &[BenchScaleData], cores: u32) -> Vec<f64> {
             d.ms_ipc
                 .iter()
                 .find(|(c, _)| *c == cores)
+                // sms-lint: allow(E1): caller passes a size that was measured into `ms_ipc`
                 .expect("measured")
                 .1
         })

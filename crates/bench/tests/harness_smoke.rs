@@ -1,5 +1,9 @@
 //! Smoke tests for the experiment harness pieces that need no simulation.
 
+// Test/bench/example target: the workspace-wide clippy::unwrap_used deny
+// is meant for library code (see Cargo.toml); unwrapping here is fine.
+#![allow(clippy::unwrap_used)]
+
 use std::sync::Mutex;
 
 use sms_bench::ctx::Report;

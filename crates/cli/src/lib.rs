@@ -19,10 +19,11 @@
 //! sms train     [--bench ...] [--target-cores 32] [--kind svm] [--curve log] [--save]
 //! sms models    [--results DIR]                             # list saved artifacts
 //! sms serve     [--addr 127.0.0.1:8080] [--workers 4] [--results DIR]
+//! sms lint      [--root DIR] [--format text|json]          # workspace invariant checker
 //! ```
 
 #![forbid(unsafe_code)]
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::path::Path;
 
 use sms_bench::telemetry::mix_label;
@@ -50,8 +51,9 @@ use sms_workloads::trace_io::RecordedTrace;
 pub struct Args {
     /// The subcommand name.
     pub command: String,
-    /// `--key value` pairs; bare `--flag`s map to `"true"`.
-    pub options: HashMap<String, String>,
+    /// `--key value` pairs; bare `--flag`s map to `"true"`. A sorted map
+    /// so any diagnostic listing of options is deterministic.
+    pub options: BTreeMap<String, String>,
 }
 
 /// Errors from parsing or running a command.
@@ -71,6 +73,9 @@ pub enum CliError {
     Sim(String),
     /// I/O failure.
     Io(String),
+    /// `sms lint` found violations; the payload is the rendered report
+    /// (printed to stdout by the binary, which then exits non-zero).
+    Lint(String),
 }
 
 impl std::fmt::Display for CliError {
@@ -96,6 +101,7 @@ impl std::fmt::Display for CliError {
             }
             Self::Sim(e) => write!(f, "simulation failed: {e}"),
             Self::Io(e) => write!(f, "i/o error: {e}"),
+            Self::Lint(report) => write!(f, "{report}"),
         }
     }
 }
@@ -110,7 +116,7 @@ impl Args {
     /// Returns [`CliError::NoCommand`] on an empty vector.
     pub fn parse(raw: &[String]) -> Result<Self, CliError> {
         let command = raw.first().ok_or(CliError::NoCommand)?.clone();
-        let mut options = HashMap::new();
+        let mut options = BTreeMap::new();
         let mut i = 1;
         while i < raw.len() {
             let arg = &raw[i];
@@ -173,6 +179,7 @@ pub fn run(args: &Args) -> Result<String, CliError> {
         "train" => cmd_train(args),
         "models" => cmd_models(args),
         "serve" => cmd_serve(args),
+        "lint" => cmd_lint(args),
         "help" | "--help" | "-h" => Ok(HELP.to_owned()),
         other => Err(CliError::UnknownCommand(other.to_owned())),
     }
@@ -195,6 +202,7 @@ pub const COMMANDS: &[&str] = &[
     "train",
     "models",
     "serve",
+    "lint",
     "help",
 ];
 
@@ -284,6 +292,14 @@ USAGE:
       POST /shutdown. Requests are batched per model, memoized in an
       LRU cache, and shed with 503 when the queue is full. Stop with
       POST /shutdown or by typing `q` on stdin.
+
+  sms lint [--root DIR] [--format text|json]
+      Run the workspace invariant checker (sms-lint) over DIR (default:
+      the current directory): determinism rules D1-D3, error-discipline
+      rules E1-E2, metric naming O1, failpoint hygiene F1. Prints one
+      finding per line (or a machine-readable JSON report with
+      --format json) and exits non-zero when any finding survives its
+      `sms-lint: allow` annotations.
 
   sms help
       Print this help.
@@ -995,6 +1011,28 @@ fn cmd_serve(args: &Args) -> Result<String, CliError> {
     Ok(format!("sms-serve on {bound} shut down cleanly\n"))
 }
 
+fn cmd_lint(args: &Args) -> Result<String, CliError> {
+    let root = args
+        .options
+        .get("root")
+        .map_or_else(|| Path::new(".").to_owned(), |r| Path::new(r).to_owned());
+    let format = args.options.get("format").map_or("text", String::as_str);
+    if format != "text" && format != "json" {
+        return Err(CliError::BadValue("format".into(), format.to_owned()));
+    }
+    let report = sms_lint::lint_workspace(&root).map_err(|e| CliError::Io(e.to_string()))?;
+    let rendered = if format == "json" {
+        report.render_json()
+    } else {
+        report.render_text()
+    };
+    if report.is_clean() {
+        Ok(rendered)
+    } else {
+        Err(CliError::Lint(rendered))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1048,6 +1086,41 @@ mod tests {
             assert!(unknown.contains(c), "unknown-command error is missing `{c}`");
         }
         assert!(unknown.contains("frobnicate"));
+    }
+
+    #[test]
+    fn lint_rejects_bad_format_and_missing_root() {
+        let bad = run(&args(&["lint", "--format", "xml"]));
+        assert!(matches!(bad, Err(CliError::BadValue(_, _))), "{bad:?}");
+        let gone = std::env::temp_dir().join(format!("sms-cli-nolint-{}", std::process::id()));
+        let missing = run(&args(&["lint", "--root", gone.to_str().unwrap()]));
+        assert!(matches!(missing, Err(CliError::Io(_))), "{missing:?}");
+    }
+
+    #[test]
+    fn lint_reports_findings_with_nonzero_semantics() {
+        let root = std::env::temp_dir().join(format!("sms-cli-lint-{}", std::process::id()));
+        let src = root.join("crates/demo/src");
+        std::fs::create_dir_all(&src).unwrap();
+        std::fs::write(
+            src.join("lib.rs"),
+            "pub fn f() -> std::collections::HashMap<u8, u8> { std::collections::HashMap::new() }\n",
+        )
+        .unwrap();
+        let err = run(&args(&["lint", "--root", root.to_str().unwrap()])).unwrap_err();
+        match &err {
+            CliError::Lint(report) => {
+                assert!(report.contains("[D2]"), "{report}");
+                assert!(report.contains("2 finding(s)"), "{report}");
+            }
+            other => panic!("expected CliError::Lint, got {other:?}"),
+        }
+        // A clean tree returns Ok with the summary line.
+        std::fs::write(src.join("lib.rs"), "pub fn f() -> u8 { 0 }\n").unwrap();
+        let ok = run(&args(&["lint", "--root", root.to_str().unwrap(), "--format", "json"]))
+            .unwrap();
+        assert!(ok.contains("\"clean\":true"), "{ok}");
+        std::fs::remove_dir_all(&root).unwrap();
     }
 
     #[test]

@@ -11,6 +11,12 @@ fn main() {
     };
     match sms_cli::run(&args) {
         Ok(out) => println!("{out}"),
+        // A lint report goes to stdout (CI pipes `--format json` from
+        // there); the non-zero exit code alone signals the failure.
+        Err(sms_cli::CliError::Lint(report)) => {
+            print!("{report}");
+            std::process::exit(1);
+        }
         Err(e) => {
             eprintln!("error: {e}");
             std::process::exit(1);

@@ -3,6 +3,10 @@
 //! and check that `sms resume` converges on a cache bit-identical to a
 //! fault-free run, with `sms fsck` reporting zero defects.
 
+// Test/bench/example target: the workspace-wide clippy::unwrap_used deny
+// is meant for library code (see Cargo.toml); unwrapping here is fine.
+#![allow(clippy::unwrap_used)]
+
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::process::{Command, Stdio};

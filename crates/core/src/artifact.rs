@@ -251,6 +251,7 @@ impl ModelArtifact {
     /// Panics if the payload fails to serialize, which cannot happen for
     /// the plain-data types it contains.
     pub fn new(name: &str, payload: ArtifactPayload) -> Self {
+        // sms-lint: allow(E1): documented panic; plain-data payloads always serialize
         let canonical = to_canonical_json(&payload).expect("artifact payload serializes");
         Self {
             schema: ARTIFACT_SCHEMA.to_owned(),

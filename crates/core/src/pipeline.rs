@@ -239,6 +239,7 @@ pub fn scale_model_training_sets(
                     d.ms_ipc
                         .iter()
                         .find(|(c, _)| *c == cores)
+                        // sms-lint: allow(E1): the loop above measured every scale-model size
                         .expect("collected for every ms size")
                         .1,
                 );
@@ -327,6 +328,7 @@ impl BenchScaleData {
         series
             .iter()
             .find(|(c, _)| *c == cores)
+            // sms-lint: allow(E1): callers pass a size from the measured series
             .unwrap_or_else(|| panic!("no {cores}-core scale-model measurement"))
             .1
     }

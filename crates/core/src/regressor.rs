@@ -115,6 +115,7 @@ impl RegressionExtrapolator {
             .zip(rows_per_model)
             .map(|((_, m), row)| m.predict(row))
             .collect();
+        // sms-lint: allow(E1): the constructor rejects fewer than two models
         let last = *ys.last().expect("at least two models");
         let raw = match fit_curve(self.curve, &xs, &ys) {
             Some(c) => c.eval(f64::from(target_cores)),

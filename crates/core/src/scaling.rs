@@ -181,6 +181,7 @@ pub fn scale_config(target: &SystemConfig, cores: u32, policy: ScalingPolicy) ->
         cfg.dram.controller_bandwidth_gbps = bw;
     }
 
+    // sms-lint: allow(E1): an invalid scaled config is a bug in the policy math, not an input error
     cfg.validate().expect("scaled configuration must be valid");
     cfg
 }
@@ -249,6 +250,7 @@ pub fn target_config(cores: u32) -> SystemConfig {
     cfg.dram.num_controllers = (cores / 4).max(1);
     cfg.dram.controller_bandwidth_gbps =
         4.0 * f64::from(cores) / f64::from(cfg.dram.num_controllers);
+    // sms-lint: allow(E1): an invalid constructed target is a bug in the construction math
     cfg.validate().expect("constructed target must validate");
     cfg
 }

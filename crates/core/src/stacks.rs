@@ -109,6 +109,7 @@ fn fit_component(samples: &[StackSample], target: f64, get: impl Fn(&CycleStack)
     match sms_ml::fit::fit_curve(sms_ml::fit::CurveModel::Logarithmic, &xs, &ys) {
         // CPI components cannot be negative; clamp the extrapolation.
         Some(c) => c.eval(target).max(0.0),
+        // sms-lint: allow(E1): fit_curve only returns None for non-empty degenerate inputs
         None => *ys.last().expect("at least one sample"),
     }
 }

@@ -408,6 +408,7 @@ pub fn check(site: &str) -> Result<(), FaultError> {
         }
         Some(FaultAction::Panic) => {
             announce(site, eval.hit, "panic");
+            // sms-lint: allow(E1): the injected panic IS the feature under test
             panic!("sms-faults: injected panic at `{site}` (hit {})", eval.hit);
         }
     }
@@ -465,6 +466,7 @@ pub fn corrupt_bytes(site: &str, bytes: &mut [u8]) -> Result<bool, FaultError> {
         }
         Some(FaultAction::Panic) => {
             announce(site, eval.hit, "panic");
+            // sms-lint: allow(E1): the injected panic IS the feature under test
             panic!("sms-faults: injected panic at `{site}` (hit {})", eval.hit);
         }
         None => Ok(false),

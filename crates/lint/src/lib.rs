@@ -1,0 +1,316 @@
+//! `sms-lint` — the workspace invariant checker.
+//!
+//! The repo promises properties no compiler checks: bit-identical caches
+//! across thread counts, canonical sorted-key JSON artifacts,
+//! thread-count-independent fault injection, and a no-panic error
+//! discipline in library code. One stray `HashMap` iteration or
+//! `SystemTime::now` in a hot path breaks them silently. This crate
+//! enforces those promises at the source level with a comment- and
+//! string-literal-stripping token scanner ([`scan`]) and named rule
+//! passes ([`rules`]): **D1** no wall-clock/entropy in deterministic
+//! crates, **D2** no `HashMap`/`HashSet` in library code, **D3** no
+//! NaN-unsafe float handling, **E1** no `unwrap`/`expect`/`panic!` in
+//! non-test library code, **E2** no discarded fallible writes, **O1**
+//! metric naming conventions, **F1** unique, documented failpoint sites.
+//!
+//! Genuine exceptions are annotated in place:
+//!
+//! ```text
+//! // sms-lint: allow(E1): registry misuse is a programmer error
+//! ```
+//!
+//! A suppression must name a known rule and give a non-empty reason; it
+//! covers its own line and the line directly below. Malformed
+//! suppressions are themselves findings (rule `SUP`). Test code
+//! (`#[cfg(test)]` items) is exempt from every rule.
+//!
+//! Run it as `sms lint` (human text) or `sms lint --format json`
+//! (machine-readable, stable sorted output); the process exits nonzero
+//! when any finding survives.
+
+pub mod rules;
+pub mod scan;
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::io;
+use std::path::{Path, PathBuf};
+
+pub use rules::RULES;
+
+/// One rule violation at a specific source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule id, e.g. `"E1"`.
+    pub rule: &'static str,
+    /// Workspace-relative path with forward slashes.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Human explanation of the violation.
+    pub message: String,
+}
+
+/// The result of linting a set of files: findings sorted by
+/// (path, line, rule), plus scan statistics.
+#[derive(Debug, Default)]
+pub struct LintReport {
+    pub findings: Vec<Finding>,
+    pub files_scanned: usize,
+    /// Findings that a valid `sms-lint: allow` annotation silenced.
+    pub suppressions_honored: usize,
+}
+
+impl LintReport {
+    /// True when no finding survived suppression.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Human-readable rendering: one `path:line [RULE] message` row per
+    /// finding plus a trailing summary line.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            let _ = writeln!(out, "{}:{} [{}] {}", f.path, f.line, f.rule, f.message);
+        }
+        let _ = writeln!(
+            out,
+            "sms-lint: {} finding(s), {} file(s) scanned, {} suppression(s) honored",
+            self.findings.len(),
+            self.files_scanned,
+            self.suppressions_honored
+        );
+        out
+    }
+
+    /// Machine-readable rendering: canonical JSON (sorted keys, sorted
+    /// findings, no floats) so CI diffs are stable.
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\"clean\":");
+        out.push_str(if self.is_clean() { "true" } else { "false" });
+        let _ = write!(out, ",\"files_scanned\":{},\"findings\":[", self.files_scanned);
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"line\":{},\"message\":\"{}\",\"path\":\"{}\",\"rule\":\"{}\"}}",
+                f.line,
+                json_escape(&f.message),
+                json_escape(&f.path),
+                f.rule
+            );
+        }
+        let _ = write!(
+            out,
+            "],\"schema_version\":1,\"suppressions_honored\":{}}}",
+            self.suppressions_honored
+        );
+        out.push('\n');
+        out
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Lint in-memory sources. `files` is `(workspace-relative path, source
+/// text)` pairs; `design` is the DESIGN.md text used by the F1
+/// documentation check (skipped when `None`).
+pub fn lint_sources(files: &[(String, String)], design: Option<&str>) -> LintReport {
+    let scanned: Vec<scan::ScannedFile> = files
+        .iter()
+        .map(|(p, s)| scan::ScannedFile::new(p, s))
+        .collect();
+    let mut findings = Vec::new();
+    let mut honored = 0usize;
+    let mut failpoint_uses = Vec::new();
+
+    for f in &scanned {
+        for fnd in rules::file_findings(f) {
+            if f.is_test_line(fnd.line) {
+                continue;
+            }
+            if f.is_suppressed(fnd.rule, fnd.line) {
+                honored += 1;
+                continue;
+            }
+            findings.push(fnd);
+        }
+        for s in &f.suppressions {
+            if f.is_test_line(s.line) {
+                continue;
+            }
+            let problem = if s.rule.is_empty() {
+                Some("malformed suppression; expected `sms-lint: allow(RULE): reason`".to_owned())
+            } else if !rules::RULES.iter().any(|(id, _)| *id == s.rule) {
+                Some(format!("suppression names unknown rule `{}`", s.rule))
+            } else if !s.has_reason {
+                Some(format!("suppression for `{}` is missing a reason", s.rule))
+            } else {
+                None
+            };
+            if let Some(message) = problem {
+                findings.push(Finding {
+                    rule: "SUP",
+                    path: f.path.clone(),
+                    line: s.line,
+                    message,
+                });
+            }
+        }
+        failpoint_uses.extend(rules::failpoints(f));
+    }
+
+    let by_path: BTreeMap<&str, &scan::ScannedFile> =
+        scanned.iter().map(|f| (f.path.as_str(), f)).collect();
+    for fnd in rules::f1_findings(&failpoint_uses, design) {
+        if let Some(f) = by_path.get(fnd.path.as_str()) {
+            if f.is_suppressed(fnd.rule, fnd.line) {
+                honored += 1;
+                continue;
+            }
+        }
+        findings.push(fnd);
+    }
+
+    findings.sort_by(|a, b| {
+        (a.path.as_str(), a.line, a.rule).cmp(&(b.path.as_str(), b.line, b.rule))
+    });
+    LintReport {
+        findings,
+        files_scanned: files.len(),
+        suppressions_honored: honored,
+    }
+}
+
+/// Lint every `crates/*/src/**/*.rs` file under `root` (the workspace
+/// checkout), reading `DESIGN.md` for the F1 documentation check.
+pub fn lint_workspace(root: &Path) -> io::Result<LintReport> {
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<PathBuf> = Vec::new();
+    for entry in std::fs::read_dir(&crates_dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            crate_dirs.push(path);
+        }
+    }
+    crate_dirs.sort();
+
+    let mut paths = Vec::new();
+    for dir in &crate_dirs {
+        let src = dir.join("src");
+        if src.is_dir() {
+            collect_rs(&src, &mut paths)?;
+        }
+    }
+    paths.sort();
+
+    let mut files = Vec::new();
+    for p in &paths {
+        let text = std::fs::read_to_string(p)?;
+        let rel = p.strip_prefix(root).unwrap_or(p);
+        files.push((rel.to_string_lossy().replace('\\', "/"), text));
+    }
+    let design = std::fs::read_to_string(root.join("DESIGN.md")).ok();
+    Ok(lint_sources(&files, design.as_deref()))
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn src(path: &str, text: &str) -> (String, String) {
+        (path.to_owned(), text.to_owned())
+    }
+
+    #[test]
+    fn suppression_silences_and_is_counted() {
+        let files = [src(
+            "crates/bench/src/x.rs",
+            "// sms-lint: allow(E1): documented invariant\nfn f(x: Option<u8>) -> u8 { x.unwrap() }\n",
+        )];
+        let r = lint_sources(&files, None);
+        assert!(r.is_clean(), "{:?}", r.findings);
+        assert_eq!(r.suppressions_honored, 1);
+    }
+
+    #[test]
+    fn malformed_and_unknown_suppressions_are_findings() {
+        let files = [src(
+            "crates/bench/src/x.rs",
+            "// sms-lint: allow(Z9): nope\n// sms-lint: allow(E1)\nfn f() {}\n",
+        )];
+        let r = lint_sources(&files, None);
+        assert_eq!(r.findings.len(), 2, "{:?}", r.findings);
+        assert!(r.findings.iter().all(|f| f.rule == "SUP"));
+        assert_eq!(r.findings[0].line, 1);
+        assert_eq!(r.findings[1].line, 2);
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let files = [src(
+            "crates/sim/src/x.rs",
+            "#[cfg(test)]\nmod tests {\n    use std::collections::HashMap;\n    fn t() { None::<u8>.unwrap(); }\n}\n",
+        )];
+        let r = lint_sources(&files, None);
+        assert!(r.is_clean(), "{:?}", r.findings);
+    }
+
+    #[test]
+    fn json_rendering_is_canonical() {
+        let files = [src(
+            "crates/sim/src/x.rs",
+            "fn f(x: Option<u8>) -> u8 { x.unwrap() }\n",
+        )];
+        let r = lint_sources(&files, None);
+        let json = r.render_json();
+        assert!(json.starts_with("{\"clean\":false,\"files_scanned\":1,\"findings\":[{\"line\":1,"));
+        assert!(json.contains("\"rule\":\"E1\""));
+        assert!(json.trim_end().ends_with("\"schema_version\":1,\"suppressions_honored\":0}"));
+    }
+
+    #[test]
+    fn text_rendering_has_summary() {
+        let r = lint_sources(&[], None);
+        assert_eq!(
+            r.render_text(),
+            "sms-lint: 0 finding(s), 0 file(s) scanned, 0 suppression(s) honored\n"
+        );
+    }
+
+    #[test]
+    fn json_escape_controls() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+}

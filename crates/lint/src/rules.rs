@@ -1,0 +1,440 @@
+//! The rule passes. Each rule is a lexical pattern over the masked
+//! source of one file (see [`crate::scan`]); F1 additionally aggregates
+//! across the whole workspace. Rules and their rationale are documented
+//! in DESIGN.md ("Static analysis & invariants").
+
+use crate::scan::ScannedFile;
+use crate::Finding;
+
+/// Every rule id the checker knows, with a one-line description.
+pub const RULES: &[(&str, &str)] = &[
+    (
+        "D1",
+        "no wall-clock or entropy sources in deterministic crates",
+    ),
+    (
+        "D2",
+        "no HashMap/HashSet in library code; use BTreeMap/BTreeSet or an explicit sort",
+    ),
+    ("D3", "no NaN-unsafe float handling; use total_cmp"),
+    ("E1", "no unwrap/expect/panic! in non-test library code"),
+    ("E2", "no discarded fallible fs/stream writes"),
+    (
+        "O1",
+        "metric names take the sms_ prefix and counters end in _total",
+    ),
+    (
+        "F1",
+        "failpoint site names are unique and documented in DESIGN.md",
+    ),
+];
+
+/// Crates whose results must be bit-identical across hosts, thread
+/// counts and reruns: wall-clock and entropy are banned outright (D1).
+const D1_CRATES: &[&str] = &["core", "faults", "ml", "sim", "workloads"];
+
+const D1_PATTERNS: &[&str] = &[
+    "SystemTime::now",
+    "Instant::now",
+    "thread_rng",
+    "RandomState",
+];
+
+/// Write-ish calls whose `Result` must not be discarded with `let _ =`.
+const E2_WRITES: &[&str] = &[
+    "write_to(",
+    ".write(",
+    ".write_all(",
+    ".write_fmt(",
+    ".flush(",
+    ".sync_all(",
+    ".sync_data(",
+    "fs::write(",
+    ".set_nonblocking(",
+    ".set_read_timeout(",
+    ".set_write_timeout(",
+    ".set_nodelay(",
+];
+
+/// Metric registration calls: pattern and whether the metric is a
+/// counter (counters must end in `_total`, nothing else may).
+const O1_CALLS: &[(&str, bool)] = &[
+    (".counter(", true),
+    (".counter_family(", true),
+    (".gauge(", false),
+    (".gauge_family(", false),
+    (".histogram(", false),
+    (".histogram_family(", false),
+];
+
+/// Failpoint check entry points whose first argument names a site.
+const F1_CALLS: &[&str] = &[
+    "sms_faults::check(",
+    "sms_faults::check_io(",
+    "sms_faults::check_delay(",
+    "sms_faults::corrupt_bytes(",
+];
+
+fn is_ident(b: u8) -> bool {
+    b == b'_' || b.is_ascii_alphanumeric()
+}
+
+/// Byte offsets of word-bounded occurrences of `pat` in `text`. The
+/// boundary check applies only where the pattern edge is itself an
+/// identifier character, so `.unwrap` matches after any receiver but
+/// `HashMap` does not match inside `MyHashMapExt`.
+fn occurrences(text: &str, pat: &str) -> Vec<usize> {
+    let bytes = text.as_bytes();
+    let pat_first = pat.as_bytes()[0];
+    let pat_last = pat.as_bytes()[pat.len() - 1];
+    let mut out = Vec::new();
+    let mut from = 0usize;
+    while let Some(rel) = text[from..].find(pat) {
+        let at = from + rel;
+        let end = at + pat.len();
+        let before_ok = !is_ident(pat_first) || at == 0 || !is_ident(bytes[at - 1]);
+        let after_ok = !is_ident(pat_last) || end >= bytes.len() || !is_ident(bytes[end]);
+        if before_ok && after_ok {
+            out.push(at);
+        }
+        from = at + 1;
+    }
+    out
+}
+
+fn skip_ws(bytes: &[u8], mut i: usize) -> usize {
+    while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+        i += 1;
+    }
+    i
+}
+
+/// Run every per-file rule. Returned findings are not yet filtered for
+/// suppressions — the caller does that (it also counts them).
+pub fn file_findings(f: &ScannedFile) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let masked = f.masked.as_str();
+
+    // D3 first: its matches claim their trailing `.unwrap`/`.expect`
+    // tokens so E1 does not double-report the same site.
+    let mut claimed_by_d3 = Vec::new();
+    for at in occurrences(masked, ".partial_cmp") {
+        let bytes = masked.as_bytes();
+        let mut i = skip_ws(bytes, at + ".partial_cmp".len());
+        if i >= bytes.len() || bytes[i] != b'(' {
+            continue;
+        }
+        let mut depth = 0usize;
+        while i < bytes.len() {
+            match bytes[i] {
+                b'(' => depth += 1,
+                b')' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        let after = skip_ws(bytes, i + 1);
+        let tail = &masked[after.min(masked.len())..];
+        if tail.starts_with(".unwrap") || tail.starts_with(".expect") {
+            claimed_by_d3.push(after);
+            out.push(Finding {
+                rule: "D3",
+                path: f.path.clone(),
+                line: f.line_of(at),
+                message: "NaN-unsafe `partial_cmp(..).unwrap()`; use `total_cmp` for floats"
+                    .to_owned(),
+            });
+        }
+    }
+
+    if D1_CRATES.contains(&f.crate_name.as_str()) {
+        for pat in D1_PATTERNS {
+            for at in occurrences(masked, pat) {
+                out.push(Finding {
+                    rule: "D1",
+                    path: f.path.clone(),
+                    line: f.line_of(at),
+                    message: format!(
+                        "wall-clock/entropy source `{pat}` in deterministic crate `{}`",
+                        f.crate_name
+                    ),
+                });
+            }
+        }
+    }
+
+    for pat in ["HashMap", "HashSet"] {
+        for at in occurrences(masked, pat) {
+            out.push(Finding {
+                rule: "D2",
+                path: f.path.clone(),
+                line: f.line_of(at),
+                message: format!(
+                    "`{pat}` iteration order is nondeterministic; use a BTree collection \
+                     or sort before output"
+                ),
+            });
+        }
+    }
+
+    for (pat, label) in [(".unwrap", "unwrap()"), (".expect", "expect()")] {
+        for at in occurrences(masked, pat) {
+            if claimed_by_d3.contains(&at) {
+                continue;
+            }
+            let bytes = masked.as_bytes();
+            let i = skip_ws(bytes, at + pat.len());
+            if i >= bytes.len() || bytes[i] != b'(' {
+                continue; // e.g. a path like `Option::unwrap` used as a value
+            }
+            out.push(Finding {
+                rule: "E1",
+                path: f.path.clone(),
+                line: f.line_of(at),
+                message: format!(
+                    "`{label}` in non-test library code; propagate the error or \
+                     annotate why panicking is correct"
+                ),
+            });
+        }
+    }
+    for at in occurrences(masked, "panic!") {
+        out.push(Finding {
+            rule: "E1",
+            path: f.path.clone(),
+            line: f.line_of(at),
+            message: "`panic!` in non-test library code; propagate the error or \
+                      annotate why panicking is correct"
+                .to_owned(),
+        });
+    }
+
+    e2_findings(f, &mut out);
+    o1_findings(f, &mut out);
+    out
+}
+
+/// E2: `let _ = <expr>;` statements whose expression contains a
+/// fallible fs/stream write — the failure disappears silently.
+fn e2_findings(f: &ScannedFile, out: &mut Vec<Finding>) {
+    let masked = f.masked.as_str();
+    let bytes = masked.as_bytes();
+    for at in occurrences(masked, "let") {
+        let mut i = skip_ws(bytes, at + 3);
+        if i >= bytes.len() || bytes[i] != b'_' {
+            continue;
+        }
+        if i + 1 < bytes.len() && is_ident(bytes[i + 1]) {
+            continue; // `let _name = ...` binds; not a discard
+        }
+        i = skip_ws(bytes, i + 1);
+        if i >= bytes.len() || bytes[i] != b'=' {
+            continue;
+        }
+        if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+            continue;
+        }
+        // Statement body: scan to the `;` at bracket depth 0.
+        let start = i + 1;
+        let mut depth = 0isize;
+        let mut end = start;
+        while end < bytes.len() {
+            match bytes[end] {
+                b'(' | b'[' | b'{' => depth += 1,
+                b')' | b']' | b'}' => depth -= 1,
+                b';' if depth == 0 => break,
+                _ => {}
+            }
+            end += 1;
+        }
+        let stmt = &masked[start..end.min(masked.len())];
+        if let Some(pat) = E2_WRITES.iter().find(|p| !occurrences(stmt, p).is_empty()) {
+            let call = pat.trim_start_matches('.').trim_end_matches('(');
+            out.push(Finding {
+                rule: "E2",
+                path: f.path.clone(),
+                line: f.line_of(at),
+                message: format!(
+                    "`let _ =` discards the result of fallible `{call}`; \
+                     count and log the failure instead"
+                ),
+            });
+        }
+    }
+}
+
+/// O1: metric names passed to registry registration calls must carry
+/// the `sms_` prefix; counters (and only counters) end in `_total`.
+fn o1_findings(f: &ScannedFile, out: &mut Vec<Finding>) {
+    let masked = f.masked.as_str();
+    for (pat, is_counter) in O1_CALLS {
+        for at in occurrences(masked, pat) {
+            let Some(lit) = f.next_literal_arg(at + pat.len()) else {
+                continue; // name built dynamically; not checkable here
+            };
+            let name = lit.content.as_str();
+            let problem = if !name.starts_with("sms_") {
+                Some(format!("metric `{name}` must carry the `sms_` prefix"))
+            } else if *is_counter && !name.ends_with("_total") {
+                Some(format!("counter `{name}` must end in `_total`"))
+            } else if !is_counter && name.ends_with("_total") {
+                Some(format!(
+                    "non-counter metric `{name}` must not end in `_total`"
+                ))
+            } else {
+                None
+            };
+            if let Some(message) = problem {
+                out.push(Finding {
+                    rule: "O1",
+                    path: f.path.clone(),
+                    line: lit.line,
+                    message,
+                });
+            }
+        }
+    }
+}
+
+/// One failpoint call site: the site name and where it was used.
+#[derive(Debug, Clone)]
+pub struct FailpointUse {
+    pub site: String,
+    pub path: String,
+    pub line: usize,
+}
+
+/// Collect failpoint call sites (non-test code only) for the F1 pass.
+pub fn failpoints(f: &ScannedFile) -> Vec<FailpointUse> {
+    let mut out = Vec::new();
+    for pat in F1_CALLS {
+        for at in occurrences(&f.masked, pat) {
+            let line = f.line_of(at);
+            if f.is_test_line(line) {
+                continue;
+            }
+            if let Some(lit) = f.next_literal_arg(at + pat.len()) {
+                out.push(FailpointUse {
+                    site: lit.content.clone(),
+                    path: f.path.clone(),
+                    line: lit.line,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// F1: every failpoint site must be documented in DESIGN.md (as a
+/// backtick-quoted name) and must not be reused from a second file —
+/// two files sharing a site name would make `SMS_FAULTS` triggers
+/// ambiguous. Re-use within one file is one logical site and fine.
+pub fn f1_findings(uses: &[FailpointUse], design: Option<&str>) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let mut first_file = std::collections::BTreeMap::new();
+    let mut reported = std::collections::BTreeSet::new();
+    for u in uses {
+        let owner = first_file.entry(u.site.clone()).or_insert_with(|| u.path.clone());
+        if *owner != u.path && reported.insert((u.site.clone(), u.path.clone())) {
+            out.push(Finding {
+                rule: "F1",
+                path: u.path.clone(),
+                line: u.line,
+                message: format!(
+                    "failpoint site `{}` already used in {}; site names must be unique",
+                    u.site, owner
+                ),
+            });
+        }
+    }
+    if let Some(design) = design {
+        let mut undocumented = std::collections::BTreeSet::new();
+        for u in uses {
+            if !design.contains(&format!("`{}`", u.site)) && undocumented.insert(u.site.clone()) {
+                out.push(Finding {
+                    rule: "F1",
+                    path: u.path.clone(),
+                    line: u.line,
+                    message: format!(
+                        "failpoint site `{}` is not documented in DESIGN.md",
+                        u.site
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan(src: &str) -> ScannedFile {
+        ScannedFile::new("crates/sim/src/lib.rs", src)
+    }
+
+    #[test]
+    fn word_boundaries() {
+        assert_eq!(occurrences("MyHashMapExt HashMap", "HashMap"), vec![13]);
+        assert_eq!(occurrences("x.unwrap() unwrap_or", ".unwrap").len(), 1);
+    }
+
+    #[test]
+    fn d3_claims_its_unwrap() {
+        let f = scan("fn f(a: f64, b: f64) { a.partial_cmp(&b).unwrap(); }\n");
+        let fs = file_findings(&f);
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        assert_eq!(fs[0].rule, "D3");
+    }
+
+    #[test]
+    fn e1_flags_plain_unwrap_but_not_unwrap_or() {
+        let f = scan("fn f(x: Option<u8>) -> u8 { x.unwrap_or(0) + x.unwrap() }\n");
+        let fs = file_findings(&f);
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        assert_eq!(fs[0].rule, "E1");
+    }
+
+    #[test]
+    fn e2_discarded_write() {
+        let f = scan("fn f(s: &mut dyn std::io::Write) { let _ = s.flush(); }\n");
+        let fs = file_findings(&f);
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        assert_eq!(fs[0].rule, "E2");
+        let ok = scan("fn f(t: std::thread::JoinHandle<()>) { let _ = t.join(); }\n");
+        assert!(file_findings(&ok).is_empty());
+    }
+
+    #[test]
+    fn o1_checks_literal_names() {
+        let f = scan("fn f(r: &R) { r.counter(\"bad_name\", \"h\"); r.gauge(\"sms_x_total\", \"h\"); }\n");
+        let fs = file_findings(&f);
+        assert_eq!(fs.len(), 2, "{fs:?}");
+        assert!(fs.iter().all(|x| x.rule == "O1"));
+    }
+
+    #[test]
+    fn f1_duplicate_and_undocumented() {
+        let a = ScannedFile::new(
+            "crates/bench/src/a.rs",
+            "fn f() { sms_faults::check(\"cache.read\")?; Ok(()) }\n",
+        );
+        let b = ScannedFile::new(
+            "crates/serve/src/b.rs",
+            "fn f() { sms_faults::check(\"cache.read\")?; Ok(()) }\n",
+        );
+        let uses: Vec<_> = failpoints(&a).into_iter().chain(failpoints(&b)).collect();
+        let fs = f1_findings(&uses, Some("only `other.site` is documented"));
+        let dup: Vec<_> = fs.iter().filter(|f| f.message.contains("already used")).collect();
+        let undoc: Vec<_> = fs.iter().filter(|f| f.message.contains("not documented")).collect();
+        assert_eq!(dup.len(), 1, "{fs:?}");
+        assert_eq!(dup[0].path, "crates/serve/src/b.rs");
+        assert_eq!(undoc.len(), 1, "{fs:?}");
+    }
+}

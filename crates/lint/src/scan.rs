@@ -1,0 +1,586 @@
+//! A comment- and string-literal-stripping Rust token scanner.
+//!
+//! `sms-lint` deliberately avoids `syn` (the workspace is std-only): the
+//! rules it enforces are lexical, so a faithful *lexer* is enough. The
+//! scanner produces a **masked** copy of the source — identical byte
+//! length and line structure, but with comment bodies and string/char
+//! literal contents blanked to spaces — so rule passes can pattern-match
+//! on real code without tripping over `"a string mentioning unwrap()"`
+//! or commented-out examples. String literal contents are kept on the
+//! side (with their positions) for the rules that inspect *names*
+//! (metric names, failpoint sites).
+//!
+//! The scanner also extracts:
+//!
+//! * `#[cfg(test)]` regions (attribute through the matching close brace
+//!   of the item that follows), so every rule can exempt test code;
+//! * `// sms-lint: allow(RULE): reason` suppression comments, honored on
+//!   the same line and the line directly below.
+
+/// A string literal found in the source: its 1-based line, the byte
+/// offset of its opening quote in the masked text, and its raw content
+/// (escape sequences are *not* decoded — the rules only match plain
+/// identifiers, which need no escapes).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StrLit {
+    /// 1-based line of the opening quote.
+    pub line: usize,
+    /// Byte offset of the opening quote.
+    pub offset: usize,
+    /// Literal content between the quotes, escapes undecoded.
+    pub content: String,
+}
+
+/// A `// sms-lint: allow(RULE): reason` suppression comment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Suppression {
+    /// 1-based line the comment sits on.
+    pub line: usize,
+    /// The rule id inside `allow(...)`; empty when the grammar is
+    /// malformed (no closing paren).
+    pub rule: String,
+    /// Whether a non-empty `: reason` followed the rule.
+    pub has_reason: bool,
+}
+
+/// One scanned source file, ready for rule passes.
+#[derive(Debug, Clone)]
+pub struct ScannedFile {
+    /// Workspace-relative path with forward slashes.
+    pub path: String,
+    /// The crate directory name under `crates/` (e.g. `sim`), or empty.
+    pub crate_name: String,
+    /// Source with comments and literal bodies blanked; same byte length
+    /// and line structure as the input.
+    pub masked: String,
+    /// String literals in order of appearance.
+    pub literals: Vec<StrLit>,
+    /// Suppression comments in order of appearance.
+    pub suppressions: Vec<Suppression>,
+    /// Byte offset of the start of each line (index 0 = line 1).
+    line_starts: Vec<usize>,
+    /// Per line (index 0 = line 1): inside a `#[cfg(test)]` region.
+    test_lines: Vec<bool>,
+}
+
+impl ScannedFile {
+    /// Lex `source`. `path` should be workspace-relative; the crate name
+    /// is derived from a `crates/<name>/` path component when present.
+    pub fn new(path: &str, source: &str) -> Self {
+        let crate_name = crate_of(path);
+        let lex = lex(source);
+        let line_starts = line_starts(source);
+        let nlines = line_starts.len();
+        let test_lines = test_regions(&lex.masked, &line_starts, nlines);
+        Self {
+            path: path.to_owned(),
+            crate_name,
+            masked: lex.masked,
+            literals: lex.literals,
+            suppressions: lex.suppressions,
+            line_starts,
+            test_lines,
+        }
+    }
+
+    /// 1-based line containing byte `offset`.
+    pub fn line_of(&self, offset: usize) -> usize {
+        match self.line_starts.binary_search(&offset) {
+            Ok(i) => i + 1,
+            Err(i) => i, // insertion point; line index = i - 1, 1-based = i
+        }
+        .max(1)
+    }
+
+    /// Whether 1-based `line` falls inside a `#[cfg(test)]` region.
+    pub fn is_test_line(&self, line: usize) -> bool {
+        self.test_lines.get(line.saturating_sub(1)).copied().unwrap_or(false)
+    }
+
+    /// Whether a valid suppression for `rule` covers 1-based `line`
+    /// (same line, or the line directly above).
+    pub fn is_suppressed(&self, rule: &str, line: usize) -> bool {
+        self.suppressions.iter().any(|s| {
+            s.has_reason && s.rule == rule && (s.line == line || s.line + 1 == line)
+        })
+    }
+
+    /// The first string literal starting after byte `offset`, if the
+    /// text between `offset` and the literal contains only whitespace
+    /// (i.e. the literal is syntactically the next token — used to read
+    /// a call's first argument).
+    pub fn next_literal_arg(&self, offset: usize) -> Option<&StrLit> {
+        let lit = self.literals.iter().find(|l| l.offset >= offset)?;
+        let between = self.masked.get(offset..lit.offset)?;
+        // `b` / `r` / `#` prefixes of the literal itself are masked as
+        // code, so only whitespace may separate the paren and the quote.
+        if between.chars().all(|c| c.is_whitespace() || c == 'b' || c == 'r' || c == '#') {
+            Some(lit)
+        } else {
+            None
+        }
+    }
+}
+
+/// Crate directory name from a `crates/<name>/...` path.
+fn crate_of(path: &str) -> String {
+    let mut parts = path.split('/');
+    while let Some(p) = parts.next() {
+        if p == "crates" {
+            if let Some(name) = parts.next() {
+                return name.to_owned();
+            }
+        }
+    }
+    String::new()
+}
+
+fn line_starts(source: &str) -> Vec<usize> {
+    let mut starts = vec![0];
+    for (i, b) in source.bytes().enumerate() {
+        if b == b'\n' {
+            starts.push(i + 1);
+        }
+    }
+    starts
+}
+
+struct Lexed {
+    masked: String,
+    literals: Vec<StrLit>,
+    suppressions: Vec<Suppression>,
+}
+
+/// Core lexer: one pass over the bytes, tracking comments, string/char
+/// literals, raw strings and lifetimes.
+fn lex(source: &str) -> Lexed {
+    let bytes = source.as_bytes();
+    let mut masked = bytes.to_vec();
+    let mut literals = Vec::new();
+    let mut suppressions = Vec::new();
+    let mut line = 1usize;
+    let mut i = 0usize;
+    let n = bytes.len();
+
+    let ident = |b: u8| b == b'_' || b.is_ascii_alphanumeric();
+
+    while i < n {
+        let b = bytes[i];
+        if b == b'\n' {
+            line += 1;
+            i += 1;
+        } else if b == b'/' && i + 1 < n && bytes[i + 1] == b'/' {
+            // Line comment: blank it, but parse suppressions first.
+            let end = memchr(bytes, i, b'\n');
+            if let Ok(text) = std::str::from_utf8(&bytes[i..end]) {
+                if let Some(s) = parse_suppression(text, line) {
+                    suppressions.push(s);
+                }
+            }
+            blank(&mut masked, i, end);
+            i = end;
+        } else if b == b'/' && i + 1 < n && bytes[i + 1] == b'*' {
+            // Block comment, possibly nested.
+            let start = i;
+            let mut depth = 1usize;
+            i += 2;
+            while i < n && depth > 0 {
+                if bytes[i] == b'\n' {
+                    line += 1;
+                    i += 1;
+                } else if bytes[i] == b'/' && i + 1 < n && bytes[i + 1] == b'*' {
+                    depth += 1;
+                    i += 2;
+                } else if bytes[i] == b'*' && i + 1 < n && bytes[i + 1] == b'/' {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            blank_keep_newlines(&mut masked, start, i);
+        } else if b == b'"' {
+            i = scan_string(bytes, &mut masked, &mut literals, i, &mut line);
+        } else if (b == b'r' || b == b'b') && (i == 0 || !ident(bytes[i - 1])) {
+            // Possible raw/byte string prefix: b" b' br" r" r#" br#".
+            let mut j = i;
+            let mut is_raw = false;
+            if bytes[j] == b'b' {
+                j += 1;
+            }
+            if j < n && bytes[j] == b'r' {
+                is_raw = true;
+                j += 1;
+            }
+            let mut hashes = 0usize;
+            while is_raw && j < n && bytes[j] == b'#' {
+                hashes += 1;
+                j += 1;
+            }
+            if j < n && bytes[j] == b'"' {
+                if is_raw {
+                    i = scan_raw_string(bytes, &mut masked, &mut literals, j, hashes, &mut line);
+                } else {
+                    i = scan_string(bytes, &mut masked, &mut literals, j, &mut line);
+                }
+            } else if j < n && bytes[j] == b'\'' && bytes[i] == b'b' && j == i + 1 {
+                i = scan_char(bytes, &mut masked, j, &mut line);
+            } else {
+                i += 1;
+            }
+        } else if b == b'\'' {
+            // Char literal or lifetime.
+            if i + 1 < n && bytes[i + 1] == b'\\' {
+                i = scan_char(bytes, &mut masked, i, &mut line);
+            } else {
+                // `'x'` is a char; `'x` followed by anything else is a
+                // lifetime. Find the end of the next UTF-8 char.
+                let mut k = i + 2;
+                while k < n && (bytes[k] & 0xc0) == 0x80 {
+                    k += 1;
+                }
+                if k < n && bytes[k] == b'\'' {
+                    i = scan_char(bytes, &mut masked, i, &mut line);
+                } else {
+                    i += 1; // lifetime tick: leave as code
+                }
+            }
+        } else {
+            i += 1;
+        }
+    }
+
+    // Safety of from_utf8: blanks only replace whole bytes with ASCII
+    // spaces inside comments/literals, never splitting a kept char.
+    let masked = String::from_utf8(masked).unwrap_or_default();
+    Lexed {
+        masked,
+        literals,
+        suppressions,
+    }
+}
+
+fn memchr(bytes: &[u8], from: usize, needle: u8) -> usize {
+    bytes[from..]
+        .iter()
+        .position(|&b| b == needle)
+        .map_or(bytes.len(), |p| from + p)
+}
+
+fn blank(masked: &mut [u8], from: usize, to: usize) {
+    for b in &mut masked[from..to] {
+        *b = b' ';
+    }
+}
+
+fn blank_keep_newlines(masked: &mut [u8], from: usize, to: usize) {
+    for b in &mut masked[from..to] {
+        if *b != b'\n' {
+            *b = b' ';
+        }
+    }
+}
+
+/// Scan a `"..."` string starting at the opening quote; record the
+/// literal, blank its content, return the index after the close quote.
+fn scan_string(
+    bytes: &[u8],
+    masked: &mut [u8],
+    literals: &mut Vec<StrLit>,
+    open: usize,
+    line: &mut usize,
+) -> usize {
+    let start_line = *line;
+    let mut i = open + 1;
+    let n = bytes.len();
+    while i < n {
+        match bytes[i] {
+            b'\\' if i + 1 < n => {
+                // A line-continuation escape still consumes a newline.
+                if bytes[i + 1] == b'\n' {
+                    *line += 1;
+                }
+                i += 2;
+            }
+            b'\n' => {
+                *line += 1;
+                i += 1;
+            }
+            b'"' => break,
+            _ => i += 1,
+        }
+    }
+    let close = i.min(n);
+    let content = String::from_utf8_lossy(&bytes[open + 1..close]).into_owned();
+    literals.push(StrLit {
+        line: start_line,
+        offset: open,
+        content,
+    });
+    blank_keep_newlines(masked, open + 1, close);
+    close.saturating_add(1)
+}
+
+/// Scan a raw string whose opening quote is at `open` with `hashes`
+/// leading `#`s.
+fn scan_raw_string(
+    bytes: &[u8],
+    masked: &mut [u8],
+    literals: &mut Vec<StrLit>,
+    open: usize,
+    hashes: usize,
+    line: &mut usize,
+) -> usize {
+    let start_line = *line;
+    let n = bytes.len();
+    let mut i = open + 1;
+    let close_pat: Vec<u8> = std::iter::once(b'"').chain(std::iter::repeat(b'#').take(hashes)).collect();
+    while i < n {
+        if bytes[i] == b'\n' {
+            *line += 1;
+            i += 1;
+        } else if bytes[i] == b'"' && bytes[i..].starts_with(&close_pat) {
+            break;
+        } else {
+            i += 1;
+        }
+    }
+    let close = i.min(n);
+    let content = String::from_utf8_lossy(&bytes[open + 1..close]).into_owned();
+    literals.push(StrLit {
+        line: start_line,
+        offset: open,
+        content,
+    });
+    blank_keep_newlines(masked, open + 1, close);
+    (close + close_pat.len()).min(n)
+}
+
+/// Scan a `'...'` char (or byte-char) literal from its opening tick.
+fn scan_char(bytes: &[u8], masked: &mut [u8], open: usize, line: &mut usize) -> usize {
+    let n = bytes.len();
+    let mut i = open + 1;
+    while i < n {
+        match bytes[i] {
+            b'\\' if i + 1 < n => {
+                if bytes[i + 1] == b'\n' {
+                    *line += 1;
+                }
+                i += 2;
+            }
+            b'\n' => {
+                *line += 1;
+                i += 1;
+            }
+            b'\'' => break,
+            _ => i += 1,
+        }
+    }
+    let close = i.min(n);
+    blank_keep_newlines(masked, open + 1, close);
+    close.saturating_add(1)
+}
+
+/// Parse `sms-lint: allow(RULE): reason` out of one line comment. Only a
+/// comment whose text *starts* with `sms-lint:` (after the slashes and an
+/// optional doc marker) counts, so prose that merely mentions the marker
+/// is ignored. Returns `None` for ordinary comments.
+fn parse_suppression(comment: &str, line: usize) -> Option<Suppression> {
+    let text = comment.strip_prefix("//")?;
+    let text = text.strip_prefix(['/', '!']).unwrap_or(text);
+    let rest = text.trim_start().strip_prefix("sms-lint:")?;
+    let rest = rest.trim_start();
+    let Some(rest) = rest.strip_prefix("allow(") else {
+        return Some(Suppression {
+            line,
+            rule: String::new(),
+            has_reason: false,
+        });
+    };
+    let Some(close) = rest.find(')') else {
+        return Some(Suppression {
+            line,
+            rule: String::new(),
+            has_reason: false,
+        });
+    };
+    let rule = rest[..close].trim().to_owned();
+    let tail = rest[close + 1..].trim_start();
+    let has_reason = tail
+        .strip_prefix(':')
+        .is_some_and(|r| !r.trim().is_empty());
+    Some(Suppression {
+        line,
+        rule,
+        has_reason,
+    })
+}
+
+/// Mark the line ranges covered by `#[cfg(test)]` items.
+fn test_regions(masked: &str, line_starts: &[usize], nlines: usize) -> Vec<bool> {
+    let mut test = vec![false; nlines];
+    let bytes = masked.as_bytes();
+    let n = bytes.len();
+    let mut from = 0usize;
+    while let Some(rel) = masked[from..].find("#[cfg(test)]") {
+        let attr_at = from + rel;
+        let mut i = attr_at + "#[cfg(test)]".len();
+        // Skip whitespace and further attributes to the item body.
+        loop {
+            while i < n && bytes[i].is_ascii_whitespace() {
+                i += 1;
+            }
+            if i + 1 < n && bytes[i] == b'#' && bytes[i + 1] == b'[' {
+                let mut depth = 0usize;
+                while i < n {
+                    match bytes[i] {
+                        b'[' => depth += 1,
+                        b']' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                i += 1;
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    i += 1;
+                }
+            } else {
+                break;
+            }
+        }
+        // Scan to the item's opening brace (or a bodyless `;`).
+        let mut end = i;
+        while end < n && bytes[end] != b'{' && bytes[end] != b';' {
+            end += 1;
+        }
+        if end < n && bytes[end] == b'{' {
+            let mut depth = 0usize;
+            while end < n {
+                match bytes[end] {
+                    b'{' => depth += 1,
+                    b'}' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                end += 1;
+            }
+        }
+        let first = line_index(line_starts, attr_at);
+        let last = line_index(line_starts, end.min(n.saturating_sub(1)));
+        for l in &mut test[first..=last.min(nlines - 1)] {
+            *l = true;
+        }
+        from = end.min(n.saturating_sub(1)).max(attr_at + 1);
+        if from >= n {
+            break;
+        }
+    }
+    test
+}
+
+/// 0-based line index of byte `offset`.
+fn line_index(line_starts: &[usize], offset: usize) -> usize {
+    match line_starts.binary_search(&offset) {
+        Ok(i) => i,
+        Err(i) => i.saturating_sub(1),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masks_comments_and_strings_but_keeps_layout() {
+        let src = "let a = \"unwrap()\"; // .unwrap() here\nlet b = 1; /* panic!() */\n";
+        let f = ScannedFile::new("crates/x/src/lib.rs", src);
+        assert_eq!(f.masked.len(), src.len());
+        assert!(!f.masked.contains("unwrap"));
+        assert!(!f.masked.contains("panic"));
+        assert_eq!(f.masked.lines().count(), src.lines().count());
+        assert_eq!(f.literals.len(), 1);
+        assert_eq!(f.literals[0].content, "unwrap()");
+        assert_eq!(f.literals[0].line, 1);
+    }
+
+    #[test]
+    fn raw_strings_and_chars_and_lifetimes() {
+        let src = "fn f<'a>(x: &'a str) { let c = '\"'; let s = r#\"a \" b\"#; let t = b\"x\"; }";
+        let f = ScannedFile::new("crates/x/src/lib.rs", src);
+        assert!(f.masked.contains("fn f<'a>"), "lifetime kept: {}", f.masked);
+        assert_eq!(f.literals.len(), 2);
+        assert_eq!(f.literals[0].content, "a \" b");
+        assert_eq!(f.literals[1].content, "x");
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "/* a /* b */ c */ let x = 1;";
+        let f = ScannedFile::new("crates/x/src/lib.rs", src);
+        assert!(f.masked.contains("let x = 1;"));
+        assert!(!f.masked.contains('a'));
+    }
+
+    #[test]
+    fn cfg_test_region_covers_mod_body() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\nfn after() {}\n";
+        let f = ScannedFile::new("crates/x/src/lib.rs", src);
+        assert!(!f.is_test_line(1));
+        assert!(f.is_test_line(2));
+        assert!(f.is_test_line(3));
+        assert!(f.is_test_line(4));
+        assert!(f.is_test_line(5));
+        assert!(!f.is_test_line(6));
+    }
+
+    #[test]
+    fn suppression_grammar() {
+        let src = "\
+let a = 1; // sms-lint: allow(E1): documented invariant
+// sms-lint: allow(D2): lookup only, order never escapes
+let b = 2;
+// sms-lint: allow(E1)
+let c = 3;
+";
+        let f = ScannedFile::new("crates/x/src/lib.rs", src);
+        assert!(f.is_suppressed("E1", 1));
+        assert!(f.is_suppressed("D2", 3));
+        assert!(!f.is_suppressed("E1", 5), "reason is required");
+        assert_eq!(f.suppressions.len(), 3);
+    }
+
+    #[test]
+    fn line_continuation_escapes_keep_line_numbers_in_sync() {
+        // A `\`-newline continuation inside a string must still count the
+        // newline, or every later suppression lands on the wrong line.
+        let src = "let s = \"a \\\n   b\";\n// sms-lint: allow(E1): reason\nlet t = 1;\n";
+        let f = ScannedFile::new("crates/x/src/lib.rs", src);
+        assert_eq!(f.suppressions.len(), 1);
+        assert_eq!(f.suppressions[0].line, 3);
+        assert!(f.is_suppressed("E1", 4));
+    }
+
+    #[test]
+    fn crate_name_from_path() {
+        assert_eq!(
+            ScannedFile::new("crates/sim/src/lib.rs", "").crate_name,
+            "sim"
+        );
+        assert_eq!(ScannedFile::new("tests/src/lib.rs", "").crate_name, "");
+    }
+
+    #[test]
+    fn line_of_maps_offsets() {
+        let src = "a\nbb\nccc\n";
+        let f = ScannedFile::new("crates/x/src/lib.rs", src);
+        assert_eq!(f.line_of(0), 1);
+        assert_eq!(f.line_of(2), 2);
+        assert_eq!(f.line_of(5), 3);
+    }
+}

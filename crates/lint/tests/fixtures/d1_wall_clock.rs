@@ -1,0 +1,11 @@
+//! D1 fixture: wall-clock and entropy sources in a deterministic crate.
+use std::time::Instant;
+
+pub fn bad() -> Instant {
+    Instant::now()
+}
+
+pub fn tolerated() -> std::time::SystemTime {
+    // sms-lint: allow(D1): fixture demonstrates a justified suppression
+    std::time::SystemTime::now()
+}

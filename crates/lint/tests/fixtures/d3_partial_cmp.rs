@@ -1,0 +1,10 @@
+//! D3 fixture: NaN-unsafe float comparisons.
+
+pub fn sort_scores(xs: &mut [f64]) {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}
+
+pub fn sort_tolerated(xs: &mut [f64]) {
+    // sms-lint: allow(D3): fixture: inputs are pre-validated finite
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}

@@ -1,0 +1,25 @@
+//! E1 fixture: panicking error handling in library code.
+
+pub fn first(xs: &[u32]) -> u32 {
+    *xs.first().unwrap()
+}
+
+pub fn must(cond: bool) {
+    if !cond {
+        panic!("fixture invariant violated");
+    }
+}
+
+pub fn tolerated(xs: &[u32]) -> u32 {
+    // sms-lint: allow(E1): fixture: caller guarantees non-empty input
+    *xs.first().expect("non-empty by contract")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+    }
+}

@@ -1,0 +1,11 @@
+//! E2 fixture: silently discarded fallible writes.
+use std::io::Write;
+
+pub fn log_line(mut sink: impl Write) {
+    let _ = sink.write_all(b"event\n");
+}
+
+pub fn tolerated(mut sink: impl Write) {
+    // sms-lint: allow(E2): fixture: best-effort flush on shutdown
+    let _ = sink.flush();
+}

@@ -1,0 +1,8 @@
+//! F1 fixture A: first (owning) use of the `fixture.site` failpoint,
+//! plus one site that DESIGN.md never mentions.
+
+pub fn poke() -> Result<(), sms_faults::FaultError> {
+    sms_faults::check("fixture.site")?;
+    sms_faults::check_io("fixture.undocumented")?;
+    Ok(())
+}

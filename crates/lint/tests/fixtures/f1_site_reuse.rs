@@ -1,0 +1,6 @@
+//! F1 fixture B: reuses a failpoint site that fixture A already owns.
+
+pub fn poke() -> Result<(), sms_faults::FaultError> {
+    sms_faults::check("fixture.site")?;
+    Ok(())
+}

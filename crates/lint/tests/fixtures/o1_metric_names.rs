@@ -1,0 +1,9 @@
+//! O1 fixture: metric naming conventions.
+
+pub fn register(r: &sms_obs::Registry) {
+    r.counter("serve_hits", "cache hits");
+    r.counter("sms_hits", "cache hits");
+    r.gauge("sms_depth_total", "queue depth");
+    // sms-lint: allow(O1): fixture: legacy dashboard name kept as-is
+    r.counter("legacy_hits", "cache hits");
+}

@@ -1,0 +1,10 @@
+//! SUP fixture: suppressions that are themselves wrong.
+
+// sms-lint: allow(Q9): no such rule exists
+pub fn unknown_rule() {}
+
+// sms-lint: allow(E1)
+pub fn missing_reason() {}
+
+// sms-lint: this is not the allow(RULE): reason grammar
+pub fn malformed() {}

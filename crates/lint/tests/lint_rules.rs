@@ -1,0 +1,174 @@
+//! Fixture-driven tests for every lint rule. Each fixture under
+//! `tests/fixtures/` pairs a violation with a suppressed variant; the
+//! assertions pin the exact rule id, line number, and finding count so
+//! a scanner regression shows up as a changed line, not a vague diff.
+//!
+//! The final test dogfoods the checker on this very workspace: the
+//! repository must lint clean.
+
+// Test target: the workspace-wide clippy::unwrap_used deny is meant for
+// library code (see Cargo.toml); unwrapping here is fine.
+#![allow(clippy::unwrap_used)]
+
+use sms_lint::{lint_sources, LintReport};
+use std::path::Path;
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap()
+}
+
+/// Lint one fixture as if it lived at `virtual_path` in the workspace.
+/// The path matters: crate-scoped rules (D1) key off `crates/<name>/`.
+fn lint_one(virtual_path: &str, fixture_name: &str) -> LintReport {
+    lint_sources(&[(virtual_path.to_owned(), fixture(fixture_name))], None)
+}
+
+fn rule_lines(report: &LintReport) -> Vec<(&'static str, usize)> {
+    report.findings.iter().map(|f| (f.rule, f.line)).collect()
+}
+
+#[test]
+fn d1_wall_clock_flagged_in_deterministic_crate() {
+    let report = lint_one("crates/sim/src/fixture.rs", "d1_wall_clock.rs");
+    assert_eq!(rule_lines(&report), vec![("D1", 5)], "{}", report.render_text());
+    assert!(report.findings[0].message.contains("Instant::now"));
+    assert_eq!(report.suppressions_honored, 1);
+}
+
+#[test]
+fn d1_does_not_apply_outside_deterministic_crates() {
+    // The serve crate talks to real sockets; wall-clock is allowed there.
+    let report = lint_one("crates/serve/src/fixture.rs", "d1_wall_clock.rs");
+    assert!(report.is_clean(), "{}", report.render_text());
+    assert_eq!(report.suppressions_honored, 0);
+}
+
+#[test]
+fn d2_hash_map_flagged_and_suppressed() {
+    let report = lint_one("crates/serve/src/fixture.rs", "d2_hash_map.rs");
+    assert_eq!(rule_lines(&report), vec![("D2", 3)], "{}", report.render_text());
+    assert_eq!(report.suppressions_honored, 1);
+}
+
+#[test]
+fn d3_partial_cmp_unwrap_flagged_once_not_as_e1() {
+    let report = lint_one("crates/ml/src/fixture.rs", "d3_partial_cmp.rs");
+    assert_eq!(rule_lines(&report), vec![("D3", 4)], "{}", report.render_text());
+    assert!(report.findings[0].message.contains("total_cmp"));
+    assert_eq!(report.suppressions_honored, 1);
+}
+
+#[test]
+fn e1_unwrap_and_panic_flagged_tests_exempt() {
+    let report = lint_one("crates/core/src/fixture.rs", "e1_unwrap.rs");
+    assert_eq!(
+        rule_lines(&report),
+        vec![("E1", 4), ("E1", 9)],
+        "{}",
+        report.render_text()
+    );
+    // Line 23 unwraps inside #[cfg(test)] and must not appear above.
+    assert_eq!(report.suppressions_honored, 1);
+}
+
+#[test]
+fn e2_discarded_write_flagged_and_suppressed() {
+    let report = lint_one("crates/serve/src/fixture.rs", "e2_discarded_write.rs");
+    assert_eq!(rule_lines(&report), vec![("E2", 5)], "{}", report.render_text());
+    assert!(report.findings[0].message.contains("write_all"));
+    assert_eq!(report.suppressions_honored, 1);
+}
+
+#[test]
+fn o1_metric_names_checked_against_literal_args() {
+    let report = lint_one("crates/obs/src/fixture.rs", "o1_metric_names.rs");
+    assert_eq!(
+        rule_lines(&report),
+        vec![("O1", 4), ("O1", 5), ("O1", 6)],
+        "{}",
+        report.render_text()
+    );
+    assert!(report.findings[0].message.contains("`sms_` prefix"));
+    assert!(report.findings[1].message.contains("end in `_total`"));
+    assert!(report.findings[2].message.contains("must not end in `_total`"));
+    assert_eq!(report.suppressions_honored, 1);
+}
+
+#[test]
+fn f1_duplicate_and_undocumented_sites() {
+    let files = vec![
+        ("crates/sim/src/fixture_a.rs".to_owned(), fixture("f1_site_owner.rs")),
+        ("crates/faults/src/fixture_b.rs".to_owned(), fixture("f1_site_reuse.rs")),
+    ];
+    let design = "Failpoints: `fixture.site` is the only documented site.";
+    let report = lint_sources(&files, Some(design));
+    // Findings sort by path: fixture_b (duplicate) before fixture_a
+    // (undocumented site).
+    assert_eq!(
+        rule_lines(&report),
+        vec![("F1", 4), ("F1", 6)],
+        "{}",
+        report.render_text()
+    );
+    let dup = &report.findings[0];
+    assert_eq!(dup.path, "crates/faults/src/fixture_b.rs");
+    assert!(dup.message.contains("already used in crates/sim/src/fixture_a.rs"));
+    let undoc = &report.findings[1];
+    assert_eq!(undoc.path, "crates/sim/src/fixture_a.rs");
+    assert!(undoc.message.contains("`fixture.undocumented` is not documented"));
+}
+
+#[test]
+fn f1_documented_unique_sites_are_clean() {
+    let files = vec![(
+        "crates/sim/src/fixture_a.rs".to_owned(),
+        fixture("f1_site_owner.rs"),
+    )];
+    let design = "Sites: `fixture.site` and `fixture.undocumented` are both here.";
+    let report = lint_sources(&files, Some(design));
+    assert!(report.is_clean(), "{}", report.render_text());
+}
+
+#[test]
+fn bad_suppressions_are_themselves_findings() {
+    let report = lint_one("crates/core/src/fixture.rs", "sup_bad_annotations.rs");
+    assert_eq!(
+        rule_lines(&report),
+        vec![("SUP", 3), ("SUP", 6), ("SUP", 9)],
+        "{}",
+        report.render_text()
+    );
+    assert!(report.findings[0].message.contains("unknown rule `Q9`"));
+    assert!(report.findings[1].message.contains("missing a reason"));
+    assert!(report.findings[2].message.contains("malformed"));
+    assert_eq!(report.suppressions_honored, 0);
+}
+
+#[test]
+fn json_rendering_is_canonical() {
+    let report = lint_one("crates/serve/src/fixture.rs", "d2_hash_map.rs");
+    let json = report.render_json();
+    assert!(json.starts_with("{\"clean\":false,\"files_scanned\":1,\"findings\":["));
+    assert!(json.contains("\"rule\":\"D2\""));
+    assert!(json.contains("\"line\":3"));
+    assert!(json.ends_with("],\"schema_version\":1,\"suppressions_honored\":1}\n"));
+    // Rendering twice yields byte-identical output (canonical form).
+    assert_eq!(json, report.render_json());
+}
+
+#[test]
+fn workspace_lints_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..");
+    let report = sms_lint::lint_workspace(&root).unwrap();
+    assert!(
+        report.is_clean(),
+        "the workspace must lint clean; run `sms lint` for details:\n{}",
+        report.render_text()
+    );
+    assert!(report.files_scanned > 50, "scanned {}", report.files_scanned);
+}

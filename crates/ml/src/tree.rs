@@ -71,9 +71,7 @@ impl Builder<'_> {
     /// `(threshold, sse_reduction_score)` or `None` if no valid split.
     fn best_split_on(&self, indices: &mut [usize], feature: usize) -> Option<(f64, f64)> {
         indices.sort_unstable_by(|&a, &b| {
-            self.data.x.row(a)[feature]
-                .partial_cmp(&self.data.x.row(b)[feature])
-                .expect("feature values must not be NaN")
+            self.data.x.row(a)[feature].total_cmp(&self.data.x.row(b)[feature])
         });
         let n = indices.len();
         let total_sum: f64 = indices.iter().map(|&i| self.data.y[i]).sum();
@@ -86,6 +84,9 @@ impl Builder<'_> {
             left_sum += self.data.y[i];
             let v = self.data.x.row(i)[feature];
             let v_next = self.data.x.row(indices[k + 1])[feature];
+            if v.is_nan() || v_next.is_nan() {
+                continue; // never split against a NaN: thresholds stay finite
+            }
             if v == v_next {
                 continue; // cannot split between equal values
             }
@@ -133,6 +134,7 @@ impl Builder<'_> {
             let rng = self
                 .rng
                 .as_mut()
+                // sms-lint: allow(E1): fit() always seeds the rng; a None here is a programmer error
                 .expect("max_features requires a seeded tree");
             // Partial Fisher-Yates for k random features.
             for i in 0..k {
@@ -157,14 +159,14 @@ impl Builder<'_> {
             return self.leaf(indices);
         };
 
-        // Partition in place.
+        // Partition in place. `total_cmp` keeps the sort well-defined in
+        // the presence of NaN features (NaNs order before/after finite
+        // values depending on sign); `<= threshold` is false for NaN, so
+        // NaN rows land on the right just like at predict time.
         indices.sort_unstable_by(|&a, &b| {
-            self.data.x.row(a)[feature]
-                .partial_cmp(&self.data.x.row(b)[feature])
-                .expect("no NaN")
+            self.data.x.row(a)[feature].total_cmp(&self.data.x.row(b)[feature])
         });
         let split_at = indices.partition_point(|&i| self.data.x.row(i)[feature] <= threshold);
-        debug_assert!(split_at > 0 && split_at < n);
         if split_at == 0 || split_at == n {
             // Defensive: a degenerate partition would recurse on an
             // unchanged subproblem. Cannot happen with the threshold
@@ -193,9 +195,14 @@ impl DecisionTree {
     /// `seed` drives feature subsampling and is only consulted when
     /// `params.max_features` restricts the candidate features.
     ///
+    /// NaN feature values are tolerated: sorting uses `total_cmp`, no
+    /// split threshold is ever taken adjacent to a NaN, and NaN rows
+    /// route to the right subtree (as at predict time, since
+    /// `NaN <= threshold` is false).
+    ///
     /// # Panics
     ///
-    /// Panics if the dataset is empty or contains NaN features.
+    /// Panics if the dataset is empty.
     pub fn fit(data: &Dataset, params: &TreeParams, seed: u64) -> Self {
         assert!(!data.is_empty(), "cannot fit a tree on an empty dataset");
         let mut builder = Builder {
@@ -385,6 +392,36 @@ mod tests {
         let t = DecisionTree::fit(&d, &TreeParams::default(), 0);
         assert!((t.predict(&[1.0, 2.0]) - 5.0).abs() < 1e-12, "mean leaf");
         assert!((t.predict(&[3.0, 4.0]) - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nan_features_do_not_panic() {
+        // Regression test: split sorting used `partial_cmp(..).unwrap()`
+        // and aborted on the first NaN feature. NaN rows must instead
+        // train without panicking and route right at predict time.
+        let rows: Vec<Vec<f64>> = (0..16)
+            .map(|i| {
+                if i % 5 == 0 {
+                    vec![f64::NAN, i as f64]
+                } else {
+                    vec![i as f64, i as f64]
+                }
+            })
+            .collect();
+        let y: Vec<f64> = (0..16).map(|i| (i % 2) as f64 * 10.0).collect();
+        let d = Dataset::new(Matrix::from_vecs(&rows), y);
+        let t = DecisionTree::fit(&d, &TreeParams::default(), 0);
+        assert!(t.node_count() >= 1);
+        // Predictions stay finite, for NaN inputs too.
+        assert!(t.predict(&[f64::NAN, 3.0]).is_finite());
+        assert!(t.predict(&[7.0, 7.0]).is_finite());
+        // A seeded, feature-subsampled fit (forest path) also survives.
+        let forest_params = TreeParams {
+            max_features: Some(1),
+            ..TreeParams::default()
+        };
+        let t2 = DecisionTree::fit(&d, &forest_params, 42);
+        assert!(t2.predict(&[f64::NAN, f64::NAN]).is_finite());
     }
 
     #[test]

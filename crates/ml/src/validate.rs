@@ -86,6 +86,7 @@ pub fn grid_search<P: Clone, M: Regressor>(
             best = Some((cand.clone(), score));
         }
     }
+    // sms-lint: allow(E1): documented panic on an empty candidate list
     best.expect("non-empty candidates")
 }
 

@@ -1,5 +1,9 @@
 //! Property-based tests for the ML library's model invariants.
 
+// Test/bench/example target: the workspace-wide clippy::unwrap_used deny
+// is meant for library code (see Cargo.toml); unwrapping here is fine.
+#![allow(clippy::unwrap_used)]
+
 use proptest::prelude::*;
 use sms_ml::data::{Dataset, Matrix, Regressor};
 use sms_ml::fit::{fit_curve, CurveModel};

@@ -360,6 +360,7 @@ impl Registry {
         let mut families = lock(&self.families);
         if let Some(existing) = families.get(name) {
             let Some(family) = unwrap(existing) else {
+                // sms-lint: allow(E1): re-registering a name as a different kind is a programmer error
                 panic!(
                     "metric `{name}` already registered as a {}, requested as a {}",
                     existing.kind().as_str(),

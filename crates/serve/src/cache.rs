@@ -6,17 +6,19 @@
 //! [`crate::api::PredictRequest::cache_key`]), making the cache immune to
 //! field order and to non-semantic knobs.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 /// A plain LRU map from canonical request keys to response bodies.
 ///
 /// Not thread-safe by itself; the server wraps it in a mutex. Recency is
 /// tracked with a deque of keys — `O(capacity)` updates, which is
-/// irrelevant at the few-hundred-entry capacities used here.
+/// irrelevant at the few-hundred-entry capacities used here. The map is
+/// a `BTreeMap` so any future iteration (debug dumps, stats endpoints)
+/// is deterministic by construction.
 #[derive(Debug)]
 pub struct LruCache {
     capacity: usize,
-    map: HashMap<String, String>,
+    map: BTreeMap<String, String>,
     recency: VecDeque<String>,
 }
 
@@ -26,7 +28,7 @@ impl LruCache {
         let capacity = capacity.max(1);
         Self {
             capacity,
-            map: HashMap::with_capacity(capacity),
+            map: BTreeMap::new(),
             recency: VecDeque::with_capacity(capacity),
         }
     }

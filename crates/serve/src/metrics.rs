@@ -20,6 +20,8 @@ use serde::{Deserialize, Serialize};
 use sms_bench::telemetry::{percentiles, Percentiles};
 use sms_obs::{Counter, Family, Gauge, Histogram, Registry};
 
+use crate::queue::lock;
+
 /// How many of the most recent prediction latencies feed the percentile
 /// estimate.
 pub const LATENCY_WINDOW: usize = 4096;
@@ -37,6 +39,7 @@ pub struct ServerMetrics {
     cache_requests: Arc<Family<Counter>>,
     batched_requests: Arc<Counter>,
     worker_panics: Arc<Counter>,
+    write_errors: Arc<Counter>,
     queue_depth: Arc<Gauge>,
     uptime_seconds: Arc<Gauge>,
     latency_micros: Arc<Histogram>,
@@ -78,6 +81,11 @@ pub struct MetricsSnapshot {
     /// survived). Absent in snapshots from older servers.
     #[serde(default)]
     pub worker_panics: u64,
+    /// Responses that could not be written back to the client socket
+    /// (client hung up early, send buffer error, ...). Absent in
+    /// snapshots from older servers.
+    #[serde(default)]
+    pub write_errors: u64,
     /// Current prediction-queue depth.
     pub queue_depth: usize,
     /// p50/p95/p99 of recent prediction latencies, seconds (absent until
@@ -122,6 +130,10 @@ impl ServerMetrics {
             worker_panics: registry.counter(
                 "sms_serve_worker_panics_total",
                 "Worker batches that panicked and were isolated",
+            ),
+            write_errors: registry.counter(
+                "sms_serve_write_errors_total",
+                "Responses that could not be written back to the client socket",
             ),
             queue_depth: registry.gauge(
                 "sms_serve_queue_depth",
@@ -202,17 +214,23 @@ impl ServerMetrics {
         self.worker_panics.inc();
     }
 
+    /// Count one failed response write.
+    pub fn record_write_error(&self) {
+        self.write_errors.inc();
+    }
+
+    /// Failed response writes so far.
+    pub fn write_errors(&self) -> u64 {
+        self.write_errors.get()
+    }
+
     /// Record one completed prediction's wall latency in seconds: into
     /// the registry histogram (as microseconds) and into the bounded
     /// window that feeds the percentile estimate.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the latency mutex was poisoned by a panicking thread.
     pub fn record_latency(&self, seconds: f64) {
         self.latency_micros.observe((seconds * 1e6) as u64);
         self.latency_count.fetch_add(1, Ordering::Relaxed);
-        let mut window = self.latencies.lock().unwrap();
+        let mut window = lock(&self.latencies);
         if window.len() >= LATENCY_WINDOW {
             let drop = window.len() + 1 - LATENCY_WINDOW;
             window.drain(..drop);
@@ -236,15 +254,11 @@ impl ServerMetrics {
 
     /// Snapshot every collector into the JSON layout; `queue_depth` as
     /// in [`ServerMetrics::prometheus_text`].
-    ///
-    /// # Panics
-    ///
-    /// Panics if the latency mutex was poisoned by a panicking thread.
     pub fn snapshot(&self, queue_depth: usize) -> MetricsSnapshot {
         let hits = self.cache_requests.with(&["hit"]).get();
         let misses = self.cache_requests.with(&["miss"]).get();
         let lookups = hits + misses;
-        let latency_seconds = percentiles(&self.latencies.lock().unwrap());
+        let latency_seconds = percentiles(&lock(&self.latencies));
         MetricsSnapshot {
             uptime_seconds: self.started.elapsed().as_secs_f64(),
             requests_total: self.requests_total.get(),
@@ -263,6 +277,7 @@ impl ServerMetrics {
             },
             batched_requests: self.batched_requests.get(),
             worker_panics: self.worker_panics.get(),
+            write_errors: self.write_errors.get(),
             queue_depth,
             latency_seconds,
         }
@@ -290,6 +305,7 @@ mod tests {
         m.record_cache_miss();
         m.record_shed();
         m.record_batched(2);
+        m.record_write_error();
         m.record_latency(0.010);
         m.record_latency(0.020);
         let s = m.snapshot(3);
@@ -297,6 +313,8 @@ mod tests {
         assert_eq!(s.predict_requests, 1);
         assert_eq!(s.shed_total, 1);
         assert_eq!(s.batched_requests, 2);
+        assert_eq!(s.write_errors, 1);
+        assert_eq!(m.write_errors(), 1);
         assert_eq!(s.queue_depth, 3);
         assert!((s.cache_hit_rate - 1.0 / 3.0).abs() < 1e-12);
         let p = s.latency_seconds.unwrap();

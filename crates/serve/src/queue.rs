@@ -6,8 +6,16 @@
 //! timeout so workers can poll the shutdown flag between jobs.
 
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::Duration;
+
+/// Lock a mutex, recovering the guard when a panicking thread poisoned
+/// it. The serve crate's mutexes guard plain collections that stay
+/// internally consistent across a panic, and a server must keep
+/// answering rather than cascade one worker's panic into every request.
+pub(crate) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// A mutex+condvar bounded FIFO queue.
 #[derive(Debug)]
@@ -35,12 +43,8 @@ impl<T> BoundedQueue<T> {
     /// # Errors
     ///
     /// `Err(item)` when the queue already holds `capacity` items.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the internal mutex was poisoned by a panicking thread.
     pub fn try_push(&self, item: T) -> Result<usize, T> {
-        let mut queue = self.inner.lock().unwrap();
+        let mut queue = lock(&self.inner);
         if queue.len() >= self.capacity {
             return Err(item);
         }
@@ -54,16 +58,15 @@ impl<T> BoundedQueue<T> {
     /// Dequeue the oldest item, waiting up to `timeout` for one to
     /// arrive. Returns `None` on timeout so callers can re-check their
     /// shutdown flag.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the internal mutex was poisoned by a panicking thread.
     pub fn pop_timeout(&self, timeout: Duration) -> Option<T> {
-        let mut queue = self.inner.lock().unwrap();
+        let mut queue = lock(&self.inner);
         if let Some(item) = queue.pop_front() {
             return Some(item);
         }
-        let (mut queue, _timed_out) = self.ready.wait_timeout(queue, timeout).unwrap();
+        let (mut queue, _timed_out) = self
+            .ready
+            .wait_timeout(queue, timeout)
+            .unwrap_or_else(PoisonError::into_inner);
         queue.pop_front()
     }
 
@@ -72,12 +75,8 @@ impl<T> BoundedQueue<T> {
     /// items. The micro-batching hook: a worker that just dequeued a job
     /// for model M drains other queued jobs for M and answers them in one
     /// batch.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the internal mutex was poisoned by a panicking thread.
     pub fn drain_matching<F: FnMut(&T) -> bool>(&self, mut predicate: F, max: usize) -> Vec<T> {
-        let mut queue = self.inner.lock().unwrap();
+        let mut queue = lock(&self.inner);
         let mut taken = Vec::new();
         let mut i = 0;
         while i < queue.len() && taken.len() < max {
@@ -93,12 +92,8 @@ impl<T> BoundedQueue<T> {
     }
 
     /// Current queue depth.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the internal mutex was poisoned by a panicking thread.
     pub fn len(&self) -> usize {
-        self.inner.lock().unwrap().len()
+        lock(&self.inner).len()
     }
 
     /// Whether the queue is empty.

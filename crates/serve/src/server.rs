@@ -34,7 +34,7 @@ use crate::api::{ModelsResponse, PredictRequest, PredictResponse};
 use crate::cache::LruCache;
 use crate::http::{read_request, HttpError, Request, Response};
 use crate::metrics::ServerMetrics;
-use crate::queue::BoundedQueue;
+use crate::queue::{lock, BoundedQueue};
 use crate::registry::ModelRegistry;
 
 /// Server tuning knobs.
@@ -235,17 +235,31 @@ fn acceptor_loop(listener: &TcpListener, shared: &Arc<Shared>) {
     }
 }
 
-fn respond(stream: &mut TcpStream, response: &Response) {
-    let _ = response.write_to(stream);
+/// Write a response back to the client. Failures (typically a client
+/// that hung up before reading its answer) are counted in
+/// `sms_serve_write_errors_total` and logged once, so a flood of
+/// half-closed connections stays observable without flooding stderr.
+fn respond(shared: &Shared, stream: &mut TcpStream, response: &Response) {
+    if let Err(e) = response.write_to(stream) {
+        shared.metrics.record_write_error();
+        if shared.metrics.write_errors() == 1 {
+            eprintln!(
+                "sms-serve: failed to write a response ({e}); further failures \
+                 are counted in sms_serve_write_errors_total"
+            );
+        }
+    }
 }
 
 fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
     // Accepted sockets may inherit the listener's non-blocking mode on
     // some platforms; request handling is blocking with short timeouts.
-    let _ = stream.set_nonblocking(false);
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
-    let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
-    let _ = stream.set_nodelay(true);
+    // The four socket knobs below are best-effort tuning: a socket that
+    // rejects them still serves requests correctly.
+    let _ = stream.set_nonblocking(false); // sms-lint: allow(E2): best-effort socket tuning
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(5))); // sms-lint: allow(E2): best-effort socket tuning
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(5))); // sms-lint: allow(E2): best-effort socket tuning
+    let _ = stream.set_nodelay(true); // sms-lint: allow(E2): best-effort socket tuning
 
     let Ok(read_half) = stream.try_clone() else {
         return;
@@ -256,12 +270,12 @@ fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
         Err(HttpError::Closed) => return,
         Err(HttpError::BodyTooLarge(_)) => {
             shared.metrics.record_bad_request();
-            respond(&mut stream, &Response::error(413, "request body too large"));
+            respond(shared, &mut stream, &Response::error(413, "request body too large"));
             return;
         }
         Err(HttpError::Malformed(what)) => {
             shared.metrics.record_bad_request();
-            respond(&mut stream, &Response::error(400, what));
+            respond(shared, &mut stream, &Response::error(400, what));
             return;
         }
         Err(HttpError::Io(_)) => return,
@@ -276,7 +290,7 @@ fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
                 "models": shared.registry.len(),
                 "status": if shared.shutdown.load(Ordering::SeqCst) { "shutting-down" } else { "ok" },
             });
-            respond(&mut stream, &Response::json(200, body.to_string()));
+            respond(shared, &mut stream, &Response::json(200, body.to_string()));
         }
         ("GET", "/models") => {
             shared.metrics.record_models();
@@ -284,14 +298,15 @@ fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
                 models: shared.registry.infos(),
             };
             match to_canonical_json(&response) {
-                Ok(body) => respond(&mut stream, &Response::json(200, body)),
-                Err(_) => respond(&mut stream, &Response::error(500, "encoding failed")),
+                Ok(body) => respond(shared, &mut stream, &Response::json(200, body)),
+                Err(_) => respond(shared, &mut stream, &Response::error(500, "encoding failed")),
             }
         }
         ("GET", "/metrics") => {
             shared.metrics.record_metrics();
             let body = shared.metrics.prometheus_text(shared.queue.len());
             respond(
+                shared,
                 &mut stream,
                 &Response::text(200, "text/plain; version=0.0.4", body),
             );
@@ -300,13 +315,14 @@ fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
             shared.metrics.record_metrics();
             let snapshot = shared.metrics.snapshot(shared.queue.len());
             match to_canonical_json(&snapshot) {
-                Ok(body) => respond(&mut stream, &Response::json(200, body)),
-                Err(_) => respond(&mut stream, &Response::error(500, "encoding failed")),
+                Ok(body) => respond(shared, &mut stream, &Response::json(200, body)),
+                Err(_) => respond(shared, &mut stream, &Response::error(500, "encoding failed")),
             }
         }
         ("POST", "/shutdown") => {
             shared.begin_shutdown();
             respond(
+                shared,
                 &mut stream,
                 &Response::json(200, r#"{"status":"shutting-down"}"#.to_owned()),
             );
@@ -314,11 +330,11 @@ fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
         ("POST", "/predict") => handle_predict(shared, stream, &request),
         (_, "/healthz" | "/models" | "/metrics" | "/metrics.json" | "/shutdown" | "/predict") => {
             shared.metrics.record_bad_request();
-            respond(&mut stream, &Response::error(405, "method not allowed"));
+            respond(shared, &mut stream, &Response::error(405, "method not allowed"));
         }
         _ => {
             shared.metrics.record_bad_request();
-            respond(&mut stream, &Response::error(404, "no such endpoint"));
+            respond(shared, &mut stream, &Response::error(404, "no such endpoint"));
         }
     }
 }
@@ -330,6 +346,7 @@ fn handle_predict(shared: &Arc<Shared>, mut stream: TcpStream, request: &Request
         Err(e) => {
             shared.metrics.record_bad_request();
             respond(
+                shared,
                 &mut stream,
                 &Response::error(400, &format!("invalid predict body: {e}")),
             );
@@ -343,6 +360,7 @@ fn handle_predict(shared: &Arc<Shared>, mut stream: TcpStream, request: &Request
     let Some(artifact) = shared.registry.get(&predict.model) else {
         shared.metrics.record_bad_request();
         respond(
+            shared,
             &mut stream,
             &Response::error(404, &format!("unknown model {:?}", predict.model)),
         );
@@ -350,7 +368,7 @@ fn handle_predict(shared: &Arc<Shared>, mut stream: TcpStream, request: &Request
     };
     if predict.mix.is_empty() {
         shared.metrics.record_bad_request();
-        respond(&mut stream, &Response::error(400, "empty mix"));
+        respond(shared, &mut stream, &Response::error(400, "empty mix"));
         return;
     }
     if let Some(unknown) = predict
@@ -360,6 +378,7 @@ fn handle_predict(shared: &Arc<Shared>, mut stream: TcpStream, request: &Request
     {
         shared.metrics.record_bad_request();
         respond(
+            shared,
             &mut stream,
             &Response::error(
                 400,
@@ -372,6 +391,7 @@ fn handle_predict(shared: &Arc<Shared>, mut stream: TcpStream, request: &Request
         if cores == 0 || cores > 4096 {
             shared.metrics.record_bad_request();
             respond(
+                shared,
                 &mut stream,
                 &Response::error(400, &format!("target_cores {cores} out of range")),
             );
@@ -380,10 +400,11 @@ fn handle_predict(shared: &Arc<Shared>, mut stream: TcpStream, request: &Request
     }
 
     let key = predict.cache_key();
-    let cached = shared.cache.lock().unwrap().get(&key);
+    let cached = lock(&shared.cache).get(&key);
     if let Some(body) = cached {
         shared.metrics.record_cache_hit();
         respond(
+            shared,
             &mut stream,
             &Response::json(200, body).with_header("x-cache", "hit"),
         );
@@ -404,6 +425,7 @@ fn handle_predict(shared: &Arc<Shared>, mut stream: TcpStream, request: &Request
             shared.metrics.record_shed();
             let mut stream = job.stream;
             respond(
+                shared,
                 &mut stream,
                 &Response::error(503, "prediction queue is full; retry shortly")
                     .with_header("retry-after", "1"),
@@ -455,7 +477,7 @@ fn process_batch(shared: &Arc<Shared>, batch: Vec<Job>) {
     if let Err(e) = sms_faults::check("serve.worker") {
         for job in batch {
             let mut stream = job.stream;
-            respond(&mut stream, &Response::error(500, &e.to_string()));
+            respond(shared, &mut stream, &Response::error(500, &e.to_string()));
         }
         return;
     }
@@ -482,11 +504,7 @@ fn process_batch(shared: &Arc<Shared>, batch: Vec<Job>) {
                     };
                     match to_canonical_json(&body) {
                         Ok(text) => {
-                            shared
-                                .cache
-                                .lock()
-                                .unwrap()
-                                .put(job.key.clone(), text.clone());
+                            lock(&shared.cache).put(job.key.clone(), text.clone());
                             Response::json(200, text).with_header("x-cache", "miss")
                         }
                         Err(_) => Response::error(500, "encoding failed"),
@@ -500,6 +518,6 @@ fn process_batch(shared: &Arc<Shared>, batch: Vec<Job>) {
             .metrics
             .record_latency(job.received.elapsed().as_secs_f64());
         let mut stream = job.stream;
-        respond(&mut stream, &response);
+        respond(shared, &mut stream, &response);
     }
 }

@@ -116,6 +116,7 @@ impl HorizonTracker {
             t = t.max(self.prev_completion);
         }
         if predicted_miss && self.inflight.len() == self.mshr {
+            // sms-lint: allow(E1): guarded by the len()==mshr check one line up
             let freed = self.inflight.pop_front().expect("len checked");
             t = t.max(freed);
         }

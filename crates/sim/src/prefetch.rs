@@ -138,6 +138,7 @@ impl StridePrefetcher {
                     .enumerate()
                     .min_by_key(|(_, e)| if e.valid { e.lru } else { 0 })
                     .map(|(i, _)| i)
+                    // sms-lint: allow(E1): the stream table has a fixed nonzero size
                     .expect("table non-empty");
                 self.table[victim] = StreamEntry {
                     last_line: line,

@@ -315,6 +315,7 @@ impl MulticoreSystem {
         }
         self.timeline = Some((interval_cycles, interval_cycles, Vec::new()));
         let result = self.run(spec);
+        // sms-lint: allow(E1): set two lines above, and run() never clears it
         let (interval, _, samples) = self.timeline.take().expect("set above");
         let result = result?;
         Ok((
@@ -382,6 +383,7 @@ impl MulticoreSystem {
         let llc_before = self.uncore.llc.stats();
         let dram_bytes_before = self.uncore.dram.total_bytes();
 
+        // sms-lint: allow(D1): host wall-time telemetry only; never feeds simulated state
         let wall = Instant::now();
         self.run_phase(spec.measure_instructions, sink);
         let host_seconds = wall.elapsed().as_secs_f64();

@@ -1,5 +1,9 @@
 //! Property-based tests for the simulator substrate's core invariants.
 
+// Test/bench/example target: the workspace-wide clippy::unwrap_used deny
+// is meant for library code (see Cargo.toml); unwrapping here is fine.
+#![allow(clippy::unwrap_used)]
+
 use proptest::prelude::*;
 use sms_sim::cache::Cache;
 use sms_sim::config::{CacheConfig, DramConfig, NocConfig};

@@ -1,6 +1,10 @@
 //! System-level integration tests: multi-core invariants that unit tests
 //! of individual components cannot see.
 
+// Test/bench/example target: the workspace-wide clippy::unwrap_used deny
+// is meant for library code (see Cargo.toml); unwrapping here is fine.
+#![allow(clippy::unwrap_used)]
+
 use sms_sim::config::SystemConfig;
 use sms_sim::system::{MulticoreSystem, RunSpec};
 use sms_sim::trace::{InstructionSource, MicroOp, VecSource};

@@ -1,3 +1,7 @@
+// Test/bench/example target: the workspace-wide clippy::unwrap_used deny
+// is meant for library code (see Cargo.toml); unwrapping here is fine.
+#![allow(clippy::unwrap_used)]
+
 use sms_sim::config::SystemConfig;
 use sms_sim::system::{MulticoreSystem, RunSpec};
 use sms_workloads::mix::MixSpec;

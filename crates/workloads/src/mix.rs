@@ -94,6 +94,7 @@ impl MixSpec {
             .enumerate()
             .map(|(i, name)| {
                 let profile = crate::spec::by_name(name)
+                    // sms-lint: allow(E1): documented panic; specs are validated against the suite upstream
                     .unwrap_or_else(|| panic!("unknown benchmark `{name}`"));
                 let instance_seed = derive_seed(self.seed, i as u64);
                 Box::new(SyntheticSource::new(profile, i as u32, instance_seed))
