@@ -12,6 +12,7 @@ use sms_core::scaling::{scale_config, ScalingPolicy};
 use sms_sim::cache::Cache;
 use sms_sim::config::{CacheConfig, SystemConfig};
 use sms_sim::dram::Dram;
+use sms_sim::noc::Noc;
 use sms_sim::system::{MulticoreSystem, RunSpec};
 use sms_sim::trace::InstructionSource;
 use sms_workloads::generator::SyntheticSource;
@@ -94,6 +95,31 @@ fn bench_generator(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_noc(c: &mut Criterion) {
+    let cfg = SystemConfig::target_32core();
+    let mut group = c.benchmark_group("noc");
+    group.throughput(Throughput::Elements(1024));
+    group.bench_function("mesh_transfer_loop", |b| {
+        let mut noc = Noc::new(&cfg.noc);
+        let mut line = 0u64;
+        b.iter(|| {
+            let mut cycles = 0u64;
+            for i in 0..1024u64 {
+                line = line.wrapping_add(61);
+                let t = noc.transfer(
+                    (i % u64::from(cfg.num_cores)) as u32,
+                    ((i * 7 + 3) % u64::from(cfg.num_cores)) as u32,
+                    line,
+                    i,
+                );
+                cycles += t.latency;
+            }
+            cycles
+        });
+    });
+    group.finish();
+}
+
 fn bench_simulation(c: &mut Criterion) {
     let target = SystemConfig::target_32core();
     let mut group = c.benchmark_group("simulation");
@@ -121,6 +147,28 @@ fn bench_simulation(c: &mut Criterion) {
             },
         );
     }
+    // Intra-window parallelism: same 8-core run at 1 vs 2 sim threads
+    // (results are bit-identical; only wall time should differ).
+    for threads in [1u32, 2] {
+        group.bench_with_input(
+            BenchmarkId::new("gcc_8core_sim_threads", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let mut cfg = scale_config(&target, 8, ScalingPolicy::prs());
+                    cfg.sim_threads = threads;
+                    let mix = MixSpec::homogeneous("gcc_r", 8, 42);
+                    let mut sys = MulticoreSystem::new(cfg, mix.sources()).unwrap();
+                    sys.run(RunSpec {
+                        warmup_instructions: 5_000,
+                        measure_instructions: 50_000,
+                    })
+                    .unwrap()
+                    .elapsed_cycles
+                });
+            },
+        );
+    }
     group.finish();
 }
 
@@ -129,6 +177,7 @@ criterion_group!(
     bench_cache,
     bench_dram,
     bench_generator,
+    bench_noc,
     bench_simulation
 );
 criterion_main!(benches);

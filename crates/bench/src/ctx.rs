@@ -6,6 +6,7 @@
 //! | `SMS_BUDGET` | `500000` | measured instructions per benchmark instance |
 //! | `SMS_RESULTS` | `<workspace root>/results` | cache / output directory |
 //! | `SMS_THREADS` | available parallelism | plan-executor worker threads |
+//! | `SMS_SIM_THREADS` | `1` | worker threads inside each simulated sync window (bit-identical to `1`) |
 //! | `SMS_SEED` | `43` | workload-mix seed |
 //! | `SMS_RETRIES` | `1` | executor retries per failing run before quarantine |
 //!
@@ -85,11 +86,15 @@ impl Ctx {
         };
         // sms-lint: allow(E1): documented panic — an unusable results dir is fatal at startup
         let cache = CachedSim::open(results_dir.join("cache")).expect("cache dir creatable");
-        let cfg = ExperimentConfig {
+        let mut cfg = ExperimentConfig {
             spec: RunSpec::with_default_warmup(budget),
             seed,
             ..ExperimentConfig::default()
         };
+        // Intra-window parallelism: merges are bit-identical to sequential,
+        // and the field is serde-skipped, so cache keys are unaffected.
+        let sim_threads = env_u64("SMS_SIM_THREADS", 1);
+        cfg.target.sim_threads = u32::try_from(sim_threads).unwrap_or(u32::MAX).max(1);
         Self {
             cfg,
             cache,

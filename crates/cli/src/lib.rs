@@ -10,7 +10,8 @@
 //! sms predict   --bench lbm_r [--target-cores 32] [--budget N] [--seed S]
 //! sms trace     --bench lbm_r --out trace.smst [--instructions N] [--seed S]
 //! sms bench-table                                          # characterize the suite
-//! sms sweep     --bench lbm_r[,mcf_r,...] [--target-cores 32] [--threads T] [--results DIR] [--timelines] [--spans]
+//! sms bench sim [--cores 8] [--threads-list 1,2,8] [--reps 3] [--out BENCH_sim.json]
+//! sms sweep     --bench lbm_r[,mcf_r,...] [--target-cores 32] [--threads T] [--sim-threads K] [--results DIR] [--timelines] [--spans]
 //! sms resume    --label L [--results DIR] [--threads T]     # continue an interrupted sweep
 //! sms fsck      [--results DIR]                             # verify & repair the result cache
 //! sms quarantine [--results DIR] [--clear]                  # list / release quarantined runs
@@ -28,23 +29,27 @@ use std::path::Path;
 
 use sms_bench::telemetry::mix_label;
 use sms_bench::{
-    cache_key, execute_plan, execute_plan_with_timelines, fsck, journal_path, key_hash_hex,
-    replay, timelines_dir, CachedSim, JournalLine, PlanHeader, PlanJournal, QuarantineRecord,
-    RunManifest, TimelineFile, JOURNAL_SCHEMA_VERSION, TIMELINE_SCHEMA_VERSION,
+    cache_key, execute_plan, execute_plan_with_timelines, fsck, journal_path, key_hash_hex, replay,
+    timelines_dir, CachedSim, JournalLine, PlanHeader, PlanJournal, QuarantineRecord, RunManifest,
+    TimelineFile, JOURNAL_SCHEMA_VERSION, TIMELINE_SCHEMA_VERSION,
 };
 use sms_core::artifact::train_artifact;
 use sms_core::pipeline::{homogeneous_plan, mean_bandwidth, mean_ipc, DirectSim, ExperimentConfig};
 use sms_core::predictor::{MlKind, ModelParams};
-use sms_ml::fit::CurveModel;
-use sms_serve::{models_dir, serve, ModelRegistry, ServerConfig};
 use sms_core::scaling::{scale_config, scale_table, target_config, MemBwScaling, ScalingPolicy};
 use sms_core::session::ScaleModelSession;
+use sms_ml::fit::CurveModel;
+use sms_serve::{models_dir, serve, ModelRegistry, ServerConfig};
 use sms_sim::config::SystemConfig;
 use sms_sim::system::{MulticoreSystem, RunSpec};
-use sms_sim::{RecordingSink, SimTimeline};
+use sms_sim::{EpochSample, RecordingSink, SimResult, SimTimeline};
 use sms_workloads::mix::MixSpec;
 use sms_workloads::spec::{by_name, suite};
 use sms_workloads::trace_io::RecordedTrace;
+
+/// Schema version of the `BENCH_sim.json` artifact written by
+/// `sms bench sim`. Bump on any key change.
+pub const SIM_BENCH_SCHEMA_VERSION: u32 = 1;
 
 /// A parsed command line: subcommand plus `--key value` options.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -115,9 +120,18 @@ impl Args {
     ///
     /// Returns [`CliError::NoCommand`] on an empty vector.
     pub fn parse(raw: &[String]) -> Result<Self, CliError> {
-        let command = raw.first().ok_or(CliError::NoCommand)?.clone();
-        let mut options = BTreeMap::new();
+        let mut command = raw.first().ok_or(CliError::NoCommand)?.clone();
         let mut i = 1;
+        // Two-word subcommands ("bench sim"): merge the next bare word
+        // when the combination names a known command.
+        if let Some(sub) = raw.get(1).filter(|s| !s.starts_with("--")) {
+            let two = format!("{command} {sub}");
+            if COMMANDS.contains(&two.as_str()) {
+                command = two;
+                i = 2;
+            }
+        }
+        let mut options = BTreeMap::new();
         while i < raw.len() {
             let arg = &raw[i];
             if let Some(key) = arg.strip_prefix("--") {
@@ -149,7 +163,13 @@ impl Args {
     }
 
     fn get_u32(&self, key: &str, default: u32) -> Result<u32, CliError> {
-        Ok(self.get_u64(key, u64::from(default))? as u32)
+        let wide = self.get_u64(key, u64::from(default))?;
+        u32::try_from(wide).map_err(|_| CliError::BadValue(key.to_owned(), wide.to_string()))
+    }
+
+    fn get_usize(&self, key: &str, default: usize) -> Result<usize, CliError> {
+        let wide = self.get_u64(key, default as u64)?;
+        usize::try_from(wide).map_err(|_| CliError::BadValue(key.to_owned(), wide.to_string()))
     }
 
     fn flag(&self, key: &str) -> bool {
@@ -170,6 +190,7 @@ pub fn run(args: &Args) -> Result<String, CliError> {
         "predict" => cmd_predict(args),
         "trace" => cmd_trace(args),
         "bench-table" => cmd_bench_table(args),
+        "bench sim" => cmd_bench_sim(args),
         "sweep" => cmd_sweep(args),
         "resume" => cmd_resume(args),
         "fsck" => cmd_fsck(args),
@@ -193,6 +214,7 @@ pub const COMMANDS: &[&str] = &[
     "predict",
     "trace",
     "bench-table",
+    "bench sim",
     "sweep",
     "resume",
     "fsck",
@@ -212,11 +234,13 @@ sms — scale-model architectural simulation
 
 USAGE:
   sms simulate --bench NAME[,NAME...] --cores N [--policy prs|nrs] [--budget N] [--seed S] [--json]
-               [--timeline-out FILE]
+               [--sim-threads K] [--timeline-out FILE]
       Simulate a multiprogram mix on an N-core PRS/NRS machine (repeat
       a single name to fill all cores) and print per-core results. With
       --timeline-out, also record per-sync-window samples (IPC, LLC,
       NoC, DRAM) and write them as a timeline file for `sms timeline`.
+      --sim-threads K runs each sync window's cores on K worker threads;
+      results are bit-identical to --sim-threads 1.
 
   sms scale [--cores N] [--mb-first]
       Print the Table-I scale-model resource ladder for an N-core target.
@@ -233,8 +257,19 @@ USAGE:
   sms bench-table [--budget N]
       Characterize all 29 benchmarks on the single-core scale model.
 
+  sms bench sim [--cores N] [--budget N] [--reps R] [--threads-list T1,T2,...]
+                [--quantum Q] [--seed S] [--out FILE] [--check-speedup X]
+      Benchmark the windowed simulator's intra-run parallelism: run the
+      same N-core mix at each sim-thread count, verify every parallel
+      run is bit-identical to the 1-thread baseline (result and epoch
+      stream), and write p50/p95 wall times plus speedup-vs-1-thread to
+      FILE (default BENCH_sim.json, schema-versioned, sorted keys).
+      With --check-speedup X, exit non-zero unless the best parallel
+      speedup reaches X (use a lenient X on small machines or CI).
+
   sms sweep --bench NAME[,NAME...] [--target-cores N] [--budget N] [--seed S]
-            [--threads T] [--results DIR] [--label L] [--timelines] [--spans]
+            [--threads T] [--sim-threads K] [--results DIR] [--label L]
+            [--timelines] [--spans]
       Run the full scale-model ladder (1..N cores) for each benchmark
       through the fault-tolerant parallel executor: results are cached
       under DIR/cache, failing runs are retried then quarantined, and a
@@ -245,8 +280,11 @@ USAGE:
       DIR/cache/traces/ (open at chrome://tracing or Perfetto). The plan
       parameters and every completed run are journaled (fsync'd) under
       DIR/cache/journal/LABEL.jsonl, so a killed sweep is resumable.
+      --threads T parallelizes across runs; --sim-threads K additionally
+      parallelizes the cores inside each run (bit-identical results, so
+      cache keys and journals are unchanged).
 
-  sms resume --label L [--results DIR] [--threads T]
+  sms resume --label L [--results DIR] [--threads T] [--sim-threads K]
       Continue an interrupted `sms sweep`: replay the label's plan
       journal, rebuild the identical plan from its recorded header, and
       re-execute it. Cached runs are skipped and quarantined runs are
@@ -347,7 +385,8 @@ fn cmd_simulate(args: &Args) -> Result<String, CliError> {
         .collect();
     let mix = MixSpec { benchmarks, seed };
 
-    let machine = machine_for(args, cores)?;
+    let mut machine = machine_for(args, cores)?;
+    machine.sim_threads = args.get_u32("sim-threads", 1)?;
     let spec = spec_for(args)?;
     let mut sys = MulticoreSystem::new(machine.clone(), mix.sources())
         .map_err(|e| CliError::Sim(e.to_string()))?;
@@ -369,7 +408,8 @@ fn cmd_simulate(args: &Args) -> Result<String, CliError> {
             },
             registry: serde_json::from_str(&sms_obs::registry().to_json()).ok(),
         };
-        file.save(out_path).map_err(|e| CliError::Io(e.to_string()))?;
+        file.save(out_path)
+            .map_err(|e| CliError::Io(e.to_string()))?;
         timeline_note = format!(
             "\ntimeline: {} epochs written to {out_path} (render with `sms timeline --path {out_path}`)",
             file.timeline.samples.len()
@@ -382,7 +422,10 @@ fn cmd_simulate(args: &Args) -> Result<String, CliError> {
     if args.flag("json") {
         return serde_json::to_string_pretty(&r).map_err(|e| CliError::Io(e.to_string()));
     }
-    Ok(format!("machine: {}\n{r}{timeline_note}", machine.summary()))
+    Ok(format!(
+        "machine: {}\n{r}{timeline_note}",
+        machine.summary()
+    ))
 }
 
 fn cmd_scale(args: &Args) -> Result<String, CliError> {
@@ -533,6 +576,163 @@ fn cmd_bench_table(args: &Args) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// One measured thread-count in a `sms bench sim` run.
+struct SimBenchRow {
+    sim_threads: u32,
+    p50: f64,
+    p95: f64,
+    speedup: f64,
+}
+
+fn cmd_bench_sim(args: &Args) -> Result<String, CliError> {
+    let cores = args.get_u32("cores", 8)?;
+    if cores == 0 || !cores.is_power_of_two() || cores > 256 {
+        return Err(CliError::BadValue("cores".into(), cores.to_string()));
+    }
+    let budget = args.get_u64("budget", 200_000)?;
+    let reps = args.get_usize("reps", 3)?.max(1);
+    let quantum = args.get_u64("quantum", 10_000)?;
+    if quantum == 0 {
+        return Err(CliError::BadValue("quantum".into(), quantum.to_string()));
+    }
+    let seed = args.get_u64("seed", 43)?;
+    let out_path = args
+        .options
+        .get("out")
+        .cloned()
+        .unwrap_or_else(|| "BENCH_sim.json".to_owned());
+    let mut threads_list: Vec<u32> = match args.options.get("threads-list") {
+        None => vec![1, 2, 8],
+        Some(v) => v
+            .split(',')
+            .map(|t| {
+                t.trim()
+                    .parse::<u32>()
+                    .ok()
+                    .filter(|&t| t >= 1)
+                    .ok_or_else(|| CliError::BadValue("threads-list".into(), v.clone()))
+            })
+            .collect::<Result<_, _>>()?,
+    };
+    // The single-threaded run is both the speedup baseline and the
+    // bit-identity reference, so it is always measured first.
+    if threads_list.first() != Some(&1) {
+        threads_list.retain(|&t| t != 1);
+        threads_list.insert(0, 1);
+    }
+    let check_speedup = args
+        .options
+        .get("check-speedup")
+        .map(|v| {
+            v.parse::<f64>()
+                .map_err(|_| CliError::BadValue("check-speedup".into(), v.clone()))
+        })
+        .transpose()?;
+
+    // A heterogeneous mix (the suite cycled over the cores) so the deferred
+    // uncore traffic that the merge must serialize is actually varied.
+    let profiles = suite();
+    let benchmarks: Vec<String> = (0..cores as usize)
+        .map(|i| profiles[i % profiles.len()].name.to_owned())
+        .collect();
+    let mix = MixSpec { benchmarks, seed };
+    let mut machine = target_config(cores);
+    machine.sync_quantum = quantum;
+    let spec = RunSpec::with_default_warmup(budget);
+
+    // Bit-identity reference from the 1-thread run: the result with the
+    // wall-clock field zeroed (host time legitimately differs per run),
+    // plus the full epoch-sample stream.
+    let mut reference: Option<(SimResult, Vec<EpochSample>)> = None;
+    let mut rows: Vec<SimBenchRow> = Vec::with_capacity(threads_list.len());
+    for &t in &threads_list {
+        machine.sim_threads = t;
+        let mut walls: Vec<f64> = Vec::with_capacity(reps);
+        for rep in 0..reps {
+            let mut sys = MulticoreSystem::new(machine.clone(), mix.sources())
+                .map_err(|e| CliError::Sim(e.to_string()))?;
+            let mut sink = RecordingSink::new();
+            let mut r = sys
+                .run_with_sink(spec, &mut sink)
+                .map_err(|e| CliError::Sim(e.to_string()))?;
+            walls.push(r.host_seconds);
+            if rep == 0 {
+                r.host_seconds = 0.0;
+                let samples = sink.into_samples();
+                match &reference {
+                    None => reference = Some((r, samples)),
+                    Some((r0, s0)) => {
+                        if r != *r0 || samples != *s0 {
+                            return Err(CliError::Sim(format!(
+                                "parallel run at {t} sim threads is not bit-identical \
+                                 to the sequential baseline"
+                            )));
+                        }
+                    }
+                }
+            }
+        }
+        let p = sms_bench::telemetry::percentiles(&walls)
+            .ok_or_else(|| CliError::Sim("no wall-clock samples collected".to_owned()))?;
+        let base_p50 = rows.first().map_or(p.p50, |r: &SimBenchRow| r.p50);
+        rows.push(SimBenchRow {
+            sim_threads: t,
+            p50: p.p50,
+            p95: p.p95,
+            speedup: base_p50 / p.p50.max(1e-12),
+        });
+    }
+
+    // Hand-rendered JSON with alphabetically sorted keys at every level,
+    // so the artifact is byte-stable across runs of equal timings.
+    let entries = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"p50_wall_seconds\":{:.6},\"p95_wall_seconds\":{:.6},\
+                 \"sim_threads\":{},\"speedup_vs_1_thread\":{:.4}}}",
+                r.p50, r.p95, r.sim_threads, r.speedup
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let json = format!(
+        "{{\n  \"budget\": {budget},\n  \"cores\": {cores},\n  \"entries\": [\n{entries}\n  ],\n  \
+         \"mix\": \"{}\",\n  \"quantum\": {quantum},\n  \"reps\": {reps},\n  \
+         \"schema_version\": {SIM_BENCH_SCHEMA_VERSION},\n  \"seed\": {seed}\n}}\n",
+        mix_label(&mix)
+    );
+    std::fs::write(&out_path, &json).map_err(|e| CliError::Io(e.to_string()))?;
+
+    let mut out = format!(
+        "bench sim: {cores} cores, budget {budget}, quantum {quantum}, {reps} reps\n\
+         {:>11} {:>12} {:>12} {:>9}\n",
+        "sim_threads", "p50 (s)", "p95 (s)", "speedup"
+    );
+    for r in &rows {
+        out.push_str(&format!(
+            "{:>11} {:>12.6} {:>12.6} {:>8.2}x\n",
+            r.sim_threads, r.p50, r.p95, r.speedup
+        ));
+    }
+    out.push_str(&format!(
+        "bit-identity: OK across all thread counts\nwritten: {out_path}\n"
+    ));
+    if let Some(min) = check_speedup {
+        let best = rows
+            .iter()
+            .filter(|r| r.sim_threads > 1)
+            .map(|r| r.speedup)
+            .fold(f64::NEG_INFINITY, f64::max);
+        if best.is_finite() && best < min {
+            return Err(CliError::Sim(format!(
+                "best parallel speedup {best:.2}x is below the --check-speedup floor {min:.2}x"
+            )));
+        }
+    }
+    Ok(out)
+}
+
 /// Concrete sweep parameters: parsed from `sms sweep` flags, or rebuilt
 /// from a journaled [`PlanHeader`] by `sms resume`.
 struct SweepParams {
@@ -541,6 +741,7 @@ struct SweepParams {
     budget: u64,
     seed: u64,
     threads: usize,
+    sim_threads: u32,
     results: String,
     label: String,
     timelines: bool,
@@ -569,13 +770,17 @@ fn run_sweep(p: &SweepParams) -> Result<String, CliError> {
         ms_cores.push(c);
         c *= 2;
     }
-    let cfg = ExperimentConfig {
+    let mut cfg = ExperimentConfig {
         target: target_config(p.target_cores),
         ms_cores,
         spec,
         seed: p.seed,
         ..ExperimentConfig::default()
     };
+    // Per-run intra-simulation threads; scale_config clones the target, so
+    // every ladder entry inherits the setting. sim_threads is serde-skipped
+    // and therefore never part of cache keys or journaled artifacts.
+    cfg.target.sim_threads = p.sim_threads;
     let plan = homogeneous_plan(&cfg, &profiles);
     let cache = CachedSim::open(Path::new(&p.results).join("cache"))
         .map_err(|e| CliError::Io(e.to_string()))?;
@@ -645,7 +850,7 @@ fn run_sweep(p: &SweepParams) -> Result<String, CliError> {
 }
 
 fn threads_for(args: &Args, default: usize) -> Result<usize, CliError> {
-    let threads = args.get_u64("threads", 0)? as usize;
+    let threads = args.get_usize("threads", 0)?;
     Ok(if threads == 0 { default } else { threads })
 }
 
@@ -664,6 +869,7 @@ fn cmd_sweep(args: &Args) -> Result<String, CliError> {
         budget: args.get_u64("budget", 500_000)?,
         seed: args.get_u64("seed", 43)?,
         threads: threads_for(args, default_threads)?,
+        sim_threads: args.get_u32("sim-threads", 1)?,
         results: results_dir(args),
         label: args
             .options
@@ -721,6 +927,7 @@ fn cmd_resume(args: &Args) -> Result<String, CliError> {
         budget: header.budget,
         seed: header.seed,
         threads: threads_for(args, header.threads)?,
+        sim_threads: args.get_u32("sim-threads", 1)?,
         results,
         label,
         timelines: header.timelines,
@@ -734,11 +941,17 @@ fn cmd_fsck(args: &Args) -> Result<String, CliError> {
     let cache_dir = Path::new(&results_dir(args)).join("cache");
     let report = fsck(&cache_dir)
         .map_err(|e| CliError::Io(format!("cannot fsck {}: {e}", cache_dir.display())))?;
-    Ok(format!("cache: {}\n{}", cache_dir.display(), report.render()))
+    Ok(format!(
+        "cache: {}\n{}",
+        cache_dir.display(),
+        report.render()
+    ))
 }
 
 fn cmd_quarantine(args: &Args) -> Result<String, CliError> {
-    let qdir = Path::new(&results_dir(args)).join("cache").join("quarantine");
+    let qdir = Path::new(&results_dir(args))
+        .join("cache")
+        .join("quarantine");
     let mut files: Vec<std::path::PathBuf> = match std::fs::read_dir(&qdir) {
         Ok(rd) => rd
             .flatten()
@@ -887,9 +1100,11 @@ fn cmd_train(args: &Args) -> Result<String, CliError> {
         seed,
         ..ExperimentConfig::default()
     };
-    let name = args.options.get("name").cloned().unwrap_or_else(|| {
-        format!("{kind}-{curve}-{target_cores}c").to_lowercase()
-    });
+    let name = args
+        .options
+        .get("name")
+        .cloned()
+        .unwrap_or_else(|| format!("{kind}-{curve}-{target_cores}c").to_lowercase());
 
     let mut cache = CachedSim::open(Path::new(&results).join("cache"))
         .map_err(|e| CliError::Io(e.to_string()))?;
@@ -951,7 +1166,11 @@ fn cmd_models(args: &Args) -> Result<String, CliError> {
             format_cv(info.cv_error),
         ));
     }
-    out.push_str(&format!("({} artifact(s) under {})\n", registry.len(), dir.display()));
+    out.push_str(&format!(
+        "({} artifact(s) under {})\n",
+        registry.len(),
+        dir.display()
+    ));
     Ok(out)
 }
 
@@ -962,7 +1181,7 @@ fn cmd_serve(args: &Args) -> Result<String, CliError> {
         .get("addr")
         .cloned()
         .unwrap_or_else(|| "127.0.0.1:8080".to_owned());
-    let workers = args.get_u64("workers", 4)? as usize;
+    let workers = args.get_usize("workers", 4)?;
 
     let dir = models_dir(Path::new(&results));
     let registry = ModelRegistry::open(&dir).map_err(|e| CliError::Io(e.to_string()))?;
@@ -1083,7 +1302,10 @@ mod tests {
         let unknown = run(&args(&["frobnicate"])).unwrap_err().to_string();
         for c in COMMANDS {
             assert!(help.contains(c), "help is missing `{c}`");
-            assert!(unknown.contains(c), "unknown-command error is missing `{c}`");
+            assert!(
+                unknown.contains(c),
+                "unknown-command error is missing `{c}`"
+            );
         }
         assert!(unknown.contains("frobnicate"));
     }
@@ -1117,8 +1339,14 @@ mod tests {
         }
         // A clean tree returns Ok with the summary line.
         std::fs::write(src.join("lib.rs"), "pub fn f() -> u8 { 0 }\n").unwrap();
-        let ok = run(&args(&["lint", "--root", root.to_str().unwrap(), "--format", "json"]))
-            .unwrap();
+        let ok = run(&args(&[
+            "lint",
+            "--root",
+            root.to_str().unwrap(),
+            "--format",
+            "json",
+        ]))
+        .unwrap();
         assert!(ok.contains("\"clean\":true"), "{ok}");
         std::fs::remove_dir_all(&root).unwrap();
     }
@@ -1178,7 +1406,13 @@ mod tests {
             Err(CliError::BadValue(_, _))
         ));
         assert!(matches!(
-            run(&args(&["train", "--bench", "nope_r", "--target-cores", "8"])),
+            run(&args(&[
+                "train",
+                "--bench",
+                "nope_r",
+                "--target-cores",
+                "8"
+            ])),
             Err(CliError::UnknownBenchmark(_))
         ));
     }
@@ -1289,8 +1523,12 @@ mod tests {
 
         let manifest_path = results.join("cache/manifests/cli-test.json");
         assert!(manifest_path.exists(), "manifest missing: {out}");
-        let rendered = run(&args(&["manifest", "--path", manifest_path.to_str().unwrap()]))
-            .unwrap();
+        let rendered = run(&args(&[
+            "manifest",
+            "--path",
+            manifest_path.to_str().unwrap(),
+        ]))
+        .unwrap();
         assert!(rendered.contains("cli-test"), "{rendered}");
 
         // A second identical sweep is served entirely from the cache.
@@ -1350,8 +1588,7 @@ mod tests {
 
     #[test]
     fn sweep_with_timelines_writes_per_run_files() {
-        let results =
-            std::env::temp_dir().join(format!("sms-cli-sweep-tl-{}", std::process::id()));
+        let results = std::env::temp_dir().join(format!("sms-cli-sweep-tl-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&results);
         let out = run(&args(&[
             "sweep",
@@ -1444,15 +1681,19 @@ mod tests {
         let checked = run(&args(&["fsck", "--results", results.to_str().unwrap()])).unwrap();
         assert!(checked.contains("0 defect(s)"), "{checked}");
 
-        let q = run(&args(&["quarantine", "--results", results.to_str().unwrap()])).unwrap();
+        let q = run(&args(&[
+            "quarantine",
+            "--results",
+            results.to_str().unwrap(),
+        ]))
+        .unwrap();
         assert!(q.contains("no quarantined runs"), "{q}");
         let _ = std::fs::remove_dir_all(&results);
     }
 
     #[test]
     fn resume_without_a_journal_is_an_error() {
-        let results =
-            std::env::temp_dir().join(format!("sms-cli-noresume-{}", std::process::id()));
+        let results = std::env::temp_dir().join(format!("sms-cli-noresume-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&results);
         let err = run(&args(&[
             "resume",
@@ -1495,8 +1736,12 @@ mod tests {
         )
         .unwrap();
 
-        let listing =
-            run(&args(&["quarantine", "--results", results.to_str().unwrap()])).unwrap();
+        let listing = run(&args(&[
+            "quarantine",
+            "--results",
+            results.to_str().unwrap(),
+        ]))
+        .unwrap();
         assert!(listing.contains(hash), "{listing}");
         assert!(listing.contains("boom"), "{listing}");
         assert!(listing.contains("--clear"), "{listing}");
@@ -1508,10 +1753,18 @@ mod tests {
             "--clear",
         ]))
         .unwrap();
-        assert!(cleared.contains("released 1 quarantined run(s)"), "{cleared}");
+        assert!(
+            cleared.contains("released 1 quarantined run(s)"),
+            "{cleared}"
+        );
         assert!(!qdir.join(format!("{hash}.json")).exists());
 
-        let empty = run(&args(&["quarantine", "--results", results.to_str().unwrap()])).unwrap();
+        let empty = run(&args(&[
+            "quarantine",
+            "--results",
+            results.to_str().unwrap(),
+        ]))
+        .unwrap();
         assert!(empty.contains("no quarantined runs"), "{empty}");
         let _ = std::fs::remove_dir_all(&results);
     }

@@ -1,0 +1,86 @@
+//! Chaos variant of the parallel bit-identity guarantee: under a seeded
+//! `sim.window.merge` fault, every `--sim-threads` setting must fail the
+//! same way — same window, same error text, same exit — because fault
+//! decisions are made once per window on the master thread, never per
+//! worker. Each thread count runs in its own process so the failpoint's
+//! process-global hit counter starts fresh every time.
+
+// Test/bench/example target: the workspace-wide clippy::unwrap_used deny
+// is meant for library code (see Cargo.toml); unwrapping here is fine.
+#![allow(clippy::unwrap_used)]
+
+use std::process::Command;
+
+/// The `sms` binary with a clean fault environment (the test adds its own).
+fn sms() -> Command {
+    let mut c = Command::new(env!("CARGO_BIN_EXE_sms"));
+    c.env_remove("SMS_FAULTS");
+    c
+}
+
+fn simulate_under_merge_fault(sim_threads: u32) -> (bool, String, String) {
+    let out = sms()
+        .args([
+            "simulate",
+            "--bench",
+            "gcc_r,mcf_r",
+            "--cores",
+            "4",
+            "--budget",
+            "40000",
+            "--sim-threads",
+            &sim_threads.to_string(),
+        ])
+        .env("SMS_FAULTS", "sim.window.merge=err@2")
+        .output()
+        .unwrap();
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn merge_fault_is_identical_across_thread_counts() {
+    // Sanity: without faults the same simulate succeeds.
+    let clean = sms()
+        .args([
+            "simulate",
+            "--bench",
+            "gcc_r,mcf_r",
+            "--cores",
+            "4",
+            "--budget",
+            "40000",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        clean.status.success(),
+        "fault-free simulate failed: {}",
+        String::from_utf8_lossy(&clean.stderr)
+    );
+
+    let (ok1, out1, err1) = simulate_under_merge_fault(1);
+    assert!(!ok1, "sequential run survived an armed merge fault: {out1}");
+    assert!(
+        err1.contains("sim.window.merge"),
+        "error does not name the failpoint site: {err1}"
+    );
+    // The `@2` trigger fires on the second window, so the fault lands
+    // after at least one successful merge — mid-run, not at startup.
+    assert!(
+        err1.contains("hit 2"),
+        "fault did not fire on the second window: {err1}"
+    );
+
+    for threads in [2u32, 8] {
+        let (ok, out, err) = simulate_under_merge_fault(threads);
+        assert!(!ok, "{threads}-thread run survived the merge fault: {out}");
+        assert_eq!(
+            err1, err,
+            "fault behavior at {threads} sim threads differs from sequential"
+        );
+    }
+}

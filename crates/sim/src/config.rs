@@ -18,6 +18,10 @@ pub const LINE_SIZE: u64 = 64;
 /// bytes/cycle using this frequency (e.g. 128 GB/s at 4 GHz = 32 B/cycle).
 pub const CORE_FREQ_GHZ: f64 = 4.0;
 
+/// Maximum simulated core count: core ids travel through the hierarchy as
+/// `u8` (cache owner tags, invalidation queues), so 256 is a hard ceiling.
+pub const MAX_CORES: u32 = 256;
+
 /// Convert a bandwidth in GB/s into bytes per core cycle.
 ///
 /// # Examples
@@ -216,6 +220,18 @@ pub struct SystemConfig {
     pub inclusive_llc: bool,
     /// Per-core stride prefetcher.
     pub prefetch: PrefetchConfig,
+    /// Host threads used to run per-core interval simulations inside each
+    /// sync window (simulator knob, not a hardware parameter). Results are
+    /// bit-identical at any value; only host wall time changes. Excluded
+    /// from serialization so cache keys and experiment artifacts are
+    /// unaffected by the host execution strategy.
+    #[serde(skip, default = "default_sim_threads")]
+    pub sim_threads: u32,
+}
+
+/// Serde default for [`SystemConfig::sim_threads`]: sequential execution.
+fn default_sim_threads() -> u32 {
+    1
 }
 
 impl SystemConfig {
@@ -262,6 +278,7 @@ impl SystemConfig {
             sync_quantum: 1_000,
             inclusive_llc: false,
             prefetch: PrefetchConfig::default(),
+            sim_threads: default_sim_threads(),
         }
     }
 
@@ -276,6 +293,12 @@ impl SystemConfig {
     pub fn validate(&self) -> Result<(), ConfigError> {
         if self.num_cores == 0 {
             return Err(ConfigError::ZeroField("num_cores"));
+        }
+        if self.num_cores > MAX_CORES {
+            return Err(ConfigError::TooManyCores(self.num_cores));
+        }
+        if self.sim_threads == 0 {
+            return Err(ConfigError::ZeroField("sim_threads"));
         }
         self.l1i.validate("l1i")?;
         self.l1d.validate("l1d")?;
@@ -431,5 +454,34 @@ mod tests {
         let s = serde_json::to_string(&t).unwrap();
         let back: SystemConfig = serde_json::from_str(&s).unwrap();
         assert_eq!(t, back);
+    }
+
+    #[test]
+    fn too_many_cores_rejected() {
+        let mut t = SystemConfig::target_32core();
+        t.num_cores = 257;
+        t.noc.mesh_cols = 32;
+        t.noc.mesh_rows = 32;
+        assert_eq!(t.validate(), Err(ConfigError::TooManyCores(257)));
+    }
+
+    #[test]
+    fn zero_sim_threads_rejected() {
+        let mut t = SystemConfig::target_32core();
+        t.sim_threads = 0;
+        assert_eq!(t.validate(), Err(ConfigError::ZeroField("sim_threads")));
+    }
+
+    #[test]
+    fn sim_threads_never_serialized() {
+        let mut t = SystemConfig::target_32core();
+        t.sim_threads = 8;
+        let s = serde_json::to_string(&t).unwrap();
+        assert!(
+            !s.contains("sim_threads"),
+            "host execution strategy must not leak into cache keys"
+        );
+        let back: SystemConfig = serde_json::from_str(&s).unwrap();
+        assert_eq!(back.sim_threads, 1, "deserialization restores the default");
     }
 }

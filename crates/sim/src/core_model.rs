@@ -33,7 +33,7 @@
 use std::collections::VecDeque;
 
 use crate::config::CoreConfig;
-use crate::hierarchy::{data_access, fetch_access, HitLevel, PrivateCaches, Uncore};
+use crate::hierarchy::{data_access, fetch_access, HitLevel, MemoryBackend, PrivateCaches};
 use crate::trace::{InstructionSource, MicroOp};
 
 /// Instructions per L1-I fetch-block probe.
@@ -195,11 +195,17 @@ impl CoreModel {
     /// instructions (or `budget_left` runs out), services its memory
     /// accesses through the hierarchy, and advances the local clock by the
     /// window's execution time. Returns the number of instructions retired.
-    pub fn run_window(
+    ///
+    /// The shared levels below the private caches are reached through any
+    /// [`MemoryBackend`]: the real [`Uncore`](crate::hierarchy::Uncore) on
+    /// the sequential path, or a per-core
+    /// [`ShardBackend`](crate::shard::ShardBackend) inside a parallel sync
+    /// window.
+    pub fn run_window<B: MemoryBackend>(
         &mut self,
         source: &mut dyn InstructionSource,
         privs: &mut PrivateCaches,
-        uncore: &mut Uncore,
+        uncore: &mut B,
         budget_left: u64,
     ) -> u64 {
         debug_assert!(budget_left > 0);
@@ -325,6 +331,7 @@ impl CoreModel {
 mod tests {
     use super::*;
     use crate::config::SystemConfig;
+    use crate::hierarchy::Uncore;
     use crate::trace::VecSource;
 
     fn setup() -> (SystemConfig, PrivateCaches, Uncore) {

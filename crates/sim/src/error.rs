@@ -26,6 +26,12 @@ pub enum ConfigError {
     },
     /// A bandwidth parameter was zero or negative.
     NonPositiveBandwidth(&'static str),
+    /// More cores than the hierarchy's 8-bit core identifiers can address.
+    TooManyCores(u32),
+    /// An arithmetic step on a user-supplied value would overflow its
+    /// integer type (e.g. the global clock plus `sync_quantum` near the
+    /// `u64` boundary).
+    Overflow(&'static str),
 }
 
 impl fmt::Display for ConfigError {
@@ -51,6 +57,12 @@ impl fmt::Display for ConfigError {
             ),
             Self::NonPositiveBandwidth(what) => {
                 write!(f, "bandwidth of `{what}` must be positive")
+            }
+            Self::TooManyCores(n) => {
+                write!(f, "{n} cores exceed the 256 addressable by 8-bit core ids")
+            }
+            Self::Overflow(what) => {
+                write!(f, "`{what}` would overflow its integer range")
             }
         }
     }
@@ -140,6 +152,8 @@ mod tests {
             }
             .to_string(),
             ConfigError::NonPositiveBandwidth("noc").to_string(),
+            ConfigError::TooManyCores(512).to_string(),
+            ConfigError::Overflow("global_cycle + sync_quantum").to_string(),
             SimError::EmptyBudget.to_string(),
             SimError::SourceCountMismatch {
                 sources: 3,

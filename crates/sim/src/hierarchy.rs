@@ -42,6 +42,26 @@ pub struct MemAccess {
 /// stops issuing (hardware fill-buffer limit).
 const MAX_PENDING_PREFETCHES: usize = 32;
 
+/// A core's view of the shared memory system below its private caches.
+///
+/// The sequential path drives the [`Uncore`] directly; inside a parallel
+/// sync window each core instead drives a
+/// [`ShardBackend`](crate::shard::ShardBackend) that reads a frozen
+/// barrier-time snapshot and defers its mutations for an ordered replay at
+/// the next barrier. Both implementations compute identical latencies, so
+/// results do not depend on which one runs.
+pub trait MemoryBackend {
+    /// Service an access from `core` that missed the private caches,
+    /// returning the latency beyond the private levels and the level that
+    /// serviced it.
+    fn shared_access(&mut self, core: u8, line: LineAddr, now: u64) -> MemAccess;
+
+    /// Push a dirty private-cache victim from `core` below the L2: into
+    /// the LLC if it still holds the line, else on to DRAM. The issuing
+    /// core never waits on writebacks.
+    fn shared_writeback(&mut self, core: u8, line: LineAddr, now: u64);
+}
+
 /// A prefetch launched but not yet delivered to the L2.
 #[derive(Debug, Clone, Copy)]
 struct PendingPrefetch {
@@ -101,7 +121,7 @@ pub struct Uncore {
     pub dram_bytes_per_core: Vec<u64>,
     /// Back-invalidations queued by LLC evictions: `(owner core, line)`.
     pub pending_invalidations: Vec<(u8, LineAddr)>,
-    num_mcs: u32,
+    pub(crate) num_mcs: u32,
     inclusive: bool,
 }
 
@@ -206,12 +226,24 @@ impl Uncore {
     }
 }
 
+impl MemoryBackend for Uncore {
+    fn shared_access(&mut self, core: u8, line: LineAddr, now: u64) -> MemAccess {
+        self.access(core, line, now)
+    }
+
+    fn shared_writeback(&mut self, core: u8, line: LineAddr, now: u64) {
+        if !self.llc.access(line, true) {
+            self.writeback_to_dram(line, core, now);
+        }
+    }
+}
+
 /// A full data access from core `core`: L1-D → L2 → LLC → DRAM, with fills
 /// and writebacks along the way.
-pub fn data_access(
+pub fn data_access<B: MemoryBackend>(
     core: u8,
     p: &mut PrivateCaches,
-    uncore: &mut Uncore,
+    uncore: &mut B,
     line: LineAddr,
     write: bool,
     now: u64,
@@ -256,7 +288,7 @@ pub fn data_access(
         };
     }
 
-    let deep = uncore.access(core, line, now + l2_lat);
+    let deep = uncore.shared_access(core, line, now + l2_lat);
     fill_l2(p, uncore, line, core, now);
     fill_l1d(p, uncore, line, write, core, now);
     MemAccess {
@@ -268,14 +300,20 @@ pub fn data_access(
 /// Launch a prefetch for `line`: the shared resources are charged now, but
 /// the L2 fill happens only at the completion time, so DRAM queueing
 /// backpressure bounds how far the prefetcher runs ahead.
-fn launch_prefetch(core: u8, p: &mut PrivateCaches, uncore: &mut Uncore, line: LineAddr, now: u64) {
+fn launch_prefetch<B: MemoryBackend>(
+    core: u8,
+    p: &mut PrivateCaches,
+    uncore: &mut B,
+    line: LineAddr,
+    now: u64,
+) {
     if p.l2.probe(line)
         || p.pending_prefetch(line).is_some()
         || p.pending_prefetches.len() >= MAX_PENDING_PREFETCHES
     {
         return;
     }
-    let acc = uncore.access(core, line, now);
+    let acc = uncore.shared_access(core, line, now);
     p.pending_prefetches.push_back(PendingPrefetch {
         line,
         completion: now + acc.latency,
@@ -283,7 +321,7 @@ fn launch_prefetch(core: u8, p: &mut PrivateCaches, uncore: &mut Uncore, line: L
 }
 
 /// Move arrived prefetches into the L2.
-fn drain_prefetches(p: &mut PrivateCaches, uncore: &mut Uncore, core: u8, now: u64) {
+fn drain_prefetches<B: MemoryBackend>(p: &mut PrivateCaches, uncore: &mut B, core: u8, now: u64) {
     while let Some(front) = p.pending_prefetches.front().copied() {
         if front.completion > now {
             break;
@@ -294,10 +332,10 @@ fn drain_prefetches(p: &mut PrivateCaches, uncore: &mut Uncore, core: u8, now: u
 }
 
 /// An instruction-fetch access from core `core`: L1-I → L2 → LLC → DRAM.
-pub fn fetch_access(
+pub fn fetch_access<B: MemoryBackend>(
     core: u8,
     p: &mut PrivateCaches,
-    uncore: &mut Uncore,
+    uncore: &mut B,
     line: LineAddr,
     now: u64,
 ) -> MemAccess {
@@ -317,7 +355,7 @@ pub fn fetch_access(
             level: HitLevel::L2,
         };
     }
-    let deep = uncore.access(core, line, now + l2_lat);
+    let deep = uncore.shared_access(core, line, now + l2_lat);
     fill_l2(p, uncore, line, core, now);
     p.l1i.fill(line, false, core);
     MemAccess {
@@ -326,9 +364,9 @@ pub fn fetch_access(
     }
 }
 
-fn fill_l1d(
+fn fill_l1d<B: MemoryBackend>(
     p: &mut PrivateCaches,
-    uncore: &mut Uncore,
+    uncore: &mut B,
     line: LineAddr,
     write: bool,
     core: u8,
@@ -340,13 +378,19 @@ fn fill_l1d(
             // but a back-invalidation may have removed it, in which case the
             // data goes to the LLC (and on to DRAM if also gone there).
             if !p.l2.access(victim.line, true) {
-                writeback_to_llc(uncore, victim.line, core, now);
+                uncore.shared_writeback(core, victim.line, now);
             }
         }
     }
 }
 
-fn fill_l2(p: &mut PrivateCaches, uncore: &mut Uncore, line: LineAddr, core: u8, now: u64) {
+fn fill_l2<B: MemoryBackend>(
+    p: &mut PrivateCaches,
+    uncore: &mut B,
+    line: LineAddr,
+    core: u8,
+    now: u64,
+) {
     if let Some(victim) = p.l2.fill(line, false, core) {
         // Inclusion: the L1-D copy of the L2 victim must go. The L1-I is
         // exempt (read-only code; policing it through the unified L2 would
@@ -356,16 +400,8 @@ fn fill_l2(p: &mut PrivateCaches, uncore: &mut Uncore, line: LineAddr, core: u8,
             dirty |= ev.dirty;
         }
         if dirty {
-            writeback_to_llc(uncore, victim.line, core, now);
+            uncore.shared_writeback(core, victim.line, now);
         }
-    }
-}
-
-/// Write a dirty private-cache victim into the LLC (or DRAM if the LLC no
-/// longer holds the line).
-fn writeback_to_llc(uncore: &mut Uncore, line: LineAddr, core: u8, now: u64) {
-    if !uncore.llc.access(line, true) {
-        uncore.writeback_to_dram(line, core, now);
     }
 }
 

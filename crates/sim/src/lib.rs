@@ -60,6 +60,7 @@ pub mod noc;
 pub mod nuca;
 pub mod prefetch;
 pub mod queue;
+pub mod shard;
 pub mod stats;
 pub mod system;
 pub mod timeline;

@@ -1,0 +1,266 @@
+//! Per-core window shards for parallel windowed simulation.
+//!
+//! Inside a synchronization window every core runs against a *frozen*
+//! snapshot of the shared uncore (the state as of the last barrier) plus a
+//! private [`WindowShard`]: cloned NoC/DRAM queues for latency estimation,
+//! an overlay of lines the core itself filled this window, and a log of
+//! deferred [`DeferredOp`] events. At the barrier the system replays each
+//! core's events into the real [`Uncore`] in an order derived purely from
+//! the window index, so the merged shared state — and therefore every
+//! simulated number — is a deterministic function of the configuration and
+//! the workloads, independent of how many host threads ran the window.
+//!
+//! Cross-core contention within one window is visible with a one-window
+//! lag: the frozen queues already contain all traffic replayed at earlier
+//! barriers, and a core's own window traffic stamps its private clone, so
+//! self-contention is immediate while cross-core backpressure arrives one
+//! quantum later (the usual windowed-simulation trade-off, applied to the
+//! host parallelization instead of the target model).
+
+use std::collections::BTreeSet;
+
+use crate::cache::LineAddr;
+use crate::dram::Dram;
+use crate::hierarchy::{HitLevel, MemAccess, MemoryBackend, Uncore};
+use crate::noc::Noc;
+
+/// One shared-memory interaction deferred to the window barrier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeferredOp {
+    /// An access (demand or prefetch) that missed the private caches.
+    Demand {
+        /// Line address.
+        line: LineAddr,
+        /// Issue timestamp in global cycles.
+        now: u64,
+    },
+    /// A dirty private-cache victim pushed below the L2.
+    Writeback {
+        /// Line address.
+        line: LineAddr,
+        /// Issue timestamp in global cycles.
+        now: u64,
+    },
+}
+
+/// Per-core deferred-merge state for one synchronization window.
+#[derive(Debug)]
+pub struct WindowShard {
+    /// The core this shard belongs to.
+    pub core: u8,
+    /// Deferred interactions in issue order, replayed at the barrier.
+    pub events: Vec<DeferredOp>,
+    /// Lines this core filled into the (future) LLC during this window.
+    filled: BTreeSet<LineAddr>,
+    /// Private clone of the NoC queues, used for latency estimation only.
+    noc: Noc,
+    /// Private clone of the DRAM queues, used for latency estimation only.
+    dram: Dram,
+    /// Whether `noc`/`dram` were cloned from the current window's frozen
+    /// uncore yet; cloning is deferred to the first shared access so
+    /// compute-bound windows pay nothing.
+    queues_fresh: bool,
+}
+
+impl WindowShard {
+    /// Build the shard for `core`, seeding the queue clones from `uncore`.
+    pub fn new(core: u8, uncore: &Uncore) -> Self {
+        Self {
+            core,
+            events: Vec::new(),
+            filled: BTreeSet::new(),
+            noc: uncore.noc.clone(),
+            dram: uncore.dram.clone(),
+            queues_fresh: false,
+        }
+    }
+
+    /// Reset per-window state. The queue clones are marked stale and
+    /// re-cloned lazily on the first shared access of the window.
+    pub fn begin_window(&mut self) {
+        debug_assert!(self.events.is_empty(), "events must be drained at merge");
+        self.filled.clear();
+        self.queues_fresh = false;
+    }
+}
+
+/// The [`MemoryBackend`] a core drives during one window: latencies come
+/// from the frozen uncore plus this core's private window state; every
+/// mutation of shared state is deferred into the shard's event log.
+#[derive(Debug)]
+pub struct ShardBackend<'a> {
+    /// Shared state as of the last barrier (read-only).
+    pub frozen: &'a Uncore,
+    /// This core's private window state.
+    pub shard: &'a mut WindowShard,
+}
+
+impl ShardBackend<'_> {
+    /// Clone the frozen queues into the shard on first use this window.
+    fn refresh_queues(&mut self) {
+        if !self.shard.queues_fresh {
+            self.shard.noc.clone_from(&self.frozen.noc);
+            self.shard.dram.clone_from(&self.frozen.dram);
+            self.shard.queues_fresh = true;
+        }
+    }
+
+    /// Whether the LLC will hold `line` when this window's fills land:
+    /// present in the frozen LLC or filled by this core this window.
+    fn llc_has(&self, line: LineAddr) -> bool {
+        self.frozen.llc.probe(line) || self.shard.filled.contains(&line)
+    }
+}
+
+impl MemoryBackend for ShardBackend<'_> {
+    /// Mirrors [`Uncore::access`] latency math against the frozen LLC and
+    /// the shard's private queue clones, recording a
+    /// [`DeferredOp::Demand`] for the barrier replay.
+    fn shared_access(&mut self, core: u8, line: LineAddr, now: u64) -> MemAccess {
+        debug_assert_eq!(core, self.shard.core);
+        self.shard.events.push(DeferredOp::Demand { line, now });
+        self.refresh_queues();
+        let llc = &self.frozen.llc;
+        let slice = llc.home_slice(line);
+        let to_slice = self.shard.noc.transfer(u32::from(core), slice, line, now);
+        let mut latency = to_slice.latency + u64::from(llc.access_latency());
+
+        if self.llc_has(line) {
+            return MemAccess {
+                latency,
+                level: HitLevel::Llc,
+            };
+        }
+
+        let mc = self.shard.dram.controller_for(line) as u32;
+        let mc_node = self.shard.noc.mc_node(mc, self.frozen.num_mcs);
+        let to_mc = self.shard.noc.transfer(slice, mc_node, line, now + latency);
+        let dram = self.shard.dram.read(line, now + latency + to_mc.latency);
+        latency += to_mc.latency + dram.latency;
+        self.shard.filled.insert(line);
+        MemAccess {
+            latency,
+            level: HitLevel::Dram,
+        }
+    }
+
+    /// Records a [`DeferredOp::Writeback`]; the core never waits on
+    /// writebacks, but ones that will miss the LLC still stamp the private
+    /// queue clones so bandwidth backpressure is charged this window.
+    fn shared_writeback(&mut self, core: u8, line: LineAddr, now: u64) {
+        debug_assert_eq!(core, self.shard.core);
+        self.shard.events.push(DeferredOp::Writeback { line, now });
+        if self.llc_has(line) {
+            return;
+        }
+        self.refresh_queues();
+        let slice = self.frozen.llc.home_slice(line);
+        let mc = self.shard.dram.controller_for(line) as u32;
+        let mc_node = self.shard.noc.mc_node(mc, self.frozen.num_mcs);
+        let _ = self.shard.noc.transfer(slice, mc_node, line, now);
+        let _ = self.shard.dram.writeback(line, now);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SystemConfig;
+    use crate::hierarchy::Uncore;
+
+    fn cfg() -> SystemConfig {
+        let mut cfg = SystemConfig::target_32core();
+        cfg.num_cores = 2;
+        cfg.llc.num_slices = 2;
+        cfg.noc.mesh_cols = 2;
+        cfg.noc.mesh_rows = 1;
+        cfg.noc.cross_section_links = 1;
+        cfg.dram.num_controllers = 1;
+        cfg.validate().unwrap();
+        cfg
+    }
+
+    #[test]
+    fn shard_latencies_match_uncore_for_a_fresh_window() {
+        let cfg = cfg();
+        let mut real = Uncore::new(&cfg);
+        let frozen = Uncore::new(&cfg);
+        let mut shard = WindowShard::new(0, &frozen);
+        shard.begin_window();
+        let mut backend = ShardBackend {
+            frozen: &frozen,
+            shard: &mut shard,
+        };
+        // Identical access sequence against an identical starting state
+        // must produce identical latencies and levels.
+        for (i, line) in [5u64, 9, 5, 77, 9].into_iter().enumerate() {
+            let now = i as u64 * 100;
+            let a = backend.shared_access(0, line, now);
+            let b = real.shared_access(0, line, now);
+            assert_eq!(a, b, "line {line} at {now}");
+        }
+        assert_eq!(shard.events.len(), 5);
+    }
+
+    #[test]
+    fn replaying_demands_reconstructs_uncore_state() {
+        let cfg = cfg();
+        let mut sequential = Uncore::new(&cfg);
+        let mut merged = Uncore::new(&cfg);
+        let frozen = Uncore::new(&cfg);
+        let mut shard = WindowShard::new(1, &frozen);
+        shard.begin_window();
+        {
+            let mut backend = ShardBackend {
+                frozen: &frozen,
+                shard: &mut shard,
+            };
+            for line in [3u64, 12, 3, 40] {
+                let _ = backend.shared_access(1, line, 0);
+                let _ = sequential.shared_access(1, line, 0);
+            }
+        }
+        for ev in shard.events.drain(..) {
+            match ev {
+                DeferredOp::Demand { line, now } => {
+                    let _ = merged.shared_access(1, line, now);
+                }
+                DeferredOp::Writeback { line, now } => merged.shared_writeback(1, line, now),
+            }
+        }
+        assert_eq!(merged.llc.stats(), sequential.llc.stats());
+        assert_eq!(merged.dram.total_bytes(), sequential.dram.total_bytes());
+        assert_eq!(merged.dram_bytes_per_core, sequential.dram_bytes_per_core);
+    }
+
+    #[test]
+    fn begin_window_discards_fill_overlay() {
+        let cfg = cfg();
+        let frozen = Uncore::new(&cfg);
+        let mut shard = WindowShard::new(0, &frozen);
+        shard.begin_window();
+        {
+            let mut backend = ShardBackend {
+                frozen: &frozen,
+                shard: &mut shard,
+            };
+            assert_eq!(backend.shared_access(0, 8, 0).level, HitLevel::Dram);
+            assert_eq!(
+                backend.shared_access(0, 8, 0).level,
+                HitLevel::Llc,
+                "own fill visible within the window"
+            );
+        }
+        shard.events.clear();
+        shard.begin_window();
+        let mut backend = ShardBackend {
+            frozen: &frozen,
+            shard: &mut shard,
+        };
+        assert_eq!(
+            backend.shared_access(0, 8, 0).level,
+            HitLevel::Dram,
+            "overlay does not leak across windows (the real fill lives in the merged uncore)"
+        );
+    }
+}

@@ -61,7 +61,14 @@ impl CoreResult {
             llc_hits: counters.load_llc_hits,
             dram_loads: counters.load_dram,
             dram_bytes,
-            bandwidth_gbps: dram_bytes as f64 / counters.cycles.max(1) as f64 * CORE_FREQ_GHZ,
+            // Zero-cycle guard: a core that never ran has no meaningful
+            // rate; `max(1)` here would instead report the raw byte count
+            // scaled by the frequency, a wildly wrong bandwidth.
+            bandwidth_gbps: if counters.cycles == 0 {
+                0.0
+            } else {
+                dram_bytes as f64 / counters.cycles as f64 * CORE_FREQ_GHZ
+            },
             llc_mpki: if counters.instructions == 0 {
                 0.0
             } else {
@@ -264,6 +271,15 @@ mod tests {
         assert_eq!(r.ipc, 0.0);
         assert_eq!(r.llc_mpki, 0.0);
         assert_eq!(r.bandwidth_gbps, 0.0);
+    }
+
+    #[test]
+    fn zero_cycles_with_traffic_reports_zero_bandwidth() {
+        // Bytes attributed to a core that recorded no cycles (e.g. an
+        // empty measured window) must not explode into a huge rate.
+        let r = CoreResult::from_counts("idle", CoreCounters::default(), 64_000, 0);
+        assert_eq!(r.bandwidth_gbps, 0.0);
+        assert!(r.bandwidth_gbps.is_finite());
     }
 
     #[test]

@@ -6,15 +6,32 @@
 //! evaluated. Following the paper's methodology (§IV-2), a multiprogram
 //! run ends as soon as the *first* benchmark in the mix retires its
 //! instruction budget.
+//!
+//! # Parallel execution
+//!
+//! Each window runs in two phases. In the **fork** phase every core
+//! advances to the quantum boundary against a *frozen* snapshot of the
+//! shared uncore plus its private [`WindowShard`] (see [`crate::shard`]);
+//! cores are fully independent here, so the phase can run on
+//! [`SystemConfig::sim_threads`] scoped host threads. In the **merge**
+//! phase the master replays every core's deferred events into the real
+//! uncore in an order derived from the window index alone. Both the
+//! sequential (`sim_threads = 1`) and parallel paths execute exactly this
+//! algorithm, so `SimResult` and the epoch-sample stream are bit-identical
+//! at any thread count.
 
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Barrier, Mutex, PoisonError, RwLock};
 use std::time::Instant;
 
 use crate::cache::CacheStats;
 use crate::config::SystemConfig;
 use crate::core_model::CoreModel;
-use crate::error::SimError;
-use crate::hierarchy::{PrivateCaches, Uncore};
+use crate::dram::ControllerStats;
+use crate::error::{ConfigError, SimError};
+use crate::hierarchy::{MemoryBackend, PrivateCaches, Uncore};
 use crate::noc::NocStats;
+use crate::shard::{DeferredOp, ShardBackend, WindowShard};
 use crate::stats::{CoreResult, SimResult};
 use crate::timeline::{EpochSample, NullSink, TimelineSink};
 use crate::trace::InstructionSource;
@@ -113,6 +130,7 @@ impl Timeline {
 pub struct MulticoreSystem {
     cfg: SystemConfig,
     cores: Vec<CoreCtx>,
+    shards: Vec<WindowShard>,
     uncore: Uncore,
     global_cycle: u64,
     /// Active timeline recorder: `(interval, next mark, samples)`.
@@ -150,20 +168,26 @@ impl MulticoreSystem {
             });
         }
         let uncore = Uncore::new(&cfg);
-        let cores = sources
-            .into_iter()
-            .enumerate()
-            .map(|(i, source)| CoreCtx {
-                model: CoreModel::new(cfg.core.clone(), i as u8),
+        let mut cores = Vec::with_capacity(sources.len());
+        let mut shards = Vec::with_capacity(sources.len());
+        for (i, source) in sources.into_iter().enumerate() {
+            // Core ids travel the hierarchy as u8; validate() bounds
+            // num_cores by MAX_CORES, so this conversion cannot truncate.
+            let core_id = u8::try_from(i)
+                .map_err(|_| SimError::Config(ConfigError::TooManyCores(cfg.num_cores)))?;
+            cores.push(CoreCtx {
+                model: CoreModel::new(cfg.core.clone(), core_id),
                 privs: PrivateCaches::new(&cfg),
                 source,
                 retired: 0,
                 finished: false,
-            })
-            .collect();
+            });
+            shards.push(WindowShard::new(core_id, &uncore));
+        }
         Ok(Self {
             cfg,
             cores,
+            shards,
             uncore,
             global_cycle: 0,
             timeline: None,
@@ -180,122 +204,162 @@ impl MulticoreSystem {
     /// [`EpochSample`] per synchronization window into `sink` when it is
     /// enabled. Sampling only reads simulator state, so results are
     /// identical whether or not a recording sink is attached.
-    fn run_phase(&mut self, budget: u64, sink: &mut dyn TimelineSink<EpochSample>) {
+    ///
+    /// Every window forks the cores against a frozen uncore snapshot
+    /// (possibly on `sim_threads` scoped host threads) and merges their
+    /// deferred events at the barrier; see the module docs for the
+    /// determinism argument.
+    fn run_phase(
+        &mut self,
+        budget: u64,
+        sink: &mut dyn TimelineSink<EpochSample>,
+    ) -> Result<(), SimError> {
         if budget == 0 {
-            return;
+            return Ok(());
         }
-        let n = self.cores.len();
-        let mut rotation = 0usize;
+        let Self {
+            cfg,
+            cores,
+            shards,
+            uncore,
+            global_cycle,
+            timeline,
+        } = self;
+        let n = cores.len();
         // Baselines so samples read relative to this phase's start; a
         // disabled sink skips all sampling work.
         let sampling = sink.enabled();
         let (cycle0, noc0, llc0, dram_bytes0, controllers0) = if sampling {
             (
-                self.global_cycle,
-                self.uncore.noc.stats(),
-                self.uncore.llc.stats(),
-                self.uncore.dram.total_bytes(),
-                self.uncore.dram.controller_stats(),
+                *global_cycle,
+                uncore.noc.stats(),
+                uncore.llc.stats(),
+                uncore.dram.total_bytes(),
+                uncore.dram.controller_stats(),
             )
         } else {
             (0, NocStats::default(), CacheStats::default(), 0, Vec::new())
         };
-        let mut epoch = 0u64;
-        loop {
-            let quantum_end = self.global_cycle + self.cfg.sync_quantum;
-            // Rotate the service order each quantum so no core is
-            // systematically first to stamp the shared queues.
-            for k in 0..n {
-                let idx = (k + rotation) % n;
-                let ctx = &mut self.cores[idx];
-                if ctx.finished {
-                    continue;
-                }
-                while ctx.model.cycle < quantum_end && ctx.retired < budget {
-                    let left = budget - ctx.retired;
-                    ctx.retired += ctx.model.run_window(
-                        ctx.source.as_mut(),
-                        &mut ctx.privs,
-                        &mut self.uncore,
-                        left,
-                    );
-                }
-                if ctx.retired >= budget {
-                    ctx.finished = true;
-                }
-            }
-            rotation = rotation.wrapping_add(1);
-            // Apply deferred inclusion invalidations at the barrier.
-            {
-                let mut privs: Vec<&mut PrivateCaches> =
-                    self.cores.iter_mut().map(|c| &mut c.privs).collect();
-                // Uncore::apply_invalidations expects a slice of
-                // PrivateCaches; adapt through a temporary swap-free path.
-                let pending = std::mem::take(&mut self.uncore.pending_invalidations);
-                for (owner, line) in pending {
-                    let p = &mut privs[owner as usize];
-                    let mut dirty = false;
-                    if let Some(ev) = p.l1d.invalidate(line) {
-                        dirty |= ev.dirty;
-                    }
-                    p.l1i.invalidate(line);
-                    if let Some(ev) = p.l2.invalidate(line) {
-                        dirty |= ev.dirty;
-                    }
-                    if dirty {
-                        self.uncore.writeback_to_dram(line, owner, quantum_end);
+        let mut driver = PhaseDriver {
+            quantum: cfg.sync_quantum,
+            sampling,
+            cycle0,
+            noc0,
+            llc0,
+            dram_bytes0,
+            controllers0,
+            epoch: 0,
+            window_index: 0,
+            sink,
+            global_cycle,
+            timeline,
+        };
+        let threads = (cfg.sim_threads as usize).clamp(1, n);
+
+        if threads == 1 {
+            let mut pairs: Vec<(&mut CoreCtx, &mut WindowShard)> =
+                cores.iter_mut().zip(shards.iter_mut()).collect();
+            loop {
+                let quantum_end = driver.next_quantum_end()?;
+                {
+                    let _fork = sms_obs::tracer().span("window.fork", "sim");
+                    for (ctx, shard) in &mut pairs {
+                        run_core_window(ctx, shard, uncore, quantum_end, budget);
                     }
                 }
-            }
-            self.global_cycle = quantum_end;
-            if let Some((interval, next_mark, samples)) = &mut self.timeline {
-                if quantum_end >= *next_mark {
-                    samples.push(TimelineSample {
-                        cycle: quantum_end,
-                        instructions: self.cores.iter().map(|c| c.retired).collect(),
-                        dram_bytes: self.uncore.dram.total_bytes(),
-                    });
-                    while *next_mark <= quantum_end {
-                        *next_mark += *interval;
-                    }
+                if driver.merge(uncore, &mut pairs, quantum_end)? {
+                    return Ok(());
                 }
-            }
-            if sampling {
-                let noc = self.uncore.noc.stats();
-                let llc = self.uncore.llc.stats();
-                let controllers = self.uncore.dram.controller_stats();
-                sink.record(EpochSample {
-                    epoch,
-                    cycle: quantum_end - cycle0,
-                    instructions: self.cores.iter().map(|c| c.retired).collect(),
-                    core_cycles: self
-                        .cores
-                        .iter()
-                        .map(|c| c.model.counters().cycles)
-                        .collect(),
-                    llc_accesses: llc.accesses - llc0.accesses,
-                    llc_hits: llc.hits - llc0.hits,
-                    llc_occupancy: self.uncore.llc.occupancy() as u64,
-                    noc_transfers: noc.transfers - noc0.transfers,
-                    noc_crossings: noc.bisection_crossings - noc0.bisection_crossings,
-                    dram_bytes: self.uncore.dram.total_bytes() - dram_bytes0,
-                    dram_requests: controllers
-                        .iter()
-                        .zip(&controllers0)
-                        .map(|(c, c0)| c.requests - c0.requests)
-                        .collect(),
-                    dram_queue_wait: controllers
-                        .iter()
-                        .zip(&controllers0)
-                        .map(|(c, c0)| c.total_queue_wait - c0.total_queue_wait)
-                        .collect(),
-                });
-                epoch += 1;
-            }
-            if self.cores.iter().any(|c| c.finished) {
-                break;
             }
         }
+
+        // Parallel path: one contiguous chunk of cores per worker thread.
+        // Workers read the uncore through an RwLock and own their chunk
+        // through a Mutex during the fork phase; the master takes the
+        // write lock and all chunk locks for the merge. The two fork
+        // barriers separate the phases, so no lock is ever contended.
+        let mut chunk_locks: Vec<Mutex<(&mut [CoreCtx], &mut [WindowShard])>> =
+            Vec::with_capacity(threads);
+        {
+            let mut cores_rest: &mut [CoreCtx] = cores;
+            let mut shards_rest: &mut [WindowShard] = shards;
+            for t in 0..threads {
+                let take = n / threads + usize::from(t < n % threads);
+                let (cores_head, cores_tail) = cores_rest.split_at_mut(take);
+                let (shards_head, shards_tail) = shards_rest.split_at_mut(take);
+                cores_rest = cores_tail;
+                shards_rest = shards_tail;
+                chunk_locks.push(Mutex::new((cores_head, shards_head)));
+            }
+        }
+        let uncore_lock = RwLock::new(uncore);
+        let barrier = Barrier::new(threads + 1);
+        let quantum_end_cell = AtomicU64::new(0);
+        let done = AtomicBool::new(false);
+        let mut outcome = Ok(());
+        std::thread::scope(|scope| {
+            let barrier = &barrier;
+            let done = &done;
+            let quantum_end_cell = &quantum_end_cell;
+            let uncore_lock = &uncore_lock;
+            for chunk in &chunk_locks {
+                scope.spawn(move || loop {
+                    barrier.wait();
+                    if done.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let quantum_end = quantum_end_cell.load(Ordering::Acquire);
+                    let frozen = uncore_lock.read().unwrap_or_else(PoisonError::into_inner);
+                    let mut guard = chunk.lock().unwrap_or_else(PoisonError::into_inner);
+                    let (ctxs, shrds) = &mut *guard;
+                    for (ctx, shard) in ctxs.iter_mut().zip(shrds.iter_mut()) {
+                        run_core_window(ctx, shard, &frozen, quantum_end, budget);
+                    }
+                    drop(guard);
+                    drop(frozen);
+                    barrier.wait();
+                });
+            }
+            loop {
+                let quantum_end = match driver.next_quantum_end() {
+                    Ok(q) => q,
+                    Err(e) => {
+                        outcome = Err(e);
+                        break;
+                    }
+                };
+                quantum_end_cell.store(quantum_end, Ordering::Release);
+                {
+                    let _fork = sms_obs::tracer().span("window.fork", "sim");
+                    barrier.wait(); // release the workers into the window
+                    barrier.wait(); // wait for every core to reach the barrier
+                }
+                let mut uncore_guard = uncore_lock.write().unwrap_or_else(PoisonError::into_inner);
+                let mut chunk_guards: Vec<_> = chunk_locks
+                    .iter()
+                    .map(|c| c.lock().unwrap_or_else(PoisonError::into_inner))
+                    .collect();
+                // Flatten back into core-index order (chunks are contiguous
+                // and in order) so the merge sees the same layout as the
+                // sequential path.
+                let mut pairs: Vec<(&mut CoreCtx, &mut WindowShard)> = Vec::with_capacity(n);
+                for guard in &mut chunk_guards {
+                    let (ctxs, shrds) = &mut **guard;
+                    pairs.extend(ctxs.iter_mut().zip(shrds.iter_mut()));
+                }
+                match driver.merge(&mut uncore_guard, &mut pairs, quantum_end) {
+                    Ok(true) => break,
+                    Ok(false) => {}
+                    Err(e) => {
+                        outcome = Err(e);
+                        break;
+                    }
+                }
+            }
+            done.store(true, Ordering::Release);
+            barrier.wait();
+        });
+        outcome
     }
 
     /// Like [`MulticoreSystem::run`], additionally sampling cumulative
@@ -358,7 +422,7 @@ impl MulticoreSystem {
 
         // Warm-up: run, then reset all measurement state.
         if spec.warmup_instructions > 0 {
-            self.run_phase(spec.warmup_instructions, &mut NullSink);
+            self.run_phase(spec.warmup_instructions, &mut NullSink)?;
             for ctx in &mut self.cores {
                 ctx.model.reset_counters();
                 ctx.retired = 0;
@@ -385,7 +449,7 @@ impl MulticoreSystem {
 
         // sms-lint: allow(D1): host wall-time telemetry only; never feeds simulated state
         let wall = Instant::now();
-        self.run_phase(spec.measure_instructions, sink);
+        self.run_phase(spec.measure_instructions, sink)?;
         let host_seconds = wall.elapsed().as_secs_f64();
 
         let elapsed_cycles = self
@@ -428,6 +492,168 @@ impl MulticoreSystem {
             llc_hits: llc_after.hits - llc_before.hits,
             host_seconds,
         })
+    }
+}
+
+/// Advance one core to `quantum_end` (or until its budget is exhausted)
+/// against the frozen uncore snapshot, accumulating deferred shared-memory
+/// events in its shard. Pure per-core work: safe to run concurrently for
+/// different cores.
+fn run_core_window(
+    ctx: &mut CoreCtx,
+    shard: &mut WindowShard,
+    frozen: &Uncore,
+    quantum_end: u64,
+    budget: u64,
+) {
+    if ctx.finished {
+        return;
+    }
+    shard.begin_window();
+    let mut backend = ShardBackend { frozen, shard };
+    while ctx.model.cycle < quantum_end && ctx.retired < budget {
+        let left = budget - ctx.retired;
+        ctx.retired +=
+            ctx.model
+                .run_window(ctx.source.as_mut(), &mut ctx.privs, &mut backend, left);
+    }
+    if ctx.retired >= budget {
+        ctx.finished = true;
+    }
+}
+
+/// Master-side state for one `run_phase` call: the sampling baselines, the
+/// sink, and the window counter that drives the merge ordering. Shared by
+/// the sequential and parallel paths so they execute the same barrier code.
+struct PhaseDriver<'a> {
+    quantum: u64,
+    sampling: bool,
+    cycle0: u64,
+    noc0: NocStats,
+    llc0: CacheStats,
+    dram_bytes0: u64,
+    controllers0: Vec<ControllerStats>,
+    epoch: u64,
+    window_index: u64,
+    sink: &'a mut dyn TimelineSink<EpochSample>,
+    global_cycle: &'a mut u64,
+    timeline: &'a mut Option<(u64, u64, Vec<TimelineSample>)>,
+}
+
+impl PhaseDriver<'_> {
+    /// The next window's end cycle; checked so a `sync_quantum` near the
+    /// `u64` boundary fails loudly instead of wrapping the global clock.
+    fn next_quantum_end(&self) -> Result<u64, SimError> {
+        self.global_cycle
+            .checked_add(self.quantum)
+            .ok_or(SimError::Config(ConfigError::Overflow(
+                "global_cycle + sync_quantum",
+            )))
+    }
+
+    /// The quantum barrier: replay every core's deferred events into the
+    /// real uncore, apply inclusion back-invalidations, advance the global
+    /// clock, sample, and evaluate the stop rule. Returns `true` when the
+    /// phase is finished.
+    ///
+    /// `pairs` must be in core-index order; the replay order rotates with
+    /// the window index — a pure function of it, never mutable round-robin
+    /// state — so no core is systematically first to stamp the shared
+    /// queues, and the merged state is independent of the host thread
+    /// count. The failpoint fires once per window on the master thread,
+    /// keeping fault decisions thread-count independent too.
+    fn merge(
+        &mut self,
+        uncore: &mut Uncore,
+        pairs: &mut [(&mut CoreCtx, &mut WindowShard)],
+        quantum_end: u64,
+    ) -> Result<bool, SimError> {
+        if let Err(e) = sms_faults::check("sim.window.merge") {
+            return Err(SimError::Injected(e.to_string()));
+        }
+        let _merge = sms_obs::tracer().span("window.merge", "sim");
+        let n = pairs.len();
+        let start = (self.window_index % n as u64) as usize;
+        for k in 0..n {
+            let (_, shard) = &mut pairs[(start + k) % n];
+            let core = shard.core;
+            let mut events = std::mem::take(&mut shard.events);
+            for ev in events.drain(..) {
+                match ev {
+                    DeferredOp::Demand { line, now } => {
+                        let _ = uncore.access(core, line, now);
+                    }
+                    DeferredOp::Writeback { line, now } => {
+                        uncore.shared_writeback(core, line, now);
+                    }
+                }
+            }
+            // Hand the (now empty) buffer back to keep its allocation.
+            shard.events = events;
+        }
+        // Apply deferred inclusion invalidations at the barrier.
+        let pending = std::mem::take(&mut uncore.pending_invalidations);
+        for (owner, line) in pending {
+            let (ctx, _) = &mut pairs[owner as usize];
+            let p = &mut ctx.privs;
+            let mut dirty = false;
+            if let Some(ev) = p.l1d.invalidate(line) {
+                dirty |= ev.dirty;
+            }
+            p.l1i.invalidate(line);
+            if let Some(ev) = p.l2.invalidate(line) {
+                dirty |= ev.dirty;
+            }
+            if dirty {
+                uncore.writeback_to_dram(line, owner, quantum_end);
+            }
+        }
+        *self.global_cycle = quantum_end;
+        self.window_index += 1;
+        if let Some((interval, next_mark, samples)) = self.timeline.as_mut() {
+            if quantum_end >= *next_mark {
+                samples.push(TimelineSample {
+                    cycle: quantum_end,
+                    instructions: pairs.iter().map(|(c, _)| c.retired).collect(),
+                    dram_bytes: uncore.dram.total_bytes(),
+                });
+                while *next_mark <= quantum_end {
+                    *next_mark += *interval;
+                }
+            }
+        }
+        if self.sampling {
+            let noc = uncore.noc.stats();
+            let llc = uncore.llc.stats();
+            let controllers = uncore.dram.controller_stats();
+            self.sink.record(EpochSample {
+                epoch: self.epoch,
+                cycle: quantum_end - self.cycle0,
+                instructions: pairs.iter().map(|(c, _)| c.retired).collect(),
+                core_cycles: pairs
+                    .iter()
+                    .map(|(c, _)| c.model.counters().cycles)
+                    .collect(),
+                llc_accesses: llc.accesses - self.llc0.accesses,
+                llc_hits: llc.hits - self.llc0.hits,
+                llc_occupancy: uncore.llc.occupancy() as u64,
+                noc_transfers: noc.transfers - self.noc0.transfers,
+                noc_crossings: noc.bisection_crossings - self.noc0.bisection_crossings,
+                dram_bytes: uncore.dram.total_bytes() - self.dram_bytes0,
+                dram_requests: controllers
+                    .iter()
+                    .zip(&self.controllers0)
+                    .map(|(c, c0)| c.requests - c0.requests)
+                    .collect(),
+                dram_queue_wait: controllers
+                    .iter()
+                    .zip(&self.controllers0)
+                    .map(|(c, c0)| c.total_queue_wait - c0.total_queue_wait)
+                    .collect(),
+            });
+            self.epoch += 1;
+        }
+        Ok(pairs.iter().any(|(c, _)| c.finished))
     }
 }
 
@@ -690,11 +916,7 @@ mod tests {
         // core retired exactly the measured budget.
         assert_eq!(
             *last.instructions.iter().max().unwrap(),
-            r.cores
-                .iter()
-                .map(|c| c.instructions)
-                .max()
-                .unwrap()
+            r.cores.iter().map(|c| c.instructions).max().unwrap()
         );
     }
 

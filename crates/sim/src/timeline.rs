@@ -118,7 +118,17 @@ impl SimTimeline {
             } else {
                 self.samples[i - 1].clone()
             };
-            let dc = s.cycle.saturating_sub(baseline.cycle).max(1) as f64;
+            // Zero-cycle epochs (duplicate or out-of-order samples) have no
+            // meaningful rates: report 0.0 instead of letting a zero
+            // denominator leak NaN/inf into renders and CSV exports.
+            let dcycles = s.cycle.saturating_sub(baseline.cycle);
+            let rate = |delta: u64| {
+                if dcycles == 0 {
+                    0.0
+                } else {
+                    delta as f64 / dcycles as f64
+                }
+            };
             let di: u64 = delta_vec(&s.instructions, &baseline.instructions)
                 .iter()
                 .sum();
@@ -127,16 +137,14 @@ impl SimTimeline {
             rates.push(EpochRates {
                 epoch: s.epoch,
                 cycle: s.cycle,
-                ipc: di as f64 / dc,
+                ipc: rate(di),
                 llc_hit_rate: if da == 0 { 0.0 } else { dh as f64 / da as f64 },
                 llc_occupancy: s.llc_occupancy,
-                noc_transfers_per_kcycle: (s.noc_transfers - baseline.noc_transfers) as f64
-                    / dc
-                    * 1000.0,
-                dram_gbps: (s.dram_bytes - baseline.dram_bytes) as f64 / dc * CORE_FREQ_GHZ,
+                noc_transfers_per_kcycle: rate(s.noc_transfers - baseline.noc_transfers) * 1000.0,
+                dram_gbps: rate(s.dram_bytes - baseline.dram_bytes) * CORE_FREQ_GHZ,
                 queue_depth: delta_vec(&s.dram_queue_wait, &baseline.dram_queue_wait)
                     .iter()
-                    .map(|&w| w as f64 / dc)
+                    .map(|&w| rate(w))
                     .collect(),
             });
         }
@@ -239,6 +247,24 @@ mod tests {
             assert!((r.queue_depth[0] - 0.5).abs() < 1e-12);
         }
         assert!((rates[0].dram_gbps - rates[1].dram_gbps).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_cycle_epochs_yield_finite_zero_rates() {
+        // A duplicate sample (no cycles elapsed) must not produce NaN/inf.
+        let tl = SimTimeline {
+            sync_quantum: 1000,
+            num_cores: 1,
+            samples: vec![sample(0, 1000, 2000, 6400), sample(1, 1000, 2500, 9000)],
+        };
+        let rates = tl.epoch_rates();
+        let r = &rates[1];
+        assert_eq!(r.ipc, 0.0);
+        assert_eq!(r.noc_transfers_per_kcycle, 0.0);
+        assert_eq!(r.dram_gbps, 0.0);
+        assert!(r.queue_depth.iter().all(|q| *q == 0.0));
+        let csv = tl.render_csv();
+        assert!(!csv.contains("NaN") && !csv.contains("inf"), "{csv}");
     }
 
     #[test]
