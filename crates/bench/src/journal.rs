@@ -43,6 +43,12 @@ pub struct PlanHeader {
     pub threads: usize,
     /// Whether per-run timelines were requested.
     pub timelines: bool,
+    /// For `sms explore` plans: the resolved explore (spec + pruning
+    /// knobs) as canonical JSON, so `sms resume` replays the identical
+    /// exploration. Absent (and not serialized) for plain sweeps, which
+    /// keeps schema version 1 journals readable both ways.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub explore: Option<String>,
 }
 
 /// One journal line.
@@ -232,6 +238,7 @@ mod tests {
             seed: 43,
             threads: 2,
             timelines: false,
+            explore: None,
         }
     }
 

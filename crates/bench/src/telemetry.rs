@@ -233,7 +233,7 @@ impl RunManifest {
 /// benchmark names joined with `+` (truncated).
 pub fn mix_label(mix: &MixSpec) -> String {
     let n = mix.benchmarks.len();
-    if n > 1 && mix.benchmarks.iter().all(|b| b == &mix.benchmarks[0]) {
+    if n >= 1 && mix.benchmarks.iter().all(|b| b == &mix.benchmarks[0]) {
         return format!("{n}x {}", mix.benchmarks[0]);
     }
     let mut label = mix.benchmarks.join("+");
@@ -465,7 +465,9 @@ pub fn write_manifest(dir: &Path, manifest: &RunManifest) -> Option<PathBuf> {
     }
 }
 
-pub(crate) fn sanitize_label(label: &str) -> String {
+/// Restrict a user-supplied label to filename-safe characters, matching
+/// the stems used for journal, manifest, and explore artifacts.
+pub fn sanitize_label(label: &str) -> String {
     label
         .chars()
         .map(|c| if c.is_ascii_alphanumeric() || c == '-' || c == '_' { c } else { '_' })

@@ -12,7 +12,10 @@
 //! sms bench-table                                          # characterize the suite
 //! sms bench sim [--cores 8] [--threads-list 1,2,8] [--reps 3] [--out BENCH_sim.json]
 //! sms sweep     --bench lbm_r[,mcf_r,...] [--target-cores 32] [--threads T] [--sim-threads K] [--results DIR] [--timelines] [--spans]
-//! sms resume    --label L [--results DIR] [--threads T]     # continue an interrupted sweep
+//! sms explore   --spec machine.toml [--label L] [--no-prune] [--results DIR] [--threads T]
+//! sms machine show --spec machine.toml [--json]             # resolve & render a machine spec
+//! sms machine validate --spec machine.toml                  # validate a spec and count grid points
+//! sms resume    --label L [--results DIR] [--threads T]     # continue an interrupted sweep or explore
 //! sms fsck      [--results DIR]                             # verify & repair the result cache
 //! sms quarantine [--results DIR] [--clear]                  # list / release quarantined runs
 //! sms manifest  --path results/cache/manifests/LABEL.json  # inspect a run manifest
@@ -34,6 +37,10 @@ use sms_bench::{
     TimelineFile, JOURNAL_SCHEMA_VERSION, TIMELINE_SCHEMA_VERSION,
 };
 use sms_core::artifact::train_artifact;
+use sms_explore::{
+    run_explore, ExploreError, ExploreOutcome, ExploreParams, MachineSpec, PruneParams,
+    ResolvedExplore,
+};
 use sms_core::pipeline::{homogeneous_plan, mean_bandwidth, mean_ipc, DirectSim, ExperimentConfig};
 use sms_core::predictor::{MlKind, ModelParams};
 use sms_core::scaling::{scale_config, scale_table, target_config, MemBwScaling, ScalingPolicy};
@@ -76,6 +83,9 @@ pub enum CliError {
     UnknownBenchmark(String),
     /// Simulation failed.
     Sim(String),
+    /// A machine spec failed to load, validate, or explore; the payload
+    /// is the already-rendered (possibly multi-line) diagnostic.
+    Spec(String),
     /// I/O failure.
     Io(String),
     /// `sms lint` found violations; the payload is the rendered report
@@ -105,6 +115,7 @@ impl std::fmt::Display for CliError {
                 )
             }
             Self::Sim(e) => write!(f, "simulation failed: {e}"),
+            Self::Spec(e) => write!(f, "{e}"),
             Self::Io(e) => write!(f, "i/o error: {e}"),
             Self::Lint(report) => write!(f, "{report}"),
         }
@@ -172,6 +183,15 @@ impl Args {
         usize::try_from(wide).map_err(|_| CliError::BadValue(key.to_owned(), wide.to_string()))
     }
 
+    fn get_f64(&self, key: &str, default: f64) -> Result<f64, CliError> {
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| CliError::BadValue(key.to_owned(), v.clone())),
+        }
+    }
+
     fn flag(&self, key: &str) -> bool {
         self.options.contains_key(key)
     }
@@ -192,6 +212,9 @@ pub fn run(args: &Args) -> Result<String, CliError> {
         "bench-table" => cmd_bench_table(args),
         "bench sim" => cmd_bench_sim(args),
         "sweep" => cmd_sweep(args),
+        "explore" => cmd_explore(args),
+        "machine show" => cmd_machine_show(args),
+        "machine validate" => cmd_machine_validate(args),
         "resume" => cmd_resume(args),
         "fsck" => cmd_fsck(args),
         "quarantine" => cmd_quarantine(args),
@@ -216,6 +239,9 @@ pub const COMMANDS: &[&str] = &[
     "bench-table",
     "bench sim",
     "sweep",
+    "explore",
+    "machine show",
+    "machine validate",
     "resume",
     "fsck",
     "quarantine",
@@ -234,9 +260,12 @@ sms — scale-model architectural simulation
 
 USAGE:
   sms simulate --bench NAME[,NAME...] --cores N [--policy prs|nrs] [--budget N] [--seed S] [--json]
-               [--sim-threads K] [--timeline-out FILE]
+               [--sim-threads K] [--timeline-out FILE] [--machine FILE]
       Simulate a multiprogram mix on an N-core PRS/NRS machine (repeat
       a single name to fill all cores) and print per-core results. With
+      --machine FILE, load the machine geometry (and the default mix,
+      seed, and budget) from a spec file instead; --cores,
+      --target-cores, and --policy then conflict with the spec. With
       --timeline-out, also record per-sync-window samples (IPC, LLC,
       NoC, DRAM) and write them as a timeline file for `sms timeline`.
       --sim-threads K runs each sync window's cores on K worker threads;
@@ -284,12 +313,37 @@ USAGE:
       parallelizes the cores inside each run (bit-identical results, so
       cache keys and journals are unchanged).
 
+  sms explore --spec FILE [--label L] [--results DIR] [--threads T] [--sim-threads K]
+              [--no-prune] [--prune-seed S] [--bootstrap F] [--margin M]
+      Run the spec's [grid] design-space sweep through the fault-tolerant
+      executor and print the Pareto front (throughput vs LLC capacity vs
+      core count). Results are cached, journaled (so a killed explore is
+      resumable with `sms resume`), and summarized in a canonical-JSON
+      manifest under DIR/cache/explore/L.json. By default a seeded
+      bootstrap sample is evaluated first, an sms-ml random forest is
+      trained on it, and points whose predicted throughput is dominated
+      with margin M (default 0.10) by an observed no-more-expensive point
+      are skipped; every skip and a holdout predicted-vs-actual audit
+      land in the manifest. --no-prune evaluates every point.
+
+  sms machine show --spec FILE [--json]
+      Load a machine spec (TOML subset, or JSON with a .json extension),
+      resolve defaults, and render it back as TOML (or canonical JSON
+      with --json). The rendering round-trips through `sms machine
+      validate`.
+
+  sms machine validate --spec FILE
+      Validate a machine spec, reporting every field-level problem with
+      its dotted path, and print the machine summary plus the number of
+      design points the [grid] section expands to.
+
   sms resume --label L [--results DIR] [--threads T] [--sim-threads K]
-      Continue an interrupted `sms sweep`: replay the label's plan
-      journal, rebuild the identical plan from its recorded header, and
-      re-execute it. Cached runs are skipped and quarantined runs are
-      retried, so repeating resume after crashes converges on the same
-      final cache as one uninterrupted sweep.
+      Continue an interrupted `sms sweep` or `sms explore`: replay the
+      label's plan journal, rebuild the identical plan from its recorded
+      header, and re-execute it. Cached runs are skipped and quarantined
+      runs are retried, so repeating resume after crashes converges on
+      the same final cache (and, for explore, a bit-identical manifest)
+      as one uninterrupted run.
 
   sms fsck [--results DIR]
       Verify every result-cache file under DIR/cache: cache entries
@@ -343,19 +397,37 @@ USAGE:
       Print this help.
 ";
 
-fn machine_for(args: &Args, cores: u32) -> Result<SystemConfig, CliError> {
-    let target_cores = args.get_u32("target-cores", 32.max(cores))?;
-    let target = target_config(target_cores.max(cores).next_power_of_two());
+/// The target core count actually simulated for a `--target-cores`
+/// request: at least the scale-model core count, rounded up to a power
+/// of two.
+fn effective_target_cores(requested: u32, cores: u32) -> u32 {
+    requested.max(cores).next_power_of_two()
+}
+
+/// Build the machine for `--cores`/`--target-cores`/`--policy`. The
+/// second element is a one-line notice when the requested target was
+/// adjusted (previously this rounding was silent).
+fn machine_for(args: &Args, cores: u32) -> Result<(SystemConfig, Option<String>), CliError> {
+    let requested = args.get_u32("target-cores", 32.max(cores))?;
+    let effective = effective_target_cores(requested, cores);
+    let notice = (effective != requested).then(|| {
+        format!(
+            "note: --target-cores {requested} adjusted to {effective} \
+             (at least --cores, rounded up to a power of two)"
+        )
+    });
+    let target = target_config(effective);
     let policy = match args.options.get("policy").map(String::as_str) {
         None | Some("prs") => ScalingPolicy::prs(),
         Some("nrs") => ScalingPolicy::nrs(),
         Some(other) => return Err(CliError::BadValue("policy".into(), other.to_owned())),
     };
-    Ok(if cores == target.num_cores {
+    let machine = if cores == target.num_cores {
         target
     } else {
         scale_config(&target, cores, policy)
-    })
+    };
+    Ok((machine, notice))
 }
 
 fn spec_for(args: &Args) -> Result<RunSpec, CliError> {
@@ -363,7 +435,47 @@ fn spec_for(args: &Args) -> Result<RunSpec, CliError> {
     Ok(RunSpec::with_default_warmup(budget))
 }
 
-fn cmd_simulate(args: &Args) -> Result<String, CliError> {
+/// The simulate inputs: machine, mix, run spec, and any notices to
+/// prepend to the output. Either derived from `--machine FILE` (a spec
+/// file supplies machine geometry plus workload defaults) or from the
+/// classic `--cores`/`--target-cores`/`--policy` flags.
+fn simulate_setup(args: &Args) -> Result<(SystemConfig, MixSpec, RunSpec, String), CliError> {
+    if let Some(path) = args.options.get("machine") {
+        for conflict in ["cores", "target-cores", "policy"] {
+            if args.options.contains_key(conflict) {
+                return Err(CliError::Spec(format!(
+                    "--{conflict} conflicts with --machine (the spec file fixes the machine)"
+                )));
+            }
+        }
+        let spec =
+            MachineSpec::load(Path::new(path)).map_err(|e| CliError::Spec(e.to_string()))?;
+        let names: Vec<String> = match args.options.get("bench") {
+            Some(bench) => bench.split(',').map(str::to_owned).collect(),
+            None => spec
+                .workloads
+                .mixes
+                .first()
+                .cloned()
+                .ok_or(CliError::MissingOption("bench"))?,
+        };
+        for n in &names {
+            if by_name(n).is_none() {
+                return Err(CliError::UnknownBenchmark(n.clone()));
+            }
+        }
+        let seed = args.get_u64("seed", spec.workloads.seed)?;
+        let budget = args.get_u64("budget", spec.workloads.budget)?;
+        let mix = MixSpec::fill(&names, spec.machine.num_cores as usize, seed);
+        let notice = format!("machine spec: {} ({path})\n", spec.name);
+        return Ok((
+            spec.machine,
+            mix,
+            RunSpec::with_default_warmup(budget),
+            notice,
+        ));
+    }
+
     let bench = args
         .options
         .get("bench")
@@ -374,20 +486,22 @@ fn cmd_simulate(args: &Args) -> Result<String, CliError> {
     }
     let seed = args.get_u64("seed", 43)?;
 
-    let names: Vec<&str> = bench.split(',').collect();
+    let names: Vec<String> = bench.split(',').map(str::to_owned).collect();
     for n in &names {
         if by_name(n).is_none() {
-            return Err(CliError::UnknownBenchmark((*n).to_owned()));
+            return Err(CliError::UnknownBenchmark(n.clone()));
         }
     }
-    let benchmarks: Vec<String> = (0..cores as usize)
-        .map(|i| names[i % names.len()].to_owned())
-        .collect();
-    let mix = MixSpec { benchmarks, seed };
+    let mix = MixSpec::fill(&names, cores as usize, seed);
+    let (machine, notice) = machine_for(args, cores)?;
+    let notes = notice.map(|n| format!("{n}\n")).unwrap_or_default();
+    Ok((machine, mix, spec_for(args)?, notes))
+}
 
-    let mut machine = machine_for(args, cores)?;
+fn cmd_simulate(args: &Args) -> Result<String, CliError> {
+    let (mut machine, mix, spec, notes) = simulate_setup(args)?;
+    let cores = machine.num_cores;
     machine.sim_threads = args.get_u32("sim-threads", 1)?;
-    let spec = spec_for(args)?;
     let mut sys = MulticoreSystem::new(machine.clone(), mix.sources())
         .map_err(|e| CliError::Sim(e.to_string()))?;
     let mut timeline_note = String::new();
@@ -423,7 +537,7 @@ fn cmd_simulate(args: &Args) -> Result<String, CliError> {
         return serde_json::to_string_pretty(&r).map_err(|e| CliError::Io(e.to_string()));
     }
     Ok(format!(
-        "machine: {}\n{r}{timeline_note}",
+        "{notes}machine: {}\n{r}{timeline_note}",
         machine.summary()
     ))
 }
@@ -799,6 +913,7 @@ fn run_sweep(p: &SweepParams) -> Result<String, CliError> {
             seed: p.seed,
             threads: p.threads,
             timelines: p.timelines,
+            explore: None,
         })),
         Err(e) => eprintln!("[{}] warning: cannot open plan journal: {e}", p.label),
     }
@@ -882,6 +997,125 @@ fn cmd_sweep(args: &Args) -> Result<String, CliError> {
     run_sweep(&p)
 }
 
+fn load_spec(args: &Args) -> Result<MachineSpec, CliError> {
+    let path = args
+        .options
+        .get("spec")
+        .ok_or(CliError::MissingOption("spec"))?;
+    MachineSpec::load(Path::new(path)).map_err(|e| CliError::Spec(e.to_string()))
+}
+
+fn cmd_machine_show(args: &Args) -> Result<String, CliError> {
+    let spec = load_spec(args)?;
+    Ok(if args.flag("json") {
+        spec.render_json()
+    } else {
+        spec.render_toml()
+    })
+}
+
+fn cmd_machine_validate(args: &Args) -> Result<String, CliError> {
+    let spec = load_spec(args)?;
+    let grid_points = if spec.grid.is_empty() {
+        0
+    } else {
+        spec.grid
+            .expand(&spec.machine)
+            .map_err(|errs| {
+                CliError::Spec(
+                    errs.iter()
+                        .map(ToString::to_string)
+                        .collect::<Vec<_>>()
+                        .join("\n"),
+                )
+            })?
+            .len()
+    };
+    Ok(format!(
+        "spec `{}` (schema {}) is valid\n\
+         machine: {}\n\
+         workloads: {} mix(es), seed {}, budget {}\n\
+         grid: {} axis(es), {} design point(s)\n",
+        spec.name,
+        spec.schema_version,
+        spec.machine.summary(),
+        spec.workloads.mixes.len(),
+        spec.workloads.seed,
+        spec.workloads.budget,
+        spec.grid.axes.len(),
+        grid_points,
+    ))
+}
+
+fn render_explore(label: &str, out: &ExploreOutcome) -> String {
+    format!(
+        "explore `{label}`: {} point(s) evaluated, {} pruned, {} quarantined\n\n\
+         pareto front (throughput vs LLC capacity vs cores):\n{}\n\
+         manifest: {}\n\
+         (an interrupted explore resumes with `sms resume --label {label}`)\n",
+        out.evaluated,
+        out.pruned,
+        out.quarantined,
+        out.table,
+        out.manifest_path.display(),
+    )
+}
+
+fn explore_error(e: ExploreError) -> CliError {
+    match e {
+        ExploreError::Io(io) => CliError::Io(io.to_string()),
+        other => CliError::Spec(other.to_string()),
+    }
+}
+
+fn cmd_explore(args: &Args) -> Result<String, CliError> {
+    let spec = load_spec(args)?;
+    let defaults = PruneParams::default();
+    let prune = PruneParams {
+        enabled: !args.flag("no-prune"),
+        seed: args.get_u64("prune-seed", defaults.seed)?,
+        bootstrap_fraction: args.get_f64("bootstrap", defaults.bootstrap_fraction)?,
+        margin: args.get_f64("margin", defaults.margin)?,
+    };
+    let resolved = ResolvedExplore { spec, prune };
+    let default_threads = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let params = ExploreParams {
+        label: args
+            .options
+            .get("label")
+            .cloned()
+            .unwrap_or_else(|| "explore".to_owned()),
+        threads: threads_for(args, default_threads)?,
+        sim_threads: args.get_u32("sim-threads", 1)?,
+    };
+    let results = results_dir(args);
+    let out = run_explore(Path::new(&results), &resolved, &params).map_err(explore_error)?;
+    Ok(render_explore(&params.label, &out))
+}
+
+fn resume_explore(
+    args: &Args,
+    label: &str,
+    results: &str,
+    header_threads: usize,
+    explore_json: &str,
+) -> Result<String, CliError> {
+    let resolved: ResolvedExplore = serde_json::from_str(explore_json).map_err(|e| {
+        CliError::Io(format!(
+            "journal for `{label}` has an unreadable explore header: {e}"
+        ))
+    })?;
+    let params = ExploreParams {
+        label: label.to_owned(),
+        threads: threads_for(args, header_threads)?,
+        sim_threads: args.get_u32("sim-threads", 1)?,
+    };
+    let out = run_explore(Path::new(results), &resolved, &params).map_err(explore_error)?;
+    Ok(render_explore(label, &out))
+}
+
 fn cmd_resume(args: &Args) -> Result<String, CliError> {
     let results = results_dir(args);
     let label = args
@@ -909,8 +1143,13 @@ fn cmd_resume(args: &Args) -> Result<String, CliError> {
     })?;
 
     let mut out = format!(
-        "resuming sweep `{label}` from {}: {} run(s) completed, {} quarantined, previous \
+        "resuming {} `{label}` from {}: {} run(s) completed, {} quarantined, previous \
          invocation {}{}\n",
+        if header.explore.is_some() {
+            "explore"
+        } else {
+            "sweep"
+        },
         r.path.display(),
         r.completed.len(),
         r.quarantined.len(),
@@ -921,6 +1160,16 @@ fn cmd_resume(args: &Args) -> Result<String, CliError> {
             String::new()
         },
     );
+    if let Some(explore_json) = &header.explore {
+        out.push_str(&resume_explore(
+            args,
+            &label,
+            &results,
+            header.threads,
+            explore_json,
+        )?);
+        return Ok(out);
+    }
     let p = SweepParams {
         bench: header.bench,
         target_cores: header.target_cores,
@@ -1308,6 +1557,213 @@ mod tests {
             );
         }
         assert!(unknown.contains("frobnicate"));
+    }
+
+    #[test]
+    fn every_listed_command_actually_dispatches() {
+        // Each listed command gets arguments that make it return fast
+        // (an error before any real work, or a cheap success); the one
+        // outcome that would reveal a listing/dispatch mismatch is
+        // `UnknownCommand`.
+        let fast_args: &[(&str, &[&str])] = &[
+            ("simulate", &["--bench", "no-such-bench"]),
+            ("scale", &["--cores", "3"]),
+            ("predict", &["--bench", "no-such-bench"]),
+            ("trace", &["--bench", "no-such-bench"]),
+            ("bench-table", &["--budget", "not-a-number"]),
+            ("bench sim", &["--budget", "not-a-number"]),
+            ("sweep", &[]),
+            ("explore", &[]),
+            ("machine show", &[]),
+            ("machine validate", &[]),
+            ("resume", &["--results", "/nonexistent/sms-test"]),
+            ("fsck", &["--results", "/nonexistent/sms-test"]),
+            ("quarantine", &["--results", "/nonexistent/sms-test"]),
+            ("manifest", &[]),
+            ("timeline", &[]),
+            ("train", &["--target-cores", "3"]),
+            ("models", &["--results", "/nonexistent/sms-test"]),
+            ("serve", &["--workers", "not-a-number"]),
+            ("lint", &["--format", "xml"]),
+            ("help", &[]),
+        ];
+        let covered: Vec<&str> = fast_args.iter().map(|(c, _)| *c).collect();
+        for c in COMMANDS {
+            assert!(covered.contains(c), "COMMANDS entry `{c}` missing from this test");
+        }
+        for (c, extra) in fast_args {
+            assert!(COMMANDS.contains(c), "`{c}` dispatches but is not listed in COMMANDS");
+            let mut raw: Vec<&str> = c.split(' ').collect();
+            raw.extend_from_slice(extra);
+            let result = run(&args(&raw));
+            assert!(
+                !matches!(result, Err(CliError::UnknownCommand(_))),
+                "`{c}` is listed in COMMANDS but does not dispatch"
+            );
+        }
+    }
+
+    #[test]
+    fn target_cores_rounding_prints_a_notice() {
+        // 33 is not a power of two: the machine is built for 64 and the
+        // output says so (this rounding used to be silent).
+        let out = run(&args(&[
+            "simulate",
+            "--bench",
+            "leela_r",
+            "--cores",
+            "2",
+            "--target-cores",
+            "33",
+            "--budget",
+            "4000",
+        ]))
+        .unwrap();
+        assert!(
+            out.contains("note: --target-cores 33 adjusted to 64"),
+            "{out}"
+        );
+        // An exact power of two stays silent.
+        let quiet = run(&args(&[
+            "simulate",
+            "--bench",
+            "leela_r",
+            "--cores",
+            "2",
+            "--target-cores",
+            "32",
+            "--budget",
+            "4000",
+        ]))
+        .unwrap();
+        assert!(!quiet.contains("note: --target-cores"), "{quiet}");
+        assert_eq!(effective_target_cores(33, 2), 64);
+        assert_eq!(effective_target_cores(32, 2), 32);
+        assert_eq!(effective_target_cores(1, 8), 8);
+    }
+
+    fn write_spec(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("sms-cli-spec-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("machine.toml");
+        std::fs::write(
+            &path,
+            "schema = 1\nname = \"cli-test\"\n\n[machine]\ncores = 2\n\n[workloads]\n\
+             mixes = [[\"leela_r\", \"lbm_r\"]]\nseed = 7\nbudget = 4000\n\n[grid]\n\
+             rob_size = [16, 128]\n",
+        )
+        .unwrap();
+        path
+    }
+
+    #[test]
+    fn machine_show_round_trips_and_validate_counts_points() {
+        let path = write_spec("roundtrip");
+        let shown = run(&args(&["machine", "show", "--spec", path.to_str().unwrap()])).unwrap();
+        assert!(shown.contains("name = \"cli-test\""), "{shown}");
+        // The rendering itself loads and validates: write it back out and
+        // show it again.
+        let reshow = path.with_file_name("reshow.toml");
+        std::fs::write(&reshow, &shown).unwrap();
+        let again = run(&args(&["machine", "show", "--spec", reshow.to_str().unwrap()])).unwrap();
+        assert_eq!(shown, again, "render_toml must round-trip");
+        let json = run(&args(&[
+            "machine",
+            "show",
+            "--spec",
+            path.to_str().unwrap(),
+            "--json",
+        ]))
+        .unwrap();
+        assert!(json.contains("\"schema\""), "{json}");
+        assert!(json.contains("\"rob_size\""), "{json}");
+        let validated =
+            run(&args(&["machine", "validate", "--spec", path.to_str().unwrap()])).unwrap();
+        assert!(validated.contains("is valid"), "{validated}");
+        assert!(validated.contains("2 design point(s)"), "{validated}");
+        let _ = std::fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    #[test]
+    fn machine_validate_reports_field_level_errors() {
+        let path = write_spec("badfield");
+        std::fs::write(
+            &path,
+            "schema = 1\n[machine]\ncores = 3\n[machine.llc]\nslice_capacity_kib = \"big\"\n",
+        )
+        .unwrap();
+        let err = run(&args(&["machine", "validate", "--spec", path.to_str().unwrap()]))
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("machine.cores"), "{err}");
+        assert!(err.contains("machine.llc.slice_capacity_kib"), "{err}");
+        let _ = std::fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    #[test]
+    fn simulate_accepts_machine_spec_and_rejects_conflicts() {
+        let path = write_spec("simulate");
+        let out = run(&args(&[
+            "simulate",
+            "--machine",
+            path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("machine spec: cli-test"), "{out}");
+        assert!(out.contains("leela_r"), "{out}");
+        assert!(out.contains("lbm_r"), "{out}");
+        let conflict = run(&args(&[
+            "simulate",
+            "--machine",
+            path.to_str().unwrap(),
+            "--cores",
+            "4",
+        ]))
+        .unwrap_err();
+        assert!(
+            conflict.to_string().contains("conflicts with --machine"),
+            "{conflict}"
+        );
+        let _ = std::fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    #[test]
+    fn explore_then_resume_reproduces_the_manifest() {
+        let path = write_spec("explore");
+        let results = path.parent().unwrap().join("results");
+        let common = [
+            "--spec",
+            path.to_str().unwrap(),
+            "--label",
+            "t-explore",
+            "--results",
+            results.to_str().unwrap(),
+            "--threads",
+            "2",
+            "--no-prune",
+        ];
+        let mut raw = vec!["explore"];
+        raw.extend_from_slice(&common);
+        let out = run(&args(&raw)).unwrap();
+        assert!(out.contains("pareto front"), "{out}");
+        assert!(out.contains("2 point(s) evaluated"), "{out}");
+        let manifest = results.join("cache/explore/t-explore.json");
+        let first = std::fs::read(&manifest).unwrap();
+        // Resume after completion re-derives a bit-identical manifest
+        // from the journal header alone.
+        let resumed = run(&args(&[
+            "resume",
+            "--label",
+            "t-explore",
+            "--results",
+            results.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(resumed.contains("resuming explore `t-explore`"), "{resumed}");
+        let second = std::fs::read(&manifest).unwrap();
+        assert_eq!(first, second, "resumed explore manifest must be bit-identical");
+        let _ = std::fs::remove_dir_all(path.parent().unwrap());
     }
 
     #[test]

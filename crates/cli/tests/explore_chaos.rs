@@ -1,0 +1,247 @@
+//! Chaos tests for the design-space exploration pipeline: kill the real
+//! `sms explore` mid-grid and check that `sms resume` converges on a
+//! manifest bit-identical to an uninterrupted run, that ML pruning never
+//! changes the Pareto front on the committed smoke grid, and that the
+//! `explore.plan` / `explore.prune` failpoints fail and degrade the way
+//! DESIGN.md promises.
+
+// Test/bench/example target: the workspace-wide clippy::unwrap_used deny
+// is meant for library code (see Cargo.toml); unwrapping here is fine.
+#![allow(clippy::unwrap_used)]
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
+
+fn tmp(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("sms-exchaos-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+/// The committed smoke spec (also used by CI's explore-smoke job).
+fn smoke_spec() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../examples/machines/explore_smoke.toml")
+}
+
+/// The `sms` binary with a clean fault environment (tests add their own).
+fn sms() -> Command {
+    let mut c = Command::new(env!("CARGO_BIN_EXE_sms"));
+    c.env_remove("SMS_FAULTS")
+        .env_remove("SMS_RUN_TIMEOUT_SECS")
+        .env_remove("SMS_RETRIES");
+    c
+}
+
+fn explore_args(results: &Path, label: &str, extra: &[&str]) -> Vec<String> {
+    let mut v: Vec<String> = [
+        "explore",
+        "--spec",
+        smoke_spec().to_str().unwrap(),
+        "--results",
+        results.to_str().unwrap(),
+        "--label",
+        label,
+        "--threads",
+        "2",
+    ]
+    .iter()
+    .map(|s| (*s).to_string())
+    .collect();
+    v.extend(extra.iter().map(|s| (*s).to_string()));
+    v
+}
+
+fn run_ok(cmd: &mut Command) -> (String, String) {
+    let out = cmd.output().unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    let stderr = String::from_utf8_lossy(&out.stderr).into_owned();
+    assert!(
+        out.status.success(),
+        "command failed\nstdout:\n{stdout}\nstderr:\n{stderr}"
+    );
+    (stdout, stderr)
+}
+
+/// Top-level cache entries (`<hash>.json`) as name -> normalized JSON.
+/// Entries store the raw `SimResult`, whose `host_seconds` is wall-clock
+/// (and whose `checksum` covers it), so two runs are never byte-identical;
+/// zero both before comparing. The explore manifest excludes wall-clock
+/// data by design and is compared byte-for-byte instead.
+fn cache_entries(cache_dir: &Path) -> BTreeMap<String, serde_json::Value> {
+    let mut m = BTreeMap::new();
+    for e in std::fs::read_dir(cache_dir).unwrap().flatten() {
+        let p = e.path();
+        if p.is_file() && p.extension().is_some_and(|x| x == "json") {
+            let mut v: serde_json::Value =
+                serde_json::from_str(&std::fs::read_to_string(&p).unwrap()).unwrap();
+            if let Some(obj) = v.as_object_mut() {
+                obj.remove("checksum");
+                if let Some(r) = obj.get_mut("result").and_then(|r| r.as_object_mut()) {
+                    r.remove("host_seconds");
+                }
+            }
+            m.insert(p.file_name().unwrap().to_string_lossy().into_owned(), v);
+        }
+    }
+    m
+}
+
+fn manifest(results: &Path, label: &str) -> serde_json::Value {
+    let path = results.join("cache/explore").join(format!("{label}.json"));
+    serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap()
+}
+
+#[test]
+fn killed_explore_resumes_to_the_uninterrupted_manifest() {
+    let base = tmp("base");
+    let killed = tmp("killed");
+
+    // Uninterrupted baseline explore (default pruning on).
+    let (baseline, _) = run_ok(sms().args(explore_args(&base, "chaos-x", &[])));
+    assert!(baseline.contains("pareto front"), "{baseline}");
+
+    // The same explore with every run body delayed (a kill window).
+    let mut child = sms()
+        .args(explore_args(&killed, "chaos-x", &["--threads", "1"]))
+        .env("SMS_FAULTS", "run.body=delay:250")
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .unwrap();
+
+    // Kill it mid-grid: as soon as the journal records a finished run.
+    let journal = killed.join("cache/journal/chaos-x.jsonl");
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        if Instant::now() > deadline || matches!(child.try_wait(), Ok(Some(_))) {
+            break;
+        }
+        let runs = std::fs::read_to_string(&journal)
+            .map(|t| t.matches("\"t\":\"run\"").count())
+            .unwrap_or(0);
+        if runs >= 1 {
+            let _ = child.kill();
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let _ = child.wait();
+
+    // Resume without faults: the journal header alone rebuilds the
+    // resolved spec and pruning knobs.
+    let (resumed, _) = run_ok(sms().args([
+        "resume",
+        "--label",
+        "chaos-x",
+        "--results",
+        killed.to_str().unwrap(),
+    ]));
+    assert!(resumed.contains("resuming explore `chaos-x`"), "{resumed}");
+    assert!(resumed.contains("pareto front"), "{resumed}");
+
+    // Manifest and cache are bit-identical to the uninterrupted run's.
+    let manifest_rel = "cache/explore/chaos-x.json";
+    assert_eq!(
+        std::fs::read(base.join(manifest_rel)).unwrap(),
+        std::fs::read(killed.join(manifest_rel)).unwrap(),
+        "resumed explore manifest differs from the uninterrupted one"
+    );
+    assert_eq!(
+        cache_entries(&base.join("cache")),
+        cache_entries(&killed.join("cache")),
+        "resumed cache differs from the uninterrupted cache"
+    );
+
+    // fsck: a first pass may trim the journal line torn by the kill; the
+    // second pass must be spotless.
+    run_ok(sms().args(["fsck", "--results", killed.to_str().unwrap()]));
+    let (clean, _) = run_ok(sms().args(["fsck", "--results", killed.to_str().unwrap()]));
+    assert!(clean.contains("0 defect(s)"), "{clean}");
+
+    let _ = std::fs::remove_dir_all(&base);
+    let _ = std::fs::remove_dir_all(&killed);
+}
+
+#[test]
+fn pruning_skips_points_but_never_changes_the_smoke_front() {
+    let dir = tmp("prune");
+
+    let (pruned_out, _) = run_ok(sms().args(explore_args(&dir, "pruned", &[])));
+    let (full_out, _) = run_ok(sms().args(explore_args(&dir, "full", &["--no-prune"])));
+    assert!(pruned_out.contains("pruned"), "{pruned_out}");
+    assert!(full_out.contains("0 pruned"), "{full_out}");
+
+    let pruned = manifest(&dir, "pruned");
+    let full = manifest(&dir, "full");
+
+    // The fronts are identical: pruning may only skip dominated points.
+    assert_eq!(
+        pruned["pareto"], full["pareto"],
+        "pruning changed the Pareto front"
+    );
+
+    // And it skips at least a quarter of the smoke grid.
+    let total = full["points"].as_array().unwrap().len();
+    let skipped = pruned["pruning"]["pruned"].as_array().unwrap().len();
+    assert!(
+        skipped * 4 >= total,
+        "pruning skipped only {skipped} of {total} points"
+    );
+
+    // The audit is present: bootstrap keys and a holdout with
+    // predicted-vs-actual lines.
+    assert!(
+        !pruned["pruning"]["bootstrap"]
+            .as_array()
+            .unwrap()
+            .is_empty(),
+        "no bootstrap record"
+    );
+    assert!(
+        !pruned["pruning"]["holdout_audit"]
+            .as_array()
+            .unwrap()
+            .is_empty(),
+        "no holdout audit"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn explore_failpoints_fail_planning_and_degrade_pruning() {
+    let dir = tmp("faults");
+
+    // An injected planning fault aborts the explore with a nonzero exit.
+    let out = sms()
+        .args(explore_args(&dir, "plan-fault", &[]))
+        .env("SMS_FAULTS", "explore.plan=err")
+        .output()
+        .unwrap();
+    assert!(
+        !out.status.success(),
+        "explore.plan=err must fail the explore"
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("explore planning failed"), "{stderr}");
+
+    // An injected pruning fault degrades to a full sweep: the explore
+    // succeeds, prunes nothing, and records why.
+    let (out, _) = run_ok(
+        sms()
+            .args(explore_args(&dir, "prune-fault", &[]))
+            .env("SMS_FAULTS", "explore.prune=err"),
+    );
+    assert!(out.contains("0 pruned"), "{out}");
+    let m = manifest(&dir, "prune-fault");
+    assert_eq!(m["points"].as_array().unwrap().len(), 8);
+    assert!(
+        m["pruning"]["disabled_reason"].as_str().is_some(),
+        "prune fault must be recorded in the manifest"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

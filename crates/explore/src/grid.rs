@@ -1,0 +1,532 @@
+//! Declarative sweep grids over machine parameters.
+//!
+//! A spec's `[grid]` section lists values per axis (explicit lists or
+//! range strings like `"16..=128:*2"`); [`GridSpec::expand`] takes the
+//! cartesian product, applies each combination to the base machine, and
+//! returns validated [`DesignPoint`]s with deterministic keys. Keys are
+//! the sorted `axis=value` pairs joined with commas, so the same spec
+//! always names the same points — which is what makes explore runs
+//! cacheable and resumable.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+use serde_json::Value;
+use sms_core::scaling::{cross_section_links, mesh_dims};
+use sms_sim::config::SystemConfig;
+
+use crate::machine::SpecError;
+
+/// The axes a grid may sweep, in the canonical (sorted) order used for
+/// point keys.
+pub const AXES: &[&str] = &[
+    "cores",
+    "dram_controllers",
+    "issue_width",
+    "l2_kib",
+    "llc_assoc",
+    "llc_slice_kib",
+    "mesh",
+    "rob_size",
+];
+
+/// Hard cap on expanded grid size; a bigger product is almost certainly
+/// a spec typo and would swamp the executor.
+pub const MAX_POINTS: usize = 4096;
+
+/// One value on a grid axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum AxisValue {
+    /// A plain integer (core count, ROB entries, KiB, ...).
+    Int(u64),
+    /// A NoC mesh shape, written `"COLSxROWS"` in specs.
+    Mesh(u32, u32),
+}
+
+impl std::fmt::Display for AxisValue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Int(n) => write!(f, "{n}"),
+            Self::Mesh(c, r) => write!(f, "{c}x{r}"),
+        }
+    }
+}
+
+/// A declared sweep grid: values per axis, keyed by axis name.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct GridSpec {
+    /// Axis name → sorted, deduplicated values.
+    pub axes: BTreeMap<String, Vec<AxisValue>>,
+}
+
+/// One concrete design point: a key, the axis assignment that produced
+/// it, and the fully applied machine configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DesignPoint {
+    /// Deterministic identifier: sorted `axis=value` pairs joined by `,`.
+    pub key: String,
+    /// The axis assignment for this point.
+    pub values: BTreeMap<String, AxisValue>,
+    /// The base machine with this point's overrides applied.
+    pub config: SystemConfig,
+}
+
+/// Parse one axis declaration (a list of values, or a range string) into
+/// sorted, deduplicated axis values.
+///
+/// Range strings have the form `"LO..=HI:*K"` (geometric) or
+/// `"LO..=HI:+K"` (arithmetic); the `mesh` axis takes `"COLSxROWS"`
+/// strings and no ranges.
+///
+/// # Errors
+///
+/// Returns a human-readable message (the caller prefixes the axis path).
+pub fn parse_axis(axis: &str, value: &Value) -> Result<Vec<AxisValue>, String> {
+    let mut out: Vec<AxisValue> = match value {
+        Value::String(s) => parse_range(axis, s)?,
+        Value::Array(items) => {
+            let mut vals = Vec::new();
+            for item in items {
+                vals.push(parse_scalar(axis, item)?);
+            }
+            vals
+        }
+        other => return Err(format!("expected a list or range string, got {other}")),
+    };
+    if out.is_empty() {
+        return Err("axis must list at least one value".to_owned());
+    }
+    out.sort();
+    out.dedup();
+    for v in &out {
+        check_axis_value(axis, *v)?;
+    }
+    Ok(out)
+}
+
+fn parse_scalar(axis: &str, item: &Value) -> Result<AxisValue, String> {
+    if axis == "mesh" {
+        let Value::String(s) = item else {
+            return Err(format!("mesh values are \"COLSxROWS\" strings, got {item}"));
+        };
+        let (c, r) = s
+            .split_once('x')
+            .ok_or_else(|| format!("cannot parse mesh shape `{s}` (expected \"COLSxROWS\")"))?;
+        let cols: u32 = c
+            .parse()
+            .map_err(|_| format!("cannot parse mesh columns in `{s}`"))?;
+        let rows: u32 = r
+            .parse()
+            .map_err(|_| format!("cannot parse mesh rows in `{s}`"))?;
+        Ok(AxisValue::Mesh(cols, rows))
+    } else {
+        item.as_u64()
+            .map(AxisValue::Int)
+            .ok_or_else(|| format!("expected a non-negative integer, got {item}"))
+    }
+}
+
+fn parse_range(axis: &str, s: &str) -> Result<Vec<AxisValue>, String> {
+    if axis == "mesh" {
+        return Err("the mesh axis takes a list of \"COLSxROWS\" strings, not a range".to_owned());
+    }
+    let (lo, rest) = s.split_once("..=").ok_or_else(|| {
+        format!("cannot parse range `{s}` (expected \"LO..=HI:*K\" or \"LO..=HI:+K\")")
+    })?;
+    let (hi, step) = rest
+        .split_once(':')
+        .ok_or_else(|| format!("range `{s}` is missing its `:*K` or `:+K` step"))?;
+    let lo: u64 = lo
+        .trim()
+        .parse()
+        .map_err(|_| format!("bad range start in `{s}`"))?;
+    let hi: u64 = hi
+        .trim()
+        .parse()
+        .map_err(|_| format!("bad range end in `{s}`"))?;
+    let step = step.trim();
+    let (geometric, k) = if let Some(k) = step.strip_prefix('*') {
+        (true, k)
+    } else if let Some(k) = step.strip_prefix('+') {
+        (false, k)
+    } else {
+        return Err(format!("range step `{step}` must start with `*` or `+`"));
+    };
+    let k: u64 = k.parse().map_err(|_| format!("bad range step in `{s}`"))?;
+    if lo == 0 || hi < lo {
+        return Err(format!("range `{s}` must satisfy 1 <= LO <= HI"));
+    }
+    if (geometric && k < 2) || (!geometric && k == 0) {
+        return Err(format!(
+            "range step in `{s}` must be >= {}",
+            if geometric { 2 } else { 1 }
+        ));
+    }
+    let mut out = Vec::new();
+    let mut v = lo;
+    while v <= hi {
+        out.push(AxisValue::Int(v));
+        let next = if geometric {
+            v.saturating_mul(k)
+        } else {
+            v.saturating_add(k)
+        };
+        if next == v {
+            break;
+        }
+        v = next;
+    }
+    Ok(out)
+}
+
+fn check_axis_value(axis: &str, v: AxisValue) -> Result<(), String> {
+    match (axis, v) {
+        ("mesh", AxisValue::Mesh(c, r)) => {
+            if c == 0 || r == 0 {
+                return Err(format!("mesh shape {v} has a zero dimension"));
+            }
+        }
+        ("mesh", AxisValue::Int(_)) | (_, AxisValue::Mesh(..)) => {
+            return Err(format!("value {v} does not fit axis `{axis}`"));
+        }
+        ("cores", AxisValue::Int(n)) => {
+            if n == 0 || n > 256 || !n.is_power_of_two() {
+                return Err(format!(
+                    "cores value {n} must be a power of two in [1, 256]"
+                ));
+            }
+        }
+        (_, AxisValue::Int(n)) => {
+            if n == 0 {
+                return Err(format!("axis `{axis}` value must be non-zero"));
+            }
+            if u32::try_from(n).is_err() {
+                return Err(format!("axis `{axis}` value {n} does not fit in 32 bits"));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Apply one axis value to a configuration. The `cores` axis rebuilds
+/// dependent geometry (LLC slice count, mesh shape, per-core NoC and
+/// DRAM bandwidth scaled from the base machine); `mesh` preserves total
+/// bisection bandwidth across the new cross-section; `dram_controllers`
+/// keeps per-controller bandwidth.
+fn apply_axis(cfg: &mut SystemConfig, base: &SystemConfig, axis: &str, v: AxisValue) {
+    match (axis, v) {
+        ("cores", AxisValue::Int(n)) => {
+            let c = n as u32;
+            cfg.num_cores = c;
+            cfg.llc.num_slices = c;
+            let (cols, rows) = mesh_dims(c);
+            cfg.noc.mesh_cols = cols;
+            cfg.noc.mesh_rows = rows;
+            let csls = cross_section_links(cols, rows);
+            cfg.noc.cross_section_links = csls;
+            // Preserve the base machine's per-core bisection bandwidth.
+            let base_csls = base.noc.cross_section_links.max(1);
+            let per_core_bisection = base.noc.link_bandwidth_gbps * f64::from(base_csls)
+                / f64::from(base.num_cores.max(1));
+            cfg.noc.link_bandwidth_gbps =
+                per_core_bisection * f64::from(c) / f64::from(csls.max(1));
+            // Preserve per-core DRAM bandwidth, scaling controller count
+            // with integer math so keys stay exact.
+            let base_mcs = base.dram.num_controllers.max(1);
+            let mcs = ((u64::from(base_mcs) * u64::from(c)) / u64::from(base.num_cores.max(1)))
+                .max(1) as u32;
+            let total_bw = base.dram.controller_bandwidth_gbps * f64::from(base_mcs)
+                / f64::from(base.num_cores.max(1))
+                * f64::from(c);
+            cfg.dram.num_controllers = mcs;
+            cfg.dram.controller_bandwidth_gbps = total_bw / f64::from(mcs);
+        }
+        ("rob_size", AxisValue::Int(n)) => cfg.core.rob_size = n as u32,
+        ("issue_width", AxisValue::Int(n)) => cfg.core.issue_width = n as u32,
+        ("l2_kib", AxisValue::Int(n)) => cfg.l2.capacity_bytes = n * 1024,
+        ("llc_slice_kib", AxisValue::Int(n)) => cfg.llc.slice.capacity_bytes = n * 1024,
+        ("llc_assoc", AxisValue::Int(n)) => cfg.llc.slice.associativity = n as u32,
+        ("dram_controllers", AxisValue::Int(n)) => cfg.dram.num_controllers = n as u32,
+        ("mesh", AxisValue::Mesh(cols, rows)) => {
+            let old_csls = cfg.noc.cross_section_links.max(1);
+            let bisection = cfg.noc.link_bandwidth_gbps * f64::from(old_csls);
+            cfg.noc.mesh_cols = cols;
+            cfg.noc.mesh_rows = rows;
+            let csls = cross_section_links(cols, rows);
+            cfg.noc.cross_section_links = csls;
+            cfg.noc.link_bandwidth_gbps = bisection / f64::from(csls.max(1));
+        }
+        // parse_axis/check_axis_value reject every other combination.
+        _ => {}
+    }
+}
+
+impl GridSpec {
+    /// True when no axis is declared.
+    pub fn is_empty(&self) -> bool {
+        self.axes.is_empty()
+    }
+
+    /// Number of design points the grid expands to (product of axis
+    /// lengths; 0 for an empty grid).
+    pub fn num_points(&self) -> usize {
+        if self.axes.is_empty() {
+            0
+        } else {
+            self.axes
+                .values()
+                .map(Vec::len)
+                .fold(1usize, usize::saturating_mul)
+        }
+    }
+
+    /// Expand the grid against `base` into validated design points,
+    /// sorted by key.
+    ///
+    /// # Errors
+    ///
+    /// Returns one [`SpecError`] per invalid point (its path names the
+    /// point key) or a single error when the grid exceeds [`MAX_POINTS`].
+    pub fn expand(&self, base: &SystemConfig) -> Result<Vec<DesignPoint>, Vec<SpecError>> {
+        let n = self.num_points();
+        if n > MAX_POINTS {
+            return Err(vec![SpecError {
+                path: "grid".to_owned(),
+                message: format!("grid expands to {n} points (max {MAX_POINTS})"),
+            }]);
+        }
+        let axes: Vec<(&String, &Vec<AxisValue>)> = self.axes.iter().collect();
+        let mut points = Vec::with_capacity(n);
+        let mut errors = Vec::new();
+        let mut idx = vec![0usize; axes.len()];
+        loop {
+            let values: BTreeMap<String, AxisValue> = axes
+                .iter()
+                .zip(&idx)
+                .map(|((name, vals), &i)| ((*name).clone(), vals[i]))
+                .collect();
+            let key = values
+                .iter()
+                .map(|(a, v)| format!("{a}={v}"))
+                .collect::<Vec<_>>()
+                .join(",");
+            let mut config = base.clone();
+            // BTreeMap order applies `cores` before `dram_controllers`
+            // and `mesh`, so explicit axes override the geometry the
+            // cores rebuild derives.
+            for (axis, v) in &values {
+                apply_axis(&mut config, base, axis, *v);
+            }
+            match config.validate() {
+                Ok(()) => points.push(DesignPoint {
+                    key,
+                    values,
+                    config,
+                }),
+                Err(e) => errors.push(SpecError {
+                    path: format!("grid[{key}]"),
+                    message: e.to_string(),
+                }),
+            }
+            // Odometer increment over the axis indices.
+            let mut carry = true;
+            for (i, (_, vals)) in axes.iter().enumerate().rev() {
+                if !carry {
+                    break;
+                }
+                idx[i] += 1;
+                if idx[i] < vals.len() {
+                    carry = false;
+                } else {
+                    idx[i] = 0;
+                }
+            }
+            if carry || axes.is_empty() {
+                break;
+            }
+        }
+        if errors.is_empty() {
+            points.sort_by(|a, b| a.key.cmp(&b.key));
+            Ok(points)
+        } else {
+            Err(errors)
+        }
+    }
+}
+
+/// Encode a design-point configuration as the feature vector the pruning
+/// forest trains on. Capacities and core count enter as log2 so the
+/// forest splits on doublings; bandwidths enter as totals.
+pub fn features(cfg: &SystemConfig) -> Vec<f64> {
+    let log2 = |n: u64| (n.max(1) as f64).log2();
+    vec![
+        log2(u64::from(cfg.num_cores)),
+        f64::from(cfg.core.rob_size),
+        f64::from(cfg.core.issue_width),
+        log2(cfg.l2.capacity_bytes),
+        log2(cfg.llc.slice.capacity_bytes),
+        f64::from(cfg.llc.slice.associativity),
+        log2(
+            cfg.llc
+                .slice
+                .capacity_bytes
+                .saturating_mul(u64::from(cfg.llc.num_slices)),
+        ),
+        f64::from(cfg.noc.mesh_cols),
+        f64::from(cfg.noc.mesh_rows),
+        f64::from(cfg.dram.num_controllers),
+        cfg.dram.controller_bandwidth_gbps * f64::from(cfg.dram.num_controllers),
+        cfg.noc.link_bandwidth_gbps * f64::from(cfg.noc.cross_section_links),
+    ]
+}
+
+/// Number of entries [`features`] produces.
+pub const NUM_FEATURES: usize = 12;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+    use sms_core::scaling::target_config;
+
+    fn grid(pairs: &[(&str, Value)]) -> GridSpec {
+        let mut axes = BTreeMap::new();
+        for (axis, v) in pairs {
+            axes.insert((*axis).to_owned(), parse_axis(axis, v).unwrap());
+        }
+        GridSpec { axes }
+    }
+
+    #[test]
+    fn ranges_expand_geometric_and_arithmetic() {
+        assert_eq!(
+            parse_axis("rob_size", &json!("16..=128:*2")).unwrap(),
+            vec![
+                AxisValue::Int(16),
+                AxisValue::Int(32),
+                AxisValue::Int(64),
+                AxisValue::Int(128)
+            ]
+        );
+        assert_eq!(
+            parse_axis("issue_width", &json!("1..=4:+1")).unwrap(),
+            (1..=4).map(AxisValue::Int).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn lists_sort_and_dedup() {
+        assert_eq!(
+            parse_axis("l2_kib", &json!([512, 128, 512])).unwrap(),
+            vec![AxisValue::Int(128), AxisValue::Int(512)]
+        );
+    }
+
+    #[test]
+    fn bad_axis_values_rejected() {
+        assert!(parse_axis("cores", &json!([3])).is_err());
+        assert!(parse_axis("cores", &json!([512])).is_err());
+        assert!(parse_axis("rob_size", &json!([0])).is_err());
+        assert!(parse_axis("rob_size", &json!([])).is_err());
+        assert!(parse_axis("rob_size", &json!("16..=8:*2")).is_err());
+        assert!(parse_axis("rob_size", &json!("16..=128:*1")).is_err());
+        assert!(parse_axis("mesh", &json!([8])).is_err());
+        assert!(parse_axis("mesh", &json!(["8y4"])).is_err());
+        assert!(parse_axis("mesh", &json!("1..=4:+1")).is_err());
+    }
+
+    #[test]
+    fn mesh_values_parse() {
+        assert_eq!(
+            parse_axis("mesh", &json!(["8x4", "4x4"])).unwrap(),
+            vec![AxisValue::Mesh(4, 4), AxisValue::Mesh(8, 4)]
+        );
+    }
+
+    #[test]
+    fn expansion_is_sorted_cartesian_product_with_stable_keys() {
+        let g = grid(&[
+            ("rob_size", json!([128, 16])),
+            ("llc_slice_kib", json!([256, 1024])),
+        ]);
+        assert_eq!(g.num_points(), 4);
+        let points = g.expand(&target_config(2)).unwrap();
+        let keys: Vec<&str> = points.iter().map(|p| p.key.as_str()).collect();
+        assert_eq!(
+            keys,
+            vec![
+                "llc_slice_kib=1024,rob_size=128",
+                "llc_slice_kib=1024,rob_size=16",
+                "llc_slice_kib=256,rob_size=128",
+                "llc_slice_kib=256,rob_size=16",
+            ]
+        );
+        let p = &points[3];
+        assert_eq!(p.config.core.rob_size, 16);
+        assert_eq!(p.config.llc.slice.capacity_bytes, 256 * 1024);
+        // Untouched fields come from the base machine.
+        assert_eq!(p.config.num_cores, 2);
+    }
+
+    #[test]
+    fn cores_axis_rebuilds_geometry() {
+        let base = target_config(32);
+        let g = grid(&[("cores", json!([2, 32]))]);
+        let points = g.expand(&base).unwrap();
+        let p2 = &points[0].config;
+        assert_eq!(points[0].key, "cores=2");
+        assert_eq!(p2.num_cores, 2);
+        assert_eq!(p2.llc.num_slices, 2);
+        assert_eq!((p2.noc.mesh_cols, p2.noc.mesh_rows), mesh_dims(2));
+        // Scaling down to 2 cores and back to 32 preserves the base.
+        assert_eq!(points[1].config, base);
+        // Per-core DRAM bandwidth is preserved.
+        let per_core = |c: &SystemConfig| {
+            c.dram.controller_bandwidth_gbps * f64::from(c.dram.num_controllers)
+                / f64::from(c.num_cores)
+        };
+        assert!((per_core(p2) - per_core(&base)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mesh_axis_preserves_bisection_bandwidth() {
+        let base = target_config(32);
+        let g = grid(&[("mesh", json!(["4x8", "16x2"]))]);
+        let points = g.expand(&base).unwrap();
+        for p in &points {
+            let bisection =
+                p.config.noc.link_bandwidth_gbps * f64::from(p.config.noc.cross_section_links);
+            let base_bisection =
+                base.noc.link_bandwidth_gbps * f64::from(base.noc.cross_section_links);
+            assert!((bisection - base_bisection).abs() < 1e-9, "{}", p.key);
+        }
+    }
+
+    #[test]
+    fn invalid_points_report_their_keys() {
+        // associativity 3 with a 256 KiB slice: sets = 256KiB/64/3 not a
+        // power of two -> invalid geometry at that point.
+        let g = grid(&[("llc_assoc", json!([3, 8]))]);
+        let errs = g.expand(&target_config(2)).unwrap_err();
+        assert_eq!(errs.len(), 1);
+        assert!(errs[0].path.contains("llc_assoc=3"), "{}", errs[0]);
+    }
+
+    #[test]
+    fn oversized_grid_rejected() {
+        let g = grid(&[
+            ("rob_size", json!("1..=5000:+1")),
+            ("issue_width", json!([1, 2])),
+        ]);
+        let errs = g.expand(&target_config(2)).unwrap_err();
+        assert!(errs[0].message.contains("max"), "{}", errs[0]);
+    }
+
+    #[test]
+    fn features_shape_and_determinism() {
+        let f = features(&target_config(32));
+        assert_eq!(f.len(), NUM_FEATURES);
+        assert_eq!(f, features(&target_config(32)));
+        assert_eq!(f[0], 5.0); // log2(32)
+    }
+}

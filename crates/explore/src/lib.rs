@@ -1,0 +1,40 @@
+//! Design-space exploration for the scale-model simulator.
+//!
+//! The paper's argument is that scale-model simulation makes design
+//! studies cheap; this crate is the harness that runs them. It layers
+//! four pieces on the existing stack:
+//!
+//! * [`machine`] — versioned, validated machine specs ([`MachineSpec`])
+//!   loadable from a TOML subset ([`toml`]) or JSON, with field-level
+//!   error paths and a round-trippable renderer.
+//! * [`grid`] — declarative sweep grids expanded into validated design
+//!   points with deterministic keys.
+//! * [`run`] — the explore driver: every point goes through the
+//!   fault-tolerant `sms-bench` executor (cache, fsync'd journal,
+//!   quarantine, resume), with optional ML-guided pruning backed by an
+//!   `sms-ml` random forest and a recorded holdout audit.
+//! * [`pareto`] — NaN-safe Pareto-front extraction over throughput vs
+//!   LLC capacity vs core count, plus a text-table renderer.
+//!
+//! Determinism contract: given the same spec and pruning knobs, an
+//! explore that is killed and resumed produces a manifest bit-identical
+//! to an uninterrupted run — the manifest records no wall-clock data and
+//! no run-vs-cached distinction, and every pruning decision derives from
+//! a fixed seed plus deterministic simulation results.
+
+#![forbid(unsafe_code)]
+
+pub mod grid;
+pub mod machine;
+pub mod pareto;
+pub mod run;
+pub mod toml;
+
+pub use grid::{features, AxisValue, DesignPoint, GridSpec, AXES, NUM_FEATURES};
+pub use machine::{MachineSpec, SpecError, SpecLoadError, WorkloadsDecl, MACHINE_SCHEMA_VERSION};
+pub use pareto::{dominates, pareto_front, render_table, PointOutcome};
+pub use run::{
+    run_explore, ExploreError, ExploreOutcome, ExploreParams, HoldoutAudit, PruneParams,
+    PruneReport, ResolvedExplore, EXPLORE_SCHEMA_VERSION,
+};
+pub use toml::TomlError;

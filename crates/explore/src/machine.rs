@@ -1,0 +1,906 @@
+//! Versioned, validated machine specifications.
+//!
+//! A [`MachineSpec`] is a file-loadable description of a simulated
+//! machine plus the workloads and (optionally) the sweep grid to explore
+//! on it. Specs are written in the TOML subset of [`crate::toml`] or as
+//! plain JSON with the same shape; both decode through the same
+//! path-tracking walker, so every error names the exact field
+//! (`machine.llc.slice_capacity_kib: ...`) instead of failing opaquely.
+//!
+//! Unspecified machine fields default to the paper-calibrated
+//! [`target_config`] for the spec's core count, so a minimal spec is
+//! just a `schema` line — everything else is an override.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+use serde_json::{Map, Value};
+use sms_core::scaling::target_config;
+use sms_sim::config::SystemConfig;
+use sms_workloads::spec::by_name;
+
+use crate::grid::{parse_axis, AxisValue, GridSpec, AXES};
+use crate::toml::TomlError;
+
+/// Spec file-format version; bump on any incompatible schema change.
+pub const MACHINE_SCHEMA_VERSION: u32 = 1;
+
+/// Default per-instance instruction budget when the spec omits one.
+pub const DEFAULT_BUDGET: u64 = 200_000;
+
+/// Default workload seed when the spec omits one.
+pub const DEFAULT_SEED: u64 = 43;
+
+/// One field-level problem in a spec: the dotted path and the complaint.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpecError {
+    /// Dotted path of the offending field (e.g. `machine.llc.slices`).
+    pub path: String,
+    /// What is wrong with it.
+    pub message: String,
+}
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.path, self.message)
+    }
+}
+
+/// Why a spec file could not be loaded.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpecLoadError {
+    /// The file could not be read.
+    Io(String),
+    /// The TOML subset parser rejected the file.
+    Toml(TomlError),
+    /// The JSON parser rejected the file.
+    Json(String),
+    /// The file parsed but the spec failed validation; every field-level
+    /// problem is listed.
+    Invalid(Vec<SpecError>),
+}
+
+impl std::fmt::Display for SpecLoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "cannot read spec: {e}"),
+            Self::Toml(e) => write!(f, "spec parse error: {e}"),
+            Self::Json(e) => write!(f, "spec parse error: {e}"),
+            Self::Invalid(errors) => {
+                writeln!(f, "invalid machine spec ({} error(s)):", errors.len())?;
+                for (i, e) in errors.iter().enumerate() {
+                    if i > 0 {
+                        writeln!(f)?;
+                    }
+                    write!(f, "  {e}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpecLoadError {}
+
+/// The workloads a spec declares: mix definitions plus run parameters.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WorkloadsDecl {
+    /// Benchmark-name lists; each list is filled round-robin over a
+    /// design point's cores to form one [`MixSpec`](sms_workloads::mix::MixSpec).
+    pub mixes: Vec<Vec<String>>,
+    /// Workload seed.
+    pub seed: u64,
+    /// Per-instance instruction budget (measured phase).
+    pub budget: u64,
+}
+
+impl Default for WorkloadsDecl {
+    fn default() -> Self {
+        Self {
+            mixes: Vec::new(),
+            seed: DEFAULT_SEED,
+            budget: DEFAULT_BUDGET,
+        }
+    }
+}
+
+/// A fully resolved, validated machine spec.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MachineSpec {
+    /// Spec schema version (see [`MACHINE_SCHEMA_VERSION`]).
+    pub schema_version: u32,
+    /// Spec name, used in labels and reports.
+    pub name: String,
+    /// The base machine, with every unspecified field defaulted from
+    /// [`target_config`] at the spec's core count.
+    pub machine: SystemConfig,
+    /// Declared workloads.
+    pub workloads: WorkloadsDecl,
+    /// Declared sweep grid (may be empty for single-machine specs).
+    pub grid: GridSpec,
+}
+
+// ---------------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------------
+
+/// Error-collecting walker over a parsed `serde_json::Value` tree. Every
+/// accessor records a [`SpecError`] with the dotted field path on
+/// mismatch and returns the fallback, so one pass reports every problem.
+struct Dec {
+    errors: Vec<SpecError>,
+}
+
+impl Dec {
+    fn push(&mut self, path: &str, message: impl Into<String>) {
+        self.errors.push(SpecError {
+            path: path.to_owned(),
+            message: message.into(),
+        });
+    }
+
+    /// Reject unknown keys so typos surface instead of silently
+    /// deferring to defaults.
+    fn check_keys(&mut self, obj: &Map<String, Value>, path: &str, allowed: &[&str]) {
+        for k in obj.keys() {
+            if !allowed.contains(&k.as_str()) {
+                self.push(
+                    &join(path, k),
+                    format!("unknown field (expected one of: {})", allowed.join(", ")),
+                );
+            }
+        }
+    }
+
+    fn section<'a>(
+        &mut self,
+        obj: &'a Map<String, Value>,
+        path: &str,
+        key: &str,
+    ) -> Option<&'a Map<String, Value>> {
+        match obj.get(key) {
+            None => None,
+            Some(Value::Object(m)) => Some(m),
+            Some(_) => {
+                self.push(&join(path, key), "expected a table");
+                None
+            }
+        }
+    }
+
+    fn u64_opt(&mut self, obj: &Map<String, Value>, path: &str, key: &str) -> Option<u64> {
+        match obj.get(key) {
+            None => None,
+            Some(v) => match v.as_u64() {
+                Some(n) => Some(n),
+                None => {
+                    self.push(
+                        &join(path, key),
+                        format!("expected a non-negative integer, got {v}"),
+                    );
+                    None
+                }
+            },
+        }
+    }
+
+    fn u32_opt(&mut self, obj: &Map<String, Value>, path: &str, key: &str) -> Option<u32> {
+        let n = self.u64_opt(obj, path, key)?;
+        match u32::try_from(n) {
+            Ok(n) => Some(n),
+            Err(_) => {
+                self.push(&join(path, key), format!("{n} does not fit in 32 bits"));
+                None
+            }
+        }
+    }
+
+    fn f64_opt(&mut self, obj: &Map<String, Value>, path: &str, key: &str) -> Option<f64> {
+        match obj.get(key) {
+            None => None,
+            Some(v) => match v.as_f64() {
+                Some(f) if f.is_finite() => Some(f),
+                _ => {
+                    self.push(
+                        &join(path, key),
+                        format!("expected a finite number, got {v}"),
+                    );
+                    None
+                }
+            },
+        }
+    }
+
+    fn bool_opt(&mut self, obj: &Map<String, Value>, path: &str, key: &str) -> Option<bool> {
+        match obj.get(key) {
+            None => None,
+            Some(Value::Bool(b)) => Some(*b),
+            Some(v) => {
+                self.push(&join(path, key), format!("expected true or false, got {v}"));
+                None
+            }
+        }
+    }
+
+    fn str_opt(&mut self, obj: &Map<String, Value>, path: &str, key: &str) -> Option<String> {
+        match obj.get(key) {
+            None => None,
+            Some(Value::String(s)) => Some(s.clone()),
+            Some(v) => {
+                self.push(&join(path, key), format!("expected a string, got {v}"));
+                None
+            }
+        }
+    }
+}
+
+fn join(path: &str, key: &str) -> String {
+    if path.is_empty() {
+        key.to_owned()
+    } else {
+        format!("{path}.{key}")
+    }
+}
+
+/// Apply a cache override section (`capacity_kib`/`capacity_bytes`,
+/// `associativity`, `latency`) onto `cache`.
+fn decode_cache(
+    dec: &mut Dec,
+    obj: &Map<String, Value>,
+    path: &str,
+    cache: &mut sms_sim::config::CacheConfig,
+) {
+    dec.check_keys(
+        obj,
+        path,
+        &["capacity_kib", "capacity_bytes", "associativity", "latency"],
+    );
+    if obj.contains_key("capacity_kib") && obj.contains_key("capacity_bytes") {
+        dec.push(path, "give capacity_kib or capacity_bytes, not both");
+    }
+    if let Some(kib) = dec.u64_opt(obj, path, "capacity_kib") {
+        cache.capacity_bytes = kib.saturating_mul(1024);
+    }
+    if let Some(bytes) = dec.u64_opt(obj, path, "capacity_bytes") {
+        cache.capacity_bytes = bytes;
+    }
+    if let Some(a) = dec.u32_opt(obj, path, "associativity") {
+        cache.associativity = a;
+    }
+    if let Some(l) = dec.u32_opt(obj, path, "latency") {
+        cache.access_latency = l;
+    }
+}
+
+/// Decode the `[machine]` section into a [`SystemConfig`], starting from
+/// [`target_config`] at the section's core count.
+fn decode_machine(dec: &mut Dec, root: &Map<String, Value>) -> SystemConfig {
+    let Some(obj) = dec.section(root, "", "machine") else {
+        return target_config(32);
+    };
+    let path = "machine";
+    dec.check_keys(
+        obj,
+        path,
+        &[
+            "cores",
+            "sync_quantum",
+            "inclusive_llc",
+            "core",
+            "l1i",
+            "l1d",
+            "l2",
+            "llc",
+            "noc",
+            "dram",
+            "prefetch",
+        ],
+    );
+    let cores = match dec.u32_opt(obj, path, "cores") {
+        Some(c) if (1..=256).contains(&c) && c.is_power_of_two() => c,
+        Some(c) => {
+            dec.push(
+                &join(path, "cores"),
+                format!("{c} must be a power of two in [1, 256]"),
+            );
+            32
+        }
+        None => 32,
+    };
+    let mut cfg = target_config(cores);
+    if let Some(q) = dec.u64_opt(obj, path, "sync_quantum") {
+        cfg.sync_quantum = q;
+    }
+    if let Some(b) = dec.bool_opt(obj, path, "inclusive_llc") {
+        cfg.inclusive_llc = b;
+    }
+    if let Some(core) = dec.section(obj, path, "core") {
+        let p = &join(path, "core");
+        dec.check_keys(
+            core,
+            p,
+            &[
+                "issue_width",
+                "rob_size",
+                "max_outstanding_loads",
+                "max_outstanding_stores",
+                "max_outstanding_l1d_misses",
+                "branch_miss_penalty",
+            ],
+        );
+        let c = &mut cfg.core;
+        for (key, field) in [
+            ("issue_width", &mut c.issue_width),
+            ("rob_size", &mut c.rob_size),
+            ("max_outstanding_loads", &mut c.max_outstanding_loads),
+            ("max_outstanding_stores", &mut c.max_outstanding_stores),
+            (
+                "max_outstanding_l1d_misses",
+                &mut c.max_outstanding_l1d_misses,
+            ),
+            ("branch_miss_penalty", &mut c.branch_miss_penalty),
+        ] {
+            if let Some(v) = dec.u32_opt(core, p, key) {
+                *field = v;
+            }
+        }
+    }
+    for (key, cache) in [
+        ("l1i", &mut cfg.l1i),
+        ("l1d", &mut cfg.l1d),
+        ("l2", &mut cfg.l2),
+    ] {
+        if let Some(sec) = dec.section(obj, path, key) {
+            decode_cache(dec, sec, &join(path, key), cache);
+        }
+    }
+    if let Some(llc) = dec.section(obj, path, "llc") {
+        let p = &join(path, "llc");
+        dec.check_keys(
+            llc,
+            p,
+            &[
+                "slices",
+                "slice_capacity_kib",
+                "slice_capacity_bytes",
+                "associativity",
+                "latency",
+            ],
+        );
+        if let Some(s) = dec.u32_opt(llc, p, "slices") {
+            cfg.llc.num_slices = s;
+        }
+        if llc.contains_key("slice_capacity_kib") && llc.contains_key("slice_capacity_bytes") {
+            dec.push(
+                p,
+                "give slice_capacity_kib or slice_capacity_bytes, not both",
+            );
+        }
+        if let Some(kib) = dec.u64_opt(llc, p, "slice_capacity_kib") {
+            cfg.llc.slice.capacity_bytes = kib.saturating_mul(1024);
+        }
+        if let Some(bytes) = dec.u64_opt(llc, p, "slice_capacity_bytes") {
+            cfg.llc.slice.capacity_bytes = bytes;
+        }
+        if let Some(a) = dec.u32_opt(llc, p, "associativity") {
+            cfg.llc.slice.associativity = a;
+        }
+        if let Some(l) = dec.u32_opt(llc, p, "latency") {
+            cfg.llc.slice.access_latency = l;
+        }
+    }
+    if let Some(noc) = dec.section(obj, path, "noc") {
+        let p = &join(path, "noc");
+        dec.check_keys(
+            noc,
+            p,
+            &[
+                "mesh_cols",
+                "mesh_rows",
+                "hop_latency",
+                "cross_section_links",
+                "link_bandwidth_gbps",
+            ],
+        );
+        for (key, field) in [
+            ("mesh_cols", &mut cfg.noc.mesh_cols),
+            ("mesh_rows", &mut cfg.noc.mesh_rows),
+            ("hop_latency", &mut cfg.noc.hop_latency),
+            ("cross_section_links", &mut cfg.noc.cross_section_links),
+        ] {
+            if let Some(v) = dec.u32_opt(noc, p, key) {
+                *field = v;
+            }
+        }
+        if let Some(bw) = dec.f64_opt(noc, p, "link_bandwidth_gbps") {
+            cfg.noc.link_bandwidth_gbps = bw;
+        }
+    }
+    if let Some(dram) = dec.section(obj, path, "dram") {
+        let p = &join(path, "dram");
+        dec.check_keys(
+            dram,
+            p,
+            &["controllers", "controller_bandwidth_gbps", "base_latency"],
+        );
+        if let Some(n) = dec.u32_opt(dram, p, "controllers") {
+            cfg.dram.num_controllers = n;
+        }
+        if let Some(bw) = dec.f64_opt(dram, p, "controller_bandwidth_gbps") {
+            cfg.dram.controller_bandwidth_gbps = bw;
+        }
+        if let Some(l) = dec.u32_opt(dram, p, "base_latency") {
+            cfg.dram.base_latency = l;
+        }
+    }
+    if let Some(pf) = dec.section(obj, path, "prefetch") {
+        let p = &join(path, "prefetch");
+        dec.check_keys(pf, p, &["enabled", "degree", "streams", "max_stride"]);
+        if let Some(e) = dec.bool_opt(pf, p, "enabled") {
+            cfg.prefetch.enabled = e;
+        }
+        if let Some(d) = dec.u32_opt(pf, p, "degree") {
+            cfg.prefetch.degree = d;
+        }
+        if let Some(s) = dec.u64_opt(pf, p, "streams") {
+            cfg.prefetch.streams = s as usize;
+        }
+        if let Some(s) = dec.u64_opt(pf, p, "max_stride") {
+            cfg.prefetch.max_stride = s as i64;
+        }
+    }
+    cfg
+}
+
+fn decode_workloads(dec: &mut Dec, root: &Map<String, Value>) -> WorkloadsDecl {
+    let mut out = WorkloadsDecl::default();
+    let Some(obj) = dec.section(root, "", "workloads") else {
+        return out;
+    };
+    let path = "workloads";
+    dec.check_keys(obj, path, &["mixes", "seed", "budget"]);
+    if let Some(seed) = dec.u64_opt(obj, path, "seed") {
+        out.seed = seed;
+    }
+    match dec.u64_opt(obj, path, "budget") {
+        Some(0) => dec.push(&join(path, "budget"), "must be non-zero"),
+        Some(b) => out.budget = b,
+        None => {}
+    }
+    match obj.get("mixes") {
+        None => {}
+        Some(Value::Array(mixes)) => {
+            for (i, mix) in mixes.iter().enumerate() {
+                let p = format!("{path}.mixes[{i}]");
+                let names: Vec<String> = match mix {
+                    // A bare string is shorthand for a homogeneous mix.
+                    Value::String(s) => vec![s.clone()],
+                    Value::Array(items) => items
+                        .iter()
+                        .filter_map(|v| match v {
+                            Value::String(s) => Some(s.clone()),
+                            other => {
+                                dec.push(&p, format!("expected a benchmark name, got {other}"));
+                                None
+                            }
+                        })
+                        .collect(),
+                    other => {
+                        dec.push(&p, format!("expected a name or list of names, got {other}"));
+                        continue;
+                    }
+                };
+                if names.is_empty() {
+                    dec.push(&p, "mix must name at least one benchmark");
+                    continue;
+                }
+                for n in &names {
+                    if by_name(n).is_none() {
+                        dec.push(
+                            &p,
+                            format!("unknown benchmark `{n}` (see `sms bench-table`)"),
+                        );
+                    }
+                }
+                out.mixes.push(names);
+            }
+        }
+        Some(other) => dec.push(
+            &join(path, "mixes"),
+            format!("expected a list, got {other}"),
+        ),
+    }
+    out
+}
+
+fn decode_grid(dec: &mut Dec, root: &Map<String, Value>) -> GridSpec {
+    let mut axes: BTreeMap<String, Vec<AxisValue>> = BTreeMap::new();
+    let Some(obj) = dec.section(root, "", "grid") else {
+        return GridSpec { axes };
+    };
+    for (key, value) in obj {
+        let p = join("grid", key);
+        if !AXES.contains(&key.as_str()) {
+            dec.push(
+                &p,
+                format!("unknown axis (expected one of: {})", AXES.join(", ")),
+            );
+            continue;
+        }
+        match parse_axis(key, value) {
+            Ok(values) => {
+                axes.insert(key.clone(), values);
+            }
+            Err(msg) => dec.push(&p, msg),
+        }
+    }
+    GridSpec { axes }
+}
+
+/// Decode a parsed spec document.
+///
+/// # Errors
+///
+/// Returns every field-level problem found — unknown fields, type
+/// mismatches, invalid machine geometry, unknown benchmarks, malformed
+/// grid axes — each tagged with its dotted path.
+pub fn decode(value: &Value) -> Result<MachineSpec, Vec<SpecError>> {
+    let mut dec = Dec { errors: Vec::new() };
+    let Some(root) = value.as_object() else {
+        return Err(vec![SpecError {
+            path: String::new(),
+            message: "spec root must be a table".to_owned(),
+        }]);
+    };
+    dec.check_keys(
+        root,
+        "",
+        &["schema", "name", "machine", "workloads", "grid"],
+    );
+    match dec.u32_opt(root, "", "schema") {
+        Some(MACHINE_SCHEMA_VERSION) => {}
+        Some(v) => dec.push(
+            "schema",
+            format!("unsupported schema version {v} (this build reads {MACHINE_SCHEMA_VERSION})"),
+        ),
+        None => {
+            if !root.contains_key("schema") {
+                dec.push(
+                    "schema",
+                    format!("required (set `schema = {MACHINE_SCHEMA_VERSION}`)"),
+                );
+            }
+        }
+    }
+    let name = match dec.str_opt(root, "", "name") {
+        Some(n) if !n.trim().is_empty() => n,
+        Some(_) => {
+            dec.push("name", "must be non-empty");
+            "machine".to_owned()
+        }
+        None => "machine".to_owned(),
+    };
+    let machine = decode_machine(&mut dec, root);
+    if let Err(e) = machine.validate() {
+        dec.push("machine", e.to_string());
+    }
+    let workloads = decode_workloads(&mut dec, root);
+    let grid = decode_grid(&mut dec, root);
+    // Expansion validates every concrete design point, so a bad
+    // grid/machine combination fails at load time, not mid-explore.
+    if dec.errors.is_empty() && !grid.is_empty() {
+        if let Err(mut es) = grid.expand(&machine) {
+            dec.errors.append(&mut es);
+        }
+    }
+    if dec.errors.is_empty() {
+        Ok(MachineSpec {
+            schema_version: MACHINE_SCHEMA_VERSION,
+            name,
+            machine,
+            workloads,
+            grid,
+        })
+    } else {
+        Err(dec.errors)
+    }
+}
+
+impl MachineSpec {
+    /// Parse a spec from TOML-subset text.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecLoadError::Toml`] on syntax errors and
+    /// [`SpecLoadError::Invalid`] with per-field diagnostics otherwise.
+    pub fn from_toml(text: &str) -> Result<Self, SpecLoadError> {
+        let value = crate::toml::parse(text).map_err(SpecLoadError::Toml)?;
+        decode(&value).map_err(SpecLoadError::Invalid)
+    }
+
+    /// Parse a spec from JSON text (same shape as the TOML form).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecLoadError::Json`] on syntax errors and
+    /// [`SpecLoadError::Invalid`] with per-field diagnostics otherwise.
+    pub fn from_json(text: &str) -> Result<Self, SpecLoadError> {
+        let value: Value =
+            serde_json::from_str(text).map_err(|e| SpecLoadError::Json(e.to_string()))?;
+        decode(&value).map_err(SpecLoadError::Invalid)
+    }
+
+    /// Load a spec file; `.json` files parse as JSON, everything else as
+    /// the TOML subset.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecLoadError::Io`] when the file cannot be read, or the
+    /// corresponding parse/validation error.
+    pub fn load(path: &Path) -> Result<Self, SpecLoadError> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| SpecLoadError::Io(format!("{}: {e}", path.display())))?;
+        if path.extension().is_some_and(|x| x == "json") {
+            Self::from_json(&text)
+        } else {
+            Self::from_toml(&text)
+        }
+    }
+
+    /// Render the fully resolved spec back to TOML-subset text. The
+    /// output round-trips: `from_toml(render_toml(s)) == s`.
+    pub fn render_toml(&self) -> String {
+        let m = &self.machine;
+        let mut out = String::new();
+        out.push_str(&format!(
+            "schema = {}\nname = \"{}\"\n\n[machine]\ncores = {}\nsync_quantum = {}\n\
+             inclusive_llc = {}\n\n[machine.core]\n",
+            self.schema_version, self.name, m.num_cores, m.sync_quantum, m.inclusive_llc
+        ));
+        out.push_str(&format!(
+            "issue_width = {}\nrob_size = {}\nmax_outstanding_loads = {}\n\
+             max_outstanding_stores = {}\nmax_outstanding_l1d_misses = {}\n\
+             branch_miss_penalty = {}\n",
+            m.core.issue_width,
+            m.core.rob_size,
+            m.core.max_outstanding_loads,
+            m.core.max_outstanding_stores,
+            m.core.max_outstanding_l1d_misses,
+            m.core.branch_miss_penalty
+        ));
+        for (name, c) in [("l1i", &m.l1i), ("l1d", &m.l1d), ("l2", &m.l2)] {
+            out.push_str(&format!("\n[machine.{name}]\n"));
+            out.push_str(&render_capacity("capacity", c.capacity_bytes));
+            out.push_str(&format!(
+                "associativity = {}\nlatency = {}\n",
+                c.associativity, c.access_latency
+            ));
+        }
+        out.push_str(&format!("\n[machine.llc]\nslices = {}\n", m.llc.num_slices));
+        out.push_str(&render_capacity(
+            "slice_capacity",
+            m.llc.slice.capacity_bytes,
+        ));
+        out.push_str(&format!(
+            "associativity = {}\nlatency = {}\n",
+            m.llc.slice.associativity, m.llc.slice.access_latency
+        ));
+        out.push_str(&format!(
+            "\n[machine.noc]\nmesh_cols = {}\nmesh_rows = {}\nhop_latency = {}\n\
+             cross_section_links = {}\nlink_bandwidth_gbps = {:?}\n",
+            m.noc.mesh_cols,
+            m.noc.mesh_rows,
+            m.noc.hop_latency,
+            m.noc.cross_section_links,
+            m.noc.link_bandwidth_gbps
+        ));
+        out.push_str(&format!(
+            "\n[machine.dram]\ncontrollers = {}\ncontroller_bandwidth_gbps = {:?}\n\
+             base_latency = {}\n",
+            m.dram.num_controllers, m.dram.controller_bandwidth_gbps, m.dram.base_latency
+        ));
+        out.push_str(&format!(
+            "\n[machine.prefetch]\nenabled = {}\ndegree = {}\nstreams = {}\nmax_stride = {}\n",
+            m.prefetch.enabled, m.prefetch.degree, m.prefetch.streams, m.prefetch.max_stride
+        ));
+        out.push_str(&format!(
+            "\n[workloads]\nmixes = [{}]\nseed = {}\nbudget = {}\n",
+            self.workloads
+                .mixes
+                .iter()
+                .map(|mix| {
+                    format!(
+                        "[{}]",
+                        mix.iter()
+                            .map(|n| format!("\"{n}\""))
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(", "),
+            self.workloads.seed,
+            self.workloads.budget
+        ));
+        if !self.grid.is_empty() {
+            out.push_str("\n[grid]\n");
+            for (axis, values) in &self.grid.axes {
+                let rendered: Vec<String> = values
+                    .iter()
+                    .map(|v| match v {
+                        AxisValue::Int(n) => n.to_string(),
+                        AxisValue::Mesh(c, r) => format!("\"{c}x{r}\""),
+                    })
+                    .collect();
+                out.push_str(&format!("{axis} = [{}]\n", rendered.join(", ")));
+            }
+        }
+        out
+    }
+
+    /// Render the fully resolved spec as canonical (sorted-key) JSON.
+    pub fn render_json(&self) -> String {
+        let mut root = Map::new();
+        let toml_round = self.render_toml();
+        // The TOML renderer already emits the resolved tree; re-parse it
+        // so both renderers agree on shape by construction.
+        #[allow(clippy::unwrap_used)]
+        // sms-lint: allow(E1): render_toml output is parseable by construction (round-trip tested)
+        let v = crate::toml::parse(&toml_round).unwrap();
+        if let Value::Object(m) = v {
+            root = m;
+        }
+        let mut s = serde_json::to_string_pretty(&Value::Object(root)).unwrap_or_default();
+        s.push('\n');
+        s
+    }
+}
+
+/// Render a byte capacity as `<key>_kib` when whole, `<key>_bytes`
+/// otherwise (so odd geometries still round-trip).
+fn render_capacity(key: &str, bytes: u64) -> String {
+    if bytes.is_multiple_of(1024) {
+        format!("{key}_kib = {}\n", bytes / 1024)
+    } else {
+        format!("{key}_bytes = {bytes}\n")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SMOKE: &str = r#"
+schema = 1
+name = "smoke"
+
+[machine]
+cores = 2
+
+[machine.core]
+rob_size = 64
+
+[machine.llc]
+slice_capacity_kib = 512
+
+[workloads]
+mixes = [["leela_r", "lbm_r"], "mcf_r"]
+seed = 7
+budget = 50000
+
+[grid]
+rob_size = [16, 128]
+llc_slice_kib = [256, 512]
+"#;
+
+    #[test]
+    fn minimal_spec_defaults_to_target_config() {
+        let s = MachineSpec::from_toml("schema = 1\n").unwrap();
+        assert_eq!(s.machine, target_config(32));
+        assert_eq!(s.name, "machine");
+        assert_eq!(s.workloads.seed, DEFAULT_SEED);
+        assert_eq!(s.workloads.budget, DEFAULT_BUDGET);
+        assert!(s.grid.is_empty());
+    }
+
+    #[test]
+    fn overrides_apply_on_top_of_defaults() {
+        let s = MachineSpec::from_toml(SMOKE).unwrap();
+        assert_eq!(s.name, "smoke");
+        assert_eq!(s.machine.num_cores, 2);
+        assert_eq!(s.machine.core.rob_size, 64);
+        assert_eq!(s.machine.llc.slice.capacity_bytes, 512 * 1024);
+        // Unspecified fields follow target_config(2).
+        assert_eq!(s.machine.llc.num_slices, 2);
+        assert_eq!(s.machine.l1d.capacity_bytes, 32 * 1024);
+        // A bare string mix is homogeneous shorthand.
+        assert_eq!(
+            s.workloads.mixes,
+            vec![
+                vec!["leela_r".to_owned(), "lbm_r".to_owned()],
+                vec!["mcf_r".to_owned()]
+            ]
+        );
+        assert_eq!(s.grid.num_points(), 4);
+    }
+
+    #[test]
+    fn render_toml_round_trips() {
+        let s = MachineSpec::from_toml(SMOKE).unwrap();
+        let text = s.render_toml();
+        let back = MachineSpec::from_toml(&text).unwrap();
+        assert_eq!(s, back, "render_toml must round-trip:\n{text}");
+    }
+
+    #[test]
+    fn json_form_decodes_identically() {
+        let s = MachineSpec::from_toml(SMOKE).unwrap();
+        let back = MachineSpec::from_json(&s.render_json()).unwrap();
+        assert_eq!(s, back);
+    }
+
+    #[test]
+    fn field_level_errors_name_their_paths() {
+        let err = MachineSpec::from_toml(
+            "schema = 1\n[machine]\ncores = 3\n[machine.llc]\nslice_capacity_kib = \"big\"\n\
+             [workloads]\nmixes = [[\"nope_r\"]]\n[grid]\nwarp_factor = [1]\n",
+        )
+        .unwrap_err();
+        let SpecLoadError::Invalid(errors) = err else {
+            panic!("expected Invalid, got {err:?}");
+        };
+        let text = errors
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n");
+        assert!(text.contains("machine.cores"), "{text}");
+        assert!(text.contains("machine.llc.slice_capacity_kib"), "{text}");
+        assert!(text.contains("workloads.mixes[0]"), "{text}");
+        assert!(text.contains("nope_r"), "{text}");
+        assert!(text.contains("grid.warp_factor"), "{text}");
+    }
+
+    #[test]
+    fn unknown_fields_are_rejected() {
+        let err = MachineSpec::from_toml("schema = 1\n[machine]\ncoars = 8\n").unwrap_err();
+        assert!(err.to_string().contains("machine.coars"), "{err}");
+        assert!(err.to_string().contains("unknown field"), "{err}");
+    }
+
+    #[test]
+    fn missing_and_wrong_schema_rejected() {
+        let err = MachineSpec::from_toml("name = \"x\"\n").unwrap_err();
+        assert!(err.to_string().contains("schema"), "{err}");
+        let err = MachineSpec::from_toml("schema = 99\n").unwrap_err();
+        assert!(err.to_string().contains("unsupported schema"), "{err}");
+    }
+
+    #[test]
+    fn invalid_machine_geometry_reported() {
+        // 3000-byte L2 capacity: not a valid cache geometry.
+        let err = MachineSpec::from_toml("schema = 1\n[machine.l2]\ncapacity_bytes = 3000\n")
+            .unwrap_err();
+        assert!(err.to_string().contains("machine:"), "{err}");
+        assert!(err.to_string().contains("l2"), "{err}");
+    }
+
+    #[test]
+    fn load_dispatches_on_extension() {
+        let dir = std::env::temp_dir().join(format!("sms-spec-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let s = MachineSpec::from_toml(SMOKE).unwrap();
+        let tpath = dir.join("m.toml");
+        let jpath = dir.join("m.json");
+        std::fs::write(&tpath, s.render_toml()).unwrap();
+        std::fs::write(&jpath, s.render_json()).unwrap();
+        assert_eq!(MachineSpec::load(&tpath).unwrap(), s);
+        assert_eq!(MachineSpec::load(&jpath).unwrap(), s);
+        assert!(matches!(
+            MachineSpec::load(&dir.join("absent.toml")),
+            Err(SpecLoadError::Io(_))
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,172 @@
+//! Pareto-front extraction over explored design points.
+//!
+//! The objectives follow the paper's design-study framing: maximize
+//! throughput (aggregate IPC averaged over the declared mixes) while
+//! minimizing LLC capacity and core count — the two cost axes a scale
+//! model lets you trade early. All float comparisons go through
+//! `total_cmp`, so NaN throughput (a quarantined or failed point) sorts
+//! below every real value instead of poisoning the front.
+
+use serde::{Deserialize, Serialize};
+
+/// One evaluated design point projected onto the Pareto objectives.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PointOutcome {
+    /// The design point's deterministic key.
+    pub key: String,
+    /// Core count (cost axis, minimized).
+    pub cores: u32,
+    /// Total LLC capacity in bytes (cost axis, minimized).
+    pub llc_bytes: u64,
+    /// Aggregate IPC averaged over the workload mixes (value axis,
+    /// maximized).
+    pub throughput: f64,
+}
+
+/// Throughput with NaN demoted below every real value. `total_cmp`
+/// alone would sort positive NaN above +inf, letting a failed point
+/// dominate real ones.
+fn effective_throughput(x: f64) -> f64 {
+    if x.is_nan() {
+        f64::NEG_INFINITY
+    } else {
+        x
+    }
+}
+
+/// True when `a` Pareto-dominates `b`: no worse on every objective and
+/// strictly better on at least one.
+pub fn dominates(a: &PointOutcome, b: &PointOutcome) -> bool {
+    let thr = effective_throughput(a.throughput).total_cmp(&effective_throughput(b.throughput));
+    let no_worse = thr.is_ge() && a.llc_bytes <= b.llc_bytes && a.cores <= b.cores;
+    let better = thr.is_gt() || a.llc_bytes < b.llc_bytes || a.cores < b.cores;
+    no_worse && better
+}
+
+/// Extract the Pareto front: every point no other point dominates,
+/// sorted by throughput (descending), then LLC bytes, cores, and key
+/// (ascending) so the rendering is canonical.
+pub fn pareto_front(points: &[PointOutcome]) -> Vec<PointOutcome> {
+    let mut front: Vec<PointOutcome> = points
+        .iter()
+        .filter(|p| !points.iter().any(|q| dominates(q, p)))
+        .cloned()
+        .collect();
+    front.sort_by(|a, b| {
+        effective_throughput(b.throughput)
+            .total_cmp(&effective_throughput(a.throughput))
+            .then(a.llc_bytes.cmp(&b.llc_bytes))
+            .then(a.cores.cmp(&b.cores))
+            .then(a.key.cmp(&b.key))
+    });
+    front
+}
+
+/// Render a front as an aligned text table.
+pub fn render_table(front: &[PointOutcome]) -> String {
+    let mut rows: Vec<[String; 4]> = vec![[
+        "point".to_owned(),
+        "throughput".to_owned(),
+        "llc_mib".to_owned(),
+        "cores".to_owned(),
+    ]];
+    for p in front {
+        rows.push([
+            p.key.clone(),
+            format!("{:.4}", p.throughput),
+            format!("{:.2}", p.llc_bytes as f64 / (1024.0 * 1024.0)),
+            p.cores.to_string(),
+        ]);
+    }
+    let mut widths = [0usize; 4];
+    for row in &rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    for (i, row) in rows.iter().enumerate() {
+        let line = format!(
+            "{:<w0$}  {:>w1$}  {:>w2$}  {:>w3$}",
+            row[0],
+            row[1],
+            row[2],
+            row[3],
+            w0 = widths[0],
+            w1 = widths[1],
+            w2 = widths[2],
+            w3 = widths[3]
+        );
+        out.push_str(line.trim_end());
+        out.push('\n');
+        if i == 0 {
+            let dash_len = line.trim_end().len();
+            out.push_str(&"-".repeat(dash_len));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(key: &str, cores: u32, llc: u64, thr: f64) -> PointOutcome {
+        PointOutcome {
+            key: key.to_owned(),
+            cores,
+            llc_bytes: llc,
+            throughput: thr,
+        }
+    }
+
+    #[test]
+    fn dominance_requires_strict_improvement() {
+        let a = p("a", 2, 100, 2.0);
+        let same = p("b", 2, 100, 2.0);
+        assert!(!dominates(&a, &same));
+        assert!(dominates(&a, &p("c", 2, 100, 1.0)));
+        assert!(dominates(&a, &p("d", 4, 100, 2.0)));
+        assert!(!dominates(&a, &p("e", 1, 100, 1.0))); // cheaper, slower: trade-off
+    }
+
+    #[test]
+    fn front_keeps_tradeoffs_drops_dominated() {
+        let pts = vec![
+            p("big", 4, 400, 4.0),
+            p("small", 1, 100, 1.0),
+            p("bad", 4, 400, 3.0),   // dominated by big
+            p("worse", 2, 100, 0.5), // dominated by small
+        ];
+        let front = pareto_front(&pts);
+        let keys: Vec<&str> = front.iter().map(|p| p.key.as_str()).collect();
+        assert_eq!(keys, vec!["big", "small"]);
+    }
+
+    #[test]
+    fn nan_throughput_never_makes_the_front() {
+        let pts = vec![p("ok", 2, 100, 1.0), p("nan", 2, 100, f64::NAN)];
+        let front = pareto_front(&pts);
+        assert_eq!(front.len(), 1);
+        assert_eq!(front[0].key, "ok");
+    }
+
+    #[test]
+    fn all_nan_front_is_stable_not_panicking() {
+        let pts = vec![p("a", 2, 100, f64::NAN), p("b", 1, 100, f64::NAN)];
+        let front = pareto_front(&pts);
+        // NaN == NaN under total_cmp, so `b` (cheaper) dominates `a`.
+        assert_eq!(front.len(), 1);
+        assert_eq!(front[0].key, "b");
+    }
+
+    #[test]
+    fn table_renders_header_and_rows() {
+        let t = render_table(&[p("rob_size=128", 2, 2 * 1024 * 1024, 1.2345)]);
+        assert!(t.contains("point"), "{t}");
+        assert!(t.contains("rob_size=128"), "{t}");
+        assert!(t.contains("1.2345") || t.contains("1.2345"), "{t}");
+        assert!(t.contains("2.00"), "{t}");
+    }
+}

@@ -1,0 +1,319 @@
+//! Hand-rolled parser for the TOML subset machine specs use.
+//!
+//! The workspace is std-only (no `toml` crate), so machine specs are
+//! written in a small, strictly defined TOML subset that parses into a
+//! [`serde_json::Value`] tree — the same shape a `.json` spec
+//! deserializes to, so the decoder in [`machine`](crate::machine) is
+//! format-agnostic.
+//!
+//! Supported syntax (documented in DESIGN.md "Design-space exploration"):
+//!
+//! * `#` comments (full-line or trailing) and blank lines,
+//! * `[section]` and `[dotted.section]` table headers,
+//! * `key = value` pairs with bare keys (`[A-Za-z0-9_-]+`),
+//! * values: integers, floats, booleans, basic `"strings"` (escapes
+//!   `\\`, `\"`, `\n`, `\t`), and single-line (possibly nested) arrays.
+//!
+//! Deliberately *not* supported: dotted keys, arrays of tables,
+//! multi-line arrays/strings, literal strings, datetimes. A spec needing
+//! those is out of scope for machine descriptions.
+
+use serde_json::{Map, Value};
+
+/// A parse failure with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TomlError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for TomlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for TomlError {}
+
+fn err(line: usize, message: impl Into<String>) -> TomlError {
+    TomlError {
+        line,
+        message: message.into(),
+    }
+}
+
+fn is_bare_key(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+}
+
+/// Strip a trailing `#` comment, respecting `"` string boundaries.
+fn strip_comment(line: &str) -> &str {
+    let mut in_string = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '\\' if in_string && !escaped => escaped = true,
+            '"' if !escaped => in_string = !in_string,
+            '#' if !in_string => return &line[..i],
+            _ => escaped = false,
+        }
+    }
+    line
+}
+
+/// Navigate (creating as needed) to the table at `path`, rooted at `root`.
+fn table_at<'a>(
+    root: &'a mut Map<String, Value>,
+    path: &[String],
+    line: usize,
+) -> Result<&'a mut Map<String, Value>, TomlError> {
+    let mut cur = root;
+    for seg in path {
+        let entry = cur
+            .entry(seg.clone())
+            .or_insert_with(|| Value::Object(Map::new()));
+        cur = entry
+            .as_object_mut()
+            .ok_or_else(|| err(line, format!("`{seg}` is both a value and a table")))?;
+    }
+    Ok(cur)
+}
+
+/// Parse one value expression (the right-hand side of `key = ...`).
+fn parse_value(text: &str, line: usize) -> Result<Value, TomlError> {
+    let mut chars: Vec<char> = text.chars().collect();
+    let (v, used) = parse_value_at(&mut chars, 0, line)?;
+    let rest: String = chars[used..].iter().collect();
+    if !rest.trim().is_empty() {
+        return Err(err(line, format!("trailing garbage after value: `{rest}`")));
+    }
+    Ok(v)
+}
+
+/// Recursive-descent value parser; returns the value and the index just
+/// past it.
+fn parse_value_at(chars: &mut [char], at: usize, line: usize) -> Result<(Value, usize), TomlError> {
+    let mut i = at;
+    while i < chars.len() && chars[i].is_whitespace() {
+        i += 1;
+    }
+    let Some(&c) = chars.get(i) else {
+        return Err(err(line, "missing value"));
+    };
+    match c {
+        '"' => parse_string_at(chars, i, line),
+        '[' => parse_array_at(chars, i, line),
+        _ => {
+            // Scalar token: ends at whitespace, `,` or `]`.
+            let start = i;
+            while i < chars.len() && !chars[i].is_whitespace() && chars[i] != ',' && chars[i] != ']'
+            {
+                i += 1;
+            }
+            let token: String = chars[start..i].iter().collect();
+            let v = match token.as_str() {
+                "true" => Value::Bool(true),
+                "false" => Value::Bool(false),
+                _ => {
+                    if let Ok(n) = token.parse::<i64>() {
+                        Value::from(n)
+                    } else if let Ok(f) = token.parse::<f64>() {
+                        if !f.is_finite() {
+                            return Err(err(line, format!("non-finite number `{token}`")));
+                        }
+                        serde_json::Number::from_f64(f)
+                            .map(Value::Number)
+                            .ok_or_else(|| err(line, format!("unrepresentable number `{token}`")))?
+                    } else {
+                        return Err(err(
+                            line,
+                            format!("cannot parse value `{token}` (bare strings must be quoted)"),
+                        ));
+                    }
+                }
+            };
+            Ok((v, i))
+        }
+    }
+}
+
+fn parse_string_at(chars: &[char], at: usize, line: usize) -> Result<(Value, usize), TomlError> {
+    debug_assert_eq!(chars[at], '"');
+    let mut out = String::new();
+    let mut i = at + 1;
+    while i < chars.len() {
+        match chars[i] {
+            '"' => return Ok((Value::String(out), i + 1)),
+            '\\' => {
+                let esc = chars
+                    .get(i + 1)
+                    .ok_or_else(|| err(line, "dangling escape at end of string"))?;
+                out.push(match esc {
+                    '\\' => '\\',
+                    '"' => '"',
+                    'n' => '\n',
+                    't' => '\t',
+                    other => return Err(err(line, format!("unsupported escape `\\{other}`"))),
+                });
+                i += 2;
+            }
+            c => {
+                out.push(c);
+                i += 1;
+            }
+        }
+    }
+    Err(err(line, "unterminated string"))
+}
+
+fn parse_array_at(chars: &mut [char], at: usize, line: usize) -> Result<(Value, usize), TomlError> {
+    debug_assert_eq!(chars[at], '[');
+    let mut items = Vec::new();
+    let mut i = at + 1;
+    loop {
+        while i < chars.len() && (chars[i].is_whitespace() || chars[i] == ',') {
+            i += 1;
+        }
+        match chars.get(i) {
+            None => return Err(err(line, "unterminated array (arrays are single-line)")),
+            Some(']') => return Ok((Value::Array(items), i + 1)),
+            Some(_) => {
+                let (v, next) = parse_value_at(chars, i, line)?;
+                items.push(v);
+                i = next;
+            }
+        }
+    }
+}
+
+/// Parse a TOML-subset document into a JSON object tree.
+///
+/// # Errors
+///
+/// Returns a [`TomlError`] naming the first offending line: syntax
+/// outside the subset, duplicate keys, or conflicting table/value paths.
+pub fn parse(text: &str) -> Result<Value, TomlError> {
+    let mut root = Map::new();
+    let mut current_path: Vec<String> = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(header) = line.strip_prefix('[') {
+            let header = header
+                .strip_suffix(']')
+                .ok_or_else(|| err(lineno, "unterminated table header"))?
+                .trim();
+            if header.starts_with('[') {
+                return Err(err(lineno, "arrays of tables ([[...]]) are not supported"));
+            }
+            let segments: Vec<String> = header.split('.').map(|s| s.trim().to_owned()).collect();
+            if segments.iter().any(|s| !is_bare_key(s)) {
+                return Err(err(lineno, format!("invalid table header `[{header}]`")));
+            }
+            // Materialize the table (so empty sections still exist) and
+            // reject re-opening a path already used by a value.
+            table_at(&mut root, &segments, lineno)?;
+            current_path = segments;
+        } else if let Some((key, value)) = line.split_once('=') {
+            let key = key.trim();
+            if !is_bare_key(key) {
+                return Err(err(
+                    lineno,
+                    format!("invalid key `{key}` (dotted/quoted keys are not supported)"),
+                ));
+            }
+            let v = parse_value(value.trim(), lineno)?;
+            let table = table_at(&mut root, &current_path, lineno)?;
+            if table.insert(key.to_owned(), v).is_some() {
+                return Err(err(lineno, format!("duplicate key `{key}`")));
+            }
+        } else {
+            return Err(err(lineno, format!("cannot parse line `{line}`")));
+        }
+    }
+    Ok(Value::Object(root))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_sections_scalars_and_arrays() {
+        let v = parse(
+            "# spec\nschema = 1\nname = \"m1\"\n\n[machine]\ncores = 8 # eight\nratio = 2.5\n\
+             flag = true\n\n[machine.core]\nrob_size = 128\n\n[grid]\nrob_size = [16, 128]\n\
+             mixes = [[\"a\", \"b\"], [\"c\"]]\n",
+        )
+        .unwrap();
+        assert_eq!(v["schema"], 1);
+        assert_eq!(v["name"], "m1");
+        assert_eq!(v["machine"]["cores"], 8);
+        assert_eq!(v["machine"]["ratio"], 2.5);
+        assert_eq!(v["machine"]["flag"], true);
+        assert_eq!(v["machine"]["core"]["rob_size"], 128);
+        assert_eq!(v["grid"]["rob_size"], serde_json::json!([16, 128]));
+        assert_eq!(v["grid"]["mixes"], serde_json::json!([["a", "b"], ["c"]]));
+    }
+
+    #[test]
+    fn string_escapes_and_comment_hash_in_string() {
+        let v = parse("s = \"a # not a comment\\n\\\"q\\\" \\\\ t\\tx\"\n").unwrap();
+        assert_eq!(v["s"], "a # not a comment\n\"q\" \\ t\tx");
+    }
+
+    #[test]
+    fn negative_and_float_numbers() {
+        let v = parse("a = -3\nb = 0.125\nc = -1.5\n").unwrap();
+        assert_eq!(v["a"], -3);
+        assert_eq!(v["b"], 0.125);
+        assert_eq!(v["c"], -1.5);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = parse("ok = 1\nbroken line\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.to_string().contains("line 2"), "{e}");
+
+        let e = parse("a = 1\na = 2\n").unwrap_err();
+        assert!(e.message.contains("duplicate"), "{e}");
+
+        let e = parse("s = \"unterminated\n").unwrap_err();
+        assert!(e.message.contains("unterminated"), "{e}");
+
+        let e = parse("x = [1, 2\n").unwrap_err();
+        assert!(e.message.contains("array"), "{e}");
+
+        let e = parse("x = nope\n").unwrap_err();
+        assert!(e.message.contains("quoted"), "{e}");
+
+        let e = parse("[[tables]]\nx = 1\n").unwrap_err();
+        assert!(e.message.contains("not supported"), "{e}");
+    }
+
+    #[test]
+    fn value_table_conflicts_rejected() {
+        let e = parse("a = 1\n[a]\nb = 2\n").unwrap_err();
+        assert!(e.message.contains("both a value and a table"), "{e}");
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let e = parse("a = 1 2\n").unwrap_err();
+        assert!(e.message.contains("trailing"), "{e}");
+    }
+
+    #[test]
+    fn empty_sections_materialize() {
+        let v = parse("[grid]\n").unwrap();
+        assert!(v["grid"].as_object().unwrap().is_empty());
+    }
+}

@@ -31,7 +31,7 @@ pub const RULES: &[(&str, &str)] = &[
 
 /// Crates whose results must be bit-identical across hosts, thread
 /// counts and reruns: wall-clock and entropy are banned outright (D1).
-const D1_CRATES: &[&str] = &["core", "faults", "ml", "sim", "workloads"];
+const D1_CRATES: &[&str] = &["core", "explore", "faults", "ml", "sim", "workloads"];
 
 const D1_PATTERNS: &[&str] = &[
     "SystemTime::now",

@@ -39,6 +39,14 @@ fn d1_wall_clock_flagged_in_deterministic_crate() {
 }
 
 #[test]
+fn d1_applies_to_the_explore_crate() {
+    // Design-space exploration must be bit-identical across reruns (the
+    // resume chaos test depends on it), so explore is a D1 crate.
+    let report = lint_one("crates/explore/src/fixture.rs", "d1_wall_clock.rs");
+    assert_eq!(rule_lines(&report), vec![("D1", 5)], "{}", report.render_text());
+}
+
+#[test]
 fn d1_does_not_apply_outside_deterministic_crates() {
     // The serve crate talks to real sockets; wall-clock is allowed there.
     let report = lint_one("crates/serve/src/fixture.rs", "d1_wall_clock.rs");

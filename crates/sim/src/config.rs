@@ -411,6 +411,44 @@ mod tests {
     }
 
     #[test]
+    fn zero_associativity_is_a_zero_field_error() {
+        let c = CacheConfig {
+            capacity_bytes: 32 * 1024,
+            associativity: 0,
+            access_latency: 4,
+            policy: Default::default(),
+        };
+        assert_eq!(c.validate("l1d"), Err(ConfigError::ZeroField("l1d")));
+        let mut t = SystemConfig::target_32core();
+        t.l2.associativity = 0;
+        assert_eq!(t.validate(), Err(ConfigError::ZeroField("l2")));
+    }
+
+    #[test]
+    fn non_power_of_two_set_count_is_a_geometry_error() {
+        // 48 KiB at 8 ways and 64-byte lines gives 96 sets: an exact
+        // way-size multiple, but not a power of two.
+        let c = CacheConfig::new_kib(48, 8, 4);
+        assert_eq!(c.num_sets(), 96);
+        assert_eq!(c.validate("l2"), Err(ConfigError::CacheGeometry("l2")));
+    }
+
+    #[test]
+    fn zero_capacity_llc_slice_rejected() {
+        let mut t = SystemConfig::target_32core();
+        t.llc.slice.capacity_bytes = 0;
+        assert_eq!(t.validate(), Err(ConfigError::ZeroField("llc slice")));
+        assert_eq!(t.llc.total_capacity_bytes(), 0);
+    }
+
+    #[test]
+    fn non_power_of_two_llc_slice_count_rejected() {
+        let mut t = SystemConfig::target_32core();
+        t.llc.num_slices = 12;
+        assert_eq!(t.validate(), Err(ConfigError::SliceCount(12)));
+    }
+
+    #[test]
     fn mesh_must_cover_cores() {
         let mut t = SystemConfig::target_32core();
         t.noc.mesh_cols = 2;

@@ -63,6 +63,30 @@ impl MixSpec {
         Self { benchmarks, seed }
     }
 
+    /// A mix of `t` instances filled round-robin from `names`
+    /// (`names[i % names.len()]` for slot `i`) — the CLI convention for
+    /// spreading a short benchmark list over a machine's cores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `names` is empty or `t` is zero.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let names = ["lbm_r".to_owned(), "mcf_r".to_owned()];
+    /// let mix = sms_workloads::mix::MixSpec::fill(&names, 4, 1);
+    /// assert_eq!(mix.benchmarks, ["lbm_r", "mcf_r", "lbm_r", "mcf_r"]);
+    /// ```
+    pub fn fill(names: &[String], t: usize, seed: u64) -> Self {
+        assert!(!names.is_empty(), "names must be non-empty");
+        assert!(t > 0, "mix size must be non-zero");
+        Self {
+            benchmarks: (0..t).map(|i| names[i % names.len()].clone()).collect(),
+            seed,
+        }
+    }
+
     /// Number of slots (cores) in the mix.
     pub fn len(&self) -> usize {
         self.benchmarks.len()
