@@ -8,11 +8,14 @@
 //!   retries, quarantine, watchdog deadline via `SMS_RUN_TIMEOUT_SECS`),
 //! * [`journal`] — append-only fsync'd plan journal enabling crash-safe
 //!   sweep resume (`sms resume`),
-//! * [`fsck`] — cache integrity verification and repair (`sms fsck`),
+//! * [`fsck`](mod@fsck) — cache integrity verification and repair
+//!   (`sms fsck`),
 //! * [`telemetry`] — per-run records, `sms-obs` counters, the JSON
 //!   run-manifest, and Chrome-trace flushing,
 //! * [`timeline`] — opt-in per-run epoch timelines written next to the
 //!   cache (`sms sweep --timelines`, rendered by `sms timeline`),
+//! * [`profile`] — opt-in per-run phase profiles written next to the
+//!   cache (`sms sweep --profile`), aggregated into the run-manifest,
 //! * [`ctx`] — experiment context (env-var knobs, report emission),
 //! * [`experiments`] — one driver per table/figure,
 //! * [`table`] — text-table rendering.
@@ -35,6 +38,7 @@ pub mod ctx;
 pub mod experiments;
 pub mod fsck;
 pub mod journal;
+pub mod profile;
 pub mod runner;
 pub mod table;
 pub mod telemetry;
@@ -45,6 +49,10 @@ pub use fsck::{fsck, Defect, DefectKind, FsckAction, FsckReport};
 pub use journal::{
     journal_path, replay, JournalLine, JournalReplay, PlanHeader, PlanJournal,
     JOURNAL_SCHEMA_VERSION,
+};
+pub use profile::{
+    execute_plan_with_profiles, phase_records, profile_run_fn, profiles_dir, records_to_profile,
+    PhaseStatRecord, ProfileFile, PROFILE_FILE_SCHEMA_VERSION,
 };
 pub use runner::{
     cache_key, execute_plan, execute_plan_with, key_hash_hex, result_checksum, CachedSim,

@@ -1,0 +1,331 @@
+//! Per-run phase profiles: an opt-in run function for the plan executor
+//! that attaches an [`sms_obs::Profiler`] to every simulated run and
+//! writes the resulting [`PhaseProfile`] under
+//! `<cache>/profiles/<key_hash>.json`.
+//!
+//! The plain executor runs detached, so sweeps pay nothing for this
+//! capability; wiring [`profile_run_fn`] through the
+//! [`execute_plan_with`](crate::runner::execute_plan_with) seam attaches
+//! a fresh profiler per run. The profiler only observes host time — the
+//! `SimResult` is bit-identical with and without it (proved by the
+//! determinism tests in `sms-sim`). Besides the per-run files, the run
+//! function folds every run's profile into a shared aggregate that
+//! [`execute_plan_with_profiles`] embeds into the v4 run-manifest.
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use sms_obs::{PhaseProfile, PhaseStat, Profiler};
+use sms_sim::config::SystemConfig;
+use sms_sim::error::SimError;
+use sms_sim::stats::SimResult;
+use sms_sim::system::{MulticoreSystem, RunSpec};
+use sms_workloads::mix::MixSpec;
+
+use crate::runner::{cache_key, key_hash_hex, CachedSim, PlanSummary};
+use crate::telemetry::{mix_label, write_manifest, RunManifest};
+
+/// Profile file schema version; bump when the JSON layout changes.
+pub const PROFILE_FILE_SCHEMA_VERSION: u32 = 1;
+
+/// Serde mirror of one [`PhaseStat`] (`sms-obs` is dependency-free and
+/// renders its own JSON; the bench crate owns the serde form).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PhaseStatRecord {
+    /// Full phase path (`parent;child` collapsed-stack form).
+    pub path: String,
+    /// Completed scopes.
+    pub count: u64,
+    /// Total nanoseconds, including time spent in child phases.
+    pub total_nanos: u64,
+    /// Nanoseconds not attributed to any direct child phase.
+    pub self_nanos: u64,
+}
+
+impl From<&PhaseStat> for PhaseStatRecord {
+    fn from(s: &PhaseStat) -> Self {
+        Self {
+            path: s.path.clone(),
+            count: s.count,
+            total_nanos: s.total_nanos,
+            self_nanos: s.self_nanos,
+        }
+    }
+}
+
+/// Convert a profile into its serde record form (phases keep their
+/// sorted-by-path order).
+pub fn phase_records(profile: &PhaseProfile) -> Vec<PhaseStatRecord> {
+    profile.phases.iter().map(PhaseStatRecord::from).collect()
+}
+
+/// Rebuild a [`PhaseProfile`] from its serde record form.
+pub fn records_to_profile(records: &[PhaseStatRecord]) -> PhaseProfile {
+    let mut profile = PhaseProfile {
+        phases: records
+            .iter()
+            .map(|r| PhaseStat {
+                path: r.path.clone(),
+                count: r.count,
+                total_nanos: r.total_nanos,
+                self_nanos: r.self_nanos,
+            })
+            .collect(),
+    };
+    profile.phases.sort_by(|a, b| a.path.cmp(&b.path));
+    profile
+}
+
+/// One profile file: the phase breakdown of a single simulated run,
+/// written next to the result cache.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ProfileFile {
+    /// Profile file schema version.
+    pub schema_version: u32,
+    /// Hex hash of the run's cache key (also the file stem).
+    pub key_hash: String,
+    /// Human-readable mix description.
+    pub mix: String,
+    /// Cores in the machine configuration.
+    pub cores: u32,
+    /// Per-phase stats, sorted by path.
+    pub phases: Vec<PhaseStatRecord>,
+}
+
+impl ProfileFile {
+    /// Load a profile file from disk.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the file is unreadable or not a profile.
+    pub fn load(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let text = std::fs::read_to_string(path)?;
+        serde_json::from_str(&text)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+
+    /// Write the file as sorted-key pretty JSON.
+    ///
+    /// # Errors
+    ///
+    /// Propagates encoding and filesystem failures.
+    pub fn save(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        let json =
+            sms_core::artifact::to_sorted_pretty_json(self).map_err(std::io::Error::other)?;
+        std::fs::write(path, json)
+    }
+}
+
+/// Where [`profile_run_fn`] writes its files.
+pub fn profiles_dir(cache_dir: &Path) -> PathBuf {
+    cache_dir.join("profiles")
+}
+
+/// A run function for the `execute_plan_with` seam that attaches a fresh
+/// [`Profiler`] to every simulated run, writes the run's [`ProfileFile`]
+/// under `<cache_dir>/profiles/`, and folds the snapshot into
+/// `aggregate`. Write failures warn and drop the profile rather than
+/// failing the run — the `SimResult` is identical either way (the
+/// profiler is read-only with respect to simulated state).
+pub fn profile_run_fn(
+    cache_dir: &Path,
+    aggregate: Arc<Mutex<PhaseProfile>>,
+) -> impl Fn(&SystemConfig, &MixSpec, RunSpec) -> Result<SimResult, SimError> + Send + Sync + 'static
+{
+    let dir = profiles_dir(cache_dir);
+    move |cfg, mix, spec| {
+        let profiler = Profiler::new();
+        let mut system = MulticoreSystem::new(cfg.clone(), mix.sources())?;
+        system.attach_profiler(&profiler);
+        let result = system.run(spec)?;
+        let snapshot = profiler.snapshot();
+        aggregate.lock().merge(&snapshot);
+        let file = ProfileFile {
+            schema_version: PROFILE_FILE_SCHEMA_VERSION,
+            key_hash: key_hash_hex(&cache_key(cfg, mix, spec)),
+            mix: mix_label(mix),
+            cores: cfg.num_cores,
+            phases: phase_records(&snapshot),
+        };
+        write_profile(&dir, &file);
+        Ok(result)
+    }
+}
+
+/// [`execute_plan_with`](crate::runner::execute_plan_with) preconfigured
+/// with [`profile_run_fn`]: every simulated (non-cached) run leaves a
+/// profile file behind, and the aggregate across all of them is embedded
+/// into the run-manifest (`profile` field, schema v4) and returned. This
+/// is what `sms sweep --profile` calls.
+pub fn execute_plan_with_profiles(
+    cache: &CachedSim,
+    plan: &[(SystemConfig, MixSpec)],
+    spec: RunSpec,
+    threads: usize,
+    label: &str,
+) -> (PlanSummary, PhaseProfile) {
+    let aggregate = Arc::new(Mutex::new(PhaseProfile::default()));
+    let run_fn = profile_run_fn(cache.dir(), Arc::clone(&aggregate));
+    let mut summary = crate::runner::execute_plan_with(
+        cache,
+        plan,
+        spec,
+        threads,
+        label,
+        crate::runner::ExecOptions::from_env(),
+        run_fn,
+    );
+    let profile = aggregate.lock().clone();
+    // The executor wrote the manifest before the aggregate existed;
+    // re-write it with the profile embedded. Best-effort like every other
+    // diagnostics write.
+    if !profile.is_empty() {
+        if let Some(path) = &summary.manifest_path {
+            match RunManifest::load(path) {
+                Ok(mut manifest) => {
+                    manifest.profile = Some(phase_records(&profile));
+                    summary.manifest_path = write_manifest(cache.dir(), &manifest);
+                }
+                Err(e) => eprintln!("[{label}] warning: cannot embed profile in manifest: {e}"),
+            }
+        }
+    }
+    (summary, profile)
+}
+
+/// Best-effort write of one profile file as sorted-key pretty JSON.
+fn write_profile(dir: &Path, file: &ProfileFile) {
+    let write = || -> std::io::Result<()> {
+        sms_faults::check_io("profile.write")?;
+        std::fs::create_dir_all(dir)?;
+        file.save(dir.join(format!("{}.json", file.key_hash)))
+    };
+    if let Err(e) = write() {
+        eprintln!(
+            "warning: cannot write profile for {} ({}): {e}",
+            file.key_hash, file.mix
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cfg() -> SystemConfig {
+        let mut cfg = SystemConfig::target_32core();
+        cfg.num_cores = 1;
+        cfg.llc.num_slices = 1;
+        cfg.noc.mesh_cols = 1;
+        cfg.noc.mesh_rows = 1;
+        cfg.dram.num_controllers = 1;
+        cfg
+    }
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("sms-profile-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn record_round_trip_preserves_the_profile() {
+        let profiler = Profiler::new();
+        profiler.phase("sim.run").record(1_000);
+        profiler.phase("sim.run;window.fork").record(600);
+        let snap = profiler.snapshot();
+        let records = phase_records(&snap);
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].path, "sim.run");
+        assert_eq!(records[0].self_nanos, 400);
+        let back = records_to_profile(&records);
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn profile_run_fn_writes_files_and_embeds_the_manifest_aggregate() {
+        let dir = tmpdir("files");
+        let cache = CachedSim::open(&dir).unwrap();
+        let cfg = tiny_cfg();
+        let spec = RunSpec {
+            warmup_instructions: 0,
+            measure_instructions: 5_000,
+        };
+        let plan: Vec<(SystemConfig, MixSpec)> = ["leela_r", "lbm_r"]
+            .iter()
+            .map(|n| (cfg.clone(), MixSpec::homogeneous(n, 1, 7)))
+            .collect();
+        let (summary, profile) = execute_plan_with_profiles(&cache, &plan, spec, 2, "prof");
+        assert_eq!(summary.failed, 0);
+        assert_eq!(summary.simulated, 2);
+        assert!(!profile.is_empty(), "aggregate covers the simulated runs");
+        let run = profile
+            .phases
+            .iter()
+            .find(|p| p.path == "sim.run")
+            .expect("root phase recorded");
+        assert_eq!(run.count, 2, "one sim.run per simulated run");
+
+        let pdir = profiles_dir(cache.dir());
+        let mut files: Vec<PathBuf> = std::fs::read_dir(&pdir)
+            .unwrap()
+            .flatten()
+            .map(|e| e.path())
+            .collect();
+        files.sort();
+        assert_eq!(files.len(), 2);
+        for path in &files {
+            let pf = ProfileFile::load(path).unwrap();
+            assert_eq!(pf.schema_version, PROFILE_FILE_SCHEMA_VERSION);
+            assert_eq!(pf.cores, 1);
+            assert_eq!(
+                path.file_stem().unwrap().to_str().unwrap(),
+                pf.key_hash,
+                "file stem is the key hash"
+            );
+            let per_run = records_to_profile(&pf.phases);
+            assert!(per_run.root_total_nanos() > 0, "run time attributed");
+        }
+
+        // The aggregate is embedded into the (v4) run-manifest.
+        let manifest = RunManifest::load(summary.manifest_path.expect("manifest written")).unwrap();
+        let embedded = manifest.profile.expect("profile embedded in manifest");
+        assert_eq!(records_to_profile(&embedded), profile);
+
+        // Re-running is all-cached: no new profiles, manifest has none.
+        let (again, empty) = execute_plan_with_profiles(&cache, &plan, spec, 2, "prof");
+        assert_eq!(again.cached, 2);
+        assert!(empty.is_empty(), "cached runs record no phases");
+        let manifest = RunManifest::load(again.manifest_path.expect("manifest written")).unwrap();
+        assert!(manifest.profile.is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unwritable_profile_dir_drops_the_file_but_not_the_run() {
+        let dir = tmpdir("fault");
+        std::fs::create_dir_all(&dir).unwrap();
+        // Occupy the profiles directory path with a plain file so every
+        // profile write fails (the `profile.write` failpoint exercises the
+        // same code path under `SMS_FAULTS` in the chaos tests).
+        std::fs::write(profiles_dir(&dir), b"not a directory").unwrap();
+        let aggregate = Arc::new(Mutex::new(PhaseProfile::default()));
+        let run_fn = profile_run_fn(&dir, Arc::clone(&aggregate));
+        let cfg = tiny_cfg();
+        let mix = MixSpec::homogeneous("leela_r", 1, 7);
+        let spec = RunSpec {
+            warmup_instructions: 0,
+            measure_instructions: 5_000,
+        };
+        let result = run_fn(&cfg, &mix, spec).expect("run survives the write failure");
+        assert!(result.elapsed_cycles > 0);
+        assert!(!aggregate.lock().is_empty(), "aggregate still folded");
+        assert!(
+            profiles_dir(&dir).is_file(),
+            "no profile directory created over the blocker"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -25,8 +25,10 @@ use sms_workloads::mix::MixSpec;
 ///
 /// v2 added `wall_percentiles` and switched emission to sorted-key JSON.
 /// v3 added the `registry` metrics snapshot; v2 manifests (no snapshot)
+/// still load. v4 added the optional aggregate phase `profile` (present
+/// only when the plan ran with profiling enabled); v1–v3 manifests all
 /// still load.
-pub const MANIFEST_SCHEMA_VERSION: u32 = 3;
+pub const MANIFEST_SCHEMA_VERSION: u32 = 4;
 
 /// p50/p95/p99 of a latency or wall-time sample set, in the samples'
 /// unit. Shared between the sweep manifest and the `sms-serve` metrics
@@ -42,7 +44,12 @@ pub struct Percentiles {
 }
 
 /// Nearest-rank p50/p95/p99 of `samples` (non-finite values ignored).
-/// Returns `None` when no finite samples exist.
+///
+/// Degenerate inputs are well-defined rather than panicking or producing
+/// NaN: an empty slice (or one holding only NaN/infinite values) returns
+/// `None`, and a single finite sample yields that value for all three
+/// percentiles — nearest-rank never interpolates, so every reported
+/// percentile is an actual observed sample.
 pub fn percentiles(samples: &[f64]) -> Option<Percentiles> {
     let mut sorted: Vec<f64> = samples.iter().copied().filter(|v| v.is_finite()).collect();
     if sorted.is_empty() {
@@ -108,7 +115,11 @@ impl RunSummary {
             } else {
                 0.0
             },
-            noc_utilization: if noc_cap > 0.0 { noc_gbps / noc_cap } else { 0.0 },
+            noc_utilization: if noc_cap > 0.0 {
+                noc_gbps / noc_cap
+            } else {
+                0.0
+            },
             elapsed_cycles: r.elapsed_cycles,
         }
     }
@@ -172,6 +183,10 @@ pub struct RunManifest {
     /// time, keyed by metric family name (absent in pre-v3 manifests).
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub registry: Option<serde_json::Value>,
+    /// Aggregate phase profile across the runs simulated this invocation
+    /// (absent in pre-v4 manifests and when profiling was not enabled).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub profile: Option<Vec<crate::profile::PhaseStatRecord>>,
 }
 
 impl RunManifest {
@@ -207,7 +222,11 @@ impl RunManifest {
                 p.p50, p.p95, p.p99
             ));
         }
-        for r in self.runs.iter().filter(|r| r.status == RunStatus::Quarantined) {
+        for r in self
+            .runs
+            .iter()
+            .filter(|r| r.status == RunStatus::Quarantined)
+        {
             out.push_str(&format!(
                 "  quarantined {} ({}): {}\n",
                 r.key_hash,
@@ -344,11 +363,15 @@ impl Telemetry {
         let simulated = self.simulated.load(Ordering::Relaxed);
         let failed = self.failed.load(Ordering::Relaxed);
         let done = simulated + failed;
-        if done != self.todo && done % self.progress_every != 0 {
+        if done != self.todo && !done.is_multiple_of(self.progress_every) {
             return;
         }
         let elapsed = self.started.elapsed().as_secs_f64();
-        let rate = if elapsed > 0.0 { done as f64 / elapsed } else { 0.0 };
+        let rate = if elapsed > 0.0 {
+            done as f64 / elapsed
+        } else {
+            0.0
+        };
         let eta = if rate > 0.0 {
             (self.todo - done) as f64 / rate
         } else {
@@ -395,6 +418,9 @@ impl Telemetry {
             failed_keys,
             runs,
             registry: serde_json::from_str(&self.registry.to_json()).ok(),
+            // Populated after the fact by `execute_plan_with_profiles`;
+            // the executor itself runs detached.
+            profile: None,
         }
     }
 }
@@ -411,7 +437,10 @@ pub fn write_trace(dir: &Path, label: &str) -> Option<PathBuf> {
     }
     let dir = dir.join("traces");
     if let Err(e) = std::fs::create_dir_all(&dir) {
-        eprintln!("[{label}] warning: cannot create trace dir {}: {e}", dir.display());
+        eprintln!(
+            "[{label}] warning: cannot create trace dir {}: {e}",
+            dir.display()
+        );
         return None;
     }
     let path = dir.join(format!("{}.json", sanitize_label(label)));
@@ -421,7 +450,10 @@ pub fn write_trace(dir: &Path, label: &str) -> Option<PathBuf> {
             Some(path)
         }
         Err(e) => {
-            eprintln!("[{label}] warning: cannot write trace {}: {e}", path.display());
+            eprintln!(
+                "[{label}] warning: cannot write trace {}: {e}",
+                path.display()
+            );
             None
         }
     }
@@ -470,7 +502,13 @@ pub fn write_manifest(dir: &Path, manifest: &RunManifest) -> Option<PathBuf> {
 pub fn sanitize_label(label: &str) -> String {
     label
         .chars()
-        .map(|c| if c.is_ascii_alphanumeric() || c == '-' || c == '_' { c } else { '_' })
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
         .collect()
 }
 
@@ -528,9 +566,7 @@ mod tests {
             reg["sms_bench_cached_runs_total"]["samples"][0]["value"],
             2.0
         );
-        assert_eq!(
-            reg["sms_bench_run_wall_micros"]["samples"][0]["count"], 3.0
-        );
+        assert_eq!(reg["sms_bench_run_wall_micros"]["samples"][0]["count"], 3.0);
 
         let dir = std::env::temp_dir().join(format!("sms-telemetry-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
@@ -584,6 +620,10 @@ mod tests {
         assert_eq!(percentiles(&[f64::NAN]), None);
         let one = percentiles(&[3.0]).unwrap();
         assert_eq!((one.p50, one.p95, one.p99), (3.0, 3.0, 3.0));
+        // Two samples: p50 is the lower, the tails are the upper — every
+        // value is an observed sample (nearest-rank never interpolates).
+        let two = percentiles(&[7.0, 1.0]).unwrap();
+        assert_eq!((two.p50, two.p95, two.p99), (1.0, 7.0, 7.0));
         // 1..=100: nearest-rank percentiles are exactly the rank values,
         // regardless of input order.
         let mut v: Vec<f64> = (1..=100).rev().map(f64::from).collect();
@@ -617,9 +657,19 @@ mod tests {
         let mut sorted = keys.clone();
         sorted.sort();
         assert_eq!(keys, sorted);
-        // Older manifests still load: v2 lacked the registry snapshot,
-        // v1 additionally lacked wall percentiles.
+        // Older manifests still load: v3 lacked the profile aggregate,
+        // v2 additionally lacked the registry snapshot, and v1 also
+        // lacked wall percentiles.
+        let mut v3 = v.clone();
+        v3.as_object_mut().unwrap().remove("profile");
+        v3["schema_version"] = serde_json::json!(3);
+        std::fs::write(&path, serde_json::to_string(&v3).unwrap()).unwrap();
+        let back = RunManifest::load(&path).unwrap();
+        assert_eq!(back.profile, None);
+        assert!(back.registry.is_some());
+
         let mut v2 = v.clone();
+        v2.as_object_mut().unwrap().remove("profile");
         v2.as_object_mut().unwrap().remove("registry");
         v2["schema_version"] = serde_json::json!(2);
         std::fs::write(&path, serde_json::to_string(&v2).unwrap()).unwrap();

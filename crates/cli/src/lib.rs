@@ -6,13 +6,15 @@
 //!
 //! ```text
 //! sms simulate  --bench lbm_r[,mcf_r,...] --cores 8 [--policy prs|nrs] [--budget N] [--seed S] [--json] [--timeline-out FILE]
+//! sms profile   --bench lbm_r[,mcf_r,...] --cores 8 [--flame out.txt] [--json]  # phase table for one run
 //! sms scale     [--cores 32] [--mb-first]                 # print Table I
 //! sms predict   --bench lbm_r [--target-cores 32] [--budget N] [--seed S]
 //! sms trace     --bench lbm_r --out trace.smst [--instructions N] [--seed S]
 //! sms bench-table                                          # characterize the suite
 //! sms bench sim [--cores 8] [--threads-list 1,2,8] [--reps 3] [--out BENCH_sim.json]
-//! sms sweep     --bench lbm_r[,mcf_r,...] [--target-cores 32] [--threads T] [--sim-threads K] [--results DIR] [--timelines] [--spans]
-//! sms explore   --spec machine.toml [--label L] [--no-prune] [--results DIR] [--threads T]
+//! sms bench diff [--against REV|FILE] [--threshold X]      # gate on the perf ledger
+//! sms sweep     --bench lbm_r[,mcf_r,...] [--target-cores 32] [--threads T] [--sim-threads K] [--results DIR] [--timelines] [--profile] [--spans]
+//! sms explore   --spec machine.toml [--label L] [--no-prune] [--results DIR] [--threads T] [--profile]
 //! sms machine show --spec machine.toml [--json]             # resolve & render a machine spec
 //! sms machine validate --spec machine.toml                  # validate a spec and count grid points
 //! sms resume    --label L [--results DIR] [--threads T]     # continue an interrupted sweep or explore
@@ -32,19 +34,20 @@ use std::path::Path;
 
 use sms_bench::telemetry::mix_label;
 use sms_bench::{
-    cache_key, execute_plan, execute_plan_with_timelines, fsck, journal_path, key_hash_hex, replay,
-    timelines_dir, CachedSim, JournalLine, PlanHeader, PlanJournal, QuarantineRecord, RunManifest,
-    TimelineFile, JOURNAL_SCHEMA_VERSION, TIMELINE_SCHEMA_VERSION,
+    cache_key, execute_plan, execute_plan_with_profiles, execute_plan_with_timelines, fsck,
+    journal_path, key_hash_hex, profiles_dir, replay, timelines_dir, CachedSim, JournalLine,
+    PlanHeader, PlanJournal, QuarantineRecord, RunManifest, TimelineFile, JOURNAL_SCHEMA_VERSION,
+    TIMELINE_SCHEMA_VERSION,
 };
 use sms_core::artifact::train_artifact;
-use sms_explore::{
-    run_explore, ExploreError, ExploreOutcome, ExploreParams, MachineSpec, PruneParams,
-    ResolvedExplore,
-};
 use sms_core::pipeline::{homogeneous_plan, mean_bandwidth, mean_ipc, DirectSim, ExperimentConfig};
 use sms_core::predictor::{MlKind, ModelParams};
 use sms_core::scaling::{scale_config, scale_table, target_config, MemBwScaling, ScalingPolicy};
 use sms_core::session::ScaleModelSession;
+use sms_explore::{
+    run_explore, ExploreError, ExploreOutcome, ExploreParams, MachineSpec, PruneParams,
+    ResolvedExplore,
+};
 use sms_ml::fit::CurveModel;
 use sms_serve::{models_dir, serve, ModelRegistry, ServerConfig};
 use sms_sim::config::SystemConfig;
@@ -56,7 +59,25 @@ use sms_workloads::trace_io::RecordedTrace;
 
 /// Schema version of the `BENCH_sim.json` artifact written by
 /// `sms bench sim`. Bump on any key change.
-pub const SIM_BENCH_SCHEMA_VERSION: u32 = 1;
+///
+/// v2 adds `git_rev` and a `trajectory` array: re-running against an
+/// existing artifact folds its previous measurement into the trajectory
+/// (oldest first, capped at [`SIM_BENCH_TRAJECTORY_CAP`]), so a committed
+/// `BENCH_sim.json` accumulates a speed history across revisions. v1
+/// files (no trajectory) still load: they fold in as one trajectory
+/// entry with `git_rev` `"unknown"`.
+pub const SIM_BENCH_SCHEMA_VERSION: u32 = 2;
+
+/// Most trajectory entries a `BENCH_sim.json` retains (oldest dropped
+/// first) so the committed artifact cannot grow without bound.
+pub const SIM_BENCH_TRAJECTORY_CAP: usize = 30;
+
+/// Schema version of one line of the append-only `sms bench sim`
+/// performance ledger at `<results>/cache/bench/history.jsonl`. Each
+/// line is a host-fingerprinted record (cpu count, target triple, git
+/// revision) of one benchmark invocation; `sms bench diff` compares the
+/// newest record against a baseline and gates CI on regressions.
+pub const BENCH_HISTORY_SCHEMA_VERSION: u32 = 1;
 
 /// A parsed command line: subcommand plus `--key value` options.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -91,6 +112,10 @@ pub enum CliError {
     /// `sms lint` found violations; the payload is the rendered report
     /// (printed to stdout by the binary, which then exits non-zero).
     Lint(String),
+    /// `sms bench diff` found a performance regression; the payload is
+    /// the rendered comparison (the binary prints it and exits non-zero
+    /// so CI can gate on the perf ledger).
+    Regression(String),
 }
 
 impl std::fmt::Display for CliError {
@@ -118,6 +143,7 @@ impl std::fmt::Display for CliError {
             Self::Spec(e) => write!(f, "{e}"),
             Self::Io(e) => write!(f, "i/o error: {e}"),
             Self::Lint(report) => write!(f, "{report}"),
+            Self::Regression(report) => write!(f, "{report}"),
         }
     }
 }
@@ -206,11 +232,13 @@ impl Args {
 pub fn run(args: &Args) -> Result<String, CliError> {
     match args.command.as_str() {
         "simulate" => cmd_simulate(args),
+        "profile" => cmd_profile(args),
         "scale" => cmd_scale(args),
         "predict" => cmd_predict(args),
         "trace" => cmd_trace(args),
         "bench-table" => cmd_bench_table(args),
         "bench sim" => cmd_bench_sim(args),
+        "bench diff" => cmd_bench_diff(args),
         "sweep" => cmd_sweep(args),
         "explore" => cmd_explore(args),
         "machine show" => cmd_machine_show(args),
@@ -233,11 +261,13 @@ pub fn run(args: &Args) -> Result<String, CliError> {
 /// help text and the unknown-command error enumerate this list.
 pub const COMMANDS: &[&str] = &[
     "simulate",
+    "profile",
     "scale",
     "predict",
     "trace",
     "bench-table",
     "bench sim",
+    "bench diff",
     "sweep",
     "explore",
     "machine show",
@@ -271,6 +301,17 @@ USAGE:
       --sim-threads K runs each sync window's cores on K worker threads;
       results are bit-identical to --sim-threads 1.
 
+  sms profile --bench NAME[,NAME...] --cores N [--budget N] [--seed S]
+              [--sim-threads K] [--machine FILE] [--flame FILE] [--json]
+      Run one simulation (same inputs as `sms simulate`) with the phase
+      profiler attached and print a phase table — count, total and self
+      time per phase (core.step, l2, llc, noc, dram, window.fork,
+      window.merge) — plus the share of wall time attributed to phase
+      self-times. With --flame FILE, also write collapsed-stack lines
+      (render with flamegraph.pl or speedscope); with --json, print the
+      profile as JSON instead of the table. Profiling is observation
+      only: results stay bit-identical with the profiler attached.
+
   sms scale [--cores N] [--mb-first]
       Print the Table-I scale-model resource ladder for an N-core target.
 
@@ -288,23 +329,44 @@ USAGE:
 
   sms bench sim [--cores N] [--budget N] [--reps R] [--threads-list T1,T2,...]
                 [--quantum Q] [--seed S] [--out FILE] [--check-speedup X]
+                [--results DIR]
       Benchmark the windowed simulator's intra-run parallelism: run the
       same N-core mix at each sim-thread count, verify every parallel
       run is bit-identical to the 1-thread baseline (result and epoch
       stream), and write p50/p95 wall times plus speedup-vs-1-thread to
-      FILE (default BENCH_sim.json, schema-versioned, sorted keys).
-      With --check-speedup X, exit non-zero unless the best parallel
-      speedup reaches X (use a lenient X on small machines or CI).
+      FILE (default BENCH_sim.json, schema-versioned, sorted keys; an
+      existing artifact's measurement folds into the file's trajectory
+      array so a committed copy accumulates a speed history). Every
+      invocation also appends a host-fingerprinted record (cpu count,
+      target triple, git rev) to the append-only performance ledger at
+      DIR/cache/bench/history.jsonl for `sms bench diff`. With
+      --check-speedup X, exit non-zero unless the best parallel speedup
+      reaches X (use a lenient X on small machines or CI).
+
+  sms bench diff [--against REV|FILE] [--threshold X] [--results DIR]
+      Compare the newest record of the DIR/cache/bench/history.jsonl
+      performance ledger against a baseline: by default the most recent
+      earlier record from the same host fingerprint (falling back to
+      the immediately preceding record); with --against, the newest
+      earlier record whose git revision starts with REV, or a JSON FILE
+      carrying an `entries` array (a ledger record or a committed
+      BENCH_sim.json). Exits non-zero when any sim-thread count's p50
+      wall time regresses by more than X (default 0.15, i.e. 15%) plus
+      the measured rep-to-rep noise ((p95-p50)/p50), so CI can gate on
+      it without flaking on shared runners.
 
   sms sweep --bench NAME[,NAME...] [--target-cores N] [--budget N] [--seed S]
             [--threads T] [--sim-threads K] [--results DIR] [--label L]
-            [--timelines] [--spans]
+            [--timelines] [--profile] [--spans]
       Run the full scale-model ladder (1..N cores) for each benchmark
       through the fault-tolerant parallel executor: results are cached
       under DIR/cache, failing runs are retried then quarantined, and a
       JSON run manifest is written under DIR/cache/manifests/. With
       --timelines, every simulated run also leaves a per-epoch timeline
-      under DIR/cache/timelines/. With --spans, executor spans are
+      under DIR/cache/timelines/. With --profile, every simulated run
+      leaves a phase profile under DIR/cache/profiles/ and the sweep's
+      aggregate profile is embedded in the manifest (mutually exclusive
+      with --timelines). With --spans, executor spans are
       recorded and flushed as Chrome trace-event JSON under
       DIR/cache/traces/ (open at chrome://tracing or Perfetto). The plan
       parameters and every completed run are journaled (fsync'd) under
@@ -314,7 +376,7 @@ USAGE:
       cache keys and journals are unchanged).
 
   sms explore --spec FILE [--label L] [--results DIR] [--threads T] [--sim-threads K]
-              [--no-prune] [--prune-seed S] [--bootstrap F] [--margin M]
+              [--no-prune] [--prune-seed S] [--bootstrap F] [--margin M] [--profile]
       Run the spec's [grid] design-space sweep through the fault-tolerant
       executor and print the Pareto front (throughput vs LLC capacity vs
       core count). Results are cached, journaled (so a killed explore is
@@ -324,7 +386,10 @@ USAGE:
       trained on it, and points whose predicted throughput is dominated
       with margin M (default 0.10) by an observed no-more-expensive point
       are skipped; every skip and a holdout predicted-vs-actual audit
-      land in the manifest. --no-prune evaluates every point.
+      land in the manifest. --no-prune evaluates every point. With
+      --profile, each simulated run leaves a phase profile under
+      DIR/cache/profiles/ and every evaluated point in the manifest
+      carries its per-phase host-time attribution.
 
   sms machine show --spec FILE [--json]
       Load a machine spec (TOML subset, or JSON with a .json extension),
@@ -448,8 +513,7 @@ fn simulate_setup(args: &Args) -> Result<(SystemConfig, MixSpec, RunSpec, String
                 )));
             }
         }
-        let spec =
-            MachineSpec::load(Path::new(path)).map_err(|e| CliError::Spec(e.to_string()))?;
+        let spec = MachineSpec::load(Path::new(path)).map_err(|e| CliError::Spec(e.to_string()))?;
         let names: Vec<String> = match args.options.get("bench") {
             Some(bench) => bench.split(',').map(str::to_owned).collect(),
             None => spec
@@ -539,6 +603,50 @@ fn cmd_simulate(args: &Args) -> Result<String, CliError> {
     Ok(format!(
         "{notes}machine: {}\n{r}{timeline_note}",
         machine.summary()
+    ))
+}
+
+fn cmd_profile(args: &Args) -> Result<String, CliError> {
+    let (mut machine, mix, spec, notes) = simulate_setup(args)?;
+    machine.sim_threads = args.get_u32("sim-threads", 1)?;
+    let profiler = sms_obs::Profiler::new();
+    let mut sys = MulticoreSystem::new(machine.clone(), mix.sources())
+        .map_err(|e| CliError::Sim(e.to_string()))?;
+    sys.attach_profiler(&profiler);
+    // Wall time around the whole run (warm-up included) so the coverage
+    // line compares the profile against what a stopwatch would see. The
+    // CLI is not a deterministic crate (lint rule D1 does not apply);
+    // the clock never feeds simulated state.
+    let wall = std::time::Instant::now();
+    let r = sys.run(spec).map_err(|e| CliError::Sim(e.to_string()))?;
+    let wall_seconds = wall.elapsed().as_secs_f64();
+    let profile = profiler.snapshot();
+
+    let mut flame_note = String::new();
+    if let Some(path) = args.options.get("flame") {
+        std::fs::write(path, profile.collapsed()).map_err(|e| CliError::Io(e.to_string()))?;
+        flame_note = format!(
+            "flame: collapsed stacks written to {path} (render with flamegraph.pl or speedscope)\n"
+        );
+    }
+    if args.flag("json") {
+        return Ok(profile.to_json());
+    }
+    let attributed = profile.total_self_nanos() as f64 / 1e9;
+    let coverage = if wall_seconds > 0.0 {
+        attributed / wall_seconds * 100.0
+    } else {
+        0.0
+    };
+    Ok(format!(
+        "{notes}machine: {}\n\n{}\n\
+         coverage: {coverage:.1}% of {wall_seconds:.3}s wall attributed to phase self-times\n\
+         (self-times are per-thread CPU time: above 100% means parallel workers overlapped)\n\
+         simulated: mean IPC {:.3} over {} core(s)\n{flame_note}",
+        machine.summary(),
+        profile.render_table(),
+        mean_ipc(&r),
+        r.cores.len(),
     ))
 }
 
@@ -797,26 +905,91 @@ fn cmd_bench_sim(args: &Args) -> Result<String, CliError> {
         });
     }
 
-    // Hand-rendered JSON with alphabetically sorted keys at every level,
-    // so the artifact is byte-stable across runs of equal timings.
+    // Hand-rendered JSON with alphabetically sorted keys at every level.
+    // Re-running against an existing artifact folds its measurement into
+    // the trajectory (oldest first, capped), so a committed BENCH_sim.json
+    // accumulates a speed history; v1 files fold in with git_rev "unknown".
+    let rev = git_rev();
+    let mut trajectory: Vec<String> = Vec::new();
+    if let Ok(text) = std::fs::read_to_string(&out_path) {
+        if let Ok(prev) = serde_json::from_str::<serde_json::Value>(&text) {
+            if let Some(items) = prev.get("trajectory").and_then(|t| t.as_array()) {
+                for item in items {
+                    if let Ok(s) = serde_json::to_string(item) {
+                        trajectory.push(s);
+                    }
+                }
+            }
+            if let Some(e) = prev.get("entries") {
+                let prev_rev = prev
+                    .get("git_rev")
+                    .and_then(|r| r.as_str())
+                    .unwrap_or("unknown");
+                let mut folded = serde_json::Map::new();
+                folded.insert("entries".to_owned(), e.clone());
+                folded.insert(
+                    "git_rev".to_owned(),
+                    serde_json::Value::String(prev_rev.to_owned()),
+                );
+                if let Ok(s) = serde_json::to_string(&serde_json::Value::Object(folded)) {
+                    trajectory.push(s);
+                }
+            }
+        }
+    }
+    if trajectory.len() > SIM_BENCH_TRAJECTORY_CAP {
+        trajectory.drain(..trajectory.len() - SIM_BENCH_TRAJECTORY_CAP);
+    }
     let entries = rows
         .iter()
-        .map(|r| {
-            format!(
-                "    {{\"p50_wall_seconds\":{:.6},\"p95_wall_seconds\":{:.6},\
-                 \"sim_threads\":{},\"speedup_vs_1_thread\":{:.4}}}",
-                r.p50, r.p95, r.sim_threads, r.speedup
-            )
-        })
+        .map(|r| format!("    {}", row_json(r)))
         .collect::<Vec<_>>()
         .join(",\n");
+    let trajectory_block = if trajectory.is_empty() {
+        "[]".to_owned()
+    } else {
+        format!(
+            "[\n{}\n  ]",
+            trajectory
+                .iter()
+                .map(|s| format!("    {s}"))
+                .collect::<Vec<_>>()
+                .join(",\n")
+        )
+    };
     let json = format!(
         "{{\n  \"budget\": {budget},\n  \"cores\": {cores},\n  \"entries\": [\n{entries}\n  ],\n  \
-         \"mix\": \"{}\",\n  \"quantum\": {quantum},\n  \"reps\": {reps},\n  \
-         \"schema_version\": {SIM_BENCH_SCHEMA_VERSION},\n  \"seed\": {seed}\n}}\n",
+         \"git_rev\": \"{rev}\",\n  \"mix\": \"{}\",\n  \"quantum\": {quantum},\n  \
+         \"reps\": {reps},\n  \"schema_version\": {SIM_BENCH_SCHEMA_VERSION},\n  \
+         \"seed\": {seed},\n  \"trajectory\": {trajectory_block}\n}}\n",
         mix_label(&mix)
     );
     std::fs::write(&out_path, &json).map_err(|e| CliError::Io(e.to_string()))?;
+
+    // Performance ledger: append a host-fingerprinted record for
+    // `sms bench diff`. Best effort — a benchmark must not die because
+    // the ledger directory is unwritable — but the outcome is reported.
+    let history = bench_history_path(&results_dir(args));
+    let ledger_note = match append_history_line(
+        &history,
+        &history_record_json(
+            &rev,
+            &BenchRun {
+                cores,
+                budget,
+                quantum,
+                reps,
+                seed,
+            },
+            &rows,
+        ),
+    ) {
+        Ok(()) => format!(
+            "ledger: appended to {} (compare with `sms bench diff`)\n",
+            history.display()
+        ),
+        Err(e) => format!("ledger: NOT appended ({e})\n"),
+    };
 
     let mut out = format!(
         "bench sim: {cores} cores, budget {budget}, quantum {quantum}, {reps} reps\n\
@@ -830,7 +1003,7 @@ fn cmd_bench_sim(args: &Args) -> Result<String, CliError> {
         ));
     }
     out.push_str(&format!(
-        "bit-identity: OK across all thread counts\nwritten: {out_path}\n"
+        "bit-identity: OK across all thread counts\nwritten: {out_path}\n{ledger_note}"
     ));
     if let Some(min) = check_speedup {
         let best = rows
@@ -847,6 +1020,317 @@ fn cmd_bench_sim(args: &Args) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// The non-row parameters of one `sms bench sim` invocation, as
+/// recorded in the performance ledger.
+struct BenchRun {
+    cores: u32,
+    budget: u64,
+    quantum: u64,
+    reps: usize,
+    seed: u64,
+}
+
+/// One measured row as a compact sorted-key JSON object (shared by the
+/// `BENCH_sim.json` artifact and the ledger).
+fn row_json(r: &SimBenchRow) -> String {
+    format!(
+        "{{\"p50_wall_seconds\":{:.6},\"p95_wall_seconds\":{:.6},\
+         \"sim_threads\":{},\"speedup_vs_1_thread\":{:.4}}}",
+        r.p50, r.p95, r.sim_threads, r.speedup
+    )
+}
+
+/// The current git revision (12-hex short form): `GITHUB_SHA` when CI
+/// provides it, otherwise `git rev-parse`; `"unknown"` outside a
+/// repository.
+fn git_rev() -> String {
+    if let Ok(sha) = std::env::var("GITHUB_SHA") {
+        let trimmed = sha.trim().to_owned();
+        if trimmed.len() >= 12 && trimmed.is_ascii() {
+            return trimmed[..12].to_owned();
+        }
+        if !trimmed.is_empty() {
+            return trimmed;
+        }
+    }
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_owned())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_owned())
+}
+
+/// Host fingerprint for ledger records: logical cpu count plus a target
+/// approximation (`arch-os`). `sms bench diff` auto-selects baselines
+/// only from records with a matching fingerprint, so numbers from a
+/// laptop never gate a CI runner.
+fn host_fingerprint() -> (usize, String) {
+    let cpus = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    (
+        cpus,
+        format!("{}-{}", std::env::consts::ARCH, std::env::consts::OS),
+    )
+}
+
+/// The append-only performance ledger under a results directory.
+fn bench_history_path(results: &str) -> std::path::PathBuf {
+    Path::new(results)
+        .join("cache")
+        .join("bench")
+        .join("history.jsonl")
+}
+
+/// Append one ledger line, fsync'd — the journal idiom: a crash may
+/// lose the trailing line but never corrupts earlier ones.
+fn append_history_line(path: &Path, line: &str) -> std::io::Result<()> {
+    use std::io::Write;
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    f.write_all(line.as_bytes())?;
+    f.write_all(b"\n")?;
+    f.sync_data()
+}
+
+/// One ledger record as a single sorted-key JSON line.
+fn history_record_json(rev: &str, run: &BenchRun, rows: &[SimBenchRow]) -> String {
+    let (host_cpus, target) = host_fingerprint();
+    let unix_ms = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis())
+        .unwrap_or(0);
+    let entries = rows.iter().map(row_json).collect::<Vec<_>>().join(",");
+    format!(
+        "{{\"budget\":{},\"cores\":{},\"entries\":[{entries}],\"git_rev\":\"{rev}\",\
+         \"host_cpus\":{host_cpus},\"quantum\":{},\"reps\":{},\
+         \"schema_version\":{BENCH_HISTORY_SCHEMA_VERSION},\"seed\":{},\
+         \"target\":\"{target}\",\"unix_ms\":{unix_ms}}}",
+        run.budget, run.cores, run.quantum, run.reps, run.seed
+    )
+}
+
+/// One parsed ledger record (or an `--against FILE` baseline).
+#[derive(Clone)]
+struct HistoryRecord {
+    git_rev: String,
+    host_cpus: u64,
+    target: String,
+    cores: u64,
+    entries: Vec<HistoryEntry>,
+}
+
+/// One measured thread count inside a [`HistoryRecord`].
+#[derive(Clone)]
+struct HistoryEntry {
+    sim_threads: u64,
+    p50: f64,
+    p95: f64,
+}
+
+fn parse_history_entries(v: &serde_json::Value) -> Vec<HistoryEntry> {
+    v.get("entries")
+        .and_then(|e| e.as_array())
+        .map(|items| {
+            items
+                .iter()
+                .filter_map(|item| {
+                    Some(HistoryEntry {
+                        sim_threads: item.get("sim_threads")?.as_u64()?,
+                        p50: item.get("p50_wall_seconds")?.as_f64()?,
+                        p95: item.get("p95_wall_seconds")?.as_f64()?,
+                    })
+                })
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+/// Parse a ledger line or an `--against` file. Accepts anything with a
+/// well-formed `entries` array — a history record, a v1 or v2
+/// `BENCH_sim.json` — so a committed artifact works as a baseline.
+fn parse_history_record(v: &serde_json::Value) -> Option<HistoryRecord> {
+    let entries = parse_history_entries(v);
+    if entries.is_empty() {
+        return None;
+    }
+    Some(HistoryRecord {
+        git_rev: v
+            .get("git_rev")
+            .and_then(|r| r.as_str())
+            .unwrap_or("unknown")
+            .to_owned(),
+        host_cpus: v
+            .get("host_cpus")
+            .and_then(serde_json::Value::as_u64)
+            .unwrap_or(0),
+        target: v
+            .get("target")
+            .and_then(|t| t.as_str())
+            .unwrap_or("")
+            .to_owned(),
+        cores: v
+            .get("cores")
+            .and_then(serde_json::Value::as_u64)
+            .unwrap_or(0),
+        entries,
+    })
+}
+
+fn cmd_bench_diff(args: &Args) -> Result<String, CliError> {
+    let threshold = args.get_f64("threshold", 0.15)?;
+    if !(0.0..10.0).contains(&threshold) {
+        return Err(CliError::BadValue(
+            "threshold".into(),
+            threshold.to_string(),
+        ));
+    }
+    let history = bench_history_path(&results_dir(args));
+    let text = std::fs::read_to_string(&history).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::NotFound {
+            CliError::Io(format!(
+                "no performance ledger at {} — run `sms bench sim` first",
+                history.display()
+            ))
+        } else {
+            CliError::Io(e.to_string())
+        }
+    })?;
+    // Unreadable lines (a crash mid-append leaves at most one, at the
+    // tail) are skipped, exactly like plan-journal replay.
+    let records: Vec<HistoryRecord> = text
+        .lines()
+        .filter_map(|l| serde_json::from_str::<serde_json::Value>(l).ok())
+        .filter_map(|v| parse_history_record(&v))
+        .collect();
+    let current = records.last().ok_or_else(|| {
+        CliError::Io(format!(
+            "performance ledger {} has no readable records — run `sms bench sim` first",
+            history.display()
+        ))
+    })?;
+    let earlier = &records[..records.len() - 1];
+
+    let (baseline, baseline_label): (HistoryRecord, String) = match args.options.get("against") {
+        Some(v) if Path::new(v).is_file() => {
+            let text = std::fs::read_to_string(v).map_err(|e| CliError::Io(e.to_string()))?;
+            let value: serde_json::Value = serde_json::from_str(&text)
+                .map_err(|e| CliError::Io(format!("cannot parse --against file {v}: {e}")))?;
+            let rec = parse_history_record(&value).ok_or_else(|| {
+                CliError::Io(format!("--against file {v} has no readable entries array"))
+            })?;
+            (rec, format!("file {v}"))
+        }
+        Some(rev) => {
+            let rec = earlier
+                .iter()
+                .rev()
+                .find(|r| r.git_rev.starts_with(rev.as_str()))
+                .ok_or_else(|| {
+                    CliError::Io(format!(
+                        "no earlier ledger record matches revision `{rev}` \
+                         (and `{rev}` is not a readable file)"
+                    ))
+                })?;
+            (rec.clone(), format!("rev {}", rec.git_rev))
+        }
+        None => {
+            if earlier.is_empty() {
+                return Ok(format!(
+                    "bench diff: only one record in {}; nothing to compare yet\n",
+                    history.display()
+                ));
+            }
+            // Prefer the newest earlier record from the same host and
+            // machine size; fall back to the immediately preceding one.
+            let rec = earlier
+                .iter()
+                .rev()
+                .find(|r| {
+                    r.host_cpus == current.host_cpus
+                        && r.target == current.target
+                        && r.cores == current.cores
+                })
+                .unwrap_or(&earlier[earlier.len() - 1]);
+            (rec.clone(), format!("rev {}", rec.git_rev))
+        }
+    };
+
+    let mut out = format!(
+        "bench diff: current rev {} vs baseline {} (threshold {:.0}%, noise-aware)\n\
+         {:>11} {:>12} {:>12} {:>7} {:>8}  verdict\n",
+        current.git_rev,
+        baseline_label,
+        threshold * 100.0,
+        "sim_threads",
+        "base p50(s)",
+        "cur p50(s)",
+        "ratio",
+        "allowed",
+    );
+    let mut regressions = 0usize;
+    let mut compared = 0usize;
+    for cur in &current.entries {
+        let Some(base) = baseline
+            .entries
+            .iter()
+            .find(|b| b.sim_threads == cur.sim_threads)
+        else {
+            continue;
+        };
+        if base.p50 <= 0.0 {
+            continue;
+        }
+        compared += 1;
+        // The gate widens by the worse rep-to-rep spread of the two
+        // records: a wall-time delta inside observed measurement noise
+        // is never called a regression.
+        let noise = ((base.p95 - base.p50) / base.p50)
+            .max((cur.p95 - cur.p50) / cur.p50.max(1e-12))
+            .max(0.0);
+        let allowed = 1.0 + threshold + noise;
+        let ratio = cur.p50 / base.p50;
+        let regressed = ratio > allowed;
+        if regressed {
+            regressions += 1;
+        }
+        out.push_str(&format!(
+            "{:>11} {:>12.6} {:>12.6} {:>6.2}x {:>7.2}x  {}\n",
+            cur.sim_threads,
+            base.p50,
+            cur.p50,
+            ratio,
+            allowed,
+            if regressed { "REGRESSED" } else { "ok" }
+        ));
+    }
+    if compared == 0 {
+        return Err(CliError::Io(
+            "baseline and current records share no sim_threads entries — nothing comparable"
+                .to_owned(),
+        ));
+    }
+    if regressions > 0 {
+        out.push_str(&format!(
+            "{regressions} of {compared} thread count(s) regressed beyond threshold + noise\n"
+        ));
+        return Err(CliError::Regression(out));
+    }
+    out.push_str(&format!(
+        "no regression across {compared} thread count(s)\n"
+    ));
+    Ok(out)
+}
+
 /// Concrete sweep parameters: parsed from `sms sweep` flags, or rebuilt
 /// from a journaled [`PlanHeader`] by `sms resume`.
 struct SweepParams {
@@ -859,6 +1343,7 @@ struct SweepParams {
     results: String,
     label: String,
     timelines: bool,
+    profile: bool,
     spans: bool,
 }
 
@@ -921,10 +1406,23 @@ fn run_sweep(p: &SweepParams) -> Result<String, CliError> {
     if p.spans {
         sms_obs::tracer().set_enabled(true);
     }
-    let summary = if p.timelines {
-        execute_plan_with_timelines(&cache, &plan, spec, p.threads, &p.label)
+    if p.timelines && p.profile {
+        return Err(CliError::Spec(
+            "--timelines conflicts with --profile (each installs its own run body); \
+             pass one at a time"
+                .to_owned(),
+        ));
+    }
+    let (summary, profile) = if p.profile {
+        let (s, prof) = execute_plan_with_profiles(&cache, &plan, spec, p.threads, &p.label);
+        (s, Some(prof))
+    } else if p.timelines {
+        (
+            execute_plan_with_timelines(&cache, &plan, spec, p.threads, &p.label),
+            None,
+        )
     } else {
-        execute_plan(&cache, &plan, spec, p.threads, &p.label)
+        (execute_plan(&cache, &plan, spec, p.threads, &p.label), None)
     };
 
     let mut out = format!(
@@ -953,6 +1451,19 @@ fn run_sweep(p: &SweepParams) -> Result<String, CliError> {
             "timelines: {} (render one with `sms timeline --path FILE`)\n",
             timelines_dir(cache.dir()).display()
         ));
+    }
+    if let Some(prof) = &profile {
+        if prof.is_empty() {
+            out.push_str(
+                "profiles: no new phase samples (every run came from the cache; \
+                 only simulated runs are profiled)\n",
+            );
+        } else {
+            out.push_str(&format!(
+                "profiles: {} (aggregate embedded in the manifest)\n",
+                profiles_dir(cache.dir()).display()
+            ));
+        }
     }
     if summary.failed > 0 {
         out.push_str(&format!(
@@ -992,6 +1503,7 @@ fn cmd_sweep(args: &Args) -> Result<String, CliError> {
             .cloned()
             .unwrap_or_else(|| "cli-sweep".to_owned()),
         timelines: args.flag("timelines"),
+        profile: args.flag("profile"),
         spans: args.flag("spans"),
     };
     run_sweep(&p)
@@ -1089,6 +1601,7 @@ fn cmd_explore(args: &Args) -> Result<String, CliError> {
             .unwrap_or_else(|| "explore".to_owned()),
         threads: threads_for(args, default_threads)?,
         sim_threads: args.get_u32("sim-threads", 1)?,
+        profile: args.flag("profile"),
     };
     let results = results_dir(args);
     let out = run_explore(Path::new(&results), &resolved, &params).map_err(explore_error)?;
@@ -1111,6 +1624,10 @@ fn resume_explore(
         label: label.to_owned(),
         threads: threads_for(args, header_threads)?,
         sim_threads: args.get_u32("sim-threads", 1)?,
+        // Resuming with --profile attributes phases to the points that
+        // still need simulating; a plain resume stays byte-identical to
+        // the uninterrupted manifest.
+        profile: args.flag("profile"),
     };
     let out = run_explore(Path::new(results), &resolved, &params).map_err(explore_error)?;
     Ok(render_explore(label, &out))
@@ -1180,6 +1697,7 @@ fn cmd_resume(args: &Args) -> Result<String, CliError> {
         results,
         label,
         timelines: header.timelines,
+        profile: args.flag("profile"),
         spans: args.flag("spans"),
     };
     out.push_str(&run_sweep(&p)?);
@@ -1314,7 +1832,7 @@ fn cmd_train(args: &Args) -> Result<String, CliError> {
     let target_cores = args.get_u32("target-cores", 32)?;
     // The ladder needs at least two multi-core scale models (2 and 4), so
     // the smallest trainable target is 8 cores.
-    if !target_cores.is_power_of_two() || target_cores < 8 || target_cores > 256 {
+    if !target_cores.is_power_of_two() || !(8..=256).contains(&target_cores) {
         return Err(CliError::BadValue(
             "target-cores".into(),
             target_cores.to_string(),
@@ -1567,11 +2085,13 @@ mod tests {
         // `UnknownCommand`.
         let fast_args: &[(&str, &[&str])] = &[
             ("simulate", &["--bench", "no-such-bench"]),
+            ("profile", &["--bench", "no-such-bench"]),
             ("scale", &["--cores", "3"]),
             ("predict", &["--bench", "no-such-bench"]),
             ("trace", &["--bench", "no-such-bench"]),
             ("bench-table", &["--budget", "not-a-number"]),
             ("bench sim", &["--budget", "not-a-number"]),
+            ("bench diff", &["--results", "/nonexistent/sms-test"]),
             ("sweep", &[]),
             ("explore", &[]),
             ("machine show", &[]),
@@ -1589,10 +2109,16 @@ mod tests {
         ];
         let covered: Vec<&str> = fast_args.iter().map(|(c, _)| *c).collect();
         for c in COMMANDS {
-            assert!(covered.contains(c), "COMMANDS entry `{c}` missing from this test");
+            assert!(
+                covered.contains(c),
+                "COMMANDS entry `{c}` missing from this test"
+            );
         }
         for (c, extra) in fast_args {
-            assert!(COMMANDS.contains(c), "`{c}` dispatches but is not listed in COMMANDS");
+            assert!(
+                COMMANDS.contains(c),
+                "`{c}` dispatches but is not listed in COMMANDS"
+            );
             let mut raw: Vec<&str> = c.split(' ').collect();
             raw.extend_from_slice(extra);
             let result = run(&args(&raw));
@@ -1660,13 +2186,25 @@ mod tests {
     #[test]
     fn machine_show_round_trips_and_validate_counts_points() {
         let path = write_spec("roundtrip");
-        let shown = run(&args(&["machine", "show", "--spec", path.to_str().unwrap()])).unwrap();
+        let shown = run(&args(&[
+            "machine",
+            "show",
+            "--spec",
+            path.to_str().unwrap(),
+        ]))
+        .unwrap();
         assert!(shown.contains("name = \"cli-test\""), "{shown}");
         // The rendering itself loads and validates: write it back out and
         // show it again.
         let reshow = path.with_file_name("reshow.toml");
         std::fs::write(&reshow, &shown).unwrap();
-        let again = run(&args(&["machine", "show", "--spec", reshow.to_str().unwrap()])).unwrap();
+        let again = run(&args(&[
+            "machine",
+            "show",
+            "--spec",
+            reshow.to_str().unwrap(),
+        ]))
+        .unwrap();
         assert_eq!(shown, again, "render_toml must round-trip");
         let json = run(&args(&[
             "machine",
@@ -1678,8 +2216,13 @@ mod tests {
         .unwrap();
         assert!(json.contains("\"schema\""), "{json}");
         assert!(json.contains("\"rob_size\""), "{json}");
-        let validated =
-            run(&args(&["machine", "validate", "--spec", path.to_str().unwrap()])).unwrap();
+        let validated = run(&args(&[
+            "machine",
+            "validate",
+            "--spec",
+            path.to_str().unwrap(),
+        ]))
+        .unwrap();
         assert!(validated.contains("is valid"), "{validated}");
         assert!(validated.contains("2 design point(s)"), "{validated}");
         let _ = std::fs::remove_dir_all(path.parent().unwrap());
@@ -1693,9 +2236,14 @@ mod tests {
             "schema = 1\n[machine]\ncores = 3\n[machine.llc]\nslice_capacity_kib = \"big\"\n",
         )
         .unwrap();
-        let err = run(&args(&["machine", "validate", "--spec", path.to_str().unwrap()]))
-            .unwrap_err()
-            .to_string();
+        let err = run(&args(&[
+            "machine",
+            "validate",
+            "--spec",
+            path.to_str().unwrap(),
+        ]))
+        .unwrap_err()
+        .to_string();
         assert!(err.contains("machine.cores"), "{err}");
         assert!(err.contains("machine.llc.slice_capacity_kib"), "{err}");
         let _ = std::fs::remove_dir_all(path.parent().unwrap());
@@ -1704,12 +2252,7 @@ mod tests {
     #[test]
     fn simulate_accepts_machine_spec_and_rejects_conflicts() {
         let path = write_spec("simulate");
-        let out = run(&args(&[
-            "simulate",
-            "--machine",
-            path.to_str().unwrap(),
-        ]))
-        .unwrap();
+        let out = run(&args(&["simulate", "--machine", path.to_str().unwrap()])).unwrap();
         assert!(out.contains("machine spec: cli-test"), "{out}");
         assert!(out.contains("leela_r"), "{out}");
         assert!(out.contains("lbm_r"), "{out}");
@@ -1760,9 +2303,15 @@ mod tests {
             results.to_str().unwrap(),
         ]))
         .unwrap();
-        assert!(resumed.contains("resuming explore `t-explore`"), "{resumed}");
+        assert!(
+            resumed.contains("resuming explore `t-explore`"),
+            "{resumed}"
+        );
         let second = std::fs::read(&manifest).unwrap();
-        assert_eq!(first, second, "resumed explore manifest must be bit-identical");
+        assert_eq!(
+            first, second,
+            "resumed explore manifest must be bit-identical"
+        );
         let _ = std::fs::remove_dir_all(path.parent().unwrap());
     }
 
@@ -2223,5 +2772,291 @@ mod tests {
         .unwrap();
         assert!(empty.contains("no quarantined runs"), "{empty}");
         let _ = std::fs::remove_dir_all(&results);
+    }
+
+    #[test]
+    fn profile_prints_table_flame_and_json() {
+        let dir = std::env::temp_dir().join(format!("sms-cli-prof-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let flame = dir.join("flame.txt");
+        let out = run(&args(&[
+            "profile",
+            "--bench",
+            "leela_r,lbm_r",
+            "--cores",
+            "2",
+            "--budget",
+            "100000",
+            "--flame",
+            flame.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("sim.run"), "{out}");
+        assert!(out.contains("core.step"), "{out}");
+        assert!(out.contains("window.merge"), "{out}");
+        assert!(out.contains("coverage:"), "{out}");
+        // Acceptance: phase self-times account for >= 90% of the wall
+        // time a stopwatch around the run would measure.
+        let coverage: f64 = out
+            .lines()
+            .find(|l| l.starts_with("coverage:"))
+            .and_then(|l| l.split('%').next())
+            .and_then(|l| l.rsplit(' ').next())
+            .and_then(|n| n.parse().ok())
+            .unwrap();
+        assert!(coverage >= 90.0, "coverage {coverage}% below 90%:\n{out}");
+
+        let collapsed = std::fs::read_to_string(&flame).unwrap();
+        assert!(
+            collapsed
+                .lines()
+                .any(|l| l.starts_with("sim.run;window.fork;core.step ")),
+            "{collapsed}"
+        );
+        let json = run(&args(&[
+            "profile", "--bench", "leela_r", "--cores", "1", "--budget", "20000", "--json",
+        ]))
+        .unwrap();
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert!(json.contains("sim.run"), "{json}");
+        assert!(v.get("phases").is_some(), "{json}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sweep_with_profile_writes_files_and_embeds_the_aggregate() {
+        let results = std::env::temp_dir().join(format!("sms-cli-sweep-pr-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&results);
+        let out = run(&args(&[
+            "sweep",
+            "--bench",
+            "leela_r",
+            "--target-cores",
+            "2",
+            "--budget",
+            "20000",
+            "--results",
+            results.to_str().unwrap(),
+            "--label",
+            "cli-prof",
+            "--profile",
+        ]))
+        .unwrap();
+        assert!(out.contains("profiles:"), "{out}");
+        let pdir = results.join("cache/profiles");
+        let files: Vec<_> = std::fs::read_dir(&pdir).unwrap().flatten().collect();
+        assert_eq!(files.len(), 2, "one profile per simulated run: {out}");
+        let manifest =
+            std::fs::read_to_string(results.join("cache/manifests/cli-prof.json")).unwrap();
+        assert!(manifest.contains("\"profile\""), "{manifest}");
+        assert!(manifest.contains("sim.run"), "{manifest}");
+
+        // --timelines and --profile install different run bodies and
+        // cannot combine.
+        let conflict = run(&args(&[
+            "sweep",
+            "--bench",
+            "leela_r",
+            "--target-cores",
+            "2",
+            "--results",
+            results.to_str().unwrap(),
+            "--timelines",
+            "--profile",
+        ]))
+        .unwrap_err();
+        assert!(conflict.to_string().contains("conflicts"), "{conflict}");
+        let _ = std::fs::remove_dir_all(&results);
+    }
+
+    fn bench_sim_args<'a>(results: &'a str, out: &'a str) -> Vec<&'a str> {
+        vec![
+            "bench",
+            "sim",
+            "--cores",
+            "2",
+            "--budget",
+            "20000",
+            "--reps",
+            "1",
+            "--threads-list",
+            "1",
+            "--quantum",
+            "5000",
+            "--results",
+            results,
+            "--out",
+            out,
+        ]
+    }
+
+    #[test]
+    fn bench_sim_builds_a_trajectory_and_bench_diff_gates_on_the_ledger() {
+        let dir = std::env::temp_dir().join(format!("sms-cli-ledger-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let results = dir.join("results");
+        let artifact = dir.join("BENCH_sim.json");
+        let results_s = results.to_str().unwrap().to_owned();
+        let artifact_s = artifact.to_str().unwrap().to_owned();
+
+        // First run: fresh artifact (empty trajectory), one ledger line,
+        // and nothing to diff against yet.
+        let out1 = run(&args(&bench_sim_args(&results_s, &artifact_s))).unwrap();
+        assert!(out1.contains("ledger: appended"), "{out1}");
+        let v1: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(&artifact).unwrap()).unwrap();
+        assert_eq!(v1["schema_version"].as_u64(), Some(2));
+        assert_eq!(v1["trajectory"].as_array().map(Vec::len), Some(0));
+        let lonely = run(&args(&["bench", "diff", "--results", &results_s])).unwrap();
+        assert!(lonely.contains("nothing to compare yet"), "{lonely}");
+
+        // Second run: the previous measurement folds into the trajectory
+        // and the diff against the (equal-speed-ish) baseline passes.
+        let out2 = run(&args(&bench_sim_args(&results_s, &artifact_s))).unwrap();
+        assert!(out2.contains("ledger: appended"), "{out2}");
+        let v2: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(&artifact).unwrap()).unwrap();
+        assert_eq!(v2["trajectory"].as_array().map(Vec::len), Some(1));
+        let history = bench_history_path(&results_s);
+        assert_eq!(
+            std::fs::read_to_string(&history).unwrap().lines().count(),
+            2
+        );
+        // Same host, same machine, two honest measurements: a 15% + noise
+        // gate can still flake on a loaded CI box, so compare with a huge
+        // threshold here; the regression path below uses a 10x slowdown.
+        let ok = run(&args(&[
+            "bench",
+            "diff",
+            "--results",
+            &results_s,
+            "--threshold",
+            "9",
+        ]))
+        .unwrap();
+        assert!(ok.contains("no regression"), "{ok}");
+
+        // The committed artifact also works as an --against baseline.
+        let vs_file = run(&args(&[
+            "bench",
+            "diff",
+            "--results",
+            &results_s,
+            "--against",
+            &artifact_s,
+            "--threshold",
+            "9",
+        ]))
+        .unwrap();
+        assert!(vs_file.contains(&format!("file {artifact_s}")), "{vs_file}");
+
+        // Append a synthetic 10x-slower record: diff must exit non-zero.
+        let last = std::fs::read_to_string(&history)
+            .unwrap()
+            .lines()
+            .last()
+            .map(str::to_owned)
+            .unwrap();
+        let parsed: serde_json::Value = serde_json::from_str(&last).unwrap();
+        let p50 = parsed["entries"][0]["p50_wall_seconds"].as_f64().unwrap();
+        let (cpus, target) = host_fingerprint();
+        let slow = format!(
+            "{{\"budget\":20000,\"cores\":2,\"entries\":[{{\"p50_wall_seconds\":{:.6},\
+             \"p95_wall_seconds\":{:.6},\"sim_threads\":1,\"speedup_vs_1_thread\":1.0}}],\
+             \"git_rev\":\"deadbeef0000\",\"host_cpus\":{cpus},\"quantum\":5000,\"reps\":1,\
+             \"schema_version\":{BENCH_HISTORY_SCHEMA_VERSION},\"seed\":43,\
+             \"target\":\"{target}\",\"unix_ms\":0}}",
+            p50 * 10.0,
+            p50 * 10.0,
+        );
+        append_history_line(&history, &slow).unwrap();
+        let regressed = run(&args(&["bench", "diff", "--results", &results_s])).unwrap_err();
+        match &regressed {
+            CliError::Regression(report) => {
+                assert!(report.contains("REGRESSED"), "{report}");
+                assert!(report.contains("deadbeef0000"), "{report}");
+            }
+            other => panic!("expected CliError::Regression, got {other:?}"),
+        }
+        // An explicit revision prefix resolves among earlier records:
+        // pinning the baseline to the honest first run still flags the
+        // synthetic slow record (now the newest) as a regression.
+        let first_line = std::fs::read_to_string(&history)
+            .unwrap()
+            .lines()
+            .next()
+            .map(str::to_owned)
+            .unwrap();
+        let first: serde_json::Value = serde_json::from_str(&first_line).unwrap();
+        let real_rev = first["git_rev"].as_str().unwrap().to_owned();
+        let prefix = &real_rev[..4.min(real_rev.len())];
+        let vs_rev = run(&args(&[
+            "bench",
+            "diff",
+            "--results",
+            &results_s,
+            "--against",
+            prefix,
+        ]))
+        .unwrap_err();
+        assert!(
+            matches!(vs_rev, CliError::Regression(_)),
+            "expected a regression against rev `{prefix}`: {vs_rev:?}"
+        );
+        // A prefix matching nothing is a plain error, not a regression.
+        let nope = run(&args(&[
+            "bench",
+            "diff",
+            "--results",
+            &results_s,
+            "--against",
+            "ffffffffffff",
+        ]))
+        .unwrap_err();
+        assert!(matches!(nope, CliError::Io(_)), "{nope:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn history_record_json_round_trips_through_the_parser() {
+        let rows = vec![
+            SimBenchRow {
+                sim_threads: 1,
+                p50: 0.5,
+                p95: 0.6,
+                speedup: 1.0,
+            },
+            SimBenchRow {
+                sim_threads: 4,
+                p50: 0.2,
+                p95: 0.25,
+                speedup: 2.5,
+            },
+        ];
+        let line = history_record_json(
+            "abc123def456",
+            &BenchRun {
+                cores: 8,
+                budget: 100_000,
+                quantum: 10_000,
+                reps: 3,
+                seed: 43,
+            },
+            &rows,
+        );
+        let v: serde_json::Value = serde_json::from_str(&line).unwrap();
+        let rec = parse_history_record(&v).unwrap();
+        assert_eq!(rec.git_rev, "abc123def456");
+        assert_eq!(rec.cores, 8);
+        assert_eq!(rec.entries.len(), 2);
+        assert_eq!(rec.entries[1].sim_threads, 4);
+        assert!((rec.entries[1].p50 - 0.2).abs() < 1e-9);
+        assert!((rec.entries[0].p95 - 0.6).abs() < 1e-9);
+        assert_eq!(
+            v["schema_version"].as_u64(),
+            Some(u64::from(BENCH_HISTORY_SCHEMA_VERSION))
+        );
     }
 }

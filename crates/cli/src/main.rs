@@ -11,9 +11,10 @@ fn main() {
     };
     match sms_cli::run(&args) {
         Ok(out) => println!("{out}"),
-        // A lint report goes to stdout (CI pipes `--format json` from
-        // there); the non-zero exit code alone signals the failure.
-        Err(sms_cli::CliError::Lint(report)) => {
+        // A lint report or bench-diff comparison goes to stdout (CI
+        // pipes and archives it from there); the non-zero exit code
+        // alone signals the failure.
+        Err(sms_cli::CliError::Lint(report) | sms_cli::CliError::Regression(report)) => {
             print!("{report}");
             std::process::exit(1);
         }

@@ -730,7 +730,7 @@ pub fn heterogeneous_split(
     sizing: HeteroSizing,
 ) -> (Vec<BenchmarkProfile>, Vec<BenchmarkProfile>) {
     let mut pool = suite.to_vec();
-    let mut rng = sms_workloads::rng::SplitMix64::new(cfg.seed ^ 0x165_667B1_9E37_79F9);
+    let mut rng = sms_workloads::rng::SplitMix64::new(cfg.seed ^ 0x1656_67B1_9E37_79F9);
     for i in 0..sizing.eval_benchmarks {
         let j = i + rng.next_below((pool.len() - i) as u64) as usize;
         pool.swap(i, j);

@@ -21,7 +21,8 @@ use std::path::{Path, PathBuf};
 use serde::{Deserialize, Serialize};
 use serde_json::Value;
 use sms_bench::{
-    execute_plan, CachedSim, JournalLine, PlanHeader, PlanJournal, JOURNAL_SCHEMA_VERSION,
+    execute_plan, execute_plan_with_profiles, profiles_dir, records_to_profile, CachedSim,
+    JournalLine, PhaseStatRecord, PlanHeader, PlanJournal, ProfileFile, JOURNAL_SCHEMA_VERSION,
 };
 use sms_ml::{Dataset, ForestParams, Matrix, RandomForest, Regressor, TreeParams};
 use sms_sim::system::RunSpec;
@@ -70,6 +71,11 @@ pub struct ExploreParams {
     pub threads: usize,
     /// Per-simulation window threads.
     pub sim_threads: u32,
+    /// Attach a phase profiler to every simulated run and attribute the
+    /// merged profile to each design point in the manifest (`--profile`).
+    /// Off by default: profiles hold host timings, so a profiled explore
+    /// manifest is *excluded* from the bit-identical-rerun guarantee.
+    pub profile: bool,
 }
 
 /// Everything `sms resume` needs to replay an explore exactly: the fully
@@ -146,6 +152,11 @@ pub struct PointRecord {
     /// prediction with margin (pruned points only).
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub dominated_by: Option<String>,
+    /// Merged phase profile across the point's mixes (present only when
+    /// the explore ran with `--profile`; host timings, so not covered by
+    /// the bit-identical-rerun guarantee).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub profile: Option<Vec<PhaseStatRecord>>,
 }
 
 /// One holdout point's predicted-vs-actual audit line.
@@ -447,6 +458,17 @@ pub fn run_explore(
         .map(|p| p.key.clone())
         .collect();
 
+    // Summaries are advisory at every call site; quarantines surface as
+    // NaN throughput when outcomes are collected below.
+    let exec = |plan: &[(sms_sim::config::SystemConfig, MixSpec)]| {
+        if params.profile {
+            let _ =
+                execute_plan_with_profiles(&cache, plan, run_spec, params.threads, &params.label);
+        } else {
+            let _ = execute_plan(&cache, plan, run_spec, params.threads, &params.label);
+        }
+    };
+
     let order = shuffled_indices(points.len(), resolved.prune.seed);
     let mut prune_enabled = resolved.prune.enabled;
     let mut disabled_reason: Option<String> = None;
@@ -473,15 +495,7 @@ pub fn run_explore(
             .clamp(2, points.len() - 1);
         let boot: Vec<&DesignPoint> = order[..n_boot].iter().map(|&i| &points[i]).collect();
         bootstrap_keys = boot.iter().map(|p| p.key.clone()).collect();
-        // Summaries are advisory here; quarantines surface as NaN
-        // throughput when outcomes are collected below.
-        let _ = execute_plan(
-            &cache,
-            &plan_for(&boot),
-            run_spec,
-            params.threads,
-            &params.label,
-        );
+        exec(&plan_for(&boot));
         let observed: BTreeMap<String, f64> = boot
             .iter()
             .map(|p| {
@@ -504,23 +518,36 @@ pub fn run_explore(
             .map(|&i| &points[i])
             .filter(|p| !prune_map.contains_key(&p.key))
             .collect();
-        let _ = execute_plan(
-            &cache,
-            &plan_for(&rest),
-            run_spec,
-            params.threads,
-            &params.label,
-        );
+        exec(&plan_for(&rest));
     } else {
         let all: Vec<&DesignPoint> = points.iter().collect();
-        let _ = execute_plan(
-            &cache,
-            &plan_for(&all),
-            run_spec,
-            params.threads,
-            &params.label,
-        );
+        exec(&plan_for(&all));
     }
+
+    // Per-point profile attribution: merge the per-run profile files the
+    // executor left under `<cache>/profiles/` for each of the point's
+    // mixes. Best-effort — a dropped profile write simply leaves that
+    // run unattributed.
+    let point_profile = |p: &DesignPoint| -> Option<Vec<PhaseStatRecord>> {
+        if !params.profile {
+            return None;
+        }
+        let dir = profiles_dir(cache.dir());
+        let mut merged = sms_obs::PhaseProfile::default();
+        let mut cfg = p.config.clone();
+        cfg.sim_threads = params.sim_threads.max(1);
+        for mix in mixes_for(p) {
+            let hash = sms_bench::key_hash_hex(&sms_bench::cache_key(&cfg, &mix, run_spec));
+            if let Ok(file) = ProfileFile::load(dir.join(format!("{hash}.json"))) {
+                merged.merge(&records_to_profile(&file.phases));
+            }
+        }
+        if merged.is_empty() {
+            None
+        } else {
+            Some(sms_bench::phase_records(&merged))
+        }
+    };
 
     // Collect outcomes per point, in key order.
     let mut records: Vec<PointRecord> = Vec::with_capacity(points.len());
@@ -544,6 +571,7 @@ pub fn run_explore(
                 throughput: None,
                 predicted: Some(*predicted),
                 dominated_by: Some(by.clone()),
+                profile: None,
             });
             continue;
         }
@@ -570,6 +598,7 @@ pub fn run_explore(
                 throughput: Some(thr),
                 predicted,
                 dominated_by: None,
+                profile: point_profile(p),
             });
         } else {
             quarantined += 1;
@@ -582,6 +611,7 @@ pub fn run_explore(
                 throughput: None,
                 predicted,
                 dominated_by: None,
+                profile: None,
             });
         }
     }
@@ -690,6 +720,7 @@ llc_slice_kib = [256, 1024]
             label: label.to_owned(),
             threads: 2,
             sim_threads: 1,
+            profile: false,
         }
     }
 
@@ -741,6 +772,38 @@ llc_slice_kib = [256, 1024]
             reason.as_str().is_some_and(|s| s.contains("too small")),
             "{reason}"
         );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn profiled_explore_attributes_phases_to_evaluated_points() {
+        let dir = tmp("profiled");
+        let r = resolved(PruneParams {
+            enabled: false,
+            ..PruneParams::default()
+        });
+        let mut p = params("t-profiled");
+        p.profile = true;
+        let out = run_explore(&dir, &r, &p).unwrap();
+        assert_eq!(out.evaluated, 4);
+        let points = out.manifest["points"].as_array().unwrap();
+        for point in points {
+            let profile = point["profile"]
+                .as_array()
+                .expect("every evaluated point carries a profile");
+            assert!(
+                profile
+                    .iter()
+                    .any(|ph| ph["path"] == "sim.run" && ph["total_nanos"].as_u64() > Some(0)),
+                "root phase attributed: {point}"
+            );
+        }
+        // An unprofiled explore into the same cache leaves the field out
+        // even though profile files exist on disk (opt-in per invocation).
+        let plain = run_explore(&dir, &r, &params("t-profiled-off")).unwrap();
+        for point in plain.manifest["points"].as_array().unwrap() {
+            assert!(point.get("profile").is_none(), "{point}");
+        }
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -31,6 +31,11 @@ pub const RULES: &[(&str, &str)] = &[
 
 /// Crates whose results must be bit-identical across hosts, thread
 /// counts and reruns: wall-clock and entropy are banned outright (D1).
+/// Host timing in these crates flows through the `sms-obs` profiler
+/// API instead (`sms_obs::Phase` scopes handed in by an attached
+/// `Profiler`): the clock read lives inside `sms-obs` — not a D1 crate
+/// — and is observation-only, so profiler scopes pass D1 while a raw
+/// `Instant::now` in the same file still fails it.
 const D1_CRATES: &[&str] = &["core", "explore", "faults", "ml", "sim", "workloads"];
 
 const D1_PATTERNS: &[&str] = &[
@@ -339,7 +344,9 @@ pub fn f1_findings(uses: &[FailpointUse], design: Option<&str>) -> Vec<Finding> 
     let mut first_file = std::collections::BTreeMap::new();
     let mut reported = std::collections::BTreeSet::new();
     for u in uses {
-        let owner = first_file.entry(u.site.clone()).or_insert_with(|| u.path.clone());
+        let owner = first_file
+            .entry(u.site.clone())
+            .or_insert_with(|| u.path.clone());
         if *owner != u.path && reported.insert((u.site.clone(), u.path.clone())) {
             out.push(Finding {
                 rule: "F1",
@@ -360,10 +367,7 @@ pub fn f1_findings(uses: &[FailpointUse], design: Option<&str>) -> Vec<Finding> 
                     rule: "F1",
                     path: u.path.clone(),
                     line: u.line,
-                    message: format!(
-                        "failpoint site `{}` is not documented in DESIGN.md",
-                        u.site
-                    ),
+                    message: format!("failpoint site `{}` is not documented in DESIGN.md", u.site),
                 });
             }
         }
@@ -394,6 +398,31 @@ mod tests {
     }
 
     #[test]
+    fn d1_allows_the_obs_profiler_api_but_not_raw_clocks() {
+        // The clock policy: deterministic crates time themselves through
+        // sms-obs profiler scopes (the Instant read lives in sms-obs,
+        // which D1 does not cover), never through a raw clock.
+        let ok = scan(
+            "fn f(prof: &sms_obs::Phase) -> u64 {\n\
+             \x20   let _scope = prof.scope();\n\
+             \x20   let p = sms_obs::Profiler::new();\n\
+             \x20   p.snapshot().total_self_nanos()\n\
+             }\n",
+        );
+        assert!(file_findings(&ok).is_empty(), "{:?}", file_findings(&ok));
+        let bad = scan("fn f() -> std::time::Instant { std::time::Instant::now() }\n");
+        let fs = file_findings(&bad);
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        assert_eq!(fs[0].rule, "D1");
+        // Outside the deterministic set the raw clock is fine.
+        let cli = ScannedFile::new(
+            "crates/cli/src/lib.rs",
+            "fn f() -> std::time::Instant { std::time::Instant::now() }\n",
+        );
+        assert!(file_findings(&cli).is_empty());
+    }
+
+    #[test]
     fn e1_flags_plain_unwrap_but_not_unwrap_or() {
         let f = scan("fn f(x: Option<u8>) -> u8 { x.unwrap_or(0) + x.unwrap() }\n");
         let fs = file_findings(&f);
@@ -413,7 +442,9 @@ mod tests {
 
     #[test]
     fn o1_checks_literal_names() {
-        let f = scan("fn f(r: &R) { r.counter(\"bad_name\", \"h\"); r.gauge(\"sms_x_total\", \"h\"); }\n");
+        let f = scan(
+            "fn f(r: &R) { r.counter(\"bad_name\", \"h\"); r.gauge(\"sms_x_total\", \"h\"); }\n",
+        );
         let fs = file_findings(&f);
         assert_eq!(fs.len(), 2, "{fs:?}");
         assert!(fs.iter().all(|x| x.rule == "O1"));
@@ -431,8 +462,14 @@ mod tests {
         );
         let uses: Vec<_> = failpoints(&a).into_iter().chain(failpoints(&b)).collect();
         let fs = f1_findings(&uses, Some("only `other.site` is documented"));
-        let dup: Vec<_> = fs.iter().filter(|f| f.message.contains("already used")).collect();
-        let undoc: Vec<_> = fs.iter().filter(|f| f.message.contains("not documented")).collect();
+        let dup: Vec<_> = fs
+            .iter()
+            .filter(|f| f.message.contains("already used"))
+            .collect();
+        let undoc: Vec<_> = fs
+            .iter()
+            .filter(|f| f.message.contains("not documented"))
+            .collect();
         assert_eq!(dup.len(), 1, "{fs:?}");
         assert_eq!(dup[0].path, "crates/serve/src/b.rs");
         assert_eq!(undoc.len(), 1, "{fs:?}");

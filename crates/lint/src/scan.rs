@@ -94,15 +94,18 @@ impl ScannedFile {
 
     /// Whether 1-based `line` falls inside a `#[cfg(test)]` region.
     pub fn is_test_line(&self, line: usize) -> bool {
-        self.test_lines.get(line.saturating_sub(1)).copied().unwrap_or(false)
+        self.test_lines
+            .get(line.saturating_sub(1))
+            .copied()
+            .unwrap_or(false)
     }
 
     /// Whether a valid suppression for `rule` covers 1-based `line`
     /// (same line, or the line directly above).
     pub fn is_suppressed(&self, rule: &str, line: usize) -> bool {
-        self.suppressions.iter().any(|s| {
-            s.has_reason && s.rule == rule && (s.line == line || s.line + 1 == line)
-        })
+        self.suppressions
+            .iter()
+            .any(|s| s.has_reason && s.rule == rule && (s.line == line || s.line + 1 == line))
     }
 
     /// The first string literal starting after byte `offset`, if the
@@ -114,7 +117,10 @@ impl ScannedFile {
         let between = self.masked.get(offset..lit.offset)?;
         // `b` / `r` / `#` prefixes of the literal itself are masked as
         // code, so only whitespace may separate the paren and the quote.
-        if between.chars().all(|c| c.is_whitespace() || c == 'b' || c == 'r' || c == '#') {
+        if between
+            .chars()
+            .all(|c| c.is_whitespace() || c == 'b' || c == 'r' || c == '#')
+        {
             Some(lit)
         } else {
             None
@@ -334,7 +340,9 @@ fn scan_raw_string(
     let start_line = *line;
     let n = bytes.len();
     let mut i = open + 1;
-    let close_pat: Vec<u8> = std::iter::once(b'"').chain(std::iter::repeat(b'#').take(hashes)).collect();
+    let close_pat: Vec<u8> = std::iter::once(b'"')
+        .chain(std::iter::repeat_n(b'#', hashes))
+        .collect();
     while i < n {
         if bytes[i] == b'\n' {
             *line += 1;
@@ -406,9 +414,7 @@ fn parse_suppression(comment: &str, line: usize) -> Option<Suppression> {
     };
     let rule = rest[..close].trim().to_owned();
     let tail = rest[close + 1..].trim_start();
-    let has_reason = tail
-        .strip_prefix(':')
-        .is_some_and(|r| !r.trim().is_empty());
+    let has_reason = tail.strip_prefix(':').is_some_and(|r| !r.trim().is_empty());
     Some(Suppression {
         line,
         rule,

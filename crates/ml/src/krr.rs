@@ -3,9 +3,9 @@
 //!
 //! Not used by the paper — included as a fourth model family for
 //! comparison studies: KRR shares the SVR's RBF hypothesis space but
-//! replaces the ε-insensitive loss + box constraints with a squared loss
-//! + L2 penalty, so differences between the two isolate the effect of the
-//! loss function.
+//! replaces the ε-insensitive loss + box constraints with a squared
+//! loss + L2 penalty, so differences between the two isolate the effect
+//! of the loss function.
 
 use serde::{Deserialize, Serialize};
 

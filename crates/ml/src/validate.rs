@@ -98,7 +98,7 @@ mod tests {
     fn k_fold_partitions() {
         let folds = k_fold(10, 3, 1);
         assert_eq!(folds.len(), 3);
-        let mut seen = vec![0usize; 10];
+        let mut seen = [0usize; 10];
         for (train, test) in &folds {
             assert_eq!(train.len() + test.len(), 10);
             for &t in test {

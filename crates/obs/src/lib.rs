@@ -11,7 +11,10 @@
 //!   `chrome://tracing` ([`trace`]),
 //! * the [`TimelineSink`] trait plus [`NullSink`]/[`RecordingSink`] for
 //!   time-resolved sample streams that cost ~nothing when disabled
-//!   ([`timeline`]).
+//!   ([`timeline`]),
+//! * scoped phase timers ([`Profiler`]/[`NullProfiler`]) aggregating
+//!   into a per-run [`PhaseProfile`] with text-table, collapsed-stack
+//!   and canonical-JSON rendering ([`prof`]).
 //!
 //! # Example
 //!
@@ -43,10 +46,12 @@
 #![warn(rust_2018_idioms)]
 
 mod export;
+pub mod prof;
 pub mod registry;
 pub mod timeline;
 pub mod trace;
 
+pub use prof::{NullProfiler, Phase, PhaseGuard, PhaseProfile, PhaseStat, Profiler};
 pub use registry::{
     bucket_bound, Counter, Family, Gauge, Histogram, HistogramSnapshot, Metric, MetricKind,
     Registry, HISTOGRAM_BOUNDS,

@@ -2,7 +2,8 @@
 //!
 //! A [`Tracer`] records completed spans and instant events into a bounded
 //! in-memory ring; when the ring is full the oldest events are dropped
-//! (and counted). Spans are RAII guards: [`Tracer::span`] starts one, and
+//! and counted — per tracer via [`Tracer::dropped`] and process-wide in
+//! the exported `sms_obs_spans_dropped_total` counter. Spans are RAII guards: [`Tracer::span`] starts one, and
 //! dropping it records a complete (`ph: "X"`) event with the measured
 //! duration. When the tracer is disabled — the default — `span` returns
 //! an inert guard without allocating, so instrumented code pays only an
@@ -17,10 +18,25 @@ use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
 
 use crate::export::escape_json;
-use crate::registry::lock;
+use crate::registry::{lock, Counter, Registry};
 
 /// Default ring capacity of the global tracer.
 pub const DEFAULT_TRACE_CAPACITY: usize = 65_536;
+
+/// Process-wide count of events evicted from *any* tracer ring because
+/// it was full. Registered in the global [`Registry`] so overflow shows
+/// up in the Prometheus/JSON exports instead of silently truncating
+/// traces; each [`Tracer`] additionally keeps its own
+/// [`dropped`](Tracer::dropped) tally.
+fn spans_dropped_total() -> &'static Counter {
+    static COUNTER: OnceLock<std::sync::Arc<Counter>> = OnceLock::new();
+    COUNTER.get_or_init(|| {
+        Registry::global().counter(
+            "sms_obs_spans_dropped_total",
+            "Trace events evicted because a tracer ring was full",
+        )
+    })
+}
 
 /// Sequential id assigned to each thread the first time it records an
 /// event (Chrome trace `tid`; stable within a process run).
@@ -133,6 +149,7 @@ impl Tracer {
         if ring.len() >= self.capacity {
             ring.pop_front();
             self.dropped.fetch_add(1, Ordering::Relaxed);
+            spans_dropped_total().inc();
         }
         ring.push_back(event);
     }
@@ -238,10 +255,7 @@ impl Drop for Span<'_> {
             return;
         }
         let dur = inner.start.elapsed().as_micros() as u64;
-        let ts = inner
-            .start
-            .duration_since(inner.tracer.epoch)
-            .as_micros() as u64;
+        let ts = inner.start.duration_since(inner.tracer.epoch).as_micros() as u64;
         inner.tracer.push(TraceEvent {
             name: inner.name,
             cat: inner.cat,
@@ -297,6 +311,23 @@ mod tests {
         let events = t.events();
         assert_eq!(events.first().unwrap().name, "e6");
         assert_eq!(events.last().unwrap().name, "e9");
+    }
+
+    #[test]
+    fn drops_surface_in_the_global_registry_export() {
+        let before = spans_dropped_total().get();
+        let t = Tracer::new(2);
+        t.set_enabled(true);
+        for i in 0..5 {
+            t.instant(&format!("d{i}"), "test");
+        }
+        // Other tests share the global counter, so assert a lower bound.
+        assert!(
+            spans_dropped_total().get() >= before + 3,
+            "3 evictions recorded"
+        );
+        let text = Registry::global().prometheus_text();
+        assert!(text.contains("sms_obs_spans_dropped_total"), "{text}");
     }
 
     #[test]

@@ -106,7 +106,10 @@ impl CacheConfig {
         if self.capacity_bytes == 0 || self.associativity == 0 {
             return Err(ConfigError::ZeroField(what));
         }
-        if self.capacity_bytes % (LINE_SIZE * u64::from(self.associativity)) != 0 {
+        if !self
+            .capacity_bytes
+            .is_multiple_of(LINE_SIZE * u64::from(self.associativity))
+        {
             return Err(ConfigError::CacheGeometry(what));
         }
         let sets = self.num_sets();

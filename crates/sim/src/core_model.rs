@@ -312,8 +312,7 @@ impl CoreModel {
 
         // Update the CPI estimate (EWMA with 1/4 weight), clamped to
         // [0.25, 64] cycles per instruction.
-        if window_instrs > 0 {
-            let w_cpi = (window_cycles << 8) / window_instrs;
+        if let Some(w_cpi) = (window_cycles << 8).checked_div(window_instrs) {
             self.cpi_q8 = ((3 * self.cpi_q8 + w_cpi) / 4).clamp(64, 64 * 256);
         }
 

@@ -298,7 +298,7 @@ mod tests {
     fn achieved_bandwidth_accounts_bytes_over_time() {
         let mut d = dram(2, 16.0);
         for line in 0..100u64 {
-            d.read(line, (line * 10) as u64);
+            d.read(line, line * 10);
         }
         // 6400 bytes over 1000 cycles = 6.4 B/cyc = 25.6 GB/s at 4 GHz.
         let bw = d.achieved_bandwidth_gbps(1000);

@@ -15,6 +15,7 @@ use crate::dram::Dram;
 use crate::noc::Noc;
 use crate::nuca::NucaLlc;
 use crate::prefetch::StridePrefetcher;
+use crate::profile::SimProf;
 
 /// Which level serviced a data access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -84,6 +85,9 @@ pub struct PrivateCaches {
     pub prefetcher: StridePrefetcher,
     /// Prefetches in flight, ordered by launch time.
     pending_prefetches: VecDeque<PendingPrefetch>,
+    /// Optional phase-profiling handles (detached by default; timing
+    /// only, never consulted by the simulation itself).
+    prof: SimProf,
 }
 
 impl PrivateCaches {
@@ -95,7 +99,13 @@ impl PrivateCaches {
             l2: Cache::new(&cfg.l2),
             prefetcher: StridePrefetcher::new(cfg.prefetch.clone()),
             pending_prefetches: VecDeque::new(),
+            prof: SimProf::detached(),
         }
+    }
+
+    /// Attach (or detach) phase-profiling handles.
+    pub fn set_prof(&mut self, prof: SimProf) {
+        self.prof = prof;
     }
 
     /// Whether a prefetch for `line` is in flight.
@@ -123,6 +133,9 @@ pub struct Uncore {
     pub pending_invalidations: Vec<(u8, LineAddr)>,
     pub(crate) num_mcs: u32,
     inclusive: bool,
+    /// Optional phase-profiling handles; the uncore's accesses run during
+    /// the authoritative merge replay, so they land under `window.merge`.
+    prof: SimProf,
 }
 
 impl Uncore {
@@ -136,7 +149,13 @@ impl Uncore {
             pending_invalidations: Vec::new(),
             num_mcs: cfg.dram.num_controllers,
             inclusive: cfg.inclusive_llc,
+            prof: SimProf::detached(),
         }
+    }
+
+    /// Attach (or detach) phase-profiling handles.
+    pub fn set_prof(&mut self, prof: SimProf) {
+        self.prof = prof;
     }
 
     /// Reset measurement counters (after warm-up) without touching cache
@@ -157,8 +176,14 @@ impl Uncore {
         let slice_node = self.llc.home_slice(line);
         let mc = self.dram.controller_for(line) as u32;
         let mc_node = self.noc.mc_node(mc, self.num_mcs);
-        let _ = self.noc.transfer(slice_node, mc_node, line, now);
-        let _ = self.dram.writeback(line, now);
+        {
+            let _noc = self.prof.merge_noc();
+            let _ = self.noc.transfer(slice_node, mc_node, line, now);
+        }
+        {
+            let _dram = self.prof.merge_dram();
+            let _ = self.dram.writeback(line, now);
+        }
         self.dram_bytes_per_core[owner as usize] += crate::config::LINE_SIZE;
     }
 
@@ -171,10 +196,17 @@ impl Uncore {
     pub fn access(&mut self, core: u8, line: LineAddr, now: u64) -> MemAccess {
         let slice = self.llc.home_slice(line);
         let core_node = u32::from(core);
-        let to_slice = self.noc.transfer(core_node, slice, line, now);
+        let to_slice = {
+            let _noc = self.prof.merge_noc();
+            self.noc.transfer(core_node, slice, line, now)
+        };
         let mut latency = to_slice.latency + u64::from(self.llc.access_latency());
 
-        if self.llc.access(line, false) {
+        let llc_hit = {
+            let _llc = self.prof.merge_llc();
+            self.llc.access(line, false)
+        };
+        if llc_hit {
             return MemAccess {
                 latency,
                 level: HitLevel::Llc,
@@ -184,12 +216,22 @@ impl Uncore {
         // LLC miss: slice forwards to the line's memory controller.
         let mc = self.dram.controller_for(line) as u32;
         let mc_node = self.noc.mc_node(mc, self.num_mcs);
-        let to_mc = self.noc.transfer(slice, mc_node, line, now + latency);
-        let dram = self.dram.read(line, now + latency + to_mc.latency);
+        let to_mc = {
+            let _noc = self.prof.merge_noc();
+            self.noc.transfer(slice, mc_node, line, now + latency)
+        };
+        let dram = {
+            let _dram = self.prof.merge_dram();
+            self.dram.read(line, now + latency + to_mc.latency)
+        };
         latency += to_mc.latency + dram.latency;
         self.dram_bytes_per_core[core as usize] += crate::config::LINE_SIZE;
 
-        if let Some(victim) = self.llc.fill(line, false, core) {
+        let victim = {
+            let _llc = self.prof.merge_llc();
+            self.llc.fill(line, false, core)
+        };
+        if let Some(victim) = victim {
             if victim.dirty {
                 self.writeback_to_dram(victim.line, victim.owner, now + latency);
             }
@@ -232,7 +274,11 @@ impl MemoryBackend for Uncore {
     }
 
     fn shared_writeback(&mut self, core: u8, line: LineAddr, now: u64) {
-        if !self.llc.access(line, true) {
+        let llc_holds = {
+            let _llc = self.prof.merge_llc();
+            self.llc.access(line, true)
+        };
+        if !llc_holds {
             self.writeback_to_dram(line, core, now);
         }
     }
@@ -267,7 +313,11 @@ pub fn data_access<B: MemoryBackend>(
     }
 
     let l2_lat = l1_lat + u64::from(p.l2.access_latency());
-    if p.l2.access(line, false) {
+    let l2_hit = {
+        let _l2 = p.prof.l2();
+        p.l2.access(line, false)
+    };
+    if l2_hit {
         fill_l1d(p, uncore, line, write, core, now);
         return MemAccess {
             latency: l2_lat,
@@ -347,7 +397,11 @@ pub fn fetch_access<B: MemoryBackend>(
         };
     }
     let l2_lat = l1_lat + u64::from(p.l2.access_latency());
-    if p.l2.access(line, false) {
+    let l2_hit = {
+        let _l2 = p.prof.l2();
+        p.l2.access(line, false)
+    };
+    if l2_hit {
         // Fill L1-I; instruction lines are never dirty.
         p.l1i.fill(line, false, core);
         return MemAccess {
@@ -391,7 +445,14 @@ fn fill_l2<B: MemoryBackend>(
     core: u8,
     now: u64,
 ) {
-    if let Some(victim) = p.l2.fill(line, false, core) {
+    // The l2 scope covers only the fill itself; a victim's trip through
+    // the shared levels is timed by the llc/noc/dram phases (sibling
+    // scopes must not overlap, or self-times would double-count).
+    let victim = {
+        let _l2 = p.prof.l2();
+        p.l2.fill(line, false, core)
+    };
+    if let Some(victim) = victim {
         // Inclusion: the L1-D copy of the L2 victim must go. The L1-I is
         // exempt (read-only code; policing it through the unified L2 would
         // let streaming data thrash the front end, which real parts avoid).
@@ -486,7 +547,7 @@ mod tests {
     fn back_invalidation_removes_private_copies() {
         let mut cfg = small_system();
         cfg.inclusive_llc = true;
-        let mut privs = vec![PrivateCaches::new(&cfg), PrivateCaches::new(&cfg)];
+        let mut privs = [PrivateCaches::new(&cfg), PrivateCaches::new(&cfg)];
         let mut u = Uncore::new(&cfg);
         let (a, b) = privs.split_at_mut(1);
         data_access(0, &mut a[0], &mut u, 9, false, 0);
@@ -566,7 +627,7 @@ mod tests {
     #[test]
     fn per_core_dram_attribution() {
         let cfg = small_system();
-        let mut privs = vec![PrivateCaches::new(&cfg), PrivateCaches::new(&cfg)];
+        let mut privs = [PrivateCaches::new(&cfg), PrivateCaches::new(&cfg)];
         let mut u = Uncore::new(&cfg);
         let (a, b) = privs.split_at_mut(1);
         for line in 0..10u64 {

@@ -59,6 +59,7 @@ pub mod hierarchy;
 pub mod noc;
 pub mod nuca;
 pub mod prefetch;
+pub mod profile;
 pub mod queue;
 pub mod shard;
 pub mod stats;
@@ -68,6 +69,7 @@ pub mod trace;
 
 pub use config::SystemConfig;
 pub use error::{ConfigError, SimError};
+pub use profile::SimProf;
 pub use stats::{CoreResult, SimResult};
 pub use system::{MulticoreSystem, RunSpec};
 pub use timeline::{EpochSample, NullSink, RecordingSink, SimTimeline, TimelineSink};

@@ -174,7 +174,7 @@ impl Noc {
         let col_stride = (self.cols / per_row).max(1);
         let slot = mc / 2;
         let col = (slot * col_stride).min(self.cols - 1);
-        if mc % 2 == 0 {
+        if mc.is_multiple_of(2) {
             col // top row (row 0)
         } else {
             (self.rows - 1) * self.cols + col // bottom row
@@ -237,7 +237,7 @@ mod tests {
         let local = n.transfer(5, 5, 1, 0);
         assert_eq!(local.latency, 0);
         let same_half = n.transfer(0, 1, 1, 0);
-        assert_eq!(same_half.latency, 2 * 1 * 2);
+        assert_eq!(same_half.latency, 2 * 2); // 2 cycles/hop, 1 hop, x2
         assert_eq!(same_half.link_wait, 0);
     }
 

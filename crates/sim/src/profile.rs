@@ -1,0 +1,205 @@
+//! Optional phase-profiling handles for the simulator hot paths.
+//!
+//! [`SimProf`] is a cloneable bundle of pre-interned [`sms_obs::Phase`]
+//! handles covering the simulator's phase taxonomy (see
+//! [`SimProf::attach`] for the paths). It is distributed into the
+//! component structs — [`Uncore`](crate::hierarchy::Uncore),
+//! [`PrivateCaches`](crate::hierarchy::PrivateCaches),
+//! [`WindowShard`](crate::shard::WindowShard) — so the hot loops can
+//! open scopes without threading an extra parameter everywhere.
+//!
+//! Detached (the default) it is a `None`: every scope call is a single
+//! branch with **no monotonic-clock read and no atomic traffic**, which
+//! is what makes the profiler-on/off bit-identity guarantee structural —
+//! the profiler only ever *observes* host time, never simulated state.
+
+use std::sync::Arc;
+
+use sms_obs::prof::{Phase, PhaseGuard, Profiler};
+
+/// The pre-interned phase handles; one allocation per attached run.
+#[derive(Debug)]
+pub(crate) struct Phases {
+    pub run: Arc<Phase>,
+    pub fork: Arc<Phase>,
+    pub core_step: Arc<Phase>,
+    pub l2: Arc<Phase>,
+    pub fork_llc: Arc<Phase>,
+    pub fork_noc: Arc<Phase>,
+    pub fork_dram: Arc<Phase>,
+    pub merge: Arc<Phase>,
+    pub merge_llc: Arc<Phase>,
+    pub merge_noc: Arc<Phase>,
+    pub merge_dram: Arc<Phase>,
+}
+
+/// Cloneable, optionally-attached profiling handle set.
+///
+/// `SimProf::default()` is detached: all scope methods return `None`
+/// without reading the clock. [`SimProf::attach`] interns the phase
+/// taxonomy in the given [`Profiler`] and returns a live handle set.
+#[derive(Debug, Clone, Default)]
+pub struct SimProf(Option<Arc<Phases>>);
+
+impl SimProf {
+    /// A detached handle set (all scopes are no-ops).
+    pub fn detached() -> Self {
+        Self(None)
+    }
+
+    /// Intern the simulator phase taxonomy in `profiler` and return a
+    /// live handle set. The paths (collapsed-stack form):
+    ///
+    /// ```text
+    /// sim.run
+    /// sim.run;window.fork
+    /// sim.run;window.fork;core.step
+    /// sim.run;window.fork;core.step;{l2,llc,noc,dram}
+    /// sim.run;window.merge
+    /// sim.run;window.merge;{llc,noc,dram}
+    /// ```
+    ///
+    /// `l2`/`llc`/`noc`/`dram` under `core.step` are the speculative
+    /// shard-side models cores hit inside a window; the same components
+    /// under `window.merge` are the authoritative uncore replay.
+    pub fn attach(profiler: &Profiler) -> Self {
+        Self(Some(Arc::new(Phases {
+            run: profiler.phase("sim.run"),
+            fork: profiler.phase("sim.run;window.fork"),
+            core_step: profiler.phase("sim.run;window.fork;core.step"),
+            l2: profiler.phase("sim.run;window.fork;core.step;l2"),
+            fork_llc: profiler.phase("sim.run;window.fork;core.step;llc"),
+            fork_noc: profiler.phase("sim.run;window.fork;core.step;noc"),
+            fork_dram: profiler.phase("sim.run;window.fork;core.step;dram"),
+            merge: profiler.phase("sim.run;window.merge"),
+            merge_llc: profiler.phase("sim.run;window.merge;llc"),
+            merge_noc: profiler.phase("sim.run;window.merge;noc"),
+            merge_dram: profiler.phase("sim.run;window.merge;dram"),
+        })))
+    }
+
+    /// Whether a profiler is attached.
+    pub fn is_attached(&self) -> bool {
+        self.0.is_some()
+    }
+
+    #[inline]
+    fn scope(&self, pick: impl FnOnce(&Phases) -> &Arc<Phase>) -> Option<PhaseGuard<'_>> {
+        // The detached path is this one branch: no clock, no atomics.
+        self.0.as_deref().map(|p| pick(p).scope())
+    }
+
+    /// Scope for the whole measured run (`sim.run`).
+    #[inline]
+    pub(crate) fn run(&self) -> Option<PhaseGuard<'_>> {
+        self.scope(|p| &p.run)
+    }
+
+    /// Scope for one window's fork side (`window.fork`).
+    #[inline]
+    pub(crate) fn fork(&self) -> Option<PhaseGuard<'_>> {
+        self.scope(|p| &p.fork)
+    }
+
+    /// Scope for one core's window execution (`core.step`).
+    #[inline]
+    pub(crate) fn core_step(&self) -> Option<PhaseGuard<'_>> {
+        self.scope(|p| &p.core_step)
+    }
+
+    /// Scope for a private-L2 access under `core.step`.
+    #[inline]
+    pub(crate) fn l2(&self) -> Option<PhaseGuard<'_>> {
+        self.scope(|p| &p.l2)
+    }
+
+    /// Scope for a shard-side (frozen-snapshot) LLC access.
+    #[inline]
+    pub(crate) fn fork_llc(&self) -> Option<PhaseGuard<'_>> {
+        self.scope(|p| &p.fork_llc)
+    }
+
+    /// Scope for a shard-side NoC transfer.
+    #[inline]
+    pub(crate) fn fork_noc(&self) -> Option<PhaseGuard<'_>> {
+        self.scope(|p| &p.fork_noc)
+    }
+
+    /// Scope for a shard-side DRAM access.
+    #[inline]
+    pub(crate) fn fork_dram(&self) -> Option<PhaseGuard<'_>> {
+        self.scope(|p| &p.fork_dram)
+    }
+
+    /// Scope for one window's merge (`window.merge`).
+    #[inline]
+    pub(crate) fn merge(&self) -> Option<PhaseGuard<'_>> {
+        self.scope(|p| &p.merge)
+    }
+
+    /// Scope for an authoritative LLC access during merge replay.
+    #[inline]
+    pub(crate) fn merge_llc(&self) -> Option<PhaseGuard<'_>> {
+        self.scope(|p| &p.merge_llc)
+    }
+
+    /// Scope for an authoritative NoC transfer during merge replay.
+    #[inline]
+    pub(crate) fn merge_noc(&self) -> Option<PhaseGuard<'_>> {
+        self.scope(|p| &p.merge_noc)
+    }
+
+    /// Scope for an authoritative DRAM access during merge replay.
+    #[inline]
+    pub(crate) fn merge_dram(&self) -> Option<PhaseGuard<'_>> {
+        self.scope(|p| &p.merge_dram)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detached_prof_opens_no_scopes() {
+        let prof = SimProf::detached();
+        assert!(!prof.is_attached());
+        assert!(prof.run().is_none());
+        assert!(prof.l2().is_none());
+        assert!(prof.merge_dram().is_none());
+    }
+
+    #[test]
+    fn attached_prof_records_into_the_profiler() {
+        let profiler = Profiler::new();
+        let prof = SimProf::attach(&profiler);
+        assert!(prof.is_attached());
+        drop(prof.run());
+        drop(prof.fork());
+        let snap = profiler.snapshot();
+        let run = snap
+            .phases
+            .iter()
+            .find(|p| p.path == "sim.run")
+            .expect("sim.run interned");
+        assert_eq!(run.count, 1);
+        // All taxonomy paths are interned up front, even if never hit.
+        assert_eq!(snap.phases.len(), 11);
+    }
+
+    #[test]
+    fn clones_share_the_same_phases() {
+        let profiler = Profiler::new();
+        let prof = SimProf::attach(&profiler);
+        let clone = prof.clone();
+        drop(prof.core_step());
+        drop(clone.core_step());
+        let snap = profiler.snapshot();
+        let step = snap
+            .phases
+            .iter()
+            .find(|p| p.path.ends_with("core.step"))
+            .expect("core.step interned");
+        assert_eq!(step.count, 2);
+    }
+}

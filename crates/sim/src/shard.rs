@@ -23,6 +23,7 @@ use crate::cache::LineAddr;
 use crate::dram::Dram;
 use crate::hierarchy::{HitLevel, MemAccess, MemoryBackend, Uncore};
 use crate::noc::Noc;
+use crate::profile::SimProf;
 
 /// One shared-memory interaction deferred to the window barrier.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -60,6 +61,9 @@ pub struct WindowShard {
     /// uncore yet; cloning is deferred to the first shared access so
     /// compute-bound windows pay nothing.
     queues_fresh: bool,
+    /// Optional phase-profiling handles; shard accesses run inside
+    /// `core.step`, so they land under the fork-side component phases.
+    prof: SimProf,
 }
 
 impl WindowShard {
@@ -72,7 +76,13 @@ impl WindowShard {
             noc: uncore.noc.clone(),
             dram: uncore.dram.clone(),
             queues_fresh: false,
+            prof: SimProf::detached(),
         }
+    }
+
+    /// Attach (or detach) phase-profiling handles.
+    pub fn set_prof(&mut self, prof: SimProf) {
+        self.prof = prof;
     }
 
     /// Reset per-window state. The queue clones are marked stale and
@@ -122,10 +132,17 @@ impl MemoryBackend for ShardBackend<'_> {
         self.refresh_queues();
         let llc = &self.frozen.llc;
         let slice = llc.home_slice(line);
-        let to_slice = self.shard.noc.transfer(u32::from(core), slice, line, now);
+        let to_slice = {
+            let _noc = self.shard.prof.fork_noc();
+            self.shard.noc.transfer(u32::from(core), slice, line, now)
+        };
         let mut latency = to_slice.latency + u64::from(llc.access_latency());
 
-        if self.llc_has(line) {
+        let llc_hit = {
+            let _llc = self.shard.prof.fork_llc();
+            self.llc_has(line)
+        };
+        if llc_hit {
             return MemAccess {
                 latency,
                 level: HitLevel::Llc,
@@ -134,8 +151,14 @@ impl MemoryBackend for ShardBackend<'_> {
 
         let mc = self.shard.dram.controller_for(line) as u32;
         let mc_node = self.shard.noc.mc_node(mc, self.frozen.num_mcs);
-        let to_mc = self.shard.noc.transfer(slice, mc_node, line, now + latency);
-        let dram = self.shard.dram.read(line, now + latency + to_mc.latency);
+        let to_mc = {
+            let _noc = self.shard.prof.fork_noc();
+            self.shard.noc.transfer(slice, mc_node, line, now + latency)
+        };
+        let dram = {
+            let _dram = self.shard.prof.fork_dram();
+            self.shard.dram.read(line, now + latency + to_mc.latency)
+        };
         latency += to_mc.latency + dram.latency;
         self.shard.filled.insert(line);
         MemAccess {
@@ -150,15 +173,25 @@ impl MemoryBackend for ShardBackend<'_> {
     fn shared_writeback(&mut self, core: u8, line: LineAddr, now: u64) {
         debug_assert_eq!(core, self.shard.core);
         self.shard.events.push(DeferredOp::Writeback { line, now });
-        if self.llc_has(line) {
+        let llc_holds = {
+            let _llc = self.shard.prof.fork_llc();
+            self.llc_has(line)
+        };
+        if llc_holds {
             return;
         }
         self.refresh_queues();
         let slice = self.frozen.llc.home_slice(line);
         let mc = self.shard.dram.controller_for(line) as u32;
         let mc_node = self.shard.noc.mc_node(mc, self.frozen.num_mcs);
-        let _ = self.shard.noc.transfer(slice, mc_node, line, now);
-        let _ = self.shard.dram.writeback(line, now);
+        {
+            let _noc = self.shard.prof.fork_noc();
+            let _ = self.shard.noc.transfer(slice, mc_node, line, now);
+        }
+        {
+            let _dram = self.shard.prof.fork_dram();
+            let _ = self.shard.dram.writeback(line, now);
+        }
     }
 }
 

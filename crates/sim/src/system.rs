@@ -31,6 +31,7 @@ use crate::dram::ControllerStats;
 use crate::error::{ConfigError, SimError};
 use crate::hierarchy::{MemoryBackend, PrivateCaches, Uncore};
 use crate::noc::NocStats;
+use crate::profile::SimProf;
 use crate::shard::{DeferredOp, ShardBackend, WindowShard};
 use crate::stats::{CoreResult, SimResult};
 use crate::timeline::{EpochSample, NullSink, TimelineSink};
@@ -135,6 +136,11 @@ pub struct MulticoreSystem {
     global_cycle: u64,
     /// Active timeline recorder: `(interval, next mark, samples)`.
     timeline: Option<(u64, u64, Vec<TimelineSample>)>,
+    /// Phase-profiling handles; detached unless
+    /// [`MulticoreSystem::attach_profiler`] was called. Timing only —
+    /// never consulted by the simulation, so results are bit-identical
+    /// attached or not.
+    prof: SimProf,
 }
 
 impl std::fmt::Debug for MulticoreSystem {
@@ -191,12 +197,41 @@ impl MulticoreSystem {
             uncore,
             global_cycle: 0,
             timeline: None,
+            prof: SimProf::detached(),
         })
     }
 
     /// The system configuration.
     pub fn config(&self) -> &SystemConfig {
         &self.cfg
+    }
+
+    /// Attach a phase profiler: subsequent runs time the `sim.run`,
+    /// `window.fork`/`core.step` (with `l2`/`llc`/`noc`/`dram`
+    /// component phases) and `window.merge` phases into `profiler`.
+    ///
+    /// Profiling is observation-only — scopes read the monotonic clock
+    /// and bump atomic counters, never simulator state — so `SimResult`
+    /// and the epoch-sample stream are bit-identical with or without a
+    /// profiler attached, at any `sim_threads`.
+    pub fn attach_profiler(&mut self, profiler: &sms_obs::Profiler) {
+        self.set_prof(SimProf::attach(profiler));
+    }
+
+    /// Detach any attached profiler (scopes become no-ops again).
+    pub fn detach_profiler(&mut self) {
+        self.set_prof(SimProf::detached());
+    }
+
+    fn set_prof(&mut self, prof: SimProf) {
+        self.uncore.set_prof(prof.clone());
+        for ctx in &mut self.cores {
+            ctx.privs.set_prof(prof.clone());
+        }
+        for shard in &mut self.shards {
+            shard.set_prof(prof.clone());
+        }
+        self.prof = prof;
     }
 
     /// Execute until the first core retires `budget` instructions (or all
@@ -224,7 +259,9 @@ impl MulticoreSystem {
             uncore,
             global_cycle,
             timeline,
+            prof,
         } = self;
+        let prof = prof.clone();
         let n = cores.len();
         // Baselines so samples read relative to this phase's start; a
         // disabled sink skips all sampling work.
@@ -253,6 +290,7 @@ impl MulticoreSystem {
             sink,
             global_cycle,
             timeline,
+            prof: prof.clone(),
         };
         let threads = (cfg.sim_threads as usize).clamp(1, n);
 
@@ -263,8 +301,9 @@ impl MulticoreSystem {
                 let quantum_end = driver.next_quantum_end()?;
                 {
                     let _fork = sms_obs::tracer().span("window.fork", "sim");
+                    let _fork_phase = prof.fork();
                     for (ctx, shard) in &mut pairs {
-                        run_core_window(ctx, shard, uncore, quantum_end, budget);
+                        run_core_window(ctx, shard, uncore, quantum_end, budget, &prof);
                     }
                 }
                 if driver.merge(uncore, &mut pairs, quantum_end)? {
@@ -302,6 +341,7 @@ impl MulticoreSystem {
             let done = &done;
             let quantum_end_cell = &quantum_end_cell;
             let uncore_lock = &uncore_lock;
+            let prof = &prof;
             for chunk in &chunk_locks {
                 scope.spawn(move || loop {
                     barrier.wait();
@@ -313,7 +353,7 @@ impl MulticoreSystem {
                     let mut guard = chunk.lock().unwrap_or_else(PoisonError::into_inner);
                     let (ctxs, shrds) = &mut *guard;
                     for (ctx, shard) in ctxs.iter_mut().zip(shrds.iter_mut()) {
-                        run_core_window(ctx, shard, &frozen, quantum_end, budget);
+                        run_core_window(ctx, shard, &frozen, quantum_end, budget, prof);
                     }
                     drop(guard);
                     drop(frozen);
@@ -331,6 +371,7 @@ impl MulticoreSystem {
                 quantum_end_cell.store(quantum_end, Ordering::Release);
                 {
                     let _fork = sms_obs::tracer().span("window.fork", "sim");
+                    let _fork_phase = prof.fork();
                     barrier.wait(); // release the workers into the window
                     barrier.wait(); // wait for every core to reach the barrier
                 }
@@ -420,6 +461,12 @@ impl MulticoreSystem {
             return Err(SimError::EmptyBudget);
         }
 
+        // Root phase scope spanning warm-up and the measured phase (a
+        // no-op when detached). Scoped to a local clone so the guard's
+        // borrow does not pin `self`.
+        let root_prof = self.prof.clone();
+        let _run_phase_scope = root_prof.run();
+
         // Warm-up: run, then reset all measurement state.
         if spec.warmup_instructions > 0 {
             self.run_phase(spec.warmup_instructions, &mut NullSink)?;
@@ -505,10 +552,12 @@ fn run_core_window(
     frozen: &Uncore,
     quantum_end: u64,
     budget: u64,
+    prof: &SimProf,
 ) {
     if ctx.finished {
         return;
     }
+    let _step = prof.core_step();
     shard.begin_window();
     let mut backend = ShardBackend { frozen, shard };
     while ctx.model.cycle < quantum_end && ctx.retired < budget {
@@ -538,6 +587,7 @@ struct PhaseDriver<'a> {
     sink: &'a mut dyn TimelineSink<EpochSample>,
     global_cycle: &'a mut u64,
     timeline: &'a mut Option<(u64, u64, Vec<TimelineSample>)>,
+    prof: SimProf,
 }
 
 impl PhaseDriver<'_> {
@@ -572,6 +622,7 @@ impl PhaseDriver<'_> {
             return Err(SimError::Injected(e.to_string()));
         }
         let _merge = sms_obs::tracer().span("window.merge", "sim");
+        let _merge_phase = self.prof.merge();
         let n = pairs.len();
         let start = (self.window_index % n as u64) as usize;
         for k in 0..n {
@@ -943,6 +994,109 @@ mod tests {
         };
         assert_eq!(strip(plain), strip(recorded));
         assert!(!sink.is_empty());
+    }
+
+    #[test]
+    fn profiler_does_not_perturb_results_at_any_thread_count() {
+        // The profiler-on/off analogue of
+        // `recording_sink_does_not_perturb_results`, at 1 and 4
+        // `sim_threads`: SimResult and the EpochSample stream must be
+        // bit-identical because profiling only reads host time.
+        let spec = RunSpec {
+            warmup_instructions: 10_000,
+            measure_instructions: 50_000,
+        };
+        for sim_threads in [1u32, 4] {
+            let build = || {
+                let mut cfg = small_cfg(4);
+                cfg.sim_threads = sim_threads;
+                let sources: Vec<Box<dyn InstructionSource>> = (0..4u64)
+                    .map(|i| memory_source_at("m", 1 << 12, i << 32))
+                    .collect();
+                MulticoreSystem::new(cfg, sources).unwrap()
+            };
+            let strip = |mut r: SimResult| {
+                r.host_seconds = 0.0;
+                r
+            };
+
+            let mut plain_sink = crate::timeline::RecordingSink::new();
+            let plain = build().run_with_sink(spec, &mut plain_sink).unwrap();
+
+            let profiler = sms_obs::Profiler::new();
+            let mut sys = build();
+            sys.attach_profiler(&profiler);
+            let mut prof_sink = crate::timeline::RecordingSink::new();
+            let profiled = sys.run_with_sink(spec, &mut prof_sink).unwrap();
+
+            assert_eq!(
+                strip(plain),
+                strip(profiled),
+                "SimResult must not depend on profiling (sim_threads={sim_threads})"
+            );
+            assert_eq!(
+                plain_sink.into_samples(),
+                prof_sink.into_samples(),
+                "epoch stream must not depend on profiling (sim_threads={sim_threads})"
+            );
+
+            // And the profile itself is real: the run phase fired once,
+            // cores stepped, and windows merged.
+            let snap = profiler.snapshot();
+            let count = |path: &str| {
+                snap.phases
+                    .iter()
+                    .find(|p| p.path == path)
+                    .map_or(0, |p| p.count)
+            };
+            assert_eq!(count("sim.run"), 1);
+            assert!(count("sim.run;window.fork;core.step") > 0);
+            assert!(count("sim.run;window.merge") > 0);
+        }
+    }
+
+    #[test]
+    fn profiler_overhead_is_small() {
+        // Measured-overhead smoke test: attaching a profiler may cost at
+        // most 5% wall time (plus a small absolute grace for scheduler
+        // noise on shared runners). Uses `host_seconds` so this crate
+        // never reads a raw clock (lint rule D1); best-of-5 on each side
+        // to shed one-off descheduling blips.
+        let spec = RunSpec {
+            warmup_instructions: 10_000,
+            measure_instructions: 150_000,
+        };
+        let build = || {
+            MulticoreSystem::new(
+                small_cfg(2),
+                vec![
+                    memory_source_at("a", 1 << 12, 0),
+                    memory_source_at("b", 1 << 14, 1 << 32),
+                ],
+            )
+            .unwrap()
+        };
+        let best_of = |attach: bool| {
+            let mut best = f64::INFINITY;
+            for _ in 0..5 {
+                let mut sys = build();
+                let profiler = sms_obs::Profiler::new();
+                if attach {
+                    sys.attach_profiler(&profiler);
+                }
+                let secs = sys.run(spec).unwrap().host_seconds;
+                if secs < best {
+                    best = secs;
+                }
+            }
+            best
+        };
+        let off = best_of(false);
+        let on = best_of(true);
+        assert!(
+            on <= off * 1.05 + 0.010,
+            "profiler-on best {on:.4}s exceeds profiler-off best {off:.4}s by more than 5% + 10ms"
+        );
     }
 
     #[test]

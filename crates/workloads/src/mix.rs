@@ -147,7 +147,7 @@ pub fn eval_train_split(
 ) -> (Vec<BenchmarkProfile>, Vec<BenchmarkProfile>) {
     let mut all = suite();
     assert!(eval_count > 0 && eval_count < all.len());
-    let mut rng = SplitMix64::new(seed ^ 0x165_667B1_9E37_79F9);
+    let mut rng = SplitMix64::new(seed ^ 0x1656_67B1_9E37_79F9);
     // Fisher-Yates partial shuffle.
     for i in 0..eval_count {
         let j = i + rng.next_below((all.len() - i) as u64) as usize;

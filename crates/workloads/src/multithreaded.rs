@@ -90,7 +90,7 @@ impl DataParallelThread {
 
     /// Rewrite a private dataset-layer address into the shared region,
     /// confining sequential positions to this thread's chunk.
-    fn to_shared(&mut self, addr: u64) -> u64 {
+    fn shared_addr(&mut self, addr: u64) -> u64 {
         let offset = addr - self.private_base;
         debug_assert!(offset >= self.dataset_start && offset < self.dataset_end);
         let within = offset - self.dataset_start;
@@ -113,7 +113,7 @@ impl InstructionSource for DataParallelThread {
                 let offset = addr.wrapping_sub(self.private_base);
                 if offset >= self.dataset_start && offset < self.dataset_end {
                     MicroOp::Load {
-                        addr: self.to_shared(addr),
+                        addr: self.shared_addr(addr),
                         dependent,
                     }
                 } else {

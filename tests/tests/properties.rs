@@ -78,8 +78,8 @@ proptest! {
     ) {
         let mut q = HistoryQueue::new();
         let mut total_service = 0.0;
-        let mut count = 0u32;
-        for (now, service) in arrivals {
+        for (count, (now, service)) in arrivals.into_iter().enumerate() {
+            let count = count as u32;
             let wait = q.request(f64::from(now), f64::from(service));
             prop_assert!(wait >= 0.0);
             // Worst case, the request waits behind all prior service plus
@@ -89,7 +89,6 @@ proptest! {
             prop_assert!(wait <= bound + 1e-9,
                 "wait {wait} exceeds bound {bound}");
             total_service += f64::from(service);
-            count += 1;
         }
     }
 

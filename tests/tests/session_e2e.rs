@@ -3,7 +3,7 @@
 //! held-out benchmarks and sanity-check against the simulated truth.
 
 use sms_core::pipeline::{DirectSim, ExperimentConfig, Simulate};
-use sms_core::scaling::{scale_config, target_config, ScalingPolicy};
+use sms_core::scaling::{target_config, ScalingPolicy};
 use sms_core::session::ScaleModelSession;
 use sms_core::FeatureMode;
 use sms_sim::system::RunSpec;
@@ -58,7 +58,11 @@ fn session_end_to_end_on_real_simulator() {
         let truth =
             truth_run.cores.iter().map(|c| c.ipc).sum::<f64>() / truth_run.cores.len() as f64;
         let err = (pred.target_ipc - truth).abs() / truth;
-        assert!(err < 0.6, "{name}: prediction {:.3} vs truth {truth:.3} (err {err:.2})", pred.target_ipc);
+        assert!(
+            err < 0.6,
+            "{name}: prediction {:.3} vs truth {truth:.3} (err {err:.2})",
+            pred.target_ipc
+        );
     }
 }
 
@@ -121,7 +125,9 @@ fn session_uses_only_scale_model_machines() {
 
     let mut rec = Recording(Vec::new());
     let session = ScaleModelSession::train(&mut rec, cfg, &training).unwrap();
-    let _ = session.predict(&mut rec, &by_name("wrf_r").unwrap()).unwrap();
+    let _ = session
+        .predict(&mut rec, &by_name("wrf_r").unwrap())
+        .unwrap();
     assert!(
         rec.0.iter().all(|&c| c < 8),
         "the 8-core target must never be simulated: {:?}",
