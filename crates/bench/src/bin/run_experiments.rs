@@ -30,8 +30,7 @@ fn main() {
     }
 
     {
-        let mut attempt = |id: &'static str,
-                           run: fn(&mut Ctx) -> Result<Report, SimError>| {
+        let mut attempt = |id: &'static str, run: fn(&mut Ctx) -> Result<Report, SimError>| {
             if !want(id) {
                 return;
             }

@@ -158,10 +158,10 @@ impl Scan {
 
 /// Verify one cache entry file; returns the defect, if any.
 fn check_cache_entry(path: &Path) -> Result<(), (DefectKind, String)> {
-    let data = std::fs::read(path)
-        .map_err(|e| (DefectKind::Truncated, format!("unreadable: {e}")))?;
-    let entry: CacheEntry = serde_json::from_slice(&data)
-        .map_err(|e| (classify_parse_error(&e), e.to_string()))?;
+    let data =
+        std::fs::read(path).map_err(|e| (DefectKind::Truncated, format!("unreadable: {e}")))?;
+    let entry: CacheEntry =
+        serde_json::from_slice(&data).map_err(|e| (classify_parse_error(&e), e.to_string()))?;
     let stem = path.file_stem().and_then(|s| s.to_str()).unwrap_or("");
     let expected = key_hash_hex(&entry.key);
     if stem != expected {
@@ -184,10 +184,10 @@ fn check_cache_entry(path: &Path) -> Result<(), (DefectKind, String)> {
 
 /// Verify one quarantine record; returns the defect, if any.
 fn check_quarantine(path: &Path) -> Result<(), (DefectKind, String)> {
-    let data = std::fs::read(path)
-        .map_err(|e| (DefectKind::Truncated, format!("unreadable: {e}")))?;
-    let record: crate::runner::QuarantineRecord = serde_json::from_slice(&data)
-        .map_err(|e| (classify_parse_error(&e), e.to_string()))?;
+    let data =
+        std::fs::read(path).map_err(|e| (DefectKind::Truncated, format!("unreadable: {e}")))?;
+    let record: crate::runner::QuarantineRecord =
+        serde_json::from_slice(&data).map_err(|e| (classify_parse_error(&e), e.to_string()))?;
     let stem = path.file_stem().and_then(|s| s.to_str()).unwrap_or("");
     let expected = key_hash_hex(&record.key);
     if stem != expected {
@@ -471,7 +471,11 @@ mod tests {
         seed_cache(&dir, 1);
         let qdir = dir.join("quarantine");
         std::fs::create_dir_all(&qdir).unwrap();
-        std::fs::write(qdir.join("notahash.json"), b"{\"key\": \"k\", \"mix\": \"m\", \"error\": \"e\", \"attempts\": 1}").unwrap();
+        std::fs::write(
+            qdir.join("notahash.json"),
+            b"{\"key\": \"k\", \"mix\": \"m\", \"error\": \"e\", \"attempts\": 1}",
+        )
+        .unwrap();
         let mdir = dir.join("manifests");
         std::fs::create_dir_all(&mdir).unwrap();
         std::fs::write(mdir.join("bad.json"), b"[1, 2]").unwrap();
@@ -480,11 +484,18 @@ mod tests {
         std::fs::write(tdir.join("bad.json"), b"{}").unwrap();
         let report = fsck(&dir).unwrap();
         assert_eq!(report.defects.len(), 3, "{}", report.render());
-        assert!(report.defects.iter().all(|d| d.action == FsckAction::Evicted));
         assert!(report
             .defects
             .iter()
-            .any(|d| d.kind == DefectKind::StaleKey), "{}", report.render());
+            .all(|d| d.action == FsckAction::Evicted));
+        assert!(
+            report
+                .defects
+                .iter()
+                .any(|d| d.kind == DefectKind::StaleKey),
+            "{}",
+            report.render()
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -117,7 +117,8 @@ pub fn result_checksum(result: &SimResult) -> String {
 /// Whether an I/O error is a deterministic `sms-faults` injection rather
 /// than a real filesystem failure.
 fn is_injected(e: &std::io::Error) -> bool {
-    e.get_ref().is_some_and(|inner| inner.is::<sms_faults::FaultError>())
+    e.get_ref()
+        .is_some_and(|inner| inner.is::<sms_faults::FaultError>())
 }
 
 /// What a quarantine file records about a persistently failing run.
@@ -486,7 +487,12 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 /// One panic-isolated attempt of `run_fn`, with the `run.body` failpoint
 /// evaluated inside the isolation boundary (so injected panics are caught
 /// like real ones and injected errors surface as [`SimError::Injected`]).
-fn attempt_run<F>(run_fn: &F, cfg: &SystemConfig, mix: &MixSpec, spec: RunSpec) -> Result<SimResult, SimError>
+fn attempt_run<F>(
+    run_fn: &F,
+    cfg: &SystemConfig,
+    mix: &MixSpec,
+    spec: RunSpec,
+) -> Result<SimResult, SimError>
 where
     F: Fn(&SystemConfig, &MixSpec, RunSpec) -> Result<SimResult, SimError>,
 {
@@ -705,7 +711,16 @@ where
                         break;
                     }
                     let (cfg, mix) = todo[i];
-                    run_one(cache, cfg, mix, spec, opts, run_fn, telemetry_ref, journal_ref);
+                    run_one(
+                        cache,
+                        cfg,
+                        mix,
+                        spec,
+                        opts,
+                        run_fn,
+                        telemetry_ref,
+                        journal_ref,
+                    );
                 });
             }
         })
@@ -981,7 +996,10 @@ mod tests {
             .flatten()
             .filter(|e| e.path().extension().is_some_and(|x| x == "tmp"))
             .collect();
-        assert!(leftovers.is_empty(), "temp files left behind: {leftovers:?}");
+        assert!(
+            leftovers.is_empty(),
+            "temp files left behind: {leftovers:?}"
+        );
         let fresh = CachedSim::open(&dir).unwrap();
         let back = fresh.lookup(&cfg, &mix, spec).expect("intact entry");
         assert_eq!(back.elapsed_cycles, result.elapsed_cycles);
@@ -1047,7 +1065,10 @@ mod tests {
         let serial = snapshot("det-serial", 1);
         let parallel = snapshot("det-parallel", 4);
         assert_eq!(serial.len(), plan.len());
-        assert_eq!(serial, parallel, "cache contents must not depend on thread count");
+        assert_eq!(
+            serial, parallel,
+            "cache contents must not depend on thread count"
+        );
     }
 
     #[test]
@@ -1065,13 +1086,12 @@ mod tests {
             run_timeout: Some(Duration::from_millis(150)),
         };
         let started = Instant::now();
-        let summary =
-            execute_plan_with(&cache, &plan, spec, 2, "hangs", opts, |cfg, mix, spec| {
-                if mix.benchmarks[0] == "stall" {
-                    std::thread::sleep(Duration::from_secs(600));
-                }
-                fake_run(cfg, mix, spec)
-            });
+        let summary = execute_plan_with(&cache, &plan, spec, 2, "hangs", opts, |cfg, mix, spec| {
+            if mix.benchmarks[0] == "stall" {
+                std::thread::sleep(Duration::from_secs(600));
+            }
+            fake_run(cfg, mix, spec)
+        });
         assert!(
             started.elapsed() < Duration::from_secs(30),
             "the watchdog must not wait out the stall"
@@ -1122,7 +1142,10 @@ mod tests {
         cache.insert(&cfg, &mix, spec, &result);
 
         // Flip a byte inside the stored result payload.
-        let path = dir.join(format!("{}.json", key_hash_hex(&cache_key(&cfg, &mix, spec))));
+        let path = dir.join(format!(
+            "{}.json",
+            key_hash_hex(&cache_key(&cfg, &mix, spec))
+        ));
         let mut bytes = std::fs::read(&path).unwrap();
         let pos = bytes.len() - 10;
         bytes[pos] ^= 0x5a;
@@ -1130,10 +1153,12 @@ mod tests {
 
         // A fresh instance (no memory copy) must reject the entry...
         let fresh = CachedSim::open(&dir).unwrap();
-        assert!(fresh.lookup(&cfg, &mix, spec).is_none(), "corrupt entry must miss");
+        assert!(
+            fresh.lookup(&cfg, &mix, spec).is_none(),
+            "corrupt entry must miss"
+        );
         // ...count it in the global registry...
-        let reg: serde_json::Value =
-            serde_json::from_str(&sms_obs::registry().to_json()).unwrap();
+        let reg: serde_json::Value = serde_json::from_str(&sms_obs::registry().to_json()).unwrap();
         let total: f64 = reg["sms_cache_corrupt_total"]["samples"]
             .as_array()
             .expect("corrupt counter family exists")
@@ -1144,7 +1169,9 @@ mod tests {
         // ...and a fresh insert repairs the file in place.
         fresh.insert(&cfg, &mix, spec, &result);
         let repaired = CachedSim::open(&dir).unwrap();
-        let back = repaired.lookup(&cfg, &mix, spec).expect("repaired entry loads");
+        let back = repaired
+            .lookup(&cfg, &mix, spec)
+            .expect("repaired entry loads");
         assert_eq!(back.elapsed_cycles, result.elapsed_cycles);
         let _ = std::fs::remove_dir_all(&dir);
     }
@@ -1160,7 +1187,10 @@ mod tests {
         cache.insert(&cfg, &mix, spec, &result);
 
         // Strip the v2 fields, emulating a pre-checksum cache file.
-        let path = dir.join(format!("{}.json", key_hash_hex(&cache_key(&cfg, &mix, spec))));
+        let path = dir.join(format!(
+            "{}.json",
+            key_hash_hex(&cache_key(&cfg, &mix, spec))
+        ));
         let mut v: serde_json::Value =
             serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
         let obj = v.as_object_mut().unwrap();
@@ -1185,7 +1215,13 @@ mod tests {
         let spec = spec_n(5_000);
         let plan = fake_plan(&["leela_r"]);
         let (cfg, mix) = &plan[0];
-        cache.quarantine(cfg, mix, spec, &SimError::Panicked("earlier crash".into()), 2);
+        cache.quarantine(
+            cfg,
+            mix,
+            spec,
+            &SimError::Panicked("earlier crash".into()),
+            2,
+        );
         assert_eq!(cache.quarantine_count(), 1);
         let summary = execute_plan_with(
             &cache,

@@ -63,8 +63,8 @@ impl TimelineFile {
     ///
     /// Propagates encoding and filesystem failures.
     pub fn save(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
-        let json = sms_core::artifact::to_sorted_pretty_json(self)
-            .map_err(std::io::Error::other)?;
+        let json =
+            sms_core::artifact::to_sorted_pretty_json(self).map_err(std::io::Error::other)?;
         std::fs::write(path, json)
     }
 }

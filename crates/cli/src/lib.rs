@@ -24,7 +24,7 @@
 //! sms timeline  --path results/cache/timelines/HASH.json [--csv]  # per-epoch view of a run
 //! sms train     [--bench ...] [--target-cores 32] [--kind svm] [--curve log] [--save]
 //! sms models    [--results DIR]                             # list saved artifacts
-//! sms serve     [--addr 127.0.0.1:8080] [--workers 4] [--results DIR]
+//! sms serve     [--addr 127.0.0.1:8080] [--workers 4] [--request-timeout-ms 5000] [--results DIR]
 //! sms lint      [--root DIR] [--format text|json]          # workspace invariant checker
 //! ```
 
@@ -49,7 +49,7 @@ use sms_explore::{
     ResolvedExplore,
 };
 use sms_ml::fit::CurveModel;
-use sms_serve::{models_dir, serve, ModelRegistry, ServerConfig};
+use sms_serve::{models_dir, serve, ModelRegistry, ServerConfig, MAX_DEADLINE_MS, MIN_DEADLINE_MS};
 use sms_sim::config::SystemConfig;
 use sms_sim::system::{MulticoreSystem, RunSpec};
 use sms_sim::{EpochSample, RecordingSink, SimResult, SimTimeline};
@@ -443,12 +443,18 @@ USAGE:
   sms models [--results DIR]
       List the model artifacts saved under DIR/cache/models/.
 
-  sms serve [--addr HOST:PORT] [--workers N] [--results DIR]
+  sms serve [--addr HOST:PORT] [--workers N] [--request-timeout-ms MS]
+            [--results DIR]
       Serve saved model artifacts over HTTP (no simulation at request
       time): POST /predict, GET /models, GET /healthz, GET /metrics,
       POST /shutdown. Requests are batched per model, memoized in an
-      LRU cache, and shed with 503 when the queue is full. Stop with
-      POST /shutdown or by typing `q` on stdin.
+      LRU cache, and shed with 503 when the queue is full. Every request
+      carries a deadline (--request-timeout-ms, 10..=60000, default
+      5000; per-request override via the x-sms-deadline-ms header) and
+      answers 504 once it expires. Per-model circuit breakers serve a
+      degraded analytic fallback (x-sms-degraded: 1) while the ML
+      predictor is failing. Stop with POST /shutdown or by typing `q`
+      on stdin.
 
   sms lint [--root DIR] [--format text|json]
       Run the workspace invariant checker (sms-lint) over DIR (default:
@@ -1949,6 +1955,15 @@ fn cmd_serve(args: &Args) -> Result<String, CliError> {
         .cloned()
         .unwrap_or_else(|| "127.0.0.1:8080".to_owned());
     let workers = args.get_usize("workers", 4)?;
+    let request_timeout_ms = args.get_u64("request-timeout-ms", 5_000)?;
+    if !(MIN_DEADLINE_MS..=MAX_DEADLINE_MS).contains(&request_timeout_ms) {
+        // 0 would expire every request on arrival; anything past a minute
+        // defeats the point of a deadline. Fail loudly instead of clamping.
+        return Err(CliError::BadValue(
+            "request-timeout-ms".into(),
+            format!("{request_timeout_ms} (must be {MIN_DEADLINE_MS}..={MAX_DEADLINE_MS})"),
+        ));
+    }
 
     let dir = models_dir(Path::new(&results));
     let registry = ModelRegistry::open(&dir).map_err(|e| CliError::Io(e.to_string()))?;
@@ -1964,6 +1979,7 @@ fn cmd_serve(args: &Args) -> Result<String, CliError> {
     let config = ServerConfig {
         addr,
         workers,
+        request_timeout_ms,
         ..ServerConfig::default()
     };
     let handle = serve(registry, config).map_err(|e| CliError::Io(e.to_string()))?;
@@ -2104,6 +2120,8 @@ mod tests {
             ("train", &["--target-cores", "3"]),
             ("models", &["--results", "/nonexistent/sms-test"]),
             ("serve", &["--workers", "not-a-number"]),
+            ("serve", &["--request-timeout-ms", "0"]),
+            ("serve", &["--request-timeout-ms", "3600000"]),
             ("lint", &["--format", "xml"]),
             ("help", &[]),
         ];
@@ -2393,6 +2411,20 @@ mod tests {
         assert!(out.contains("no model artifacts"), "{out}");
         assert!(out.contains("sms train --save"), "{out}");
         let _ = std::fs::remove_dir_all(&results);
+    }
+
+    #[test]
+    fn serve_rejects_bad_request_timeouts() {
+        // Rejected before any socket is bound or registry opened, so these
+        // are fast. 0 would expire every request on arrival; huge values
+        // defeat the deadline; garbage must not fall back to the default.
+        for bad in ["0", "9", "60001", "not-a-number", "-5"] {
+            let result = run(&args(&["serve", "--request-timeout-ms", bad]));
+            assert!(
+                matches!(result, Err(CliError::BadValue(ref k, _)) if k == "request-timeout-ms"),
+                "--request-timeout-ms {bad}: {result:?}"
+            );
+        }
     }
 
     #[test]

@@ -147,16 +147,28 @@ impl std::fmt::Display for ArtifactError {
             Self::Io(e) => write!(f, "artifact I/O error: {e}"),
             Self::Json(e) => write!(f, "artifact JSON error: {e}"),
             Self::SchemaMismatch { found } => {
-                write!(f, "not a model artifact (schema tag {found:?}, expected {ARTIFACT_SCHEMA:?})")
+                write!(
+                    f,
+                    "not a model artifact (schema tag {found:?}, expected {ARTIFACT_SCHEMA:?})"
+                )
             }
             Self::VersionMismatch { found, expected } => {
-                write!(f, "artifact format version {found} unsupported (expected {expected})")
+                write!(
+                    f,
+                    "artifact format version {found} unsupported (expected {expected})"
+                )
             }
             Self::ChecksumMismatch { stored, computed } => {
-                write!(f, "artifact checksum mismatch (stored {stored}, computed {computed})")
+                write!(
+                    f,
+                    "artifact checksum mismatch (stored {stored}, computed {computed})"
+                )
             }
             Self::UnknownBenchmark(name) => {
-                write!(f, "benchmark {name:?} is not in the model's measurement table")
+                write!(
+                    f,
+                    "benchmark {name:?} is not in the model's measurement table"
+                )
             }
             Self::EmptyMix => write!(f, "prediction request has an empty mix"),
             Self::BadTargetCores(n) => write!(f, "target core count {n} is unusable"),
@@ -414,6 +426,74 @@ impl ModelArtifact {
             cv_error: self.payload.cv_error,
         })
     }
+
+    /// Cheap analytic estimate of the same quantities as
+    /// [`ModelArtifact::predict_mix`], computed directly from the stored
+    /// single-core measurement table without evaluating the ML
+    /// extrapolator.
+    ///
+    /// Each slot's IPC is its measured single-core IPC discounted by a
+    /// bandwidth-contention factor: `ipc / (1 + co_bw / (1 + own_bw))`,
+    /// where `co_bw` is the paper's rescaled co-runner bandwidth at the
+    /// target core count. The estimate is bounded in `(0, own_ipc]`,
+    /// monotone in contention, and fully deterministic — the serving
+    /// tier's degraded-mode fallback when a model's breaker is open.
+    /// `cv_error` is `None` to signal that no ML error estimate applies.
+    ///
+    /// # Errors
+    ///
+    /// The same request-shape errors as [`ModelArtifact::predict_mix`]:
+    /// [`ArtifactError::EmptyMix`], [`ArtifactError::BadTargetCores`], or
+    /// [`ArtifactError::UnknownBenchmark`].
+    pub fn analytic_mix_estimate(
+        &self,
+        benchmarks: &[String],
+        target_cores: Option<u32>,
+    ) -> Result<MixPrediction, ArtifactError> {
+        if benchmarks.is_empty() {
+            return Err(ArtifactError::EmptyMix);
+        }
+        let target = target_cores.unwrap_or(self.payload.cfg.target.num_cores);
+        if target == 0 || target > 4096 {
+            return Err(ArtifactError::BadTargetCores(target));
+        }
+        let ss: Vec<SsMeasurement> = benchmarks
+            .iter()
+            .map(|name| {
+                self.payload
+                    .ss_table
+                    .get(name)
+                    .copied()
+                    .ok_or_else(|| ArtifactError::UnknownBenchmark(name.clone()))
+            })
+            .collect::<Result<_, _>>()?;
+        let bws: Vec<f64> = ss.iter().map(|m| m.bandwidth).collect();
+        let per_core_ipc: Vec<f64> = ss
+            .iter()
+            .enumerate()
+            .map(|(j, own)| {
+                let co = if bws.len() >= 2 {
+                    corunner_bandwidth(&bws, j, target)
+                } else {
+                    0.0
+                };
+                own.ipc / (1.0 + co / (1.0 + own.bandwidth.max(0.0)))
+            })
+            .collect();
+        let stp = if ss.iter().all(|m| m.ipc > 0.0) {
+            let ss_ipcs: Vec<f64> = ss.iter().map(|m| m.ipc).collect();
+            crate::metrics::stp(&per_core_ipc, &ss_ipcs)
+        } else {
+            0.0
+        };
+        Ok(MixPrediction {
+            benchmarks: benchmarks.to_vec(),
+            target_cores: target,
+            per_core_ipc,
+            stp,
+            cv_error: None,
+        })
+    }
 }
 
 /// Mean leave-one-out cross-validation error at the scale-model level:
@@ -445,9 +525,7 @@ fn loo_cv_error(
         let rows: Vec<Vec<f64>> = cfg
             .ms_cores
             .iter()
-            .map(|&c| {
-                feature_vector(cfg.mode, d.ss, d.ss.bandwidth * f64::from(c.max(1) - 1))
-            })
+            .map(|&c| feature_vector(cfg.mode, d.ss, d.ss.bandwidth * f64::from(c.max(1) - 1)))
             .collect();
         for (pred, actual) in ex.scale_model_predictions(&rows).iter().zip(&d.ms_ipc) {
             if actual.1 > 0.0 {
@@ -495,10 +573,8 @@ pub fn train_artifact<S: Simulate>(
     let training = scale_model_training_sets(&cfg, &data);
     let extrapolator = RegressionExtrapolator::train(kind, curve, &training, params, TRAINING_SEED);
     let cv_error = loo_cv_error(&cfg, &data, kind, curve, params);
-    let ss_table: BTreeMap<String, SsMeasurement> = data
-        .iter()
-        .map(|d| (d.name.clone(), d.ss))
-        .collect();
+    let ss_table: BTreeMap<String, SsMeasurement> =
+        data.iter().map(|d| (d.name.clone(), d.ss)).collect();
     let trained_on: Vec<String> = data.iter().map(|d| d.name.clone()).collect();
     Ok(ModelArtifact::new(
         name,
@@ -576,10 +652,7 @@ mod tests {
     }
 
     fn temp_dir(tag: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!(
-            "sms-artifact-{tag}-{}",
-            std::process::id()
-        ));
+        let dir = std::env::temp_dir().join(format!("sms-artifact-{tag}-{}", std::process::id()));
         fs::create_dir_all(&dir).unwrap();
         dir
     }
@@ -673,7 +746,9 @@ mod tests {
             Err(ArtifactError::BadTargetCores(0))
         ));
         // A single-benchmark mix is legal: no co-runners.
-        let p = artifact.predict_mix(&["alpha".to_owned()], Some(8)).unwrap();
+        let p = artifact
+            .predict_mix(&["alpha".to_owned()], Some(8))
+            .unwrap();
         assert_eq!(p.per_core_ipc.len(), 1);
         assert!(p.per_core_ipc[0].is_finite());
         assert_eq!(p.target_cores, 8);
@@ -684,5 +759,100 @@ mod tests {
         assert_eq!(sanitize_name("svm-log.32c"), "svm-log.32c");
         assert_eq!(sanitize_name("a b/c"), "a-b-c");
         assert_eq!(sanitize_name(""), "model");
+    }
+
+    #[test]
+    fn analytic_estimate_is_bounded_and_validates_like_predict() {
+        let artifact = ModelArtifact::new("unit", synthetic_payload());
+        // Same request-shape errors as predict_mix.
+        assert!(matches!(
+            artifact.analytic_mix_estimate(&[], None),
+            Err(ArtifactError::EmptyMix)
+        ));
+        assert!(matches!(
+            artifact.analytic_mix_estimate(&["nope".to_owned()], None),
+            Err(ArtifactError::UnknownBenchmark(_))
+        ));
+        assert!(matches!(
+            artifact.analytic_mix_estimate(&["alpha".to_owned()], Some(5000)),
+            Err(ArtifactError::BadTargetCores(5000))
+        ));
+
+        // A lone benchmark has no co-runner contention: the estimate is
+        // exactly its single-core IPC.
+        let solo = artifact
+            .analytic_mix_estimate(&["alpha".to_owned()], Some(8))
+            .unwrap();
+        assert_eq!(solo.per_core_ipc, vec![1.2]);
+        assert_eq!(solo.cv_error, None);
+
+        // With co-runners the estimate is discounted but stays positive,
+        // and more target cores means more contention, never less IPC.
+        let mix = vec!["alpha".to_owned(), "beta".to_owned()];
+        let at8 = artifact.analytic_mix_estimate(&mix, Some(8)).unwrap();
+        let at64 = artifact.analytic_mix_estimate(&mix, Some(64)).unwrap();
+        for (slot, own) in at8.per_core_ipc.iter().zip([1.2, 0.7]) {
+            assert!(*slot > 0.0 && *slot <= own, "slot {slot} vs own {own}");
+        }
+        for (wide, narrow) in at64.per_core_ipc.iter().zip(&at8.per_core_ipc) {
+            assert!(wide <= narrow, "contention must not raise IPC");
+        }
+        assert!(at8.stp > 0.0);
+        // Deterministic: same request, same answer, bit for bit.
+        let again = artifact.analytic_mix_estimate(&mix, Some(8)).unwrap();
+        assert_eq!(again, at8);
+    }
+
+    #[test]
+    fn artifact_error_display_and_source() {
+        let io_err: ArtifactError = std::io::Error::other("boom").into();
+        assert!(io_err.to_string().starts_with("artifact I/O error:"));
+        assert!(std::error::Error::source(&io_err).is_some());
+
+        let json_err: ArtifactError = serde_json::from_str::<serde_json::Value>("{nope")
+            .unwrap_err()
+            .into();
+        assert!(json_err.to_string().starts_with("artifact JSON error:"));
+        assert!(std::error::Error::source(&json_err).is_some());
+
+        let cases: Vec<(ArtifactError, &str)> = vec![
+            (
+                ArtifactError::SchemaMismatch {
+                    found: "other".to_owned(),
+                },
+                "not a model artifact",
+            ),
+            (
+                ArtifactError::VersionMismatch {
+                    found: 9,
+                    expected: ARTIFACT_SCHEMA_VERSION,
+                },
+                "artifact format version 9 unsupported",
+            ),
+            (
+                ArtifactError::ChecksumMismatch {
+                    stored: "aa".to_owned(),
+                    computed: "bb".to_owned(),
+                },
+                "artifact checksum mismatch (stored aa, computed bb)",
+            ),
+            (
+                ArtifactError::UnknownBenchmark("x".to_owned()),
+                "benchmark \"x\" is not in the model's measurement table",
+            ),
+            (ArtifactError::EmptyMix, "empty mix"),
+            (
+                ArtifactError::BadTargetCores(0),
+                "target core count 0 is unusable",
+            ),
+        ];
+        for (err, needle) in cases {
+            assert!(
+                err.to_string().contains(needle),
+                "{err} should mention {needle:?}"
+            );
+            // Only Io/Json wrap a source error.
+            assert!(std::error::Error::source(&err).is_none(), "{err}");
+        }
     }
 }

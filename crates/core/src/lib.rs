@@ -52,9 +52,7 @@ pub mod scaling;
 pub mod session;
 pub mod stacks;
 
-pub use artifact::{
-    train_artifact, ArtifactError, ArtifactPayload, MixPrediction, ModelArtifact,
-};
+pub use artifact::{train_artifact, ArtifactError, ArtifactPayload, MixPrediction, ModelArtifact};
 pub use features::{FeatureMode, SsMeasurement};
 pub use pipeline::{DirectSim, ExperimentConfig, Simulate, TargetMetric};
 pub use predictor::{MlKind, ModelParams, TrainedPredictor};

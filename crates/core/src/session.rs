@@ -190,13 +190,9 @@ impl ScaleModelSession {
             .cfg
             .ms_cores
             .iter()
-            .map(|&c| {
-                feature_vector(self.cfg.mode, ss, ss.bandwidth * f64::from(c.max(1) - 1))
-            })
+            .map(|&c| feature_vector(self.cfg.mode, ss, ss.bandwidth * f64::from(c.max(1) - 1)))
             .collect();
-        let target_ipc = self
-            .extrapolator
-            .predict(&rows, self.cfg.target.num_cores);
+        let target_ipc = self.extrapolator.predict(&rows, self.cfg.target.num_cores);
         let scale_model_ipcs = self.extrapolator.scale_model_predictions(&rows);
         TargetPrediction {
             name: name.to_owned(),
@@ -281,7 +277,10 @@ mod tests {
         // feature-space extremes instead tests extrapolation beyond the
         // training hull, which the methodology explicitly does not claim —
         // see the fig5/ext_64core discussions.)
-        let eval: Vec<_> = [5usize, 10, 15, 20].iter().map(|&i| all[i].clone()).collect();
+        let eval: Vec<_> = [5usize, 10, 15, 20]
+            .iter()
+            .map(|&i| all[i].clone())
+            .collect();
         let train: Vec<_> = all
             .iter()
             .enumerate()

@@ -124,7 +124,11 @@ pub struct ParseError {
 
 impl std::fmt::Display for ParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "bad SMS_FAULTS segment `{}`: {}", self.segment, self.reason)
+        write!(
+            f,
+            "bad SMS_FAULTS segment `{}`: {}",
+            self.segment, self.reason
+        )
     }
 }
 
@@ -329,7 +333,10 @@ impl Schedule {
         match self.hits.get(site) {
             // Sites with no rules are not counted: an unscheduled site
             // must cost one map lookup and nothing else.
-            None => Evaluation { hit: 0, action: None },
+            None => Evaluation {
+                hit: 0,
+                action: None,
+            },
             Some(counter) => {
                 let hit = counter.fetch_add(1, Ordering::Relaxed) + 1;
                 Evaluation {
@@ -571,7 +578,9 @@ mod tests {
         let b = Schedule::parse("x=err@10%seed=9").unwrap();
         let c = Schedule::parse("x=err@10%seed=10").unwrap();
         let seq = |s: &Schedule| -> Vec<bool> {
-            (0..2000).map(|_| s.evaluate("x").action.is_some()).collect()
+            (0..2000)
+                .map(|_| s.evaluate("x").action.is_some())
+                .collect()
         };
         let sa = seq(&a);
         assert_eq!(sa, seq(&b), "same seed, same sequence");
@@ -594,7 +603,9 @@ mod tests {
                         for _ in 0..600 / threads {
                             for site in ["x", "y"] {
                                 let e = s.evaluate(site);
-                                out.lock().unwrap().insert((site.to_owned(), e.hit), e.action);
+                                out.lock()
+                                    .unwrap()
+                                    .insert((site.to_owned(), e.hit), e.action);
                             }
                         }
                     });
@@ -605,7 +616,10 @@ mod tests {
         let serial = collect(1);
         let parallel = collect(8);
         assert_eq!(serial.len(), 1200);
-        assert_eq!(serial, parallel, "injection schedule leaked thread scheduling");
+        assert_eq!(
+            serial, parallel,
+            "injection schedule leaked thread scheduling"
+        );
     }
 
     #[test]
@@ -627,11 +641,7 @@ mod tests {
 
     /// Test-only analogue of [`corrupt_bytes`] against an explicit
     /// schedule (the public helper goes through the process global).
-    fn corrupt_bytes_with(
-        s: &Schedule,
-        site: &str,
-        bytes: &mut [u8],
-    ) -> Result<bool, FaultError> {
+    fn corrupt_bytes_with(s: &Schedule, site: &str, bytes: &mut [u8]) -> Result<bool, FaultError> {
         let eval = s.evaluate(site);
         match eval.action {
             Some(FaultAction::Corrupt) => {

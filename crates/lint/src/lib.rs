@@ -89,7 +89,11 @@ impl LintReport {
     pub fn render_json(&self) -> String {
         let mut out = String::from("{\"clean\":");
         out.push_str(if self.is_clean() { "true" } else { "false" });
-        let _ = write!(out, ",\"files_scanned\":{},\"findings\":[", self.files_scanned);
+        let _ = write!(
+            out,
+            ",\"files_scanned\":{},\"findings\":[",
+            self.files_scanned
+        );
         for (i, f) in self.findings.iter().enumerate() {
             if i > 0 {
                 out.push(',');
@@ -191,9 +195,8 @@ pub fn lint_sources(files: &[(String, String)], design: Option<&str>) -> LintRep
         findings.push(fnd);
     }
 
-    findings.sort_by(|a, b| {
-        (a.path.as_str(), a.line, a.rule).cmp(&(b.path.as_str(), b.line, b.rule))
-    });
+    findings
+        .sort_by(|a, b| (a.path.as_str(), a.line, a.rule).cmp(&(b.path.as_str(), b.line, b.rule)));
     LintReport {
         findings,
         files_scanned: files.len(),
@@ -297,7 +300,9 @@ mod tests {
         let json = r.render_json();
         assert!(json.starts_with("{\"clean\":false,\"files_scanned\":1,\"findings\":[{\"line\":1,"));
         assert!(json.contains("\"rule\":\"E1\""));
-        assert!(json.trim_end().ends_with("\"schema_version\":1,\"suppressions_honored\":0}"));
+        assert!(json
+            .trim_end()
+            .ends_with("\"schema_version\":1,\"suppressions_honored\":0}"));
     }
 
     #[test]

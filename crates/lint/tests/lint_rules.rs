@@ -33,7 +33,12 @@ fn rule_lines(report: &LintReport) -> Vec<(&'static str, usize)> {
 #[test]
 fn d1_wall_clock_flagged_in_deterministic_crate() {
     let report = lint_one("crates/sim/src/fixture.rs", "d1_wall_clock.rs");
-    assert_eq!(rule_lines(&report), vec![("D1", 5)], "{}", report.render_text());
+    assert_eq!(
+        rule_lines(&report),
+        vec![("D1", 5)],
+        "{}",
+        report.render_text()
+    );
     assert!(report.findings[0].message.contains("Instant::now"));
     assert_eq!(report.suppressions_honored, 1);
 }
@@ -43,7 +48,12 @@ fn d1_applies_to_the_explore_crate() {
     // Design-space exploration must be bit-identical across reruns (the
     // resume chaos test depends on it), so explore is a D1 crate.
     let report = lint_one("crates/explore/src/fixture.rs", "d1_wall_clock.rs");
-    assert_eq!(rule_lines(&report), vec![("D1", 5)], "{}", report.render_text());
+    assert_eq!(
+        rule_lines(&report),
+        vec![("D1", 5)],
+        "{}",
+        report.render_text()
+    );
 }
 
 #[test]
@@ -57,14 +67,24 @@ fn d1_does_not_apply_outside_deterministic_crates() {
 #[test]
 fn d2_hash_map_flagged_and_suppressed() {
     let report = lint_one("crates/serve/src/fixture.rs", "d2_hash_map.rs");
-    assert_eq!(rule_lines(&report), vec![("D2", 3)], "{}", report.render_text());
+    assert_eq!(
+        rule_lines(&report),
+        vec![("D2", 3)],
+        "{}",
+        report.render_text()
+    );
     assert_eq!(report.suppressions_honored, 1);
 }
 
 #[test]
 fn d3_partial_cmp_unwrap_flagged_once_not_as_e1() {
     let report = lint_one("crates/ml/src/fixture.rs", "d3_partial_cmp.rs");
-    assert_eq!(rule_lines(&report), vec![("D3", 4)], "{}", report.render_text());
+    assert_eq!(
+        rule_lines(&report),
+        vec![("D3", 4)],
+        "{}",
+        report.render_text()
+    );
     assert!(report.findings[0].message.contains("total_cmp"));
     assert_eq!(report.suppressions_honored, 1);
 }
@@ -85,7 +105,12 @@ fn e1_unwrap_and_panic_flagged_tests_exempt() {
 #[test]
 fn e2_discarded_write_flagged_and_suppressed() {
     let report = lint_one("crates/serve/src/fixture.rs", "e2_discarded_write.rs");
-    assert_eq!(rule_lines(&report), vec![("E2", 5)], "{}", report.render_text());
+    assert_eq!(
+        rule_lines(&report),
+        vec![("E2", 5)],
+        "{}",
+        report.render_text()
+    );
     assert!(report.findings[0].message.contains("write_all"));
     assert_eq!(report.suppressions_honored, 1);
 }
@@ -101,15 +126,23 @@ fn o1_metric_names_checked_against_literal_args() {
     );
     assert!(report.findings[0].message.contains("`sms_` prefix"));
     assert!(report.findings[1].message.contains("end in `_total`"));
-    assert!(report.findings[2].message.contains("must not end in `_total`"));
+    assert!(report.findings[2]
+        .message
+        .contains("must not end in `_total`"));
     assert_eq!(report.suppressions_honored, 1);
 }
 
 #[test]
 fn f1_duplicate_and_undocumented_sites() {
     let files = vec![
-        ("crates/sim/src/fixture_a.rs".to_owned(), fixture("f1_site_owner.rs")),
-        ("crates/faults/src/fixture_b.rs".to_owned(), fixture("f1_site_reuse.rs")),
+        (
+            "crates/sim/src/fixture_a.rs".to_owned(),
+            fixture("f1_site_owner.rs"),
+        ),
+        (
+            "crates/faults/src/fixture_b.rs".to_owned(),
+            fixture("f1_site_reuse.rs"),
+        ),
     ];
     let design = "Failpoints: `fixture.site` is the only documented site.";
     let report = lint_sources(&files, Some(design));
@@ -123,10 +156,14 @@ fn f1_duplicate_and_undocumented_sites() {
     );
     let dup = &report.findings[0];
     assert_eq!(dup.path, "crates/faults/src/fixture_b.rs");
-    assert!(dup.message.contains("already used in crates/sim/src/fixture_a.rs"));
+    assert!(dup
+        .message
+        .contains("already used in crates/sim/src/fixture_a.rs"));
     let undoc = &report.findings[1];
     assert_eq!(undoc.path, "crates/sim/src/fixture_a.rs");
-    assert!(undoc.message.contains("`fixture.undocumented` is not documented"));
+    assert!(undoc
+        .message
+        .contains("`fixture.undocumented` is not documented"));
 }
 
 #[test]
@@ -169,14 +206,16 @@ fn json_rendering_is_canonical() {
 
 #[test]
 fn workspace_lints_clean() {
-    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
-        .join("..")
-        .join("..");
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..");
     let report = sms_lint::lint_workspace(&root).unwrap();
     assert!(
         report.is_clean(),
         "the workspace must lint clean; run `sms lint` for details:\n{}",
         report.render_text()
     );
-    assert!(report.files_scanned > 50, "scanned {}", report.files_scanned);
+    assert!(
+        report.files_scanned > 50,
+        "scanned {}",
+        report.files_scanned
+    );
 }

@@ -70,7 +70,13 @@ fn push_scalar_family<M: Metric>(
     }
 }
 
-fn push_histogram_child(out: &mut String, name: &str, names: &[String], labels: &[String], snap: &HistogramSnapshot) {
+fn push_histogram_child(
+    out: &mut String,
+    name: &str,
+    names: &[String],
+    labels: &[String],
+    snap: &HistogramSnapshot,
+) {
     let mut cumulative = 0u64;
     for (i, count) in snap.buckets.iter().take(HISTOGRAM_BOUNDS).enumerate() {
         cumulative += count;
@@ -149,7 +155,10 @@ fn json_u64_array(items: &[u64]) -> String {
     format!("[{}]", rendered.join(","))
 }
 
-fn json_family<M: Metric>(family: &Family<M>, sample_of: impl Fn(&[String], &M) -> String) -> String {
+fn json_family<M: Metric>(
+    family: &Family<M>,
+    sample_of: impl Fn(&[String], &M) -> String,
+) -> String {
     let samples: Vec<String> = family
         .children()
         .iter()
@@ -236,7 +245,8 @@ sms_runs_total 42
     #[test]
     fn prometheus_help_escaping_and_nonfinite_gauge() {
         let r = Registry::new();
-        r.gauge("sms_ratio", "line1\nline2 \\ backslash").set(f64::INFINITY);
+        r.gauge("sms_ratio", "line1\nline2 \\ backslash")
+            .set(f64::INFINITY);
         let text = r.prometheus_text();
         assert!(text.contains("# HELP sms_ratio line1\\nline2 \\\\ backslash"));
         assert!(text.contains("sms_ratio +Inf"));
@@ -280,7 +290,8 @@ sms_runs_total 42
     #[test]
     fn json_escapes_and_nonfinite() {
         let r = Registry::new();
-        r.gauge("g_nan", "has \"quotes\" and \\slashes\\").set(f64::NAN);
+        r.gauge("g_nan", "has \"quotes\" and \\slashes\\")
+            .set(f64::NAN);
         let json = r.to_json();
         assert!(json.contains("has \\\"quotes\\\" and \\\\slashes\\\\"));
         assert!(json.contains("\"value\":null"));

@@ -41,10 +41,20 @@ impl PredictRequest {
 pub struct PredictResponse {
     /// The model that answered.
     pub model: String,
+    /// `true` when the model's circuit breaker was open and the answer is
+    /// the analytic fallback rather than the ML predictor. Omitted (and
+    /// so absent from cache keys and golden bodies) on normal responses.
+    #[serde(default, skip_serializing_if = "is_false")]
+    pub degraded: bool,
     /// The prediction: per-core IPC, STP, and the model's
     /// cross-validation error.
     #[serde(flatten)]
     pub prediction: MixPrediction,
+}
+
+#[allow(clippy::trivially_copy_pass_by_ref)] // serde's skip_serializing_if signature
+fn is_false(v: &bool) -> bool {
+    !v
 }
 
 /// One entry of `GET /models`.
@@ -93,6 +103,35 @@ mod tests {
     use super::*;
 
     #[test]
+    fn degraded_flag_is_omitted_when_false() {
+        let normal = PredictResponse {
+            model: "m".to_owned(),
+            degraded: false,
+            prediction: MixPrediction {
+                benchmarks: vec!["a".to_owned()],
+                target_cores: 8,
+                per_core_ipc: vec![1.0],
+                stp: 1.0,
+                cv_error: None,
+            },
+        };
+        // Non-degraded bodies stay byte-identical to the pre-breaker wire
+        // format (golden bodies and cache entries rely on this).
+        let text = serde_json::to_string(&normal).unwrap();
+        assert!(!text.contains("degraded"));
+        let flagged = PredictResponse {
+            degraded: true,
+            ..normal.clone()
+        };
+        assert!(serde_json::to_string(&flagged)
+            .unwrap()
+            .contains("\"degraded\":true"));
+        // An absent field parses back as false.
+        let back: PredictResponse = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, normal);
+    }
+
+    #[test]
     fn cache_key_ignores_delay_and_field_order() {
         let a = PredictRequest {
             model: "m".into(),
@@ -106,10 +145,8 @@ mod tests {
         };
         assert_eq!(a.cache_key(), b.cache_key());
         // Different order in the JSON body parses to the same key.
-        let c: PredictRequest = serde_json::from_str(
-            r#"{"target_cores":32,"mix":["x","y"],"model":"m"}"#,
-        )
-        .unwrap();
+        let c: PredictRequest =
+            serde_json::from_str(r#"{"target_cores":32,"mix":["x","y"],"model":"m"}"#).unwrap();
         assert_eq!(c.cache_key(), a.cache_key());
         // But a different mix is a different key.
         let d = PredictRequest {

@@ -1,0 +1,251 @@
+//! Per-model circuit breaker for the prediction path.
+//!
+//! Consecutive prediction failures (injected faults, panics surfaced as
+//! errors, deadline timeouts) trip a model's breaker so the server stops
+//! hammering an unhealthy predictor and serves the cheap analytic
+//! fallback instead. The classic three states:
+//!
+//! - **Closed** — normal operation; requests route to the ML predictor.
+//! - **Open** — the predictor is presumed unhealthy; requests route to
+//!   the analytic fallback (degraded responses).
+//! - **Half-open** — one trial request probes the predictor; success
+//!   closes the breaker, failure re-opens it.
+//!
+//! Every transition is driven by request counts, never wall-clock time,
+//! so chaos tests replay deterministically: after `threshold`
+//! consecutive failures the breaker opens, after `open_window` requests
+//! served while open the next request becomes the half-open trial.
+//! Callers report only primary/trial outcomes via
+//! [`CircuitBreaker::on_success`] / [`CircuitBreaker::on_failure`];
+//! fallback outcomes never move the state machine.
+
+/// Breaker states, exported for metrics labels and tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Normal operation: requests go to the ML predictor.
+    Closed,
+    /// Predictor presumed unhealthy: requests go to the fallback.
+    Open,
+    /// A trial request is probing the predictor.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// Metric-label spelling of the state.
+    pub fn as_label(self) -> &'static str {
+        match self {
+            Self::Closed => "closed",
+            Self::Open => "open",
+            Self::HalfOpen => "half_open",
+        }
+    }
+}
+
+/// Where the breaker wants a request to go.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Route {
+    /// Evaluate the ML predictor and report the outcome.
+    Primary,
+    /// Serve the analytic fallback; do not report an outcome.
+    Fallback,
+    /// Evaluate the ML predictor as the half-open trial and report the
+    /// outcome.
+    Trial,
+}
+
+/// A request-count-driven circuit breaker (see module docs).
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    state: BreakerState,
+    /// Consecutive primary/trial failures that open the breaker.
+    threshold: u32,
+    /// Requests served while open before the next one becomes a trial.
+    open_window: u32,
+    consecutive_failures: u32,
+    open_served: u32,
+    trial_outstanding: bool,
+    /// Requests routed while a trial was outstanding; guards against a
+    /// lost trial (e.g. its worker panicked before reporting) wedging the
+    /// breaker in half-open forever.
+    trial_waited: u32,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker. `threshold` and `open_window` are clamped to at
+    /// least 1.
+    pub fn new(threshold: u32, open_window: u32) -> Self {
+        Self {
+            state: BreakerState::Closed,
+            threshold: threshold.max(1),
+            open_window: open_window.max(1),
+            consecutive_failures: 0,
+            open_served: 0,
+            trial_outstanding: false,
+            trial_waited: 0,
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Route the next request. Returns the route plus the new state when
+    /// this call itself transitioned the breaker (open → half-open when
+    /// the open window elapses).
+    pub fn route(&mut self) -> (Route, Option<BreakerState>) {
+        match self.state {
+            BreakerState::Closed => (Route::Primary, None),
+            BreakerState::Open => {
+                self.open_served += 1;
+                if self.open_served >= self.open_window {
+                    self.state = BreakerState::HalfOpen;
+                    self.trial_outstanding = true;
+                    self.trial_waited = 0;
+                    (Route::Trial, Some(BreakerState::HalfOpen))
+                } else {
+                    (Route::Fallback, None)
+                }
+            }
+            BreakerState::HalfOpen => {
+                if !self.trial_outstanding {
+                    self.trial_outstanding = true;
+                    self.trial_waited = 0;
+                    (Route::Trial, None)
+                } else if self.trial_waited >= self.open_window {
+                    // The outstanding trial never reported (lost to a
+                    // panic or dropped connection); issue another.
+                    self.trial_waited = 0;
+                    (Route::Trial, None)
+                } else {
+                    self.trial_waited += 1;
+                    (Route::Fallback, None)
+                }
+            }
+        }
+    }
+
+    /// Report a successful primary/trial prediction. Returns the new
+    /// state on a transition (half-open trial success closes the
+    /// breaker).
+    pub fn on_success(&mut self) -> Option<BreakerState> {
+        match self.state {
+            BreakerState::Closed => {
+                self.consecutive_failures = 0;
+                None
+            }
+            BreakerState::HalfOpen => {
+                self.state = BreakerState::Closed;
+                self.consecutive_failures = 0;
+                self.open_served = 0;
+                self.trial_outstanding = false;
+                self.trial_waited = 0;
+                Some(BreakerState::Closed)
+            }
+            // A straggler success from before the trip is not evidence
+            // the predictor recovered; wait for the trial.
+            BreakerState::Open => None,
+        }
+    }
+
+    /// Report a failed primary/trial prediction. Returns the new state
+    /// on a transition (threshold reached, or a failed trial re-opening
+    /// the breaker).
+    pub fn on_failure(&mut self) -> Option<BreakerState> {
+        match self.state {
+            BreakerState::Closed => {
+                self.consecutive_failures += 1;
+                if self.consecutive_failures >= self.threshold {
+                    self.state = BreakerState::Open;
+                    self.open_served = 0;
+                    Some(BreakerState::Open)
+                } else {
+                    None
+                }
+            }
+            BreakerState::HalfOpen => {
+                self.state = BreakerState::Open;
+                self.open_served = 0;
+                self.trial_outstanding = false;
+                self.trial_waited = 0;
+                Some(BreakerState::Open)
+            }
+            BreakerState::Open => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trips_after_threshold_consecutive_failures() {
+        let mut b = CircuitBreaker::new(3, 4);
+        assert_eq!(b.route().0, Route::Primary);
+        assert_eq!(b.on_failure(), None);
+        assert_eq!(b.on_failure(), None);
+        // A success in between resets the consecutive count.
+        assert_eq!(b.on_success(), None);
+        assert_eq!(b.on_failure(), None);
+        assert_eq!(b.on_failure(), None);
+        assert_eq!(b.on_failure(), Some(BreakerState::Open));
+        assert_eq!(b.state(), BreakerState::Open);
+    }
+
+    #[test]
+    fn open_window_then_trial_then_close() {
+        let mut b = CircuitBreaker::new(1, 3);
+        assert_eq!(b.on_failure(), Some(BreakerState::Open));
+        // Two fallback-served requests inside the window...
+        assert_eq!(b.route(), (Route::Fallback, None));
+        assert_eq!(b.route(), (Route::Fallback, None));
+        // ...then the window elapses and the next request is the trial.
+        assert_eq!(b.route(), (Route::Trial, Some(BreakerState::HalfOpen)));
+        // Requests while the trial is outstanding fall back.
+        assert_eq!(b.route(), (Route::Fallback, None));
+        // Trial success closes the breaker.
+        assert_eq!(b.on_success(), Some(BreakerState::Closed));
+        assert_eq!(b.route().0, Route::Primary);
+    }
+
+    #[test]
+    fn failed_trial_reopens() {
+        let mut b = CircuitBreaker::new(1, 1);
+        assert_eq!(b.on_failure(), Some(BreakerState::Open));
+        assert_eq!(b.route(), (Route::Trial, Some(BreakerState::HalfOpen)));
+        assert_eq!(b.on_failure(), Some(BreakerState::Open));
+        // The window restarts: the next route is a fallback... with
+        // open_window=1 the very next request is already the new trial.
+        assert_eq!(b.route(), (Route::Trial, Some(BreakerState::HalfOpen)));
+        assert_eq!(b.on_success(), Some(BreakerState::Closed));
+    }
+
+    #[test]
+    fn lost_trial_is_reissued() {
+        let mut b = CircuitBreaker::new(1, 2);
+        b.on_failure();
+        b.route(); // fallback (window 1 of 2)
+        let (route, _) = b.route();
+        assert_eq!(route, Route::Trial);
+        // The trial never reports. After open_window more routed
+        // requests, a fresh trial is issued instead of wedging.
+        assert_eq!(b.route().0, Route::Fallback);
+        assert_eq!(b.route().0, Route::Fallback);
+        assert_eq!(b.route().0, Route::Trial);
+    }
+
+    #[test]
+    fn state_labels_are_stable() {
+        assert_eq!(BreakerState::Closed.as_label(), "closed");
+        assert_eq!(BreakerState::Open.as_label(), "open");
+        assert_eq!(BreakerState::HalfOpen.as_label(), "half_open");
+    }
+
+    #[test]
+    fn zero_knobs_are_clamped() {
+        let mut b = CircuitBreaker::new(0, 0);
+        assert_eq!(b.on_failure(), Some(BreakerState::Open));
+        assert_eq!(b.route().0, Route::Trial);
+    }
+}

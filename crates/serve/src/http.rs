@@ -8,6 +8,7 @@
 //! cannot balloon memory.
 
 use std::io::{BufRead, Read, Write};
+use std::time::Instant;
 
 /// Maximum accepted request body, bytes.
 pub const MAX_BODY_BYTES: usize = 1 << 20;
@@ -52,6 +53,9 @@ pub enum HttpError {
     Malformed(&'static str),
     /// The declared body exceeds [`MAX_BODY_BYTES`].
     BodyTooLarge(usize),
+    /// The request was not fully received before its read deadline (a
+    /// slow-loris defense; the server answers `504`).
+    DeadlineExceeded,
 }
 
 impl std::fmt::Display for HttpError {
@@ -61,7 +65,13 @@ impl std::fmt::Display for HttpError {
             Self::Closed => write!(f, "connection closed before a request arrived"),
             Self::Malformed(what) => write!(f, "malformed request: {what}"),
             Self::BodyTooLarge(n) => {
-                write!(f, "request body of {n} bytes exceeds the {MAX_BODY_BYTES}-byte cap")
+                write!(
+                    f,
+                    "request body of {n} bytes exceeds the {MAX_BODY_BYTES}-byte cap"
+                )
+            }
+            Self::DeadlineExceeded => {
+                write!(f, "request was not fully received before its read deadline")
             }
         }
     }
@@ -102,6 +112,31 @@ fn read_line<R: BufRead>(reader: &mut R) -> Result<String, HttpError> {
 /// [`HttpError`] on socket failure, early close, malformed syntax, or an
 /// oversized body.
 pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Request, HttpError> {
+    read_request_before(reader, None)
+}
+
+/// [`read_request`] with an optional read deadline: the deadline is
+/// checked between line reads and before the body read, so a client that
+/// trickles headers (slow loris) is cut off with
+/// [`HttpError::DeadlineExceeded`] instead of holding the connection for
+/// one socket timeout per header line. Each individual blocking read is
+/// still bounded by the socket's read timeout, so the worst-case pin is
+/// the deadline plus one socket timeout.
+///
+/// # Errors
+///
+/// As [`read_request`], plus [`HttpError::DeadlineExceeded`] once
+/// `deadline` passes.
+pub fn read_request_before<R: BufRead>(
+    reader: &mut R,
+    deadline: Option<Instant>,
+) -> Result<Request, HttpError> {
+    let check_deadline = || -> Result<(), HttpError> {
+        match deadline {
+            Some(d) if Instant::now() > d => Err(HttpError::DeadlineExceeded),
+            _ => Ok(()),
+        }
+    };
     let request_line = read_line(reader)?;
     let mut parts = request_line.split_whitespace();
     let method = parts
@@ -112,7 +147,9 @@ pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Request, HttpError> {
         .next()
         .ok_or(HttpError::Malformed("request line lacks a path"))?
         .to_owned();
-    let version = parts.next().unwrap_or("HTTP/1.1");
+    let version = parts
+        .next()
+        .ok_or(HttpError::Malformed("request line lacks an HTTP version"))?;
     if !version.starts_with("HTTP/1.") {
         return Err(HttpError::Malformed("unsupported protocol version"));
     }
@@ -120,6 +157,7 @@ pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Request, HttpError> {
     let mut headers = Vec::new();
     let mut content_length: usize = 0;
     loop {
+        check_deadline()?;
         let line = read_line(reader)?;
         if line.is_empty() {
             break;
@@ -143,6 +181,7 @@ pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Request, HttpError> {
     if content_length > MAX_BODY_BYTES {
         return Err(HttpError::BodyTooLarge(content_length));
     }
+    check_deadline()?;
     let mut body = vec![0u8; content_length];
     reader.read_exact(&mut body)?;
 
@@ -240,6 +279,7 @@ pub fn reason_phrase(status: u16) -> &'static str {
         413 => "Payload Too Large",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
+        504 => "Gateway Timeout",
         _ => "Unknown",
     }
 }
@@ -274,7 +314,10 @@ mod tests {
 
     #[test]
     fn rejects_oversized_bodies_and_garbage() {
-        let huge = format!("POST / HTTP/1.1\r\ncontent-length: {}\r\n\r\n", MAX_BODY_BYTES + 1);
+        let huge = format!(
+            "POST / HTTP/1.1\r\ncontent-length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
         assert!(matches!(
             parse(huge.as_bytes()),
             Err(HttpError::BodyTooLarge(_))
@@ -288,6 +331,42 @@ mod tests {
             parse(b"GET / HTTP/1.1\r\nbroken header line\r\n\r\n"),
             Err(HttpError::Malformed(_))
         ));
+    }
+
+    #[test]
+    fn rejects_missing_or_garbage_http_version() {
+        // No version token at all: previously this silently defaulted to
+        // HTTP/1.1; now it is a 400-mapped parse error.
+        assert!(matches!(
+            parse(b"GET /healthz\r\n\r\n"),
+            Err(HttpError::Malformed("request line lacks an HTTP version"))
+        ));
+        // A garbage version token is rejected too.
+        assert!(matches!(
+            parse(b"GET /healthz FTP/9000\r\n\r\n"),
+            Err(HttpError::Malformed("unsupported protocol version"))
+        ));
+        // HTTP/1.0 and HTTP/1.1 both still parse.
+        assert!(parse(b"GET / HTTP/1.0\r\n\r\n").is_ok());
+        assert!(parse(b"GET / HTTP/1.1\r\n\r\n").is_ok());
+    }
+
+    #[test]
+    fn header_read_deadline_cuts_off_slow_clients() {
+        // A deadline already in the past trips between the request line
+        // and the first header line.
+        let past = Instant::now() - std::time::Duration::from_millis(10);
+        let bytes: &[u8] = b"GET / HTTP/1.1\r\nHost: x\r\n\r\n";
+        assert!(matches!(
+            read_request_before(&mut BufReader::new(bytes), Some(past)),
+            Err(HttpError::DeadlineExceeded)
+        ));
+        // A generous deadline lets the same request through.
+        let future = Instant::now() + std::time::Duration::from_secs(60);
+        let req = read_request_before(&mut BufReader::new(bytes), Some(future)).unwrap();
+        assert_eq!(req.path, "/");
+        // 504 has a proper reason phrase for the deadline responses.
+        assert_eq!(reason_phrase(504), "Gateway Timeout");
     }
 
     #[test]

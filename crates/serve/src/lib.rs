@@ -12,14 +12,19 @@
 //!
 //! Module map:
 //!
-//! - [`http`] — minimal HTTP/1.1 request parsing and response writing.
+//! - [`http`] — minimal HTTP/1.1 request parsing and response writing,
+//!   with per-request read deadlines.
 //! - [`api`] — request/response DTOs shared by server, CLI, and tests.
-//! - [`registry`] — on-disk artifact discovery and in-memory index.
+//! - [`registry`] — on-disk artifact discovery and in-memory index, with
+//!   retrying loads, quarantine, and periodic re-probe self-healing.
 //! - [`queue`] — bounded MPMC queue with non-blocking, load-shedding push.
 //! - [`cache`] — LRU response cache keyed on canonical request JSON.
+//! - [`breaker`] — per-model circuit breaker gating the analytic
+//!   degraded-mode fallback.
 //! - [`metrics`] — `sms-obs`-registry-backed counters, histograms, and
 //!   latency percentiles for `/metrics` and `/metrics.json`.
-//! - [`server`] — acceptor + worker pool wiring, batching, shutdown.
+//! - [`server`] — acceptor + worker pool wiring, batching, deadlines,
+//!   shutdown.
 //!
 //! Endpoints: `POST /predict`, `GET /models`, `GET /healthz`,
 //! `GET /metrics` (Prometheus text exposition), `GET /metrics.json`
@@ -31,6 +36,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod api;
+pub mod breaker;
 pub mod cache;
 pub mod http;
 pub mod metrics;
@@ -39,8 +45,11 @@ pub mod registry;
 pub mod server;
 
 pub use api::{ModelInfo, ModelsResponse, PredictRequest, PredictResponse};
+pub use breaker::{BreakerState, CircuitBreaker, Route};
 pub use cache::LruCache;
 pub use metrics::{MetricsSnapshot, ServerMetrics};
 pub use queue::BoundedQueue;
-pub use registry::{models_dir, ModelRegistry};
-pub use server::{serve, ServerConfig, ServerHandle, ShutdownTrigger};
+pub use registry::{models_dir, ModelRegistry, RegistryStats};
+pub use server::{
+    serve, ServerConfig, ServerHandle, ShutdownTrigger, MAX_DEADLINE_MS, MIN_DEADLINE_MS,
+};

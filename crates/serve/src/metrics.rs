@@ -12,6 +12,7 @@
 //! registry histogram (`sms_serve_predict_latency_micros`) carries the
 //! full latency distribution for Prometheus scrapers.
 
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
@@ -40,6 +41,13 @@ pub struct ServerMetrics {
     batched_requests: Arc<Counter>,
     worker_panics: Arc<Counter>,
     write_errors: Arc<Counter>,
+    deadline_exceeded: Arc<Family<Counter>>,
+    degraded_total: Arc<Counter>,
+    accept_errors: Arc<Counter>,
+    artifact_quarantined: Arc<Counter>,
+    artifact_absolved: Arc<Counter>,
+    breaker_transitions: Arc<Family<Counter>>,
+    inflight_connections: Arc<Gauge>,
     queue_depth: Arc<Gauge>,
     uptime_seconds: Arc<Gauge>,
     latency_micros: Arc<Histogram>,
@@ -86,6 +94,35 @@ pub struct MetricsSnapshot {
     /// snapshots from older servers.
     #[serde(default)]
     pub write_errors: u64,
+    /// Requests answered `504` because a deadline expired, by stage
+    /// (`header`, `queue`, `predict`). Absent in snapshots from older
+    /// servers.
+    #[serde(default)]
+    pub deadline_exceeded: BTreeMap<String, u64>,
+    /// Predict requests answered by the analytic fallback while a model's
+    /// circuit breaker was open. Absent in snapshots from older servers.
+    #[serde(default)]
+    pub degraded_total: u64,
+    /// `accept()` failures on the listener socket. Absent in snapshots
+    /// from older servers.
+    #[serde(default)]
+    pub accept_errors: u64,
+    /// Artifacts the registry moved to quarantine. Absent in snapshots
+    /// from older servers.
+    #[serde(default)]
+    pub artifact_quarantined: u64,
+    /// Quarantined artifacts absolved after repair. Absent in snapshots
+    /// from older servers.
+    #[serde(default)]
+    pub artifact_absolved: u64,
+    /// Circuit-breaker transitions, by destination state (`open`,
+    /// `half_open`, `closed`). Absent in snapshots from older servers.
+    #[serde(default)]
+    pub breaker_transitions: BTreeMap<String, u64>,
+    /// Connections currently being handled. Absent in snapshots from
+    /// older servers.
+    #[serde(default)]
+    pub inflight_connections: u64,
     /// Current prediction-queue depth.
     pub queue_depth: usize,
     /// p50/p95/p99 of recent prediction latencies, seconds (absent until
@@ -134,6 +171,36 @@ impl ServerMetrics {
             write_errors: registry.counter(
                 "sms_serve_write_errors_total",
                 "Responses that could not be written back to the client socket",
+            ),
+            deadline_exceeded: registry.counter_family(
+                "sms_serve_deadline_exceeded_total",
+                "Requests answered 504 because a deadline expired, by stage",
+                &["stage"],
+            ),
+            degraded_total: registry.counter(
+                "sms_serve_degraded_total",
+                "Predict requests answered by the analytic fallback (breaker open)",
+            ),
+            accept_errors: registry.counter(
+                "sms_serve_accept_errors_total",
+                "accept() failures on the listener socket",
+            ),
+            artifact_quarantined: registry.counter(
+                "sms_serve_artifact_quarantined_total",
+                "Artifacts the registry moved to quarantine",
+            ),
+            artifact_absolved: registry.counter(
+                "sms_serve_artifact_absolved_total",
+                "Quarantined artifacts absolved after repair",
+            ),
+            breaker_transitions: registry.counter_family(
+                "sms_serve_breaker_transitions_total",
+                "Circuit-breaker transitions, by destination state",
+                &["to"],
+            ),
+            inflight_connections: registry.gauge(
+                "sms_serve_inflight_connections",
+                "Connections currently being handled",
             ),
             queue_depth: registry.gauge(
                 "sms_serve_queue_depth",
@@ -224,6 +291,52 @@ impl ServerMetrics {
         self.write_errors.get()
     }
 
+    /// Count one request answered `504`, by the stage whose deadline
+    /// expired (`header`, `queue`, or `predict`).
+    pub fn record_deadline_exceeded(&self, stage: &str) {
+        self.deadline_exceeded.with(&[stage]).inc();
+    }
+
+    /// Count one degraded (analytic-fallback) prediction response.
+    pub fn record_degraded(&self) {
+        self.degraded_total.inc();
+    }
+
+    /// Count one listener `accept()` failure.
+    pub fn record_accept_error(&self) {
+        self.accept_errors.inc();
+    }
+
+    /// Listener `accept()` failures so far.
+    pub fn accept_errors(&self) -> u64 {
+        self.accept_errors.get()
+    }
+
+    /// Count one circuit-breaker transition into `to` (`open`,
+    /// `half_open`, or `closed`).
+    pub fn record_breaker_transition(&self, to: &str) {
+        self.breaker_transitions.with(&[to]).inc();
+    }
+
+    /// Update the in-flight-connections gauge.
+    pub fn set_inflight(&self, n: usize) {
+        self.inflight_connections.set(n as f64);
+    }
+
+    /// Mirror the registry's monotonic self-healing totals into the
+    /// exported counters (called at scrape time; counters only move
+    /// forward).
+    pub fn sync_artifact_health(&self, quarantined_total: u64, absolved_total: u64) {
+        let seen = self.artifact_quarantined.get();
+        if quarantined_total > seen {
+            self.artifact_quarantined.inc_by(quarantined_total - seen);
+        }
+        let seen = self.artifact_absolved.get();
+        if absolved_total > seen {
+            self.artifact_absolved.inc_by(absolved_total - seen);
+        }
+    }
+
     /// Record one completed prediction's wall latency in seconds: into
     /// the registry histogram (as microseconds) and into the bounded
     /// window that feeds the percentile estimate.
@@ -248,7 +361,8 @@ impl ServerMetrics {
     /// caller because the queue lives next to, not inside, the metrics.
     pub fn prometheus_text(&self, queue_depth: usize) -> String {
         self.queue_depth.set(queue_depth as f64);
-        self.uptime_seconds.set(self.started.elapsed().as_secs_f64());
+        self.uptime_seconds
+            .set(self.started.elapsed().as_secs_f64());
         self.registry.prometheus_text()
     }
 
@@ -278,6 +392,19 @@ impl ServerMetrics {
             batched_requests: self.batched_requests.get(),
             worker_panics: self.worker_panics.get(),
             write_errors: self.write_errors.get(),
+            deadline_exceeded: ["header", "queue", "predict"]
+                .iter()
+                .map(|s| ((*s).to_owned(), self.deadline_exceeded.with(&[s]).get()))
+                .collect(),
+            degraded_total: self.degraded_total.get(),
+            accept_errors: self.accept_errors.get(),
+            artifact_quarantined: self.artifact_quarantined.get(),
+            artifact_absolved: self.artifact_absolved.get(),
+            breaker_transitions: ["closed", "half_open", "open"]
+                .iter()
+                .map(|s| ((*s).to_owned(), self.breaker_transitions.with(&[s]).get()))
+                .collect(),
+            inflight_connections: self.inflight_connections.get() as u64,
             queue_depth,
             latency_seconds,
         }
@@ -363,6 +490,43 @@ mod tests {
         assert!(text.contains("sms_serve_queue_depth 2"));
         assert!(text.contains("# TYPE sms_serve_predict_latency_micros histogram"));
         assert!(text.contains("sms_serve_predict_latency_micros_count 1"));
+    }
+
+    #[test]
+    fn resilience_counters_surface_in_snapshot_and_text() {
+        let m = ServerMetrics::new();
+        m.record_deadline_exceeded("header");
+        m.record_deadline_exceeded("predict");
+        m.record_deadline_exceeded("predict");
+        m.record_degraded();
+        m.record_accept_error();
+        m.record_breaker_transition("open");
+        m.record_breaker_transition("closed");
+        m.set_inflight(5);
+        m.sync_artifact_health(2, 1);
+        // Sync is monotonic: replaying older totals never decrements.
+        m.sync_artifact_health(1, 0);
+        let s = m.snapshot(0);
+        assert_eq!(s.deadline_exceeded["header"], 1);
+        assert_eq!(s.deadline_exceeded["queue"], 0);
+        assert_eq!(s.deadline_exceeded["predict"], 2);
+        assert_eq!(s.degraded_total, 1);
+        assert_eq!(s.accept_errors, 1);
+        assert_eq!(m.accept_errors(), 1);
+        assert_eq!(s.artifact_quarantined, 2);
+        assert_eq!(s.artifact_absolved, 1);
+        assert_eq!(s.breaker_transitions["open"], 1);
+        assert_eq!(s.breaker_transitions["closed"], 1);
+        assert_eq!(s.breaker_transitions["half_open"], 0);
+        assert_eq!(s.inflight_connections, 5);
+        let text = m.prometheus_text(0);
+        assert!(text.contains("sms_serve_deadline_exceeded_total{stage=\"predict\"} 2"));
+        assert!(text.contains("sms_serve_degraded_total 1"));
+        assert!(text.contains("sms_serve_accept_errors_total 1"));
+        assert!(text.contains("sms_serve_artifact_quarantined_total 2"));
+        assert!(text.contains("sms_serve_artifact_absolved_total 1"));
+        assert!(text.contains("sms_serve_breaker_transitions_total{to=\"open\"} 1"));
+        assert!(text.contains("sms_serve_inflight_connections 5"));
     }
 
     #[test]

@@ -1,17 +1,33 @@
 //! The threaded prediction server.
 //!
-//! Architecture: one acceptor thread handles connections from a
-//! `std::net::TcpListener` (non-blocking accept so it can poll the
-//! shutdown flag). Cheap endpoints (`/healthz`, `/models`, `/metrics`
-//! in Prometheus text, `/metrics.json`, `/shutdown`) and cache hits are
-//! answered inline on the acceptor;
-//! `POST /predict` cache misses are enqueued on a [`BoundedQueue`] and
-//! answered by a fixed worker pool. When the queue is full the request
-//! is shed immediately with `503` + `Retry-After` — bounded latency is
-//! preferred over unbounded queueing. Workers micro-batch: after
-//! dequeuing a job they drain other queued jobs for the same model and
-//! answer the whole batch in one pass (one artifact lookup, one
-//! simulated-latency charge).
+//! Architecture: one acceptor thread polls a non-blocking
+//! `std::net::TcpListener` (so it can watch the shutdown flag), hands
+//! each accepted connection to a short-lived connection thread — bounded
+//! by [`ServerConfig::max_inflight`]; beyond the bound connections are
+//! shed inline with `503` — and periodically asks the model registry to
+//! re-probe quarantined artifacts. Connection threads parse the request
+//! under a short header-read deadline (slow-loris defense) and answer
+//! cheap endpoints (`/healthz`, `/models`, `/metrics`, `/metrics.json`,
+//! `/shutdown`) and cache hits directly; `POST /predict` cache misses
+//! are enqueued on a [`BoundedQueue`] and answered by a fixed worker
+//! pool. When the queue is full the request is shed immediately with
+//! `503` + `Retry-After` — bounded latency is preferred over unbounded
+//! queueing. Workers micro-batch: after dequeuing a job they drain other
+//! queued jobs for the same model and answer the whole batch in one pass
+//! (one artifact lookup, one simulated-latency charge).
+//!
+//! Every request carries a deadline (default from
+//! [`ServerConfig::request_timeout_ms`], overridable per request via the
+//! `x-sms-deadline-ms` header, clamped to
+//! [`MIN_DEADLINE_MS`]..=[`MAX_DEADLINE_MS`]) that is checked at queue
+//! exit and after prediction; expired requests are answered `504` and
+//! counted in `sms_serve_deadline_exceeded_total{stage}`.
+//!
+//! Prediction failures and timeouts feed a per-model
+//! [`CircuitBreaker`]: after enough consecutive failures the model's
+//! requests are served by the artifact's cheap analytic estimate
+//! (`"degraded": true`, `x-sms-degraded: 1`) until a half-open trial
+//! succeeds. See `crate::breaker` and DESIGN.md for the state machine.
 //!
 //! Shutdown is cooperative via an [`AtomicBool`]: `POST /shutdown` (or
 //! [`ServerHandle::begin_shutdown`] / a [`ShutdownTrigger`] wired to
@@ -21,21 +37,36 @@
 //! process-level ctrl-c path is the CLI's stdin watcher plus the
 //! `/shutdown` endpoint (see DESIGN.md).
 
+use std::collections::BTreeMap;
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
-use sms_core::artifact::to_canonical_json;
+use sms_core::artifact::{to_canonical_json, ModelArtifact};
 
 use crate::api::{ModelsResponse, PredictRequest, PredictResponse};
+use crate::breaker::{CircuitBreaker, Route};
 use crate::cache::LruCache;
-use crate::http::{read_request, HttpError, Request, Response};
+use crate::http::{read_request_before, HttpError, Request, Response};
 use crate::metrics::ServerMetrics;
 use crate::queue::{lock, BoundedQueue};
 use crate::registry::ModelRegistry;
+
+/// Smallest honored per-request deadline, milliseconds.
+pub const MIN_DEADLINE_MS: u64 = 10;
+
+/// Largest honored per-request deadline, milliseconds.
+pub const MAX_DEADLINE_MS: u64 = 60_000;
+
+/// First backoff after a failed `accept()`; doubles up to
+/// [`ACCEPT_BACKOFF_MAX`] and resets on the next successful accept.
+const ACCEPT_BACKOFF_MIN: Duration = Duration::from_millis(10);
+
+/// Backoff ceiling for persistent `accept()` failures.
+const ACCEPT_BACKOFF_MAX: Duration = Duration::from_secs(1);
 
 /// Server tuning knobs.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -52,6 +83,19 @@ pub struct ServerConfig {
     pub batch_max: usize,
     /// Cap on the per-request `delay_ms` load-testing knob, milliseconds.
     pub max_delay_ms: u64,
+    /// Default end-to-end request deadline, milliseconds; also derives
+    /// the socket read/write timeouts and the header-read deadline.
+    pub request_timeout_ms: u64,
+    /// Maximum concurrently handled connections; beyond it new
+    /// connections are shed with `503`.
+    pub max_inflight: usize,
+    /// Consecutive prediction failures that open a model's breaker.
+    pub breaker_threshold: u32,
+    /// Requests served while a breaker is open before it half-opens.
+    pub breaker_window: u32,
+    /// How often the acceptor asks the registry to re-probe quarantined
+    /// and pending artifacts, milliseconds.
+    pub reprobe_interval_ms: u64,
 }
 
 impl Default for ServerConfig {
@@ -63,7 +107,35 @@ impl Default for ServerConfig {
             cache_capacity: 256,
             batch_max: 8,
             max_delay_ms: 2_000,
+            request_timeout_ms: 5_000,
+            max_inflight: 256,
+            breaker_threshold: 3,
+            breaker_window: 8,
+            reprobe_interval_ms: 250,
         }
+    }
+}
+
+impl ServerConfig {
+    /// Socket read/write timeout, derived from the request timeout so a
+    /// single blocking socket operation can never outlive the request
+    /// budget by more than one timeout.
+    fn socket_timeout(&self) -> Duration {
+        Duration::from_millis(self.request_timeout_ms.clamp(MIN_DEADLINE_MS, 600_000))
+    }
+
+    /// Header-read deadline: the full request must arrive within this
+    /// budget (slow-loris defense). Short even when the request timeout
+    /// is generous — reading headers is never the slow part.
+    fn header_deadline(&self) -> Duration {
+        Duration::from_millis(self.request_timeout_ms.clamp(MIN_DEADLINE_MS, 2_000))
+    }
+
+    /// The deadline applied to requests that do not send
+    /// `x-sms-deadline-ms`, clamped like the header itself.
+    fn default_deadline_ms(&self) -> u64 {
+        self.request_timeout_ms
+            .clamp(MIN_DEADLINE_MS, MAX_DEADLINE_MS)
     }
 }
 
@@ -74,6 +146,8 @@ struct Job {
     request: PredictRequest,
     key: String,
     received: Instant,
+    /// Absolute deadline; once passed the job is answered `504`.
+    deadline: Instant,
 }
 
 struct Shared {
@@ -82,6 +156,8 @@ struct Shared {
     cache: Mutex<LruCache>,
     metrics: ServerMetrics,
     shutdown: AtomicBool,
+    breakers: Mutex<BTreeMap<String, CircuitBreaker>>,
+    inflight: AtomicUsize,
     config: ServerConfig,
 }
 
@@ -90,6 +166,42 @@ impl Shared {
         self.shutdown.store(true, Ordering::SeqCst);
         // Wake blocked workers so they observe the flag immediately.
         self.queue.notify_all();
+    }
+
+    /// Route a predict job through the model's breaker, creating the
+    /// breaker on first use.
+    fn breaker_route(&self, model: &str) -> Route {
+        let transition;
+        let route;
+        {
+            let mut breakers = lock(&self.breakers);
+            let breaker = breakers.entry(model.to_owned()).or_insert_with(|| {
+                CircuitBreaker::new(self.config.breaker_threshold, self.config.breaker_window)
+            });
+            (route, transition) = breaker.route();
+        }
+        if let Some(state) = transition {
+            self.note_breaker_transition(model, state.as_label());
+        }
+        route
+    }
+
+    /// Report a primary/trial outcome to the model's breaker.
+    fn breaker_report(&self, model: &str, ok: bool) {
+        let transition = {
+            let mut breakers = lock(&self.breakers);
+            breakers
+                .get_mut(model)
+                .and_then(|b| if ok { b.on_success() } else { b.on_failure() })
+        };
+        if let Some(state) = transition {
+            self.note_breaker_transition(model, state.as_label());
+        }
+    }
+
+    fn note_breaker_transition(&self, model: &str, to: &str) {
+        self.metrics.record_breaker_transition(to);
+        eprintln!("sms-serve: model {model:?} circuit breaker -> {to}");
     }
 }
 
@@ -195,6 +307,8 @@ pub fn serve(registry: ModelRegistry, config: ServerConfig) -> std::io::Result<S
         cache: Mutex::new(LruCache::new(config.cache_capacity)),
         metrics: ServerMetrics::new(),
         shutdown: AtomicBool::new(false),
+        breakers: Mutex::new(BTreeMap::new()),
+        inflight: AtomicUsize::new(0),
         config,
     });
 
@@ -224,14 +338,112 @@ pub fn serve(registry: ModelRegistry, config: ServerConfig) -> std::io::Result<S
 }
 
 fn acceptor_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    let reprobe_interval = Duration::from_millis(shared.config.reprobe_interval_ms.max(10));
+    let mut error_backoff = ACCEPT_BACKOFF_MIN;
     while !shared.shutdown.load(Ordering::SeqCst) {
+        // Registry self-healing rides on the accept loop: quarantined and
+        // transiently-failed artifacts get periodic re-probes, and their
+        // totals are mirrored into the exported counters.
+        if shared.registry.maybe_reprobe(reprobe_interval) {
+            let stats = shared.registry.stats();
+            shared
+                .metrics
+                .sync_artifact_health(stats.quarantined_total, stats.absolved_total);
+        }
         match listener.accept() {
-            Ok((stream, _peer)) => handle_connection(shared, stream),
+            Ok((mut stream, _peer)) => {
+                error_backoff = ACCEPT_BACKOFF_MIN;
+                // `serve.accept` failpoint: an injected error refuses the
+                // connection politely (the client still gets a response)
+                // and counts like a real accept-path failure.
+                if let Err(e) = sms_faults::check("serve.accept") {
+                    note_accept_error(shared, &e.to_string());
+                    tune_stream(&stream, &shared.config);
+                    respond(
+                        shared,
+                        &mut stream,
+                        &Response::error(503, &e.to_string()).with_header("retry-after", "1"),
+                    );
+                    lingering_close(stream);
+                    continue;
+                }
+                dispatch_connection(shared, stream);
+            }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                 thread::sleep(Duration::from_millis(10));
             }
-            Err(_) => thread::sleep(Duration::from_millis(10)),
+            Err(e) => {
+                // Real accept() failures (fd exhaustion, interface down)
+                // back off exponentially so a persistent fault cannot
+                // spin the acceptor, and reset on the next success.
+                note_accept_error(shared, &e.to_string());
+                thread::sleep(error_backoff);
+                error_backoff = (error_backoff * 2).min(ACCEPT_BACKOFF_MAX);
+            }
         }
+    }
+}
+
+/// Count one accept-path failure, warning once so a flood stays
+/// observable without flooding stderr.
+fn note_accept_error(shared: &Shared, detail: &str) {
+    shared.metrics.record_accept_error();
+    if shared.metrics.accept_errors() == 1 {
+        eprintln!(
+            "sms-serve: accept failed ({detail}); further failures are \
+             counted in sms_serve_accept_errors_total"
+        );
+    }
+}
+
+/// Decrements the in-flight gauge when a connection finishes, however
+/// its thread exits.
+struct InflightGuard {
+    shared: Arc<Shared>,
+}
+
+impl Drop for InflightGuard {
+    fn drop(&mut self) {
+        let now = self.shared.inflight.fetch_sub(1, Ordering::SeqCst) - 1;
+        self.shared.metrics.set_inflight(now);
+    }
+}
+
+/// Hand an accepted connection to a short-lived handler thread, shedding
+/// inline with `503` when [`ServerConfig::max_inflight`] is reached — a
+/// slow client can pin at most one connection thread, never the
+/// acceptor.
+fn dispatch_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
+    let inflight = shared.inflight.fetch_add(1, Ordering::SeqCst) + 1;
+    shared.metrics.set_inflight(inflight);
+    let guard = InflightGuard {
+        shared: Arc::clone(shared),
+    };
+    if inflight > shared.config.max_inflight.max(1) {
+        shared.metrics.record_shed();
+        tune_stream(&stream, &shared.config);
+        respond(
+            shared,
+            &mut stream,
+            &Response::error(503, "too many connections; retry shortly")
+                .with_header("retry-after", "1"),
+        );
+        lingering_close(stream);
+        drop(guard);
+        return;
+    }
+    let shared_for_conn = Arc::clone(shared);
+    let spawned = thread::Builder::new()
+        .name("sms-serve-conn".to_owned())
+        .spawn(move || {
+            let _guard = guard;
+            handle_connection(&shared_for_conn, stream);
+        });
+    if let Err(e) = spawned {
+        // Thread exhaustion: the closure (connection and guard included)
+        // was dropped, so the client sees a reset; count it like an
+        // accept failure so it is observable.
+        note_accept_error(shared, &format!("spawn failed: {e}"));
     }
 }
 
@@ -239,6 +451,24 @@ fn acceptor_loop(listener: &TcpListener, shared: &Arc<Shared>) {
 /// that hung up before reading its answer) are counted in
 /// `sms_serve_write_errors_total` and logged once, so a flood of
 /// half-closed connections stays observable without flooding stderr.
+/// Lingering close for refusals sent before the request was read
+/// (accept-failpoint and inflight-shed paths). Closing with unread
+/// bytes in the receive buffer makes the kernel send RST, which can
+/// destroy the refusal in flight; instead send FIN and drain what the
+/// client was sending (bounded) so the response is delivered intact.
+fn lingering_close(mut stream: TcpStream) {
+    use std::io::Read;
+    let _ = stream.shutdown(std::net::Shutdown::Write); // sms-lint: allow(E2): best-effort close path
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(250))); // sms-lint: allow(E2): best-effort close path
+    let mut sink = [0u8; 4096];
+    for _ in 0..16 {
+        match stream.read(&mut sink) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+    }
+}
+
 fn respond(shared: &Shared, stream: &mut TcpStream, response: &Response) {
     if let Err(e) = response.write_to(stream) {
         shared.metrics.record_write_error();
@@ -251,26 +481,49 @@ fn respond(shared: &Shared, stream: &mut TcpStream, response: &Response) {
     }
 }
 
-fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
-    // Accepted sockets may inherit the listener's non-blocking mode on
-    // some platforms; request handling is blocking with short timeouts.
-    // The four socket knobs below are best-effort tuning: a socket that
-    // rejects them still serves requests correctly.
+/// Best-effort socket tuning: accepted sockets may inherit the
+/// listener's non-blocking mode on some platforms, and the read/write
+/// timeouts derive from the configured request timeout so one blocking
+/// socket operation cannot outlive the request budget by more than one
+/// timeout. A socket that rejects the knobs still serves requests
+/// correctly.
+fn tune_stream(stream: &TcpStream, config: &ServerConfig) {
+    let timeout = config.socket_timeout();
     let _ = stream.set_nonblocking(false); // sms-lint: allow(E2): best-effort socket tuning
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(5))); // sms-lint: allow(E2): best-effort socket tuning
-    let _ = stream.set_write_timeout(Some(Duration::from_secs(5))); // sms-lint: allow(E2): best-effort socket tuning
+    let _ = stream.set_read_timeout(Some(timeout)); // sms-lint: allow(E2): best-effort socket tuning
+    let _ = stream.set_write_timeout(Some(timeout)); // sms-lint: allow(E2): best-effort socket tuning
     let _ = stream.set_nodelay(true); // sms-lint: allow(E2): best-effort socket tuning
+}
+
+fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
+    let accepted = Instant::now();
+    tune_stream(&stream, &shared.config);
 
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
     let mut reader = BufReader::new(read_half);
-    let request = match read_request(&mut reader) {
+    let header_deadline = accepted + shared.config.header_deadline();
+    let request = match read_request_before(&mut reader, Some(header_deadline)) {
         Ok(r) => r,
         Err(HttpError::Closed) => return,
+        Err(HttpError::DeadlineExceeded) => {
+            shared.metrics.record_deadline_exceeded("header");
+            respond(
+                shared,
+                &mut stream,
+                &Response::error(504, "request was not received before its read deadline")
+                    .with_header("x-sms-deadline-stage", "header"),
+            );
+            return;
+        }
         Err(HttpError::BodyTooLarge(_)) => {
             shared.metrics.record_bad_request();
-            respond(shared, &mut stream, &Response::error(413, "request body too large"));
+            respond(
+                shared,
+                &mut stream,
+                &Response::error(413, "request body too large"),
+            );
             return;
         }
         Err(HttpError::Malformed(what)) => {
@@ -283,6 +536,16 @@ fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
     drop(reader);
 
     shared.metrics.record_request();
+    // `serve.route` failpoint: an injected fault between parse and
+    // dispatch answers 503 (retryable) instead of hanging the client.
+    if let Err(e) = sms_faults::check("serve.route") {
+        respond(
+            shared,
+            &mut stream,
+            &Response::error(503, &e.to_string()).with_header("retry-after", "1"),
+        );
+        return;
+    }
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/healthz") => {
             shared.metrics.record_healthz();
@@ -299,11 +562,19 @@ fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
             };
             match to_canonical_json(&response) {
                 Ok(body) => respond(shared, &mut stream, &Response::json(200, body)),
-                Err(_) => respond(shared, &mut stream, &Response::error(500, "encoding failed")),
+                Err(_) => respond(
+                    shared,
+                    &mut stream,
+                    &Response::error(500, "encoding failed"),
+                ),
             }
         }
         ("GET", "/metrics") => {
             shared.metrics.record_metrics();
+            let stats = shared.registry.stats();
+            shared
+                .metrics
+                .sync_artifact_health(stats.quarantined_total, stats.absolved_total);
             let body = shared.metrics.prometheus_text(shared.queue.len());
             respond(
                 shared,
@@ -313,34 +584,75 @@ fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
         }
         ("GET", "/metrics.json") => {
             shared.metrics.record_metrics();
+            let stats = shared.registry.stats();
+            shared
+                .metrics
+                .sync_artifact_health(stats.quarantined_total, stats.absolved_total);
             let snapshot = shared.metrics.snapshot(shared.queue.len());
             match to_canonical_json(&snapshot) {
                 Ok(body) => respond(shared, &mut stream, &Response::json(200, body)),
-                Err(_) => respond(shared, &mut stream, &Response::error(500, "encoding failed")),
+                Err(_) => respond(
+                    shared,
+                    &mut stream,
+                    &Response::error(500, "encoding failed"),
+                ),
             }
         }
         ("POST", "/shutdown") => {
-            shared.begin_shutdown();
+            // Answer before flipping the flag: the process may exit as
+            // soon as the serving threads observe shutdown, and the
+            // client deserves its acknowledgement first.
             respond(
                 shared,
                 &mut stream,
                 &Response::json(200, r#"{"status":"shutting-down"}"#.to_owned()),
             );
+            shared.begin_shutdown();
         }
-        ("POST", "/predict") => handle_predict(shared, stream, &request),
+        ("POST", "/predict") => handle_predict(shared, stream, &request, accepted),
         (_, "/healthz" | "/models" | "/metrics" | "/metrics.json" | "/shutdown" | "/predict") => {
             shared.metrics.record_bad_request();
-            respond(shared, &mut stream, &Response::error(405, "method not allowed"));
+            respond(
+                shared,
+                &mut stream,
+                &Response::error(405, "method not allowed"),
+            );
         }
         _ => {
             shared.metrics.record_bad_request();
-            respond(shared, &mut stream, &Response::error(404, "no such endpoint"));
+            respond(
+                shared,
+                &mut stream,
+                &Response::error(404, "no such endpoint"),
+            );
         }
     }
 }
 
-fn handle_predict(shared: &Arc<Shared>, mut stream: TcpStream, request: &Request) {
+fn handle_predict(
+    shared: &Arc<Shared>,
+    mut stream: TcpStream,
+    request: &Request,
+    accepted: Instant,
+) {
     shared.metrics.record_predict();
+    let deadline_ms = match request.header("x-sms-deadline-ms") {
+        None => shared.config.default_deadline_ms(),
+        Some(raw) => match raw.trim().parse::<u64>() {
+            Ok(ms) => ms.clamp(MIN_DEADLINE_MS, MAX_DEADLINE_MS),
+            Err(_) => {
+                shared.metrics.record_bad_request();
+                respond(
+                    shared,
+                    &mut stream,
+                    &Response::error(400, "unparseable x-sms-deadline-ms header"),
+                );
+                return;
+            }
+        },
+    };
+    let deadline = accepted + Duration::from_millis(deadline_ms);
+
     let predict: PredictRequest = match serde_json::from_slice(&request.body) {
         Ok(p) => p,
         Err(e) => {
@@ -354,8 +666,8 @@ fn handle_predict(shared: &Arc<Shared>, mut stream: TcpStream, request: &Request
         }
     };
 
-    // Validate eagerly on the acceptor so bad requests never occupy
-    // queue slots, and so worker-side prediction cannot fail for
+    // Validate eagerly on the connection thread so bad requests never
+    // occupy queue slots, and so worker-side prediction cannot fail for
     // request-shaped reasons.
     let Some(artifact) = shared.registry.get(&predict.model) else {
         shared.metrics.record_bad_request();
@@ -411,11 +723,17 @@ fn handle_predict(shared: &Arc<Shared>, mut stream: TcpStream, request: &Request
         return;
     }
 
+    if Instant::now() > deadline {
+        shared.metrics.record_deadline_exceeded("queue");
+        respond(shared, &mut stream, &deadline_response("queue"));
+        return;
+    }
     let job = Job {
         stream,
         request: predict,
         key,
         received: Instant::now(),
+        deadline,
     };
     match shared.queue.try_push(job) {
         Ok(_depth) => shared.metrics.record_cache_miss(),
@@ -470,6 +788,12 @@ fn worker_loop(shared: &Arc<Shared>) {
     }
 }
 
+/// The `504` answered when `stage`'s deadline expired.
+fn deadline_response(stage: &str) -> Response {
+    Response::error(504, "deadline expired before the prediction completed")
+        .with_header("x-sms-deadline-stage", stage)
+}
+
 fn process_batch(shared: &Arc<Shared>, batch: Vec<Job>) {
     // `serve.worker` failpoint: an injected error fails the whole batch
     // with 500s (clients see a typed error, the worker survives); an
@@ -481,7 +805,20 @@ fn process_batch(shared: &Arc<Shared>, batch: Vec<Job>) {
         }
         return;
     }
-    let artifact = shared.registry.get(&batch[0].request.model);
+    let model = batch[0].request.model.clone();
+    let artifact = shared.registry.get(&model);
+    // Jobs whose deadline expired while queued are answered 504 before
+    // the batch charges its latency; they never touch the breaker.
+    let (batch, expired): (Vec<Job>, Vec<Job>) = batch
+        .into_iter()
+        .partition(|j| Instant::now() <= j.deadline);
+    for job in expired {
+        shared.metrics.record_deadline_exceeded("queue");
+        finish_job(shared, job, deadline_response("queue"));
+    }
+    if batch.is_empty() {
+        return;
+    }
     // The load-testing latency knob is charged once per batch (the
     // batching win: coalesced requests share the "model latency"), using
     // the batch's largest requested delay, capped by the server.
@@ -495,29 +832,99 @@ fn process_batch(shared: &Arc<Shared>, batch: Vec<Job>) {
         thread::sleep(Duration::from_millis(delay_ms));
     }
     for job in batch {
-        let response = match &artifact {
-            Some(a) => match a.predict_mix(&job.request.mix, job.request.target_cores) {
-                Ok(prediction) => {
-                    let body = PredictResponse {
-                        model: job.request.model.clone(),
-                        prediction,
-                    };
-                    match to_canonical_json(&body) {
-                        Ok(text) => {
-                            lock(&shared.cache).put(job.key.clone(), text.clone());
-                            Response::json(200, text).with_header("x-cache", "miss")
+        let Some(artifact) = artifact.as_deref() else {
+            finish_job(
+                shared,
+                job,
+                Response::error(404, "model vanished from the registry"),
+            );
+            continue;
+        };
+        let response = match shared.breaker_route(&model) {
+            Route::Primary | Route::Trial => {
+                // `serve.predict` failpoint: injected errors count as
+                // prediction failures — they feed the breaker and the
+                // client gets the analytic fallback, not a hang.
+                match sms_faults::check("serve.predict") {
+                    Err(_) => {
+                        shared.breaker_report(&model, false);
+                        degraded_response(shared, artifact, &job)
+                    }
+                    Ok(()) => {
+                        match artifact.predict_mix(&job.request.mix, job.request.target_cores) {
+                            Ok(prediction) => {
+                                if Instant::now() > job.deadline {
+                                    // A timeout is a failure from the
+                                    // breaker's point of view.
+                                    shared.breaker_report(&model, false);
+                                    shared.metrics.record_deadline_exceeded("predict");
+                                    deadline_response("predict")
+                                } else {
+                                    shared.breaker_report(&model, true);
+                                    let body = PredictResponse {
+                                        model: job.request.model.clone(),
+                                        degraded: false,
+                                        prediction,
+                                    };
+                                    match to_canonical_json(&body) {
+                                        Ok(text) => {
+                                            lock(&shared.cache).put(job.key.clone(), text.clone());
+                                            Response::json(200, text).with_header("x-cache", "miss")
+                                        }
+                                        Err(_) => Response::error(500, "encoding failed"),
+                                    }
+                                }
+                            }
+                            // Request-shaped failure: the client's fault, not
+                            // the model's — no breaker effect.
+                            Err(e) => Response::error(400, &e.to_string()),
                         }
-                        Err(_) => Response::error(500, "encoding failed"),
                     }
                 }
-                Err(e) => Response::error(400, &e.to_string()),
-            },
-            None => Response::error(404, "model vanished from the registry"),
+            }
+            Route::Fallback => degraded_response(shared, artifact, &job),
         };
-        shared
-            .metrics
-            .record_latency(job.received.elapsed().as_secs_f64());
-        let mut stream = job.stream;
-        respond(shared, &mut stream, &response);
+        finish_job(shared, job, response);
     }
+}
+
+/// Serve the analytic fallback for a job whose primary prediction is
+/// unavailable (breaker open, or a just-failed attempt). Degraded bodies
+/// are marked `"degraded": true` + `x-sms-degraded: 1` and are never
+/// cached, so post-recovery responses are bit-identical to a fault-free
+/// server's. Only when even the fallback fails is the request shed with
+/// `503`.
+fn degraded_response(shared: &Shared, artifact: &ModelArtifact, job: &Job) -> Response {
+    match artifact.analytic_mix_estimate(&job.request.mix, job.request.target_cores) {
+        Ok(prediction) => {
+            if Instant::now() > job.deadline {
+                shared.metrics.record_deadline_exceeded("predict");
+                return deadline_response("predict");
+            }
+            shared.metrics.record_degraded();
+            let body = PredictResponse {
+                model: job.request.model.clone(),
+                degraded: true,
+                prediction,
+            };
+            match to_canonical_json(&body) {
+                Ok(text) => Response::json(200, text).with_header("x-sms-degraded", "1"),
+                Err(_) => Response::error(500, "encoding failed"),
+            }
+        }
+        Err(e) => Response::error(
+            503,
+            &format!("prediction temporarily unavailable ({e}); retry shortly"),
+        )
+        .with_header("retry-after", "1"),
+    }
+}
+
+/// Record a worker-answered job's wall latency and write its response.
+fn finish_job(shared: &Shared, job: Job, response: Response) {
+    shared
+        .metrics
+        .record_latency(job.received.elapsed().as_secs_f64());
+    let mut stream = job.stream;
+    respond(shared, &mut stream, &response);
 }

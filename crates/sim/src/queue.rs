@@ -70,7 +70,8 @@ impl HistoryQueue {
         // `t >= intervals[idx-1].1` and `end <= intervals[idx].0` hold by
         // construction, so the gap widths below are non-negative.
         let touches_prev = idx > 0 && t - self.intervals[idx - 1].1 <= COALESCE_EPS;
-        let touches_next = idx < self.intervals.len() && self.intervals[idx].0 - end <= COALESCE_EPS;
+        let touches_next =
+            idx < self.intervals.len() && self.intervals[idx].0 - end <= COALESCE_EPS;
         match (touches_prev, touches_next) {
             (true, true) => {
                 self.intervals[idx - 1].1 = self.intervals[idx].1;

@@ -4,9 +4,7 @@
 
 use std::path::PathBuf;
 
-use sms_core::artifact::{
-    train_artifact, ArtifactError, ModelArtifact, ARTIFACT_SCHEMA_VERSION,
-};
+use sms_core::artifact::{train_artifact, ArtifactError, ModelArtifact, ARTIFACT_SCHEMA_VERSION};
 use sms_core::pipeline::{DirectSim, ExperimentConfig};
 use sms_core::predictor::{MlKind, ModelParams};
 use sms_core::scaling::target_config;
@@ -30,7 +28,10 @@ fn small_cfg() -> ExperimentConfig {
 }
 
 fn trained(name: &str) -> ModelArtifact {
-    let training: Vec<_> = TRAINING.iter().map(|n| by_name(n).expect("known")).collect();
+    let training: Vec<_> = TRAINING
+        .iter()
+        .map(|n| by_name(n).expect("known"))
+        .collect();
     train_artifact(
         &mut DirectSim,
         small_cfg(),
@@ -78,7 +79,11 @@ fn golden_round_trip_preserves_predictions() {
     loaded.save(&path).unwrap();
     let second = std::fs::read_to_string(&path).unwrap();
     assert_eq!(first, second);
-    let pos = |k: &str| first.find(&format!("\"{k}\"")).unwrap_or_else(|| panic!("{k} missing"));
+    let pos = |k: &str| {
+        first
+            .find(&format!("\"{k}\""))
+            .unwrap_or_else(|| panic!("{k} missing"))
+    };
     assert!(pos("checksum") < pos("name"));
     assert!(pos("name") < pos("payload"));
     assert!(pos("payload") < pos("schema"));
@@ -92,7 +97,10 @@ fn artifact_training_matches_in_process_session() {
     // (same training sets, same fixed seed), so the persisted extrapolator
     // must equal the session's bit for bit.
     let artifact = trained("parity");
-    let training: Vec<_> = TRAINING.iter().map(|n| by_name(n).expect("known")).collect();
+    let training: Vec<_> = TRAINING
+        .iter()
+        .map(|n| by_name(n).expect("known"))
+        .collect();
     let session = ScaleModelSession::train(&mut DirectSim, small_cfg(), &training).unwrap();
     assert_eq!(session.extrapolator(), &artifact.payload.extrapolator);
 }
@@ -121,7 +129,10 @@ fn corrupted_and_mismatched_files_are_rejected() {
     let versioned_path = dir.join("versioned.json");
     std::fs::write(&versioned_path, versioned.to_string()).unwrap();
     match ModelArtifact::load(&versioned_path) {
-        Err(ArtifactError::VersionMismatch { found: 999, expected }) => {
+        Err(ArtifactError::VersionMismatch {
+            found: 999,
+            expected,
+        }) => {
             assert_eq!(expected, ARTIFACT_SCHEMA_VERSION);
         }
         other => panic!("expected version mismatch, got {other:?}"),

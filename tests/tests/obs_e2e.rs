@@ -74,7 +74,10 @@ fn sweep_with_spans_and_timelines_leaves_full_observability_artifacts() {
         serde_json::from_str(&std::fs::read_to_string(&tl_files[0]).unwrap()).unwrap();
     let samples = tl["timeline"]["samples"].as_array().unwrap();
     assert!(!samples.is_empty());
-    let cycles: Vec<u64> = samples.iter().map(|s| s["cycle"].as_u64().unwrap()).collect();
+    let cycles: Vec<u64> = samples
+        .iter()
+        .map(|s| s["cycle"].as_u64().unwrap())
+        .collect();
     assert!(cycles.windows(2).all(|w| w[0] < w[1]), "{cycles:?}");
 
     // And `sms timeline` renders the epochs.
@@ -91,7 +94,10 @@ fn sweep_with_spans_and_timelines_leaves_full_observability_artifacts() {
     let registry = manifest["registry"]
         .as_object()
         .expect("registry snapshot present");
-    assert!(registry.contains_key("sms_bench_runs_total"), "{registry:?}");
+    assert!(
+        registry.contains_key("sms_bench_runs_total"),
+        "{registry:?}"
+    );
     let ok_runs: f64 = registry["sms_bench_runs_total"]["samples"]
         .as_array()
         .unwrap()
@@ -160,8 +166,14 @@ fn booted_server_scrapes_as_prometheus_text() {
 
     // Prometheus exposition format: HELP/TYPE headers and sample lines.
     assert!(body.contains("# HELP sms_serve_requests_total"), "{body}");
-    assert!(body.contains("# TYPE sms_serve_requests_total counter"), "{body}");
-    assert!(body.contains("# TYPE sms_serve_queue_depth gauge"), "{body}");
+    assert!(
+        body.contains("# TYPE sms_serve_requests_total counter"),
+        "{body}"
+    );
+    assert!(
+        body.contains("# TYPE sms_serve_queue_depth gauge"),
+        "{body}"
+    );
     assert!(
         body.contains("# TYPE sms_serve_predict_latency_micros histogram"),
         "{body}"
@@ -172,7 +184,10 @@ fn booted_server_scrapes_as_prometheus_text() {
     );
     assert!(body.contains("sms_serve_bad_requests_total 1"), "{body}");
     // Every non-comment line is `name[{labels}] value`.
-    for line in body.lines().filter(|l| !l.starts_with('#') && !l.is_empty()) {
+    for line in body
+        .lines()
+        .filter(|l| !l.starts_with('#') && !l.is_empty())
+    {
         let (name, value) = line.rsplit_once(' ').expect("sample line");
         assert!(!name.is_empty(), "{line}");
         assert!(

@@ -28,7 +28,10 @@ fn trained(name: &str) -> ModelArtifact {
         },
         ..ExperimentConfig::default()
     };
-    let training: Vec<_> = TRAINING.iter().map(|n| by_name(n).expect("known")).collect();
+    let training: Vec<_> = TRAINING
+        .iter()
+        .map(|n| by_name(n).expect("known"))
+        .collect();
     train_artifact(
         &mut DirectSim,
         cfg,
@@ -63,14 +66,26 @@ impl Reply {
 
 /// Minimal HTTP/1.1 client: one request, read until the server closes.
 fn http(addr: SocketAddr, method: &str, path: &str, body: &str) -> Reply {
+    http_with_headers(addr, method, path, &[], body)
+}
+
+/// [`http`] with extra request headers (e.g. `x-sms-deadline-ms`).
+fn http_with_headers(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    extra: &[(&str, &str)],
+    body: &str,
+) -> Reply {
     let mut stream = TcpStream::connect(addr).expect("connect");
     stream
         .set_read_timeout(Some(Duration::from_secs(30)))
         .unwrap();
-    let request = format!(
-        "{method} {path} HTTP/1.1\r\nhost: e2e\r\ncontent-length: {}\r\n\r\n{body}",
-        body.len()
-    );
+    let mut request = format!("{method} {path} HTTP/1.1\r\nhost: e2e\r\n");
+    for (name, value) in extra {
+        request.push_str(&format!("{name}: {value}\r\n"));
+    }
+    request.push_str(&format!("content-length: {}\r\n\r\n{body}", body.len()));
     stream.write_all(request.as_bytes()).unwrap();
     let mut text = String::new();
     stream.read_to_string(&mut text).expect("read response");
@@ -107,7 +122,7 @@ fn predict_body(model: &str, mix: &[&str], target_cores: u32, delay_ms: u64) -> 
 #[test]
 fn all_endpoints_over_real_tcp() {
     let artifact = trained("e2e");
-    let mut registry = ModelRegistry::in_memory();
+    let registry = ModelRegistry::in_memory();
     registry.insert(artifact.clone());
     let handle = serve(
         registry,
@@ -154,8 +169,7 @@ fn all_endpoints_over_real_tcp() {
 
     // The identical request — even with reordered fields — is a cache hit
     // with an identical body.
-    let reordered =
-        r#"{"target_cores":8,"mix":["leela_r","xz_r"],"delay_ms":0,"model":"e2e"}"#;
+    let reordered = r#"{"target_cores":8,"mix":["leela_r","xz_r"],"delay_ms":0,"model":"e2e"}"#;
     let second = http(addr, "POST", "/predict", reordered);
     assert_eq!(second.status, 200);
     assert_eq!(second.header("x-cache"), Some("hit"));
@@ -190,7 +204,9 @@ fn all_endpoints_over_real_tcp() {
         metrics.header("content-type"),
         Some("text/plain; version=0.0.4")
     );
-    assert!(metrics.body.contains("# TYPE sms_serve_requests_total counter"));
+    assert!(metrics
+        .body
+        .contains("# TYPE sms_serve_requests_total counter"));
     assert!(metrics.body.contains("# HELP sms_serve_requests_total"));
     assert!(metrics
         .body
@@ -233,7 +249,7 @@ fn all_endpoints_over_real_tcp() {
 
 #[test]
 fn full_queue_sheds_with_503_and_retry_after() {
-    let mut registry = ModelRegistry::in_memory();
+    let registry = ModelRegistry::in_memory();
     registry.insert(trained("shed"));
     // One worker, a one-slot queue, and no batching: the third in-flight
     // prediction must be shed.
@@ -260,7 +276,9 @@ fn full_queue_sheds_with_503_and_retry_after() {
     let mut replies = Vec::new();
     let mut workers = Vec::new();
     for (i, body) in bodies.into_iter().enumerate() {
-        workers.push(std::thread::spawn(move || http(addr, "POST", "/predict", &body)));
+        workers.push(std::thread::spawn(move || {
+            http(addr, "POST", "/predict", &body)
+        }));
         // Stagger: r1 is being predicted, r2 queued, r3 shed.
         if i < 2 {
             std::thread::sleep(Duration::from_millis(250));
@@ -282,8 +300,65 @@ fn full_queue_sheds_with_503_and_retry_after() {
 }
 
 #[test]
+fn deadline_header_bounds_a_slow_prediction_with_504() {
+    let registry = ModelRegistry::in_memory();
+    registry.insert(trained("deadline"));
+    let handle = serve(
+        registry,
+        ServerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            workers: 1,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("server boots");
+    let addr = handle.addr();
+
+    // A 400ms simulated model latency against a 50ms deadline: the
+    // prediction finishes after the budget and must be answered 504,
+    // attributed to the predict stage.
+    let late = http_with_headers(
+        addr,
+        "POST",
+        "/predict",
+        &[("x-sms-deadline-ms", "50")],
+        &predict_body("deadline", &["leela_r"], 8, 400),
+    );
+    assert_eq!(late.status, 504, "{}", late.body);
+    assert_eq!(late.header("x-sms-deadline-stage"), Some("predict"));
+
+    // A garbage deadline header is a client error, not a default.
+    let garbage = http_with_headers(
+        addr,
+        "POST",
+        "/predict",
+        &[("x-sms-deadline-ms", "soon")],
+        &predict_body("deadline", &["leela_r"], 8, 0),
+    );
+    assert_eq!(garbage.status, 400, "{}", garbage.body);
+
+    // The same slow request under a generous deadline succeeds: the 504
+    // above was the deadline's doing, not the request's.
+    let relaxed = http_with_headers(
+        addr,
+        "POST",
+        "/predict",
+        &[("x-sms-deadline-ms", "30000")],
+        &predict_body("deadline", &["leela_r"], 8, 400),
+    );
+    assert_eq!(relaxed.status, 200, "{}", relaxed.body);
+    assert_eq!(relaxed.header("x-sms-degraded"), None);
+
+    let m = http(addr, "GET", "/metrics.json", "").json();
+    assert_eq!(m["deadline_exceeded"]["predict"].as_u64().unwrap(), 1);
+    assert_eq!(m["deadline_exceeded"]["queue"].as_u64().unwrap(), 0);
+    assert_eq!(m["deadline_exceeded"]["header"].as_u64().unwrap(), 0);
+    handle.shutdown_and_join();
+}
+
+#[test]
 fn same_model_requests_batch_behind_a_slow_one() {
-    let mut registry = ModelRegistry::in_memory();
+    let registry = ModelRegistry::in_memory();
     registry.insert(trained("batch"));
     let handle = serve(
         registry,
@@ -312,7 +387,9 @@ fn same_model_requests_batch_behind_a_slow_one() {
     let mut followers = Vec::new();
     for mix in [["leela_r"], ["xz_r"], ["gcc_r"]] {
         let body = predict_body("batch", &mix, 8, 0);
-        followers.push(std::thread::spawn(move || http(addr, "POST", "/predict", &body)));
+        followers.push(std::thread::spawn(move || {
+            http(addr, "POST", "/predict", &body)
+        }));
     }
     assert_eq!(blocker.join().unwrap().status, 200);
     for f in followers {
