@@ -143,11 +143,11 @@ impl PlanJournal {
     /// warns and degrades journaling to a no-op — a sweep must not die
     /// because its journal directory went away.
     pub fn append_best_effort(&self, line: &JournalLine) {
-        if self.degraded.load(Ordering::Relaxed) {
+        if self.degraded.load(Ordering::Acquire) {
             return;
         }
         if let Err(e) = self.append(line) {
-            if !self.degraded.swap(true, Ordering::Relaxed) {
+            if !self.degraded.swap(true, Ordering::AcqRel) {
                 eprintln!(
                     "journal: {} unwritable ({e}); continuing without crash-safe journaling",
                     self.path.display()

@@ -178,7 +178,7 @@ impl CachedSim {
     /// Whether the disk layer is still writable (false after degrading to
     /// memory-only operation).
     pub fn disk_available(&self) -> bool {
-        self.disk_ok.load(Ordering::Relaxed)
+        self.disk_ok.load(Ordering::Acquire)
     }
 
     fn path_for(&self, key: &str) -> PathBuf {
@@ -198,7 +198,7 @@ impl CachedSim {
             )
             .with(&[kind])
             .inc();
-        if !WARNED.swap(true, Ordering::Relaxed) {
+        if !WARNED.swap(true, Ordering::AcqRel) {
             eprintln!(
                 "cache: corrupt entry {} ({kind}: {detail}); treating as a miss — \
                  run `sms fsck` to repair the cache (further corruption warnings suppressed)",
@@ -259,7 +259,7 @@ impl CachedSim {
     pub fn insert(&self, cfg: &SystemConfig, mix: &MixSpec, spec: RunSpec, result: &SimResult) {
         let key = cache_key(cfg, mix, spec);
         self.memory.lock().insert(key.clone(), result.clone());
-        if !self.disk_ok.load(Ordering::Relaxed) {
+        if !self.disk_ok.load(Ordering::Acquire) {
             return;
         }
         let entry = CacheEntry {
@@ -273,6 +273,7 @@ impl CachedSim {
         // The temp name is unique per writer (pid + sequence): concurrent
         // inserts of the *same* key must not race on a shared `.tmp` path,
         // or one writer's rename can publish another's half-written file.
+        // sms-lint: atomic(counter): unique temp-name sequence; no data it guards
         static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
         let tmp = self.dir.join(format!(
             "{}.{}.{}.tmp",
@@ -317,7 +318,7 @@ impl CachedSim {
 
     /// Warn once and switch to memory-only operation.
     fn degrade_disk(&self, err: &dyn std::fmt::Display) {
-        if self.disk_ok.swap(false, Ordering::Relaxed) {
+        if self.disk_ok.swap(false, Ordering::AcqRel) {
             eprintln!(
                 "cache: disk layer unwritable ({err}); continuing memory-only — \
                  results of this process will not persist"
@@ -338,7 +339,7 @@ impl CachedSim {
         let key = cache_key(cfg, mix, spec);
         let hash = key_hash_hex(&key);
         self.quarantined.lock().push(hash.clone());
-        if !self.disk_ok.load(Ordering::Relaxed) {
+        if !self.disk_ok.load(Ordering::Acquire) {
             return hash;
         }
         let record = QuarantineRecord {
@@ -538,7 +539,7 @@ fn run_one<F>(
                 // eventual send fails silently — the receiver is gone — so
                 // a late result can never reach the cache) and the run is
                 // quarantined as hung without killing the worker.
-                let (tx, rx) = std::sync::mpsc::channel();
+                let (tx, rx) = std::sync::mpsc::sync_channel(1);
                 let run_fn = Arc::clone(run_fn);
                 let cfg_own = cfg.clone();
                 let mix_own = mix.clone();
@@ -695,6 +696,7 @@ where
             todo.len(),
             plan.len()
         );
+        // sms-lint: atomic(counter): work-ticket dispenser, guards no other data
         let next = AtomicUsize::new(0);
         // Shadow with references so each worker's `move` closure copies a
         // shared borrow instead of trying to move the value out of the loop.

@@ -273,9 +273,13 @@ pub struct Telemetry {
     cached: usize,
     todo: usize,
     started: Instant,
+    // sms-lint: atomic(counter): completed-run tally, read only for progress/manifest
     simulated: AtomicUsize,
+    // sms-lint: atomic(counter): quarantined-run tally, read only for progress/manifest
     failed: AtomicUsize,
+    // sms-lint: atomic(counter): retry tally, read only for progress/manifest
     retries: AtomicUsize,
+    // sms-lint: atomic(counter): busy-time accumulator, read only for utilization
     busy_micros: AtomicU64,
     records: Mutex<Vec<RunRecord>>,
     /// Print a progress line every this many completions (the final
@@ -353,6 +357,7 @@ impl Telemetry {
             RunStatus::Ok => (&self.simulated, "ok"),
             RunStatus::Quarantined => (&self.failed, "quarantined"),
         };
+        // sms-lint: atomic(counter): status tally via local binding (simulated/failed)
         counter.fetch_add(1, Ordering::Relaxed);
         self.obs_runs.with(&[status]).inc();
         self.records.lock().push(record);

@@ -25,7 +25,7 @@
 //! sms train     [--bench ...] [--target-cores 32] [--kind svm] [--curve log] [--save]
 //! sms models    [--results DIR]                             # list saved artifacts
 //! sms serve     [--addr 127.0.0.1:8080] [--workers 4] [--request-timeout-ms 5000] [--results DIR]
-//! sms lint      [--root DIR] [--format text|json]          # workspace invariant checker
+//! sms lint      [--root DIR] [--format text|json] [--baseline FILE | --write-baseline FILE]
 //! ```
 
 #![forbid(unsafe_code)]
@@ -457,12 +457,18 @@ USAGE:
       on stdin.
 
   sms lint [--root DIR] [--format text|json]
+           [--baseline FILE | --write-baseline FILE]
       Run the workspace invariant checker (sms-lint) over DIR (default:
       the current directory): determinism rules D1-D3, error-discipline
-      rules E1-E2, metric naming O1, failpoint hygiene F1. Prints one
-      finding per line (or a machine-readable JSON report with
-      --format json) and exits non-zero when any finding survives its
-      `sms-lint: allow` annotations.
+      rules E1-E2, metric naming O1, failpoint hygiene F1, and
+      concurrency rules C1-C4 (lock-order cycles, Relaxed-ordering
+      discipline, hang-prone blocking, CONCURRENCY.md inventory).
+      Prints one finding per line (or a machine-readable JSON report
+      with --format json) and exits non-zero when any finding survives
+      its `sms-lint: allow` annotations. --write-baseline records the
+      surviving findings to FILE; --baseline demotes findings recorded
+      in FILE to warn-only so new rules can land without breaking
+      downstream forks.
 
   sms help
       Print this help.
@@ -2009,7 +2015,8 @@ fn cmd_serve(args: &Args) -> Result<String, CliError> {
         }
     });
 
-    handle.join();
+    // sms-lint: allow(C3): ServerHandle::join drains a shut-down pool whose
+    handle.join(); // workers exit on a bounded pop_timeout tick; see serve/server.rs
     Ok(format!("sms-serve on {bound} shut down cleanly\n"))
 }
 
@@ -2022,7 +2029,24 @@ fn cmd_lint(args: &Args) -> Result<String, CliError> {
     if format != "text" && format != "json" {
         return Err(CliError::BadValue("format".into(), format.to_owned()));
     }
-    let report = sms_lint::lint_workspace(&root).map_err(|e| CliError::Io(e.to_string()))?;
+    if args.options.contains_key("baseline") && args.options.contains_key("write-baseline") {
+        return Err(CliError::BadValue(
+            "baseline".into(),
+            "--baseline and --write-baseline are mutually exclusive".into(),
+        ));
+    }
+    let mut report = sms_lint::lint_workspace(&root).map_err(|e| CliError::Io(e.to_string()))?;
+    if let Some(path) = args.options.get("write-baseline") {
+        std::fs::write(path, report.render_baseline()).map_err(|e| CliError::Io(e.to_string()))?;
+        return Ok(format!(
+            "sms-lint: wrote baseline with {} finding(s) to {path}\n",
+            report.findings.len()
+        ));
+    }
+    if let Some(path) = args.options.get("baseline") {
+        let baseline = std::fs::read_to_string(path).map_err(|e| CliError::Io(e.to_string()))?;
+        report.apply_baseline(&baseline);
+    }
     let rendered = if format == "json" {
         report.render_json()
     } else {
@@ -2371,6 +2395,78 @@ mod tests {
         ]))
         .unwrap();
         assert!(ok.contains("\"clean\":true"), "{ok}");
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn lint_baseline_write_then_warn_only() {
+        let root = std::env::temp_dir().join(format!("sms-cli-lintbase-{}", std::process::id()));
+        let src = root.join("crates/demo/src");
+        std::fs::create_dir_all(&src).unwrap();
+        std::fs::write(
+            src.join("lib.rs"),
+            "pub fn f(x: Option<u8>) -> u8 { x.unwrap() }\n",
+        )
+        .unwrap();
+        let baseline = root.join("lint-baseline.jsonl");
+        let baseline_s = baseline.to_str().unwrap().to_owned();
+        let root_s = root.to_str().unwrap().to_owned();
+
+        // Mutually exclusive flags are rejected.
+        let both = run(&args(&[
+            "lint",
+            "--baseline",
+            &baseline_s,
+            "--write-baseline",
+            &baseline_s,
+        ]));
+        assert!(matches!(both, Err(CliError::BadValue(_, _))), "{both:?}");
+
+        // Write the baseline, then the same tree lints clean against it.
+        let wrote = run(&args(&[
+            "lint",
+            "--root",
+            &root_s,
+            "--write-baseline",
+            &baseline_s,
+        ]))
+        .unwrap();
+        assert!(
+            wrote.contains("wrote baseline with 1 finding(s)"),
+            "{wrote}"
+        );
+        let ok = run(&args(&[
+            "lint",
+            "--root",
+            &root_s,
+            "--baseline",
+            &baseline_s,
+        ]))
+        .unwrap();
+        assert!(ok.contains("[E1 baselined]"), "{ok}");
+        assert!(ok.contains("0 finding(s)"), "{ok}");
+
+        // A new finding still fails even with the baseline applied.
+        std::fs::write(
+            src.join("lib.rs"),
+            "pub fn f(x: Option<u8>) -> u8 { x.unwrap() }\npub fn g() { panic!(); }\n",
+        )
+        .unwrap();
+        let err = run(&args(&[
+            "lint",
+            "--root",
+            &root_s,
+            "--baseline",
+            &baseline_s,
+        ]))
+        .unwrap_err();
+        match &err {
+            CliError::Lint(report) => {
+                assert!(report.contains("1 finding(s)"), "{report}");
+                assert!(report.contains("1 baselined"), "{report}");
+            }
+            other => panic!("expected CliError::Lint, got {other:?}"),
+        }
         std::fs::remove_dir_all(&root).unwrap();
     }
 

@@ -338,6 +338,7 @@ impl Schedule {
                 action: None,
             },
             Some(counter) => {
+                // sms-lint: atomic(counter): hit index; fetch_add alone makes it unique
                 let hit = counter.fetch_add(1, Ordering::Relaxed) + 1;
                 Evaluation {
                     hit,

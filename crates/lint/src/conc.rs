@@ -1,0 +1,742 @@
+//! Concurrency-invariant rule passes (C1–C4).
+//!
+//! PRs 6–9 made the workspace deeply concurrent: a scoped-thread
+//! parallel simulator with quantum-barrier merges, a serve-tier worker
+//! pool, a circuit breaker, and dozens of atomics. These passes guard
+//! the invariants no compiler checks:
+//!
+//! * **C1** — the cross-file lock-acquisition graph must be acyclic.
+//!   Every lock acquisition gets a stable name (`<crate>/<field>`); a
+//!   second acquisition inside the lexical scope of a held guard adds an
+//!   edge, and any cycle is a potential deadlock.
+//! * **C2** — `Ordering::Relaxed` is allowed only on atomics declared as
+//!   metrics/counters via `// sms-lint: atomic(counter): reason` (at the
+//!   declaration, or directly above a use reached through a local
+//!   binding). Atomics that gate control flow — shutdown flags, inflight
+//!   gauges, breaker state — must use Acquire/Release or SeqCst.
+//! * **C3** — hang-prone blocking in library code: `recv()` without a
+//!   timeout, `join()` (which can block forever on a wedged thread), and
+//!   unbounded `mpsc::channel` construction. Mirrors the PR 4 watchdog
+//!   philosophy: every blocking point needs a bounded wait or an
+//!   annotated reason it cannot hang.
+//! * **C4** — every atomic touched by an `Ordering::` site and every C1
+//!   lock name must be inventoried (backtick-quoted) in CONCURRENCY.md,
+//!   the same way F1 ties failpoint sites to DESIGN.md.
+//!
+//! Like every other rule these are *lexical*: names come from receiver
+//! identifiers (`self.disk_ok.load(..)` → `disk_ok`), not from type
+//! resolution. The naming scheme is documented in DESIGN.md
+//! ("Concurrency invariants").
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::rules::{is_ident, occurrences, skip_ws};
+use crate::scan::ScannedFile;
+use crate::Finding;
+
+/// One lock acquisition site.
+#[derive(Debug, Clone)]
+pub struct LockAcq {
+    /// Stable lock name: `<crate>/<receiver-or-arg identifier>`.
+    pub name: String,
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line of the acquisition.
+    pub line: usize,
+    /// Byte offset of the acquisition in the masked text.
+    offset: usize,
+    /// Byte offset past which the guard is certainly dead (end of the
+    /// enclosing block for `let`-bound guards, end of statement for
+    /// temporaries).
+    scope_end: usize,
+}
+
+/// One `held → acquired` lock-order edge (both acquisitions in the same
+/// file; guards cannot cross files).
+#[derive(Debug, Clone)]
+pub struct LockEdge {
+    /// Name of the lock already held.
+    pub from: String,
+    /// Name of the lock acquired while `from` is held.
+    pub to: String,
+    /// Workspace-relative path of the inner acquisition.
+    pub path: String,
+    /// 1-based line of the inner acquisition.
+    pub line: usize,
+    /// 1-based line of the outer (held) acquisition.
+    pub held_line: usize,
+}
+
+/// One atomic access that names a memory ordering.
+#[derive(Debug, Clone)]
+pub struct AtomicUse {
+    /// Stable atomic name: `<crate>/<receiver identifier>`.
+    pub name: String,
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line of the access.
+    pub line: usize,
+    /// Whether the ordering at this site is `Relaxed`.
+    pub relaxed: bool,
+    /// Whether a well-formed `atomic(...)` annotation covers this line.
+    pub annotated_here: bool,
+}
+
+/// Atomic RMW/load/store methods whose arguments carry an `Ordering`.
+/// An `Ordering::` token inside any other call (e.g. a helper taking an
+/// ordering parameter) is not attributable to an atomic and is skipped.
+const ATOMIC_METHODS: &[&str] = &[
+    "load",
+    "store",
+    "swap",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_and",
+    "fetch_or",
+    "fetch_xor",
+    "fetch_nand",
+    "fetch_max",
+    "fetch_min",
+    "fetch_update",
+    "compare_exchange",
+    "compare_exchange_weak",
+];
+
+/// Qualify an identifier with its crate for cross-file stability.
+pub(crate) fn qual(crate_name: &str, ident: &str) -> String {
+    let c = if crate_name.is_empty() {
+        "ws"
+    } else {
+        crate_name
+    };
+    format!("{c}/{ident}")
+}
+
+/// The identifier ending at byte `end` (exclusive), i.e. the last path
+/// segment of the receiver: `self.disk_ok` → `disk_ok`.
+fn ident_ending_at(masked: &str, end: usize) -> Option<String> {
+    let bytes = masked.as_bytes();
+    let mut start = end;
+    while start > 0 && is_ident(bytes[start - 1]) {
+        start -= 1;
+    }
+    if start == end {
+        return None;
+    }
+    Some(masked[start..end].to_owned())
+}
+
+/// Walk forward from an opening parenthesis to its matching close.
+fn matching_paren(bytes: &[u8], open: usize) -> usize {
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'(' => depth += 1,
+            b')' => {
+                depth -= 1;
+                if depth == 0 {
+                    return i;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    bytes.len()
+}
+
+/// Byte offset where the statement containing `at` begins: just past the
+/// previous `;`, or past the opener (`{`, `(`, `[`) we are nested inside,
+/// or past a sibling block's closing `}`.
+fn stmt_start(bytes: &[u8], at: usize) -> usize {
+    let mut depth = 0usize;
+    let mut i = at;
+    while i > 0 {
+        i -= 1;
+        match bytes[i] {
+            b')' | b']' | b'}' if bytes[i] != b'}' || depth > 0 => depth += 1,
+            b'}' => return i + 1, // depth == 0: a sibling block ended
+            b'(' | b'[' | b'{' => {
+                if depth == 0 {
+                    return i + 1;
+                }
+                depth -= 1;
+            }
+            b';' if depth == 0 => return i + 1,
+            _ => {}
+        }
+    }
+    0
+}
+
+/// Byte offset where the statement containing `at` ends: the `;` at
+/// depth 0, or the closer of the construct we are nested inside.
+fn stmt_end(bytes: &[u8], at: usize) -> usize {
+    let mut depth = 0usize;
+    let mut i = at;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'(' | b'[' | b'{' => depth += 1,
+            b')' | b']' | b'}' => {
+                if depth == 0 {
+                    return i;
+                }
+                depth -= 1;
+            }
+            b';' if depth == 0 => return i,
+            _ => {}
+        }
+        i += 1;
+    }
+    bytes.len()
+}
+
+/// Byte offset of the `}` closing the block that contains `at`.
+fn block_end(bytes: &[u8], at: usize) -> usize {
+    let mut depth = 0usize;
+    let mut i = at;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'{' => depth += 1,
+            b'}' => {
+                if depth == 0 {
+                    return i;
+                }
+                depth -= 1;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    bytes.len()
+}
+
+/// Whether the statement containing `at` is a `let` binding (the guard
+/// is named and lives to the end of the enclosing block) rather than a
+/// temporary (dead at the end of the statement).
+fn is_let_bound(masked: &str, at: usize) -> bool {
+    let bytes = masked.as_bytes();
+    let start = skip_ws(bytes, stmt_start(bytes, at));
+    masked[start..].starts_with("let") && bytes.get(start + 3).is_none_or(|b| !is_ident(*b))
+}
+
+/// The scope of a guard acquired at `at`: end of the enclosing block for
+/// `let`-bound guards, end of the statement for temporaries (an
+/// over-approximation for `if let` scrutinees, which is conservative —
+/// it can only add edges, never hide one).
+fn guard_scope_end(masked: &str, at: usize) -> usize {
+    let bytes = masked.as_bytes();
+    if is_let_bound(masked, at) {
+        block_end(bytes, at)
+    } else {
+        stmt_end(bytes, at)
+    }
+}
+
+/// Collect lock acquisition sites (non-test code only): the shared
+/// poison-recovering `lock(expr)` helper, `.lock()` method calls, and
+/// `.read()`/`.write()` on receivers whose identifier mentions `lock`
+/// (`RwLock` guards; plain `.write(` is I/O, not locking).
+pub fn lock_sites(f: &ScannedFile) -> Vec<LockAcq> {
+    let masked = f.masked.as_str();
+    let bytes = masked.as_bytes();
+    let mut out = Vec::new();
+
+    let mut push = |name: String, offset: usize| {
+        let line = f.line_of(offset);
+        if f.is_test_line(line) {
+            return;
+        }
+        out.push(LockAcq {
+            name,
+            path: f.path.clone(),
+            line,
+            offset,
+            scope_end: guard_scope_end(masked, offset),
+        });
+    };
+
+    // Method-style acquisitions: `recv.lock()`, `recv.read()`, `recv.write()`.
+    for (pat, needs_lock_in_name) in [(".lock(", false), (".read(", true), (".write(", true)] {
+        for at in occurrences(masked, pat) {
+            let Some(recv) = ident_ending_at(masked, at) else {
+                continue; // chained/complex receiver; not a nameable site
+            };
+            if needs_lock_in_name && !recv.to_lowercase().contains("lock") {
+                continue;
+            }
+            push(qual(&f.crate_name, &recv), at);
+        }
+    }
+
+    // Helper-style acquisitions: `lock(&self.inner)`. The shared helper
+    // is a free function, so a preceding `.` (method call) or `fn`
+    // (the helper's own definition) disqualifies the match.
+    for at in occurrences(masked, "lock(") {
+        if at > 0 && bytes[at - 1] == b'.' {
+            continue;
+        }
+        let head = masked[..at].trim_end();
+        if head.ends_with("fn") {
+            continue;
+        }
+        let close = matching_paren(bytes, at + 4);
+        let Some(arg) = ident_ending_at(masked, {
+            // Last identifier of the argument expression, e.g.
+            // `&self.inner` → `inner`.
+            let mut e = close;
+            while e > at + 5 && !is_ident(bytes[e - 1]) {
+                e -= 1;
+            }
+            e
+        }) else {
+            continue;
+        };
+        push(qual(&f.crate_name, &arg), at);
+    }
+
+    out.sort_by_key(|s| s.offset);
+    out
+}
+
+/// Lock-order edges within one file's sites: acquisition `B` inside the
+/// scope of a still-held guard `A` yields `A → B`.
+pub fn lock_edges(sites: &[LockAcq]) -> Vec<LockEdge> {
+    let mut out = Vec::new();
+    for (i, held) in sites.iter().enumerate() {
+        for inner in &sites[i + 1..] {
+            if inner.offset > held.scope_end {
+                break; // sites are offset-sorted; no later site is inside
+            }
+            out.push(LockEdge {
+                from: held.name.clone(),
+                to: inner.name.clone(),
+                path: inner.path.clone(),
+                line: inner.line,
+                held_line: held.line,
+            });
+        }
+    }
+    out
+}
+
+/// C1: report every cycle in the cross-file lock-acquisition graph as a
+/// potential deadlock, with the acquisition chain as evidence. The
+/// finding anchors at the acquisition that closes the cycle from its
+/// lexicographically-smallest lock name, so reruns are deterministic and
+/// a reviewed cycle can be suppressed at one stable site.
+pub fn c1_findings(edges: &[LockEdge]) -> Vec<Finding> {
+    // First evidence per directed pair keeps messages stable.
+    let mut evidence: BTreeMap<(&str, &str), &LockEdge> = BTreeMap::new();
+    let mut adj: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    for e in edges {
+        evidence.entry((&e.from, &e.to)).or_insert(e);
+        adj.entry(&e.from).or_default().insert(&e.to);
+    }
+
+    // DFS with an explicit path stack; a back edge to a node on the
+    // stack closes a cycle. Canonicalize by rotating the smallest name
+    // to the front so overlapping traversals dedup.
+    let mut cycles: BTreeSet<Vec<String>> = BTreeSet::new();
+    fn dfs<'a>(
+        node: &'a str,
+        adj: &BTreeMap<&'a str, BTreeSet<&'a str>>,
+        stack: &mut Vec<&'a str>,
+        visited: &mut BTreeSet<&'a str>,
+        cycles: &mut BTreeSet<Vec<String>>,
+    ) {
+        stack.push(node);
+        for &next in adj.get(node).into_iter().flatten() {
+            if let Some(pos) = stack.iter().position(|&n| n == next) {
+                let cycle: Vec<&str> = stack[pos..].to_vec();
+                let min = cycle
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, n)| **n)
+                    .map_or(0, |(i, _)| i);
+                let rotated: Vec<String> = cycle[min..]
+                    .iter()
+                    .chain(cycle[..min].iter())
+                    .map(|n| (*n).to_owned())
+                    .collect();
+                cycles.insert(rotated);
+            } else if visited.insert(next) {
+                dfs(next, adj, stack, visited, cycles);
+            }
+        }
+        stack.pop();
+    }
+    let mut visited: BTreeSet<&str> = BTreeSet::new();
+    for &node in adj.keys() {
+        if visited.insert(node) {
+            dfs(node, &adj, &mut Vec::new(), &mut visited, &mut cycles);
+        }
+    }
+
+    let mut out = Vec::new();
+    for cycle in &cycles {
+        let mut chain = String::new();
+        let mut sites = Vec::new();
+        for (i, from) in cycle.iter().enumerate() {
+            let to = &cycle[(i + 1) % cycle.len()];
+            chain.push_str(&format!("`{from}` → "));
+            if let Some(e) = evidence.get(&(from.as_str(), to.as_str())) {
+                sites.push(format!(
+                    "{from} held at {}:{} while acquiring {to} at line {}",
+                    e.path, e.held_line, e.line
+                ));
+            }
+        }
+        chain.push_str(&format!("`{}`", cycle[0]));
+        // Anchor at the edge leaving the smallest (first) name.
+        let anchor = evidence
+            .get(&(cycle[0].as_str(), cycle[1 % cycle.len()].as_str()))
+            .copied();
+        let (path, line) = anchor.map_or((String::new(), 0), |e| (e.path.clone(), e.line));
+        out.push(Finding {
+            rule: "C1",
+            path,
+            line,
+            message: format!(
+                "potential deadlock: lock-acquisition cycle {chain} ({}); \
+                 acquire locks in one global order or annotate the reviewed site",
+                sites.join("; ")
+            ),
+        });
+    }
+    out
+}
+
+/// Collect atomic accesses that name an `Ordering` (non-test code only).
+pub fn atomic_uses(f: &ScannedFile) -> Vec<AtomicUse> {
+    let masked = f.masked.as_str();
+    let bytes = masked.as_bytes();
+    let mut out = Vec::new();
+    for at in occurrences(masked, "Ordering::") {
+        let line = f.line_of(at);
+        if f.is_test_line(line) {
+            continue;
+        }
+        let relaxed = masked[at..].starts_with("Ordering::Relaxed");
+        // Walk left to the `(` opening the argument list this token sits
+        // in, then require an atomic method name in front of it.
+        let mut depth = 0usize;
+        let mut i = at;
+        let mut open = None;
+        while i > 0 {
+            i -= 1;
+            match bytes[i] {
+                b')' => depth += 1,
+                b'(' => {
+                    if depth == 0 {
+                        open = Some(i);
+                        break;
+                    }
+                    depth -= 1;
+                }
+                b';' | b'{' | b'}' if depth == 0 => break,
+                _ => {}
+            }
+        }
+        let Some(open) = open else { continue };
+        let Some(method) = ident_ending_at(masked, open) else {
+            continue;
+        };
+        if !ATOMIC_METHODS.contains(&method.as_str()) {
+            continue;
+        }
+        // Receiver: the identifier before the `.` in front of the method.
+        let dot = open - method.len();
+        if dot == 0 || bytes[dot - 1] != b'.' {
+            continue;
+        }
+        let Some(recv) = ident_ending_at(masked, dot - 1) else {
+            continue;
+        };
+        out.push(AtomicUse {
+            name: qual(&f.crate_name, &recv),
+            path: f.path.clone(),
+            line,
+            relaxed,
+            annotated_here: f.is_atomic_annotated(line),
+        });
+    }
+    out
+}
+
+/// C2: `Ordering::Relaxed` is legal only on atomics in the declared
+/// counter/metric allowlist (or at a use covered directly by an
+/// `atomic(...)` annotation, for accesses through local bindings).
+pub fn c2_findings(uses: &[AtomicUse], declared: &BTreeSet<String>) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for u in uses {
+        if u.relaxed && !u.annotated_here && !declared.contains(&u.name) {
+            out.push(Finding {
+                rule: "C2",
+                path: u.path.clone(),
+                line: u.line,
+                message: format!(
+                    "`Ordering::Relaxed` on `{}`, which is not a declared metric/counter \
+                     atomic; control-flow atomics need Acquire/Release (or SeqCst), metric \
+                     atomics an `// sms-lint: atomic(counter): reason` annotation at the \
+                     declaration",
+                    u.name
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// C3: hang-prone blocking constructs in library code.
+pub fn c3_findings(f: &ScannedFile) -> Vec<Finding> {
+    let masked = f.masked.as_str();
+    let bytes = masked.as_bytes();
+    let mut out = Vec::new();
+
+    // Bare `.recv()` / `.join()` (no arguments). `.recv_timeout(..)` and
+    // slice `join(", ")` never match.
+    for (pat, message) in [
+        (
+            ".recv(",
+            "blocking `recv()` without a timeout can hang forever; use `recv_timeout` \
+             (watchdog philosophy: every wait is bounded) or annotate why this cannot hang",
+        ),
+        (
+            ".join(",
+            "`join()` blocks until the thread exits and can hang on a wedged worker; \
+             prefer `thread::scope` (joins are bounded by the scope) or annotate why \
+             this join terminates",
+        ),
+    ] {
+        for at in occurrences(masked, pat) {
+            let close = skip_ws(bytes, at + pat.len());
+            if close >= bytes.len() || bytes[close] != b')' {
+                continue; // has arguments: recv_timeout-style or slice join
+            }
+            out.push(Finding {
+                rule: "C3",
+                path: f.path.clone(),
+                line: f.line_of(at),
+                message: message.to_owned(),
+            });
+        }
+    }
+
+    for pat in ["mpsc::channel(", "mpsc::channel::<"] {
+        for at in occurrences(masked, pat) {
+            out.push(Finding {
+                rule: "C3",
+                path: f.path.clone(),
+                line: f.line_of(at),
+                message: "unbounded `mpsc::channel` lets a stalled consumer grow the queue \
+                          without limit; use `mpsc::sync_channel` with an explicit bound"
+                    .to_owned(),
+            });
+        }
+    }
+    out
+}
+
+/// C4: every atomic name and every lock name must be inventoried
+/// (backtick-quoted) in CONCURRENCY.md. Reported once per name, anchored
+/// at its first use. Skipped when the inventory file is absent.
+pub fn c4_findings(uses: &[AtomicUse], locks: &[LockAcq], inventory: Option<&str>) -> Vec<Finding> {
+    let Some(inventory) = inventory else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    let mut seen = BTreeSet::new();
+    let mut check = |name: &str, kind: &str, path: &str, line: usize| {
+        if !inventory.contains(&format!("`{name}`")) && seen.insert(name.to_owned()) {
+            out.push(Finding {
+                rule: "C4",
+                path: path.to_owned(),
+                line,
+                message: format!(
+                    "{kind} `{name}` is not inventoried in CONCURRENCY.md; document its \
+                     role and ordering contract"
+                ),
+            });
+        }
+    };
+    for u in uses {
+        check(&u.name, "atomic", &u.path, u.line);
+    }
+    for l in locks {
+        check(&l.name, "lock", &l.path, l.line);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan(src: &str) -> ScannedFile {
+        ScannedFile::new("crates/sim/src/fixture.rs", src)
+    }
+
+    #[test]
+    fn lock_sites_name_helper_and_method_styles() {
+        let f = scan(
+            "fn f(&self) {\n\
+             \x20   let a = lock(&self.inner);\n\
+             \x20   let b = self.file.lock();\n\
+             \x20   let c = uncore_lock.read();\n\
+             \x20   stream.write(buf);\n\
+             }\n",
+        );
+        let sites = lock_sites(&f);
+        let names: Vec<&str> = sites.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, vec!["sim/inner", "sim/file", "sim/uncore_lock"]);
+    }
+
+    #[test]
+    fn let_bound_guard_scopes_to_block_temporary_to_statement() {
+        let f = scan(
+            "fn f(&self) {\n\
+             \x20   self.a.lock().push(1);\n\
+             \x20   let g = self.b.lock();\n\
+             \x20   self.c.lock().push(2);\n\
+             }\n",
+        );
+        let sites = lock_sites(&f);
+        let edges = lock_edges(&sites);
+        // `a` is a temporary: dead before `b`. `b` is let-bound: alive
+        // when `c` is acquired.
+        assert_eq!(edges.len(), 1, "{edges:?}");
+        assert_eq!(edges[0].from, "sim/b");
+        assert_eq!(edges[0].to, "sim/c");
+        assert_eq!(edges[0].line, 4);
+    }
+
+    #[test]
+    fn c1_reports_cross_file_cycle_with_both_chains() {
+        let a = ScannedFile::new(
+            "crates/serve/src/a.rs",
+            "fn f(&self) { let g = lock(&self.cache); let h = lock(&self.breakers); }\n",
+        );
+        let b = ScannedFile::new(
+            "crates/serve/src/b.rs",
+            "fn g(&self) { let g = lock(&self.breakers); let h = lock(&self.cache); }\n",
+        );
+        let mut edges = lock_edges(&lock_sites(&a));
+        edges.extend(lock_edges(&lock_sites(&b)));
+        let fs = c1_findings(&edges);
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        assert_eq!(fs[0].rule, "C1");
+        assert!(
+            fs[0].message.contains("`serve/breakers`"),
+            "{}",
+            fs[0].message
+        );
+        assert!(fs[0].message.contains("`serve/cache`"));
+        assert!(fs[0].message.contains("crates/serve/src/a.rs"));
+        assert!(fs[0].message.contains("crates/serve/src/b.rs"));
+        // Anchored at the smallest name's outgoing edge: breakers→cache in b.rs.
+        assert_eq!(fs[0].path, "crates/serve/src/b.rs");
+    }
+
+    #[test]
+    fn c1_acyclic_graph_is_clean() {
+        let a = ScannedFile::new(
+            "crates/sim/src/a.rs",
+            "fn f() { let g = uncore_lock.write(); let h = chunk.lock(); }\n",
+        );
+        let b = ScannedFile::new(
+            "crates/sim/src/b.rs",
+            "fn g() { let g = uncore_lock.read(); let h = chunk.lock(); }\n",
+        );
+        let mut edges = lock_edges(&lock_sites(&a));
+        edges.extend(lock_edges(&lock_sites(&b)));
+        assert!(c1_findings(&edges).is_empty());
+    }
+
+    #[test]
+    fn c1_self_edge_is_a_cycle() {
+        let f = scan("fn f() { let g = chunk.lock(); let h = chunk.lock(); }\n");
+        let fs = c1_findings(&lock_edges(&lock_sites(&f)));
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        assert!(fs[0].message.contains("`sim/chunk` → `sim/chunk`"));
+    }
+
+    #[test]
+    fn c2_relaxed_needs_declared_counter() {
+        let f = scan(
+            "fn f(&self) {\n\
+             \x20   self.shutdown.store(true, Ordering::Relaxed);\n\
+             \x20   self.hits.fetch_add(1, Ordering::Relaxed);\n\
+             \x20   self.done.store(true, Ordering::Release);\n\
+             }\n",
+        );
+        let uses = atomic_uses(&f);
+        assert_eq!(uses.len(), 3);
+        let declared: BTreeSet<String> = [String::from("sim/hits")].into();
+        let fs = c2_findings(&uses, &declared);
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        assert_eq!(fs[0].rule, "C2");
+        assert_eq!(fs[0].line, 2);
+        assert!(fs[0].message.contains("`sim/shutdown`"));
+    }
+
+    #[test]
+    fn c2_use_site_annotation_covers_local_bindings() {
+        let f = scan(
+            "fn f(counter: &AtomicU64) {\n\
+             \x20   // sms-lint: atomic(counter): per-site hit tally, report-only\n\
+             \x20   counter.fetch_add(1, Ordering::Relaxed);\n\
+             }\n",
+        );
+        let uses = atomic_uses(&f);
+        assert_eq!(uses.len(), 1);
+        assert!(uses[0].annotated_here);
+        assert!(c2_findings(&uses, &BTreeSet::new()).is_empty());
+    }
+
+    #[test]
+    fn c2_ignores_orderings_outside_atomic_methods() {
+        // An ordering passed to a helper is not attributable to an atomic.
+        let f = scan("fn f() { takes_ordering(Ordering::Relaxed); }\n");
+        assert!(atomic_uses(&f).is_empty());
+    }
+
+    #[test]
+    fn c3_flags_bare_recv_join_and_unbounded_channel() {
+        let f = scan(
+            "fn f(rx: &Receiver<u8>, h: JoinHandle<()>) {\n\
+             \x20   let _v = rx.recv();\n\
+             \x20   let _ = h.join();\n\
+             \x20   let (tx, rx2) = std::sync::mpsc::channel();\n\
+             \x20   let _ok = rx.recv_timeout(d);\n\
+             \x20   let _s = parts.join(\", \");\n\
+             }\n",
+        );
+        let fs = c3_findings(&f);
+        let lines: Vec<usize> = fs.iter().map(|x| x.line).collect();
+        assert_eq!(lines, vec![2, 3, 4], "{fs:?}");
+        assert!(fs.iter().all(|x| x.rule == "C3"));
+    }
+
+    #[test]
+    fn c4_requires_backticked_inventory_entries() {
+        let f = scan(
+            "fn f(&self) {\n\
+             \x20   self.done.store(true, Ordering::Release);\n\
+             \x20   let g = self.state.lock();\n\
+             }\n",
+        );
+        let uses = atomic_uses(&f);
+        let locks = lock_sites(&f);
+        let ok = c4_findings(&uses, &locks, Some("both `sim/done` and `sim/state` exist"));
+        assert!(ok.is_empty(), "{ok:?}");
+        let missing = c4_findings(&uses, &locks, Some("only `sim/done` is documented"));
+        assert_eq!(missing.len(), 1, "{missing:?}");
+        assert!(missing[0].message.contains("lock `sim/state`"));
+        assert!(
+            c4_findings(&uses, &locks, None).is_empty(),
+            "no inventory, no check"
+        );
+    }
+}

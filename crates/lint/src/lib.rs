@@ -7,31 +7,42 @@
 //! `SystemTime::now` in a hot path breaks them silently. This crate
 //! enforces those promises at the source level with a comment- and
 //! string-literal-stripping token scanner ([`scan`]) and named rule
-//! passes ([`rules`]): **D1** no wall-clock/entropy in deterministic
-//! crates, **D2** no `HashMap`/`HashSet` in library code, **D3** no
-//! NaN-unsafe float handling, **E1** no `unwrap`/`expect`/`panic!` in
-//! non-test library code, **E2** no discarded fallible writes, **O1**
-//! metric naming conventions, **F1** unique, documented failpoint sites.
+//! passes ([`rules`], [`conc`]): **D1** no wall-clock/entropy in
+//! deterministic crates, **D2** no `HashMap`/`HashSet` in library code,
+//! **D3** no NaN-unsafe float handling, **E1** no
+//! `unwrap`/`expect`/`panic!` in non-test library code, **E2** no
+//! discarded fallible writes, **O1** metric naming conventions, **F1**
+//! unique, documented failpoint sites — and the concurrency family:
+//! **C1** acyclic cross-file lock-acquisition order, **C2**
+//! `Ordering::Relaxed` only on declared metric/counter atomics, **C3**
+//! no hang-prone blocking (bare `recv`/`join`, unbounded channels),
+//! **C4** every atomic and lock inventoried in CONCURRENCY.md.
 //!
 //! Genuine exceptions are annotated in place:
 //!
 //! ```text
 //! // sms-lint: allow(E1): registry misuse is a programmer error
+//! // sms-lint: allow(C1, C3): reviewed; per-chunk locks, bounded join
+//! // sms-lint: atomic(counter): report-only run tally
 //! ```
 //!
-//! A suppression must name a known rule and give a non-empty reason; it
+//! A suppression must name known rules and give a non-empty reason; it
 //! covers its own line and the line directly below. Malformed
-//! suppressions are themselves findings (rule `SUP`). Test code
-//! (`#[cfg(test)]` items) is exempt from every rule.
+//! suppressions and atomic annotations are themselves findings (rule
+//! `SUP`). Test code (`#[cfg(test)]` items) is exempt from every rule.
 //!
 //! Run it as `sms lint` (human text) or `sms lint --format json`
 //! (machine-readable, stable sorted output); the process exits nonzero
-//! when any finding survives.
+//! when any finding survives. `--baseline <file>` demotes findings
+//! recorded in a checked-in baseline to warn-only so new rules can land
+//! without breaking downstream forks; `--write-baseline <file>` records
+//! the current findings.
 
+pub mod conc;
 pub mod rules;
 pub mod scan;
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt::Write as _;
 use std::io;
 use std::path::{Path, PathBuf};
@@ -56,30 +67,47 @@ pub struct Finding {
 #[derive(Debug, Default)]
 pub struct LintReport {
     pub findings: Vec<Finding>,
+    /// Findings demoted to warn-only by [`LintReport::apply_baseline`];
+    /// they do not affect [`LintReport::is_clean`].
+    pub baselined: Vec<Finding>,
     pub files_scanned: usize,
     /// Findings that a valid `sms-lint: allow` annotation silenced.
     pub suppressions_honored: usize,
 }
 
 impl LintReport {
-    /// True when no finding survived suppression.
+    /// True when no finding survived suppression (baselined findings are
+    /// warnings, not failures).
     pub fn is_clean(&self) -> bool {
         self.findings.is_empty()
     }
 
     /// Human-readable rendering: one `path:line [RULE] message` row per
-    /// finding plus a trailing summary line.
+    /// finding plus a trailing summary line. Baselined findings render
+    /// with a `baselined` marker and do not fail the run.
     pub fn render_text(&self) -> String {
         let mut out = String::new();
         for f in &self.findings {
             let _ = writeln!(out, "{}:{} [{}] {}", f.path, f.line, f.rule, f.message);
         }
+        for f in &self.baselined {
+            let _ = writeln!(
+                out,
+                "{}:{} [{} baselined] {}",
+                f.path, f.line, f.rule, f.message
+            );
+        }
         let _ = writeln!(
             out,
-            "sms-lint: {} finding(s), {} file(s) scanned, {} suppression(s) honored",
+            "sms-lint: {} finding(s), {} file(s) scanned, {} suppression(s) honored{}",
             self.findings.len(),
             self.files_scanned,
-            self.suppressions_honored
+            self.suppressions_honored,
+            if self.baselined.is_empty() {
+                String::new()
+            } else {
+                format!(", {} baselined", self.baselined.len())
+            }
         );
         out
     }
@@ -87,7 +115,9 @@ impl LintReport {
     /// Machine-readable rendering: canonical JSON (sorted keys, sorted
     /// findings, no floats) so CI diffs are stable.
     pub fn render_json(&self) -> String {
-        let mut out = String::from("{\"clean\":");
+        let mut out = String::from("{\"baselined\":");
+        let _ = write!(out, "{}", self.baselined.len());
+        out.push_str(",\"clean\":");
         out.push_str(if self.is_clean() { "true" } else { "false" });
         let _ = write!(
             out,
@@ -109,12 +139,63 @@ impl LintReport {
         }
         let _ = write!(
             out,
-            "],\"schema_version\":1,\"suppressions_honored\":{}}}",
+            "],\"schema_version\":2,\"suppressions_honored\":{}}}",
             self.suppressions_honored
         );
         out.push('\n');
         out
     }
+
+    /// Render the findings as a baseline file: a comment header plus one
+    /// canonical JSON object per finding. Baseline matching is
+    /// **line-number-insensitive** — (path, rule, message) only — so code
+    /// motion above a known finding does not un-baseline it.
+    pub fn render_baseline(&self) -> String {
+        let mut out = String::from(
+            "# sms-lint baseline v1; one canonical finding per line, matched on\n\
+             # (path, rule, message) — line numbers intentionally excluded\n",
+        );
+        let mut keys: Vec<String> = self
+            .findings
+            .iter()
+            .chain(self.baselined.iter())
+            .map(baseline_key)
+            .collect();
+        keys.sort();
+        keys.dedup();
+        for k in keys {
+            out.push_str(&k);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Demote every finding recorded in `baseline` (text produced by
+    /// [`LintReport::render_baseline`]) to warn-only. Unmatched baseline
+    /// entries are ignored — a fixed finding simply disappears from the
+    /// next `--write-baseline`.
+    pub fn apply_baseline(&mut self, baseline: &str) {
+        let known: BTreeSet<&str> = baseline
+            .lines()
+            .map(str::trim)
+            .filter(|l| l.starts_with('{'))
+            .collect();
+        let (demoted, kept): (Vec<Finding>, Vec<Finding>) = std::mem::take(&mut self.findings)
+            .into_iter()
+            .partition(|f| known.contains(baseline_key(f).as_str()));
+        self.findings = kept;
+        self.baselined.extend(demoted);
+    }
+}
+
+/// Canonical, line-number-free identity of a finding for baselines.
+fn baseline_key(f: &Finding) -> String {
+    format!(
+        "{{\"message\":\"{}\",\"path\":\"{}\",\"rule\":\"{}\"}}",
+        json_escape(&f.message),
+        json_escape(&f.path),
+        f.rule
+    )
 }
 
 fn json_escape(s: &str) -> String {
@@ -135,10 +216,18 @@ fn json_escape(s: &str) -> String {
     out
 }
 
+/// Kinds an `atomic(...)` annotation may declare.
+const ATOMIC_KINDS: &[&str] = &["counter", "gauge", "metric"];
+
 /// Lint in-memory sources. `files` is `(workspace-relative path, source
 /// text)` pairs; `design` is the DESIGN.md text used by the F1
-/// documentation check (skipped when `None`).
-pub fn lint_sources(files: &[(String, String)], design: Option<&str>) -> LintReport {
+/// documentation check and `concurrency` the CONCURRENCY.md text used by
+/// the C4 inventory check (each skipped when `None`).
+pub fn lint_sources(
+    files: &[(String, String)],
+    design: Option<&str>,
+    concurrency: Option<&str>,
+) -> LintReport {
     let scanned: Vec<scan::ScannedFile> = files
         .iter()
         .map(|(p, s)| scan::ScannedFile::new(p, s))
@@ -146,9 +235,16 @@ pub fn lint_sources(files: &[(String, String)], design: Option<&str>) -> LintRep
     let mut findings = Vec::new();
     let mut honored = 0usize;
     let mut failpoint_uses = Vec::new();
+    let mut lock_acqs = Vec::new();
+    let mut lock_edges = Vec::new();
+    let mut atomic_uses = Vec::new();
+    let mut declared_atomics: BTreeSet<String> = BTreeSet::new();
 
     for f in &scanned {
-        for fnd in rules::file_findings(f) {
+        for fnd in rules::file_findings(f)
+            .into_iter()
+            .chain(conc::c3_findings(f))
+        {
             if f.is_test_line(fnd.line) {
                 continue;
             }
@@ -162,16 +258,26 @@ pub fn lint_sources(files: &[(String, String)], design: Option<&str>) -> LintRep
             if f.is_test_line(s.line) {
                 continue;
             }
-            let problem = if s.rule.is_empty() {
-                Some("malformed suppression; expected `sms-lint: allow(RULE): reason`".to_owned())
-            } else if !rules::RULES.iter().any(|(id, _)| *id == s.rule) {
-                Some(format!("suppression names unknown rule `{}`", s.rule))
-            } else if !s.has_reason {
-                Some(format!("suppression for `{}` is missing a reason", s.rule))
+            let mut problems = Vec::new();
+            if s.rules.is_empty() {
+                problems.push(
+                    "malformed suppression; expected `sms-lint: allow(RULE[, RULE...]): reason`"
+                        .to_owned(),
+                );
             } else {
-                None
-            };
-            if let Some(message) = problem {
+                for r in &s.rules {
+                    if !rules::RULES.iter().any(|(id, _)| *id == *r) {
+                        problems.push(format!("suppression names unknown rule `{r}`"));
+                    }
+                }
+                if !s.has_reason {
+                    problems.push(format!(
+                        "suppression for `{}` is missing a reason",
+                        s.rules.join(", ")
+                    ));
+                }
+            }
+            for message in problems {
                 findings.push(Finding {
                     rule: "SUP",
                     path: f.path.clone(),
@@ -180,12 +286,54 @@ pub fn lint_sources(files: &[(String, String)], design: Option<&str>) -> LintRep
                 });
             }
         }
+        for a in &f.atomic_annotations {
+            if f.is_test_line(a.line) {
+                continue;
+            }
+            let problem = if a.kind.is_empty() {
+                Some(
+                    "malformed atomic annotation; expected `sms-lint: atomic(KIND): reason`"
+                        .to_owned(),
+                )
+            } else if !ATOMIC_KINDS.contains(&a.kind.as_str()) {
+                Some(format!(
+                    "atomic annotation kind `{}` is not one of counter/gauge/metric",
+                    a.kind
+                ))
+            } else if !a.has_reason {
+                Some(format!(
+                    "atomic annotation `atomic({})` is missing a reason",
+                    a.kind
+                ))
+            } else {
+                None
+            };
+            if let Some(message) = problem {
+                findings.push(Finding {
+                    rule: "SUP",
+                    path: f.path.clone(),
+                    line: a.line,
+                    message,
+                });
+            }
+        }
         failpoint_uses.extend(rules::failpoints(f));
+        for d in f.atomic_decls() {
+            declared_atomics.insert(conc::qual(&f.crate_name, &d.name));
+        }
+        let sites = conc::lock_sites(f);
+        lock_edges.extend(conc::lock_edges(&sites));
+        lock_acqs.extend(sites);
+        atomic_uses.extend(conc::atomic_uses(f));
     }
 
     let by_path: BTreeMap<&str, &scan::ScannedFile> =
         scanned.iter().map(|f| (f.path.as_str(), f)).collect();
-    for fnd in rules::f1_findings(&failpoint_uses, design) {
+    let mut cross = rules::f1_findings(&failpoint_uses, design);
+    cross.extend(conc::c1_findings(&lock_edges));
+    cross.extend(conc::c2_findings(&atomic_uses, &declared_atomics));
+    cross.extend(conc::c4_findings(&atomic_uses, &lock_acqs, concurrency));
+    for fnd in cross {
         if let Some(f) = by_path.get(fnd.path.as_str()) {
             if f.is_suppressed(fnd.rule, fnd.line) {
                 honored += 1;
@@ -199,13 +347,15 @@ pub fn lint_sources(files: &[(String, String)], design: Option<&str>) -> LintRep
         .sort_by(|a, b| (a.path.as_str(), a.line, a.rule).cmp(&(b.path.as_str(), b.line, b.rule)));
     LintReport {
         findings,
+        baselined: Vec::new(),
         files_scanned: files.len(),
         suppressions_honored: honored,
     }
 }
 
 /// Lint every `crates/*/src/**/*.rs` file under `root` (the workspace
-/// checkout), reading `DESIGN.md` for the F1 documentation check.
+/// checkout), reading `DESIGN.md` for the F1 documentation check and
+/// `CONCURRENCY.md` for the C4 inventory check.
 pub fn lint_workspace(root: &Path) -> io::Result<LintReport> {
     let crates_dir = root.join("crates");
     let mut crate_dirs: Vec<PathBuf> = Vec::new();
@@ -233,7 +383,12 @@ pub fn lint_workspace(root: &Path) -> io::Result<LintReport> {
         files.push((rel.to_string_lossy().replace('\\', "/"), text));
     }
     let design = std::fs::read_to_string(root.join("DESIGN.md")).ok();
-    Ok(lint_sources(&files, design.as_deref()))
+    let concurrency = std::fs::read_to_string(root.join("CONCURRENCY.md")).ok();
+    Ok(lint_sources(
+        &files,
+        design.as_deref(),
+        concurrency.as_deref(),
+    ))
 }
 
 fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
@@ -262,7 +417,7 @@ mod tests {
             "crates/bench/src/x.rs",
             "// sms-lint: allow(E1): documented invariant\nfn f(x: Option<u8>) -> u8 { x.unwrap() }\n",
         )];
-        let r = lint_sources(&files, None);
+        let r = lint_sources(&files, None, None);
         assert!(r.is_clean(), "{:?}", r.findings);
         assert_eq!(r.suppressions_honored, 1);
     }
@@ -273,11 +428,37 @@ mod tests {
             "crates/bench/src/x.rs",
             "// sms-lint: allow(Z9): nope\n// sms-lint: allow(E1)\nfn f() {}\n",
         )];
-        let r = lint_sources(&files, None);
+        let r = lint_sources(&files, None, None);
         assert_eq!(r.findings.len(), 2, "{:?}", r.findings);
         assert!(r.findings.iter().all(|f| f.rule == "SUP"));
         assert_eq!(r.findings[0].line, 1);
         assert_eq!(r.findings[1].line, 2);
+    }
+
+    #[test]
+    fn multi_rule_suppression_validates_every_rule() {
+        let files = [src(
+            "crates/bench/src/x.rs",
+            "// sms-lint: allow(E1, Z9): half-known\nfn f() {}\n",
+        )];
+        let r = lint_sources(&files, None, None);
+        assert_eq!(r.findings.len(), 1, "{:?}", r.findings);
+        assert!(r.findings[0].message.contains("unknown rule `Z9`"));
+    }
+
+    #[test]
+    fn atomic_annotation_validation() {
+        let files = [src(
+            "crates/obs/src/x.rs",
+            "// sms-lint: atomic(flag): why\na: AtomicBool,\n// sms-lint: atomic(counter)\nb: AtomicU64,\n",
+        )];
+        let r = lint_sources(&files, None, None);
+        assert_eq!(r.findings.len(), 2, "{:?}", r.findings);
+        assert!(r.findings.iter().all(|f| f.rule == "SUP"));
+        assert!(r.findings[0]
+            .message
+            .contains("not one of counter/gauge/metric"));
+        assert!(r.findings[1].message.contains("missing a reason"));
     }
 
     #[test]
@@ -286,8 +467,43 @@ mod tests {
             "crates/sim/src/x.rs",
             "#[cfg(test)]\nmod tests {\n    use std::collections::HashMap;\n    fn t() { None::<u8>.unwrap(); }\n}\n",
         )];
-        let r = lint_sources(&files, None);
+        let r = lint_sources(&files, None, None);
         assert!(r.is_clean(), "{:?}", r.findings);
+    }
+
+    #[test]
+    fn c2_allowlist_flows_from_annotations_to_uses_across_files() {
+        let files = [
+            src(
+                "crates/obs/src/decl.rs",
+                "pub struct S {\n    // sms-lint: atomic(counter): dropped-event tally\n    pub dropped: AtomicU64,\n    pub enabled: AtomicBool,\n}\n",
+            ),
+            src(
+                "crates/obs/src/uses.rs",
+                "fn f(s: &S) {\n    s.dropped.fetch_add(1, Ordering::Relaxed);\n    s.enabled.store(true, Ordering::Relaxed);\n}\n",
+            ),
+        ];
+        let r = lint_sources(&files, None, None);
+        assert_eq!(r.findings.len(), 1, "{:?}", r.findings);
+        assert_eq!(r.findings[0].rule, "C2");
+        assert_eq!(r.findings[0].path, "crates/obs/src/uses.rs");
+        assert_eq!(r.findings[0].line, 3);
+        assert!(r.findings[0].message.contains("`obs/enabled`"));
+    }
+
+    #[test]
+    fn c4_checks_inventory_when_present() {
+        let files = [src(
+            "crates/sim/src/x.rs",
+            "fn f(&self) { self.done.store(true, Ordering::Release); }\n",
+        )];
+        let clean = lint_sources(&files, None, Some("documented: `sim/done`"));
+        assert!(clean.is_clean(), "{:?}", clean.findings);
+        let dirty = lint_sources(&files, None, Some("nothing documented"));
+        assert_eq!(dirty.findings.len(), 1, "{:?}", dirty.findings);
+        assert_eq!(dirty.findings[0].rule, "C4");
+        let absent = lint_sources(&files, None, None);
+        assert!(absent.is_clean(), "no inventory file, no C4 pass");
     }
 
     #[test]
@@ -296,22 +512,59 @@ mod tests {
             "crates/sim/src/x.rs",
             "fn f(x: Option<u8>) -> u8 { x.unwrap() }\n",
         )];
-        let r = lint_sources(&files, None);
+        let r = lint_sources(&files, None, None);
         let json = r.render_json();
-        assert!(json.starts_with("{\"clean\":false,\"files_scanned\":1,\"findings\":[{\"line\":1,"));
+        assert!(json.starts_with(
+            "{\"baselined\":0,\"clean\":false,\"files_scanned\":1,\"findings\":[{\"line\":1,"
+        ));
         assert!(json.contains("\"rule\":\"E1\""));
         assert!(json
             .trim_end()
-            .ends_with("\"schema_version\":1,\"suppressions_honored\":0}"));
+            .ends_with("\"schema_version\":2,\"suppressions_honored\":0}"));
     }
 
     #[test]
     fn text_rendering_has_summary() {
-        let r = lint_sources(&[], None);
+        let r = lint_sources(&[], None, None);
         assert_eq!(
             r.render_text(),
             "sms-lint: 0 finding(s), 0 file(s) scanned, 0 suppression(s) honored\n"
         );
+    }
+
+    #[test]
+    fn baseline_roundtrip_demotes_known_findings_only() {
+        let files = [src(
+            "crates/sim/src/x.rs",
+            "fn f(x: Option<u8>) -> u8 { x.unwrap() }\n",
+        )];
+        let baseline = lint_sources(&files, None, None).render_baseline();
+        assert!(baseline.starts_with("# sms-lint baseline v1"));
+
+        // Same finding on a different line still matches the baseline.
+        let moved = [src(
+            "crates/sim/src/x.rs",
+            "\n\nfn f(x: Option<u8>) -> u8 { x.unwrap() }\n",
+        )];
+        let mut r = lint_sources(&moved, None, None);
+        r.apply_baseline(&baseline);
+        assert!(r.is_clean(), "{:?}", r.findings);
+        assert_eq!(r.baselined.len(), 1);
+        assert_eq!(r.baselined[0].line, 3);
+        let text = r.render_text();
+        assert!(text.contains("[E1 baselined]"), "{text}");
+        assert!(text.contains(", 1 baselined"), "{text}");
+
+        // A new, unbaselined finding still fails the run.
+        let grown = [src(
+            "crates/sim/src/x.rs",
+            "fn f(x: Option<u8>) -> u8 { x.unwrap() }\nfn g() { panic!(); }\n",
+        )];
+        let mut r2 = lint_sources(&grown, None, None);
+        r2.apply_baseline(&baseline);
+        assert_eq!(r2.findings.len(), 1, "{:?}", r2.findings);
+        assert_eq!(r2.baselined.len(), 1);
+        assert!(!r2.is_clean());
     }
 
     #[test]

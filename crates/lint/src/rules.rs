@@ -27,6 +27,22 @@ pub const RULES: &[(&str, &str)] = &[
         "F1",
         "failpoint site names are unique and documented in DESIGN.md",
     ),
+    (
+        "C1",
+        "cross-file lock-acquisition order is acyclic (no potential deadlocks)",
+    ),
+    (
+        "C2",
+        "Ordering::Relaxed only on declared metric/counter atomics",
+    ),
+    (
+        "C3",
+        "no hang-prone blocking in library code (bare recv/join, unbounded channels)",
+    ),
+    (
+        "C4",
+        "every atomic and lock is inventoried in CONCURRENCY.md",
+    ),
 ];
 
 /// Crates whose results must be bit-identical across hosts, thread
@@ -80,7 +96,7 @@ const F1_CALLS: &[&str] = &[
     "sms_faults::corrupt_bytes(",
 ];
 
-fn is_ident(b: u8) -> bool {
+pub(crate) fn is_ident(b: u8) -> bool {
     b == b'_' || b.is_ascii_alphanumeric()
 }
 
@@ -88,7 +104,7 @@ fn is_ident(b: u8) -> bool {
 /// boundary check applies only where the pattern edge is itself an
 /// identifier character, so `.unwrap` matches after any receiver but
 /// `HashMap` does not match inside `MyHashMapExt`.
-fn occurrences(text: &str, pat: &str) -> Vec<usize> {
+pub(crate) fn occurrences(text: &str, pat: &str) -> Vec<usize> {
     let bytes = text.as_bytes();
     let pat_first = pat.as_bytes()[0];
     let pat_last = pat.as_bytes()[pat.len() - 1];
@@ -107,7 +123,7 @@ fn occurrences(text: &str, pat: &str) -> Vec<usize> {
     out
 }
 
-fn skip_ws(bytes: &[u8], mut i: usize) -> usize {
+pub(crate) fn skip_ws(bytes: &[u8], mut i: usize) -> usize {
     while i < bytes.len() && bytes[i].is_ascii_whitespace() {
         i += 1;
     }

@@ -31,16 +31,42 @@ pub struct StrLit {
     pub content: String,
 }
 
-/// A `// sms-lint: allow(RULE): reason` suppression comment.
+/// A `// sms-lint: allow(RULE[, RULE...]): reason` suppression comment.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Suppression {
     /// 1-based line the comment sits on.
     pub line: usize,
-    /// The rule id inside `allow(...)`; empty when the grammar is
-    /// malformed (no closing paren).
-    pub rule: String,
-    /// Whether a non-empty `: reason` followed the rule.
+    /// The rule ids inside `allow(...)`; empty when the grammar is
+    /// malformed (no closing paren, or nothing between the parens).
+    pub rules: Vec<String>,
+    /// Whether a non-empty `: reason` followed the rule list.
     pub has_reason: bool,
+}
+
+/// A `// sms-lint: atomic(KIND): reason` annotation declaring that the
+/// atomic defined on this line (or the line below) is a metric/counter
+/// whose `Ordering::Relaxed` accesses are intentional (lint rule C2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AtomicAnnotation {
+    /// 1-based line the comment sits on.
+    pub line: usize,
+    /// The declared kind inside `atomic(...)` (`counter`, `gauge`, or
+    /// `metric`); empty when the grammar is malformed.
+    pub kind: String,
+    /// Whether a non-empty `: reason` followed the kind.
+    pub has_reason: bool,
+}
+
+/// An atomic field/static declaration registered by an
+/// [`AtomicAnnotation`]: the identifier name plus where it was declared.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AtomicDecl {
+    /// The declared identifier (`disk_ok`, `NEXT_TID`, ...).
+    pub name: String,
+    /// The annotation's declared kind.
+    pub kind: String,
+    /// 1-based line of the declaration.
+    pub line: usize,
 }
 
 /// One scanned source file, ready for rule passes.
@@ -57,6 +83,8 @@ pub struct ScannedFile {
     pub literals: Vec<StrLit>,
     /// Suppression comments in order of appearance.
     pub suppressions: Vec<Suppression>,
+    /// `atomic(...)` annotations in order of appearance.
+    pub atomic_annotations: Vec<AtomicAnnotation>,
     /// Byte offset of the start of each line (index 0 = line 1).
     line_starts: Vec<usize>,
     /// Per line (index 0 = line 1): inside a `#[cfg(test)]` region.
@@ -78,6 +106,7 @@ impl ScannedFile {
             masked: lex.masked,
             literals: lex.literals,
             suppressions: lex.suppressions,
+            atomic_annotations: lex.atomic_annotations,
             line_starts,
             test_lines,
         }
@@ -103,9 +132,58 @@ impl ScannedFile {
     /// Whether a valid suppression for `rule` covers 1-based `line`
     /// (same line, or the line directly above).
     pub fn is_suppressed(&self, rule: &str, line: usize) -> bool {
-        self.suppressions
+        self.suppressions.iter().any(|s| {
+            s.has_reason
+                && s.rules.iter().any(|r| r == rule)
+                && (s.line == line || s.line + 1 == line)
+        })
+    }
+
+    /// Whether a well-formed `atomic(...)` annotation covers 1-based
+    /// `line` (same line, or the line directly above). Used by rule C2
+    /// for atomics reached through local bindings, where the declaring
+    /// field is out of lexical reach.
+    pub fn is_atomic_annotated(&self, line: usize) -> bool {
+        self.atomic_annotations
             .iter()
-            .any(|s| s.has_reason && s.rule == rule && (s.line == line || s.line + 1 == line))
+            .any(|a| a.has_reason && !a.kind.is_empty() && (a.line == line || a.line + 1 == line))
+    }
+
+    /// The masked text of 1-based `line` (without its newline).
+    pub fn line_slice(&self, line: usize) -> &str {
+        let start = match self.line_starts.get(line.saturating_sub(1)) {
+            Some(&s) => s,
+            None => return "",
+        };
+        let end = self
+            .line_starts
+            .get(line)
+            .map_or(self.masked.len(), |&e| e.saturating_sub(1));
+        self.masked.get(start..end).unwrap_or("")
+    }
+
+    /// The atomic declarations registered by this file's well-formed
+    /// `atomic(...)` annotations: for each annotation, the identifier
+    /// declared on the annotation's own line or the line below (the
+    /// first of the two that declares an `Atomic*` field/static/binding).
+    pub fn atomic_decls(&self) -> Vec<AtomicDecl> {
+        let mut out = Vec::new();
+        for a in &self.atomic_annotations {
+            if a.kind.is_empty() || !a.has_reason {
+                continue;
+            }
+            for line in [a.line, a.line + 1] {
+                if let Some(name) = declared_atomic_ident(self.line_slice(line)) {
+                    out.push(AtomicDecl {
+                        name,
+                        kind: a.kind.clone(),
+                        line,
+                    });
+                    break;
+                }
+            }
+        }
+        out
     }
 
     /// The first string literal starting after byte `offset`, if the
@@ -151,10 +229,59 @@ fn line_starts(source: &str) -> Vec<usize> {
     starts
 }
 
+/// Extract the identifier declared with an `Atomic*` type on one masked
+/// line: `disk_ok: Arc<AtomicBool>,` → `disk_ok`, `static SEQ: AtomicU64`
+/// → `SEQ`, `let done = AtomicBool::new(false)` → `done`. Returns `None`
+/// when the line declares no atomic (or the shape is unsupported, e.g. a
+/// tuple-struct field).
+fn declared_atomic_ident(line: &str) -> Option<String> {
+    let bytes = line.as_bytes();
+    let ident = |b: u8| b == b'_' || b.is_ascii_alphanumeric();
+    let mut from = 0usize;
+    while let Some(rel) = line[from..].find("Atomic") {
+        let at = from + rel;
+        from = at + 1;
+        if at > 0 && ident(bytes[at - 1]) {
+            continue; // word boundary: not inside a longer identifier
+        }
+        // Walk left over the type expression (`Arc<`, `[`, `&`, idents,
+        // spaces) to the `:` of a field/static or the `=` of a binding.
+        let mut i = at;
+        while i > 0 {
+            let b = bytes[i - 1];
+            if ident(b) || matches!(b, b'<' | b'>' | b'[' | b']' | b'&' | b' ' | b'\t') {
+                i -= 1;
+            } else {
+                break;
+            }
+        }
+        if i == 0 || !matches!(bytes[i - 1], b':' | b'=') {
+            continue;
+        }
+        // `::` is a path (e.g. `Foo::Atomic...`), not a declaration.
+        if bytes[i - 1] == b':' && i >= 2 && bytes[i - 2] == b':' {
+            continue;
+        }
+        let mut end = i - 1;
+        while end > 0 && bytes[end - 1].is_ascii_whitespace() {
+            end -= 1;
+        }
+        let mut start = end;
+        while start > 0 && ident(bytes[start - 1]) {
+            start -= 1;
+        }
+        if start < end {
+            return Some(line[start..end].to_owned());
+        }
+    }
+    None
+}
+
 struct Lexed {
     masked: String,
     literals: Vec<StrLit>,
     suppressions: Vec<Suppression>,
+    atomic_annotations: Vec<AtomicAnnotation>,
 }
 
 /// Core lexer: one pass over the bytes, tracking comments, string/char
@@ -164,6 +291,7 @@ fn lex(source: &str) -> Lexed {
     let mut masked = bytes.to_vec();
     let mut literals = Vec::new();
     let mut suppressions = Vec::new();
+    let mut atomic_annotations = Vec::new();
     let mut line = 1usize;
     let mut i = 0usize;
     let n = bytes.len();
@@ -179,8 +307,10 @@ fn lex(source: &str) -> Lexed {
             // Line comment: blank it, but parse suppressions first.
             let end = memchr(bytes, i, b'\n');
             if let Ok(text) = std::str::from_utf8(&bytes[i..end]) {
-                if let Some(s) = parse_suppression(text, line) {
-                    suppressions.push(s);
+                match parse_directive(text, line) {
+                    Some(Directive::Allow(s)) => suppressions.push(s),
+                    Some(Directive::Atomic(a)) => atomic_annotations.push(a),
+                    None => {}
                 }
             }
             blank(&mut masked, i, end);
@@ -263,6 +393,7 @@ fn lex(source: &str) -> Lexed {
         masked,
         literals,
         suppressions,
+        atomic_annotations,
     }
 }
 
@@ -389,37 +520,65 @@ fn scan_char(bytes: &[u8], masked: &mut [u8], open: usize, line: &mut usize) -> 
     close.saturating_add(1)
 }
 
-/// Parse `sms-lint: allow(RULE): reason` out of one line comment. Only a
+/// One parsed `sms-lint:` comment directive.
+enum Directive {
+    Allow(Suppression),
+    Atomic(AtomicAnnotation),
+}
+
+/// Parse `sms-lint: allow(RULE[, RULE...]): reason` or
+/// `sms-lint: atomic(KIND): reason` out of one line comment. Only a
 /// comment whose text *starts* with `sms-lint:` (after the slashes and an
 /// optional doc marker) counts, so prose that merely mentions the marker
-/// is ignored. Returns `None` for ordinary comments.
-fn parse_suppression(comment: &str, line: usize) -> Option<Suppression> {
+/// is ignored. Returns `None` for ordinary comments; malformed directives
+/// come back with empty `rules`/`kind` so the caller can report them.
+fn parse_directive(comment: &str, line: usize) -> Option<Directive> {
     let text = comment.strip_prefix("//")?;
     let text = text.strip_prefix(['/', '!']).unwrap_or(text);
     let rest = text.trim_start().strip_prefix("sms-lint:")?;
     let rest = rest.trim_start();
-    let Some(rest) = rest.strip_prefix("allow(") else {
-        return Some(Suppression {
+    if let Some(rest) = rest.strip_prefix("atomic(") {
+        let Some(close) = rest.find(')') else {
+            return Some(Directive::Atomic(AtomicAnnotation {
+                line,
+                kind: String::new(),
+                has_reason: false,
+            }));
+        };
+        let kind = rest[..close].trim().to_owned();
+        let tail = rest[close + 1..].trim_start();
+        let has_reason = tail.strip_prefix(':').is_some_and(|r| !r.trim().is_empty());
+        return Some(Directive::Atomic(AtomicAnnotation {
             line,
-            rule: String::new(),
+            kind,
+            has_reason,
+        }));
+    }
+    let malformed = || {
+        Directive::Allow(Suppression {
+            line,
+            rules: Vec::new(),
             has_reason: false,
-        });
+        })
+    };
+    let Some(rest) = rest.strip_prefix("allow(") else {
+        return Some(malformed());
     };
     let Some(close) = rest.find(')') else {
-        return Some(Suppression {
-            line,
-            rule: String::new(),
-            has_reason: false,
-        });
+        return Some(malformed());
     };
-    let rule = rest[..close].trim().to_owned();
+    let rules: Vec<String> = rest[..close]
+        .split(',')
+        .map(|r| r.trim().to_owned())
+        .filter(|r| !r.is_empty())
+        .collect();
     let tail = rest[close + 1..].trim_start();
     let has_reason = tail.strip_prefix(':').is_some_and(|r| !r.trim().is_empty());
-    Some(Suppression {
+    Some(Directive::Allow(Suppression {
         line,
-        rule,
+        rules,
         has_reason,
-    })
+    }))
 }
 
 /// Mark the line ranges covered by `#[cfg(test)]` items.
@@ -559,6 +718,76 @@ let c = 3;
         assert!(f.is_suppressed("D2", 3));
         assert!(!f.is_suppressed("E1", 5), "reason is required");
         assert_eq!(f.suppressions.len(), 3);
+    }
+
+    #[test]
+    fn suppression_accepts_multiple_rules() {
+        let src = "// sms-lint: allow(C1, C3): per-chunk locks, joined at shutdown\nlet g = 1;\n";
+        let f = ScannedFile::new("crates/x/src/lib.rs", src);
+        assert_eq!(f.suppressions.len(), 1);
+        assert_eq!(f.suppressions[0].rules, vec!["C1", "C3"]);
+        assert!(f.is_suppressed("C1", 2));
+        assert!(f.is_suppressed("C3", 2));
+        assert!(!f.is_suppressed("C2", 2));
+    }
+
+    #[test]
+    fn atomic_annotation_registers_declarations() {
+        let src = "\
+struct S {
+    // sms-lint: atomic(counter): report-only run tally
+    simulated: AtomicUsize,
+    shutdown: AtomicBool,
+}
+// sms-lint: atomic(counter): unique temp-file sequence
+static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+// sms-lint: atomic(gauge): wrapped in Arc
+fn f() { let disk_ok: Arc<AtomicBool> = mk(); }
+";
+        let f = ScannedFile::new("crates/x/src/lib.rs", src);
+        let decls = f.atomic_decls();
+        let names: Vec<&str> = decls.iter().map(|d| d.name.as_str()).collect();
+        assert_eq!(names, vec!["simulated", "TMP_SEQ", "disk_ok"]);
+        assert_eq!(decls[0].kind, "counter");
+        assert_eq!(decls[0].line, 3);
+        assert!(f.is_atomic_annotated(3));
+        assert!(!f.is_atomic_annotated(4), "shutdown is not annotated");
+    }
+
+    #[test]
+    fn atomic_annotation_requires_kind_and_reason() {
+        let src = "\
+// sms-lint: atomic(counter)
+a: AtomicU64,
+// sms-lint: atomic(): why
+b: AtomicU64,
+";
+        let f = ScannedFile::new("crates/x/src/lib.rs", src);
+        assert_eq!(f.atomic_annotations.len(), 2);
+        assert!(f.atomic_decls().is_empty(), "both annotations are invalid");
+        assert!(!f.is_atomic_annotated(2));
+    }
+
+    #[test]
+    fn declared_atomic_ident_shapes() {
+        assert_eq!(
+            declared_atomic_ident("    disk_ok: Arc<AtomicBool>,"),
+            Some("disk_ok".to_owned())
+        );
+        assert_eq!(
+            declared_atomic_ident("    buckets: [AtomicU64; 65],"),
+            Some("buckets".to_owned())
+        );
+        assert_eq!(
+            declared_atomic_ident("        let done = AtomicBool::new(false);"),
+            Some("done".to_owned())
+        );
+        // Tuple-struct fields have no name to register.
+        assert_eq!(
+            declared_atomic_ident("pub struct Counter(AtomicU64);"),
+            None
+        );
+        assert_eq!(declared_atomic_ident("let x = 1;"), None);
     }
 
     #[test]

@@ -1,0 +1,15 @@
+//! C1 fixture, file A: acquires `first` then `second`. Paired with
+//! `c1_lock_cycle_ba.rs`, which nests the same two locks the other way
+//! round — together they form an acquisition-order cycle.
+pub fn forward(&self) {
+    let a = self.first.lock();
+    let b = self.second.lock();
+    drop((a, b));
+}
+
+pub fn suppressed_self_cycle(&self) {
+    let outer = self.third.lock();
+    // sms-lint: allow(C1): reviewed — re-entrant acquisition is guarded by a recursion flag
+    let inner = self.third.lock();
+    drop((outer, inner));
+}

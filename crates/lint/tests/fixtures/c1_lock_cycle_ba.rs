@@ -1,0 +1,7 @@
+//! C1 fixture, file B: acquires `second` then `first` — the reverse of
+//! `c1_lock_cycle_ab.rs`, closing the cross-file cycle.
+pub fn backward(&self) {
+    let b = self.second.lock();
+    let a = self.first.lock();
+    drop((b, a));
+}

@@ -1,0 +1,27 @@
+//! C2 fixture: one declared counter (legal Relaxed), one control-flow
+//! flag misusing Relaxed (finding), one suppressed use, and a
+//! correctly-ordered flag (clean).
+pub struct S {
+    // sms-lint: atomic(counter): event tally, export-only reads
+    hits: AtomicU64,
+    stop: AtomicBool,
+}
+
+impl S {
+    pub fn record(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn request_stop(&self) {
+        self.stop.store(true, Ordering::Relaxed);
+    }
+
+    pub fn request_stop_suppressed(&self) {
+        // sms-lint: allow(C2): single-word flag, no data published through it
+        self.stop.store(true, Ordering::Relaxed);
+    }
+
+    pub fn request_stop_properly(&self) {
+        self.stop.store(true, Ordering::Release);
+    }
+}

@@ -1,0 +1,18 @@
+//! C3 fixture: bare recv, bare join, and an unbounded channel (three
+//! findings), plus suppressed and inherently-bounded variants.
+pub fn hangs(rx: &Receiver<u8>, h: JoinHandle<()>) {
+    let _v = rx.recv();
+    let _ = h.join();
+    let (_tx, _rx2) = std::sync::mpsc::channel::<u8>();
+}
+
+pub fn bounded(rx: &Receiver<u8>, parts: &[String]) -> String {
+    let _v = rx.recv_timeout(Duration::from_secs(1));
+    let (_tx, _rx2) = std::sync::mpsc::sync_channel::<u8>(4);
+    parts.join(", ")
+}
+
+pub fn suppressed(h: JoinHandle<()>) {
+    // sms-lint: allow(C3): worker exits on a bounded tick; join is prompt
+    let _ = h.join();
+}

@@ -1,0 +1,13 @@
+//! C4 fixture: one documented atomic, one undocumented atomic, one
+//! undocumented lock, and a suppressed undocumented use.
+pub fn uses(&self) {
+    self.documented.store(true, Ordering::Release);
+    self.mystery.store(true, Ordering::Release);
+    let g = self.secret.lock();
+    drop(g);
+}
+
+pub fn suppressed(&self) {
+    // sms-lint: allow(C4): scratch atomic local to this fixture
+    self.scratch.store(true, Ordering::Release);
+}

@@ -1,0 +1,17 @@
+//! Scanner-hardening fixture: nested block comments and raw strings
+//! containing `//` must not desynchronize line numbers or leak masked
+//! text into rule passes.
+/* outer /* inner .unwrap() */ still
+commented HashMap */
+pub fn after_comment(x: Option<u8>) -> u8 {
+    x.unwrap()
+}
+
+pub fn raw_with_slashes() -> &'static str {
+    r#"not a comment: // .unwrap() HashMap
+       second literal line"#
+}
+
+pub fn after_raw(x: Option<u8>) -> u8 {
+    x.unwrap()
+}

@@ -1,0 +1,16 @@
+//! Suppression edge cases: a multi-rule suppression covering one line,
+//! a suppression inside #[cfg(test)] (exempt even when malformed), and
+//! a suppression on the very last line of the file.
+pub fn multi(&self, x: Option<u8>) -> u8 {
+    // sms-lint: allow(E1, D2): fixture — both rules fire on the next line
+    x.unwrap() + HashMap::new().len() as u8
+}
+
+#[cfg(test)]
+mod tests {
+    // sms-lint: allow(NOT_A_RULE)
+    fn t() {
+        None::<u8>.unwrap();
+    }
+}
+// sms-lint: allow(E1): last line of file, nothing below to cover

@@ -23,7 +23,11 @@ fn fixture(name: &str) -> String {
 /// Lint one fixture as if it lived at `virtual_path` in the workspace.
 /// The path matters: crate-scoped rules (D1) key off `crates/<name>/`.
 fn lint_one(virtual_path: &str, fixture_name: &str) -> LintReport {
-    lint_sources(&[(virtual_path.to_owned(), fixture(fixture_name))], None)
+    lint_sources(
+        &[(virtual_path.to_owned(), fixture(fixture_name))],
+        None,
+        None,
+    )
 }
 
 fn rule_lines(report: &LintReport) -> Vec<(&'static str, usize)> {
@@ -145,7 +149,7 @@ fn f1_duplicate_and_undocumented_sites() {
         ),
     ];
     let design = "Failpoints: `fixture.site` is the only documented site.";
-    let report = lint_sources(&files, Some(design));
+    let report = lint_sources(&files, Some(design), None);
     // Findings sort by path: fixture_b (duplicate) before fixture_a
     // (undocumented site).
     assert_eq!(
@@ -173,7 +177,7 @@ fn f1_documented_unique_sites_are_clean() {
         fixture("f1_site_owner.rs"),
     )];
     let design = "Sites: `fixture.site` and `fixture.undocumented` are both here.";
-    let report = lint_sources(&files, Some(design));
+    let report = lint_sources(&files, Some(design), None);
     assert!(report.is_clean(), "{}", report.render_text());
 }
 
@@ -193,15 +197,160 @@ fn bad_suppressions_are_themselves_findings() {
 }
 
 #[test]
+fn c1_cross_file_lock_cycle_flagged_self_cycle_suppressible() {
+    let files = vec![
+        (
+            "crates/serve/src/fixture_a.rs".to_owned(),
+            fixture("c1_lock_cycle_ab.rs"),
+        ),
+        (
+            "crates/serve/src/fixture_b.rs".to_owned(),
+            fixture("c1_lock_cycle_ba.rs"),
+        ),
+    ];
+    let report = lint_sources(&files, None, None);
+    // One cycle, anchored at the edge leaving the lexicographically
+    // smallest lock name (`serve/first` → `serve/second`, in file A).
+    assert_eq!(
+        rule_lines(&report),
+        vec![("C1", 6)],
+        "{}",
+        report.render_text()
+    );
+    let f = &report.findings[0];
+    assert_eq!(f.path, "crates/serve/src/fixture_a.rs");
+    assert!(f.message.contains("potential deadlock"), "{}", f.message);
+    assert!(f.message.contains("`serve/first`"), "{}", f.message);
+    assert!(f.message.contains("`serve/second`"), "{}", f.message);
+    // Both acquisition chains appear as evidence.
+    assert!(
+        f.message.contains("crates/serve/src/fixture_a.rs"),
+        "{}",
+        f.message
+    );
+    assert!(
+        f.message.contains("crates/serve/src/fixture_b.rs"),
+        "{}",
+        f.message
+    );
+    // The annotated re-entrant self-cycle on `third` was suppressed.
+    assert_eq!(report.suppressions_honored, 1);
+}
+
+#[test]
+fn c1_same_order_everywhere_is_clean() {
+    // File A alone nests first→second and third→third (suppressed);
+    // without file B reversing the order there is no cross-file cycle.
+    let files = vec![(
+        "crates/serve/src/fixture_a.rs".to_owned(),
+        fixture("c1_lock_cycle_ab.rs"),
+    )];
+    let report = lint_sources(&files, None, None);
+    assert!(report.is_clean(), "{}", report.render_text());
+}
+
+#[test]
+fn c2_relaxed_needs_declared_counter_suppression_honored() {
+    let report = lint_one("crates/serve/src/fixture.rs", "c2_relaxed_atomics.rs");
+    assert_eq!(
+        rule_lines(&report),
+        vec![("C2", 16)],
+        "{}",
+        report.render_text()
+    );
+    assert!(report.findings[0].message.contains("`serve/stop`"));
+    assert_eq!(report.suppressions_honored, 1);
+}
+
+#[test]
+fn c3_blocking_constructs_flagged_and_suppressed() {
+    let report = lint_one("crates/serve/src/fixture.rs", "c3_blocking.rs");
+    assert_eq!(
+        rule_lines(&report),
+        vec![("C3", 4), ("C3", 5), ("C3", 6)],
+        "{}",
+        report.render_text()
+    );
+    assert!(report.findings[0].message.contains("recv_timeout"));
+    assert!(report.findings[1].message.contains("join"));
+    assert!(report.findings[2].message.contains("sync_channel"));
+    assert_eq!(report.suppressions_honored, 1);
+}
+
+#[test]
+fn c4_inventory_checked_when_present_and_suppressible() {
+    let files = vec![(
+        "crates/sim/src/fixture.rs".to_owned(),
+        fixture("c4_inventory.rs"),
+    )];
+    let inventory = "Inventory: `sim/documented` is the only entry.";
+    let report = lint_sources(&files, None, Some(inventory));
+    assert_eq!(
+        rule_lines(&report),
+        vec![("C4", 5), ("C4", 6)],
+        "{}",
+        report.render_text()
+    );
+    assert!(report.findings[0].message.contains("atomic `sim/mystery`"));
+    assert!(report.findings[1].message.contains("lock `sim/secret`"));
+    assert_eq!(report.suppressions_honored, 1);
+
+    // No CONCURRENCY.md, no C4 pass: downstream forks without an
+    // inventory are not broken by the rule's existence.
+    let absent = lint_sources(&files, None, None);
+    assert!(absent.is_clean(), "{}", absent.render_text());
+}
+
+#[test]
+fn scanner_survives_nested_comments_and_raw_strings() {
+    // Line numbers are pinned: a masking bug that eats or adds a line
+    // shifts these and fails loudly.
+    let report = lint_one("crates/core/src/fixture.rs", "scan_hardening.rs");
+    assert_eq!(
+        rule_lines(&report),
+        vec![("E1", 7), ("E1", 16)],
+        "{}",
+        report.render_text()
+    );
+}
+
+#[test]
+fn suppression_edge_cases() {
+    // Multi-rule suppression silences both rules on one line; a
+    // malformed suppression inside #[cfg(test)] is exempt; a trailing
+    // suppression on the last line of the file parses without panicking.
+    let report = lint_one("crates/serve/src/fixture.rs", "sup_edge_cases.rs");
+    assert!(report.is_clean(), "{}", report.render_text());
+    assert_eq!(report.suppressions_honored, 2);
+}
+
+#[test]
 fn json_rendering_is_canonical() {
     let report = lint_one("crates/serve/src/fixture.rs", "d2_hash_map.rs");
     let json = report.render_json();
-    assert!(json.starts_with("{\"clean\":false,\"files_scanned\":1,\"findings\":["));
+    assert!(json.starts_with("{\"baselined\":0,\"clean\":false,\"files_scanned\":1,\"findings\":["));
     assert!(json.contains("\"rule\":\"D2\""));
     assert!(json.contains("\"line\":3"));
-    assert!(json.ends_with("],\"schema_version\":1,\"suppressions_honored\":1}\n"));
+    assert!(json.ends_with("],\"schema_version\":2,\"suppressions_honored\":1}\n"));
     // Rendering twice yields byte-identical output (canonical form).
     assert_eq!(json, report.render_json());
+}
+
+#[test]
+fn baseline_matching_is_line_insensitive() {
+    let report = lint_one("crates/serve/src/fixture.rs", "d2_hash_map.rs");
+    let baseline = report.render_baseline();
+    // Shift the violation down two lines; the baseline still matches.
+    let shifted = format!("\n\n{}", fixture("d2_hash_map.rs"));
+    let mut moved = lint_sources(
+        &[("crates/serve/src/fixture.rs".to_owned(), shifted)],
+        None,
+        None,
+    );
+    moved.apply_baseline(&baseline);
+    assert!(moved.is_clean(), "{}", moved.render_text());
+    assert_eq!(moved.baselined.len(), 1);
+    assert_eq!(moved.baselined[0].line, 5);
 }
 
 #[test]

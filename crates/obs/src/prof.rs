@@ -52,7 +52,9 @@ pub const PATH_SEPARATOR: char = ';';
 #[derive(Debug, Default)]
 pub struct Phase {
     path: String,
+    // sms-lint: atomic(counter): completed-scope tally, observation-only
     count: AtomicU64,
+    // sms-lint: atomic(counter): wall-nanosecond accumulator, observation-only
     nanos: AtomicU64,
 }
 

@@ -41,6 +41,7 @@ fn spans_dropped_total() -> &'static Counter {
 /// Sequential id assigned to each thread the first time it records an
 /// event (Chrome trace `tid`; stable within a process run).
 fn current_tid() -> u64 {
+    // sms-lint: atomic(counter): thread-id dispenser; fetch_add alone makes ids unique
     static NEXT_TID: AtomicU64 = AtomicU64::new(1);
     thread_local! {
         static TID: u64 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
@@ -75,6 +76,7 @@ pub struct Tracer {
     epoch: Instant,
     capacity: usize,
     ring: Mutex<VecDeque<TraceEvent>>,
+    // sms-lint: atomic(counter): shed-event tally, reported in export only
     dropped: AtomicU64,
 }
 
@@ -98,12 +100,12 @@ impl Tracer {
 
     /// Turn recording on or off.
     pub fn set_enabled(&self, enabled: bool) {
-        self.enabled.store(enabled, Ordering::Relaxed);
+        self.enabled.store(enabled, Ordering::Release);
     }
 
     /// Whether events are currently recorded.
     pub fn is_enabled(&self) -> bool {
-        self.enabled.load(Ordering::Relaxed)
+        self.enabled.load(Ordering::Acquire)
     }
 
     /// Start a span; the returned guard records a complete event when

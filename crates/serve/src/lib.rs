@@ -18,6 +18,8 @@
 //! - [`registry`] — on-disk artifact discovery and in-memory index, with
 //!   retrying loads, quarantine, and periodic re-probe self-healing.
 //! - [`queue`] — bounded MPMC queue with non-blocking, load-shedding push.
+//! - `sync` (private) — std/loom-swappable lock primitives; the loom CI
+//!   job model-checks the queue and breaker through this seam.
 //! - [`cache`] — LRU response cache keyed on canonical request JSON.
 //! - [`breaker`] — per-model circuit breaker gating the analytic
 //!   degraded-mode fallback.
@@ -43,6 +45,7 @@ pub mod metrics;
 pub mod queue;
 pub mod registry;
 pub mod server;
+mod sync;
 
 pub use api::{ModelInfo, ModelsResponse, PredictRequest, PredictResponse};
 pub use breaker::{BreakerState, CircuitBreaker, Route};

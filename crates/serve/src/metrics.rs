@@ -14,7 +14,9 @@
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
+
+use crate::sync::Mutex;
 use std::time::Instant;
 
 use serde::{Deserialize, Serialize};
@@ -53,6 +55,7 @@ pub struct ServerMetrics {
     latency_micros: Arc<Histogram>,
     /// Count of latency observations, mirrored outside the histogram so
     /// tests can assert on it without decoding buckets.
+    // sms-lint: atomic(counter): observation tally, test/export reads only
     latency_count: AtomicU64,
     latencies: Mutex<Vec<f64>>,
 }

@@ -5,8 +5,9 @@
 //! latency grow without bound. Worker-side `pop_timeout` blocks with a
 //! timeout so workers can poll the shutdown flag between jobs.
 
+use crate::sync::{Condvar, Mutex, MutexGuard};
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+use std::sync::PoisonError;
 use std::time::Duration;
 
 /// Lock a mutex, recovering the guard when a panicking thread poisoned

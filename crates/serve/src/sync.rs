@@ -1,0 +1,13 @@
+//! Sync primitives, swappable for loom's model-checked doubles.
+//!
+//! Every lock in this crate goes through these aliases (plus the
+//! poison-recovering [`crate::queue::lock`] helper), so the `loom` CI
+//! job can rebuild the whole crate with `--cfg loom` and exhaustively
+//! explore thread interleavings in `tests/loom_models.rs`. Normal
+//! builds compile straight to `std::sync` with zero indirection; loom
+//! is a dev-only dependency added by that job, never by the library.
+
+#[cfg(loom)]
+pub(crate) use loom::sync::{Condvar, Mutex, MutexGuard};
+#[cfg(not(loom))]
+pub(crate) use std::sync::{Condvar, Mutex, MutexGuard};

@@ -378,7 +378,7 @@ impl MulticoreSystem {
                 let mut uncore_guard = uncore_lock.write().unwrap_or_else(PoisonError::into_inner);
                 let mut chunk_guards: Vec<_> = chunk_locks
                     .iter()
-                    .map(|c| c.lock().unwrap_or_else(PoisonError::into_inner))
+                    .map(|chunk| chunk.lock().unwrap_or_else(PoisonError::into_inner))
                     .collect();
                 // Flatten back into core-index order (chunks are contiguous
                 // and in order) so the merge sees the same layout as the
